@@ -1,0 +1,30 @@
+.PHONY: all build test bench bench-quick examples clean doc
+
+# `make doc` requires odoc (opam install odoc)
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/temporal_search.exe
+	dune exec examples/geo_search.exe
+	dune exec examples/set_intersection.exe
+	dune exec examples/streaming_updates.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Halfspace Harness Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload List Printf Rect Sphere String

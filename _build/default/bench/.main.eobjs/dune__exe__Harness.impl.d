@@ -1,0 +1,1 @@
+bench/harness.ml: Array Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments Harness Kwsc_util List Micro Printf Sys

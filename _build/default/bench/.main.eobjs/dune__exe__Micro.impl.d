@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Halfspace Harness Hashtbl Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload List Measure Printf Rect Sphere Staged Test Time Toolkit

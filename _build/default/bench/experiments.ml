@@ -1,0 +1,683 @@
+(* One experiment per Table-1 row plus the two figures, the hardness
+   machinery and the naive-baseline motivation (see DESIGN.md section 3 for
+   the experiment index and EXPERIMENTS.md for recorded outcomes).
+
+   Workload choices per regime:
+   - OUT = 0 worst case: [Harness.threshold_workload] (keywords just below
+     the large threshold, disjoint supports) — pins the N^(1-1/k) term.
+   - OUT sweeps: [Harness.overlap_workload] with the bound-ratio check
+     work <= c * N^(1-1/k) (1 + OUT^(1/k)).
+   - geometric terms (d > k, Figure 1): [Harness.covered_workload] (all
+     documents contain the query keywords, so cost = crossing structure).
+   - baseline contrast: [Harness.poison_workload] (Section 1 motivation). *)
+
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+module Doc = Kwsc_invindex.Doc
+module H = Harness
+
+let invk k = 1.0 -. (1.0 /. float_of_int k)
+
+(* A region containing every point: exercises the normal query path while
+   keeping keyword work dominant. *)
+let all_halfspace d = Halfspace.make (Array.init d (fun i -> if i = 0 then -1.0 else 0.0)) 1.0
+
+(* Random OUT=0 query rectangles inside the keyword-free half of a poison
+   workload (coordinates in [0, range/2]). *)
+let poison_queries ~rng ~d ~range ~count =
+  Array.init count (fun _ ->
+      let half = range /. 2.0 in
+      let a = Array.init d (fun _ -> Prng.float rng (half /. 2.0)) in
+      let b = Array.map (fun x -> x +. Prng.float rng (half /. 2.0)) a in
+      Rect.make a b)
+
+(* ------------------------------------------------------------------ *)
+
+let orp_threshold_exponent ~k ~d ~base ~label =
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (1000 + m + k + d) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k ~d ~range:1000.0 in
+      let t = Kwsc.Orp_kw.build ~k objs in
+      let work, time =
+        H.measure_queries
+          (Array.init 8 (fun _ ->
+               fun () ->
+                 let _, st = Kwsc.Orp_kw.query_stats t (Rect.full d) kws in
+                 Kwsc.Stats.work st))
+      in
+      let nn = Kwsc.Orp_kw.input_size t in
+      let words = (Kwsc.Orp_kw.space_stats t).Kwsc.Stats.total_words in
+      H.print_scale_row nn work time
+        (Printf.sprintf "  space=%.1f words per input word" (float_of_int words /. float_of_int nn));
+      pts := (float_of_int nn, work) :: !pts)
+    (H.n_sweep ~base);
+  ignore (H.fit_and_print ~label ~target:(invk k) ~tolerance:0.12 (Array.of_list !pts))
+
+let t1_1 () =
+  H.header "T1.1  ORP-KW d=2 (Theorem 1, kd transform)"
+    "O(N) space; query O(N^(1-1/k) (1 + OUT^(1/k)))";
+  Printf.printf "-- OUT = 0 worst case (threshold workload) --\n";
+  orp_threshold_exponent ~k:2 ~d:2 ~base:4096 ~label:"work exponent vs N (k=2)";
+  orp_threshold_exponent ~k:3 ~d:2 ~base:4096 ~label:"work exponent vs N (k=3)";
+  Printf.printf "-- OUT sweep at fixed N (k=2): bound work <= c N^(1/2)(1+OUT^(1/2)) --\n";
+  let n = if !H.quick then 8192 else 16384 in
+  let rows = ref [] in
+  List.iter
+    (fun frac ->
+      let rng = Prng.create 777 in
+      let objs, q, kws = H.overlap_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 ~frac in
+      let t = Kwsc.Orp_kw.build ~k:2 objs in
+      let ids, st = Kwsc.Orp_kw.query_stats t q kws in
+      rows :=
+        (Kwsc.Orp_kw.input_size t, Array.length ids, float_of_int (Kwsc.Stats.work st)) :: !rows)
+    [ 0.0; 0.02; 0.1; 0.3; 1.0 ];
+  H.check_bound ~label:"Theorem 1 bound" ~max_ratio:2.0
+    ~bound:(fun n out -> sqrt (float_of_int n) *. (1.0 +. sqrt (float_of_int out)))
+    (List.rev !rows)
+
+let t1_2 () =
+  H.header "T1.2  ORP-KW d>=3 (Theorem 2, dimension reduction)"
+    "space O(N (loglog N)^(d-2)); query O(N^(1-1/k) (1 + OUT^(1/k)))";
+  List.iter
+    (fun d ->
+      Printf.printf "-- d = %d, k = 2, threshold workload --\n" d;
+      let pts = ref [] in
+      List.iter
+        (fun m ->
+          let rng = Prng.create (2000 + m + d) in
+          let objs, kws = H.threshold_workload ~rng ~m ~k:2 ~d ~range:1000.0 in
+          let t = Kwsc.Dimred.build ~k:2 objs in
+          let works = ref [] in
+          let _, time =
+            Kwsc_util.Timer.time (fun () ->
+                for _ = 1 to 6 do
+                  let _, p = Kwsc.Dimred.query_profile t (Rect.full d) kws in
+                  works := float_of_int p.Kwsc.Dimred.work :: !works
+                done)
+          in
+          let words = Kwsc.Dimred.space_words t in
+          let nn = Kwsc.Dimred.input_size t in
+          let work = Kwsc_util.Stats.median (Array.of_list !works) in
+          H.print_scale_row nn work (time /. 6.0)
+            (Printf.sprintf "  space=%.1f words per input word" (float_of_int words /. float_of_int nn));
+          pts := (float_of_int nn, work) :: !pts)
+        (H.n_sweep ~base:(if d = 3 then 2048 else 1024));
+      ignore
+        (H.fit_and_print ~label:(Printf.sprintf "work exponent vs N (d=%d)" d) ~target:0.5
+           ~tolerance:0.15 (Array.of_list !pts)))
+    [ 3; 4 ];
+  (* space blow-up per dimension at fixed N *)
+  Printf.printf "-- space per input word across d (fixed N) --\n";
+  let m = if !H.quick then 4096 else 8192 in
+  List.iter
+    (fun d ->
+      let rng = Prng.create (2100 + d) in
+      let objs, _ = H.threshold_workload ~rng ~m ~k:2 ~d ~range:1000.0 in
+      let t = Kwsc.Dimred.build ~k:2 objs in
+      Printf.printf "  d=%d: %.1f words per input word\n" d
+        (float_of_int (Kwsc.Dimred.space_words t) /. float_of_int (Kwsc.Dimred.input_size t)))
+    [ 2; 3; 4 ]
+
+let lc_threshold_exponent ~k ~d ~base ~label ~target ~tolerance =
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (3000 + m + k + (10 * d)) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k ~d ~range:1000.0 in
+      let t = Kwsc.Lc_kw.build ~k objs in
+      let work, time =
+        H.measure_queries
+          (Array.init 6 (fun _ ->
+               fun () ->
+                 let _, st = Kwsc.Lc_kw.query_stats t [ all_halfspace d ] kws in
+                 Kwsc.Stats.work st))
+      in
+      H.print_scale_row (Kwsc.Lc_kw.input_size t) work time "";
+      pts := (float_of_int (Kwsc.Lc_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base);
+  ignore (H.fit_and_print ~label ~target ~tolerance (Array.of_list !pts))
+
+let t1_3 () =
+  H.header "T1.3  ORP-KW via LC-KW, d<=k (Theorem 5 remark)"
+    "O(N) space; query O(N^(1-1/k) (log N + OUT^(1/k)))";
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (3100 + m) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k:2 ~d:2 ~range:1000.0 in
+      let t = Kwsc.Lc_kw.build ~k:2 objs in
+      let q = Rect.make [| -1.0; -1.0 |] [| 1001.0; 1001.0 |] in
+      let work, time =
+        H.measure_queries
+          (Array.init 6 (fun _ ->
+               fun () ->
+                 let _, st = Kwsc.Lc_kw.query_stats t (Halfspace.of_rect q) kws in
+                 Kwsc.Stats.work st))
+      in
+      H.print_scale_row (Kwsc.Lc_kw.input_size t) work time "";
+      pts := (float_of_int (Kwsc.Lc_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base:1024);
+  ignore
+    (H.fit_and_print ~label:"work exponent vs N (k=2, rect-as-constraints)" ~target:0.5
+       ~tolerance:0.2 (Array.of_list !pts))
+
+let t1_4 () =
+  H.header "T1.4  RR-KW (Corollary 3)"
+    "space O(N (loglog N)^(2d-2)); query O(N^(1-1/k) (1 + OUT^(1/k))); d=1 is temporal search";
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (4000 + m) in
+      (* threshold-style keyword structure on intervals *)
+      let f = max 1 (int_of_float (sqrt (float_of_int m)) - 1) in
+      let objs =
+        Array.init m (fun i ->
+            let s = Prng.float rng 1000.0 in
+            let doc =
+              if i < 2 * f then Doc.of_list [ 1 + (i / f) ] else Doc.of_list [ 3 + (i mod 50) ]
+            in
+            (Rect.make [| s |] [| s +. 10.0 |], doc))
+      in
+      let t = Kwsc.Rr_kw.build ~k:2 objs in
+      let q = Rect.make [| -10.0 |] [| 2000.0 |] in
+      let work, time =
+        H.measure_queries
+          (Array.init 8 (fun _ ->
+               fun () ->
+                 let _, st = Kwsc.Rr_kw.query_stats t q [| 1; 2 |] in
+                 Kwsc.Stats.work st))
+      in
+      H.print_scale_row (Kwsc.Rr_kw.input_size t) work time "";
+      pts := (float_of_int (Kwsc.Rr_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base:4096);
+  ignore
+    (H.fit_and_print ~label:"work exponent vs N (k=2, 1d intervals)" ~target:0.5 ~tolerance:0.15
+       (Array.of_list !pts))
+
+let nn_workload ~rng ~n ~k ~range ~integer =
+  Array.init n (fun i ->
+      let p =
+        if integer then
+          [| float_of_int (Prng.int rng (int_of_float range)); float_of_int (Prng.int rng (int_of_float range)) |]
+        else [| Prng.float rng range; Prng.float rng range |]
+      in
+      let doc =
+        if i mod 2 = 0 then Doc.of_list (List.init k (fun j -> j + 1))
+        else Doc.of_list [ k + 1 + Prng.int rng 20 ]
+      in
+      (p, doc))
+
+let t1_5 () =
+  H.header "T1.5  Linf-NN-KW (Corollary 4)"
+    "space O(N (loglog N)^(d-2)); query O(N^(1-1/k) t^(1/k) log N)";
+  let n = if !H.quick then 4096 else 16384 in
+  let rng = Prng.create 5001 in
+  let objs = nn_workload ~rng ~n ~k:2 ~range:1000.0 ~integer:false in
+  let t = Kwsc.Linf_nn_kw.build ~k:2 objs in
+  let kws = [| 1; 2 |] in
+  Printf.printf "-- t sweep at N=%d (k=2): probes must stay O(log N) --\n"
+    (Kwsc.Linf_nn_kw.input_size t);
+  List.iter
+    (fun t' ->
+      let qs = Array.init 8 (fun _ -> [| Prng.float rng 1000.0; Prng.float rng 1000.0 |]) in
+      let probes = ref 0 in
+      let _, time =
+        H.measure_queries
+          (Array.map
+             (fun q () ->
+               let res, p = Kwsc.Linf_nn_kw.query_count t q ~t' kws in
+               probes := p;
+               Array.length res)
+             qs)
+      in
+      Printf.printf "  t=%4d  time=%8.1fus  probes=%d\n" t' (time *. 1e6) !probes;
+      assert (!probes <= 20))
+    [ 1; 4; 16; 64; 256 ];
+  Printf.printf "-- N sweep at t=8 (threshold keyword structure, 16 shared) --\n";
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (5100 + m) in
+      let objs, kws = H.threshold_nn_workload ~rng ~m ~k:2 ~d:2 ~range:1000.0 ~shared:16 in
+      let t = Kwsc.Linf_nn_kw.build ~k:2 objs in
+      let qs = Array.init 5 (fun _ -> [| Prng.float rng 1000.0; Prng.float rng 1000.0 |]) in
+      let _, time =
+        H.measure_queries
+          (Array.map (fun q () -> Array.length (Kwsc.Linf_nn_kw.query t q ~t':8 kws)) qs)
+      in
+      H.print_scale_row (Kwsc.Linf_nn_kw.input_size t) 0.0 time "";
+      pts := (float_of_int (Kwsc.Linf_nn_kw.input_size t), time) :: !pts)
+    (H.n_sweep ~base:2048);
+  ignore
+    (H.fit_and_print ~label:"time exponent vs N (t=8)" ~target:0.5 ~tolerance:0.35
+       (Array.of_list !pts))
+
+let t1_6 () =
+  H.header "T1.6  LC-KW d<=k (Theorem 5)" "O(N) space; query O(N^(1-1/k) (log N + OUT^(1/k)))";
+  Printf.printf "-- d=2, k=2 --\n";
+  lc_threshold_exponent ~k:2 ~d:2 ~base:1024 ~label:"work exponent (d=2,k=2)" ~target:0.5
+    ~tolerance:0.2;
+  Printf.printf "-- d=2, k=3 --\n";
+  lc_threshold_exponent ~k:3 ~d:2 ~base:1024 ~label:"work exponent (d=2,k=3)" ~target:(2.0 /. 3.0)
+    ~tolerance:0.2
+
+let crossing_exponent_lc ~d ~base ~halfspace_of ~label ~paper_target =
+  let pts = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (6000 + n + d) in
+      let objs, kws = H.covered_workload ~rng ~n ~d ~range:1000.0 in
+      let t = Kwsc.Lc_kw.build ~k:2 objs in
+      let h : Halfspace.t = halfspace_of () in
+      let ids, st = Kwsc.Lc_kw.query_stats t [ h ] kws in
+      let work = float_of_int (Kwsc.Stats.work st) in
+      Printf.printf "  N=%7d  work=%9.0f  OUT=%d\n" (Kwsc.Lc_kw.input_size t) work
+        (Array.length ids);
+      pts := (float_of_int (Kwsc.Lc_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base);
+  let e = Kwsc_util.Stats.fit_exponent (Array.of_list !pts) in
+  Printf.printf
+    "  -> %s: measured %.3f; paper (optimal partition tree) %.3f; BSP substitute is weaker by design (DESIGN.md sub 1)\n"
+    label e paper_target
+
+let t1_7 () =
+  H.header "T1.7  LC-KW d>k"
+    "query O(N^(1-1/d) + N^(1-1/k) OUT^(1/k)); geometric term measured on the substituted splitter";
+  Printf.printf "-- d=3, k=2: halfspace boundary through the cloud, all keywords matching --\n";
+  crossing_exponent_lc ~d:3 ~base:1024
+    ~halfspace_of:(fun () -> Halfspace.make [| 1.0; 1.0; 1.0 |] 450.0)
+    ~label:"geometric work exponent (d=3)" ~paper_target:(2.0 /. 3.0)
+
+let t1_8 () =
+  H.header "T1.8  SRP-KW d<=k-1 (Corollary 6)" "O(N) space; query O(N^(1-1/k) (log N + OUT^(1/k)))";
+  Printf.printf "-- d=2, k=3, threshold workload, all-containing sphere --\n";
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (7000 + m) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k:3 ~d:2 ~range:1000.0 in
+      let t = Kwsc.Srp_kw.build ~k:3 objs in
+      let q = Sphere.make [| 500.0; 500.0 |] 5000.0 in
+      let work, time =
+        H.measure_queries
+          (Array.init 6 (fun _ ->
+               fun () ->
+                 let _, st = Kwsc.Srp_kw.query_stats t q kws in
+                 Kwsc.Stats.work st))
+      in
+      H.print_scale_row (Kwsc.Srp_kw.input_size t) work time "";
+      pts := (float_of_int (Kwsc.Srp_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base:1024);
+  ignore
+    (H.fit_and_print ~label:"work exponent (d=2,k=3)" ~target:(2.0 /. 3.0) ~tolerance:0.2
+       (Array.of_list !pts))
+
+let t1_9 () =
+  H.header "T1.9  SRP-KW d>k-1 (Corollary 6)"
+    "query O(N^(1-1/(d+1)) + N^(1-1/k) OUT^(1/k)); geometric term on the substituted splitter";
+  Printf.printf "-- d=2, k=2: sphere boundary through the cloud, all keywords matching --\n";
+  let pts = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (7500 + n) in
+      let objs, kws = H.covered_workload ~rng ~n ~d:2 ~range:1000.0 in
+      let t = Kwsc.Srp_kw.build ~k:2 objs in
+      let q = Sphere.make [| 0.0; 0.0 |] 200.0 in
+      let ids, st = Kwsc.Srp_kw.query_stats t q kws in
+      let work = float_of_int (Kwsc.Stats.work st) in
+      Printf.printf "  N=%7d  work=%9.0f  OUT=%d\n" (Kwsc.Srp_kw.input_size t) work
+        (Array.length ids);
+      pts := (float_of_int (Kwsc.Srp_kw.input_size t), work) :: !pts)
+    (H.n_sweep ~base:1024);
+  let e = Kwsc_util.Stats.fit_exponent (Array.of_list !pts) in
+  Printf.printf
+    "  -> geometric work exponent (sphere boundary): measured %.3f; paper %.3f; BSP substitute weaker by design\n"
+    e 0.667
+
+let l2nn_sweeps ~k ~label_prefix =
+  let n = if !H.quick then 2048 else 8192 in
+  let rng = Prng.create (8000 + k) in
+  let objs = nn_workload ~rng ~n ~k ~range:1024.0 ~integer:true in
+  let t = Kwsc.L2_nn_kw.build ~k objs in
+  let kws = Array.init k (fun i -> i + 1) in
+  Printf.printf "-- t sweep at N=%d (%s): probes must stay O(log N) --\n"
+    (Kwsc.L2_nn_kw.input_size t) label_prefix;
+  List.iter
+    (fun t' ->
+      let qs =
+        Array.init 5 (fun _ ->
+            [| float_of_int (Prng.int rng 1024); float_of_int (Prng.int rng 1024) |])
+      in
+      let probes = ref 0 in
+      let _, time =
+        H.measure_queries
+          (Array.map
+             (fun q () ->
+               let res, p = Kwsc.L2_nn_kw.query_count t q ~t' kws in
+               probes := p;
+               Array.length res)
+             qs)
+      in
+      Printf.printf "  t=%4d  time=%8.1fus  probes=%d\n" t' (time *. 1e6) !probes;
+      assert (!probes <= 30))
+    [ 1; 4; 16; 64 ]
+
+let t1_10 () =
+  H.header "T1.10  L2-NN-KW d<=k-1 (Corollary 7)"
+    "O(N) space; query O(log N * N^(1-1/k) (log N + t^(1/k)))";
+  l2nn_sweeps ~k:3 ~label_prefix:"d=2,k=3"
+
+let t1_11 () =
+  H.header "T1.11  L2-NN-KW d>k (context: d=2,k=2 boundary case)"
+    "query O(log N * (N^(1-1/(d+1)) + N^(1-1/k) t^(1/k)))";
+  l2nn_sweeps ~k:2 ~label_prefix:"d=2,k=2"
+
+let f1 () =
+  H.header "F1  Figure 1 / Lemmas 9-10: crossing sensitivity of the kd transform"
+    "a vertical line's crossing cost is O(N^(1-1/k)); covered cost O(N^(1-1/k)(1+OUT^(1/k)))";
+  let pts_cross = ref [] and pts_work = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (9000 + n) in
+      let objs, kws = H.covered_workload ~rng ~n ~d:2 ~range:1000.0 in
+      let t = Kwsc.Orp_kw.build ~k:2 objs in
+      let crossing = ref [] and works = ref [] in
+      for _ = 1 to 10 do
+        (* a vertical line through an actual data coordinate, so the rank
+           conversion does not collapse it to an empty query *)
+        let x = (fst objs.(Prng.int rng n)).(0) in
+        let q = Rect.make [| x; neg_infinity |] [| x; infinity |] in
+        let _, st = Kwsc.Orp_kw.query_stats t q kws in
+        crossing := float_of_int st.Kwsc.Stats.crossing_nodes :: !crossing;
+        works := float_of_int (Kwsc.Stats.work st) :: !works
+      done;
+      let med l = Kwsc_util.Stats.median (Array.of_list l) in
+      let nn = Kwsc.Orp_kw.input_size t in
+      Printf.printf "  N=%7d  crossing nodes=%7.1f  work=%9.1f\n" nn (med !crossing) (med !works);
+      pts_cross := (float_of_int nn, Float.max 1.0 (med !crossing)) :: !pts_cross;
+      pts_work := (float_of_int nn, Float.max 1.0 (med !works)) :: !pts_work)
+    (H.n_sweep ~base:4096);
+  ignore
+    (H.fit_and_print ~label:"crossing-node exponent (vertical line)" ~target:0.5 ~tolerance:0.15
+       (Array.of_list !pts_cross));
+  ignore
+    (H.fit_and_print ~label:"total work exponent (vertical line)" ~target:0.5 ~tolerance:0.2
+       (Array.of_list !pts_work))
+
+let f2 () =
+  H.header "F2  Figure 2 / Propositions 1-3: dimension-reduction tree shape"
+    "depth O(loglog N); <=2 type-2 nodes per level; f_u = O(N^(1-1/k))";
+  List.iter
+    (fun n ->
+      let rng = Prng.create (9500 + n) in
+      let objs, q, kws = H.poison_workload ~rng ~n ~d:3 ~k:2 ~range:1000.0 in
+      ignore q;
+      let t = Kwsc.Dimred.build ~k:2 objs in
+      let max_level = ref 0 and max_fanout = ref 0 in
+      Kwsc.Dimred.cut_stats t (fun ~level ~fanout ~weight:_ ~children:_ ~pivots:_ ->
+          max_level := max !max_level level;
+          max_fanout := max !max_fanout fanout);
+      let worst_t2 = ref 0 in
+      for _ = 1 to 10 do
+        let a = Array.init 3 (fun _ -> Prng.float rng 800.0) in
+        let qr = Rect.make a (Array.map (fun x -> x +. 150.0) a) in
+        let _, p = Kwsc.Dimred.query_profile t qr kws in
+        Array.iter (fun c -> worst_t2 := max !worst_t2 c) p.Kwsc.Dimred.type2_by_level
+      done;
+      let nn = Kwsc.Dimred.input_size t in
+      Printf.printf
+        "  N=%7d  depth=%d (loglogN=%.1f)  max fanout=%d (N^(1-1/k)=%.0f)  worst type-2/level=%d\n"
+        nn !max_level
+        (log (log (float_of_int nn) /. log 2.0) /. log 2.0)
+        !max_fanout
+        (sqrt (float_of_int nn))
+        !worst_t2;
+      assert (!worst_t2 <= 2))
+    (H.n_sweep ~base:2048)
+
+let h1 () =
+  H.header "H1  k-SI hardness machinery (Section 1.2, Lemma 8, Appendix G)"
+    "k-SI reporting: work O(N^(1-1/k) (1 + OUT^(1/k))); every reduction result-equal";
+  let s = if !H.quick then 2048 else 8192 in
+  Printf.printf "-- bound check, two sets of %d elements sharing OUT (k=2) --\n" s;
+  let rows = ref [] in
+  List.iter
+    (fun out ->
+      let docs =
+        Array.init ((2 * s) - out) (fun i ->
+            if i < s - out then Doc.of_list [ 1 ]
+            else if i < (2 * s) - (2 * out) then Doc.of_list [ 2 ]
+            else Doc.of_list [ 1; 2 ])
+      in
+      let t = Kwsc.Ksi.of_docs ~k:2 docs in
+      let ids, st = Kwsc.Ksi.query_stats t [| 1; 2 |] in
+      assert (Array.length ids = out);
+      rows := (Kwsc.Ksi.input_size t, out, float_of_int (Kwsc.Stats.work st)) :: !rows)
+    [ 0; 4; 16; 64; 256; 1024 ];
+  H.check_bound ~label:"k-SI reporting bound" ~max_ratio:2.0
+    ~bound:(fun n out -> sqrt (float_of_int n) *. (1.0 +. sqrt (float_of_int out)))
+    (List.rev !rows);
+  (* N scaling in the threshold regime *)
+  Printf.printf "-- N sweep in the threshold regime (OUT = 0) --\n";
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.create (9700 + m) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k:2 ~d:1 ~range:1000.0 in
+      let t = Kwsc.Ksi.of_docs ~k:2 (Array.map snd objs) in
+      let _, st = Kwsc.Ksi.query_stats t kws in
+      let work = float_of_int (Kwsc.Stats.work st) in
+      Printf.printf "  N=%7d  work=%8.0f\n" (Kwsc.Ksi.input_size t) work;
+      pts := (float_of_int (Kwsc.Ksi.input_size t), work) :: !pts)
+    (H.n_sweep ~base:4096);
+  ignore
+    (H.fit_and_print ~label:"k-SI work exponent vs N" ~target:0.5 ~tolerance:0.12
+       (Array.of_list !pts));
+  (* reductions *)
+  let rng = Prng.create 424242 in
+  let inst =
+    Kwsc_invindex.Ksi_instance.create
+      (Array.init 6 (fun _ -> Array.init 400 (fun _ -> Prng.int rng 1200)))
+  in
+  let red = Kwsc.Hardness.ksi_as_orp ~k:2 inst in
+  let via_orp = Kwsc.Hardness.ksi_query_via_orp red [| 1; 4 |] in
+  Array.sort compare via_orp;
+  let naive = Kwsc_invindex.Ksi_instance.reporting inst [| 1; 4 |] in
+  Printf.printf "  reduction k-SI -> ORP-KW: %s (|result| = %d)\n"
+    (if via_orp = naive then "result-equal" else "MISMATCH")
+    (Array.length naive);
+  let via_nn = Kwsc.Hardness.ksi_via_linf_nn ~k:2 inst [| 2; 5 |] in
+  Printf.printf "  reduction k-SI -> Linf-NN (doubling t): %s\n"
+    (if via_nn = Kwsc_invindex.Ksi_instance.reporting inst [| 2; 5 |] then "result-equal"
+     else "MISMATCH");
+  Printf.printf "  Lemma 8 delta(k=2, eps=0.1) = %.4f\n"
+    (Kwsc.Hardness.lemma8_delta ~k:2 ~eps:0.1)
+
+let b1 () =
+  H.header "B1  Naive baselines vs transformed index (Section 1 motivation)"
+    "both naive methods examine Theta(N) candidates at OUT=0; the index stays sublinear; at OUT=Theta(N) all are Omega(OUT)";
+  Printf.printf "-- OUT = 0 (poison workload, d=2, k=2) --\n";
+  List.iter
+    (fun n ->
+      let rng = Prng.create (9900 + n) in
+      let objs, q, kws = H.poison_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 in
+      let b = Kwsc.Baseline.build objs in
+      let orp = Kwsc.Orp_kw.build ~k:2 objs in
+      let _, ex_s = Kwsc.Baseline.rect_structured b q kws in
+      let _, ex_k = Kwsc.Baseline.rect_keywords b q kws in
+      let _, st = Kwsc.Orp_kw.query_stats orp q kws in
+      Printf.printf "  N=%7d  structured=%7d  keywords=%7d  transformed=%6d  -> %s wins\n"
+        (Kwsc.Orp_kw.input_size orp) ex_s ex_k (Kwsc.Stats.work st)
+        (if Kwsc.Stats.work st < min ex_s ex_k then "transformed" else "baseline");
+      assert (Kwsc.Stats.work st < min ex_s ex_k))
+    (H.n_sweep ~base:4096);
+  Printf.printf "-- worst case (threshold workload): sublinear vs the keyword baseline --\n";
+  List.iter
+    (fun m ->
+      let rng = Prng.create (9950 + m) in
+      let objs, kws = H.threshold_workload ~rng ~m ~k:2 ~d:2 ~range:1000.0 in
+      let b = Kwsc.Baseline.build objs in
+      let orp = Kwsc.Orp_kw.build ~k:2 objs in
+      let _, ex_k = Kwsc.Baseline.rect_keywords b (Rect.full 2) kws in
+      let _, st = Kwsc.Orp_kw.query_stats orp (Rect.full 2) kws in
+      Printf.printf "  N=%7d  keywords-baseline=%7d  transformed=%7d\n"
+        (Kwsc.Orp_kw.input_size orp) ex_k (Kwsc.Stats.work st))
+    (H.n_sweep ~base:4096);
+  Printf.printf "-- crossover: growing OUT at fixed N --\n";
+  let n = if !H.quick then 8192 else 16384 in
+  List.iter
+    (fun frac ->
+      let rng = Prng.create 99999 in
+      let objs, q, kws = H.overlap_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 ~frac in
+      let b = Kwsc.Baseline.build objs in
+      let orp = Kwsc.Orp_kw.build ~k:2 objs in
+      let ids, st = Kwsc.Orp_kw.query_stats orp q kws in
+      let _, ex_k = Kwsc.Baseline.rect_keywords b q kws in
+      Printf.printf "  OUT=%6d  keywords-baseline=%7d  transformed=%7d  ratio=%.2f\n"
+        (Array.length ids) ex_k (Kwsc.Stats.work st)
+        (float_of_int (Kwsc.Stats.work st) /. float_of_int (max 1 ex_k)))
+    [ 0.0; 0.1; 0.5; 1.0 ]
+
+let a1 () =
+  H.header "A1  Ablation: the large/small threshold exponent (Section 3.2)"
+    "tau = 1 - 1/k balances scan work against bit-array space; the extremes lose on one axis";
+  let m = if !H.quick then 8192 else 32768 in
+  let rng = Prng.create 10001 in
+  (* threshold structure plus a wide filler vocabulary *)
+  let f = max 1 (int_of_float (sqrt (float_of_int m)) - 1) in
+  let docs =
+    Array.init m (fun i ->
+        if i < 2 * f then Doc.of_list [ 1 + (i / f) ] else Doc.of_list [ 3 + (i mod 500) ])
+  in
+  ignore rng;
+  Printf.printf "  %-10s %12s %14s %12s\n" "tau" "query work" "bitset words" "total words";
+  List.iter
+    (fun tau ->
+      let t = Kwsc.Ksi.of_docs ~tau_exponent:tau ~k:2 docs in
+      let _, st = Kwsc.Ksi.query_stats t [| 1; 2 |] in
+      let sp = Kwsc.Ksi.space_stats t in
+      Printf.printf "  %-10.2f %12d %14d %12d%s\n" tau (Kwsc.Stats.work st)
+        sp.Kwsc.Stats.bitset_words sp.Kwsc.Stats.total_words
+        (if tau = 0.5 then "   <- paper's 1 - 1/k" else ""))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+let a2 () =
+  H.header "A2  Ablation: the child-emptiness bit arrays (Section 3.2)"
+    "without the bits, disjoint-keyword probes degrade from O(1)-per-node pruning to tree walks";
+  let s = if !H.quick then 2048 else 8192 in
+  (* eight pairwise-disjoint keywords, supports interleaved by object id so
+     that every subtree keeps seeing both query keywords *)
+  let docs = Array.init (8 * s) (fun i -> Doc.of_list [ 1 + (i mod 8) ]) in
+  Printf.printf "  %-12s %12s %14s\n" "bits" "probe work" "bitset words";
+  List.iter
+    (fun use_bits ->
+      let t = Kwsc.Ksi.of_docs ~use_bits ~k:2 docs in
+      let _, st = Kwsc.Ksi.query_stats ~limit:1 t [| 1; 5 |] in
+      let sp = Kwsc.Ksi.space_stats t in
+      Printf.printf "  %-12s %12d %14d\n"
+        (if use_bits then "on" else "off")
+        (Kwsc.Stats.work st) sp.Kwsc.Stats.bitset_words)
+    [ true; false ];
+  Printf.printf "-- leaf_weight sensitivity (threshold workload, k=2) --\n";
+  let m = if !H.quick then 8192 else 16384 in
+  List.iter
+    (fun lw ->
+      let rng = Prng.create 10003 in
+      let objs, kws = H.threshold_workload ~rng ~m ~k:2 ~d:2 ~range:1000.0 in
+      let t = Kwsc.Orp_kw.build ~leaf_weight:lw ~k:2 objs in
+      let _, st = Kwsc.Orp_kw.query_stats t (Rect.full 2) kws in
+      let sp = Kwsc.Orp_kw.space_stats t in
+      Printf.printf "  leaf_weight=%4d  work=%6d  nodes=%7d  words=%8d\n" lw
+        (Kwsc.Stats.work st) sp.Kwsc.Stats.nodes sp.Kwsc.Stats.total_words)
+    [ 1; 4; 16; 64 ]
+
+let dyn () =
+  H.header "DYN  Extension: Bentley-Saxe dynamization of ORP-KW"
+    "decomposability gives inserts/deletes at an O(log n) query overhead (beyond the paper)";
+  let n = if !H.quick then 4096 else 16384 in
+  let rng = Prng.create 11001 in
+  let objs, _, kws = H.poison_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 in
+  (* build dynamically and statically over the same objects *)
+  let dyn = Kwsc.Dynamic.create ~k:2 ~d:2 () in
+  let _, insert_time =
+    Kwsc_util.Timer.time (fun () -> Array.iter (fun o -> ignore (Kwsc.Dynamic.insert dyn o)) objs)
+  in
+  let static = Kwsc.Orp_kw.build ~k:2 objs in
+  let qs = poison_queries ~rng ~d:2 ~range:1000.0 ~count:20 in
+  let _, t_dyn =
+    H.measure_queries (Array.map (fun q () -> Array.length (Kwsc.Dynamic.query dyn q kws)) qs)
+  in
+  let _, t_static =
+    H.measure_queries (Array.map (fun q () -> Array.length (Kwsc.Orp_kw.query static q kws)) qs)
+  in
+  Printf.printf "  %d inserts in %.2fs (%.1fus each); buckets now: [%s]\n" n insert_time
+    (insert_time /. float_of_int n *. 1e6)
+    (String.concat "; " (List.map string_of_int (Kwsc.Dynamic.buckets dyn)));
+  Printf.printf "  query: dynamic %.1fus vs static %.1fus (x%.1f overhead; theory O(log n))\n"
+    (t_dyn *. 1e6) (t_static *. 1e6) (t_dyn /. Float.max 1e-9 t_static);
+  (* deletions: remove half, answers must shrink accordingly *)
+  let victims = Array.init (n / 2) (fun i -> 2 * i) in
+  let _, delete_time =
+    Kwsc_util.Timer.time (fun () -> Array.iter (Kwsc.Dynamic.delete dyn) victims)
+  in
+  Printf.printf "  %d deletes in %.2fs; size now %d\n" (n / 2) delete_time (Kwsc.Dynamic.size dyn)
+
+let w1 () =
+  H.header "W1  Robustness: correlated spatial-keyword data"
+    "real geo-text corpora cluster keywords with locations; sublinearity must survive correlation";
+  let n = if !H.quick then 8192 else 16384 in
+  List.iter
+    (fun correlation ->
+      let rng = Prng.create (12000 + int_of_float (correlation *. 100.0)) in
+      let objs =
+        Kwsc_workload.Gen.topical ~rng ~n ~d:2 ~topics:16 ~vocab_per_topic:12 ~correlation
+          ~range:1000.0
+      in
+      let t = Kwsc.Orp_kw.build ~k:2 objs in
+      let inv = Kwsc_invindex.Inverted.build (Array.map snd objs) in
+      (* query two keywords of one topic over another topic's region *)
+      let works = ref [] and outs = ref [] in
+      for trial = 1 to 20 do
+        let topic = trial mod 16 in
+        let w1 = (topic * 12) + 1 and w2 = (topic * 12) + 2 in
+        if Kwsc_invindex.Inverted.frequency inv w1 > 0 && Kwsc_invindex.Inverted.frequency inv w2 > 0
+        then begin
+          let q = H.rect_of_trial rng in
+          let ids, st = Kwsc.Orp_kw.query_stats t q [| w1; w2 |] in
+          works := float_of_int (Kwsc.Stats.work st) :: !works;
+          outs := Array.length ids :: !outs
+        end
+      done;
+      let med = Kwsc_util.Stats.median (Array.of_list !works) in
+      let avg_out =
+        float_of_int (List.fold_left ( + ) 0 !outs) /. float_of_int (max 1 (List.length !outs))
+      in
+      Printf.printf "  correlation=%.2f  median work=%7.0f  avg OUT=%5.1f  (N=%d)\n" correlation
+        med avg_out (Kwsc.Orp_kw.input_size t);
+      assert (med < float_of_int (Kwsc.Orp_kw.input_size t) /. 4.0))
+    [ 0.0; 0.5; 0.9; 1.0 ]
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("T1.1", "ORP-KW d<=2 (Theorem 1)", t1_1);
+    ("T1.2", "ORP-KW d>=3 (Theorem 2)", t1_2);
+    ("T1.3", "ORP-KW via LC-KW d<=k (Theorem 5)", t1_3);
+    ("T1.4", "RR-KW (Corollary 3)", t1_4);
+    ("T1.5", "Linf-NN-KW (Corollary 4)", t1_5);
+    ("T1.6", "LC-KW d<=k (Theorem 5)", t1_6);
+    ("T1.7", "LC-KW d>k (Theorem 5)", t1_7);
+    ("T1.8", "SRP-KW d<=k-1 (Corollary 6)", t1_8);
+    ("T1.9", "SRP-KW d>k-1 (Corollary 6)", t1_9);
+    ("T1.10", "L2-NN-KW d<=k-1 (Corollary 7)", t1_10);
+    ("T1.11", "L2-NN-KW d>k (Corollary 7)", t1_11);
+    ("F1", "Figure 1 / Lemmas 9-10: crossing sensitivity", f1);
+    ("F2", "Figure 2 / Propositions 1-3: dimred tree shape", f2);
+    ("H1", "Hardness machinery (Section 1.2)", h1);
+    ("B1", "Naive baselines vs transformed index", b1);
+    ("A1", "Ablation: large/small threshold", a1);
+    ("A2", "Ablation: emptiness bits, leaf weight", a2);
+    ("DYN", "Extension: dynamization (Bentley-Saxe)", dyn);
+    ("W1", "Robustness: correlated geo-text workload", w1);
+  ]

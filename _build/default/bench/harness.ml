@@ -1,0 +1,146 @@
+(* Shared machinery for the experiment harness: controlled workloads,
+   work/time measurement, exponent fits, table printing. *)
+
+module Prng = Kwsc_util.Prng
+module Doc = Kwsc_invindex.Doc
+
+let quick = ref false
+
+let fmt_exp = Printf.sprintf "%.3f"
+
+let header title paper_claim =
+  Printf.printf "\n==== %s ====\n" title;
+  Printf.printf "paper: %s\n" paper_claim
+
+let row fmt = Printf.printf fmt
+
+let verdict ~label ~measured ~target ~tolerance =
+  let ok = abs_float (measured -. target) <= tolerance in
+  Printf.printf "  -> %s: measured %.3f vs paper %.3f (tolerance %.2f) %s\n" label measured target
+    tolerance
+    (if ok then "[shape OK]" else "[DEVIATES]")
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* OUT = 0 regime of Section 1: half the objects carry all query keywords
+   but live outside the query region; the other half live inside it without
+   the keywords. Returns (objects, query rectangle, keywords). *)
+let poison_workload ~rng ~n ~d ~k ~range =
+  let kws = Array.init k (fun i -> i + 1) in
+  let objs, q = Kwsc_workload.Gen.poison ~rng ~n ~d ~range ~kws in
+  (objs, q, kws)
+
+(* Controlled-output regime: a fraction [frac] of the keyword-bearing
+   objects is moved inside the query rectangle, so OUT ~ frac * n/2. *)
+let overlap_workload ~rng ~n ~d ~k ~range ~frac =
+  let kws = Array.init k (fun i -> i + 1) in
+  let objs, q = Kwsc_workload.Gen.poison ~rng ~n ~d ~range ~kws in
+  let half = range /. 2.0 in
+  let moved =
+    Array.map
+      (fun ((p, doc) as obj) ->
+        if Doc.mem_all doc kws && Prng.float rng 1.0 < frac then
+          (Array.map (fun _ -> Prng.float rng (half -. 2.0)) p, doc)
+        else obj)
+      objs
+  in
+  (moved, q, kws)
+
+(* Zipfian general-purpose dataset. *)
+let zipf_objs ~rng ~n ~d ~vocab ~range =
+  let pts = Kwsc_workload.Gen.points_uniform ~rng ~n ~d ~range in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n ~vocab ~theta:0.9 ~len_min:1 ~len_max:6 in
+  Array.init n (fun i -> (pts.(i), docs.(i)))
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Median work (objects/nodes examined) and wall time over [queries]. *)
+let measure_queries queries =
+  let works = Array.map (fun f -> float_of_int (f ())) queries in
+  let _, elapsed = Kwsc_util.Timer.time (fun () -> Array.iter (fun f -> ignore (f ())) queries) in
+  (Kwsc_util.Stats.median works, elapsed /. float_of_int (Array.length queries))
+
+let n_sweep ~base = if !quick then [ base; base * 2; base * 4 ] else [ base; base * 2; base * 4; base * 8 ]
+
+let fit_and_print ~label ~target ~tolerance pts =
+  let e = Kwsc_util.Stats.fit_exponent pts in
+  verdict ~label ~measured:e ~target ~tolerance;
+  e
+
+(* Per-N row printer: N, median work, mean time. *)
+let print_scale_row n work time extra =
+  Printf.printf "  N=%7d  work=%9.1f  time=%8.1fus%s\n" n work (time *. 1e6) extra
+
+(* Worst-case OUT = 0 instance: k keywords with pairwise-disjoint supports,
+   each of frequency just below the root large-threshold N^(1-1/k), so the
+   query must scan one whole materialized list — the tight regime of the
+   strong k-set-disjointness conjecture. All documents have size 1, hence
+   N = m. *)
+let threshold_workload ~rng ~m ~k ~d ~range =
+  let f = max 1 (int_of_float (float_of_int m ** (1.0 -. (1.0 /. float_of_int k))) - 1) in
+  let objs =
+    Array.init m (fun i ->
+        let doc =
+          if i < k * f then Doc.of_list [ 1 + (i / f) ]
+          else Doc.of_list [ k + 1 + (i mod 50) ]
+        in
+        (Array.init d (fun _ -> Prng.float rng range), doc))
+  in
+  (objs, Array.init k (fun i -> i + 1))
+
+(* Every document contains both query keywords (plus filler), so keyword
+   pruning never fires and a query's cost is purely the geometric
+   crossing structure — the measurement for Lemmas 9-10 and the
+   d > k geometric terms. *)
+let covered_workload ~rng ~n ~d ~range =
+  let objs =
+    Array.init n (fun i ->
+        ( Array.init d (fun _ -> Prng.float rng range),
+          Doc.of_list [ 1; 2; 3 + (i mod 40) ] ))
+  in
+  (objs, [| 1; 2 |])
+
+(* Validate an upper bound: every (n, out, work) row must satisfy
+   work <= c * bound n out for a modest constant c. *)
+let check_bound ~label ~bound ~max_ratio rows =
+  let worst = ref 0.0 in
+  List.iter
+    (fun (n, out, work) ->
+      let b = bound n out in
+      let r = work /. b in
+      if r > !worst then worst := r;
+      Printf.printf "  N=%7d OUT=%6d work=%9.0f bound=%9.0f ratio=%.3f\n" n out work b r)
+    rows;
+  Printf.printf "  -> %s: worst work/bound ratio %.3f (must stay <= %.1f) %s\n" label !worst
+    max_ratio
+    (if !worst <= max_ratio then "[bound holds]" else "[BOUND VIOLATED]")
+
+(* Threshold workload variant with a guaranteed small intersection: all k
+   keywords stay just below the large threshold, and [shared] extra objects
+   contain all of them — the worst-case regime for the NN probes of
+   Corollaries 4 and 7. *)
+let threshold_nn_workload ~rng ~m ~k ~d ~range ~shared =
+  let f =
+    max 1 (int_of_float (float_of_int m ** (1.0 -. (1.0 /. float_of_int k))) - shared - 2)
+  in
+  let all = List.init k (fun i -> i + 1) in
+  let objs =
+    Array.init m (fun i ->
+        let doc =
+          if i < shared then Doc.of_list all
+          else if i < shared + (k * f) then Doc.of_list [ 1 + ((i - shared) / f) ]
+          else Doc.of_list [ k + 1 + (i mod 50) ]
+        in
+        (Array.init d (fun _ -> Prng.float rng range), doc))
+  in
+  (objs, Array.of_list all)
+
+
+(* A mid-size random query rectangle in [0, 1000]^2. *)
+let rect_of_trial rng =
+  let a = Array.init 2 (fun _ -> Prng.float rng 800.0) in
+  Kwsc_geom.Rect.make a (Array.map (fun x -> x +. 100.0 +. Prng.float rng 100.0) a)

@@ -1,0 +1,54 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 -- every experiment + micro
+     dune exec bench/main.exe -- --quick      -- smaller sweeps
+     dune exec bench/main.exe -- --only T1.1  -- one experiment
+     dune exec bench/main.exe -- --no-micro   -- skip Bechamel section
+
+   Each experiment regenerates one Table-1 row or figure of the paper
+   (DESIGN.md section 3 maps ids to paper artifacts; EXPERIMENTS.md records
+   paper-vs-measured). *)
+
+let () =
+  let only = ref None and micro = ref true in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        Harness.quick := true;
+        parse rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        parse rest
+    | "--only" :: id :: rest ->
+        only := Some id;
+        parse rest
+    | "--help" :: _ ->
+        print_endline "options: [--quick] [--no-micro] [--only EXPID]";
+        print_endline "experiment ids:";
+        List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) Experiments.all;
+        exit 0
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl args);
+  let selected =
+    match !only with
+    | None -> Experiments.all
+    | Some id -> (
+        match List.filter (fun (i, _, _) -> i = id) Experiments.all with
+        | [] ->
+            Printf.eprintf "unknown experiment id %s (try --help)\n" id;
+            exit 1
+        | l -> l)
+  in
+  Printf.printf "kwsc benchmark harness (%s mode, %d experiments)\n"
+    (if !Harness.quick then "quick" else "full")
+    (List.length selected);
+  List.iter
+    (fun (id, _, fn) ->
+      let _, elapsed = Kwsc_util.Timer.time fn in
+      Printf.printf "[%s done in %.1fs]\n" id elapsed)
+    selected;
+  if !micro && !only = None then Micro.run ();
+  print_endline "\nAll experiments completed."

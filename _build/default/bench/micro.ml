@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks: one Test.make per Table-1 row, measuring the
+   steady-state latency of a single representative query on a fixed
+   mid-size instance (the scaling story lives in Experiments; this pins the
+   absolute per-query cost). *)
+
+open Bechamel
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+module H = Harness
+
+let n_micro () = if !H.quick then 2048 else 8192
+
+let tests () =
+  let n = n_micro () in
+  let rng = Prng.create 31415 in
+  let objs2, q2, kws2 = H.poison_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 in
+  let objs3, q3, kws3 = H.poison_workload ~rng ~n ~d:3 ~k:2 ~range:1000.0 in
+  let orp = Kwsc.Orp_kw.build ~k:2 objs2 in
+  let dimred = Kwsc.Dimred.build ~k:2 objs3 in
+  let lc = Kwsc.Lc_kw.build ~k:2 objs2 in
+  let srp = Kwsc.Srp_kw.build ~k:2 objs2 in
+  let sphere = Sphere.make [| 200.0; 200.0 |] 120.0 in
+  let rects =
+    Array.init (n / 2) (fun i ->
+        let (p, doc) = objs2.(i) in
+        (Rect.make p (Array.map (fun x -> x +. 5.0) p), doc))
+  in
+  let rr = Kwsc.Rr_kw.build ~k:2 rects in
+  let nn_objs = Array.init n (fun i ->
+      let p = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+      let doc =
+        if i mod 2 = 0 then Kwsc_invindex.Doc.of_list [ 1; 2 ]
+        else Kwsc_invindex.Doc.of_list [ 3 ]
+      in
+      (p, doc))
+  in
+  let linf = Kwsc.Linf_nn_kw.build ~k:2 nn_objs in
+  let ipts = Kwsc_workload.Gen.points_int ~rng ~n ~d:2 ~max_coord:1023 in
+  let iobjs = Array.init n (fun i -> (ipts.(i), snd nn_objs.(i))) in
+  let l2 = Kwsc.L2_nn_kw.build ~k:2 iobjs in
+  let ksi_docs = Array.map snd objs2 in
+  let ksi = Kwsc.Ksi.of_docs ~k:2 ksi_docs in
+  let hs = List.filteri (fun i _ -> i < 2) (Halfspace.of_rect q2) in
+  [
+    Test.make ~name:"T1.1 orp-kw d=2 rect query"
+      (Staged.stage (fun () -> Kwsc.Orp_kw.query orp q2 kws2));
+    Test.make ~name:"T1.2 dimred d=3 rect query"
+      (Staged.stage (fun () -> Kwsc.Dimred.query dimred q3 kws3));
+    Test.make ~name:"T1.3 lc-kw rect-as-constraints"
+      (Staged.stage (fun () -> Kwsc.Lc_kw.query_rect lc q2 kws2));
+    Test.make ~name:"T1.4 rr-kw rect-intersection query"
+      (Staged.stage (fun () -> Kwsc.Rr_kw.query rr q2 kws2));
+    Test.make ~name:"T1.5 linf-nn t=8"
+      (Staged.stage (fun () -> Kwsc.Linf_nn_kw.query linf [| 500.0; 500.0 |] ~t':8 [| 1; 2 |]));
+    Test.make ~name:"T1.6 lc-kw two constraints"
+      (Staged.stage (fun () -> Kwsc.Lc_kw.query lc hs kws2));
+    Test.make ~name:"T1.8 srp-kw sphere query"
+      (Staged.stage (fun () -> Kwsc.Srp_kw.query srp sphere kws2));
+    Test.make ~name:"T1.10 l2-nn t=8"
+      (Staged.stage (fun () -> Kwsc.L2_nn_kw.query l2 [| 512.0; 512.0 |] ~t':8 [| 1; 2 |]));
+    Test.make ~name:"H1 ksi emptiness probe"
+      (Staged.stage (fun () -> Kwsc.Ksi.query ~limit:1 ksi kws2));
+  ]
+
+let run () =
+  Printf.printf "\n==== Bechamel micro-benchmarks (N ~ %d per structure) ====\n" (n_micro ());
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"kwsc" (tests ())) in
+  let res = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) res [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "  %-42s %12.1f ns/query\n" name est
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    (List.sort compare rows)

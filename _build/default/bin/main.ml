@@ -1,0 +1,206 @@
+(* kwsc: command-line front end.
+
+   Subcommands:
+     generate    synthesize a dataset and write it to a file
+     rect        ORP-KW query (Theorem 1)
+     halfspace   LC-KW query (Theorem 5)
+     sphere      SRP-KW query (Corollary 6)
+     nn          L-infinity / L2 nearest-neighbor query (Corollaries 4, 7)
+     info        index statistics (space accounting)
+
+   Datasets are the plain-text format of {!Kwsc_workload.Csv_io}: one object
+   per line, "x1,x2|kw1;kw2;kw3". *)
+
+open Cmdliner
+open Kwsc_geom
+
+let man_footer =
+  [
+    `S Manpage.s_see_also;
+    `P "Lu & Tao, Indexing for Keyword Search with Structured Constraints, PODS 2023.";
+  ]
+
+(* ---- shared arguments ---------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Dataset file (see kwsc generate).")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Number of query keywords the index is built for (>= 2).")
+
+let kw_arg =
+  Arg.(
+    required
+    & opt (some (list int)) None
+    & info [ "kw"; "keywords" ] ~docv:"W1,W2,..." ~doc:"Query keywords (exactly K distinct integers).")
+
+let floats_arg names docv doc =
+  Arg.(required & opt (some (list float)) None & info names ~docv ~doc)
+
+let load_objects path =
+  let objs = Kwsc_workload.Csv_io.load path in
+  if Array.length objs = 0 then failwith "dataset is empty";
+  objs
+
+let print_results objs ids =
+  Printf.printf "%d objects:\n" (Array.length ids);
+  Array.iter
+    (fun id ->
+      let p, doc = objs.(id) in
+      Printf.printf "  #%d  %s  {%s}\n" id (Point.to_string p)
+        (String.concat ";"
+           (List.map string_of_int (Array.to_list (Kwsc_invindex.Doc.to_array doc)))))
+    ids
+
+let print_query_stats (st : Kwsc.Stats.query) =
+  Printf.printf
+    "stats: nodes=%d covered=%d crossing=%d pivot_checked=%d small_scanned=%d reported=%d\n"
+    st.Kwsc.Stats.nodes_visited st.Kwsc.Stats.covered_nodes st.Kwsc.Stats.crossing_nodes
+    st.Kwsc.Stats.pivot_checked st.Kwsc.Stats.small_scanned st.Kwsc.Stats.reported
+
+(* ---- generate ------------------------------------------------------- *)
+
+let generate n d vocab theta len_min len_max seed range out =
+  let rng = Kwsc_util.Prng.create seed in
+  let pts = Kwsc_workload.Gen.points_uniform ~rng ~n ~d ~range in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n ~vocab ~theta ~len_min ~len_max in
+  let objs = Array.init n (fun i -> (pts.(i), docs.(i))) in
+  Kwsc_workload.Csv_io.save out objs;
+  Printf.printf "wrote %d objects (d=%d, vocab=%d, theta=%g) to %s\n" n d vocab theta out
+
+let generate_cmd =
+  let n = Arg.(value & opt int 10000 & info [ "n" ] ~doc:"Number of objects.") in
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Dimensionality.") in
+  let vocab = Arg.(value & opt int 100 & info [ "vocab" ] ~doc:"Vocabulary size.") in
+  let theta = Arg.(value & opt float 0.9 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform).") in
+  let len_min = Arg.(value & opt int 1 & info [ "len-min" ] ~doc:"Min document size.") in
+  let len_max = Arg.(value & opt int 6 & info [ "len-max" ] ~doc:"Max document size.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let range = Arg.(value & opt float 1000.0 & info [ "range" ] ~doc:"Coordinate range.") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a Zipf-keyword dataset" ~man:man_footer)
+    Term.(const generate $ n $ d $ vocab $ theta $ len_min $ len_max $ seed $ range $ out)
+
+(* ---- rect ----------------------------------------------------------- *)
+
+let rect input k lo hi kws stats =
+  let objs = load_objects input in
+  let t = Kwsc.Orp_kw.build ~k objs in
+  let q = Rect.make (Array.of_list lo) (Array.of_list hi) in
+  let ids, st = Kwsc.Orp_kw.query_stats t q (Array.of_list kws) in
+  print_results objs ids;
+  if stats then print_query_stats st
+
+let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query instrumentation.")
+
+let rect_cmd =
+  let lo = floats_arg [ "lo" ] "X1,X2,..." "Lower corner of the query rectangle." in
+  let hi = floats_arg [ "hi" ] "Y1,Y2,..." "Upper corner of the query rectangle." in
+  Cmd.v
+    (Cmd.info "rect" ~doc:"ORP-KW: rectangle + keywords (Theorem 1)" ~man:man_footer)
+    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag)
+
+(* ---- halfspace ------------------------------------------------------ *)
+
+let halfspace input k coeffs bound kws stats =
+  let objs = load_objects input in
+  let t = Kwsc.Lc_kw.build ~k objs in
+  let h = Halfspace.make (Array.of_list coeffs) bound in
+  let ids, st = Kwsc.Lc_kw.query_stats t [ h ] (Array.of_list kws) in
+  print_results objs ids;
+  if stats then print_query_stats st
+
+let halfspace_cmd =
+  let coeffs = floats_arg [ "coeffs" ] "C1,C2,..." "Constraint coefficients." in
+  let bound =
+    Arg.(required & opt (some float) None & info [ "bound" ] ~docv:"B" ~doc:"Constraint bound (c . x <= B).")
+  in
+  Cmd.v
+    (Cmd.info "halfspace" ~doc:"LC-KW: linear constraint + keywords (Theorem 5)" ~man:man_footer)
+    Term.(const halfspace $ input_arg $ k_arg $ coeffs $ bound $ kw_arg $ stats_flag)
+
+(* ---- sphere --------------------------------------------------------- *)
+
+let sphere input k center radius kws stats =
+  let objs = load_objects input in
+  let t = Kwsc.Srp_kw.build ~k objs in
+  let s = Sphere.make (Array.of_list center) radius in
+  let ids, st = Kwsc.Srp_kw.query_stats t s (Array.of_list kws) in
+  print_results objs ids;
+  if stats then print_query_stats st
+
+let sphere_cmd =
+  let center = floats_arg [ "center" ] "X1,X2,..." "Sphere center." in
+  let radius =
+    Arg.(required & opt (some float) None & info [ "radius" ] ~docv:"R" ~doc:"Sphere radius.")
+  in
+  Cmd.v
+    (Cmd.info "sphere" ~doc:"SRP-KW: sphere + keywords (Corollary 6)" ~man:man_footer)
+    Term.(const sphere $ input_arg $ k_arg $ center $ radius $ kw_arg $ stats_flag)
+
+(* ---- nn ------------------------------------------------------------- *)
+
+let nn input k metric point t' kws =
+  let objs = load_objects input in
+  let q = Array.of_list point in
+  let ws = Array.of_list kws in
+  let results =
+    match metric with
+    | `Linf ->
+        let t = Kwsc.Linf_nn_kw.build ~k objs in
+        Kwsc.Linf_nn_kw.query t q ~t' ws
+    | `L2 ->
+        let t = Kwsc.L2_nn_kw.build ~k objs in
+        Kwsc.L2_nn_kw.query t q ~t' ws
+  in
+  Printf.printf "%d nearest matching objects:\n" (Array.length results);
+  Array.iter
+    (fun (id, dist) ->
+      let p, _ = objs.(id) in
+      Printf.printf "  #%d  %s  dist=%g\n" id (Point.to_string p) dist)
+    results
+
+let nn_cmd =
+  let metric =
+    Arg.(
+      value
+      & opt (enum [ ("linf", `Linf); ("l2", `L2) ]) `Linf
+      & info [ "metric" ] ~docv:"METRIC" ~doc:"linf (Corollary 4) or l2 (Corollary 7, integer coordinates).")
+  in
+  let point = floats_arg [ "point" ] "X1,X2,..." "Query point." in
+  let t' = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Number of neighbors.") in
+  Cmd.v
+    (Cmd.info "nn" ~doc:"Nearest neighbors + keywords (Corollaries 4 and 7)" ~man:man_footer)
+    Term.(const nn $ input_arg $ k_arg $ metric $ point $ t' $ kw_arg)
+
+(* ---- info ----------------------------------------------------------- *)
+
+let info_cmd_impl input k =
+  let objs = load_objects input in
+  let t = Kwsc.Orp_kw.build ~k objs in
+  let s = Kwsc.Orp_kw.space_stats t in
+  Printf.printf "objects: %d\ninput size N: %d\nindex (kd transform, k=%d):\n  %s\n"
+    (Array.length objs) (Kwsc.Orp_kw.input_size t) k
+    (Format.asprintf "%a" Kwsc.Stats.pp_space s);
+  Printf.printf "  words per input word: %.2f\n"
+    (float_of_int s.Kwsc.Stats.total_words /. float_of_int (Kwsc.Orp_kw.input_size t))
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Build the ORP-KW index and print space accounting" ~man:man_footer)
+    Term.(const info_cmd_impl $ input_arg $ k_arg)
+
+(* ---- main ----------------------------------------------------------- *)
+
+let () =
+  let doc = "Indexes for keyword search with structured constraints (PODS 2023 reproduction)" in
+  let info = Cmd.info "kwsc" ~version:"1.0.0" ~doc ~man:man_footer in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; rect_cmd; halfspace_cmd; sphere_cmd; nn_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/geo_search.ml: Array Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload List Printf Sphere String

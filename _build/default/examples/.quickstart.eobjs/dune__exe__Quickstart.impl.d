@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Halfspace Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload List Printf Rect String

@@ -1,0 +1,1 @@
+examples/set_intersection.ml: Array Kwsc Kwsc_invindex Kwsc_util Kwsc_workload List Printf

@@ -1,0 +1,1 @@
+examples/streaming_updates.ml: Array Kwsc Kwsc_geom Kwsc_util Kwsc_workload List Printf Rect String

@@ -1,0 +1,1 @@
+examples/temporal_search.ml: Array Kwsc Kwsc_geom Kwsc_invindex Kwsc_util List Printf Rect String

@@ -1,0 +1,50 @@
+(* Geographic keyword search: "find hotels within 1km of an address with the
+   requested amenities" (SRP-KW, Corollary 6) and "the t nearest matching
+   hotels" (L∞NN-KW / L2NN-KW, Corollaries 4 and 7). *)
+
+open Kwsc_geom
+module Hotels = Kwsc_workload.Hotels
+module Prng = Kwsc_util.Prng
+
+let () =
+  let rng = Prng.create 99 in
+  let n = 8000 in
+  (* city-like clustered coordinates in a 20km x 20km grid (meters) *)
+  let pts =
+    Kwsc_workload.Gen.points_clustered ~rng ~n ~d:2 ~clusters:12 ~spread:1500.0 ~range:20000.0
+  in
+  let hotels = Hotels.generate ~rng ~n in
+  let objs = Array.init n (fun i -> (pts.(i), hotels.(i).Hotels.features)) in
+  let kws = [| Hotels.tag_id "pool"; Hotels.tag_id "wifi" |] in
+  Printf.printf "Indexed %d hotels with clustered coordinates.\n" n;
+  Printf.printf "Amenities wanted: pool, wifi (k = 2)\n\n";
+
+  (* --- boolean range query with keywords (SRP-KW) --------------------- *)
+  let srp = Kwsc.Srp_kw.build ~k:2 objs in
+  let address = [| 10000.0; 10000.0 |] in
+  List.iter
+    (fun radius ->
+      let ids = Kwsc.Srp_kw.query srp (Sphere.make address radius) kws in
+      Printf.printf "within %5.0fm of the address: %4d matching hotels\n" radius
+        (Array.length ids))
+    [ 500.0; 1000.0; 2000.0; 5000.0 ];
+
+  (* --- t nearest matching hotels under L-infinity --------------------- *)
+  let nn = Kwsc.Linf_nn_kw.build ~k:2 objs in
+  let top, probes = Kwsc.Linf_nn_kw.query_count nn address ~t':5 kws in
+  Printf.printf "\n5 nearest (L-infinity) matching hotels (%d index probes):\n" probes;
+  Array.iter
+    (fun (id, dist) ->
+      Printf.printf "  %s at %.0fm  [%s]\n" hotels.(id).Hotels.name dist
+        (String.concat ", "
+           (List.map Hotels.tag_name
+              (Array.to_list (Kwsc_invindex.Doc.to_array hotels.(id).Hotels.features)))))
+    top;
+
+  (* --- exact Euclidean t-NN on integer coordinates (Corollary 7) ------ *)
+  let ipts = Kwsc_workload.Gen.points_int ~rng ~n ~d:2 ~max_coord:20000 in
+  let iobjs = Array.init n (fun i -> (ipts.(i), hotels.(i).Hotels.features)) in
+  let l2 = Kwsc.L2_nn_kw.build ~k:2 iobjs in
+  let top2, probes2 = Kwsc.L2_nn_kw.query_count l2 [| 10000.0; 10000.0 |] ~t':5 kws in
+  Printf.printf "\n5 nearest (Euclidean, integer grid) matching hotels (%d probes):\n" probes2;
+  Array.iter (fun (id, dist) -> Printf.printf "  %s at %.1fm\n" hotels.(id).Hotels.name dist) top2

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Kwsc_geom Kwsc_invindex Kwsc_kdtree Kwsc_ptree List Point Polytope Rect Sphere

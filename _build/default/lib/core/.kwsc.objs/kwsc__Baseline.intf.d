@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Kwsc_geom Kwsc_invindex Point Polytope Rect Sphere

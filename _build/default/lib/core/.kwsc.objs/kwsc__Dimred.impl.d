@@ -1,0 +1,1 @@
+lib/core/dimred.ml: Array Hashtbl Kwsc_geom Kwsc_invindex Kwsc_util List Option Orp_kw Point Rect Stats

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Kwsc_geom Kwsc_invindex List Option Orp_kw Point Rect

@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Kwsc_geom Kwsc_invindex Point Rect

@@ -1,0 +1,1 @@
+lib/core/flex.ml: Array Orp_kw Pad

@@ -1,0 +1,1 @@
+lib/core/flex.mli: Kwsc_geom Kwsc_invindex Point Rect Stats

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Float Kwsc_geom Kwsc_invindex Linf_nn_kw Orp_kw Rect

@@ -1,0 +1,1 @@
+lib/core/hardness.mli: Kwsc_invindex Orp_kw

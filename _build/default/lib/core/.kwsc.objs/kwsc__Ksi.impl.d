@@ -1,0 +1,1 @@
+lib/core/ksi.ml: Array Kwsc_invindex Transform

@@ -1,0 +1,1 @@
+lib/core/ksi.mli: Kwsc_invindex Stats Transform

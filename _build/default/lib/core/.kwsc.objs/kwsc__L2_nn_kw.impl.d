@@ -1,0 +1,1 @@
+lib/core/l2_nn_kw.ml: Array Float Kwsc_geom Point Srp_kw

@@ -1,0 +1,1 @@
+lib/core/l2_nn_kw.mli: Kwsc_geom Kwsc_invindex Point Srp_kw

@@ -1,0 +1,1 @@
+lib/core/lc_kw.ml: Array Halfspace Kwsc_geom Kwsc_util List Polytope Rect Sp_kw

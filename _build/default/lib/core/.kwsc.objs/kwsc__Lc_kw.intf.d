@@ -1,0 +1,1 @@
+lib/core/lc_kw.mli: Halfspace Kwsc_geom Kwsc_invindex Point Rect Sp_kw Stats

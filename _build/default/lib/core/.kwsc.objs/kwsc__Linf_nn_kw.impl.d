@@ -1,0 +1,1 @@
+lib/core/linf_nn_kw.ml: Array Dimred Kwsc_geom Kwsc_util Orp_kw Point Rect

@@ -1,0 +1,1 @@
+lib/core/linf_nn_kw.mli: Kwsc_geom Kwsc_invindex Point

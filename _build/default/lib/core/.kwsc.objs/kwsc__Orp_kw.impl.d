@@ -1,0 +1,1 @@
+lib/core/orp_kw.ml: Array Kwsc_geom Kwsc_invindex Kwsc_util Printf Rank_space Rect Stats Transform

@@ -1,0 +1,1 @@
+lib/core/orp_kw.mli: Kwsc_geom Kwsc_invindex Point Rect Stats Transform

@@ -1,0 +1,1 @@
+lib/core/pad.ml: Array Kwsc_invindex Kwsc_util

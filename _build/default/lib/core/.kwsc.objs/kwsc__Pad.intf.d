@@ -1,0 +1,1 @@
+lib/core/pad.mli: Kwsc_invindex

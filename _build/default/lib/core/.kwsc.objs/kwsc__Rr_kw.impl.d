@@ -1,0 +1,1 @@
+lib/core/rr_kw.ml: Array Dimred Halfspace Kwsc_geom Lc_kw Orp_kw Rect Stats

@@ -1,0 +1,1 @@
+lib/core/rr_kw.mli: Kwsc_geom Kwsc_invindex Rect Stats

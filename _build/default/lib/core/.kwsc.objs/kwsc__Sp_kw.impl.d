@@ -1,0 +1,1 @@
+lib/core/sp_kw.ml: Array Float Halfspace Kwsc_geom Kwsc_invindex Kwsc_util Linalg List Polytope Rect Transform

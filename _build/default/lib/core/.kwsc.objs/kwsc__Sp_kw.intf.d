@@ -1,0 +1,1 @@
+lib/core/sp_kw.mli: Halfspace Kwsc_geom Kwsc_invindex Point Polytope Simplex Stats Transform

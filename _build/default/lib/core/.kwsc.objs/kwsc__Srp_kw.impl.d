@@ -1,0 +1,1 @@
+lib/core/srp_kw.ml: Array Halfspace Kwsc_geom Lift Linalg Polytope Sp_kw Sphere

@@ -1,0 +1,1 @@
+lib/core/srp_kw.mli: Kwsc_geom Kwsc_invindex Point Sphere Stats

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Hashtbl Kwsc_invindex Kwsc_util List Printf Stats

@@ -1,0 +1,109 @@
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+
+type t = {
+  pts : Point.t array;
+  docs : Doc.t array;
+  kd : int Kwsc_kdtree.Kd.t;
+  ptree : int Kwsc_ptree.Ptree.t;
+  inv : Kwsc_invindex.Inverted.t;
+}
+
+let build ?seed objs =
+  if Array.length objs = 0 then invalid_arg "Baseline.build: empty input";
+  let pts = Array.map fst objs and docs = Array.map snd objs in
+  let tagged = Array.mapi (fun i (p, _) -> (p, i)) objs in
+  {
+    pts;
+    docs;
+    kd = Kwsc_kdtree.Kd.build tagged;
+    ptree = Kwsc_ptree.Ptree.build ?seed tagged;
+    inv = Kwsc_invindex.Inverted.build docs;
+  }
+
+let n_objects t = Array.length t.pts
+let input_size t = Kwsc_invindex.Inverted.input_size t.inv
+
+let doc_all t ws id = Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws
+
+let finish ids =
+  let a = Array.of_list ids in
+  Array.sort compare a;
+  a
+
+let structured_filter t candidates ws =
+  let examined = List.length candidates in
+  let hits = List.filter_map (fun (_, id) -> if doc_all t ws id then Some id else None) candidates in
+  (finish hits, examined)
+
+(* The true cost of the keywords-only strategy is the scan of the rarest
+   posting list (that is what the intersection algorithm reads), not the
+   intersection's size. *)
+let keyword_scan_cost t ws =
+  Array.fold_left
+    (fun acc w -> min acc (Kwsc_invindex.Inverted.frequency t.inv w))
+    max_int ws
+
+let keywords_filter t ws matches pred =
+  let examined = keyword_scan_cost t ws in
+  let hits =
+    Array.to_list matches |> List.filter (fun id -> pred t.pts.(id))
+  in
+  (finish hits, examined)
+
+let rect_structured t q ws = structured_filter t (Kwsc_kdtree.Kd.range t.kd q) ws
+let rect_keywords t q ws =
+  keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Rect.contains_point q)
+
+let poly_structured t q ws = structured_filter t (Kwsc_ptree.Ptree.query_polytope t.ptree q) ws
+let poly_keywords t q ws =
+  keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Polytope.mem q)
+
+let sphere_structured t (s : Sphere.t) ws =
+  (* kd range over the bounding box, then exact metric test *)
+  let candidates = Kwsc_kdtree.Kd.range t.kd (Sphere.bounding_rect s) in
+  let examined = List.length candidates in
+  let hits =
+    List.filter_map
+      (fun (p, id) -> if Sphere.contains s p && doc_all t ws id then Some id else None)
+      candidates
+  in
+  (finish hits, examined)
+
+let sphere_keywords t s ws =
+  keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Sphere.contains s)
+
+let by_distance metric t q ids =
+  let dist = match metric with `Linf -> Point.linf_dist | `L2 -> Point.l2_dist in
+  let a = Array.map (fun id -> (id, dist q t.pts.(id))) ids in
+  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) a;
+  a
+
+let nn_structured t ~metric q ~t' ws =
+  if t' < 1 then invalid_arg "Baseline.nn_structured: t must be >= 1";
+  let n = n_objects t in
+  let rec grow batch =
+    let near = Kwsc_kdtree.Kd.nearest t.kd ~metric q batch in
+    let matches = List.filter (fun (_, _, id) -> doc_all t ws id) near in
+    if List.length matches >= t' || batch >= n then (matches, List.length near)
+    else grow (min n (batch * 2))
+  in
+  let matches, examined = grow (max 2 (2 * t')) in
+  let ids = Array.of_list (List.map (fun (_, _, id) -> id) matches) in
+  let sorted = by_distance metric t q ids in
+  (Array.sub sorted 0 (min t' (Array.length sorted)), examined)
+
+let nn_keywords t ~metric q ~t' ws =
+  if t' < 1 then invalid_arg "Baseline.nn_keywords: t must be >= 1";
+  let matches = Kwsc_invindex.Inverted.query t.inv ws in
+  let sorted = by_distance metric t q matches in
+  (Array.sub sorted 0 (min t' (Array.length sorted)), keyword_scan_cost t ws)
+
+let scan_pred t pred ws =
+  let hits = ref [] in
+  Array.iteri
+    (fun id p -> if pred p && doc_all t ws id then hits := id :: !hits)
+    t.pts;
+  finish !hits
+
+let scan t q ws = scan_pred t (Rect.contains_point q) ws

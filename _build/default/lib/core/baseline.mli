@@ -1,0 +1,44 @@
+(** The two naive strategies of Section 1 — the yardsticks every transformed
+    index is measured against.
+
+    - "Structured only": evaluate the geometric predicate with a classical
+      index (kd-tree for rectangles and metric balls, partition tree for
+      linear constraints), then discard candidates missing a keyword.
+    - "Keywords only": intersect inverted lists, then discard candidates
+      failing the geometry.
+
+    Every query returns the result together with the number of candidate
+    objects examined, the quantity whose Θ(N) worst case motivates the
+    paper. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?seed:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+val n_objects : t -> int
+val input_size : t -> int
+
+val rect_structured : t -> Rect.t -> int array -> int array * int
+val rect_keywords : t -> Rect.t -> int array -> int array * int
+
+val poly_structured : t -> Polytope.t -> int array -> int array * int
+val poly_keywords : t -> Polytope.t -> int array -> int array * int
+
+val sphere_structured : t -> Sphere.t -> int array -> int array * int
+val sphere_keywords : t -> Sphere.t -> int array -> int array * int
+
+val nn_structured :
+  t -> metric:[ `Linf | `L2 ] -> Point.t -> t':int -> int array -> (int * float) array * int
+(** Classical NN-then-filter: fetch nearest points in growing batches until
+    [t'] keyword matches are found. *)
+
+val nn_keywords :
+  t -> metric:[ `Linf | `L2 ] -> Point.t -> t':int -> int array -> (int * float) array * int
+(** Posting intersection, then sort the matches by distance. *)
+
+val scan : t -> Rect.t -> int array -> int array
+(** Ground-truth oracle: test every object (used by the test suites). *)
+
+val scan_pred : t -> (Point.t -> bool) -> int array -> int array
+(** Oracle with an arbitrary geometric predicate. *)

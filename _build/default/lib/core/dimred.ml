@@ -1,0 +1,213 @@
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+
+type tree =
+  | Base of Orp_kw.t * int array (* index on the active set + local-to-global ids *)
+  | Cut of cut_node
+
+and cut_node = {
+  sigma : float * float; (* x-extent of the active set *)
+  level : int;
+  fanout : int;
+  weight : int;
+  pivots : int array; (* global ids *)
+  secondary : tree; (* (d-1)-dim index on the active set, x ignored *)
+  children : cut_node array;
+}
+
+type t = {
+  root : tree;
+  pts : Point.t array;
+  docs : Doc.t array;
+  d : int;
+  k_ : int;
+  n : int;
+}
+
+(* f_u = 2 * 2^(k^level), equation (10), clamped so the shift stays sane;
+   any fanout beyond the active-set weight behaves identically (every
+   object becomes a pivot). *)
+let fanout_at ~k level =
+  let rec kpow acc i = if i = 0 || acc > 40 then min acc 40 else kpow (acc * k) (i - 1) in
+  let e = min 40 (kpow 1 level) in
+  2 * (1 lsl e)
+
+let build ?leaf_weight ~k objs =
+  if Array.length objs = 0 then invalid_arg "Dimred.build: empty input";
+  if k < 2 then invalid_arg "Dimred.build: k must be >= 2";
+  let pts = Array.map fst objs in
+  let docs = Array.map snd objs in
+  let d = Array.length pts.(0) in
+  Array.iter (fun p -> if Array.length p <> d then invalid_arg "Dimred.build: mixed dimensions") pts;
+  let n = Array.fold_left (fun acc doc -> acc + Doc.size doc) 0 docs in
+  (* [subset]: global ids; [proj_from]: how many leading dimensions have
+     been stripped for this subtree *)
+  let rec make_tree subset proj_from dims =
+    if dims <= 2 then begin
+      let local =
+        Array.map
+          (fun id -> (Array.sub pts.(id) proj_from dims, docs.(id)))
+          subset
+      in
+      Base (Orp_kw.build ?leaf_weight ~k local, subset)
+    end
+    else Cut (make_cut subset proj_from dims 0)
+  and make_cut subset proj_from dims level =
+    let x id = pts.(id).(proj_from) in
+    let sorted = Array.copy subset in
+    Array.sort
+      (fun a b ->
+        let c = compare (x a) (x b) in
+        if c <> 0 then c else compare a b)
+      sorted;
+    let w_total = Array.fold_left (fun acc id -> acc + Doc.size docs.(id)) 0 sorted in
+    let f = fanout_at ~k level in
+    let target = float_of_int w_total /. float_of_int f in
+    (* footnote 13: greedy packing, the object that overflows a group
+       becomes the separating pivot *)
+    let groups = ref [] and pivots = ref [] in
+    let cur = ref [] and cur_w = ref 0 in
+    Array.iter
+      (fun id ->
+        let w = Doc.size docs.(id) in
+        if float_of_int (!cur_w + w) <= target +. 1e-9 then begin
+          cur := id :: !cur;
+          cur_w := !cur_w + w
+        end
+        else begin
+          groups := Array.of_list (List.rev !cur) :: !groups;
+          pivots := id :: !pivots;
+          cur := [];
+          cur_w := 0
+        end)
+      sorted;
+    groups := Array.of_list (List.rev !cur) :: !groups;
+    let groups = List.rev !groups and pivots = Array.of_list (List.rev !pivots) in
+    let children =
+      List.filter_map
+        (fun g -> if Array.length g = 0 then None else Some (make_cut g proj_from dims (level + 1)))
+        groups
+    in
+    {
+      sigma = (x sorted.(0), x sorted.(Array.length sorted - 1));
+      level;
+      fanout = f;
+      weight = w_total;
+      pivots;
+      secondary = make_tree subset (proj_from + 1) (dims - 1);
+      children = Array.of_list children;
+    }
+  in
+  let all = Array.init (Array.length objs) (fun i -> i) in
+  { root = make_tree all 0 d; pts; docs; d; k_ = k; n }
+
+let k t = t.k_
+let dim t = t.d
+let input_size t = t.n
+
+type profile = {
+  type1 : int;
+  type2 : int;
+  type2_by_level : int array;
+  pivot_checked : int;
+  work : int; (* total objects/nodes examined, secondaries included *)
+}
+
+(* Strip the leading [from] dimensions of a query rectangle. *)
+let drop_dims (q : Rect.t) from =
+  let d = Rect.dim q in
+  Rect.make (Array.sub q.Rect.lo from (d - from)) (Array.sub q.Rect.hi from (d - from))
+
+exception Limit_reached
+
+let query_profile ?limit t q ws =
+  if Rect.dim q <> t.d then invalid_arg "Dimred.query: dimension mismatch";
+  (match limit with
+  | Some l when l < 1 -> invalid_arg "Dimred.query: limit must be >= 1"
+  | _ -> ());
+  let type1 = ref 0 and type2 = ref 0 and pivot_checked = ref 0 in
+  let inner_work = ref 0 in
+  let n_found = ref 0 in
+  let note_found () =
+    incr n_found;
+    match limit with Some l when !n_found >= l -> raise Limit_reached | _ -> ()
+  in
+  let t2l : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let ws_sorted = Kwsc_util.Sorted.sort_dedup (Array.to_list ws) in
+  let full_match id =
+    Rect.contains_point q t.pts.(id) && Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws_sorted
+  in
+  let rec q_tree tree (q' : Rect.t) =
+    match tree with
+    | Base (orp, ids) ->
+        let found, st = Orp_kw.query_stats ?limit orp q' ws in
+        inner_work := !inner_work + Stats.work st;
+        Array.iter
+          (fun local ->
+            out := ids.(local) :: !out;
+            note_found ())
+          found
+    | Cut node -> q_cut node q'
+  and q_cut node (q' : Rect.t) =
+    let qlo = q'.Rect.lo.(0) and qhi = q'.Rect.hi.(0) in
+    let slo, shi = node.sigma in
+    if shi < qlo || slo > qhi then () (* sigma disjoint from q[1]: skip *)
+    else if qlo <= slo && shi <= qhi then begin
+      (* type 1: answer entirely through the secondary, x unconstrained *)
+      incr type1;
+      q_tree node.secondary (drop_dims q' 1)
+    end
+    else begin
+      (* type 2: scan pivots, recurse into touching children *)
+      incr type2;
+      Hashtbl.replace t2l node.level (1 + Option.value ~default:0 (Hashtbl.find_opt t2l node.level));
+      Array.iter
+        (fun id ->
+          incr pivot_checked;
+          if full_match id then begin
+            out := id :: !out;
+            note_found ()
+          end)
+        node.pivots;
+      Array.iter (fun child -> q_cut child q') node.children
+    end
+  in
+  (try q_tree t.root q with Limit_reached -> ());
+  let ids = Kwsc_util.Sorted.sort_dedup !out in
+  let max_level = Hashtbl.fold (fun l _ acc -> max acc l) t2l (-1) in
+  let by_level = Array.make (max_level + 1) 0 in
+  Hashtbl.iter (fun l c -> by_level.(l) <- c) t2l;
+  ( ids,
+    {
+      type1 = !type1;
+      type2 = !type2;
+      type2_by_level = by_level;
+      pivot_checked = !pivot_checked;
+      work = !inner_work + !pivot_checked + !type1 + !type2;
+    } )
+
+let query ?limit t q ws = fst (query_profile ?limit t q ws)
+
+let cut_stats t f =
+  let rec go = function Base _ -> () | Cut node -> go_cut node
+  and go_cut node =
+    f ~level:node.level ~fanout:node.fanout ~weight:node.weight
+      ~children:(Array.length node.children) ~pivots:(Array.length node.pivots);
+    (* the secondary of a cut node may itself contain cut trees *)
+    go node.secondary;
+    Array.iter go_cut node.children
+  in
+  go t.root
+
+let space_words t =
+  let rec words = function
+    | Base (orp, ids) -> (Orp_kw.space_stats orp).Stats.total_words + Array.length ids
+    | Cut node ->
+        let own = Array.length node.pivots + 4 in
+        Array.fold_left
+          (fun acc c -> acc + words (Cut c))
+          (own + words node.secondary)
+          node.children
+  in
+  words t.root

@@ -1,0 +1,50 @@
+(** The dimension-reduction technique under keywords (Section 4, Theorem 2):
+    an ORP-KW index for d >= 3 paying only an O(log log N) space factor per
+    extra dimension.
+
+    Structure (Lemma 11): a tree over the x-dimension whose node fanouts
+    grow doubly exponentially — f_u = 2 * 2^(k^level), equation (10) — via
+    f-balanced cuts (weight-balanced groups separated by pivot objects,
+    footnote 13). Every node stores a (d-1)-dimensional ORP-KW secondary
+    index on its active set (recursively this structure again, bottoming out
+    at the d <= 2 kd-tree index of Theorem 1). A query visits at most two
+    "type-2" nodes per level (Figure 2), scanning only their pivots, and
+    answers everything else through "type-1" secondary queries. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+(** Works for any d >= 1 (d <= 2 degenerates to the Theorem-1 index). *)
+
+val k : t -> int
+val dim : t -> int
+val input_size : t -> int
+
+val query : ?limit:int -> t -> Rect.t -> int array -> int array
+(** Sorted ids of the objects in [q] containing all [k] keywords. [limit]
+    stops reporting early (every object is reported by exactly one node —
+    the highest type-1 secondary or pivot scan covering it — so the capped
+    result holds [min limit OUT] distinct ids). *)
+
+type profile = {
+  type1 : int;  (** type-1 nodes visited (secondary queries issued) *)
+  type2 : int;  (** type-2 nodes visited (pivot scans) *)
+  type2_by_level : int array;  (** per level — Figure 2 promises <= 2 each *)
+  pivot_checked : int;
+  work : int;  (** objects/nodes examined in total, secondaries included *)
+}
+
+val query_profile : ?limit:int -> t -> Rect.t -> int array -> int array * profile
+(** As [query] plus the type-1/type-2 accounting of the top-level cut
+    tree. *)
+
+val cut_stats : t -> (level:int -> fanout:int -> weight:int -> children:int -> pivots:int -> unit) -> unit
+(** Visit every node of the top-level cut tree (no-op when d <= 2) — used
+    to validate Propositions 1–3 (depth O(log log N), weight decay,
+    f_u = O(N^(1-1/k))). *)
+
+val space_words : t -> int
+(** Total footprint in words, summing every secondary structure — the
+    O(N (log log N)^(d-2)) budget of Theorem 2. *)

@@ -1,0 +1,108 @@
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+
+type bucket = { index : Orp_kw.t; ids : int array (* local -> global *) }
+
+type t = {
+  k : int;
+  d : int;
+  leaf_weight : int option;
+  mutable objects : (Point.t * Doc.t) option array; (* None = deleted *)
+  mutable next_id : int;
+  mutable live_count : int;
+  mutable dead_pending : int; (* tombstones not yet compacted away *)
+  mutable buckets : bucket list; (* strictly decreasing capacity *)
+}
+
+let create ?leaf_weight ~k ~d () =
+  if d < 1 then invalid_arg "Dynamic.create: d must be >= 1";
+  if k < 2 then invalid_arg "Dynamic.create: k must be >= 2";
+  {
+    k;
+    d;
+    leaf_weight;
+    objects = Array.make 16 None;
+    next_id = 0;
+    live_count = 0;
+    dead_pending = 0;
+    buckets = [];
+  }
+
+let size t = t.live_count
+
+let input_size t =
+  let n = ref 0 in
+  Array.iter (function Some (_, doc) -> n := !n + Doc.size doc | None -> ()) t.objects;
+  !n
+
+let buckets t = List.map (fun b -> Array.length b.ids) t.buckets
+
+let live t id = match t.objects.(id) with Some obj -> Some obj | None -> None
+
+let build_bucket t ids =
+  let objs = Array.map (fun id -> Option.get (live t id)) ids in
+  { index = Orp_kw.build ?leaf_weight:t.leaf_weight ~k:t.k objs; ids }
+
+(* Rebuild the carry chain: keep merging the incoming group with the
+   smallest bucket while the bucket is not more than twice as large —
+   the standard binary-counter invariant (bucket sizes grow geometrically). *)
+let rec absorb t group = function
+  | [] -> [ build_bucket t group ]
+  | b :: rest when Array.length b.ids <= 2 * Array.length group ->
+      let merged =
+        Array.of_list
+          (List.filter
+             (fun id -> live t id <> None)
+             (Array.to_list (Array.append b.ids group)))
+      in
+      absorb t merged rest
+  | rest -> build_bucket t group :: rest
+
+let rebuild_all t =
+  let alive = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if live t id <> None then alive := id :: !alive
+  done;
+  t.dead_pending <- 0;
+  t.buckets <-
+    (match !alive with [] -> [] | l -> [ build_bucket t (Array.of_list l) ])
+
+let insert t ((p, _) as obj) =
+  if Array.length p <> t.d then invalid_arg "Dynamic.insert: dimension mismatch";
+  if t.next_id = Array.length t.objects then begin
+    let grown = Array.make (2 * t.next_id) None in
+    Array.blit t.objects 0 grown 0 t.next_id;
+    t.objects <- grown
+  end;
+  let id = t.next_id in
+  t.objects.(id) <- Some obj;
+  t.next_id <- id + 1;
+  t.live_count <- t.live_count + 1;
+  (* buckets are kept smallest-first for the carry walk *)
+  t.buckets <- List.rev (absorb t [| id |] (List.rev t.buckets));
+  id
+
+let delete t id =
+  if id < 0 || id >= t.next_id then invalid_arg "Dynamic.delete: unknown id";
+  match t.objects.(id) with
+  | None -> ()
+  | Some _ ->
+      t.objects.(id) <- None;
+      t.live_count <- t.live_count - 1;
+      t.dead_pending <- t.dead_pending + 1;
+      if t.dead_pending >= t.live_count && t.dead_pending > 8 then rebuild_all t
+
+let query t q ws =
+  if Rect.dim q <> t.d then invalid_arg "Dynamic.query: dimension mismatch";
+  let hits = ref [] in
+  List.iter
+    (fun b ->
+      Array.iter
+        (fun local ->
+          let id = b.ids.(local) in
+          if live t id <> None then hits := id :: !hits)
+        (Orp_kw.query b.index q ws))
+    t.buckets;
+  let out = Array.of_list !hits in
+  Array.sort compare out;
+  out

@@ -1,0 +1,44 @@
+(** Dynamic ORP-KW via the logarithmic method (Bentley–Saxe).
+
+    The paper's indexes are static. ORP-KW is a decomposable search problem
+    (the answer over a disjoint union of objects is the union of answers),
+    so the classical static-to-dynamic transformation applies: maintain
+    O(log n) buckets of exponentially growing size, each a static Theorem-1
+    index. An insertion rebuilds the carry chain of the binary counter —
+    O(log n) amortized rebuilt words per inserted word; a deletion is a
+    tombstone, with a global rebuild once half the stored objects are dead.
+    A query unions the per-bucket answers, multiplying the static query
+    bound by O(log n).
+
+    This goes beyond the paper (its natural "dynamization" follow-up) and is
+    exercised by experiment DYN in the bench harness. *)
+
+open Kwsc_geom
+
+type t
+
+val create : ?leaf_weight:int -> k:int -> d:int -> unit -> t
+(** An empty dynamic index over R^d for k-keyword queries. *)
+
+val insert : t -> Point.t * Kwsc_invindex.Doc.t -> int
+(** Add one object; returns its permanent id (dense, starting at 0).
+    Amortized O(polylog) index rebuild work per input word.
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val delete : t -> int -> unit
+(** Tombstone an object by id. Idempotent.
+    @raise Invalid_argument if the id was never assigned. *)
+
+val query : t -> Rect.t -> int array -> int array
+(** Sorted ids of live objects inside the rectangle containing all [k]
+    keywords. *)
+
+val size : t -> int
+(** Live objects. *)
+
+val input_size : t -> int
+(** N over live objects. *)
+
+val buckets : t -> int list
+(** Sizes (in objects) of the current static buckets, largest first —
+    exposed for tests and the DYN bench. *)

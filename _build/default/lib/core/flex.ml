@@ -1,0 +1,13 @@
+
+type t = { orp : Orp_kw.t; pad : Pad.t; k : int }
+
+let build ?leaf_weight ~max_k objs =
+  if Array.length objs = 0 then invalid_arg "Flex.build: empty input";
+  let padded_docs, pad = Pad.docs ~k:max_k (Array.map snd objs) in
+  let padded = Array.mapi (fun i (p, _) -> (p, padded_docs.(i))) objs in
+  { orp = Orp_kw.build ?leaf_weight ~k:max_k padded; pad; k = max_k }
+
+let max_k t = t.k
+let input_size t = Orp_kw.input_size t.orp
+let query_stats ?limit t q ws = Orp_kw.query_stats ?limit t.orp q (Pad.keywords t.pad ws)
+let query ?limit t q ws = fst (query_stats ?limit t q ws)

@@ -1,0 +1,27 @@
+(** Flexible-arity keyword search: one index serving queries with 1 to k
+    keywords.
+
+    The paper (and every index here) fixes the keyword count k at build
+    time. Real query loads mix arities, so this convenience layer builds a
+    single ORP-KW index at arity [max_k] over wildcard-padded documents
+    ({!Pad}) and pads each incoming query up to [max_k]. Space and query
+    bounds are those of the padded instance: N grows by at most a factor
+    [1 + (max_k - 1) / min |doc|], and a j-keyword query runs at the
+    [max_k] exponent — the price of arity flexibility. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> max_k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+(** @raise Invalid_argument if [max_k < 2] or the input is empty. *)
+
+val max_k : t -> int
+val input_size : t -> int
+
+val query : ?limit:int -> t -> Rect.t -> int array -> int array
+(** [query t q ws] with 1 to [max_k] distinct keywords: sorted ids of the
+    objects in [q] whose documents contain all of [ws].
+    @raise Invalid_argument on an empty or oversized keyword set. *)
+
+val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query

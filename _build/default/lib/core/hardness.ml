@@ -1,0 +1,32 @@
+open Kwsc_geom
+
+let ksi_as_orp ~k inst =
+  let docs, elements = Kwsc_invindex.Ksi_instance.to_keyword_dataset inst in
+  (* "map each object to an arbitrary point in R^d": spread them on a line
+     so rank-space construction stays trivial *)
+  let objs = Array.mapi (fun i doc -> ([| float_of_int i; 0.0 |], doc)) docs in
+  (Orp_kw.build ~k objs, elements)
+
+let ksi_query_via_orp (orp, elements) ws =
+  let full = Rect.full (Orp_kw.dim orp) in
+  Array.map (fun id -> elements.(id)) (Orp_kw.query orp full ws)
+
+let ksi_via_linf_nn ~k inst ws =
+  let docs, elements = Kwsc_invindex.Ksi_instance.to_keyword_dataset inst in
+  let objs = Array.mapi (fun i doc -> ([| float_of_int i; 0.0 |], doc)) docs in
+  let nn = Linf_nn_kw.build ~k objs in
+  let q = [| 0.0; 0.0 |] in
+  (* doubling-t loop of Appendix G *)
+  let rec grow t' =
+    let hits = Linf_nn_kw.query nn q ~t' ws in
+    if Array.length hits < t' then hits else grow (2 * t')
+  in
+  let hits = grow 1 in
+  let out = Array.map (fun (id, _) -> elements.(id)) hits in
+  Array.sort compare out;
+  out
+
+let lemma8_delta ~k ~eps =
+  if k < 2 || eps <= 0.0 then invalid_arg "Hardness.lemma8_delta";
+  let invk = 1.0 /. float_of_int k in
+  Float.min invk (eps /. (1.0 -. invk +. eps))

@@ -1,0 +1,30 @@
+(** The executable side of the hardness discussion (Section 1.2,
+    Appendices E and G): the reductions are real programs here, tested for
+    result equality, and the Lemma-8 arithmetic is provided for the bench
+    report.
+
+    These functions do not prove lower bounds (nothing can, short of
+    resolving the conjectures); they demonstrate that every structured
+    problem *contains* k-SI, which is what transfers the conjectured
+    hardness. *)
+
+
+val ksi_as_orp : k:int -> Kwsc_invindex.Ksi_instance.t -> Orp_kw.t * int array
+(** Section 1.2's reduction: embed a k-SI instance as an ORP-KW instance
+    (objects mapped to arbitrary points in R^2, documents = owning set ids).
+    Returns the index and the element labels. A k-SI reporting query with
+    set ids [ws] equals [full-space ORP-KW query with keywords ws], mapped
+    through the labels. *)
+
+val ksi_query_via_orp : Orp_kw.t * int array -> int array -> int array
+(** Run the reduction's query side: full-space rectangle + keywords. *)
+
+val ksi_via_linf_nn : k:int -> Kwsc_invindex.Ksi_instance.t -> int array -> int array
+(** Appendix G: answer a k-SI reporting query using only an L∞NN-KW index —
+    issue NN queries with doubling t until the reported count falls short
+    of t, at which point the whole intersection has been found. *)
+
+val lemma8_delta : k:int -> eps:float -> float
+(** delta = min(1/k, eps / (1 - 1/k + eps)) — the exponent Lemma 8 shows a
+    hypothetical faster index would achieve, defying the strong
+    set-intersection conjecture. *)

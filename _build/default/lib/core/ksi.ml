@@ -1,0 +1,45 @@
+type t = { inner : (unit, unit) Transform.t }
+
+let of_docs ?leaf_weight ?tau_exponent ?use_bits ~k docs =
+  let weights = Array.map Kwsc_invindex.Doc.size docs in
+  let split ~depth:_ () ids =
+    let sorted = Array.copy ids in
+    Array.sort compare sorted;
+    let total = Array.fold_left (fun acc id -> acc + weights.(id)) 0 sorted in
+    let j = ref 0 and acc = ref 0 in
+    (try
+       Array.iteri
+         (fun i id ->
+           acc := !acc + weights.(id);
+           if 2 * !acc >= total then begin
+             j := i;
+             raise Exit
+           end)
+         sorted
+     with Exit -> ());
+    let j = !j in
+    let left = Array.sub sorted 0 j in
+    let right = Array.sub sorted (j + 1) (Array.length sorted - j - 1) in
+    ([| ((), left); ((), right) |], [| sorted.(j) |])
+  in
+  let space =
+    {
+      Transform.root_cell = ();
+      split;
+      classify = (fun () () -> Transform.Covered);
+      contains = (fun () _ -> true);
+    }
+  in
+  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ~k ~space docs }
+
+let of_instance ?leaf_weight ~k inst =
+  let docs, elements = Kwsc_invindex.Ksi_instance.to_keyword_dataset inst in
+  (of_docs ?leaf_weight ~k docs, elements)
+
+let k t = Transform.k t.inner
+let input_size t = Transform.input_size t.inner
+let query_stats ?limit t ws = Transform.query_stats ?limit t.inner () ws
+let query ?limit t ws = fst (query_stats ?limit t ws)
+let emptiness t ws = Array.length (query ~limit:1 t ws) = 0
+let space_stats t = Transform.space_stats t.inner
+let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f

@@ -1,0 +1,40 @@
+(** k-Set Intersection reporting (Section 1.2) through the transformation
+    framework: pure keyword search is k-SI in disguise, so instantiating the
+    framework with a trivial 1-D "geometry" (balanced weighted splits over
+    object ids, every cell covered by every query) yields an index with
+    O(N) space and O(N^(1-1/k) (1 + OUT^(1/k))) query time — the
+    generalization of Cohen–Porat [23] that Section 3.5 credits as the
+    inspiration. *)
+
+type t
+
+val of_docs :
+  ?leaf_weight:int ->
+  ?tau_exponent:float ->
+  ?use_bits:bool ->
+  k:int ->
+  Kwsc_invindex.Doc.t array ->
+  t
+(** Pure keyword search over objects [0..n-1] with the given documents. *)
+
+val of_instance : ?leaf_weight:int -> k:int -> Kwsc_invindex.Ksi_instance.t -> t * int array
+(** The Section-1.2 encoding of a k-SI instance: returns the index plus the
+    element labels; [query] then takes set ids as keywords, and the caller
+    maps returned object ids through the label array. *)
+
+val k : t -> int
+val input_size : t -> int
+
+val query : ?limit:int -> t -> int array -> int array
+(** [query t ws] — the ids of objects whose documents contain all of [ws];
+    for an instance-built index this is the intersection of the named sets
+    (as label-array indexes). *)
+
+val query_stats : ?limit:int -> t -> int array -> int array * Stats.query
+
+val emptiness : t -> int array -> bool
+(** k-SI emptiness via an output-capped reporting query ([limit:1]) — the
+    footnote-4 argument made concrete. *)
+
+val space_stats : t -> Stats.space
+val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a

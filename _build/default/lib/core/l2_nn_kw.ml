@@ -1,0 +1,58 @@
+open Kwsc_geom
+
+type t = { srp : Srp_kw.t; pts : Point.t array; d : int; max_sq : float }
+
+let check_integral p =
+  Array.for_all (fun x -> Float.is_integer x && x >= 0.0 && x <= 67108864.0 (* 2^26 *)) p
+
+let build ?leaf_weight ?seed ~k objs =
+  if Array.length objs = 0 then invalid_arg "L2_nn_kw.build: empty input";
+  let pts = Array.map fst objs in
+  Array.iter
+    (fun p ->
+      if not (check_integral p) then
+        invalid_arg "L2_nn_kw.build: coordinates must be small non-negative integers")
+    pts;
+  let d = Array.length pts.(0) in
+  let maxc = Array.fold_left (fun acc p -> Array.fold_left Float.max acc p) 0.0 pts in
+  { srp = Srp_kw.build ?leaf_weight ?seed ~k objs; pts; d; max_sq = float_of_int d *. maxc *. maxc }
+
+let k t = Srp_kw.k t.srp
+let dim t = t.d
+let input_size t = Srp_kw.input_size t.srp
+
+let take_nearest t q t' ids =
+  let with_dist = Array.map (fun id -> (id, Point.l2_dist q t.pts.(id))) ids in
+  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) with_dist;
+  Array.sub with_dist 0 (min t' (Array.length with_dist))
+
+let query_count t q ~t' ws =
+  if Array.length q <> t.d then invalid_arg "L2_nn_kw.query: dimension mismatch";
+  if not (check_integral q) then invalid_arg "L2_nn_kw.query: query point must be integral";
+  if t' < 1 then invalid_arg "L2_nn_kw.query: t must be >= 1";
+  let probes = ref 0 in
+  let enough r2 =
+    incr probes;
+    Array.length (Srp_kw.query_ball_sq ~limit:t' t.srp q r2 ws) >= t'
+  in
+  (* the query point's own squared distance to any data point is an integer
+     in [0, max_sq + 4 * maxc * |q|]; widen generously *)
+  let hi0 =
+    let far = Array.fold_left (fun acc x -> acc +. (x *. x)) t.max_sq q in
+    int_of_float (4.0 *. (far +. 1.0))
+  in
+  if not (enough (float_of_int hi0)) then
+    (take_nearest t q t' (Srp_kw.query_ball_sq t.srp q (float_of_int hi0) ws), !probes)
+  else begin
+    let lo = ref 0 and hi = ref hi0 in
+    (* smallest integer squared radius holding t' matches *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if enough (float_of_int mid) then hi := mid else lo := mid + 1
+    done;
+    let ids = Srp_kw.query_ball_sq t.srp q (float_of_int !lo) ws in
+    (take_nearest t q t' ids, !probes)
+  end
+
+let query t q ~t' ws = fst (query_count t q ~t' ws)
+let srp_index t = t.srp

@@ -1,0 +1,30 @@
+(** L2 Nearest Neighbor with Keywords (Corollary 7): the t Euclidean-nearest
+    matching objects, for points with integer coordinates (the N^d domain
+    assumption of the problem statement — squared distances are then exact
+    integers and binary-searchable).
+
+    Reduction (Appendix F): binary search over the integer squared radii,
+    each probe an output-capped SRP-KW query (itself LC-KW through the
+    lifting map). *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+(** Coordinates must be non-negative integers (stored as floats).
+    @raise Invalid_argument otherwise. *)
+
+val k : t -> int
+val dim : t -> int
+val input_size : t -> int
+
+val query : t -> Point.t -> t':int -> int array -> (int * float) array
+(** [query t q ~t' ws]: the [t'] nearest matching objects as
+    (id, L2 distance), increasing distance, ties by id; fewer iff fewer
+    match. [q] must have integer coordinates. *)
+
+val query_count : t -> Point.t -> t':int -> int array -> (int * float) array * int
+(** As [query] plus the number of SRP-KW probes (the O(log N) factor). *)
+
+val srp_index : t -> Srp_kw.t

@@ -1,0 +1,30 @@
+open Kwsc_geom
+
+type t = { sp : Sp_kw.t }
+
+let build ?leaf_weight ?seed ~k objs = { sp = Sp_kw.build ?leaf_weight ?seed ~k objs }
+let k t = Sp_kw.k t.sp
+let dim t = Sp_kw.dim t.sp
+let input_size t = Sp_kw.input_size t.sp
+let query ?limit t hs ws = Sp_kw.query_halfspaces ?limit t.sp hs ws
+
+let query_stats ?limit t hs ws =
+  Sp_kw.query_stats ?limit t.sp (Polytope.make ~dim:(dim t) hs) ws
+
+let query_rect ?limit t r ws =
+  if Rect.dim r <> dim t then invalid_arg "Lc_kw.query_rect: dimension mismatch";
+  query ?limit t (Halfspace.of_rect r) ws
+
+let query_via_simplices t hs ws =
+  if dim t <> 2 then invalid_arg "Lc_kw.query_via_simplices: dimension must be 2";
+  let poly = Polytope.make ~dim:2 hs in
+  let simplices = Polytope.triangulate_2d poly in
+  let ids =
+    List.concat_map (fun s -> Array.to_list (Sp_kw.query_simplex t.sp s ws)) simplices
+  in
+  Kwsc_util.Sorted.sort_dedup ids
+
+let space_stats t = Sp_kw.space_stats t.sp
+let sp_index t = t.sp
+
+let emptiness t hs ws = Array.length (query ~limit:1 t hs ws) = 0

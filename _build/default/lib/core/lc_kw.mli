@@ -1,0 +1,42 @@
+(** Linear Conjunction with Keywords (Theorem 5): given s = O(1) linear
+    constraints and k keywords, report the objects satisfying all
+    constraints whose documents contain all keywords.
+
+    The paper proves Theorem 5 by decomposing the constraint polyhedron into
+    O(1) simplices and issuing one SP-KW query per simplex (Theorem 12).
+    Operationally the decomposition is an analysis device: {!query} hands
+    the polyhedron to the SP-KW index directly (the cell tests accept any
+    convex region). The decomposition path is also provided for d = 2
+    ({!query_via_simplices}) and tested to agree. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+val k : t -> int
+val dim : t -> int
+val input_size : t -> int
+
+val query : ?limit:int -> t -> Halfspace.t list -> int array -> int array
+(** Sorted ids of objects satisfying every constraint and containing all
+    keywords. *)
+
+val query_stats : ?limit:int -> t -> Halfspace.t list -> int array -> int array * Stats.query
+
+val query_rect : ?limit:int -> t -> Rect.t -> int array -> int array
+(** ORP-KW through LC-KW — a d-rectangle is the conjunction of 2d linear
+    constraints (the remark after Theorem 5, giving the Table-1 row
+    "ORP-KW, d <= k, O(N) space"). *)
+
+val query_via_simplices : t -> Halfspace.t list -> int array -> int array
+(** The literal proof route for d = 2: triangulate the (bounded part of
+    the) constraint region and union the per-simplex SP-KW answers.
+    @raise Invalid_argument if [dim t <> 2]. *)
+
+val space_stats : t -> Stats.space
+val sp_index : t -> Sp_kw.t
+(** The underlying SP-KW index. *)
+
+val emptiness : t -> Halfspace.t list -> int array -> bool
+(** Output-capped emptiness probe. *)

@@ -1,0 +1,76 @@
+open Kwsc_geom
+
+type engine = E_kd of Orp_kw.t | E_dimred of Dimred.t
+
+type t = {
+  engine : engine;
+  pts : Point.t array;
+  coords : float array array; (* per dimension, sorted coordinates *)
+  d : int;
+}
+
+let build ?leaf_weight ?(engine = `Auto) ~k objs =
+  if Array.length objs = 0 then invalid_arg "Linf_nn_kw.build: empty input";
+  let pts = Array.map fst objs in
+  let d = Array.length pts.(0) in
+  let coords =
+    Array.init d (fun j ->
+        let c = Array.map (fun p -> p.(j)) pts in
+        Array.sort compare c;
+        c)
+  in
+  let engine =
+    match engine with `Kd -> `Kd | `Dimred -> `Dimred | `Auto -> if d <= 2 then `Kd else `Dimred
+  in
+  let engine =
+    match engine with
+    | `Kd -> E_kd (Orp_kw.build ?leaf_weight ~k objs)
+    | `Dimred -> E_dimred (Dimred.build ?leaf_weight ~k objs)
+  in
+  { engine; pts; coords; d }
+
+let inner_query ?limit t q ws =
+  match t.engine with
+  | E_kd i -> Orp_kw.query ?limit i q ws
+  | E_dimred i -> Dimred.query ?limit i q ws
+
+let k t = match t.engine with E_kd i -> Orp_kw.k i | E_dimred i -> Dimred.k i
+let dim t = t.d
+
+let input_size t =
+  match t.engine with E_kd i -> Orp_kw.input_size i | E_dimred i -> Dimred.input_size i
+
+let take_nearest t q t' ids =
+  let with_dist = Array.map (fun id -> (id, Point.linf_dist q t.pts.(id))) ids in
+  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) with_dist;
+  Array.sub with_dist 0 (min t' (Array.length with_dist))
+
+let query_count t q ~t' ws =
+  if Array.length q <> t.d then invalid_arg "Linf_nn_kw.query: dimension mismatch";
+  if t' < 1 then invalid_arg "Linf_nn_kw.query: t must be >= 1";
+  let probes = ref 0 in
+  (* at least t' matching objects within radius r? output-capped probe *)
+  let enough r =
+    incr probes;
+    Array.length (inner_query ~limit:t' t (Rect.linf_ball q r) ws) >= t'
+  in
+  let columns = Array.init t.d (fun j -> (t.coords.(j), q.(j))) in
+  let total = Array.fold_left (fun acc (c, _) -> acc + Array.length c) 0 columns in
+  let radius rank = Kwsc_util.Sorted.kth_abs_diff columns rank in
+  let r_max = radius total in
+  if not (enough r_max) then
+    (* fewer than t' objects match the keywords at all: return them all *)
+    (take_nearest t q t' (inner_query t (Rect.linf_ball q r_max) ws), !probes)
+  else begin
+    (* smallest candidate rank whose radius already holds t' matches *)
+    let lo = ref 1 and hi = ref total in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if enough (radius mid) then hi := mid else lo := mid + 1
+    done;
+    let r_star = radius !lo in
+    let ids = inner_query t (Rect.linf_ball q r_star) ws in
+    (take_nearest t q t' ids, !probes)
+  end
+
+let query t q ~t' ws = fst (query_count t q ~t' ws)

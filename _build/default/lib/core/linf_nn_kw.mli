@@ -1,0 +1,37 @@
+(** L∞ Nearest Neighbor with Keywords (Corollary 4): report the t objects
+    containing all keywords that are closest to a query point under the
+    Chebyshev metric.
+
+    Reduction (Appendix F): the optimal radius is one of the d|D| candidate
+    radii (per-dimension coordinate differences to the query point); binary
+    search over the candidates' ranks, each probe asking the ORP-KW index
+    whether the L∞ ball holds at least t matching objects. The paper's
+    "manually terminate after O(N^(1-1/k) t^(1/k)) time" becomes an
+    output-capped reporting query (DESIGN.md substitution 4). *)
+
+open Kwsc_geom
+
+type t
+
+val build :
+  ?leaf_weight:int ->
+  ?engine:[ `Auto | `Kd | `Dimred ] ->
+  k:int ->
+  (Point.t * Kwsc_invindex.Doc.t) array ->
+  t
+(** [engine] selects the ORP-KW index answering the ball probes: [`Kd]
+    (Theorem 1) or [`Dimred] (Theorem 2, what the corollary uses for
+    d >= 3); [`Auto] picks by dimension. *)
+
+val k : t -> int
+val dim : t -> int
+val input_size : t -> int
+
+val query : t -> Point.t -> t':int -> int array -> (int * float) array
+(** [query t q ~t' ws] is the [t'] nearest matching objects as
+    (id, L∞ distance), ordered by increasing distance (ties broken by id).
+    Returns fewer than [t'] entries iff fewer objects match the keywords. *)
+
+val query_count : t -> Point.t -> t':int -> int array -> (int * float) array * int
+(** As [query], also returning the number of ORP-KW probes issued — the
+    O(log N) binary-search factor of Corollary 4, measurable. *)

@@ -1,0 +1,105 @@
+open Kwsc_geom
+
+(* Cells and queries live in rank space: closed integer rectangles. *)
+type irect = { ilo : int array; ihi : int array }
+
+let irect_intersects a b =
+  let ok = ref true in
+  for i = 0 to Array.length a.ilo - 1 do
+    if a.ihi.(i) < b.ilo.(i) || b.ihi.(i) < a.ilo.(i) then ok := false
+  done;
+  !ok
+
+let irect_covers outer inner =
+  let ok = ref true in
+  for i = 0 to Array.length outer.ilo - 1 do
+    if inner.ilo.(i) < outer.ilo.(i) || inner.ihi.(i) > outer.ihi.(i) then ok := false
+  done;
+  !ok
+
+type t = {
+  inner : (irect, irect) Transform.t;
+  rs : Rank_space.t;
+  ranks : int array array; (* object id -> rank vector *)
+  d : int;
+}
+
+let build ?leaf_weight ?tau_exponent ?use_bits ~k objs =
+  let m = Array.length objs in
+  if m = 0 then invalid_arg "Orp_kw.build: empty input";
+  let pts = Array.map fst objs in
+  let docs = Array.map snd objs in
+  let d = Array.length pts.(0) in
+  let rs = Rank_space.create pts in
+  let ranks = Array.init m (fun id -> Rank_space.ranks rs id) in
+  let weights = Array.map Kwsc_invindex.Doc.size docs in
+  let root_cell = { ilo = Array.make d 0; ihi = Array.make d (m - 1) } in
+  let split ~depth cell ids =
+    let axis = depth mod d in
+    let sorted = Array.copy ids in
+    Array.sort (fun a b -> compare ranks.(a).(axis) ranks.(b).(axis)) sorted;
+    let total = Array.fold_left (fun acc id -> acc + weights.(id)) 0 sorted in
+    (* smallest prefix whose weight reaches half: that object is the pivot,
+       guaranteeing both children carry at most half the weight *)
+    let j = ref 0 and acc = ref 0 in
+    (try
+       Array.iteri
+         (fun i id ->
+           acc := !acc + weights.(id);
+           if 2 * !acc >= total then begin
+             j := i;
+             raise Exit
+           end)
+         sorted
+     with Exit -> ());
+    let j = !j in
+    let pivot_rank = ranks.(sorted.(j)).(axis) in
+    let left = Array.sub sorted 0 j in
+    let right = Array.sub sorted (j + 1) (Array.length sorted - j - 1) in
+    let lcell = { ilo = Array.copy cell.ilo; ihi = Array.copy cell.ihi } in
+    lcell.ihi.(axis) <- pivot_rank;
+    let rcell = { ilo = Array.copy cell.ilo; ihi = Array.copy cell.ihi } in
+    rcell.ilo.(axis) <- pivot_rank;
+    ([| (lcell, left); (rcell, right) |], [| sorted.(j) |])
+  in
+  let classify q cell =
+    if not (irect_intersects q cell) then Transform.Disjoint
+    else if irect_covers q cell then Transform.Covered
+    else Transform.Crossing
+  in
+  let contains q id =
+    let r = ranks.(id) in
+    let ok = ref true in
+    for i = 0 to d - 1 do
+      if r.(i) < q.ilo.(i) || r.(i) > q.ihi.(i) then ok := false
+    done;
+    !ok
+  in
+  let space = { Transform.root_cell; split; classify; contains } in
+  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ~k ~space docs; rs; ranks; d }
+
+let k t = Transform.k t.inner
+let dim t = t.d
+let input_size t = Transform.input_size t.inner
+
+let query_stats ?limit t q ws =
+  if Rect.dim q <> t.d then invalid_arg "Orp_kw.query: dimension mismatch";
+  (* validate keywords even when the rank conversion short-circuits *)
+  if Array.length (Kwsc_util.Sorted.sort_dedup (Array.to_list ws)) <> Transform.k t.inner then
+    invalid_arg
+      (Printf.sprintf "Transform.query: expected %d distinct keywords, got %d"
+         (Transform.k t.inner)
+         (Array.length (Kwsc_util.Sorted.sort_dedup (Array.to_list ws))));
+  match Rank_space.rect_to_ranks t.rs q with
+  | None -> ([||], Stats.fresh_query ())
+  | Some (ilo, ihi) -> Transform.query_stats ?limit t.inner { ilo; ihi } ws
+
+let query ?limit t q ws = fst (query_stats ?limit t q ws)
+let space_stats t = Transform.space_stats t.inner
+let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f
+
+let emptiness t q ws = Array.length (query ~limit:1 t q ws) = 0
+
+let count_at_least t q ws ~threshold =
+  if threshold < 1 then invalid_arg "Orp_kw.count_at_least: threshold must be >= 1";
+  Array.length (query ~limit:threshold t q ws) >= threshold

@@ -1,0 +1,54 @@
+(** Orthogonal Range Reporting with Keywords (Theorem 1): the
+    transformation framework instantiated with the kd-tree of Section 3.
+
+    The index stores objects (point, document) and answers: given a
+    d-rectangle [q] and [k] distinct keywords, report every object inside
+    [q] whose document contains all the keywords. Space is O(N) words;
+    query time O(N^(1-1/k) (1 + OUT^(1/k))) for d <= 2 (for d >= 3 the
+    kd-tree's geometric term degrades as noted in Section 3.5 — use
+    {!Dimred} there).
+
+    General position is removed exactly as in Step 4: coordinates are
+    converted to rank space with object-id tie-breaking, so duplicate
+    coordinates are handled. *)
+
+open Kwsc_geom
+
+type t
+
+val build :
+  ?leaf_weight:int ->
+  ?tau_exponent:float ->
+  ?use_bits:bool ->
+  k:int ->
+  (Point.t * Kwsc_invindex.Doc.t) array ->
+  t
+(** @raise Invalid_argument if [k < 2], the input is empty, or dimensions
+    are mixed. [tau_exponent] and [use_bits] are the ablation knobs of
+    {!Transform.build}. *)
+
+val k : t -> int
+val dim : t -> int
+
+val input_size : t -> int
+(** N = total document size (equation (2)). *)
+
+val query : ?limit:int -> t -> Rect.t -> int array -> int array
+(** Sorted ids of the objects in [q] containing all keywords. [ws] must be
+    [k t] distinct keywords. [limit] caps the number of reported objects
+    (the probe mode of Corollary 4). *)
+
+val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
+val space_stats : t -> Stats.space
+
+val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a
+(** Expose the underlying transformed tree for invariant tests. *)
+
+val emptiness : t -> Rect.t -> int array -> bool
+(** Does the query have an empty answer? Output-capped reporting probe
+    (footnote 4 of the paper made concrete): O(N^(1-1/k)) when empty. *)
+
+val count_at_least : t -> Rect.t -> int array -> threshold:int -> bool
+(** [count_at_least t q ws ~threshold]: does the query return at least
+    [threshold] objects? The detection probe in the proof of Corollary 4,
+    costing O(N^(1-1/k) threshold^(1/k)). *)

@@ -1,0 +1,34 @@
+module Doc = Kwsc_invindex.Doc
+
+type t = { k : int; wildcards : int array }
+
+let docs ~k ds =
+  if k < 2 then invalid_arg "Pad.docs: k must be >= 2";
+  if Array.length ds = 0 then invalid_arg "Pad.docs: empty dataset";
+  let max_kw =
+    Array.fold_left
+      (fun acc d -> Array.fold_left max acc (Doc.to_array d))
+      min_int ds
+  in
+  let base = max_kw + 1 in
+  let wildcards = Array.init (k - 1) (fun i -> base + i) in
+  let padded =
+    Array.map
+      (fun d -> Doc.of_list (Array.to_list (Doc.to_array d) @ Array.to_list wildcards))
+      ds
+  in
+  (padded, { k; wildcards })
+
+let keywords t ws =
+  let distinct = Kwsc_util.Sorted.sort_dedup (Array.to_list ws) in
+  let j = Array.length distinct in
+  if j = 0 then invalid_arg "Pad.keywords: need at least one keyword";
+  if j > t.k then invalid_arg "Pad.keywords: more keywords than the index's k";
+  Array.iter
+    (fun w ->
+      if Array.exists (fun r -> r = w) t.wildcards then
+        invalid_arg "Pad.keywords: keyword collides with a reserved wildcard")
+    distinct;
+  Array.append distinct (Array.sub t.wildcards 0 (t.k - j))
+
+let reserved t = Array.copy t.wildcards

@@ -1,0 +1,34 @@
+(** Wildcard padding: answering queries with fewer than k keywords.
+
+    Every index in this library fixes the keyword count k at build time
+    (as the paper does). To serve a query with j < k keywords, append
+    k - j *universal* keywords — reserved ids present in every document —
+    to both the data and the query. Documents grow by k - 1 entries, so N
+    (and all bounds in N) inflate by at most a factor 1 + (k-1)/min|doc|;
+    correctness is unaffected because the universal keywords filter
+    nothing.
+
+    Typical use:
+    {[
+      let padded, pad = Pad.docs ~k objs_docs in
+      let idx = Orp_kw.build ~k (Array.map2 (fun (p,_) d -> (p,d)) objs padded) in
+      let ws' = Pad.keywords pad ws in   (* ws may have 1..k keywords *)
+      Orp_kw.query idx q ws'
+    ]} *)
+
+type t
+(** The reserved wildcard ids chosen for one dataset. *)
+
+val docs : k:int -> Kwsc_invindex.Doc.t array -> Kwsc_invindex.Doc.t array * t
+(** [docs ~k ds] appends k-1 fresh universal keywords (larger than any
+    keyword in [ds]) to every document.
+    @raise Invalid_argument if [k < 2] or [ds] is empty. *)
+
+val keywords : t -> int array -> int array
+(** [keywords pad ws] pads [ws] (1 to k distinct real keywords, none of
+    them reserved) up to exactly k using the wildcards.
+    @raise Invalid_argument if [ws] is empty, has more than k distinct
+    entries, or collides with a reserved id. *)
+
+val reserved : t -> int array
+(** The wildcard ids (for display/debugging). *)

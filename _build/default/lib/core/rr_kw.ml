@@ -1,0 +1,88 @@
+open Kwsc_geom
+
+type engine = E_kd of Orp_kw.t | E_dimred of Dimred.t | E_lc of Lc_kw.t
+
+type t = { inner : engine; d : int }
+
+let lift_objects rects d =
+  Array.map
+    (fun ((r : Rect.t), doc) ->
+      if Rect.dim r <> d then invalid_arg "Rr_kw.build: mixed dimensions";
+      let p = Array.make (2 * d) 0.0 in
+      for i = 0 to d - 1 do
+        if r.Rect.lo.(i) = neg_infinity || r.Rect.hi.(i) = infinity then
+          invalid_arg "Rr_kw.build: data rectangles must be bounded";
+        p.(2 * i) <- r.Rect.lo.(i);
+        p.((2 * i) + 1) <- r.Rect.hi.(i)
+      done;
+      (p, doc))
+    rects
+
+let build ?leaf_weight ?(engine = `Auto) ~k rects =
+  if Array.length rects = 0 then invalid_arg "Rr_kw.build: empty input";
+  let d = Rect.dim (fst rects.(0)) in
+  let objs = lift_objects rects d in
+  let engine =
+    match engine with
+    | `Kd -> `Kd
+    | `Dimred -> `Dimred
+    | `Lc -> `Lc
+    | `Auto -> if 2 * d <= 2 then `Kd else `Dimred
+  in
+  let inner =
+    match engine with
+    | `Kd -> E_kd (Orp_kw.build ?leaf_weight ~k objs)
+    | `Dimred -> E_dimred (Dimred.build ?leaf_weight ~k objs)
+    | `Lc -> E_lc (Lc_kw.build ?leaf_weight ~k objs)
+  in
+  { inner; d }
+
+let k t = match t.inner with E_kd i -> Orp_kw.k i | E_dimred i -> Dimred.k i | E_lc i -> Lc_kw.k i
+let dim t = t.d
+
+let input_size t =
+  match t.inner with
+  | E_kd i -> Orp_kw.input_size i
+  | E_dimred i -> Dimred.input_size i
+  | E_lc i -> Lc_kw.input_size i
+
+(* [a,b] intersects [x,y]  <=>  a <= y  and  b >= x. *)
+let lift_query t (q : Rect.t) =
+  if Rect.dim q <> t.d then invalid_arg "Rr_kw.query: dimension mismatch";
+  let lo = Array.make (2 * t.d) neg_infinity and hi = Array.make (2 * t.d) infinity in
+  for i = 0 to t.d - 1 do
+    hi.(2 * i) <- q.Rect.hi.(i);
+    lo.((2 * i) + 1) <- q.Rect.lo.(i)
+  done;
+  Rect.make lo hi
+
+let query_stats ?limit t q ws =
+  let lifted = lift_query t q in
+  match t.inner with
+  | E_kd i -> Orp_kw.query_stats ?limit i lifted ws
+  | E_lc i -> Lc_kw.query_stats ?limit i (Halfspace.of_rect lifted) ws
+  | E_dimred i ->
+      let ids, profile = Dimred.query_profile ?limit i lifted ws in
+      let st = Stats.fresh_query () in
+      st.Stats.pivot_checked <- profile.Dimred.pivot_checked;
+      st.Stats.nodes_visited <- profile.Dimred.type1 + profile.Dimred.type2;
+      st.Stats.reported <- Array.length ids;
+      (ids, st)
+
+let query ?limit t q ws = fst (query_stats ?limit t q ws)
+
+let space_stats t =
+  match t.inner with
+  | E_kd i -> Orp_kw.space_stats i
+  | E_lc i -> Lc_kw.space_stats i
+  | E_dimred i ->
+      {
+        Stats.nodes = 0;
+        max_depth = 0;
+        max_pivot = 0;
+        pivot_words = 0;
+        materialized_words = 0;
+        bitset_words = 0;
+        table_words = 0;
+        total_words = Dimred.space_words i;
+      }

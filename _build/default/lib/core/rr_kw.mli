@@ -1,0 +1,42 @@
+(** Rectangle Reporting with Keywords (Corollary 3): data objects are
+    d-rectangles; a query reports the data rectangles intersecting the query
+    rectangle whose documents contain all keywords.
+
+    Reduction (Appendix F): the rectangle [a1,b1] x ... x [ad,bd] becomes
+    the 2d-dimensional point (a1, b1, ..., ad, bd); "intersects q" becomes
+    membership in a 2d-rectangle with one-sided ranges. For d = 1 this is
+    keyword search on temporal documents [7] (lifespan intervals). *)
+
+open Kwsc_geom
+
+type t
+
+val build :
+  ?leaf_weight:int ->
+  ?engine:[ `Auto | `Kd | `Dimred | `Lc ] ->
+  k:int ->
+  (Rect.t * Kwsc_invindex.Doc.t) array ->
+  t
+(** @raise Invalid_argument if [k < 2], the input is empty, or data
+    rectangles have unbounded sides.
+
+    [engine] picks the underlying 2d-dimensional ORP-KW index: [`Kd] is the
+    Theorem-1 kd transform (fine for d = 1, weaker geometric term beyond —
+    the Section-3.5 caveat); [`Dimred] is the Theorem-2 dimension-reduction
+    structure the corollary actually invokes for 2d >= 3; [`Lc] routes
+    through the partition-tree LC-KW index — footnote 3's O(N)-space
+    alternative when 2d <= k. [`Auto] (default) chooses by dimension. *)
+
+val k : t -> int
+
+val dim : t -> int
+(** Dimensionality d of the data rectangles (the index itself lives in
+    2d dimensions). *)
+
+val input_size : t -> int
+
+val query : ?limit:int -> t -> Rect.t -> int array -> int array
+(** Sorted ids of the data rectangles intersecting [q] with all keywords. *)
+
+val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
+val space_stats : t -> Stats.space

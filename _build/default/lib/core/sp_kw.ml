@@ -1,0 +1,133 @@
+open Kwsc_geom
+
+(* Cells for classification are the bounding boxes of each node's active
+   points. The BSP halfspace splits (rotating generic directions) define the
+   partition — who goes left, who goes right, who pivots — while the
+   box-vs-halfspace tests below give exact O(d) Disjoint/Covered/Crossing
+   answers with no LP in the query hot path:
+   - a box is outside the query region if it misses any single constraint
+     entirely (sufficient, hence the pruning is conservative-safe);
+   - a box is covered if it satisfies every constraint entirely. *)
+type t = {
+  inner : (Rect.t, Polytope.t) Transform.t;
+  d : int;
+}
+
+let make_dirs rng d =
+  let num = (2 * d) + 3 in
+  Array.init num (fun i ->
+      if i < d then Array.init d (fun j -> if i = j then 1.0 else 0.0)
+      else begin
+        let v = Array.init d (fun _ -> Kwsc_util.Prng.float rng 2.0 -. 1.0) in
+        let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v) in
+        if norm < 1e-9 then Array.init d (fun j -> if j = 0 then 1.0 else 0.0)
+        else Array.map (fun x -> x /. norm) v
+      end)
+
+(* min and max of [coeffs . x] over a box. *)
+let linear_range (cell : Rect.t) coeffs =
+  let lo = ref 0.0 and hi = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      if c >= 0.0 then begin
+        lo := !lo +. (c *. cell.Rect.lo.(i));
+        hi := !hi +. (c *. cell.Rect.hi.(i))
+      end
+      else begin
+        lo := !lo +. (c *. cell.Rect.hi.(i));
+        hi := !hi +. (c *. cell.Rect.lo.(i))
+      end)
+    coeffs;
+  (!lo, !hi)
+
+let classify_box q cell =
+  let disjoint = ref false and covered = ref true in
+  List.iter
+    (fun (h : Halfspace.t) ->
+      let lo, hi = linear_range cell h.Halfspace.coeffs in
+      if lo > h.Halfspace.bound then disjoint := true;
+      if hi > h.Halfspace.bound then covered := false)
+    (Polytope.halfspaces q);
+  if !disjoint then Transform.Disjoint
+  else if !covered then Transform.Covered
+  else Transform.Crossing
+
+let bbox_of d pts ids =
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  Array.iter
+    (fun id ->
+      let p = pts.(id) in
+      for i = 0 to d - 1 do
+        lo.(i) <- Float.min lo.(i) p.(i);
+        hi.(i) <- Float.max hi.(i) p.(i)
+      done)
+    ids;
+  Rect.make lo hi
+
+let build ?leaf_weight ?(seed = 0x51ac3d) ~k objs =
+  let m = Array.length objs in
+  if m = 0 then invalid_arg "Sp_kw.build: empty input";
+  let pts = Array.map fst objs in
+  let docs = Array.map snd objs in
+  let d = Array.length pts.(0) in
+  Array.iter (fun p -> if Array.length p <> d then invalid_arg "Sp_kw.build: mixed dimensions") pts;
+  let rng = Kwsc_util.Prng.create seed in
+  let dirs = make_dirs rng d in
+  let weights = Array.map Kwsc_invindex.Doc.size docs in
+  let split ~depth _cell ids =
+    let dir = dirs.(depth mod Array.length dirs) in
+    let keyed = Array.map (fun id -> (Linalg.dot dir pts.(id), id)) ids in
+    Array.sort
+      (fun (ka, ia) (kb, ib) ->
+        let c = compare ka kb in
+        if c <> 0 then c else compare (pts.(ia), ia) (pts.(ib), ib))
+      keyed;
+    let total = Array.fold_left (fun acc (_, id) -> acc + weights.(id)) 0 keyed in
+    let j = ref 0 and acc = ref 0 in
+    (try
+       Array.iteri
+         (fun i (_, id) ->
+           acc := !acc + weights.(id);
+           if 2 * !acc >= total then begin
+             j := i;
+             raise Exit
+           end)
+         keyed
+     with Exit -> ());
+    let m_val = fst keyed.(!j) in
+    (* every object on the splitting hyperplane becomes a pivot (Step 2:
+       objects on child-cell boundaries) *)
+    let lo = ref !j and hi = ref !j in
+    while !lo > 0 && fst keyed.(!lo - 1) = m_val do
+      decr lo
+    done;
+    while !hi < Array.length keyed - 1 && fst keyed.(!hi + 1) = m_val do
+      incr hi
+    done;
+    let left = Array.map snd (Array.sub keyed 0 !lo) in
+    let right = Array.map snd (Array.sub keyed (!hi + 1) (Array.length keyed - !hi - 1)) in
+    let pivots = Array.map snd (Array.sub keyed !lo (!hi - !lo + 1)) in
+    let children = ref [] in
+    if Array.length right > 0 then children := (bbox_of d pts right, right) :: !children;
+    if Array.length left > 0 then children := (bbox_of d pts left, left) :: !children;
+    (Array.of_list !children, pivots)
+  in
+  let classify q cell = classify_box q cell in
+  let contains q id = Polytope.mem q pts.(id) in
+  let all_ids = Array.init m (fun i -> i) in
+  let space = { Transform.root_cell = bbox_of d pts all_ids; split; classify; contains } in
+  { inner = Transform.build ?leaf_weight ~k ~space docs; d }
+
+let k t = Transform.k t.inner
+let dim t = t.d
+let input_size t = Transform.input_size t.inner
+
+let query_stats ?limit t q ws =
+  if Polytope.dim q <> t.d then invalid_arg "Sp_kw.query: dimension mismatch";
+  Transform.query_stats ?limit t.inner q ws
+
+let query_polytope ?limit t q ws = fst (query_stats ?limit t q ws)
+let query_simplex ?limit t s ws = query_polytope ?limit t (Polytope.of_simplex s) ws
+let query_halfspaces ?limit t hs ws = query_polytope ?limit t (Polytope.make ~dim:t.d hs) ws
+let space_stats t = Transform.space_stats t.inner
+let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f

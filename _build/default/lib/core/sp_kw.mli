@@ -1,0 +1,38 @@
+(** Simplex Reporting with Keywords (Theorem 12, Appendix D): the
+    transformation framework instantiated with a partition tree whose cells
+    are convex polytopes.
+
+    Queries accept any convex region given as halfspaces — a simplex is the
+    special case with d+1 facets, and an LC-KW query region (conjunction of
+    s linear constraints) is queried directly without the simplex
+    decomposition (the decomposition is an analysis device; see {!Lc_kw}
+    for the 2-D decomposition path as well).
+
+    The underlying splitter is the BSP partition tree of DESIGN.md
+    substitution 1 (Chan's optimal partition tree is not implementable in
+    practice); the keyword-side guarantees of the theorem are preserved. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+(** @raise Invalid_argument if [k < 2] or the input is empty. *)
+
+val k : t -> int
+val dim : t -> int
+val input_size : t -> int
+
+val query_polytope : ?limit:int -> t -> Polytope.t -> int array -> int array
+(** Sorted ids of objects inside the convex region whose documents contain
+    all [k] keywords. *)
+
+val query_simplex : ?limit:int -> t -> Simplex.t -> int array -> int array
+(** SP-KW proper: report inside a closed d-simplex. *)
+
+val query_halfspaces : ?limit:int -> t -> Halfspace.t list -> int array -> int array
+(** LC-KW form: conjunction of linear constraints. *)
+
+val query_stats : ?limit:int -> t -> Polytope.t -> int array -> int array * Stats.query
+val space_stats : t -> Stats.space
+val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a

@@ -1,0 +1,37 @@
+open Kwsc_geom
+
+type t = { sp : Sp_kw.t; d : int }
+
+let build ?leaf_weight ?seed ~k objs =
+  if Array.length objs = 0 then invalid_arg "Srp_kw.build: empty input";
+  let d = Array.length (fst objs.(0)) in
+  let lifted = Array.map (fun (p, doc) -> (Lift.point p, doc)) objs in
+  { sp = Sp_kw.build ?leaf_weight ?seed ~k lifted; d }
+
+let k t = Sp_kw.k t.sp
+let dim t = t.d
+let input_size t = Sp_kw.input_size t.sp
+
+let halfspace_of_ball_sq t center r2 =
+  if Array.length center <> t.d then invalid_arg "Srp_kw.query: dimension mismatch";
+  if r2 < 0.0 then invalid_arg "Srp_kw.query: negative squared radius";
+  let coeffs = Array.make (t.d + 1) 0.0 in
+  for i = 0 to t.d - 1 do
+    coeffs.(i) <- -2.0 *. center.(i)
+  done;
+  coeffs.(t.d) <- 1.0;
+  Halfspace.make coeffs (r2 -. Linalg.dot center center)
+
+let query_ball_sq ?limit t center r2 ws =
+  Sp_kw.query_halfspaces ?limit t.sp [ halfspace_of_ball_sq t center r2 ] ws
+
+let query ?limit t (s : Sphere.t) ws =
+  query_ball_sq ?limit t s.Sphere.center (s.Sphere.radius *. s.Sphere.radius) ws
+
+let query_stats ?limit t (s : Sphere.t) ws =
+  let h = halfspace_of_ball_sq t s.Sphere.center (s.Sphere.radius *. s.Sphere.radius) in
+  Sp_kw.query_stats ?limit t.sp (Polytope.make ~dim:(t.d + 1) [ h ]) ws
+
+let space_stats t = Sp_kw.space_stats t.sp
+
+let emptiness t s ws = Array.length (query ~limit:1 t s ws) = 0

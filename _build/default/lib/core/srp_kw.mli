@@ -1,0 +1,32 @@
+(** Spherical Range Reporting with Keywords (Corollary 6): report the
+    objects within Euclidean distance r of a query point that contain all
+    keywords ("boolean range query with keywords" [22]).
+
+    Reduction (Appendix F): lift points onto the paraboloid in R^{d+1};
+    the sphere becomes one halfspace there, so one (d+1)-dimensional LC-KW
+    query with a single constraint answers the sphere query. *)
+
+open Kwsc_geom
+
+type t
+
+val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+val k : t -> int
+
+val dim : t -> int
+(** Dimensionality d of the data points (the index lives in d+1). *)
+
+val input_size : t -> int
+
+val query : ?limit:int -> t -> Sphere.t -> int array -> int array
+(** Sorted ids of the objects in the closed ball with all keywords. *)
+
+val query_ball_sq : ?limit:int -> t -> Point.t -> float -> int array -> int array
+(** As [query] with the squared radius given directly — exact on integer
+    coordinates, which is what the binary search of Corollary 7 needs. *)
+
+val query_stats : ?limit:int -> t -> Sphere.t -> int array -> int array * Stats.query
+val space_stats : t -> Stats.space
+
+val emptiness : t -> Sphere.t -> int array -> bool
+(** Output-capped emptiness probe. *)

@@ -1,0 +1,41 @@
+type query = {
+  mutable nodes_visited : int;
+  mutable covered_nodes : int;
+  mutable crossing_nodes : int;
+  mutable pivot_checked : int;
+  mutable small_scanned : int;
+  mutable pruned_empty : int;
+  mutable pruned_geom : int;
+  mutable reported : int;
+}
+
+let fresh_query () =
+  {
+    nodes_visited = 0;
+    covered_nodes = 0;
+    crossing_nodes = 0;
+    pivot_checked = 0;
+    small_scanned = 0;
+    pruned_empty = 0;
+    pruned_geom = 0;
+    reported = 0;
+  }
+
+let work q = q.pivot_checked + q.small_scanned + q.nodes_visited
+
+type space = {
+  nodes : int;
+  max_depth : int;
+  max_pivot : int;
+  pivot_words : int;
+  materialized_words : int;
+  bitset_words : int;
+  table_words : int;
+  total_words : int;
+}
+
+let pp_space fmt s =
+  Format.fprintf fmt
+    "nodes=%d depth=%d max_pivot=%d words{pivot=%d mat=%d bits=%d tbl=%d total=%d}" s.nodes
+    s.max_depth s.max_pivot s.pivot_words s.materialized_words s.bitset_words s.table_words
+    s.total_words

@@ -1,0 +1,34 @@
+(** Instrumentation shared by all transformed indexes. The paper's analysis
+    (Lemma 9, Lemma 10, Propositions 1–3) bounds *counts* — covered nodes,
+    crossing nodes, objects scanned — so the bench harness validates those
+    counts directly rather than only wall-clock time. *)
+
+type query = {
+  mutable nodes_visited : int;  (** size of T_qry *)
+  mutable covered_nodes : int;  (** covered nodes of Section 3.3 *)
+  mutable crossing_nodes : int;  (** crossing nodes of Section 3.3 *)
+  mutable pivot_checked : int;  (** objects examined from pivot sets *)
+  mutable small_scanned : int;  (** objects examined from materialized sets *)
+  mutable pruned_empty : int;  (** children skipped by the emptiness bits *)
+  mutable pruned_geom : int;  (** children skipped by cell-vs-query tests *)
+  mutable reported : int;  (** OUT *)
+}
+
+val fresh_query : unit -> query
+
+val work : query -> int
+(** Total objects examined — the machine-independent cost measure used for
+    exponent fits. *)
+
+type space = {
+  nodes : int;
+  max_depth : int;
+  max_pivot : int;
+  pivot_words : int;
+  materialized_words : int;
+  bitset_words : int;
+  table_words : int;
+  total_words : int;  (** overall index footprint in 64-bit words *)
+}
+
+val pp_space : Format.formatter -> space -> unit

@@ -1,0 +1,321 @@
+module Doc = Kwsc_invindex.Doc
+module Bitset = Kwsc_util.Bitset
+
+type relation = Disjoint | Covered | Crossing
+
+type ('cell, 'query) space = {
+  root_cell : 'cell;
+  split : depth:int -> 'cell -> int array -> ('cell * int array) array * int array;
+  classify : 'query -> 'cell -> relation;
+  contains : 'query -> int -> bool;
+}
+
+type 'cell node = {
+  cell : 'cell;
+  depth : int;
+  n_u : int;
+  pivot : int array;
+  children : 'cell child array;
+  large : (int, int) Hashtbl.t; (* keyword -> rank in [0, num_large) *)
+  num_large : int;
+  materialized : (int, int array) Hashtbl.t;
+}
+
+and 'cell child = { node : 'cell node; nonempty : Bitset.t }
+
+type ('cell, 'query) t = {
+  space : ('cell, 'query) space;
+  docs : Doc.t array;
+  k_ : int;
+  n : int;
+  root : 'cell node;
+}
+
+let rec ipow base e = if e = 0 then 1 else base * ipow base (e - 1)
+
+(* Enumerate all strictly increasing k-tuples from the sorted rank array
+   [ranks] and hand each tuple's base-L code to [f]. *)
+let iter_combos ranks k l f =
+  let len = Array.length ranks in
+  let rec go pos chosen code =
+    if chosen = k then f code
+    else
+      for i = pos to len - (k - chosen) do
+        go (i + 1) (chosen + 1) ((code * l) + ranks.(i))
+      done
+  in
+  if len >= k then go 0 0 0
+
+let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ~k ~space docs =
+  if k < 2 then invalid_arg "Transform.build: k must be >= 2";
+  let m = Array.length docs in
+  if m = 0 then invalid_arg "Transform.build: empty dataset";
+  if leaf_weight < 1 then invalid_arg "Transform.build: leaf_weight must be >= 1";
+  let tau_exp =
+    match tau_exponent with
+    | None -> 1.0 -. (1.0 /. float_of_int k)
+    | Some e ->
+        if e < 0.0 || e > 1.0 then invalid_arg "Transform.build: tau_exponent must be in [0,1]";
+        e
+  in
+  let weight id = Doc.size docs.(id) in
+  let n = ref 0 in
+  Array.iter (fun d -> n := !n + Doc.size d) docs;
+  let rec build_node cell ids candidates depth =
+    let n_u = Array.fold_left (fun acc id -> acc + weight id) 0 ids in
+    let leaf () =
+      {
+        cell;
+        depth;
+        n_u;
+        pivot = ids;
+        children = [||];
+        large = Hashtbl.create 1;
+        num_large = 0;
+        materialized = Hashtbl.create 1;
+      }
+    in
+    if n_u <= leaf_weight || Array.length ids <= 1 then leaf ()
+    else build_internal cell ids candidates depth n_u leaf
+  and build_internal cell ids candidates depth n_u leaf =
+    (* collect the active list of every candidate keyword present here *)
+    let lists : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun id ->
+        Doc.iter
+          (fun w ->
+            if Hashtbl.mem candidates w then
+              match Hashtbl.find_opt lists w with
+              | Some l -> l := id :: !l
+              | None -> Hashtbl.add lists w (ref [ id ]))
+          docs.(id))
+      ids;
+    let tau = float_of_int n_u ** tau_exp in
+    let large_kws = ref [] in
+    let materialized = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun w l ->
+        if float_of_int (List.length !l) >= tau then large_kws := w :: !large_kws
+        else Hashtbl.add materialized w (Array.of_list !l))
+      lists;
+    let large_sorted = List.sort compare !large_kws in
+    let num_large = List.length large_sorted in
+    let large = Hashtbl.create (max 1 num_large) in
+    List.iteri (fun i w -> Hashtbl.add large w i) large_sorted;
+    begin
+      let raw_children, pivots = space.split ~depth cell ids in
+      let nonempty_children =
+        Array.of_list
+          (List.filter (fun (_, cids) -> Array.length cids > 0) (Array.to_list raw_children))
+      in
+      let no_progress =
+        Array.length pivots = 0
+        && Array.length nonempty_children = 1
+        && Array.length (snd nonempty_children.(0)) = Array.length ids
+      in
+      if no_progress || Array.length nonempty_children = 0 then
+        (* the splitter cannot separate these objects: absorb them as pivots *)
+        leaf ()
+      else begin
+        (* the pivot scan already covers the node's own pivots: drop them
+           from the materialized sets so no object is reported twice *)
+        if Array.length pivots > 0 then begin
+          let is_pivot id = Array.exists (fun p -> p = id) pivots in
+          let filtered =
+            Hashtbl.fold
+              (fun w ids acc -> (w, Array.of_list (List.filter (fun id -> not (is_pivot id)) (Array.to_list ids))) :: acc)
+              materialized []
+          in
+          Hashtbl.reset materialized;
+          List.iter (fun (w, ids) -> Hashtbl.add materialized w ids) filtered
+        end;
+        (* candidate keywords below are those large here *)
+        let child_candidates = Hashtbl.create (max 1 num_large) in
+        List.iter (fun w -> Hashtbl.add child_candidates w ()) large_sorted;
+        (* With the paper's threshold, L^k <= N_u. Ablated thresholds
+           (tau_exponent < 1 - 1/k) can push L^k far beyond that; cap the
+           allocation and fall back to bit-less descent for such nodes
+           (correct, just unpruned). The float check also guards ipow
+           against overflow. *)
+        let bits_cap = max 4096 (64 * n_u) in
+        let bits_len =
+          if
+            use_bits && num_large >= k
+            && float_of_int num_large ** float_of_int k <= float_of_int bits_cap
+          then ipow num_large k
+          else 0
+        in
+        let children =
+          Array.map
+            (fun (ccell, cids) ->
+              let node = build_node ccell cids child_candidates (depth + 1) in
+              let nonempty = Bitset.create bits_len in
+              if bits_len > 0 then
+                Array.iter
+                  (fun id ->
+                    let ranks = ref [] in
+                    Doc.iter
+                      (fun w ->
+                        match Hashtbl.find_opt large w with
+                        | Some r -> ranks := r :: !ranks
+                        | None -> ())
+                      docs.(id);
+                    let ranks = Array.of_list (List.sort compare !ranks) in
+                    iter_combos ranks k num_large (fun code -> Bitset.set nonempty code))
+                  cids;
+              { node; nonempty })
+            nonempty_children
+        in
+        { cell; depth; n_u; pivot = pivots; children; large; num_large; materialized }
+      end
+    end
+  in
+  let all_ids = Array.init m (fun i -> i) in
+  let root_candidates = Hashtbl.create 64 in
+  Array.iter (fun d -> Doc.iter (fun w -> Hashtbl.replace root_candidates w ()) d) docs;
+  let root = build_node space.root_cell all_ids root_candidates 0 in
+  { space; docs; k_ = k; n = !n; root }
+
+let k t = t.k_
+let input_size t = t.n
+
+exception Limit_reached
+
+let validate_keywords t ws =
+  let sorted = Kwsc_util.Sorted.sort_dedup (Array.to_list ws) in
+  if Array.length sorted <> t.k_ then
+    invalid_arg
+      (Printf.sprintf "Transform.query: expected %d distinct keywords, got %d" t.k_
+         (Array.length sorted));
+  sorted
+
+let query_stats ?limit t q ws =
+  let ws = validate_keywords t ws in
+  (match limit with
+  | Some l when l < 1 -> invalid_arg "Transform.query: limit must be >= 1"
+  | _ -> ());
+  let st = Stats.fresh_query () in
+  let acc = ref [] in
+  let report id =
+    acc := id :: !acc;
+    st.Stats.reported <- st.Stats.reported + 1;
+    match limit with Some l when st.Stats.reported >= l -> raise Limit_reached | _ -> ()
+  in
+  let doc_all id = Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws in
+  let rec visit node =
+    st.Stats.nodes_visited <- st.Stats.nodes_visited + 1;
+    (match t.space.classify q node.cell with
+    | Covered -> st.Stats.covered_nodes <- st.Stats.covered_nodes + 1
+    | Crossing | Disjoint -> st.Stats.crossing_nodes <- st.Stats.crossing_nodes + 1);
+    Array.iter
+      (fun id ->
+        st.Stats.pivot_checked <- st.Stats.pivot_checked + 1;
+        if doc_all id && t.space.contains q id then report id)
+      node.pivot;
+    if Array.length node.children > 0 then begin
+      let all_large = Array.for_all (fun w -> Hashtbl.mem node.large w) ws in
+      if all_large then begin
+        let ranks = Array.map (fun w -> Hashtbl.find node.large w) ws in
+        Array.sort compare ranks;
+        let code = Array.fold_left (fun c r -> (c * node.num_large) + r) 0 ranks in
+        Array.iter
+          (fun child ->
+            (* a zero-length bit array means the bits were ablated away
+               ([use_bits:false]): treat every child as possibly non-empty *)
+            if Bitset.length child.nonempty = 0 || Bitset.get child.nonempty code then begin
+              if t.space.classify q child.node.cell = Disjoint then
+                st.Stats.pruned_geom <- st.Stats.pruned_geom + 1
+              else visit child.node
+            end
+            else st.Stats.pruned_empty <- st.Stats.pruned_empty + 1)
+          node.children
+      end
+      else begin
+        (* scan the cheapest materialized set among the small keywords *)
+        let best = ref None in
+        Array.iter
+          (fun w ->
+            if not (Hashtbl.mem node.large w) then begin
+              let lst =
+                match Hashtbl.find_opt node.materialized w with Some a -> a | None -> [||]
+              in
+              match !best with
+              | None -> best := Some lst
+              | Some b -> if Array.length lst < Array.length b then best := Some lst
+            end)
+          ws;
+        match !best with
+        | None -> assert false (* not all large implies some small keyword exists *)
+        | Some lst ->
+            Array.iter
+              (fun id ->
+                st.Stats.small_scanned <- st.Stats.small_scanned + 1;
+                if doc_all id && t.space.contains q id then report id)
+              lst
+      end
+    end
+  in
+  (try if t.space.classify q t.root.cell <> Disjoint then visit t.root with Limit_reached -> ());
+  let out = Array.of_list !acc in
+  Array.sort compare out;
+  (out, st)
+
+let query ?limit t q ws = fst (query_stats ?limit t q ws)
+
+type node_view = {
+  depth : int;
+  n_u : int;
+  pivot : int array;
+  num_children : int;
+  num_large : int;
+  materialized : (int * int array) list;
+}
+
+let fold_nodes t ~init ~f =
+  let rec go acc (node : _ node) =
+    let view =
+      {
+        depth = node.depth;
+        n_u = node.n_u;
+        pivot = Array.copy node.pivot;
+        num_children = Array.length node.children;
+        num_large = node.num_large;
+        materialized = Hashtbl.fold (fun w ids acc -> (w, ids) :: acc) node.materialized [];
+      }
+    in
+    Array.fold_left (fun acc child -> go acc child.node) (f acc view) node.children
+  in
+  go init t.root
+
+let space_stats t =
+  let nodes = ref 0
+  and max_depth = ref 0
+  and max_pivot = ref 0
+  and pivot_words = ref 0
+  and materialized_words = ref 0
+  and bitset_words = ref 0
+  and table_words = ref 0 in
+  let rec go (node : _ node) =
+    incr nodes;
+    max_depth := max !max_depth node.depth;
+    max_pivot := max !max_pivot (Array.length node.pivot);
+    pivot_words := !pivot_words + Array.length node.pivot;
+    Hashtbl.iter (fun _ ids -> materialized_words := !materialized_words + 1 + Array.length ids) node.materialized;
+    table_words := !table_words + node.num_large;
+    Array.iter
+      (fun child ->
+        bitset_words := !bitset_words + Bitset.words child.nonempty;
+        go child.node)
+      node.children
+  in
+  go t.root;
+  {
+    Stats.nodes = !nodes;
+    max_depth = !max_depth;
+    max_pivot = !max_pivot;
+    pivot_words = !pivot_words;
+    materialized_words = !materialized_words;
+    bitset_words = !bitset_words;
+    table_words = !table_words;
+    total_words = !pivot_words + !materialized_words + !bitset_words + !table_words + (2 * !nodes);
+  }

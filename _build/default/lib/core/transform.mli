@@ -1,0 +1,93 @@
+(** The index-transformation framework of Section 3 — the paper's primary
+    contribution. Given any space-partitioning index (Step 1, described by a
+    {!space} value), the framework produces a keyword-aware index
+    (Steps 2–3): it maintains active and pivot sets per node, classifies
+    keywords as large/small against the threshold [N_u^(1-1/k)], stores the
+    k-dimensional child-emptiness bit arrays over large keywords, and
+    materializes an active set [D_u^act(w)] exactly when [w] is small at [u]
+    but large at all proper ancestors.
+
+    The framework is generic over the geometry: instantiating it with the
+    kd-tree gives Theorem 1 (see {!Orp_kw}); with the partition tree,
+    Theorem 12 / Theorem 5 (see {!Sp_kw}); with a trivial 1-D structure, the
+    k-SI index of Section 1.2 (see {!Ksi}). *)
+
+type relation = Disjoint | Covered | Crossing
+(** Cell-versus-query trichotomy of Section 3.3. *)
+
+type ('cell, 'query) space = {
+  root_cell : 'cell;  (** cell of the root: covers all objects *)
+  split : depth:int -> 'cell -> int array -> ('cell * int array) array * int array;
+      (** [split ~depth cell ids] partitions the active objects [ids]:
+          returns the children (cell and the ids pushed into each child's
+          interior) and the pivot ids (objects on child boundaries, Step 2).
+          Every id must appear in exactly one child or in the pivots. *)
+  classify : 'query -> 'cell -> relation;
+      (** conservative is allowed (Covered may be reported as Crossing);
+          [Disjoint] must be exact in the sense that a [Disjoint] cell
+          contains no result object. *)
+  contains : 'query -> int -> bool;  (** is object [id]'s point inside the query region? *)
+}
+(** Step-1 interface: what the framework needs from the geometry index.
+    Implementations close over the dataset's points. *)
+
+type ('cell, 'query) t
+
+val build :
+  ?leaf_weight:int ->
+  ?tau_exponent:float ->
+  ?use_bits:bool ->
+  k:int ->
+  space:('cell, 'query) space ->
+  Kwsc_invindex.Doc.t array ->
+  ('cell, 'query) t
+(** [build ~k ~space docs] indexes objects [0 .. Array.length docs - 1].
+    [k >= 2] is the number of keywords every query must supply (the paper
+    fixes k per index). [leaf_weight] (default 4) stops the recursion once
+    [N_u] drops to that many words.
+
+    Two ablation knobs expose the design choices of Section 3.2 (used by the
+    bench harness; leave them at their defaults otherwise):
+    - [tau_exponent] overrides the large/small threshold exponent: a keyword
+      is large at [u] iff its active count is at least [N_u^tau_exponent].
+      The paper's choice — and the default — is [1 - 1/k]; 0 makes every
+      keyword large (pure tree descent), 1 makes every keyword small (pure
+      materialized-list scans).
+    - [use_bits:false] drops the k-dimensional child-emptiness bit arrays:
+      the query then always descends into geometrically feasible children.
+      Correct, but emptiness queries lose their O(1)-per-node pruning.
+
+    @raise Invalid_argument if [k < 2], [docs] is empty, or [tau_exponent]
+    is outside [\[0, 1\]]. *)
+
+val k : ('cell, 'query) t -> int
+
+val input_size : ('cell, 'query) t -> int
+(** N of equation (2). *)
+
+val query : ?limit:int -> ('cell, 'query) t -> 'query -> int array -> int array
+(** [query t q ws] returns the sorted ids of objects inside [q] whose
+    documents contain all of [ws] — the Section 3.3 algorithm. [ws] must
+    hold exactly [k t] distinct keywords. [limit] stops reporting early
+    (used by the nearest-neighbor probes of Corollaries 4 and 7, replacing
+    the paper's manual time cut-off).
+    @raise Invalid_argument on a malformed keyword set. *)
+
+val query_stats : ?limit:int -> ('cell, 'query) t -> 'query -> int array -> int array * Stats.query
+(** As [query], also returning per-query instrumentation. *)
+
+val space_stats : ('cell, 'query) t -> Stats.space
+(** Space accounting in words (Appendix B's budget). *)
+
+type node_view = {
+  depth : int;
+  n_u : int;  (** the node's weight N_u, equation (6) *)
+  pivot : int array;
+  num_children : int;
+  num_large : int;
+  materialized : (int * int array) list;  (** (keyword, materialized id list) *)
+}
+
+val fold_nodes : ('cell, 'query) t -> init:'a -> f:('a -> node_view -> 'a) -> 'a
+(** Structural traversal for invariant tests (pivot sizes, weight decay,
+    materialize-once, large-keyword budget). *)

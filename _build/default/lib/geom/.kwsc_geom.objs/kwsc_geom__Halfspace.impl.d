@@ -1,0 +1,1 @@
+lib/geom/halfspace.ml: Array Linalg List Printf Rect String

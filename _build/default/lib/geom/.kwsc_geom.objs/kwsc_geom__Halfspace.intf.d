@@ -1,0 +1,1 @@
+lib/geom/halfspace.mli: Point Rect

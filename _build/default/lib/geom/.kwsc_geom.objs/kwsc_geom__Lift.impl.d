@@ -1,0 +1,1 @@
+lib/geom/lift.ml: Array Halfspace Linalg Sphere

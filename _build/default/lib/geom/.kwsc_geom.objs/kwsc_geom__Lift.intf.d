@@ -1,0 +1,1 @@
+lib/geom/lift.mli: Halfspace Point Sphere

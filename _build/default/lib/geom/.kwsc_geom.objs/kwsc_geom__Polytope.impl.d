@@ -1,0 +1,1 @@
+lib/geom/polytope.ml: Array Halfspace Linalg List Point Rect Seidel_lp Simplex

@@ -1,0 +1,1 @@
+lib/geom/polytope.mli: Halfspace Kwsc_util Point Rect Simplex

@@ -1,0 +1,1 @@
+lib/geom/rank_space.ml: Array Kwsc_util Rect

@@ -1,0 +1,1 @@
+lib/geom/rank_space.mli: Point Rect

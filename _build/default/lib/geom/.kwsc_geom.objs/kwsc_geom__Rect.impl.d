@@ -1,0 +1,1 @@
+lib/geom/rect.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/geom/seidel_lp.ml: Array Float Halfspace Kwsc_util Linalg List

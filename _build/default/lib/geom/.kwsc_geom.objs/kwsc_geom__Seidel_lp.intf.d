@@ -1,0 +1,1 @@
+lib/geom/seidel_lp.mli: Halfspace Kwsc_util

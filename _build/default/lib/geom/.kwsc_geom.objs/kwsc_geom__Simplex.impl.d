@@ -1,0 +1,1 @@
+lib/geom/simplex.ml: Array Float Halfspace Linalg List Point Rect

@@ -1,0 +1,1 @@
+lib/geom/simplex.mli: Halfspace Point Rect

@@ -1,0 +1,1 @@
+lib/geom/sphere.ml: Array Point Rect

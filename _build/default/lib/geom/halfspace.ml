@@ -1,0 +1,34 @@
+type t = { coeffs : float array; bound : float }
+
+let make coeffs bound = { coeffs = Array.copy coeffs; bound }
+let dim h = Array.length h.coeffs
+
+let eval h p =
+  if Array.length p <> dim h then invalid_arg "Halfspace.eval: dimension mismatch";
+  Linalg.dot h.coeffs p -. h.bound
+
+let satisfies h p = eval h p <= 0.0
+let complement_open h = { coeffs = Array.map (fun c -> -.c) h.coeffs; bound = -.h.bound }
+
+let of_rect (r : Rect.t) =
+  let d = Rect.dim r in
+  let cs = ref [] in
+  for i = d - 1 downto 0 do
+    if r.Rect.hi.(i) < infinity then begin
+      let c = Array.make d 0.0 in
+      c.(i) <- 1.0;
+      cs := { coeffs = c; bound = r.Rect.hi.(i) } :: !cs
+    end;
+    if r.Rect.lo.(i) > neg_infinity then begin
+      let c = Array.make d 0.0 in
+      c.(i) <- -1.0;
+      cs := { coeffs = c; bound = -.r.Rect.lo.(i) } :: !cs
+    end
+  done;
+  !cs
+
+let to_string h =
+  let terms =
+    List.init (dim h) (fun i -> Printf.sprintf "%+gx%d" h.coeffs.(i) (i + 1))
+  in
+  String.concat " " terms ^ Printf.sprintf " <= %g" h.bound

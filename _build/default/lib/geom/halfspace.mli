@@ -1,0 +1,28 @@
+(** Linear constraints [sum_i c_i * x_i <= c_{d+1}] — the query predicate of
+    the LC-KW problem (Section 1.1). *)
+
+type t = { coeffs : float array; bound : float }
+
+val make : float array -> float -> t
+(** [make coeffs bound] is the constraint [coeffs . x <= bound]. *)
+
+val dim : t -> int
+
+val satisfies : t -> Point.t -> bool
+(** Closed test [coeffs . p <= bound]. *)
+
+val eval : t -> Point.t -> float
+(** [eval h p = coeffs . p - bound]; non-positive iff [p] satisfies [h]. *)
+
+val complement_open : t -> t
+(** The (closure of the) complement [coeffs . x >= bound], expressed again
+    as a [<=] constraint by negation. Used for covered-ness tests: a convex
+    cell fails to be inside [h] iff it meets this complement with positive
+    slack. *)
+
+val of_rect : Rect.t -> t list
+(** A d-rectangle as the conjunction of up to 2d linear constraints
+    (the reduction noted after Theorem 5); infinite sides yield no
+    constraint. *)
+
+val to_string : t -> string

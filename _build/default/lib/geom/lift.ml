@@ -1,0 +1,19 @@
+let point p =
+  let d = Array.length p in
+  let out = Array.make (d + 1) 0.0 in
+  Array.blit p 0 out 0 d;
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. (x *. x)) p;
+  out.(d) <- !s;
+  out
+
+let sphere (b : Sphere.t) =
+  let c = b.Sphere.center in
+  let d = Array.length c in
+  let coeffs = Array.make (d + 1) 0.0 in
+  for i = 0 to d - 1 do
+    coeffs.(i) <- -2.0 *. c.(i)
+  done;
+  coeffs.(d) <- 1.0;
+  let norm2 = Linalg.dot c c in
+  Halfspace.make coeffs ((b.Sphere.radius *. b.Sphere.radius) -. norm2)

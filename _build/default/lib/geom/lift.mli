@@ -1,0 +1,11 @@
+(** The lifting technique of Corollary 6 (Aurenhammer [8]): map R^d onto the
+    paraboloid in R^{d+1}. A d-sphere becomes a single halfspace in R^{d+1},
+    so SRP-KW reduces to (d+1)-dimensional LC-KW with one constraint. *)
+
+val point : Point.t -> Point.t
+(** [point p] appends [sum_i p_i^2] as coordinate d+1. *)
+
+val sphere : Sphere.t -> Halfspace.t
+(** [sphere b] is the halfspace [h] in R^{d+1} with: [p] is inside [b] iff
+    [point p] satisfies [h]. Derivation: |p - c|^2 <= r^2 unfolds to
+    [-2 c . p + (sum p_i^2) <= r^2 - |c|^2]. *)

@@ -1,0 +1,90 @@
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Linalg.dot: length mismatch";
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let pivot_threshold = 1e-12
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Linalg.solve: empty system";
+  let m = Array.map Array.copy a in
+  let v = Array.copy b in
+  let singular = ref false in
+  (try
+     for col = 0 to n - 1 do
+       (* partial pivoting *)
+       let best = ref col in
+       for r = col + 1 to n - 1 do
+         if abs_float m.(r).(col) > abs_float m.(!best).(col) then best := r
+       done;
+       if abs_float m.(!best).(col) < pivot_threshold then begin
+         singular := true;
+         raise Exit
+       end;
+       if !best <> col then begin
+         let tmp = m.(col) in
+         m.(col) <- m.(!best);
+         m.(!best) <- tmp;
+         let tv = v.(col) in
+         v.(col) <- v.(!best);
+         v.(!best) <- tv
+       end;
+       for r = col + 1 to n - 1 do
+         let f = m.(r).(col) /. m.(col).(col) in
+         if f <> 0.0 then begin
+           for c = col to n - 1 do
+             m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+           done;
+           v.(r) <- v.(r) -. (f *. v.(col))
+         end
+       done
+     done
+   with Exit -> ());
+  if !singular then None
+  else begin
+    let x = Array.make n 0.0 in
+    for r = n - 1 downto 0 do
+      let s = ref v.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (m.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. m.(r).(r)
+    done;
+    Some x
+  end
+
+let det a =
+  let n = Array.length a in
+  let m = Array.map Array.copy a in
+  let sign = ref 1.0 in
+  let result = ref 1.0 in
+  (try
+     for col = 0 to n - 1 do
+       let best = ref col in
+       for r = col + 1 to n - 1 do
+         if abs_float m.(r).(col) > abs_float m.(!best).(col) then best := r
+       done;
+       if abs_float m.(!best).(col) < pivot_threshold then begin
+         result := 0.0;
+         raise Exit
+       end;
+       if !best <> col then begin
+         let tmp = m.(col) in
+         m.(col) <- m.(!best);
+         m.(!best) <- tmp;
+         sign := -. !sign
+       end;
+       result := !result *. m.(col).(col);
+       for r = col + 1 to n - 1 do
+         let f = m.(r).(col) /. m.(col).(col) in
+         for c = col to n - 1 do
+           m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+         done
+       done
+     done
+   with Exit -> ());
+  !result *. !sign

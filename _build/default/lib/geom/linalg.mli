@@ -1,0 +1,14 @@
+(** Dense linear algebra on tiny systems (dimension = the constant [d] of the
+    paper's problems). Used to derive facet hyperplanes of simplices and the
+    lifting map's algebra. *)
+
+val solve : float array array -> float array -> float array option
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting; [None] if [a] is singular (up to a 1e-12 pivot threshold).
+    [a] is row-major and is not mutated. *)
+
+val dot : float array -> float array -> float
+(** Dot product. @raise Invalid_argument on length mismatch. *)
+
+val det : float array array -> float
+(** Determinant by LU decomposition (not mutating the input). *)

@@ -1,0 +1,31 @@
+type t = float array
+
+let dim = Array.length
+
+let check_dims p q = if Array.length p <> Array.length q then invalid_arg "Point: dimension mismatch"
+
+let linf_dist p q =
+  check_dims p q;
+  let m = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    m := Float.max !m (abs_float (p.(i) -. q.(i)))
+  done;
+  !m
+
+let l2_dist_sq p q =
+  check_dims p q;
+  let s = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let d = p.(i) -. q.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+let l2_dist p q = sqrt (l2_dist_sq p q)
+
+let equal p q = Array.length p = Array.length q && Array.for_all2 ( = ) p q
+
+let compare_lex p q = compare p q
+
+let to_string p =
+  "(" ^ String.concat ", " (Array.to_list (Array.map (fun x -> Printf.sprintf "%g" x) p)) ^ ")"

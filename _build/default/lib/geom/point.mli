@@ -1,0 +1,26 @@
+(** Points in R^d, represented as float arrays of length [d]. *)
+
+type t = float array
+
+val dim : t -> int
+(** Dimensionality. *)
+
+val linf_dist : t -> t -> float
+(** L∞ (Chebyshev) distance — the metric of Corollary 4.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val l2_dist : t -> t -> float
+(** Euclidean distance — the metric of Corollary 7. *)
+
+val l2_dist_sq : t -> t -> float
+(** Squared Euclidean distance (avoids the square root; exact on integer
+    coordinates, which Corollary 7 assumes). *)
+
+val equal : t -> t -> bool
+(** Coordinate-wise equality. *)
+
+val compare_lex : t -> t -> int
+(** Lexicographic order. *)
+
+val to_string : t -> string
+(** Human-readable rendering, e.g. ["(1.5, 2)"] . *)

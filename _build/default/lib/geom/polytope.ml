@@ -1,0 +1,97 @@
+type t = { d : int; hs : Halfspace.t list }
+
+let make ~dim hs =
+  if dim < 1 then invalid_arg "Polytope.make: dim must be >= 1";
+  List.iter
+    (fun h -> if Halfspace.dim h <> dim then invalid_arg "Polytope.make: dimension mismatch")
+    hs;
+  { d = dim; hs }
+
+let of_rect r = make ~dim:(Rect.dim r) (Halfspace.of_rect r)
+let of_simplex s = make ~dim:(Simplex.dim s) (Simplex.halfspaces s)
+let dim t = t.d
+let halfspaces t = t.hs
+
+let add t h =
+  if Halfspace.dim h <> t.d then invalid_arg "Polytope.add: dimension mismatch";
+  { t with hs = h :: t.hs }
+
+let mem t p = List.for_all (fun h -> Halfspace.satisfies h p) t.hs
+
+let is_empty ?box ~rng t = not (Seidel_lp.feasible ?box ~rng ~dim:t.d t.hs)
+
+let intersects ?box ~rng a b =
+  if a.d <> b.d then invalid_arg "Polytope.intersects: dimension mismatch";
+  Seidel_lp.feasible ?box ~rng ~dim:a.d (a.hs @ b.hs)
+
+let escape_tol = 1e-7
+
+let covered_by ?box ~rng cell q =
+  if cell.d <> q.d then invalid_arg "Polytope.covered_by: dimension mismatch";
+  List.for_all
+    (fun h ->
+      match Seidel_lp.max_value ?box ~rng ~dim:cell.d cell.hs h.Halfspace.coeffs with
+      | None -> true (* empty cell is covered by anything *)
+      | Some v -> v <= h.Halfspace.bound +. (escape_tol *. (1.0 +. abs_float h.Halfspace.bound)))
+    q.hs
+
+type relation = Disjoint | Covered | Crossing
+
+let classify ?box ~rng cell q =
+  if not (intersects ?box ~rng cell q) then Disjoint
+  else if covered_by ?box ~rng cell q then Covered
+  else Crossing
+
+(* --- 2D vertex enumeration ------------------------------------------- *)
+
+let box_halfspaces_2d box =
+  Halfspace.of_rect (Rect.make [| -.box; -.box |] [| box; box |])
+
+let vertices_2d ?(box = 1e9) t =
+  if t.d <> 2 then invalid_arg "Polytope.vertices_2d: dimension must be 2";
+  let hs = Array.of_list (t.hs @ box_halfspaces_2d box) in
+  let n = Array.length hs in
+  let verts = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a1 = hs.(i).Halfspace.coeffs and b1 = hs.(i).Halfspace.bound in
+      let a2 = hs.(j).Halfspace.coeffs and b2 = hs.(j).Halfspace.bound in
+      match Linalg.solve [| a1; a2 |] [| b1; b2 |] with
+      | None -> ()
+      | Some p ->
+          let inside =
+            Array.for_all
+              (fun h -> Halfspace.eval h p <= escape_tol *. (1.0 +. abs_float h.Halfspace.bound))
+              hs
+          in
+          if inside then verts := p :: !verts
+    done
+  done;
+  (* dedup near-identical vertices *)
+  let close p q = Point.linf_dist p q <= 1e-6 *. (1.0 +. Point.linf_dist p [| 0.0; 0.0 |]) in
+  let distinct =
+    List.fold_left (fun acc p -> if List.exists (close p) acc then acc else p :: acc) [] !verts
+  in
+  match distinct with
+  | [] | [ _ ] | [ _; _ ] -> distinct
+  | _ ->
+      let cx = List.fold_left (fun s p -> s +. p.(0)) 0.0 distinct /. float_of_int (List.length distinct) in
+      let cy = List.fold_left (fun s p -> s +. p.(1)) 0.0 distinct /. float_of_int (List.length distinct) in
+      List.sort
+        (fun p q -> compare (atan2 (p.(1) -. cy) (p.(0) -. cx)) (atan2 (q.(1) -. cy) (q.(0) -. cx)))
+        distinct
+
+let triangulate_2d ?box t =
+  match vertices_2d ?box t with
+  | [] | [ _ ] | [ _; _ ] -> []
+  | v0 :: rest ->
+      let rec fans acc = function
+        | a :: (b :: _ as tl) ->
+            let tri =
+              try Some (Simplex.of_vertices [| v0; a; b |]) with Invalid_argument _ -> None
+            in
+            let acc = match tri with Some s -> s :: acc | None -> acc in
+            fans acc tl
+        | _ -> acc
+      in
+      List.rev (fans [] rest)

@@ -1,0 +1,50 @@
+(** Convex polytopes as halfspace intersections.
+
+    These serve two roles: (i) the cells of the BSP partition tree
+    (Appendix D.1) and (ii) LC-KW query regions — the conjunction of the
+    query's s linear constraints. Emptiness and covered-ness tests go through
+    Seidel's LP, so they are exact up to the LP tolerance. *)
+
+type t
+
+val make : dim:int -> Halfspace.t list -> t
+(** The region satisfying all constraints ([\[\]] is the whole space).
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val of_rect : Rect.t -> t
+val of_simplex : Simplex.t -> t
+
+val dim : t -> int
+val halfspaces : t -> Halfspace.t list
+
+val add : t -> Halfspace.t -> t
+(** Intersect with one more halfspace. *)
+
+val mem : t -> Point.t -> bool
+(** Closed containment. *)
+
+val is_empty : ?box:float -> rng:Kwsc_util.Prng.t -> t -> bool
+(** Is the region (within the box) empty? *)
+
+val intersects : ?box:float -> rng:Kwsc_util.Prng.t -> t -> t -> bool
+(** Do the two regions share a point (within the box)? *)
+
+val covered_by : ?box:float -> rng:Kwsc_util.Prng.t -> t -> t -> bool
+(** [covered_by ~rng cell q]: is [cell] (within the box) a subset of [q]?
+    Implemented facet-by-facet: [cell] escapes [q] iff for some facet
+    [a.x <= b] of [q] the maximum of [a.x] over [cell] exceeds [b]. *)
+
+type relation = Disjoint | Covered | Crossing
+
+val classify : ?box:float -> rng:Kwsc_util.Prng.t -> t -> t -> relation
+(** [classify ~rng cell q] — the covered/crossing trichotomy of Section 3.3. *)
+
+val vertices_2d : ?box:float -> t -> Point.t list
+(** Vertices of a 2-dimensional polytope (clipped to the box), in
+    counter-clockwise order. @raise Invalid_argument if [dim <> 2]. *)
+
+val triangulate_2d : ?box:float -> t -> Simplex.t list
+(** Fan triangulation of a 2-dimensional polytope into 2-simplices — the
+    decomposition step in the proof of Theorem 5 (LC-KW region into
+    simplices). Returns [\[\]] for empty or degenerate (lower-dimensional)
+    regions. @raise Invalid_argument if [dim <> 2]. *)

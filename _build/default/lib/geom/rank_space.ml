@@ -1,0 +1,47 @@
+type t = {
+  d : int;
+  n : int;
+  coords : float array array; (* per dim, sorted coordinate values (with id tie-break) *)
+  ids : int array array; (* per dim, object id at each rank *)
+  rank_of : int array array; (* per dim, object id -> rank *)
+}
+
+let create pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Rank_space.create: empty input";
+  let d = Array.length pts.(0) in
+  Array.iter (fun p -> if Array.length p <> d then invalid_arg "Rank_space.create: mixed dimensions") pts;
+  let coords = Array.make d [||] and ids = Array.make d [||] and rank_of = Array.make d [||] in
+  for j = 0 to d - 1 do
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare pts.(a).(j) pts.(b).(j) in
+        if c <> 0 then c else compare a b)
+      order;
+    ids.(j) <- order;
+    coords.(j) <- Array.map (fun id -> pts.(id).(j)) order;
+    let inv = Array.make n 0 in
+    Array.iteri (fun r id -> inv.(id) <- r) order;
+    rank_of.(j) <- inv
+  done;
+  { d; n; coords; ids; rank_of }
+
+let dim t = t.d
+let size t = t.n
+let ranks t id = Array.init t.d (fun j -> t.rank_of.(j).(id))
+
+let rect_to_ranks t (r : Rect.t) =
+  if Rect.dim r <> t.d then invalid_arg "Rank_space.rect_to_ranks: dimension mismatch";
+  let lo = Array.make t.d 0 and hi = Array.make t.d 0 in
+  let empty = ref false in
+  for j = 0 to t.d - 1 do
+    let l = Kwsc_util.Sorted.lower_bound t.coords.(j) r.Rect.lo.(j) in
+    let h = Kwsc_util.Sorted.upper_bound t.coords.(j) r.Rect.hi.(j) - 1 in
+    if l > h then empty := true
+    else begin
+      lo.(j) <- l;
+      hi.(j) <- h
+    end
+  done;
+  if !empty then None else Some (lo, hi)

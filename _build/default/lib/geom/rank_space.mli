@@ -1,0 +1,26 @@
+(** Rank-space conversion (Section 3.4): sort the objects on each dimension,
+    breaking ties by object id, so that no two objects share a coordinate —
+    the concrete removal of the general-position assumption. A query
+    rectangle of the original space converts to a rank-space rectangle in
+    O(d log n) without changing the result set. *)
+
+type t
+
+val create : Point.t array -> t
+(** [create pts] indexes the points; [pts.(i)] is object [i]'s location.
+    @raise Invalid_argument on empty input or mixed dimensions. *)
+
+val dim : t -> int
+
+val size : t -> int
+(** Number of objects. *)
+
+val ranks : t -> int -> int array
+(** [ranks t id] is object [id]'s rank vector: [ranks t id].(j) is in
+    [\[0, size-1\]] and distinct across objects on every dimension [j]. *)
+
+val rect_to_ranks : t -> Rect.t -> (int array * int array) option
+(** Convert a query rectangle to closed rank intervals [(lo, hi)];
+    [None] if the rectangle contains no object coordinate on some dimension
+    (the query result is then certainly empty). An object is inside the
+    original rectangle iff its rank vector is inside the rank rectangle. *)

@@ -1,0 +1,55 @@
+type t = { lo : float array; hi : float array }
+
+let make lo hi =
+  if Array.length lo <> Array.length hi then invalid_arg "Rect.make: dimension mismatch";
+  Array.iteri (fun i l -> if l > hi.(i) then invalid_arg "Rect.make: lo > hi") lo;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let of_intervals ivs =
+  let lo = Array.of_list (List.map fst ivs) in
+  let hi = Array.of_list (List.map snd ivs) in
+  make lo hi
+
+let full d = { lo = Array.make d neg_infinity; hi = Array.make d infinity }
+let dim r = Array.length r.lo
+
+let contains_point r p =
+  if Array.length p <> dim r then invalid_arg "Rect.contains_point: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dim r - 1 do
+    if p.(i) < r.lo.(i) || p.(i) > r.hi.(i) then ok := false
+  done;
+  !ok
+
+let intersects a b =
+  if dim a <> dim b then invalid_arg "Rect.intersects: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dim a - 1 do
+    if a.hi.(i) < b.lo.(i) || b.hi.(i) < a.lo.(i) then ok := false
+  done;
+  !ok
+
+let contains_rect outer inner =
+  if dim outer <> dim inner then invalid_arg "Rect.contains_rect: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dim outer - 1 do
+    if inner.lo.(i) < outer.lo.(i) || inner.hi.(i) > outer.hi.(i) then ok := false
+  done;
+  !ok
+
+let inter a b =
+  if intersects a b then
+    Some
+      {
+        lo = Array.init (dim a) (fun i -> Float.max a.lo.(i) b.lo.(i));
+        hi = Array.init (dim a) (fun i -> Float.min a.hi.(i) b.hi.(i));
+      }
+  else None
+
+let linf_ball q r =
+  if r < 0.0 then invalid_arg "Rect.linf_ball: negative radius";
+  { lo = Array.map (fun x -> x -. r) q; hi = Array.map (fun x -> x +. r) q }
+
+let to_string r =
+  String.concat " x "
+    (List.init (dim r) (fun i -> Printf.sprintf "[%g, %g]" r.lo.(i) r.hi.(i)))

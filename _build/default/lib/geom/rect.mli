@@ -1,0 +1,36 @@
+(** Axis-parallel d-rectangles [\[x_1,y_1\] x ... x \[x_d,y_d\]] (footnote 1
+    of the paper). Sides may be infinite, so the whole space and halfspace
+    slabs are representable. *)
+
+type t = { lo : float array; hi : float array }
+
+val make : float array -> float array -> t
+(** [make lo hi]. @raise Invalid_argument if lengths differ or some
+    [lo.(i) > hi.(i)] (empty rectangles are not representable; use
+    [is_empty_candidate] semantics at call sites instead). *)
+
+val of_intervals : (float * float) list -> t
+(** Build from per-dimension intervals. *)
+
+val full : int -> t
+(** The whole of R^d. *)
+
+val dim : t -> int
+
+val contains_point : t -> Point.t -> bool
+(** Closed containment. *)
+
+val intersects : t -> t -> bool
+(** Do the two closed rectangles share a point? *)
+
+val contains_rect : t -> t -> bool
+(** [contains_rect outer inner]: is [inner] a subset of [outer]? *)
+
+val inter : t -> t -> t option
+(** Intersection rectangle, [None] if disjoint. *)
+
+val linf_ball : Point.t -> float -> t
+(** [linf_ball q r] is the L∞ ball [B(q, r)] of Corollary 4 — a
+    d-rectangle. *)
+
+val to_string : t -> string

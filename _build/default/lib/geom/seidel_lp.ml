@@ -1,0 +1,104 @@
+type result = Optimal of float array | Infeasible
+
+let tol = 1e-9
+
+(* A constraint in the recursion: coefficient row [a] and bound [b] meaning
+   a . x <= b.  Box constraints are kept explicit per-variable instead. *)
+type cons = { a : float array; b : float }
+
+exception Infeasible_exn
+
+(* Solve in dimension [d] over variables x_0..x_{d-1}, each restricted to
+   [-box, box], constraints [cs] (in fixed random order already), objective
+   [obj] (minimize).  Returns the optimal point. *)
+let rec solve rng d box cs obj =
+  if d = 1 then begin
+    let lo = ref (-.box) and hi = ref box in
+    List.iter
+      (fun { a; b } ->
+        let c = a.(0) in
+        if abs_float c <= tol then begin
+          if b < -.tol then raise Infeasible_exn
+        end
+        else if c > 0.0 then hi := Float.min !hi (b /. c)
+        else lo := Float.max !lo (b /. c))
+      cs;
+    if !lo > !hi +. tol then raise Infeasible_exn;
+    let x = if obj.(0) >= 0.0 then !lo else !hi in
+    [| x |]
+  end
+  else begin
+    (* optimum over the box alone *)
+    let x = ref (Array.init d (fun i -> if obj.(i) > 0.0 then -.box else if obj.(i) < 0.0 then box else 0.0)) in
+    let seen = ref [] in
+    List.iter
+      (fun ({ a; b } as h) ->
+        if Linalg.dot a !x > b +. (tol *. (1.0 +. abs_float b)) then begin
+          (* optimum of (seen + h + box) lies on a.x = b: eliminate the
+             variable with the largest coefficient magnitude *)
+          let j = ref 0 in
+          for i = 1 to d - 1 do
+            if abs_float a.(i) > abs_float a.(!j) then j := i
+          done;
+          if abs_float a.(!j) <= tol then raise Infeasible_exn;
+          let j = !j in
+          let aj = a.(j) in
+          (* x_j = (b - sum_{i<>j} a_i x_i) / a_j =: beta - sum gamma_i x_i *)
+          let beta = b /. aj in
+          let gamma = Array.init d (fun i -> if i = j then 0.0 else a.(i) /. aj) in
+          let drop v = Array.init (d - 1) (fun i -> if i < j then v.(i) else v.(i + 1)) in
+          (* substitute into a constraint row (a', b') over d vars *)
+          let subst { a = a'; b = b' } =
+            let coef_j = a'.(j) in
+            let a2 = Array.init d (fun i -> if i = j then 0.0 else a'.(i) -. (coef_j *. gamma.(i))) in
+            { a = drop a2; b = b' -. (coef_j *. beta) }
+          in
+          (* box constraints on the eliminated variable become constraints on
+             the remaining ones: -box <= beta - gamma.x <= box *)
+          let box_hi = { a = drop (Array.map (fun g -> -.g) gamma); b = box -. beta } in
+          let box_lo = { a = drop gamma; b = box +. beta } in
+          let sub_cs = box_hi :: box_lo :: List.rev_map subst !seen in
+          let coef_j = obj.(j) in
+          let sub_obj = drop (Array.init d (fun i -> if i = j then 0.0 else obj.(i) -. (coef_j *. gamma.(i)))) in
+          let y = solve rng (d - 1) box sub_cs sub_obj in
+          let lifted = Array.make d 0.0 in
+          let yi = ref 0 in
+          for i = 0 to d - 1 do
+            if i <> j then begin
+              lifted.(i) <- y.(!yi);
+              incr yi
+            end
+          done;
+          lifted.(j) <- beta -. Linalg.dot gamma lifted;
+          x := lifted
+        end;
+        seen := h :: !seen)
+      cs;
+    !x
+  end
+
+let prepare ~dim cs obj =
+  if dim < 1 then invalid_arg "Seidel_lp: dim must be >= 1";
+  if Array.length obj <> dim then invalid_arg "Seidel_lp: objective dimension mismatch";
+  List.map
+    (fun h ->
+      if Halfspace.dim h <> dim then invalid_arg "Seidel_lp: constraint dimension mismatch";
+      { a = Array.copy h.Halfspace.coeffs; b = h.Halfspace.bound })
+    cs
+
+let minimize ?(box = 1e9) ~rng ~dim cs obj =
+  let rows = Array.of_list (prepare ~dim cs obj) in
+  Kwsc_util.Prng.shuffle rng rows;
+  match solve rng dim box (Array.to_list rows) obj with
+  | x -> Optimal x
+  | exception Infeasible_exn -> Infeasible
+
+let feasible ?box ~rng ~dim cs =
+  match minimize ?box ~rng ~dim cs (Array.make dim 0.0) with
+  | Optimal _ -> true
+  | Infeasible -> false
+
+let max_value ?box ~rng ~dim cs obj =
+  match minimize ?box ~rng ~dim cs (Array.map (fun c -> -.c) obj) with
+  | Optimal x -> Some (Linalg.dot obj x)
+  | Infeasible -> None

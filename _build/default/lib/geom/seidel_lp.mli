@@ -1,0 +1,28 @@
+(** Seidel's randomized linear programming in small (constant) dimension.
+
+    The partition-tree instantiation of the framework (Appendix D) needs
+    exact convex tests: "does this cell intersect the query simplex?" and
+    "is this cell fully inside it?". Both reduce to feasibility/optimization
+    of a system of halfspaces, which this module solves in expected O(n)
+    time for fixed dimension — the classical incremental algorithm with
+    recursion on the violated constraint's hyperplane.
+
+    All problems are implicitly intersected with the box [|x_i| <= box] to
+    guarantee boundedness; callers choose [box] larger than their data
+    extent. *)
+
+type result =
+  | Optimal of float array  (** an optimal vertex *)
+  | Infeasible
+
+val minimize :
+  ?box:float -> rng:Kwsc_util.Prng.t -> dim:int -> Halfspace.t list -> float array -> result
+(** [minimize ~rng ~dim cs obj] minimizes [obj . x] subject to [cs] and the
+    box (default 1e9). @raise Invalid_argument if [dim < 1], a constraint has
+    the wrong dimension, or [obj] does. *)
+
+val feasible : ?box:float -> rng:Kwsc_util.Prng.t -> dim:int -> Halfspace.t list -> bool
+(** Is the intersection of the halfspaces (within the box) non-empty? *)
+
+val max_value : ?box:float -> rng:Kwsc_util.Prng.t -> dim:int -> Halfspace.t list -> float array -> float option
+(** Maximum of [obj . x] over the feasible region; [None] if infeasible. *)

@@ -1,0 +1,57 @@
+type t = { verts : Point.t array; facets : Halfspace.t list }
+
+(* Normal of the hyperplane through points [pts] (d points in R^d), computed
+   as the generalized cross product of the d-1 edge vectors: component i is
+   the signed cofactor obtained by deleting column i. *)
+let hyperplane_normal pts =
+  let d = Array.length pts.(0) in
+  let edges = Array.init (d - 1) (fun j -> Array.init d (fun c -> pts.(j + 1).(c) -. pts.(0).(c))) in
+  let normal =
+    Array.init d (fun i ->
+        let minor = Array.map (fun row -> Array.init (d - 1) (fun c -> row.(if c < i then c else c + 1))) edges in
+        let sign = if i mod 2 = 0 then 1.0 else -1.0 in
+        if d = 1 then sign else sign *. Linalg.det minor)
+  in
+  normal
+
+let of_vertices vs =
+  let n = Array.length vs in
+  if n = 0 then invalid_arg "Simplex.of_vertices: no vertices";
+  let d = Array.length vs.(0) in
+  if n <> d + 1 then invalid_arg "Simplex.of_vertices: need d+1 vertices in R^d";
+  Array.iter (fun v -> if Array.length v <> d then invalid_arg "Simplex.of_vertices: mixed dimensions") vs;
+  let facets = ref [] in
+  for omit = 0 to d do
+    let face = Array.of_list (List.filteri (fun i _ -> i <> omit) (Array.to_list vs)) in
+    let normal = hyperplane_normal face in
+    let norm2 = Linalg.dot normal normal in
+    if norm2 < 1e-18 then invalid_arg "Simplex.of_vertices: degenerate simplex";
+    let b = Linalg.dot normal face.(0) in
+    (* orient so that the omitted vertex satisfies the constraint *)
+    let side = Linalg.dot normal vs.(omit) -. b in
+    if abs_float side < 1e-12 *. (1.0 +. abs_float b) then
+      invalid_arg "Simplex.of_vertices: degenerate simplex";
+    let h =
+      if side <= 0.0 then Halfspace.make normal b
+      else Halfspace.make (Array.map (fun c -> -.c) normal) (-.b)
+    in
+    facets := h :: !facets
+  done;
+  { verts = Array.map Array.copy vs; facets = !facets }
+
+let dim t = Array.length t.verts.(0)
+let vertices t = Array.map Array.copy t.verts
+let halfspaces t = t.facets
+let contains t p = List.for_all (fun h -> Halfspace.satisfies h p) t.facets
+
+let bounding_rect t =
+  let d = dim t in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  Array.iter
+    (fun v ->
+      for i = 0 to d - 1 do
+        lo.(i) <- Float.min lo.(i) v.(i);
+        hi.(i) <- Float.max hi.(i) v.(i)
+      done)
+    t.verts;
+  Rect.make lo hi

@@ -1,0 +1,25 @@
+(** d-simplices in R^d: the query range of the SP-KW problem (Appendix D).
+    A simplex is stored both as its d+1 vertices and as the d+1 facet
+    halfspaces derived from them. *)
+
+type t
+
+val of_vertices : Point.t array -> t
+(** [of_vertices vs] builds the simplex spanned by [d+1] affinely independent
+    points in R^d.
+    @raise Invalid_argument if the count is not [d+1] or the points are
+    affinely dependent (degenerate simplex). *)
+
+val dim : t -> int
+
+val vertices : t -> Point.t array
+(** The defining vertices (copies). *)
+
+val halfspaces : t -> Halfspace.t list
+(** Facet constraints; a point is in the simplex iff it satisfies all. *)
+
+val contains : t -> Point.t -> bool
+(** Closed containment. *)
+
+val bounding_rect : t -> Rect.t
+(** Axis-parallel bounding rectangle of the vertices. *)

@@ -1,0 +1,9 @@
+type t = { center : Point.t; radius : float }
+
+let make center radius =
+  if radius < 0.0 then invalid_arg "Sphere.make: negative radius";
+  { center = Array.copy center; radius }
+
+let contains t p = Point.l2_dist_sq t.center p <= t.radius *. t.radius
+
+let bounding_rect t = Rect.linf_ball t.center t.radius

@@ -1,0 +1,11 @@
+(** L2 balls in R^d — the query range of the SRP-KW problem. *)
+
+type t = { center : Point.t; radius : float }
+
+val make : Point.t -> float -> t
+(** @raise Invalid_argument on negative radius. *)
+
+val contains : t -> Point.t -> bool
+(** Closed containment under the Euclidean metric. *)
+
+val bounding_rect : t -> Rect.t

@@ -1,0 +1,1 @@
+lib/invindex/inverted.ml: Array Doc Hashtbl Kwsc_util List

@@ -1,0 +1,1 @@
+lib/invindex/inverted.mli: Doc

@@ -1,0 +1,1 @@
+lib/invindex/ksi_instance.ml: Array Doc Kwsc_util

@@ -1,0 +1,1 @@
+lib/invindex/ksi_instance.mli: Doc

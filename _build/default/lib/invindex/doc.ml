@@ -1,0 +1,13 @@
+type t = int array
+
+let of_list l =
+  let a = Kwsc_util.Sorted.sort_dedup l in
+  if Array.length a = 0 then invalid_arg "Doc.of_list: documents must be non-empty";
+  a
+
+let of_array a = of_list (Array.to_list a)
+let size = Array.length
+let mem = Kwsc_util.Sorted.mem_int
+let mem_all t ws = Array.for_all (fun w -> mem t w) ws
+let to_array = Array.copy
+let iter = Array.iter

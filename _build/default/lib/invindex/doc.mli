@@ -1,0 +1,26 @@
+(** Documents: the non-empty sets of integer keywords attached to objects
+    (Section 1.1). Stored as sorted, duplicate-free int arrays. *)
+
+type t = private int array
+
+val of_list : int list -> t
+(** Sorts and deduplicates. @raise Invalid_argument on an empty document
+    (the paper requires non-empty documents). *)
+
+val of_array : int array -> t
+(** As [of_list]. The input is not mutated. *)
+
+val size : t -> int
+(** Number of distinct keywords — the object's contribution to the input
+    size N of equation (2). *)
+
+val mem : t -> int -> bool
+(** Keyword membership, O(log |doc|). *)
+
+val mem_all : t -> int array -> bool
+(** Does the document contain every keyword of the (arbitrary) array? *)
+
+val to_array : t -> int array
+(** The underlying sorted array (a copy). *)
+
+val iter : (int -> unit) -> t -> unit

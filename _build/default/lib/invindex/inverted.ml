@@ -1,0 +1,61 @@
+type t = { docs : Doc.t array; postings : (int, int array) Hashtbl.t; n : int; vocab : int array }
+
+let build docs =
+  let postings_l : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun id doc ->
+      Doc.iter
+        (fun w ->
+          match Hashtbl.find_opt postings_l w with
+          | Some l -> l := id :: !l
+          | None -> Hashtbl.add postings_l w (ref [ id ]))
+        doc)
+    docs;
+  let postings = Hashtbl.create (Hashtbl.length postings_l) in
+  Hashtbl.iter
+    (fun w l ->
+      let a = Array.of_list !l in
+      Array.sort compare a;
+      Hashtbl.add postings w a)
+    postings_l;
+  let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
+  let vocab = Kwsc_util.Sorted.sort_dedup (Hashtbl.fold (fun w _ acc -> w :: acc) postings []) in
+  { docs; postings; n; vocab }
+
+let input_size t = t.n
+let vocabulary t = Array.copy t.vocab
+let posting t w = match Hashtbl.find_opt t.postings w with Some a -> a | None -> [||]
+let frequency t w = Array.length (posting t w)
+
+let query t ws =
+  if Array.length ws = 0 then invalid_arg "Inverted.query: need at least one keyword";
+  let rarest = ref ws.(0) in
+  Array.iter (fun w -> if frequency t w < frequency t !rarest then rarest := w) ws;
+  let base = posting t !rarest in
+  let others = Array.of_list (List.filter (fun w -> w <> !rarest) (Array.to_list ws)) in
+  let hits = ref [] and count = ref 0 in
+  Array.iter
+    (fun id ->
+      if Array.for_all (fun w -> Doc.mem t.docs.(id) w) others then begin
+        hits := id :: !hits;
+        incr count
+      end)
+    base;
+  let out = Array.make !count 0 in
+  let rest = ref !hits in
+  for i = !count - 1 downto 0 do
+    (match !rest with
+    | x :: tl ->
+        out.(i) <- x;
+        rest := tl
+    | [] -> assert false)
+  done;
+  out
+
+let query_naive t ws =
+  if Array.length ws = 0 then invalid_arg "Inverted.query_naive: need at least one keyword";
+  let lists = Array.map (posting t) ws in
+  Array.sort (fun a b -> compare (Array.length a) (Array.length b)) lists;
+  Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
+
+let is_empty_query t ws = Array.length (query t ws) = 0

@@ -1,0 +1,36 @@
+(** The inverted index (Section 1.2): for each keyword [w], the sorted list
+    of ids of objects whose document contains [w]. This is simultaneously
+    (i) the "keywords only" naive baseline of Section 1, and (ii) the
+    standard encoding that makes pure keyword search identical to k-SI
+    reporting. *)
+
+type t
+
+val build : Doc.t array -> t
+(** [build docs] indexes objects [0 .. Array.length docs - 1]. *)
+
+val input_size : t -> int
+(** N = total document size, equation (2). *)
+
+val vocabulary : t -> int array
+(** Sorted distinct keywords across all documents. *)
+
+val posting : t -> int -> int array
+(** [posting t w] is the sorted id list of objects containing [w]
+    (empty if [w] occurs nowhere). The returned array must not be mutated. *)
+
+val frequency : t -> int -> int
+(** Posting-list length. *)
+
+val query : t -> int array -> int array
+(** [query t ws] is the id set of objects containing all keywords of [ws]
+    — a k-SI reporting query over the postings. Runs in
+    O(min-posting * k log) by scanning the rarest keyword's posting and
+    probing the others. Sorted output. *)
+
+val query_naive : t -> int array -> int array
+(** Same result via full pairwise sorted-array intersection (the oracle used
+    in tests). *)
+
+val is_empty_query : t -> int array -> bool
+(** k-SI emptiness (Section 1.2). *)

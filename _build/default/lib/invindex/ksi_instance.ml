@@ -1,0 +1,46 @@
+type t = { sets : int array array; n : int }
+
+let create sets =
+  if Array.length sets < 2 then invalid_arg "Ksi_instance.create: need at least two sets";
+  let sets =
+    Array.map
+      (fun s ->
+        let s = Kwsc_util.Sorted.sort_dedup (Array.to_list s) in
+        if Array.length s = 0 then invalid_arg "Ksi_instance.create: empty set";
+        s)
+      sets
+  in
+  let n = Array.fold_left (fun acc s -> acc + Array.length s) 0 sets in
+  { sets; n }
+
+let num_sets t = Array.length t.sets
+
+let set t i =
+  if i < 1 || i > num_sets t then invalid_arg "Ksi_instance.set: id out of range";
+  t.sets.(i - 1)
+
+let input_size t = t.n
+
+let reporting t ids =
+  if Array.length ids = 0 then invalid_arg "Ksi_instance.reporting: no set ids";
+  let lists = Array.map (set t) ids in
+  Array.sort (fun a b -> compare (Array.length a) (Array.length b)) lists;
+  Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
+
+let emptiness t ids = Array.length (reporting t ids) = 0
+
+let to_keyword_dataset t =
+  let elements =
+    Kwsc_util.Sorted.sort_dedup (Array.to_list (Array.concat (Array.to_list t.sets)))
+  in
+  let docs =
+    Array.map
+      (fun e ->
+        let owners = ref [] in
+        Array.iteri
+          (fun i s -> if Kwsc_util.Sorted.mem_int s e then owners := (i + 1) :: !owners)
+          t.sets;
+        Doc.of_list !owners)
+      elements
+  in
+  (docs, elements)

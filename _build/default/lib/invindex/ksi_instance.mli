@@ -1,0 +1,33 @@
+(** k-Set Intersection instances (Section 1.2) and the paper's two-way
+    reduction between k-SI and pure keyword search: for each keyword [w],
+    the posting set [S_w]; conversely, given sets [S_1..S_m], build
+    [D := union S_i] with [e.Doc := { i | e in S_i }]. *)
+
+type t
+
+val create : int array array -> t
+(** [create sets] — each array is one set (sorted and deduplicated
+    internally); set ids are [1..m] as in the paper.
+    @raise Invalid_argument if there are fewer than two sets or a set is
+    empty. *)
+
+val num_sets : t -> int
+
+val set : t -> int -> int array
+(** [set t i] with [i] in [\[1, m\]]. Do not mutate the result. *)
+
+val input_size : t -> int
+(** N = sum of set sizes. *)
+
+val reporting : t -> int array -> int array
+(** Naive k-SI reporting: the sorted intersection of the named sets. *)
+
+val emptiness : t -> int array -> bool
+(** k-SI emptiness. *)
+
+val to_keyword_dataset : t -> Doc.t array * int array
+(** The keyword-search instance of Section 1.2: returns [(docs, elements)]
+    where object [j] corresponds to the distinct element [elements.(j)] of
+    the union and [docs.(j) = { i | elements.(j) in S_i }]. A reporting
+    query with set ids [w1..wk] on the k-SI instance returns exactly the
+    elements of the objects returned by the keyword query [w1..wk]. *)

@@ -1,0 +1,1 @@
+lib/kdtree/kd.ml: Array Float Kwsc_util Point Rect

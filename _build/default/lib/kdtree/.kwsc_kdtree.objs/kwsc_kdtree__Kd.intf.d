@@ -1,0 +1,1 @@
+lib/kdtree/kd.mli: Point Rect

@@ -1,0 +1,217 @@
+type 'a node =
+  | Leaf of (Point.t * 'a) array
+  | Node of { axis : int; split : float; left : 'a node; right : 'a node; count : int }
+
+type 'a t = { root : 'a node; d : int; n : int; bounds : Rect.t }
+
+let build ?(leaf_size = 8) pts =
+  if leaf_size < 1 then invalid_arg "Kd.build: leaf_size must be >= 1";
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Kd.build: empty input";
+  let d = Array.length (fst pts.(0)) in
+  Array.iter
+    (fun (p, _) -> if Array.length p <> d then invalid_arg "Kd.build: mixed dimensions")
+    pts;
+  let pts = Array.copy pts in
+  (* median split on [lo, hi) along [axis]; ties broken by full lexicographic
+     compare so duplicates distribute evenly *)
+  let cmp axis (p, _) (q, _) =
+    let c = compare (p : float array).(axis) (q : float array).(axis) in
+    if c <> 0 then c else compare p q
+  in
+  let rec go lo hi depth =
+    let len = hi - lo in
+    if len <= leaf_size then Leaf (Array.sub pts lo len)
+    else begin
+      let axis = depth mod d in
+      let sub = Array.sub pts lo len in
+      Array.sort (cmp axis) sub;
+      Array.blit sub 0 pts lo len;
+      let mid = lo + (len / 2) in
+      let split = (fst pts.(mid)).(axis) in
+      Node
+        {
+          axis;
+          split;
+          left = go lo mid (depth + 1);
+          right = go mid hi (depth + 1);
+          count = len;
+        }
+    end
+  in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  Array.iter
+    (fun (p, _) ->
+      for i = 0 to d - 1 do
+        lo.(i) <- Float.min lo.(i) p.(i);
+        hi.(i) <- Float.max hi.(i) p.(i)
+      done)
+    pts;
+  { root = go 0 n 0; d; n; bounds = Rect.make lo hi }
+
+let size t = t.n
+let dim t = t.d
+
+let range_iter t q f =
+  if Rect.dim q <> t.d then invalid_arg "Kd.range_iter: dimension mismatch";
+  (* [cell] is maintained implicitly: recurse only into halves the query
+     touches; containment is re-checked per point at the leaves *)
+  let rec go node (cell : Rect.t) =
+    match node with
+    | Leaf pts -> Array.iter (fun (p, v) -> if Rect.contains_point q p then f p v) pts
+    | Node { axis; split; left; right; _ } ->
+        if Rect.contains_rect q cell then
+          (* report the whole subtree *)
+          let rec dump = function
+            | Leaf pts -> Array.iter (fun (p, v) -> f p v) pts
+            | Node { left; right; _ } ->
+                dump left;
+                dump right
+          in
+          dump node
+        else begin
+          if q.Rect.lo.(axis) <= split then begin
+            let hi = Array.copy cell.Rect.hi in
+            hi.(axis) <- split;
+            go left { cell with Rect.hi = hi }
+          end;
+          if q.Rect.hi.(axis) >= split then begin
+            let lo = Array.copy cell.Rect.lo in
+            lo.(axis) <- split;
+            go right { cell with Rect.lo = lo }
+          end
+        end
+  in
+  go t.root (Rect.full t.d)
+
+let range t q =
+  let out = ref [] in
+  range_iter t q (fun p v -> out := (p, v) :: !out);
+  !out
+
+let count t q =
+  let c = ref 0 in
+  if Rect.dim q <> t.d then invalid_arg "Kd.count: dimension mismatch";
+  let rec go node (cell : Rect.t) =
+    match node with
+    | Leaf pts -> Array.iter (fun (p, _) -> if Rect.contains_point q p then incr c) pts
+    | Node { axis; split; left; right; count = cnt } ->
+        if Rect.contains_rect q cell then c := !c + cnt
+        else begin
+          if q.Rect.lo.(axis) <= split then begin
+            let hi = Array.copy cell.Rect.hi in
+            hi.(axis) <- split;
+            go left { cell with Rect.hi = hi }
+          end;
+          if q.Rect.hi.(axis) >= split then begin
+            let lo = Array.copy cell.Rect.lo in
+            lo.(axis) <- split;
+            go right { cell with Rect.lo = lo }
+          end
+        end
+  in
+  go t.root (Rect.full t.d);
+  !c
+
+let dist_point metric q p =
+  match metric with `Linf -> Point.linf_dist q p | `L2 -> Point.l2_dist q p
+
+(* Smallest distance from q to any point of the cell. *)
+let dist_cell metric q (cell : Rect.t) =
+  let d = Array.length q in
+  match metric with
+  | `Linf ->
+      let m = ref 0.0 in
+      for i = 0 to d - 1 do
+        let gap =
+          if q.(i) < cell.Rect.lo.(i) then cell.Rect.lo.(i) -. q.(i)
+          else if q.(i) > cell.Rect.hi.(i) then q.(i) -. cell.Rect.hi.(i)
+          else 0.0
+        in
+        m := Float.max !m gap
+      done;
+      !m
+  | `L2 ->
+      let s = ref 0.0 in
+      for i = 0 to d - 1 do
+        let gap =
+          if q.(i) < cell.Rect.lo.(i) then cell.Rect.lo.(i) -. q.(i)
+          else if q.(i) > cell.Rect.hi.(i) then q.(i) -. cell.Rect.hi.(i)
+          else 0.0
+        in
+        s := !s +. (gap *. gap)
+      done;
+      sqrt !s
+
+let nearest t ~metric q k =
+  if Array.length q <> t.d then invalid_arg "Kd.nearest: dimension mismatch";
+  if k <= 0 then invalid_arg "Kd.nearest: k must be positive";
+  let best : (Point.t * 'a) Kwsc_util.Heap.t = Kwsc_util.Heap.create () in
+  let worst () =
+    if Kwsc_util.Heap.size best < k then infinity
+    else match Kwsc_util.Heap.peek best with Some (d, _) -> d | None -> infinity
+  in
+  let offer p v =
+    let d = dist_point metric q p in
+    if d < worst () || Kwsc_util.Heap.size best < k then begin
+      Kwsc_util.Heap.push best d (p, v);
+      if Kwsc_util.Heap.size best > k then ignore (Kwsc_util.Heap.pop best)
+    end
+  in
+  let rec go node (cell : Rect.t) =
+    if dist_cell metric q cell <= worst () then
+      match node with
+      | Leaf pts -> Array.iter (fun (p, v) -> offer p v) pts
+      | Node { axis; split; left; right; _ } ->
+          let lhi = Array.copy cell.Rect.hi in
+          lhi.(axis) <- split;
+          let lcell = { cell with Rect.hi = lhi } in
+          let rlo = Array.copy cell.Rect.lo in
+          rlo.(axis) <- split;
+          let rcell = { cell with Rect.lo = rlo } in
+          if q.(axis) <= split then begin
+            go left lcell;
+            go right rcell
+          end
+          else begin
+            go right rcell;
+            go left lcell
+          end
+  in
+  go t.root (Rect.full t.d);
+  let out = ref [] in
+  let rec drain () =
+    match Kwsc_util.Heap.pop best with
+    | Some (d, (p, v)) ->
+        out := (d, p, v) :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  !out
+
+type visit_stats = { nodes : int; covered : int; crossing : int; leaves_scanned : int }
+
+let range_stats t q =
+  if Rect.dim q <> t.d then invalid_arg "Kd.range_stats: dimension mismatch";
+  let nodes = ref 0 and covered = ref 0 and crossing = ref 0 and leaves = ref 0 in
+  let rec go node (cell : Rect.t) =
+    if Rect.intersects q cell then begin
+      incr nodes;
+      if Rect.contains_rect q cell then incr covered else incr crossing;
+      match node with
+      | Leaf _ -> incr leaves
+      | Node { axis; split; left; right; _ } ->
+          if Rect.contains_rect q cell then ()
+          else begin
+            let lhi = Array.copy cell.Rect.hi in
+            lhi.(axis) <- split;
+            go left { cell with Rect.hi = lhi };
+            let rlo = Array.copy cell.Rect.lo in
+            rlo.(axis) <- split;
+            go right { cell with Rect.lo = rlo }
+          end
+    end
+  in
+  go t.root t.bounds;
+  { nodes = !nodes; covered = !covered; crossing = !crossing; leaves_scanned = !leaves }

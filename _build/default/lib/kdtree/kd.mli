@@ -1,0 +1,36 @@
+(** The classical kd-tree (Section 3.1): a binary space-partitioning tree on
+    points in R^d with median splits cycling through the dimensions. This is
+    both the Step-1 structure the framework transforms and the
+    "structured only" naive baseline for rectangle queries. *)
+
+type 'a t
+
+val build : ?leaf_size:int -> (Point.t * 'a) array -> 'a t
+(** [build pts] with payloads. [leaf_size] (default 8) caps leaf buckets.
+    @raise Invalid_argument on empty input or mixed dimensions. *)
+
+val size : 'a t -> int
+(** Number of stored points. *)
+
+val dim : 'a t -> int
+
+val range : 'a t -> Rect.t -> (Point.t * 'a) list
+(** All points inside the closed rectangle. *)
+
+val range_iter : 'a t -> Rect.t -> (Point.t -> 'a -> unit) -> unit
+(** Callback form of [range]. *)
+
+val count : 'a t -> Rect.t -> int
+(** Number of points inside the rectangle. *)
+
+val nearest : 'a t -> metric:[ `Linf | `L2 ] -> Point.t -> int -> (float * Point.t * 'a) list
+(** [nearest t ~metric q k] is the [min k size] nearest points to [q],
+    sorted by increasing distance (branch-and-bound with a bounded
+    max-heap). *)
+
+type visit_stats = { nodes : int; covered : int; crossing : int; leaves_scanned : int }
+
+val range_stats : 'a t -> Rect.t -> visit_stats
+(** Structural accounting of one range query: how many node cells the
+    rectangle covered vs crossed — the covered/crossing dichotomy of
+    Section 3.3 measured on the raw kd-tree. *)

@@ -1,0 +1,1 @@
+lib/ptree/ptree.ml: Array Float Halfspace Kwsc_util Linalg Point Polytope

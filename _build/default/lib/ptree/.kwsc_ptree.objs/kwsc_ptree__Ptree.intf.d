@@ -1,0 +1,1 @@
+lib/ptree/ptree.mli: Halfspace Point Polytope Simplex

@@ -1,0 +1,130 @@
+type 'a node =
+  | Leaf of (Point.t * 'a) array
+  | Node of { dir : float array; m : float; left : 'a node; right : 'a node; count : int }
+
+type 'a t = {
+  root : 'a node;
+  d : int;
+  n : int;
+  dirs : float array array;
+  rng : Kwsc_util.Prng.t; (* for the LP calls at query time *)
+  box : float;
+}
+
+(* A fixed palette of generic split directions: random unit vectors from the
+   seed, plus the coordinate axes so degenerate inputs still split. *)
+let make_dirs rng d =
+  let num = (2 * d) + 3 in
+  Array.init num (fun i ->
+      if i < d then Array.init d (fun j -> if i = j then 1.0 else 0.0)
+      else begin
+        let v = Array.init d (fun _ -> Kwsc_util.Prng.float rng 2.0 -. 1.0) in
+        let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v) in
+        if norm < 1e-9 then Array.init d (fun j -> if j = 0 then 1.0 else 0.0)
+        else Array.map (fun x -> x /. norm) v
+      end)
+
+let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) pts =
+  if leaf_size < 1 then invalid_arg "Ptree.build: leaf_size must be >= 1";
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Ptree.build: empty input";
+  let d = Array.length (fst pts.(0)) in
+  Array.iter
+    (fun (p, _) -> if Array.length p <> d then invalid_arg "Ptree.build: mixed dimensions")
+    pts;
+  let rng = Kwsc_util.Prng.create seed in
+  let dirs = make_dirs rng d in
+  let rec go (pts : (Point.t * 'a) array) depth =
+    let len = Array.length pts in
+    if len <= leaf_size then Leaf pts
+    else begin
+      let dir = dirs.(depth mod Array.length dirs) in
+      let keyed = Array.map (fun (p, v) -> (Linalg.dot dir p, p, v)) pts in
+      Array.sort (fun (ka, pa, _) (kb, pb, _) ->
+          let c = compare ka kb in
+          if c <> 0 then c else compare pa pb)
+        keyed;
+      let mid = len / 2 in
+      let _, pmid, _ = keyed.(mid) in
+      let m = Linalg.dot dir pmid in
+      let strip = Array.map (fun (_, p, v) -> (p, v)) keyed in
+      Node
+        {
+          dir;
+          m;
+          left = go (Array.sub strip 0 mid) (depth + 1);
+          right = go (Array.sub strip mid (len - mid)) (depth + 1);
+          count = len;
+        }
+    end
+  in
+  let box =
+    Array.fold_left
+      (fun acc (p, _) -> Array.fold_left (fun a x -> Float.max a (abs_float x)) acc p)
+      1.0 pts
+  in
+  { root = go (Array.copy pts) 0; d; n; dirs; rng; box = (box *. 2.0) +. 10.0 }
+
+let size t = t.n
+let dim t = t.d
+
+let query_polytope t q =
+  if Polytope.dim q <> t.d then invalid_arg "Ptree.query_polytope: dimension mismatch";
+  let out = ref [] in
+  (* classification is only a pruning device; every reported point is
+     re-checked against the query, so LP tolerance cannot cause wrong
+     answers *)
+  let rec dump = function
+    | Leaf pts ->
+        Array.iter (fun ((p, _) as pv) -> if Polytope.mem q p then out := pv :: !out) pts
+    | Node { left; right; _ } ->
+        dump left;
+        dump right
+  in
+  let rec go node cell =
+    match Polytope.classify ~box:t.box ~rng:t.rng cell q with
+    | Polytope.Disjoint -> ()
+    | Polytope.Covered -> dump node
+    | Polytope.Crossing -> (
+        match node with
+        | Leaf pts ->
+            Array.iter (fun ((p, _) as pv) -> if Polytope.mem q p then out := pv :: !out) pts
+        | Node { dir; m; left; right; _ } ->
+            go left (Polytope.add cell (Halfspace.make dir m));
+            go right (Polytope.add cell (Halfspace.make (Array.map (fun c -> -.c) dir) (-.m))))
+  in
+  go t.root (Polytope.make ~dim:t.d []);
+  !out
+
+let query_simplex t s = query_polytope t (Polytope.of_simplex s)
+let query_halfspaces t hs = query_polytope t (Polytope.make ~dim:t.d hs)
+
+type crossing_stats = { visited : int; covered : int; crossing : int; disjoint_pruned : int }
+
+let stats_polytope t q =
+  if Polytope.dim q <> t.d then invalid_arg "Ptree.stats_polytope: dimension mismatch";
+  let visited = ref 0 and covered = ref 0 and crossing = ref 0 and pruned = ref 0 in
+  let rec go node cell =
+    match Polytope.classify ~box:t.box ~rng:t.rng cell q with
+    | Polytope.Disjoint -> incr pruned
+    | Polytope.Covered ->
+        incr visited;
+        incr covered
+    | Polytope.Crossing -> (
+        incr visited;
+        incr crossing;
+        match node with
+        | Leaf _ -> ()
+        | Node { dir; m; left; right; _ } ->
+            go left (Polytope.add cell (Halfspace.make dir m));
+            go right (Polytope.add cell (Halfspace.make (Array.map (fun c -> -.c) dir) (-.m))))
+  in
+  go t.root (Polytope.make ~dim:t.d []);
+  { visited = !visited; covered = !covered; crossing = !crossing; disjoint_pruned = !pruned }
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Node { left; right; _ } -> 1 + max (go left) (go right)
+  in
+  go t.root

@@ -1,0 +1,38 @@
+(** Partition tree on points in R^d with convex-polytope cells.
+
+    This is the Step-1 structure for the LC-KW / SP-KW instantiation
+    (Appendix D.1). The paper uses Chan's optimal partition tree [13]; we
+    substitute a BSP-style tree — weight-median splits along a rotating set
+    of generic directions — which preserves every property the
+    transformation framework consumes (space partitioning, fanout 2,
+    geometric decay of subtree sizes, O(1) boundary objects per node after
+    generic tie-breaking) at the cost of a weaker crossing-number exponent.
+    See DESIGN.md, substitution 1; the bench harness measures the actual
+    exponent. *)
+
+type 'a t
+
+val build : ?leaf_size:int -> ?seed:int -> (Point.t * 'a) array -> 'a t
+(** @raise Invalid_argument on empty input or mixed dimensions. *)
+
+val size : 'a t -> int
+val dim : 'a t -> int
+
+val query_polytope : 'a t -> Polytope.t -> (Point.t * 'a) list
+(** All points in the convex region (the conjunction of its halfspaces) —
+    an LC-KW geometric query without keywords. *)
+
+val query_simplex : 'a t -> Simplex.t -> (Point.t * 'a) list
+(** All points in the closed simplex — SP-KW without keywords. *)
+
+val query_halfspaces : 'a t -> Halfspace.t list -> (Point.t * 'a) list
+(** Convenience wrapper around [query_polytope]. *)
+
+type crossing_stats = { visited : int; covered : int; crossing : int; disjoint_pruned : int }
+
+val stats_polytope : 'a t -> Polytope.t -> crossing_stats
+(** Covered/crossing accounting of one geometric query — used to measure the
+    substitute structure's crossing exponent (DESIGN.md substitution 1). *)
+
+val depth : 'a t -> int
+(** Height of the tree. *)

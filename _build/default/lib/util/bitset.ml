@@ -1,0 +1,36 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xff))
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let popcount t =
+  let c = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = ref (Char.code (Bytes.get t.bits i)) in
+    while !b <> 0 do
+      c := !c + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !c
+
+let words t = (Bytes.length t.bits + 7) / 8

@@ -1,0 +1,31 @@
+(** Fixed-capacity bit set backed by [Bytes].
+
+    Used by the transformation framework (Section 3.2 of the paper) to store,
+    for every internal node [u] and child [v], the k-dimensional emptiness
+    array over the large keywords of [u]: bit [i] answers "is the
+    intersection of the active sets of the i-th combination empty?". *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bit set with [n] bits, all cleared.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val set : t -> int -> unit
+(** [set b i] sets bit [i]. @raise Invalid_argument on out-of-range. *)
+
+val clear : t -> int -> unit
+(** [clear b i] clears bit [i]. @raise Invalid_argument on out-of-range. *)
+
+val get : t -> int -> bool
+(** [get b i] is the value of bit [i]. @raise Invalid_argument on
+    out-of-range. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val words : t -> int
+(** Storage footprint in 64-bit words (for space accounting). *)

@@ -1,0 +1,65 @@
+type 'a t = { mutable keys : float array; mutable vals : 'a array; mutable n : int }
+
+let create () = { keys = Array.make 16 0.0; vals = [||]; n = 0 }
+let size t = t.n
+let is_empty t = t.n = 0
+
+let grow t v =
+  if t.n = 0 && Array.length t.vals = 0 then begin
+    t.vals <- Array.make (Array.length t.keys) v
+  end
+  else if t.n = Array.length t.keys then begin
+    let nk = Array.make (2 * t.n) 0.0 and nv = Array.make (2 * t.n) t.vals.(0) in
+    Array.blit t.keys 0 nk 0 t.n;
+    Array.blit t.vals 0 nv 0 t.n;
+    t.keys <- nk;
+    t.vals <- nv
+  end
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let push t key v =
+  grow t v;
+  t.keys.(t.n) <- key;
+  t.vals.(t.n) <- v;
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  while !i > 0 && t.keys.((!i - 1) / 2) < t.keys.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek t = if t.n = 0 then None else Some (t.keys.(0), t.vals.(0))
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = (t.keys.(0), t.vals.(0)) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.keys.(0) <- t.keys.(t.n);
+      t.vals.(0) <- t.vals.(t.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < t.n && t.keys.(l) > t.keys.(!largest) then largest := l;
+        if r < t.n && t.keys.(r) > t.keys.(!largest) then largest := r;
+        if !largest <> !i then begin
+          swap t !i !largest;
+          i := !largest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end
+
+let to_list t = List.init t.n (fun i -> (t.keys.(i), t.vals.(i)))

@@ -1,0 +1,20 @@
+(** Binary max-heap keyed by floats; used for bounded k-nearest-neighbor
+    search (keep the t best candidates, peek the current worst). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert with key. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Largest key, without removing. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the largest key. *)
+
+val to_list : 'a t -> (float * 'a) list
+(** All entries, unordered. *)

@@ -1,0 +1,189 @@
+let mem_int a x =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) = x then found := true
+    else if a.(mid) < x then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let lower_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let upper_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let lower_bound_int a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let upper_bound_int a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let dedup_int a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = ref [ a.(0) ] in
+    let count = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        out := a.(i) :: !out;
+        incr count
+      end
+    done;
+    let res = Array.make !count 0 in
+    let rest = ref !out in
+    for i = !count - 1 downto 0 do
+      (match !rest with
+      | x :: tl ->
+          res.(i) <- x;
+          rest := tl
+      | [] -> assert false)
+    done;
+    res
+  end
+
+let sort_dedup l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  dedup_int a
+
+let intersect a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = ref [] and count = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    if a.(!i) = b.(!j) then begin
+      out := a.(!i) :: !out;
+      incr count;
+      incr i;
+      incr j
+    end
+    else if a.(!i) < b.(!j) then incr i
+    else incr j
+  done;
+  let res = Array.make !count 0 in
+  let rest = ref !out in
+  for idx = !count - 1 downto 0 do
+    (match !rest with
+    | x :: tl ->
+        res.(idx) <- x;
+        rest := tl
+    | [] -> assert false)
+  done;
+  res
+
+let count_in_range a lo hi = if hi < lo then 0 else upper_bound a hi - lower_bound a lo
+
+(* Candidate-radius selection (Corollary 4).
+
+   All comparisons below operate on the *computed* candidate values
+   [abs_float (x -. q)], never on re-derived interval endpoints, so the
+   counting function and the candidate values are consistent under floating
+   point by construction.  Within a sorted column, |x - q| is monotone
+   decreasing left of q and increasing right of q, so each side is binary
+   searchable. *)
+let kth_abs_diff columns k =
+  if Array.length columns = 0 then invalid_arg "Sorted.kth_abs_diff: no columns";
+  let total =
+    Array.fold_left
+      (fun acc (a, _) ->
+        if Array.length a = 0 then invalid_arg "Sorted.kth_abs_diff: empty column";
+        acc + Array.length a)
+      0 columns
+  in
+  if k < 1 || k > total then invalid_arg "Sorted.kth_abs_diff: k out of range";
+  (* per column: number of candidates <= r *)
+  let count_col (a, q) r =
+    let m = lower_bound a q in
+    (* left side [0, m): values q -. x, decreasing; true on a suffix *)
+    let left =
+      let lo = ref 0 and hi = ref m in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if q -. a.(mid) <= r then hi := mid else lo := mid + 1
+      done;
+      m - !lo
+    in
+    (* right side [m, len): values x -. q, increasing; true on a prefix *)
+    let right =
+      let len = Array.length a in
+      let lo = ref m and hi = ref len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) -. q <= r then lo := mid + 1 else hi := mid
+      done;
+      !lo - m
+    in
+    left + right
+  in
+  let count r = Array.fold_left (fun acc col -> acc + count_col col r) 0 columns in
+  (* per column: smallest candidate value strictly greater than r *)
+  let next_col (a, q) r =
+    let m = lower_bound a q in
+    let best = ref infinity in
+    (let lo = ref 0 and hi = ref m in
+     while !lo < !hi do
+       let mid = (!lo + !hi) / 2 in
+       if q -. a.(mid) <= r then hi := mid else lo := mid + 1
+     done;
+     if !lo > 0 then best := Float.min !best (q -. a.(!lo - 1)));
+    (let len = Array.length a in
+     let lo = ref m and hi = ref len in
+     while !lo < !hi do
+       let mid = (!lo + !hi) / 2 in
+       if a.(mid) -. q <= r then lo := mid + 1 else hi := mid
+     done;
+     if !lo < Array.length a then best := Float.min !best (a.(!lo) -. q));
+    !best
+  in
+  let next_candidate r =
+    Array.fold_left (fun acc col -> Float.min acc (next_col col r)) infinity columns
+  in
+  if count 0.0 >= k then 0.0
+  else begin
+    let hi0 =
+      Array.fold_left
+        (fun acc (a, q) ->
+          Float.max acc
+            (Float.max (abs_float (a.(0) -. q)) (abs_float (a.(Array.length a - 1) -. q))))
+        0.0 columns
+    in
+    let lo = ref 0.0 and hi = ref hi0 in
+    for _ = 1 to 80 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if count mid >= k then hi := mid else lo := mid
+    done;
+    (* count !lo < k <= count !hi: walk the discrete candidates above !lo *)
+    let r = ref !lo in
+    let ans = ref nan in
+    while Float.is_nan !ans do
+      let c = next_candidate !r in
+      if c = infinity then ans := !r
+      else if count c >= k then ans := c
+      else r := c
+    done;
+    !ans
+  end

@@ -1,0 +1,42 @@
+(** Operations on sorted arrays: the building blocks for documents (sorted
+    keyword arrays), posting lists and the candidate-radius selection of
+    Corollary 4. *)
+
+val mem_int : int array -> int -> bool
+(** Binary-search membership in a sorted int array. This realizes the paper's
+    footnote-9 per-document membership test (we accept O(log |Doc|) instead
+    of perfect hashing; see DESIGN.md substitution 2). *)
+
+val lower_bound : float array -> float -> int
+(** [lower_bound a x] is the least index [i] with [a.(i) >= x], or
+    [Array.length a] if none. [a] must be sorted ascending. *)
+
+val upper_bound : float array -> float -> int
+(** Least index [i] with [a.(i) > x], or length if none. *)
+
+val lower_bound_int : int array -> int -> int
+(** As [lower_bound] for int arrays. *)
+
+val upper_bound_int : int array -> int -> int
+(** As [upper_bound] for int arrays. *)
+
+val dedup_int : int array -> int array
+(** Sorted array with duplicates removed (input must be sorted). *)
+
+val sort_dedup : int list -> int array
+(** Sort a list of ints and remove duplicates. *)
+
+val intersect : int array -> int array -> int array
+(** Intersection of two sorted int arrays. *)
+
+val count_in_range : float array -> float -> float -> int
+(** [count_in_range a lo hi] counts entries in the closed interval
+    [\[lo, hi\]] of a sorted array. *)
+
+val kth_abs_diff : (float array * float) array -> int -> float
+(** [kth_abs_diff columns k] treats each pair [(a, q)] in [columns] as the
+    multiset [{ |x - q| : x in a }] ([a] sorted ascending) — exactly the
+    candidate radii of Corollary 4, one column per dimension with [q] the
+    query coordinate on that dimension — and returns the k-th smallest value
+    of the union (1-indexed) without materializing it.
+    @raise Invalid_argument if [k] is out of range or a column is empty. *)

@@ -1,0 +1,59 @@
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  if Array.length xs = 0 then invalid_arg "Stats.stddev: empty";
+  let m = mean xs in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sqrt (var /. float_of_int (Array.length xs))
+
+let median xs =
+  if Array.length xs = 0 then invalid_arg "Stats.median: empty";
+  let a = Array.copy xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.copy xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let fit_exponent pts =
+  let logged =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then invalid_arg "Stats.fit_exponent: non-positive point";
+        (log x, log y))
+      pts
+  in
+  fst (linear_fit logged)
+
+let r_squared pts =
+  let slope, intercept = linear_fit pts in
+  let ys = Array.map snd pts in
+  let my = mean ys in
+  let ss_tot = Array.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys in
+  let ss_res =
+    Array.fold_left (fun a (x, y) -> a +. ((y -. ((slope *. x) +. intercept)) ** 2.0)) 0.0 pts
+  in
+  if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot)

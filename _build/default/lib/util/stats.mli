@@ -1,0 +1,30 @@
+(** Small statistics toolbox for the benchmark harness.
+
+    The central tool is [fit_exponent]: the paper's Table 1 claims query-time
+    bounds of the form [c * N^alpha]; the harness measures times over a
+    geometric sweep of [N] and fits [alpha] by least squares on the log-log
+    points. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation. @raise Invalid_argument on empty input. *)
+
+val median : float array -> float
+(** Median (does not mutate the input). @raise Invalid_argument on empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit pts] is [(slope, intercept)] of the least-squares line.
+    @raise Invalid_argument if fewer than two points. *)
+
+val fit_exponent : (float * float) array -> float
+(** [fit_exponent pts] where [pts] are [(x, y)] with positive entries:
+    the least-squares slope of [log y] against [log x], i.e. the estimate of
+    [alpha] in [y ~ c * x^alpha]. *)
+
+val r_squared : (float * float) array -> float
+(** Coefficient of determination of the linear fit. *)

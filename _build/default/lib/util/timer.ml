@@ -1,0 +1,19 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_median ?(repeats = 5) f =
+  if repeats <= 0 then invalid_arg "Timer.time_median: repeats must be positive";
+  let times = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, t = time f in
+    result := Some r;
+    times.(i) <- t
+  done;
+  match !result with
+  | None -> assert false
+  | Some r -> (r, Stats.median times)

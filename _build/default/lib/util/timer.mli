@@ -1,0 +1,12 @@
+(** Wall-clock timing for the scaling harness (Bechamel handles the
+    micro-benchmarks; this is for the coarse N-sweeps). *)
+
+val now : unit -> float
+(** Monotonic-ish wall-clock time in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 5) and returns
+    the last result with the median elapsed time — robust to GC noise. *)

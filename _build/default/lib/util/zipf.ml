@@ -1,0 +1,31 @@
+type t = { cdf : float array; pmf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let pmf = Array.map (fun x -> x /. total) w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { cdf; pmf }
+
+let sample t rng =
+  let u = Prng.float rng 1.0 in
+  (* least index with cdf >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let pmf t r =
+  if r < 1 || r > Array.length t.pmf then invalid_arg "Zipf.pmf: rank out of range";
+  t.pmf.(r - 1)

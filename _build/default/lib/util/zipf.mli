@@ -1,0 +1,20 @@
+(** Zipf-distributed sampler over [{1, ..., n}].
+
+    Keyword frequencies in text corpora are famously Zipfian; the workload
+    generator uses this sampler to draw document keywords so that the
+    large/small keyword dichotomy of the paper (Section 3.2) is exercised on
+    realistic skew. Sampling is by inversion on the precomputed CDF,
+    O(log n) per draw. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [1..n] with exponent
+    [theta >= 0] ([theta = 0] is uniform; larger is more skewed).
+    @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [\[1, n\]]. *)
+
+val pmf : t -> int -> float
+(** [pmf t r] is the probability of rank [r]. *)

@@ -1,0 +1,1 @@
+lib/workload/csv_io.ml: Array Fun Kwsc_invindex List Printf String

@@ -1,0 +1,1 @@
+lib/workload/csv_io.mli: Kwsc_geom Kwsc_invindex Point

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Float Hashtbl Kwsc_geom Kwsc_invindex Kwsc_util Rect

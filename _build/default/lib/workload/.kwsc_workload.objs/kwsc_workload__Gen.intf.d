@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Kwsc_geom Kwsc_invindex Kwsc_util Point Rect

@@ -1,0 +1,1 @@
+lib/workload/hotels.ml: Array Hashtbl Kwsc_geom Kwsc_invindex Kwsc_util Point Printf

@@ -1,0 +1,46 @@
+let save path objs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun (p, doc) ->
+          let coords =
+            String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list p))
+          in
+          let kws =
+            String.concat ";"
+              (List.map string_of_int (Array.to_list (Kwsc_invindex.Doc.to_array doc)))
+          in
+          output_string oc (coords ^ "|" ^ kws ^ "\n"))
+        objs)
+
+let parse_line lineno line =
+  match String.split_on_char '|' (String.trim line) with
+  | [ coords; kws ] -> (
+      try
+        let p =
+          Array.of_list (List.map float_of_string (String.split_on_char ',' coords))
+        in
+        let doc =
+          Kwsc_invindex.Doc.of_list (List.map int_of_string (String.split_on_char ';' kws))
+        in
+        (p, doc)
+      with _ -> failwith (Printf.sprintf "Csv_io.load: malformed line %d" lineno))
+  | _ -> failwith (Printf.sprintf "Csv_io.load: malformed line %d" lineno)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then out := parse_line !lineno line :: !out
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !out))

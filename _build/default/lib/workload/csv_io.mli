@@ -1,0 +1,14 @@
+(** Plain-text persistence for object datasets, used by the CLI.
+
+    One object per line: comma-separated coordinates, a ['|'] separator,
+    then semicolon-separated keywords, e.g. ["1.5,2.25|4;7;19"]. *)
+
+open Kwsc_geom
+
+val save : string -> (Point.t * Kwsc_invindex.Doc.t) array -> unit
+(** Write a dataset. @raise Sys_error on I/O failure. *)
+
+val load : string -> (Point.t * Kwsc_invindex.Doc.t) array
+(** Read a dataset back.
+    @raise Failure on a malformed line (with the line number).
+    @raise Sys_error on I/O failure. *)

@@ -1,0 +1,95 @@
+open Kwsc_geom
+
+let docs ~rng ~n ~vocab ~theta ~len_min ~len_max =
+  if len_min < 1 || len_max < len_min then invalid_arg "Gen.docs: bad length bounds";
+  let z = Kwsc_util.Zipf.create ~n:vocab ~theta in
+  Array.init n (fun _ ->
+      let target = len_min + Kwsc_util.Prng.int rng (len_max - len_min + 1) in
+      let seen = Hashtbl.create target in
+      (* cap attempts so tiny vocabularies terminate *)
+      let attempts = ref 0 in
+      while Hashtbl.length seen < target && !attempts < 20 * target do
+        incr attempts;
+        Hashtbl.replace seen (Kwsc_util.Zipf.sample z rng) ()
+      done;
+      if Hashtbl.length seen = 0 then Hashtbl.replace seen 1 ();
+      Kwsc_invindex.Doc.of_list (Hashtbl.fold (fun w () acc -> w :: acc) seen []))
+
+let points_uniform ~rng ~n ~d ~range =
+  Array.init n (fun _ -> Array.init d (fun _ -> Kwsc_util.Prng.float rng range))
+
+let points_clustered ~rng ~n ~d ~clusters ~spread ~range =
+  if clusters < 1 then invalid_arg "Gen.points_clustered: need at least one cluster";
+  let centers = points_uniform ~rng ~n:clusters ~d ~range in
+  Array.init n (fun _ ->
+      let c = centers.(Kwsc_util.Prng.int rng clusters) in
+      Array.init d (fun j -> c.(j) +. Kwsc_util.Prng.float rng spread -. (spread /. 2.0)))
+
+let points_int ~rng ~n ~d ~max_coord =
+  Array.init n (fun _ -> Array.init d (fun _ -> float_of_int (Kwsc_util.Prng.int rng (max_coord + 1))))
+
+let rect_query ~rng ~d ~range ~side =
+  let lo = Array.init d (fun _ -> Kwsc_util.Prng.float rng (Float.max 1e-9 (range -. side))) in
+  Rect.make lo (Array.map (fun x -> x +. side) lo)
+
+let keywords_by_rank inv ~rank ~k =
+  let vocab = Kwsc_invindex.Inverted.vocabulary inv in
+  let by_freq = Array.copy vocab in
+  Array.sort
+    (fun a b -> compare (Kwsc_invindex.Inverted.frequency inv b) (Kwsc_invindex.Inverted.frequency inv a))
+    by_freq;
+  if rank < 1 || rank + k - 1 > Array.length by_freq then None
+  else Some (Array.sub by_freq (rank - 1) k)
+
+let ksi_disjoint_heavy ~rng ~m ~set_size =
+  ignore rng;
+  Array.init m (fun i -> Array.init set_size (fun j -> (i * set_size) + j))
+
+let poison ~rng ~n ~d ~range ~kws =
+  if Array.length kws = 0 then invalid_arg "Gen.poison: need keywords";
+  let filler = Array.fold_left max 0 kws + 1 in
+  let half = range /. 2.0 in
+  let q = Rect.make (Array.make d 0.0) (Array.make d half) in
+  let objs =
+    Array.init n (fun i ->
+        if i mod 2 = 0 then begin
+          (* keywords match, point outside the rectangle *)
+          let p = Array.init d (fun _ -> half +. 1.0 +. Kwsc_util.Prng.float rng (half -. 1.0)) in
+          (p, Kwsc_invindex.Doc.of_list (filler :: Array.to_list kws))
+        end
+        else begin
+          (* point inside the rectangle, keywords missing *)
+          let p = Array.init d (fun _ -> Kwsc_util.Prng.float rng half) in
+          (p, Kwsc_invindex.Doc.of_list [ filler ])
+        end)
+  in
+  (objs, q)
+
+let topical ~rng ~n ~d ~topics ~vocab_per_topic ~correlation ~range =
+  if topics < 1 then invalid_arg "Gen.topical: need at least one topic";
+  if correlation < 0.0 || correlation > 1.0 then
+    invalid_arg "Gen.topical: correlation must be in [0,1]";
+  let centers = points_uniform ~rng ~n:topics ~d ~range in
+  let spread = range /. (2.0 *. sqrt (float_of_int topics)) in
+  let vocab = topics * vocab_per_topic in
+  let z = Kwsc_util.Zipf.create ~n:vocab_per_topic ~theta:0.9 in
+  Array.init n (fun _ ->
+      let topic = Kwsc_util.Prng.int rng topics in
+      let p =
+        Array.init d (fun j ->
+            centers.(topic).(j) +. Kwsc_util.Prng.float rng spread -. (spread /. 2.0))
+      in
+      let target = 2 + Kwsc_util.Prng.int rng 4 in
+      let seen = Hashtbl.create target in
+      let attempts = ref 0 in
+      while Hashtbl.length seen < target && !attempts < 20 * target do
+        incr attempts;
+        let w =
+          if Kwsc_util.Prng.float rng 1.0 < correlation then
+            (topic * vocab_per_topic) + Kwsc_util.Zipf.sample z rng
+          else 1 + Kwsc_util.Prng.int rng vocab
+        in
+        Hashtbl.replace seen w ()
+      done;
+      if Hashtbl.length seen = 0 then Hashtbl.replace seen 1 ();
+      (p, Kwsc_invindex.Doc.of_list (Hashtbl.fold (fun w () acc -> w :: acc) seen [])))

@@ -1,0 +1,76 @@
+(** Synthetic workloads. The paper is purely theoretical, so the experiments
+    need data whose parameters (skew, selectivity, adversarial structure) are
+    controlled; every generator is deterministic given the [Prng.t]. *)
+
+open Kwsc_geom
+
+val docs :
+  rng:Kwsc_util.Prng.t ->
+  n:int ->
+  vocab:int ->
+  theta:float ->
+  len_min:int ->
+  len_max:int ->
+  Kwsc_invindex.Doc.t array
+(** [docs ~rng ~n ~vocab ~theta ~len_min ~len_max]: [n] documents whose
+    keywords are drawn Zipf([theta]) from [\[1, vocab\]]; document sizes
+    uniform in [\[len_min, len_max\]] (distinct keywords, so a very small
+    vocabulary may cap the realized size). *)
+
+val points_uniform : rng:Kwsc_util.Prng.t -> n:int -> d:int -> range:float -> Point.t array
+(** [n] points uniform in [\[0, range\]^d]. *)
+
+val points_clustered :
+  rng:Kwsc_util.Prng.t -> n:int -> d:int -> clusters:int -> spread:float -> range:float -> Point.t array
+(** Gaussian-ish clusters: centers uniform, offsets uniform in a
+    [spread]-sized box — models geographic entity clustering. *)
+
+val points_int : rng:Kwsc_util.Prng.t -> n:int -> d:int -> max_coord:int -> Point.t array
+(** Integer-coordinate points in [\[0, max_coord\]^d] (the N^d domain of the
+    L2NN-KW problem). *)
+
+val rect_query : rng:Kwsc_util.Prng.t -> d:int -> range:float -> side:float -> Rect.t
+(** Random axis-parallel query rectangle of side length [side] whose corner
+    is uniform in the data range. *)
+
+val keywords_by_rank : Kwsc_invindex.Inverted.t -> rank:int -> k:int -> int array option
+(** [k] distinct keywords whose frequency ranks start at [rank] (1 = most
+    frequent); [None] if the vocabulary is too small. Lets experiments pick
+    "frequent" vs "rare" query keywords deliberately. *)
+
+val ksi_disjoint_heavy : rng:Kwsc_util.Prng.t -> m:int -> set_size:int -> int array array
+(** Adversarial k-SI input: [m] pairwise-disjoint sets of [set_size]
+    elements each. Any k-SI query has OUT = 0 while both naive strategies
+    scan Θ(set_size); this is the regime of the strong k-set-disjointness
+    conjecture. *)
+
+val poison :
+  rng:Kwsc_util.Prng.t ->
+  n:int ->
+  d:int ->
+  range:float ->
+  kws:int array ->
+  (Point.t * Kwsc_invindex.Doc.t) array * Rect.t
+(** The Section-1 motivating workload: returns objects and a rectangle such
+    that roughly n/2 objects contain all of [kws] but lie outside the
+    rectangle, and n/2 lie inside the rectangle but miss the keywords —
+    both naive baselines scan Θ(n) candidates, the true answer is empty.
+    A filler keyword (max of [kws] + 1) pads documents so every document is
+    non-empty and distinct from [kws]. *)
+
+val topical :
+  rng:Kwsc_util.Prng.t ->
+  n:int ->
+  d:int ->
+  topics:int ->
+  vocab_per_topic:int ->
+  correlation:float ->
+  range:float ->
+  (Point.t * Kwsc_invindex.Doc.t) array
+(** Correlated spatial-keyword data, the shape real geo-text corpora have:
+    each of [topics] topics owns a spatial cluster center and a keyword
+    sub-vocabulary of size [vocab_per_topic]. An object picks a topic, draws
+    its location near the topic's center, and draws keywords from the
+    topic's sub-vocabulary with probability [correlation] (from the global
+    vocabulary otherwise). [correlation] = 0 is uncorrelated;
+    1 is fully topic-locked. *)

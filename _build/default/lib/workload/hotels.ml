@@ -1,0 +1,39 @@
+open Kwsc_geom
+
+let tags =
+  [|
+    "pool"; "free-parking"; "pet-friendly"; "wifi"; "breakfast"; "gym"; "spa"; "bar";
+    "airport-shuttle"; "sea-view"; "family-room"; "ev-charger"; "laundry"; "rooftop";
+    "kitchenette"; "casino"; "golf"; "hot-tub"; "bike-rental"; "concierge";
+  |]
+
+let tag_id name =
+  let found = ref 0 in
+  Array.iteri (fun i t -> if t = name then found := i + 1) tags;
+  if !found = 0 then raise Not_found else !found
+
+let tag_name id =
+  if id < 1 || id > Array.length tags then invalid_arg "Hotels.tag_name: id out of range";
+  tags.(id - 1)
+
+type hotel = { name : string; price : float; rating : float; features : Kwsc_invindex.Doc.t }
+
+let generate ~rng ~n =
+  let z = Kwsc_util.Zipf.create ~n:(Array.length tags) ~theta:0.8 in
+  Array.init n (fun i ->
+      let target = 2 + Kwsc_util.Prng.int rng 5 in
+      let seen = Hashtbl.create target in
+      let attempts = ref 0 in
+      while Hashtbl.length seen < target && !attempts < 200 do
+        incr attempts;
+        Hashtbl.replace seen (Kwsc_util.Zipf.sample z rng) ()
+      done;
+      {
+        name = Printf.sprintf "hotel-%04d" i;
+        price = 50.0 +. Kwsc_util.Prng.float rng 500.0;
+        rating = Kwsc_util.Prng.float rng 10.0;
+        features = Kwsc_invindex.Doc.of_list (Hashtbl.fold (fun w () acc -> w :: acc) seen []);
+      })
+
+let to_objects hotels =
+  Array.map (fun h -> (([| h.price; h.rating |] : Point.t), h.features)) hotels

@@ -1,0 +1,26 @@
+(** The running example of the paper's introduction: a relation
+    Hotel(price, rating, Doc) where Doc holds feature tags such as
+    'pool' and 'pet-friendly'. Generates hotels as 2-D points
+    (price, rating) with tag documents, and exposes the tag vocabulary by
+    name so examples read like the paper. *)
+
+open Kwsc_geom
+
+val tags : string array
+(** The named tag vocabulary; tag id [i+1] is [tags.(i)]. *)
+
+val tag_id : string -> int
+(** @raise Not_found for an unknown tag name. *)
+
+val tag_name : int -> string
+(** @raise Invalid_argument for an out-of-range id. *)
+
+type hotel = { name : string; price : float; rating : float; features : Kwsc_invindex.Doc.t }
+
+val generate : rng:Kwsc_util.Prng.t -> n:int -> hotel array
+(** [n] hotels: price in [\[50, 550\]], rating in [\[0, 10\]], 2–6 Zipfian
+    tags each. *)
+
+val to_objects : hotel array -> (Point.t * Kwsc_invindex.Doc.t) array
+(** Points are (price, rating) pairs — the attribute layout of conditions
+    C1/C2 in the introduction. *)

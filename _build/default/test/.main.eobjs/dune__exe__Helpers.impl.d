@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Hashtbl Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload Point Rect

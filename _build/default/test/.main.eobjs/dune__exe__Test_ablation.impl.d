@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Array Helpers Kwsc Kwsc_invindex Kwsc_util Kwsc_workload List Printf

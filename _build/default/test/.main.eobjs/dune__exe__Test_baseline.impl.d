@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Halfspace Helpers Kwsc Kwsc_geom Kwsc_util Kwsc_workload List Polytope Printf Sphere

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Halfspace Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_kdtree Kwsc_ptree Kwsc_util Kwsc_workload List Polytope Printf Rect Simplex

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Filename Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload Sys

@@ -1,0 +1,1 @@
+test/test_dimred.ml: Alcotest Array Hashtbl Helpers Kwsc Kwsc_invindex Kwsc_util List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util List Printf QCheck QCheck_alcotest Rect

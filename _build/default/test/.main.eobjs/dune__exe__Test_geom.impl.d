@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Fun Halfspace Helpers Kwsc_geom Kwsc_util Lift Linalg List Option Point Polytope QCheck QCheck_alcotest Rank_space Rect Seidel_lp Simplex Sphere

@@ -1,0 +1,1 @@
+test/test_geom_more.ml: Alcotest Array Float Halfspace Kwsc_geom Kwsc_kdtree Kwsc_util Lift Linalg List Point Polytope Printf QCheck QCheck_alcotest Rect Seidel_lp Simplex

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Array Kwsc Kwsc_invindex Kwsc_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Halfspace Helpers Kwsc Kwsc_geom Kwsc_util Rect Sphere

@@ -1,0 +1,1 @@
+test/test_invindex.ml: Alcotest Array Helpers Kwsc_invindex Kwsc_util List QCheck QCheck_alcotest

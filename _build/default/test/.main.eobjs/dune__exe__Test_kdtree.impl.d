@@ -1,0 +1,1 @@
+test/test_kdtree.ml: Alcotest Array Helpers Kwsc_geom Kwsc_kdtree Kwsc_util List Point Printf QCheck QCheck_alcotest Rect

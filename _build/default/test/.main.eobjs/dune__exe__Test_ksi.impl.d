@@ -1,0 +1,1 @@
+test/test_ksi.ml: Alcotest Array Helpers Kwsc Kwsc_invindex Kwsc_util Kwsc_workload List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lc_sp.ml: Alcotest Array Halfspace Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util List QCheck QCheck_alcotest Simplex

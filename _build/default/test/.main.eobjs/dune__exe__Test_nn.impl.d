@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Helpers Kwsc Kwsc_invindex Kwsc_util Kwsc_workload Printf QCheck QCheck_alcotest

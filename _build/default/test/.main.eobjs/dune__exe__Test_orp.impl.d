@@ -1,0 +1,1 @@
+test/test_orp.ml: Alcotest Array Hashtbl Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util List Option Printf QCheck QCheck_alcotest Rect

@@ -1,0 +1,1 @@
+test/test_ptree.ml: Alcotest Array Halfspace Kwsc_geom Kwsc_ptree Kwsc_util List Polytope Printf QCheck QCheck_alcotest Rect Simplex

@@ -1,0 +1,1 @@
+test/test_rr.ml: Alcotest Array Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload QCheck QCheck_alcotest Rect

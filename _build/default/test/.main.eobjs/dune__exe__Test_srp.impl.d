@@ -1,0 +1,1 @@
+test/test_srp.ml: Alcotest Array Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util Point QCheck QCheck_alcotest Sphere

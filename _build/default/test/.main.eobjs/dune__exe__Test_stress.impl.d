@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Halfspace Hashtbl Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_util List Point Printf Rect

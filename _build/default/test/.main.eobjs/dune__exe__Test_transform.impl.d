@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Helpers Kwsc Kwsc_invindex Kwsc_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Gen Heap Kwsc_util List Prng QCheck QCheck_alcotest Stats Zipf

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Halfspace Helpers Kwsc Kwsc_geom Kwsc_invindex Kwsc_kdtree Kwsc_ptree Kwsc_util Kwsc_workload Point Polytope Rank_space Rect Seidel_lp Sphere

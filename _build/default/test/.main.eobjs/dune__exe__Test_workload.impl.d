@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Helpers Kwsc_geom Kwsc_invindex Kwsc_util Kwsc_workload

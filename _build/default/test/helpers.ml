@@ -1,0 +1,67 @@
+(* Shared generators and naive oracles for the test suites. *)
+
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+
+let ints = Alcotest.(array int)
+
+(* Deterministic random dataset: n objects, d dims, Zipf documents. *)
+let dataset ?(seed = 42) ?(vocab = 40) ?(theta = 0.9) ?(len_min = 1) ?(len_max = 6)
+    ?(range = 1000.0) ~n ~d () =
+  let rng = Prng.create seed in
+  let pts = Kwsc_workload.Gen.points_uniform ~rng ~n ~d ~range in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n ~vocab ~theta ~len_min ~len_max in
+  Array.init n (fun i -> (pts.(i), docs.(i)))
+
+(* Dataset with deliberately clumped coordinates to exercise tie-breaking
+   (Step 4: removal of general position). *)
+let gridded_dataset ?(seed = 7) ?(vocab = 15) ~n ~d () =
+  let rng = Prng.create seed in
+  let pts =
+    Array.init n (fun _ -> Array.init d (fun _ -> float_of_int (Prng.int rng 8)))
+  in
+  let docs =
+    Kwsc_workload.Gen.docs ~rng ~n ~vocab ~theta:0.7 ~len_min:1 ~len_max:4
+  in
+  Array.init n (fun i -> (pts.(i), docs.(i)))
+
+let doc_all doc ws = Array.for_all (fun w -> Doc.mem doc w) ws
+
+(* Ground truth for any geometric predicate. *)
+let oracle objs pred ws =
+  let hits = ref [] in
+  Array.iteri (fun id (p, doc) -> if pred p && doc_all doc ws then hits := id :: !hits) objs;
+  let a = Array.of_list !hits in
+  Array.sort compare a;
+  a
+
+let oracle_rect objs q ws = oracle objs (Rect.contains_point q) ws
+
+(* Ground-truth t'-nearest matching objects under a metric. *)
+let oracle_nn objs metric q t' ws =
+  let dist = match metric with `Linf -> Point.linf_dist | `L2 -> Point.l2_dist in
+  let matches = ref [] in
+  Array.iteri
+    (fun id (p, doc) -> if doc_all doc ws then matches := (id, dist q p) :: !matches)
+    objs;
+  let a = Array.of_list !matches in
+  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) a;
+  Array.sub a 0 (min t' (Array.length a))
+
+let random_rect rng ~d ~range =
+  let a = Array.init d (fun _ -> Prng.float rng range) in
+  let b = Array.init d (fun _ -> Prng.float rng range) in
+  Rect.make
+    (Array.init d (fun i -> Float.min a.(i) b.(i)))
+    (Array.init d (fun i -> Float.max a.(i) b.(i)))
+
+(* k distinct keywords, mixing ranks so large and small cases both occur. *)
+let random_keywords rng ~vocab ~k =
+  let seen = Hashtbl.create k in
+  while Hashtbl.length seen < k do
+    Hashtbl.replace seen (1 + Prng.int rng vocab) ()
+  done;
+  Array.of_list (Hashtbl.fold (fun w () acc -> w :: acc) seen [])
+
+let check_ids = Alcotest.(check (array int))

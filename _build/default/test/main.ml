@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "kwsc"
+    [
+      ("util", Test_util.suite);
+      ("geom", Test_geom.suite);
+      ("geom-more", Test_geom_more.suite);
+      ("kdtree", Test_kdtree.suite);
+      ("ptree", Test_ptree.suite);
+      ("invindex", Test_invindex.suite);
+      ("workload", Test_workload.suite);
+      ("transform", Test_transform.suite);
+      ("orp-kw", Test_orp.suite);
+      ("ksi", Test_ksi.suite);
+      ("lc/sp-kw", Test_lc_sp.suite);
+      ("srp-kw", Test_srp.suite);
+      ("rr-kw", Test_rr.suite);
+      ("nn-kw", Test_nn.suite);
+      ("dimred", Test_dimred.suite);
+      ("baseline", Test_baseline.suite);
+      ("csv-io", Test_csv.suite);
+      ("ablation", Test_ablation.suite);
+      ("integration", Test_integration.suite);
+      ("dynamic/pad", Test_dynamic.suite);
+      ("validation", Test_validation.suite);
+      ("stress", Test_stress.suite);
+      ("coverage", Test_coverage.suite);
+      ("hardness", Test_hardness.suite);
+    ]

@@ -1,0 +1,109 @@
+(* The ablation knobs of Transform.build must never change query answers —
+   only costs. These tests pin correctness under every knob setting and
+   check that the costs move the way the design says they should. *)
+
+module Orp = Kwsc.Orp_kw
+module Prng = Kwsc_util.Prng
+
+let objs = Helpers.dataset ~seed:161 ~n:300 ~d:2 ()
+
+let check_same_answers t =
+  let rng = Prng.create 162 in
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "ablated index = oracle" (Helpers.oracle_rect objs q ws) (Orp.query t q ws)
+  done
+
+let test_tau_zero_correct () = check_same_answers (Orp.build ~tau_exponent:0.0 ~k:2 objs)
+let test_tau_one_correct () = check_same_answers (Orp.build ~tau_exponent:1.0 ~k:2 objs)
+let test_tau_half_correct () = check_same_answers (Orp.build ~tau_exponent:0.5 ~k:2 objs)
+let test_no_bits_correct () = check_same_answers (Orp.build ~use_bits:false ~k:2 objs)
+
+let test_tau_validation () =
+  Alcotest.check_raises "tau out of range"
+    (Invalid_argument "Transform.build: tau_exponent must be in [0,1]") (fun () ->
+      ignore (Orp.build ~tau_exponent:1.5 ~k:2 objs))
+
+(* tau = 1 means every keyword is small everywhere: the index degenerates to
+   materialized-list scans, so no node should ever have a large keyword. *)
+let test_tau_one_structure () =
+  let t = Orp.build ~tau_exponent:1.0 ~k:2 objs in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      Alcotest.(check int) "no large keywords" 0 v.Kwsc.Transform.num_large)
+
+(* tau = 0 means every present keyword is large: nothing is ever
+   materialized. *)
+let test_tau_zero_structure () =
+  let t = Orp.build ~tau_exponent:0.0 ~k:2 objs in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      Alcotest.(check (list reject)) "nothing materialized" []
+        (List.map (fun _ -> ()) v.Kwsc.Transform.materialized))
+
+(* Dropping the emptiness bits must cost work on disjoint-keyword queries:
+   with bits the probe prunes in O(1); without, it walks the tree. *)
+let test_bits_prune_disjoint () =
+  let rng = Prng.create 163 in
+  let sets = Kwsc_workload.Gen.ksi_disjoint_heavy ~rng ~m:4 ~set_size:500 in
+  let inst = Kwsc_invindex.Ksi_instance.create sets in
+  let docs, _ = Kwsc_invindex.Ksi_instance.to_keyword_dataset inst in
+  let with_bits = Kwsc.Ksi.of_docs ~k:2 docs in
+  let without_bits = Kwsc.Ksi.of_docs ~use_bits:false ~k:2 docs in
+  let _, st_with = Kwsc.Ksi.query_stats with_bits [| 1; 2 |] in
+  let _, st_without = Kwsc.Ksi.query_stats without_bits [| 1; 2 |] in
+  Helpers.check_ids "both empty" [||] (Kwsc.Ksi.query without_bits [| 1; 2 |]);
+  Alcotest.(check bool)
+    (Printf.sprintf "bits prune: %d with vs %d without" (Kwsc.Stats.work st_with)
+       (Kwsc.Stats.work st_without))
+    true
+    (Kwsc.Stats.work st_with * 4 < Kwsc.Stats.work st_without)
+
+(* The threshold 1 - 1/k trades query work against bit-array space:
+   tau = 0 (everything large) minimizes work but blows up the k-dimensional
+   bit arrays to vocab^k per node; tau = 1 (everything small) stores no bits
+   but pays full list scans. The default must sit between the extremes on
+   both axes. *)
+let test_tau_default_tradeoff () =
+  let m = 4096 in
+  let f = max 1 (int_of_float (sqrt (float_of_int m)) - 1) in
+  (* wide vocabulary of filler keywords makes the tau=0 bit arrays heavy *)
+  let docs =
+    Array.init m (fun i ->
+        if i < 2 * f then Kwsc_invindex.Doc.of_list [ 1 + (i / f) ]
+        else Kwsc_invindex.Doc.of_list [ 3 + (i mod 300) ])
+  in
+  let build tau = Kwsc.Ksi.of_docs ~tau_exponent:tau ~k:2 docs in
+  let work t =
+    let _, st = Kwsc.Ksi.query_stats t [| 1; 2 |] in
+    Kwsc.Stats.work st
+  in
+  let bits t = (Kwsc.Ksi.space_stats t).Kwsc.Stats.bitset_words in
+  let t_def = build 0.5 and t_large = build 0.0 and t_small = build 1.0 in
+  Alcotest.(check int) "tau=1 stores no bits" 0 (bits t_small);
+  Alcotest.(check bool)
+    (Printf.sprintf "bitset space: default %d << tau=0 %d" (bits t_def) (bits t_large))
+    true
+    (5 * bits t_def < bits t_large);
+  Alcotest.(check bool)
+    (Printf.sprintf "work: default %d <= tau=1 %d" (work t_def) (work t_small))
+    true
+    (work t_def <= work t_small)
+
+let test_leaf_weight_correct () =
+  List.iter
+    (fun lw -> check_same_answers (Orp.build ~leaf_weight:lw ~k:2 objs))
+    [ 1; 16; 1000000 ]
+
+let suite =
+  [
+    Alcotest.test_case "tau=0 correct" `Quick test_tau_zero_correct;
+    Alcotest.test_case "tau=1 correct" `Quick test_tau_one_correct;
+    Alcotest.test_case "tau=0.5 correct" `Quick test_tau_half_correct;
+    Alcotest.test_case "no bits correct" `Quick test_no_bits_correct;
+    Alcotest.test_case "tau validation" `Quick test_tau_validation;
+    Alcotest.test_case "tau=1 structure (all small)" `Quick test_tau_one_structure;
+    Alcotest.test_case "tau=0 structure (all large)" `Quick test_tau_zero_structure;
+    Alcotest.test_case "bits prune disjoint queries" `Quick test_bits_prune_disjoint;
+    Alcotest.test_case "default tau trade-off" `Quick test_tau_default_tradeoff;
+    Alcotest.test_case "leaf_weight extremes correct" `Quick test_leaf_weight_correct;
+  ]

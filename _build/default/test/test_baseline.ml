@@ -1,0 +1,104 @@
+open Kwsc_geom
+module Baseline = Kwsc.Baseline
+module Prng = Kwsc_util.Prng
+
+let objs = Helpers.dataset ~seed:131 ~n:300 ~d:2 ()
+let b = Baseline.build objs
+
+let test_rect_agree () =
+  let rng = Prng.create 801 in
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle_rect objs q ws in
+    let s, _ = Baseline.rect_structured b q ws in
+    let k, _ = Baseline.rect_keywords b q ws in
+    Helpers.check_ids "structured = oracle" expected s;
+    Helpers.check_ids "keywords = oracle" expected k
+  done
+
+let test_poly_agree () =
+  let rng = Prng.create 802 in
+  for _ = 1 to 40 do
+    let h =
+      Halfspace.make [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |] (Prng.float rng 800.0)
+    in
+    let q = Polytope.make ~dim:2 [ h ] in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle objs (Halfspace.satisfies h) ws in
+    let s, _ = Baseline.poly_structured b q ws in
+    let k, _ = Baseline.poly_keywords b q ws in
+    Helpers.check_ids "poly structured" expected s;
+    Helpers.check_ids "poly keywords" expected k
+  done
+
+let test_sphere_agree () =
+  let rng = Prng.create 803 in
+  for _ = 1 to 40 do
+    let s = Sphere.make [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] (Prng.float rng 400.0) in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle objs (Sphere.contains s) ws in
+    let s1, _ = Baseline.sphere_structured b s ws in
+    let s2, _ = Baseline.sphere_keywords b s ws in
+    Helpers.check_ids "sphere structured" expected s1;
+    Helpers.check_ids "sphere keywords" expected s2
+  done
+
+let test_nn_agree () =
+  let rng = Prng.create 804 in
+  List.iter
+    (fun metric ->
+      for _ = 1 to 30 do
+        let q = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+        let t' = 1 + Prng.int rng 8 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        let expected = Helpers.oracle_nn objs metric q t' ws in
+        let s, _ = Baseline.nn_structured b ~metric q ~t' ws in
+        let k, _ = Baseline.nn_keywords b ~metric q ~t' ws in
+        Alcotest.(check int) "nn structured count" (Array.length expected) (Array.length s);
+        Alcotest.(check int) "nn keywords count" (Array.length expected) (Array.length k);
+        Array.iteri
+          (fun i (_, d) ->
+            Alcotest.(check (float 1e-9)) "structured dist" (snd expected.(i)) d;
+            Alcotest.(check (float 1e-9)) "keywords dist" (snd expected.(i)) (snd k.(i)))
+          s
+      done)
+    [ `Linf; `L2 ]
+
+let test_poison_workload_costs () =
+  (* the Section-1 motivation: both baselines scan Theta(n), answer empty *)
+  let rng = Prng.create 805 in
+  let pobjs, q = Kwsc_workload.Gen.poison ~rng ~n:400 ~d:2 ~range:1000.0 ~kws:[| 1; 2 |] in
+  let pb = Baseline.build pobjs in
+  let rs, examined_s = Baseline.rect_structured pb q [| 1; 2 |] in
+  let rk, examined_k = Baseline.rect_keywords pb q [| 1; 2 |] in
+  Helpers.check_ids "poison: empty result (structured)" [||] rs;
+  Helpers.check_ids "poison: empty result (keywords)" [||] rk;
+  Alcotest.(check bool) "structured scans ~n/2" true (examined_s >= 150);
+  Alcotest.(check bool) "keywords scans ~n/2" true (examined_k >= 150);
+  (* the transformed index answers the same query with sublinear work *)
+  let orp = Kwsc.Orp_kw.build ~k:2 pobjs in
+  let ids, st = Kwsc.Orp_kw.query_stats orp q [| 1; 2 |] in
+  Helpers.check_ids "poison: empty result (orp)" [||] ids;
+  Alcotest.(check bool)
+    (Printf.sprintf "orp work %d << baselines %d/%d" (Kwsc.Stats.work st) examined_s examined_k)
+    true
+    (Kwsc.Stats.work st < examined_s / 2)
+
+let test_scan_oracle_consistency () =
+  let rng = Prng.create 806 in
+  for _ = 1 to 40 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "scan = oracle" (Helpers.oracle_rect objs q ws) (Baseline.scan b q ws)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "rect baselines agree" `Quick test_rect_agree;
+    Alcotest.test_case "polytope baselines agree" `Quick test_poly_agree;
+    Alcotest.test_case "sphere baselines agree" `Quick test_sphere_agree;
+    Alcotest.test_case "nn baselines agree" `Quick test_nn_agree;
+    Alcotest.test_case "poison workload costs" `Quick test_poison_workload_costs;
+    Alcotest.test_case "scan oracle" `Quick test_scan_oracle_consistency;
+  ]

@@ -1,0 +1,162 @@
+(* Coverage for configurations not hit elsewhere: 3-D simplices, higher
+   arities across index families, structural invariants on the lifted
+   (SRP) tree, and pure-geometry accounting. *)
+
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+
+let test_sp_tetrahedra () =
+  let objs = Helpers.dataset ~seed:221 ~n:200 ~d:3 () in
+  let t = Kwsc.Sp_kw.build ~k:2 objs in
+  let rng = Prng.create 222 in
+  let tried = ref 0 in
+  while !tried < 25 do
+    let v () = Array.init 3 (fun _ -> Prng.float rng 1400.0 -. 200.0) in
+    match Simplex.of_vertices [| v (); v (); v (); v () |] with
+    | exception Invalid_argument _ -> ()
+    | s ->
+        incr tried;
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        Helpers.check_ids "tetrahedron query"
+          (Helpers.oracle objs (Simplex.contains s) ws)
+          (Kwsc.Sp_kw.query_simplex t s ws)
+  done
+
+let test_lc_k4 () =
+  let rng = Prng.create 223 in
+  let objs =
+    Array.init 250 (fun _ ->
+        ( [| Prng.float rng 100.0; Prng.float rng 100.0 |],
+          Kwsc_invindex.Doc.of_list (List.init (3 + Prng.int rng 5) (fun _ -> 1 + Prng.int rng 9)) ))
+  in
+  let t = Kwsc.Lc_kw.build ~k:4 objs in
+  for _ = 1 to 40 do
+    let h =
+      Halfspace.make [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |] (Prng.float rng 120.0)
+    in
+    let ws = Helpers.random_keywords rng ~vocab:9 ~k:4 in
+    Helpers.check_ids "lc k=4" (Helpers.oracle objs (Halfspace.satisfies h) ws) (Kwsc.Lc_kw.query t [ h ] ws)
+  done
+
+let test_srp_lifted_invariants () =
+  (* the lifted SP tree must keep the Transform invariants in d+1 *)
+  let objs = Helpers.dataset ~seed:224 ~n:300 ~d:2 () in
+  let t = Kwsc.Srp_kw.build ~k:2 objs in
+  let sp_stats = Kwsc.Srp_kw.space_stats t in
+  Alcotest.(check bool) "pivots stay small" true (sp_stats.Kwsc.Stats.max_pivot <= 8);
+  Alcotest.(check bool) "space linear-ish" true
+    (sp_stats.Kwsc.Stats.total_words < 12 * Kwsc.Srp_kw.input_size t)
+
+let test_flex_max_k4 () =
+  let rng = Prng.create 225 in
+  let objs =
+    Array.init 150 (fun _ ->
+        ( [| Prng.float rng 100.0; Prng.float rng 100.0 |],
+          Kwsc_invindex.Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 12)) ))
+  in
+  let t = Kwsc.Flex.build ~max_k:4 objs in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+    let j = 1 + Prng.int rng 4 in
+    let ws = Helpers.random_keywords rng ~vocab:12 ~k:j in
+    Helpers.check_ids
+      (Printf.sprintf "flex max_k=4 arity %d" j)
+      (Helpers.oracle objs (Rect.contains_point q) ws)
+      (Kwsc.Flex.query t q ws)
+  done
+
+let test_dimred_k4 () =
+  let rng = Prng.create 226 in
+  let objs =
+    Array.init 200 (fun _ ->
+        ( Array.init 3 (fun _ -> Prng.float rng 100.0),
+          Kwsc_invindex.Doc.of_list (List.init (3 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 8)) ))
+  in
+  let t = Kwsc.Dimred.build ~k:4 objs in
+  for _ = 1 to 40 do
+    let q = Helpers.random_rect rng ~d:3 ~range:100.0 in
+    let ws = Helpers.random_keywords rng ~vocab:8 ~k:4 in
+    Helpers.check_ids "dimred k=4" (Helpers.oracle_rect objs q ws) (Kwsc.Dimred.query t q ws)
+  done
+
+let test_kd_range_stats_consistency () =
+  let rng = Prng.create 227 in
+  let pts = Array.init 500 (fun i -> ([| Prng.float rng 100.0; Prng.float rng 100.0 |], i)) in
+  let t = Kwsc_kdtree.Kd.build pts in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+    let st = Kwsc_kdtree.Kd.range_stats t q in
+    Alcotest.(check int) "covered + crossing = nodes" st.Kwsc_kdtree.Kd.nodes
+      (st.Kwsc_kdtree.Kd.covered + st.Kwsc_kdtree.Kd.crossing);
+    Alcotest.(check bool) "leaves <= nodes" true
+      (st.Kwsc_kdtree.Kd.leaves_scanned <= st.Kwsc_kdtree.Kd.nodes)
+  done
+
+let test_ptree_stats_consistency () =
+  let rng = Prng.create 228 in
+  let pts = Array.init 300 (fun i -> ([| Prng.float rng 100.0; Prng.float rng 100.0 |], i)) in
+  let t = Kwsc_ptree.Ptree.build pts in
+  for _ = 1 to 20 do
+    let h =
+      Halfspace.make [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |] (Prng.float rng 100.0)
+    in
+    let st = Kwsc_ptree.Ptree.stats_polytope t (Polytope.make ~dim:2 [ h ]) in
+    Alcotest.(check int) "visited = covered + crossing" st.Kwsc_ptree.Ptree.visited
+      (st.Kwsc_ptree.Ptree.covered + st.Kwsc_ptree.Ptree.crossing)
+  done
+
+let test_inverted_single_keyword () =
+  let docs =
+    [| Kwsc_invindex.Doc.of_list [ 3 ]; Kwsc_invindex.Doc.of_list [ 3; 5 ]; Kwsc_invindex.Doc.of_list [ 5 ] |]
+  in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  Alcotest.(check (array int)) "k=1 query" [| 0; 1 |] (Kwsc_invindex.Inverted.query inv [| 3 |])
+
+let test_hotels_pad_roundtrip () =
+  (* the introduction's 3-keyword query answered at arity 2 via Flex *)
+  let rng = Prng.create 229 in
+  let hotels = Kwsc_workload.Hotels.generate ~rng ~n:400 in
+  let objs = Kwsc_workload.Hotels.to_objects hotels in
+  let flex = Kwsc.Flex.build ~max_k:3 objs in
+  let pool = Kwsc_workload.Hotels.tag_id "pool" and wifi = Kwsc_workload.Hotels.tag_id "wifi" in
+  let q = Rect.make [| 50.0; 0.0 |] [| 600.0; 10.0 |] in
+  let expected = Helpers.oracle objs (Rect.contains_point q) [| pool; wifi |] in
+  Helpers.check_ids "hotel arity-2 on k=3 index" expected (Kwsc.Flex.query flex q [| pool; wifi |])
+
+let test_poisoned_dynamic () =
+  (* delete all keyword-bearing objects: the standing query must go empty *)
+  let rng = Prng.create 230 in
+  let objs, q, kws = (fun () ->
+      let kws = [| 1; 2 |] in
+      let objs, q = Kwsc_workload.Gen.poison ~rng ~n:300 ~d:2 ~range:100.0 ~kws in
+      (objs, q, kws)) ()
+  in
+  let t = Kwsc.Dynamic.create ~k:2 ~d:2 () in
+  let ids = Array.map (fun o -> Kwsc.Dynamic.insert t o) objs in
+  (* move half the keyword objects inside the rectangle *)
+  Array.iteri
+    (fun i (p, doc) ->
+      ignore p;
+      if Kwsc_invindex.Doc.mem_all doc kws && i mod 4 = 0 then begin
+        Kwsc.Dynamic.delete t ids.(i);
+        ignore (Kwsc.Dynamic.insert t ([| 10.0; 10.0 |], doc))
+      end)
+    objs;
+  let res = Kwsc.Dynamic.query t q kws in
+  Alcotest.(check bool) "moved objects now match" true (Array.length res > 0);
+  Array.iter (fun id -> Kwsc.Dynamic.delete t id) (Kwsc.Dynamic.query t (Rect.full 2) kws);
+  Helpers.check_ids "after deleting all matches" [||] (Kwsc.Dynamic.query t q kws)
+
+let suite =
+  [
+    Alcotest.test_case "sp-kw tetrahedra (3d)" `Quick test_sp_tetrahedra;
+    Alcotest.test_case "lc-kw k=4" `Quick test_lc_k4;
+    Alcotest.test_case "srp lifted-tree invariants" `Quick test_srp_lifted_invariants;
+    Alcotest.test_case "flex max_k=4" `Quick test_flex_max_k4;
+    Alcotest.test_case "dimred k=4" `Quick test_dimred_k4;
+    Alcotest.test_case "kd range-stats consistency" `Quick test_kd_range_stats_consistency;
+    Alcotest.test_case "ptree stats consistency" `Quick test_ptree_stats_consistency;
+    Alcotest.test_case "inverted single keyword" `Quick test_inverted_single_keyword;
+    Alcotest.test_case "hotels via flex" `Quick test_hotels_pad_roundtrip;
+    Alcotest.test_case "dynamic poison scenario" `Quick test_poisoned_dynamic;
+  ]

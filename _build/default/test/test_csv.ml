@@ -1,0 +1,79 @@
+module Csv_io = Kwsc_workload.Csv_io
+module Doc = Kwsc_invindex.Doc
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_round_trip () =
+  let objs = Helpers.dataset ~seed:151 ~n:120 ~d:3 () in
+  let path = tmp "kwsc_roundtrip.csv" in
+  Csv_io.save path objs;
+  let back = Csv_io.load path in
+  Alcotest.(check int) "count" (Array.length objs) (Array.length back);
+  Array.iteri
+    (fun i (p, doc) ->
+      let p', doc' = back.(i) in
+      Alcotest.(check bool) "point equal" true (Kwsc_geom.Point.equal p p');
+      Alcotest.(check (array int)) "doc equal" (Doc.to_array doc) (Doc.to_array doc'))
+    objs;
+  Sys.remove path
+
+let test_round_trip_preserves_queries () =
+  let objs = Helpers.dataset ~seed:152 ~n:200 ~d:2 () in
+  let path = tmp "kwsc_queries.csv" in
+  Csv_io.save path objs;
+  let back = Csv_io.load path in
+  Sys.remove path;
+  let t1 = Kwsc.Orp_kw.build ~k:2 objs in
+  let t2 = Kwsc.Orp_kw.build ~k:2 back in
+  let rng = Kwsc_util.Prng.create 153 in
+  for _ = 1 to 50 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "same answers after round trip" (Kwsc.Orp_kw.query t1 q ws)
+      (Kwsc.Orp_kw.query t2 q ws)
+  done
+
+let test_malformed () =
+  let path = tmp "kwsc_malformed.csv" in
+  let oc = open_out path in
+  output_string oc "1.0,2.0|3;4\nnot-a-line\n";
+  close_out oc;
+  Alcotest.check_raises "malformed line reported with number"
+    (Failure "Csv_io.load: malformed line 2") (fun () -> ignore (Csv_io.load path));
+  Sys.remove path
+
+let test_bad_keyword () =
+  let path = tmp "kwsc_badkw.csv" in
+  let oc = open_out path in
+  output_string oc "1.0|x\n";
+  close_out oc;
+  Alcotest.check_raises "non-integer keyword" (Failure "Csv_io.load: malformed line 1")
+    (fun () -> ignore (Csv_io.load path));
+  Sys.remove path
+
+let test_empty_file () =
+  let path = tmp "kwsc_empty.csv" in
+  let oc = open_out path in
+  close_out oc;
+  Alcotest.(check int) "empty file loads empty" 0 (Array.length (Csv_io.load path));
+  Sys.remove path
+
+let test_blank_lines_skipped () =
+  let path = tmp "kwsc_blank.csv" in
+  let oc = open_out path in
+  output_string oc "\n1.0,2.0|3\n\n4.0,5.0|6;7\n";
+  close_out oc;
+  let objs = Csv_io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "two objects" 2 (Array.length objs);
+  Alcotest.(check (array int)) "second doc" [| 6; 7 |] (Doc.to_array (snd objs.(1)))
+
+let suite =
+  [
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "round trip preserves queries" `Quick test_round_trip_preserves_queries;
+    Alcotest.test_case "malformed line" `Quick test_malformed;
+    Alcotest.test_case "bad keyword" `Quick test_bad_keyword;
+    Alcotest.test_case "empty file" `Quick test_empty_file;
+    Alcotest.test_case "blank lines skipped" `Quick test_blank_lines_skipped;
+  ]

@@ -1,0 +1,163 @@
+module Dimred = Kwsc.Dimred
+module Prng = Kwsc_util.Prng
+
+let test_matches_oracle_3d () =
+  let objs = Helpers.dataset ~seed:121 ~n:300 ~d:3 () in
+  let t = Dimred.build ~k:2 objs in
+  let rng = Prng.create 701 in
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:3 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "dimred 3d = oracle" (Helpers.oracle_rect objs q ws) (Dimred.query t q ws)
+  done
+
+let test_matches_oracle_4d () =
+  let objs = Helpers.dataset ~seed:122 ~n:200 ~d:4 () in
+  let t = Dimred.build ~k:2 objs in
+  let rng = Prng.create 702 in
+  for _ = 1 to 50 do
+    let q = Helpers.random_rect rng ~d:4 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "dimred 4d = oracle" (Helpers.oracle_rect objs q ws) (Dimred.query t q ws)
+  done
+
+let test_matches_orp_2d () =
+  (* for d <= 2 the structure degenerates to the Theorem-1 index *)
+  let objs = Helpers.dataset ~seed:123 ~n:250 ~d:2 () in
+  let dr = Dimred.build ~k:2 objs in
+  let orp = Kwsc.Orp_kw.build ~k:2 objs in
+  let rng = Prng.create 703 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "dimred(d=2) = orp" (Kwsc.Orp_kw.query orp q ws) (Dimred.query dr q ws)
+  done
+
+let test_k3 () =
+  let objs = Helpers.dataset ~seed:124 ~n:250 ~d:3 ~len_min:2 ~len_max:7 () in
+  let t = Dimred.build ~k:3 objs in
+  let rng = Prng.create 704 in
+  for _ = 1 to 40 do
+    let q = Helpers.random_rect rng ~d:3 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:3 in
+    Helpers.check_ids "dimred k=3" (Helpers.oracle_rect objs q ws) (Dimred.query t q ws)
+  done
+
+let test_duplicate_x_coordinates () =
+  let rng = Prng.create 705 in
+  let objs =
+    Array.init 200 (fun _ ->
+        ( [| float_of_int (Prng.int rng 5); Prng.float rng 100.0; Prng.float rng 100.0 |],
+          Kwsc_invindex.Doc.of_list (List.init (1 + Prng.int rng 3) (fun _ -> 1 + Prng.int rng 10)) ))
+  in
+  let t = Dimred.build ~k:2 objs in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:3 ~range:100.0 in
+    let ws = Helpers.random_keywords rng ~vocab:10 ~k:2 in
+    Helpers.check_ids "x-ties = oracle" (Helpers.oracle_rect objs q ws) (Dimred.query t q ws)
+  done
+
+(* Proposition 1: the cut tree has O(log log N) levels. *)
+let test_depth_loglog () =
+  let objs = Helpers.dataset ~seed:125 ~n:2000 ~d:3 () in
+  let t = Dimred.build ~k:2 objs in
+  let max_level = ref 0 in
+  Dimred.cut_stats t (fun ~level ~fanout:_ ~weight:_ ~children:_ ~pivots:_ ->
+      max_level := max !max_level level);
+  (* N ~ 7000; log2(log2 N) ~ 3.7; allow constant slack *)
+  Alcotest.(check bool) (Printf.sprintf "depth %d = O(loglog N)" !max_level) true (!max_level <= 8)
+
+(* Proposition 2 analogue: child weight <= parent weight / fanout. *)
+let test_weight_decay () =
+  let objs = Helpers.dataset ~seed:126 ~n:800 ~d:3 () in
+  let t = Dimred.build ~k:2 objs in
+  let by_level : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Dimred.cut_stats t (fun ~level ~fanout:_ ~weight ~children:_ ~pivots:_ ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt by_level level) in
+      Hashtbl.replace by_level level (max cur weight));
+  let w0 = Option.value ~default:0 (Hashtbl.find_opt by_level 0) in
+  (match Hashtbl.find_opt by_level 1 with
+  | Some w1 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level-1 weight %d <= level-0 %d / 4" w1 w0)
+        true
+        (w1 <= w0 / 4)
+  | None -> ());
+  match Hashtbl.find_opt by_level 2 with
+  | Some w2 ->
+      Alcotest.(check bool) "level-2 weight collapses" true (w2 <= w0 / 16)
+  | None -> ()
+
+(* Figure 2: each query touches at most two type-2 nodes per level of each
+   cut tree it descends. The top-level tree is measured directly. *)
+let test_type2_per_level () =
+  let objs = Helpers.dataset ~seed:127 ~n:1000 ~d:3 () in
+  let t = Dimred.build ~k:2 objs in
+  let rng = Prng.create 706 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:3 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let _, profile = Dimred.query_profile t q ws in
+    Array.iteri
+      (fun level count ->
+        Alcotest.(check bool)
+          (Printf.sprintf "level %d has %d type-2 nodes" level count)
+          true (count <= 2))
+      profile.Dimred.type2_by_level
+  done
+
+let test_space_factor_reasonable () =
+  let objs = Helpers.dataset ~seed:128 ~n:1000 ~d:3 () in
+  let t3 = Dimred.build ~k:2 objs in
+  let objs2 = Array.map (fun (p, doc) -> (Array.sub p 0 2, doc)) objs in
+  let t2 = Dimred.build ~k:2 objs2 in
+  let w3 = Dimred.space_words t3 and w2 = Dimred.space_words t2 in
+  (* one extra dimension costs a loglog-ish factor, not a polynomial one *)
+  Alcotest.(check bool)
+    (Printf.sprintf "3d words %d within 12x of 2d words %d" w3 w2)
+    true
+    (w3 <= 12 * w2)
+
+let test_limit () =
+  let objs = Helpers.dataset ~seed:129 ~n:300 ~d:3 ~vocab:6 () in
+  let t = Dimred.build ~k:2 objs in
+  let rng = Prng.create 707 in
+  for _ = 1 to 40 do
+    let q = Helpers.random_rect rng ~d:3 ~range:1200.0 in
+    let ws = Helpers.random_keywords rng ~vocab:6 ~k:2 in
+    let full = Dimred.query t q ws in
+    let l = 1 + Prng.int rng 5 in
+    let capped = Dimred.query ~limit:l t q ws in
+    Alcotest.(check int) "capped size"
+      (min l (Array.length full))
+      (Array.length capped);
+    Array.iter
+      (fun id -> Alcotest.(check bool) "capped subset" true (Array.mem id full))
+      capped
+  done
+
+let qcheck_dimred =
+  QCheck.Test.make ~name:"Dimred equals oracle (3d)" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:100 ~d:3 ~vocab:12 () in
+      let t = Dimred.build ~k:2 objs in
+      let rng = Prng.create (seed + 2222) in
+      let q = Helpers.random_rect rng ~d:3 ~range:1000.0 in
+      let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+      Helpers.oracle_rect objs q ws = Dimred.query t q ws)
+
+let suite =
+  [
+    Alcotest.test_case "matches oracle 3d" `Quick test_matches_oracle_3d;
+    Alcotest.test_case "matches oracle 4d" `Quick test_matches_oracle_4d;
+    Alcotest.test_case "d=2 equals ORP-KW" `Quick test_matches_orp_2d;
+    Alcotest.test_case "k=3" `Quick test_k3;
+    Alcotest.test_case "duplicate x coordinates" `Quick test_duplicate_x_coordinates;
+    Alcotest.test_case "Prop 1: loglog depth" `Quick test_depth_loglog;
+    Alcotest.test_case "Prop 2: weight decay" `Quick test_weight_decay;
+    Alcotest.test_case "Fig 2: <=2 type-2 nodes per level" `Quick test_type2_per_level;
+    Alcotest.test_case "space factor per dimension" `Quick test_space_factor_reasonable;
+    Alcotest.test_case "output limit" `Quick test_limit;
+    QCheck_alcotest.to_alcotest qcheck_dimred;
+  ]

@@ -1,0 +1,193 @@
+(* The Bentley–Saxe dynamization and the wildcard padding extension. *)
+
+open Kwsc_geom
+module Dyn = Kwsc.Dynamic
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+
+(* Mirror model: a plain association list of live objects. *)
+let model_query model q ws =
+  let hits =
+    List.filter_map
+      (fun (id, (p, doc)) ->
+        if Rect.contains_point q p && Array.for_all (fun w -> Doc.mem doc w) ws then Some id
+        else None)
+      model
+  in
+  let a = Array.of_list hits in
+  Array.sort compare a;
+  a
+
+let random_obj rng =
+  let p = [| Prng.float rng 100.0; Prng.float rng 100.0 |] in
+  let doc = Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 12)) in
+  (p, doc)
+
+let test_insert_then_query () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 191 in
+  let model = ref [] in
+  for _ = 1 to 300 do
+    let obj = random_obj rng in
+    let id = Dyn.insert t obj in
+    model := (id, obj) :: !model
+  done;
+  Alcotest.(check int) "size" 300 (Dyn.size t);
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+    let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+    Helpers.check_ids "dynamic = model" (model_query !model q ws) (Dyn.query t q ws)
+  done
+
+let test_interleaved_insert_delete () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 192 in
+  let model = ref [] in
+  for round = 1 to 500 do
+    if Prng.int rng 3 = 0 && !model <> [] then begin
+      (* delete a random live object *)
+      let n = List.length !model in
+      let victim, _ = List.nth !model (Prng.int rng n) in
+      Dyn.delete t victim;
+      model := List.filter (fun (id, _) -> id <> victim) !model
+    end
+    else begin
+      let obj = random_obj rng in
+      let id = Dyn.insert t obj in
+      model := (id, obj) :: !model
+    end;
+    if round mod 25 = 0 then begin
+      let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+      let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+      Helpers.check_ids "interleaved = model" (model_query !model q ws) (Dyn.query t q ws);
+      Alcotest.(check int) "size tracks model" (List.length !model) (Dyn.size t)
+    end
+  done
+
+let test_delete_everything () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 193 in
+  let ids = List.init 64 (fun _ -> Dyn.insert t (random_obj rng)) in
+  List.iter (Dyn.delete t) ids;
+  Alcotest.(check int) "empty" 0 (Dyn.size t);
+  Helpers.check_ids "no results" [||] (Dyn.query t (Rect.full 2) [| 1; 2 |]);
+  (* inserting again still works after the full rebuild *)
+  let obj = ([| 1.0; 1.0 |], Doc.of_list [ 1; 2 ]) in
+  let id = Dyn.insert t obj in
+  Helpers.check_ids "revived" [| id |] (Dyn.query t (Rect.full 2) [| 1; 2 |])
+
+let test_delete_validation () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  Alcotest.check_raises "unknown id" (Invalid_argument "Dynamic.delete: unknown id") (fun () ->
+      Dyn.delete t 0);
+  let id = Dyn.insert t ([| 0.0; 0.0 |], Doc.of_list [ 1 ]) in
+  Dyn.delete t id;
+  Dyn.delete t id (* idempotent *)
+
+let test_buckets_logarithmic () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 194 in
+  for _ = 1 to 1000 do
+    ignore (Dyn.insert t (random_obj rng))
+  done;
+  let buckets = Dyn.buckets t in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d buckets for 1000 inserts" (List.length buckets))
+    true
+    (List.length buckets <= 12);
+  Alcotest.(check int) "buckets partition the objects" 1000 (List.fold_left ( + ) 0 buckets)
+
+(* --- Pad -------------------------------------------------------------- *)
+
+let test_pad_fewer_keywords () =
+  let objs = Helpers.dataset ~seed:195 ~n:200 ~d:2 () in
+  let padded_docs, pad = Kwsc.Pad.docs ~k:3 (Array.map snd objs) in
+  let padded = Array.mapi (fun i (p, _) -> (p, padded_docs.(i))) objs in
+  let idx = Kwsc.Orp_kw.build ~k:3 padded in
+  let rng = Prng.create 196 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let j = 1 + Prng.int rng 3 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:j in
+    let expected = Helpers.oracle objs (Rect.contains_point q) ws in
+    Helpers.check_ids
+      (Printf.sprintf "padded query with %d keywords" j)
+      expected
+      (Kwsc.Orp_kw.query idx q (Kwsc.Pad.keywords pad ws))
+  done
+
+let test_pad_validation () =
+  let docs = [| Kwsc_invindex.Doc.of_list [ 1; 2 ] |] in
+  let _, pad = Kwsc.Pad.docs ~k:3 docs in
+  Alcotest.(check int) "two wildcards" 2 (Array.length (Kwsc.Pad.reserved pad));
+  Alcotest.check_raises "empty keywords" (Invalid_argument "Pad.keywords: need at least one keyword")
+    (fun () -> ignore (Kwsc.Pad.keywords pad [||]));
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Pad.keywords: more keywords than the index's k") (fun () ->
+      ignore (Kwsc.Pad.keywords pad [| 1; 2; 3; 4 |]));
+  let w = (Kwsc.Pad.reserved pad).(0) in
+  Alcotest.check_raises "reserved collision"
+    (Invalid_argument "Pad.keywords: keyword collides with a reserved wildcard") (fun () ->
+      ignore (Kwsc.Pad.keywords pad [| w |]))
+
+let test_pad_input_growth () =
+  let docs = Array.make 50 (Kwsc_invindex.Doc.of_list [ 1; 2; 3 ]) in
+  let padded, _ = Kwsc.Pad.docs ~k:2 docs in
+  Array.iter (fun d -> Alcotest.(check int) "one wildcard appended" 4 (Kwsc_invindex.Doc.size d)) padded
+
+let test_flex_arities () =
+  let objs = Helpers.dataset ~seed:197 ~n:250 ~d:2 () in
+  let t = Kwsc.Flex.build ~max_k:3 objs in
+  let rng = Prng.create 198 in
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let j = 1 + Prng.int rng 3 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:j in
+    Helpers.check_ids
+      (Printf.sprintf "flex arity %d" j)
+      (Helpers.oracle objs (Rect.contains_point q) ws)
+      (Kwsc.Flex.query t q ws)
+  done;
+  Alcotest.check_raises "arity 0"
+    (Invalid_argument "Pad.keywords: need at least one keyword") (fun () ->
+      ignore (Kwsc.Flex.query t (Rect.full 2) [||]));
+  Alcotest.check_raises "arity 4"
+    (Invalid_argument "Pad.keywords: more keywords than the index's k") (fun () ->
+      ignore (Kwsc.Flex.query t (Rect.full 2) [| 1; 2; 3; 4 |]))
+
+let qcheck_dynamic =
+  QCheck.Test.make ~name:"dynamic index equals model after random ops" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let model = ref [] in
+      for _ = 1 to 120 do
+        if Prng.int rng 4 = 0 && !model <> [] then begin
+          let victim, _ = List.nth !model (Prng.int rng (List.length !model)) in
+          Dyn.delete t victim;
+          model := List.filter (fun (id, _) -> id <> victim) !model
+        end
+        else begin
+          let obj = random_obj rng in
+          let id = Dyn.insert t obj in
+          model := (id, obj) :: !model
+        end
+      done;
+      let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+      let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+      model_query !model q ws = Dyn.query t q ws)
+
+let suite =
+  [
+    Alcotest.test_case "insert then query" `Quick test_insert_then_query;
+    Alcotest.test_case "interleaved insert/delete" `Quick test_interleaved_insert_delete;
+    Alcotest.test_case "delete everything" `Quick test_delete_everything;
+    Alcotest.test_case "delete validation" `Quick test_delete_validation;
+    Alcotest.test_case "buckets stay logarithmic" `Quick test_buckets_logarithmic;
+    Alcotest.test_case "pad: fewer keywords" `Quick test_pad_fewer_keywords;
+    Alcotest.test_case "pad: validation" `Quick test_pad_validation;
+    Alcotest.test_case "pad: input growth" `Quick test_pad_input_growth;
+    Alcotest.test_case "flex: mixed arities" `Quick test_flex_arities;
+    QCheck_alcotest.to_alcotest qcheck_dynamic;
+  ]

@@ -1,0 +1,328 @@
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+
+let test_linalg_solve () =
+  match Linalg.solve [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] [| 5.0; 10.0 |] with
+  | None -> Alcotest.fail "system is regular"
+  | Some x ->
+      Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+      Alcotest.(check (float 1e-9)) "x1" 3.0 x.(1)
+
+let test_linalg_singular () =
+  match Linalg.solve [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 2.0 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular system must be rejected"
+
+let test_linalg_det () =
+  Alcotest.(check (float 1e-9)) "det 2x2" (-2.0) (Linalg.det [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]);
+  Alcotest.(check (float 1e-9)) "det singular" 0.0 (Linalg.det [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]);
+  Alcotest.(check (float 1e-6)) "det 3x3 identity" 1.0
+    (Linalg.det [| [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |] |])
+
+let test_point_metrics () =
+  let p = [| 0.0; 0.0 |] and q = [| 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "l2" 5.0 (Point.l2_dist p q);
+  Alcotest.(check (float 1e-9)) "l2 sq" 25.0 (Point.l2_dist_sq p q);
+  Alcotest.(check (float 1e-9)) "linf" 4.0 (Point.linf_dist p q);
+  Alcotest.(check bool) "linf <= l2" true (Point.linf_dist p q <= Point.l2_dist p q)
+
+let test_rect_ops () =
+  let r = Rect.make [| 0.0; 0.0 |] [| 10.0; 5.0 |] in
+  Alcotest.(check bool) "inside" true (Rect.contains_point r [| 5.0; 2.0 |]);
+  Alcotest.(check bool) "boundary" true (Rect.contains_point r [| 10.0; 5.0 |]);
+  Alcotest.(check bool) "outside" false (Rect.contains_point r [| 10.1; 5.0 |]);
+  let s = Rect.make [| 9.0; 4.0 |] [| 20.0; 20.0 |] in
+  Alcotest.(check bool) "intersects" true (Rect.intersects r s);
+  Alcotest.(check bool) "not contains" false (Rect.contains_rect r s);
+  Alcotest.(check bool) "full contains" true (Rect.contains_rect (Rect.full 2) r);
+  (match Rect.inter r s with
+  | None -> Alcotest.fail "intersection exists"
+  | Some i ->
+      Alcotest.(check (float 1e-9)) "inter lo" 9.0 i.Rect.lo.(0);
+      Alcotest.(check (float 1e-9)) "inter hi" 10.0 i.Rect.hi.(0));
+  let far = Rect.make [| 100.0; 100.0 |] [| 101.0; 101.0 |] in
+  Alcotest.(check bool) "disjoint" false (Rect.intersects r far);
+  Alcotest.(check (option reject)) "inter none" None
+    (Option.map (fun _ -> ()) (Rect.inter r far))
+
+let test_rect_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rect.make: lo > hi") (fun () ->
+      ignore (Rect.make [| 1.0 |] [| 0.0 |]))
+
+let test_linf_ball () =
+  let b = Rect.linf_ball [| 5.0; 5.0 |] 2.0 in
+  Alcotest.(check bool) "corner inside (L-inf)" true (Rect.contains_point b [| 7.0; 7.0 |]);
+  Alcotest.(check bool) "outside" false (Rect.contains_point b [| 7.1; 5.0 |])
+
+let test_halfspace () =
+  (* x + 2y <= 4 *)
+  let h = Halfspace.make [| 1.0; 2.0 |] 4.0 in
+  Alcotest.(check bool) "inside" true (Halfspace.satisfies h [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "boundary" true (Halfspace.satisfies h [| 4.0; 0.0 |]);
+  Alcotest.(check bool) "outside" false (Halfspace.satisfies h [| 4.0; 1.0 |]);
+  let c = Halfspace.complement_open h in
+  Alcotest.(check bool) "complement outside" true (Halfspace.satisfies c [| 4.0; 1.0 |]);
+  Alcotest.(check bool) "complement inside" false (Halfspace.satisfies c [| 0.0; 0.0 |])
+
+let test_halfspace_of_rect () =
+  let r = Rect.make [| 1.0; neg_infinity |] [| 3.0; 8.0 |] in
+  let hs = Halfspace.of_rect r in
+  Alcotest.(check int) "three finite sides" 3 (List.length hs);
+  let inside p = List.for_all (fun h -> Halfspace.satisfies h p) hs in
+  Alcotest.(check bool) "in" true (inside [| 2.0; -1000.0 |]);
+  Alcotest.(check bool) "out x" false (inside [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "out y" false (inside [| 2.0; 9.0 |])
+
+(* Barycentric-free simplex oracle in 2D: sign tests against each edge. *)
+let tri = Simplex.of_vertices [| [| 0.0; 0.0 |]; [| 4.0; 0.0 |]; [| 0.0; 4.0 |] |]
+
+let test_simplex_2d () =
+  Alcotest.(check bool) "centroid" true (Simplex.contains tri [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "vertex" true (Simplex.contains tri [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "edge midpoint" true (Simplex.contains tri [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "outside" false (Simplex.contains tri [| 3.0; 3.0 |]);
+  Alcotest.(check bool) "far" false (Simplex.contains tri [| -1.0; 0.0 |]);
+  Alcotest.(check int) "three facets" 3 (List.length (Simplex.halfspaces tri))
+
+let test_simplex_3d () =
+  let s =
+    Simplex.of_vertices
+      [| [| 0.; 0.; 0. |]; [| 2.; 0.; 0. |]; [| 0.; 2.; 0. |]; [| 0.; 0.; 2. |] |]
+  in
+  Alcotest.(check bool) "inside" true (Simplex.contains s [| 0.3; 0.3; 0.3 |]);
+  Alcotest.(check bool) "outside" false (Simplex.contains s [| 1.0; 1.0; 1.0 |]);
+  Alcotest.(check bool) "face" true (Simplex.contains s [| 1.0; 1.0; 0.0 |])
+
+let test_simplex_degenerate () =
+  Alcotest.check_raises "collinear"
+    (Invalid_argument "Simplex.of_vertices: degenerate simplex") (fun () ->
+      ignore (Simplex.of_vertices [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |]))
+
+let test_sphere () =
+  let s = Sphere.make [| 1.0; 1.0 |] 2.0 in
+  Alcotest.(check bool) "center" true (Sphere.contains s [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "boundary" true (Sphere.contains s [| 3.0; 1.0 |]);
+  Alcotest.(check bool) "outside" false (Sphere.contains s [| 3.0; 2.0 |]);
+  let b = Sphere.bounding_rect s in
+  Alcotest.(check (float 1e-9)) "bbox lo" (-1.0) b.Rect.lo.(0)
+
+let test_lift_property () =
+  let rng = Prng.create 21 in
+  for _ = 1 to 500 do
+    let p = Array.init 2 (fun _ -> Prng.float rng 20.0 -. 10.0) in
+    let c = Array.init 2 (fun _ -> Prng.float rng 20.0 -. 10.0) in
+    let r = Prng.float rng 10.0 in
+    let s = Sphere.make c r in
+    let h = Lift.sphere s in
+    Alcotest.(check bool) "lifting equivalence" (Sphere.contains s p)
+      (Halfspace.satisfies h (Lift.point p))
+  done
+
+let test_lift_point () =
+  let p' = Lift.point [| 3.0; 4.0 |] in
+  Alcotest.(check int) "dim+1" 3 (Array.length p');
+  Alcotest.(check (float 1e-9)) "paraboloid coord" 25.0 p'.(2)
+
+(* --- Seidel LP ------------------------------------------------------- *)
+
+let rng = Prng.create 1234
+
+let test_lp_basic () =
+  (* min x + y st x >= 1, y >= 2  -> (1,2) *)
+  let cs = [ Halfspace.make [| -1.0; 0.0 |] (-1.0); Halfspace.make [| 0.0; -1.0 |] (-2.0) ] in
+  match Seidel_lp.minimize ~rng ~dim:2 cs [| 1.0; 1.0 |] with
+  | Seidel_lp.Infeasible -> Alcotest.fail "feasible"
+  | Seidel_lp.Optimal x ->
+      Alcotest.(check (float 1e-6)) "x" 1.0 x.(0);
+      Alcotest.(check (float 1e-6)) "y" 2.0 x.(1)
+
+let test_lp_infeasible () =
+  let cs = [ Halfspace.make [| 1.0; 0.0 |] 0.0; Halfspace.make [| -1.0; 0.0 |] (-1.0) ] in
+  Alcotest.(check bool) "x<=0 and x>=1" false (Seidel_lp.feasible ~rng ~dim:2 cs)
+
+let test_lp_feasible_point () =
+  let cs =
+    [
+      Halfspace.make [| 1.0; 1.0 |] 5.0;
+      Halfspace.make [| -1.0; 0.0 |] 0.0;
+      Halfspace.make [| 0.0; -1.0 |] 0.0;
+    ]
+  in
+  Alcotest.(check bool) "triangle feasible" true (Seidel_lp.feasible ~rng ~dim:2 cs)
+
+let test_lp_max_value () =
+  let cs =
+    [
+      Halfspace.make [| 1.0; 0.0 |] 3.0;
+      Halfspace.make [| 0.0; 1.0 |] 4.0;
+      Halfspace.make [| -1.0; 0.0 |] 0.0;
+      Halfspace.make [| 0.0; -1.0 |] 0.0;
+    ]
+  in
+  (match Seidel_lp.max_value ~rng ~dim:2 cs [| 1.0; 1.0 |] with
+  | None -> Alcotest.fail "feasible"
+  | Some v -> Alcotest.(check (float 1e-6)) "max x+y over box" 7.0 v);
+  match Seidel_lp.max_value ~rng ~dim:2 cs [| 1.0; -1.0 |] with
+  | None -> Alcotest.fail "feasible"
+  | Some v -> Alcotest.(check (float 1e-6)) "max x-y" 3.0 v
+
+let test_lp_3d () =
+  (* min z st z >= x + y, x >= 1, y >= 1 -> z = 2 *)
+  let cs =
+    [
+      Halfspace.make [| 1.0; 1.0; -1.0 |] 0.0;
+      Halfspace.make [| -1.0; 0.0; 0.0 |] (-1.0);
+      Halfspace.make [| 0.0; -1.0; 0.0 |] (-1.0);
+    ]
+  in
+  match Seidel_lp.minimize ~rng ~dim:3 cs [| 0.0; 0.0; 1.0 |] with
+  | Seidel_lp.Infeasible -> Alcotest.fail "feasible"
+  | Seidel_lp.Optimal x -> Alcotest.(check (float 1e-6)) "z" 2.0 x.(2)
+
+(* Randomized cross-check: feasibility of random 2D systems vs a dense grid
+   sample (grid hit => feasible must agree; LP feasible with no grid hit is
+   possible for thin regions, so only one direction is asserted). *)
+let qcheck_lp_grid =
+  QCheck.Test.make ~name:"seidel feasibility is never false-negative on grid hits" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let r = Prng.create seed in
+      let cs =
+        List.init (1 + Prng.int r 5) (fun _ ->
+            Halfspace.make
+              [| Prng.float r 2.0 -. 1.0; Prng.float r 2.0 -. 1.0 |]
+              (Prng.float r 10.0 -. 2.0))
+      in
+      let grid_hit = ref false in
+      for i = -10 to 10 do
+        for j = -10 to 10 do
+          let p = [| float_of_int i; float_of_int j |] in
+          if List.for_all (fun h -> Halfspace.eval h p <= -1e-6) cs then grid_hit := true
+        done
+      done;
+      (not !grid_hit) || Seidel_lp.feasible ~rng:r ~dim:2 cs)
+
+(* --- Polytope --------------------------------------------------------- *)
+
+let unit_square = Polytope.of_rect (Rect.make [| 0.0; 0.0 |] [| 1.0; 1.0 |])
+
+let test_polytope_classify () =
+  let cell = Polytope.of_rect (Rect.make [| 0.2; 0.2 |] [| 0.4; 0.4 |]) in
+  Alcotest.(check bool) "covered" true
+    (Polytope.classify ~rng cell unit_square = Polytope.Covered);
+  let cell2 = Polytope.of_rect (Rect.make [| 0.5; 0.5 |] [| 2.0; 2.0 |]) in
+  Alcotest.(check bool) "crossing" true
+    (Polytope.classify ~rng cell2 unit_square = Polytope.Crossing);
+  let cell3 = Polytope.of_rect (Rect.make [| 5.0; 5.0 |] [| 6.0; 6.0 |]) in
+  Alcotest.(check bool) "disjoint" true
+    (Polytope.classify ~rng cell3 unit_square = Polytope.Disjoint)
+
+let test_polytope_mem () =
+  Alcotest.(check bool) "mem in" true (Polytope.mem unit_square [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "mem boundary" true (Polytope.mem unit_square [| 1.0; 0.0 |]);
+  Alcotest.(check bool) "mem out" false (Polytope.mem unit_square [| 1.5; 0.5 |])
+
+let test_polytope_vertices_2d () =
+  let vs = Polytope.vertices_2d unit_square in
+  Alcotest.(check int) "four corners" 4 (List.length vs);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "corner coords" true
+        (List.exists (fun (x, y) -> abs_float (v.(0) -. x) < 1e-6 && abs_float (v.(1) -. y) < 1e-6)
+           [ (0.0, 0.0); (1.0, 0.0); (0.0, 1.0); (1.0, 1.0) ]))
+    vs
+
+let test_polytope_triangulate () =
+  let tris = Polytope.triangulate_2d unit_square in
+  Alcotest.(check int) "two triangles" 2 (List.length tris);
+  (* triangulation covers the square: sample points *)
+  let r = Prng.create 5 in
+  for _ = 1 to 200 do
+    let p = [| Prng.float r 1.0; Prng.float r 1.0 |] in
+    Alcotest.(check bool) "covered by a triangle" true
+      (List.exists (fun t -> Simplex.contains t p) tris)
+  done
+
+let test_polytope_empty () =
+  let e =
+    Polytope.make ~dim:2
+      [ Halfspace.make [| 1.0; 0.0 |] 0.0; Halfspace.make [| -1.0; 0.0 |] (-1.0) ]
+  in
+  Alcotest.(check bool) "empty region" true (Polytope.is_empty ~rng e);
+  Alcotest.(check (list reject)) "no vertices" []
+    (List.map (fun _ -> ()) (Polytope.vertices_2d e));
+  Alcotest.(check (list reject)) "no triangles" []
+    (List.map (fun _ -> ()) (Polytope.triangulate_2d e))
+
+(* --- Rank space ------------------------------------------------------- *)
+
+let test_rank_space_distinct () =
+  let pts = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |]; [| 0.5; 2.0 |] |] in
+  let rs = Rank_space.create pts in
+  let all = Array.init 3 (fun i -> Rank_space.ranks rs i) in
+  for j = 0 to 1 do
+    let col = Array.map (fun r -> r.(j)) all in
+    Array.sort compare col;
+    Alcotest.(check (array int)) "ranks are a permutation" [| 0; 1; 2 |] col
+  done
+
+let test_rank_space_query_equiv () =
+  let r = Prng.create 99 in
+  let pts = Array.init 60 (fun _ -> [| float_of_int (Prng.int r 10); float_of_int (Prng.int r 10) |]) in
+  let rs = Rank_space.create pts in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect r ~d:2 ~range:10.0 in
+    let expected =
+      Array.of_list
+        (List.filteri (fun _ _ -> true)
+           (List.filter_map
+              (fun i -> if Rect.contains_point q pts.(i) then Some i else None)
+              (List.init 60 Fun.id)))
+    in
+    let got =
+      match Rank_space.rect_to_ranks rs q with
+      | None -> [||]
+      | Some (lo, hi) ->
+          Array.of_list
+            (List.filter_map
+               (fun i ->
+                 let rk = Rank_space.ranks rs i in
+                 if rk.(0) >= lo.(0) && rk.(0) <= hi.(0) && rk.(1) >= lo.(1) && rk.(1) <= hi.(1)
+                 then Some i
+                 else None)
+               (List.init 60 Fun.id))
+    in
+    Alcotest.(check (array int)) "rank-space preserves results" expected got
+  done
+
+let suite =
+  [
+    Alcotest.test_case "linalg solve" `Quick test_linalg_solve;
+    Alcotest.test_case "linalg singular" `Quick test_linalg_singular;
+    Alcotest.test_case "linalg det" `Quick test_linalg_det;
+    Alcotest.test_case "point metrics" `Quick test_point_metrics;
+    Alcotest.test_case "rect operations" `Quick test_rect_ops;
+    Alcotest.test_case "rect invalid" `Quick test_rect_invalid;
+    Alcotest.test_case "linf ball" `Quick test_linf_ball;
+    Alcotest.test_case "halfspace" `Quick test_halfspace;
+    Alcotest.test_case "halfspace of rect" `Quick test_halfspace_of_rect;
+    Alcotest.test_case "simplex 2d" `Quick test_simplex_2d;
+    Alcotest.test_case "simplex 3d" `Quick test_simplex_3d;
+    Alcotest.test_case "simplex degenerate" `Quick test_simplex_degenerate;
+    Alcotest.test_case "sphere" `Quick test_sphere;
+    Alcotest.test_case "lifting map property" `Quick test_lift_property;
+    Alcotest.test_case "lift point" `Quick test_lift_point;
+    Alcotest.test_case "lp basic" `Quick test_lp_basic;
+    Alcotest.test_case "lp infeasible" `Quick test_lp_infeasible;
+    Alcotest.test_case "lp feasible triangle" `Quick test_lp_feasible_point;
+    Alcotest.test_case "lp max value" `Quick test_lp_max_value;
+    Alcotest.test_case "lp 3d" `Quick test_lp_3d;
+    QCheck_alcotest.to_alcotest qcheck_lp_grid;
+    Alcotest.test_case "polytope classify" `Quick test_polytope_classify;
+    Alcotest.test_case "polytope mem" `Quick test_polytope_mem;
+    Alcotest.test_case "polytope vertices 2d" `Quick test_polytope_vertices_2d;
+    Alcotest.test_case "polytope triangulate" `Quick test_polytope_triangulate;
+    Alcotest.test_case "polytope empty" `Quick test_polytope_empty;
+    Alcotest.test_case "rank space distinct" `Quick test_rank_space_distinct;
+    Alcotest.test_case "rank space query equivalence" `Quick test_rank_space_query_equiv;
+  ]

@@ -1,0 +1,167 @@
+(* Deeper geometry properties: LP against a vertex-enumeration oracle,
+   simplex membership against sign tests, classification soundness. *)
+
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+
+let rng = Prng.create 2718
+
+(* 2-D LP oracle: enumerate all pairwise line intersections clipped to a
+   box; the LP optimum over a non-empty bounded region is attained at one
+   of them. *)
+let lp_oracle_max cs obj box =
+  let hs = cs @ Halfspace.of_rect (Rect.make [| -.box; -.box |] [| box; box |]) in
+  let arr = Array.of_list hs in
+  let best = ref neg_infinity in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match
+        Linalg.solve
+          [| arr.(i).Halfspace.coeffs; arr.(j).Halfspace.coeffs |]
+          [| arr.(i).Halfspace.bound; arr.(j).Halfspace.bound |]
+      with
+      | None -> ()
+      | Some p ->
+          if
+            List.for_all
+              (fun h -> Halfspace.eval h p <= 1e-7 *. (1.0 +. abs_float h.Halfspace.bound))
+              hs
+          then best := Float.max !best (Linalg.dot obj p)
+    done
+  done;
+  !best
+
+let test_lp_vs_vertex_oracle () =
+  for trial = 1 to 150 do
+    ignore trial;
+    let cs =
+      List.init
+        (1 + Prng.int rng 5)
+        (fun _ ->
+          Halfspace.make
+            [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |]
+            (Prng.float rng 20.0 -. 5.0))
+    in
+    let obj = [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |] in
+    let oracle = lp_oracle_max cs obj 100.0 in
+    match Seidel_lp.max_value ~box:100.0 ~rng ~dim:2 cs obj with
+    | None -> Alcotest.(check bool) "both infeasible" true (oracle = neg_infinity)
+    | Some v ->
+        if oracle > neg_infinity then
+          Alcotest.(check bool)
+            (Printf.sprintf "lp %.6f ~ oracle %.6f" v oracle)
+            true
+            (abs_float (v -. oracle) <= 1e-4 *. (1.0 +. abs_float oracle))
+  done
+
+(* Simplex membership agrees with the determinant sign test in 2D. *)
+let sign_test tri p =
+  let v = Simplex.vertices tri in
+  let cross a b c =
+    ((b.(0) -. a.(0)) *. (c.(1) -. a.(1))) -. ((b.(1) -. a.(1)) *. (c.(0) -. a.(0)))
+  in
+  let d0 = cross v.(0) v.(1) p and d1 = cross v.(1) v.(2) p and d2 = cross v.(2) v.(0) p in
+  let tol = 1e-9 in
+  (d0 >= -.tol && d1 >= -.tol && d2 >= -.tol) || (d0 <= tol && d1 <= tol && d2 <= tol)
+
+let qcheck_simplex_sign =
+  QCheck.Test.make ~name:"simplex membership = determinant sign test" ~count:300
+    QCheck.(small_int)
+    (fun seed ->
+      let r = Prng.create seed in
+      let v () = [| Prng.float r 20.0; Prng.float r 20.0 |] in
+      match Simplex.of_vertices [| v (); v (); v () |] with
+      | exception Invalid_argument _ -> true
+      | tri ->
+          let p = [| Prng.float r 25.0 -. 2.5; Prng.float r 25.0 -. 2.5 |] in
+          (* skip points within tolerance of an edge where the two tests may
+             legitimately differ by rounding *)
+          let v = Simplex.vertices tri in
+          let near_edge =
+            let seg a b =
+              let ux = b.(0) -. a.(0) and uy = b.(1) -. a.(1) in
+              let len = sqrt ((ux *. ux) +. (uy *. uy)) in
+              abs_float (((p.(0) -. a.(0)) *. uy) -. ((p.(1) -. a.(1)) *. ux)) /. Float.max 1e-9 len
+              < 1e-5
+            in
+            seg v.(0) v.(1) || seg v.(1) v.(2) || seg v.(2) v.(0)
+          in
+          near_edge || Simplex.contains tri p = sign_test tri p)
+
+(* Polytope classification is sound: Disjoint cells contain no point of the
+   query; Covered cells contain only points of the query. *)
+let qcheck_classify_sound =
+  QCheck.Test.make ~name:"polytope classification soundness" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let r = Prng.create seed in
+      let rect () =
+        let a = [| Prng.float r 10.0; Prng.float r 10.0 |] in
+        let b = [| a.(0) +. Prng.float r 5.0; a.(1) +. Prng.float r 5.0 |] in
+        Rect.make a b
+      in
+      let cell_r = rect () and q_r = rect () in
+      let cell = Polytope.of_rect cell_r and q = Polytope.of_rect q_r in
+      let samples =
+        Array.init 50 (fun _ ->
+            [|
+              cell_r.Rect.lo.(0) +. Prng.float r (cell_r.Rect.hi.(0) -. cell_r.Rect.lo.(0) +. 1e-12);
+              cell_r.Rect.lo.(1) +. Prng.float r (cell_r.Rect.hi.(1) -. cell_r.Rect.lo.(1) +. 1e-12);
+            |])
+      in
+      match Polytope.classify ~rng:r cell q with
+      | Polytope.Disjoint -> Array.for_all (fun p -> not (Rect.contains_point q_r p)) samples
+      | Polytope.Covered -> Array.for_all (fun p -> Rect.contains_point q_r p) samples
+      | Polytope.Crossing -> true)
+
+(* Rect <-> halfspace conversion round-trips membership. *)
+let qcheck_rect_halfspaces =
+  QCheck.Test.make ~name:"rect = conjunction of its halfspaces" ~count:300
+    QCheck.(small_int)
+    (fun seed ->
+      let r = Prng.create seed in
+      let a = [| Prng.float r 10.0; Prng.float r 10.0; Prng.float r 10.0 |] in
+      let b = Array.map (fun x -> x +. Prng.float r 5.0) a in
+      let rect = Rect.make a b in
+      let hs = Halfspace.of_rect rect in
+      let p = Array.init 3 (fun _ -> Prng.float r 20.0 -. 2.0) in
+      Rect.contains_point rect p = List.for_all (fun h -> Halfspace.satisfies h p) hs)
+
+(* Lifting is exact also for points ON the sphere boundary with integral
+   data. *)
+let test_lift_boundary_exact () =
+  for x = 0 to 20 do
+    for y = 0 to 20 do
+      let p = [| float_of_int x; float_of_int y |] in
+      let c = [| 10.0; 10.0 |] in
+      let r2 = Point.l2_dist_sq c p in
+      (* halfspace for exactly this squared radius: p must be inside *)
+      let coeffs = [| -2.0 *. c.(0); -2.0 *. c.(1); 1.0 |] in
+      let h = Halfspace.make coeffs (r2 -. Linalg.dot c c) in
+      Alcotest.(check bool) "boundary point inside" true (Halfspace.satisfies h (Lift.point p));
+      (* and outside for one less *)
+      if r2 > 0.0 then begin
+        let h' = Halfspace.make coeffs (r2 -. 1.0 -. Linalg.dot c c) in
+        Alcotest.(check bool) "outside smaller ball" false (Halfspace.satisfies h' (Lift.point p))
+      end
+    done
+  done
+
+let test_kd_nearest_duplicates () =
+  let pts = Array.init 40 (fun i -> ([| float_of_int (i mod 2); 0.0 |], i)) in
+  let t = Kwsc_kdtree.Kd.build pts in
+  let res = Kwsc_kdtree.Kd.nearest t ~metric:`L2 [| 0.0; 0.0 |] 25 in
+  Alcotest.(check int) "k respected with ties" 25 (List.length res);
+  let zeros = List.filter (fun (d, _, _) -> d = 0.0) res in
+  Alcotest.(check int) "all 20 duplicates at distance 0 first" 20 (List.length zeros)
+
+let suite =
+  [
+    Alcotest.test_case "LP vs vertex-enumeration oracle" `Quick test_lp_vs_vertex_oracle;
+    QCheck_alcotest.to_alcotest qcheck_simplex_sign;
+    QCheck_alcotest.to_alcotest qcheck_classify_sound;
+    QCheck_alcotest.to_alcotest qcheck_rect_halfspaces;
+    Alcotest.test_case "lifting exact on boundary" `Quick test_lift_boundary_exact;
+    Alcotest.test_case "kd nearest with duplicates" `Quick test_kd_nearest_duplicates;
+  ]

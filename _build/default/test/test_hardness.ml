@@ -1,0 +1,64 @@
+module Hardness = Kwsc.Hardness
+module Ksi_instance = Kwsc_invindex.Ksi_instance
+module Prng = Kwsc_util.Prng
+
+let random_instance seed =
+  let rng = Prng.create seed in
+  let m = 2 + Prng.int rng 5 in
+  Ksi_instance.create
+    (Array.init m (fun _ -> Array.init (1 + Prng.int rng 25) (fun _ -> Prng.int rng 50)))
+
+let test_ksi_as_orp_equivalence () =
+  let rng = Prng.create 901 in
+  for seed = 1 to 40 do
+    let inst = random_instance seed in
+    let m = Ksi_instance.num_sets inst in
+    let reduction = Hardness.ksi_as_orp ~k:2 inst in
+    let a = 1 + Prng.int rng m in
+    let b = 1 + ((a + Prng.int rng (max 1 (m - 1))) mod m) in
+    if a <> b then begin
+      let got = Hardness.ksi_query_via_orp reduction [| a; b |] in
+      Array.sort compare got;
+      Alcotest.(check (array int)) "orp reduction = naive intersection"
+        (Ksi_instance.reporting inst [| a; b |])
+        got
+    end
+  done
+
+let test_ksi_via_linf_nn () =
+  let rng = Prng.create 902 in
+  for seed = 50 to 80 do
+    let inst = random_instance seed in
+    let m = Ksi_instance.num_sets inst in
+    let a = 1 + Prng.int rng m in
+    let b = 1 + ((a + Prng.int rng (max 1 (m - 1))) mod m) in
+    if a <> b then
+      Alcotest.(check (array int)) "doubling-t NN reduction = naive"
+        (Ksi_instance.reporting inst [| a; b |])
+        (Hardness.ksi_via_linf_nn ~k:2 inst [| a; b |])
+  done
+
+let test_ksi_via_linf_nn_empty_intersection () =
+  let inst = Ksi_instance.create [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  Alcotest.(check (array int)) "empty intersection" [||]
+    (Hardness.ksi_via_linf_nn ~k:2 inst [| 1; 2 |])
+
+let test_lemma8_delta () =
+  (* for tiny eps the binding term is eps/(1 - 1/k + eps) *)
+  let d = Hardness.lemma8_delta ~k:2 ~eps:0.01 in
+  Alcotest.(check (float 1e-9)) "small eps branch" (0.01 /. (0.5 +. 0.01)) d;
+  (* for large eps it saturates at 1/k *)
+  let d2 = Hardness.lemma8_delta ~k:2 ~eps:10.0 in
+  Alcotest.(check (float 1e-9)) "saturates at 1/k" 0.5 d2;
+  Alcotest.(check bool) "monotone in eps" true
+    (Hardness.lemma8_delta ~k:3 ~eps:0.2 > Hardness.lemma8_delta ~k:3 ~eps:0.1);
+  Alcotest.check_raises "bad k" (Invalid_argument "Hardness.lemma8_delta") (fun () ->
+      ignore (Hardness.lemma8_delta ~k:1 ~eps:0.1))
+
+let suite =
+  [
+    Alcotest.test_case "k-SI as ORP-KW" `Quick test_ksi_as_orp_equivalence;
+    Alcotest.test_case "k-SI via Linf-NN doubling" `Quick test_ksi_via_linf_nn;
+    Alcotest.test_case "NN reduction, empty intersection" `Quick test_ksi_via_linf_nn_empty_intersection;
+    Alcotest.test_case "Lemma 8 arithmetic" `Quick test_lemma8_delta;
+  ]

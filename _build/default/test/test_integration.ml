@@ -1,0 +1,100 @@
+(* Cross-index integration: every index family must agree with every other
+   on queries they can all express, on shared data. *)
+
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+
+let objs = Helpers.dataset ~seed:171 ~n:250 ~d:2 ()
+
+let orp = Kwsc.Orp_kw.build ~k:2 objs
+let dimred = Kwsc.Dimred.build ~k:2 objs
+let lc = Kwsc.Lc_kw.build ~k:2 objs
+let srp = Kwsc.Srp_kw.build ~k:2 objs
+let base = Kwsc.Baseline.build objs
+
+let test_rect_consensus () =
+  let rng = Prng.create 172 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let truth = Kwsc.Baseline.scan base q ws in
+    Helpers.check_ids "orp" truth (Kwsc.Orp_kw.query orp q ws);
+    Helpers.check_ids "dimred" truth (Kwsc.Dimred.query dimred q ws);
+    Helpers.check_ids "lc(rect)" truth (Kwsc.Lc_kw.query_rect lc q ws)
+  done
+
+let test_ball_consensus () =
+  let rng = Prng.create 173 in
+  for _ = 1 to 60 do
+    let c = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+    let r = Prng.float rng 300.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    (* the L2 ball through SRP-KW vs a scan with the exact predicate *)
+    let truth = Kwsc.Baseline.scan_pred base (Sphere.contains (Sphere.make c r)) ws in
+    Helpers.check_ids "srp" truth (Kwsc.Srp_kw.query srp (Sphere.make c r) ws)
+  done
+
+let test_emptiness_consensus () =
+  let rng = Prng.create 174 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1500.0 in
+    let ws = Helpers.random_keywords rng ~vocab:45 ~k:2 in
+    let truth = Array.length (Kwsc.Baseline.scan base q ws) = 0 in
+    Alcotest.(check bool) "orp emptiness" truth (Kwsc.Orp_kw.emptiness orp q ws);
+    Alcotest.(check bool) "lc emptiness" truth
+      (Kwsc.Lc_kw.emptiness lc (Halfspace.of_rect q) ws)
+  done
+
+let test_count_at_least () =
+  let rng = Prng.create 175 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let truth = Array.length (Kwsc.Baseline.scan base q ws) in
+    let threshold = 1 + Prng.int rng 10 in
+    Alcotest.(check bool) "count_at_least" (truth >= threshold)
+      (Kwsc.Orp_kw.count_at_least orp q ws ~threshold)
+  done
+
+let test_rr_engines_agree () =
+  let rng = Prng.create 176 in
+  let rects =
+    Array.map
+      (fun (p, doc) -> (Rect.make p (Array.map (fun x -> x +. 30.0) p), doc))
+      objs
+  in
+  let kd = Kwsc.Rr_kw.build ~engine:`Kd ~k:2 rects in
+  let dr = Kwsc.Rr_kw.build ~engine:`Dimred ~k:2 rects in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "rr engines agree" (Kwsc.Rr_kw.query kd q ws) (Kwsc.Rr_kw.query dr q ws)
+  done
+
+let test_nn_vs_range_consistency () =
+  (* the t-th NN distance defines a ball whose range query returns >= t
+     matching objects *)
+  let nn = Kwsc.Linf_nn_kw.build ~k:2 objs in
+  let rng = Prng.create 177 in
+  for _ = 1 to 40 do
+    let q = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let res = Kwsc.Linf_nn_kw.query nn q ~t':5 ws in
+    if Array.length res = 5 then begin
+      let _, r5 = res.(4) in
+      let ball = Rect.linf_ball q r5 in
+      let in_ball = Kwsc.Orp_kw.query orp ball ws in
+      Alcotest.(check bool) "ball of 5th NN holds >= 5 matches" true
+        (Array.length in_ball >= 5)
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "rectangle consensus (orp/dimred/lc)" `Quick test_rect_consensus;
+    Alcotest.test_case "ball consensus (srp)" `Quick test_ball_consensus;
+    Alcotest.test_case "emptiness consensus" `Quick test_emptiness_consensus;
+    Alcotest.test_case "count_at_least" `Quick test_count_at_least;
+    Alcotest.test_case "rr engines agree" `Quick test_rr_engines_agree;
+    Alcotest.test_case "nn vs range consistency" `Quick test_nn_vs_range_consistency;
+  ]

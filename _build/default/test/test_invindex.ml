@@ -1,0 +1,100 @@
+module Doc = Kwsc_invindex.Doc
+module Inverted = Kwsc_invindex.Inverted
+module Ksi_instance = Kwsc_invindex.Ksi_instance
+module Prng = Kwsc_util.Prng
+
+let test_doc_basics () =
+  let d = Doc.of_list [ 5; 1; 3; 1 ] in
+  Alcotest.(check int) "dedup size" 3 (Doc.size d);
+  Alcotest.(check bool) "mem 3" true (Doc.mem d 3);
+  Alcotest.(check bool) "mem 2" false (Doc.mem d 2);
+  Alcotest.(check bool) "mem_all subset" true (Doc.mem_all d [| 1; 5 |]);
+  Alcotest.(check bool) "mem_all miss" false (Doc.mem_all d [| 1; 2 |]);
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 5 |] (Doc.to_array d)
+
+let test_doc_empty () =
+  Alcotest.check_raises "empty doc" (Invalid_argument "Doc.of_list: documents must be non-empty")
+    (fun () -> ignore (Doc.of_list []))
+
+let random_docs ~seed ~n ~vocab =
+  let rng = Prng.create seed in
+  Array.init n (fun _ ->
+      Doc.of_list (List.init (1 + Prng.int rng 5) (fun _ -> 1 + Prng.int rng vocab)))
+
+let test_inverted_query_vs_naive () =
+  let docs = random_docs ~seed:41 ~n:300 ~vocab:20 in
+  let inv = Inverted.build docs in
+  let rng = Prng.create 42 in
+  for _ = 1 to 200 do
+    let ws = Helpers.random_keywords rng ~vocab:22 ~k:(1 + Prng.int rng 3) in
+    Alcotest.(check (array int)) "query = naive" (Inverted.query_naive inv ws)
+      (Inverted.query inv ws)
+  done
+
+let test_inverted_postings () =
+  let docs = [| Doc.of_list [ 1; 2 ]; Doc.of_list [ 2 ]; Doc.of_list [ 1; 3 ] |] in
+  let inv = Inverted.build docs in
+  Alcotest.(check (array int)) "posting 1" [| 0; 2 |] (Inverted.posting inv 1);
+  Alcotest.(check (array int)) "posting 2" [| 0; 1 |] (Inverted.posting inv 2);
+  Alcotest.(check (array int)) "posting missing" [||] (Inverted.posting inv 9);
+  Alcotest.(check int) "frequency" 2 (Inverted.frequency inv 1);
+  Alcotest.(check int) "input size" 5 (Inverted.input_size inv);
+  Alcotest.(check (array int)) "vocabulary" [| 1; 2; 3 |] (Inverted.vocabulary inv)
+
+let test_inverted_emptiness () =
+  let docs = [| Doc.of_list [ 1 ]; Doc.of_list [ 2 ] |] in
+  let inv = Inverted.build docs in
+  Alcotest.(check bool) "disjoint" true (Inverted.is_empty_query inv [| 1; 2 |]);
+  Alcotest.(check bool) "nonempty" false (Inverted.is_empty_query inv [| 1 |])
+
+let test_ksi_instance_reporting () =
+  let inst = Ksi_instance.create [| [| 1; 2; 3; 4 |]; [| 3; 4; 5 |]; [| 4; 6 |] |] in
+  Alcotest.(check int) "m" 3 (Ksi_instance.num_sets inst);
+  Alcotest.(check int) "N" 9 (Ksi_instance.input_size inst);
+  Alcotest.(check (array int)) "S1 cap S2" [| 3; 4 |] (Ksi_instance.reporting inst [| 1; 2 |]);
+  Alcotest.(check (array int)) "S1 cap S2 cap S3" [| 4 |] (Ksi_instance.reporting inst [| 1; 2; 3 |]);
+  Alcotest.(check bool) "emptiness false" false (Ksi_instance.emptiness inst [| 1; 3 |])
+
+let test_ksi_keyword_encoding () =
+  let inst = Ksi_instance.create [| [| 10; 20 |]; [| 20; 30 |] |] in
+  let docs, elements = Ksi_instance.to_keyword_dataset inst in
+  Alcotest.(check (array int)) "elements" [| 10; 20; 30 |] elements;
+  Alcotest.(check (array int)) "doc of 10" [| 1 |] (Doc.to_array docs.(0));
+  Alcotest.(check (array int)) "doc of 20" [| 1; 2 |] (Doc.to_array docs.(1));
+  Alcotest.(check (array int)) "doc of 30" [| 2 |] (Doc.to_array docs.(2));
+  (* round trip: keyword query = set intersection *)
+  let inv = Inverted.build docs in
+  let via_kw = Array.map (fun id -> elements.(id)) (Inverted.query inv [| 1; 2 |]) in
+  Alcotest.(check (array int)) "reduction equivalence" (Ksi_instance.reporting inst [| 1; 2 |]) via_kw
+
+let qcheck_ksi_roundtrip =
+  QCheck.Test.make ~name:"k-SI <-> keyword search round trip" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let m = 2 + Prng.int rng 4 in
+      let sets =
+        Array.init m (fun _ ->
+            Array.init (1 + Prng.int rng 15) (fun _ -> Prng.int rng 30))
+      in
+      let inst = Ksi_instance.create sets in
+      let docs, elements = Ksi_instance.to_keyword_dataset inst in
+      let inv = Inverted.build docs in
+      let a = 1 + Prng.int rng m and b = 1 + Prng.int rng m in
+      if a = b then true
+      else
+        let via_kw = Array.map (fun id -> elements.(id)) (Inverted.query inv [| a; b |]) in
+        Array.sort compare via_kw;
+        via_kw = Ksi_instance.reporting inst [| a; b |])
+
+let suite =
+  [
+    Alcotest.test_case "doc basics" `Quick test_doc_basics;
+    Alcotest.test_case "doc must be non-empty" `Quick test_doc_empty;
+    Alcotest.test_case "inverted query vs naive" `Quick test_inverted_query_vs_naive;
+    Alcotest.test_case "inverted postings" `Quick test_inverted_postings;
+    Alcotest.test_case "inverted emptiness" `Quick test_inverted_emptiness;
+    Alcotest.test_case "ksi instance reporting" `Quick test_ksi_instance_reporting;
+    Alcotest.test_case "ksi keyword encoding" `Quick test_ksi_keyword_encoding;
+    QCheck_alcotest.to_alcotest qcheck_ksi_roundtrip;
+  ]

@@ -1,0 +1,124 @@
+open Kwsc_geom
+module Kd = Kwsc_kdtree.Kd
+module Prng = Kwsc_util.Prng
+
+let make_pts ~seed ~n ~d ~range =
+  let rng = Prng.create seed in
+  Array.init n (fun i -> (Array.init d (fun _ -> Prng.float rng range), i))
+
+let naive_range pts q =
+  Array.to_list pts
+  |> List.filter_map (fun (p, i) -> if Rect.contains_point q p then Some i else None)
+  |> List.sort compare
+
+let ids_of l = List.sort compare (List.map snd l)
+
+let test_range_matches_naive () =
+  let pts = make_pts ~seed:1 ~n:500 ~d:2 ~range:100.0 in
+  let t = Kd.build pts in
+  let rng = Prng.create 2 in
+  for _ = 1 to 200 do
+    let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+    Alcotest.(check (list int)) "range = naive" (naive_range pts q) (ids_of (Kd.range t q))
+  done
+
+let test_range_3d () =
+  let pts = make_pts ~seed:3 ~n:300 ~d:3 ~range:50.0 in
+  let t = Kd.build pts in
+  let rng = Prng.create 4 in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect rng ~d:3 ~range:50.0 in
+    Alcotest.(check (list int)) "3d range" (naive_range pts q) (ids_of (Kd.range t q))
+  done
+
+let test_count () =
+  let pts = make_pts ~seed:5 ~n:400 ~d:2 ~range:10.0 in
+  let t = Kd.build pts in
+  let rng = Prng.create 6 in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect rng ~d:2 ~range:10.0 in
+    Alcotest.(check int) "count = |range|" (List.length (naive_range pts q)) (Kd.count t q)
+  done
+
+let test_full_space () =
+  let pts = make_pts ~seed:7 ~n:123 ~d:2 ~range:10.0 in
+  let t = Kd.build pts in
+  Alcotest.(check int) "full space reports all" 123 (List.length (Kd.range t (Rect.full 2)))
+
+let test_duplicates () =
+  let pts = Array.init 100 (fun i -> ([| 1.0; 2.0 |], i)) in
+  let t = Kd.build pts in
+  Alcotest.(check int) "all duplicates found" 100
+    (List.length (Kd.range t (Rect.make [| 1.0; 2.0 |] [| 1.0; 2.0 |])));
+  Alcotest.(check int) "none outside" 0
+    (List.length (Kd.range t (Rect.make [| 0.0; 0.0 |] [| 0.5; 0.5 |])))
+
+let naive_nearest pts metric q k =
+  let dist = match metric with `Linf -> Point.linf_dist | `L2 -> Point.l2_dist in
+  let a = Array.map (fun (p, i) -> (dist q p, i)) pts in
+  Array.sort compare a;
+  Array.to_list (Array.sub a 0 (min k (Array.length a)))
+
+let test_nearest () =
+  let pts = make_pts ~seed:8 ~n:300 ~d:2 ~range:100.0 in
+  let t = Kd.build pts in
+  let rng = Prng.create 9 in
+  List.iter
+    (fun metric ->
+      for _ = 1 to 50 do
+        let q = [| Prng.float rng 100.0; Prng.float rng 100.0 |] in
+        let k = 1 + Prng.int rng 10 in
+        let got = List.map (fun (d, _, _) -> d) (Kd.nearest t ~metric q k) in
+        let expected = List.map fst (naive_nearest pts metric q k) in
+        List.iter2 (fun g e -> Alcotest.(check (float 1e-9)) "nn distance" e g) got expected
+      done)
+    [ `Linf; `L2 ]
+
+let test_nearest_more_than_n () =
+  let pts = make_pts ~seed:10 ~n:5 ~d:2 ~range:10.0 in
+  let t = Kd.build pts in
+  Alcotest.(check int) "k > n returns n" 5 (List.length (Kd.nearest t ~metric:`L2 [| 0.0; 0.0 |] 50))
+
+(* Lemma 10 context: a vertical line crosses O(sqrt N) cells of a 2D
+   kd-tree. Check the growth rate empirically on the raw structure. *)
+let test_crossing_sqrt_scaling () =
+  let crossing n =
+    let pts = make_pts ~seed:11 ~n ~d:2 ~range:1000.0 in
+    let t = Kd.build ~leaf_size:1 pts in
+    let line = Rect.make [| 500.0; neg_infinity |] [| 500.0; infinity |] in
+    (Kd.range_stats t line).Kd.crossing
+  in
+  let c1 = crossing 1024 and c2 = crossing 4096 in
+  (* sqrt scaling: 4x points -> ~2x crossings; allow generous slack *)
+  Alcotest.(check bool)
+    (Printf.sprintf "crossing growth %d -> %d is ~2x" c1 c2)
+    true
+    (float_of_int c2 < 3.2 *. float_of_int c1)
+
+let test_build_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Kd.build: empty input") (fun () ->
+      ignore (Kd.build ([||] : (Point.t * int) array)))
+
+let qcheck_range =
+  QCheck.Test.make ~name:"kd range equals filter on random data" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let pts = make_pts ~seed ~n:120 ~d:2 ~range:20.0 in
+      let t = Kd.build pts in
+      let rng = Prng.create (seed + 1000) in
+      let q = Helpers.random_rect rng ~d:2 ~range:20.0 in
+      naive_range pts q = ids_of (Kd.range t q))
+
+let suite =
+  [
+    Alcotest.test_case "range matches naive (2d)" `Quick test_range_matches_naive;
+    Alcotest.test_case "range matches naive (3d)" `Quick test_range_3d;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "full-space query" `Quick test_full_space;
+    Alcotest.test_case "duplicate points" `Quick test_duplicates;
+    Alcotest.test_case "nearest neighbors" `Quick test_nearest;
+    Alcotest.test_case "nearest with k > n" `Quick test_nearest_more_than_n;
+    Alcotest.test_case "vertical-line crossing ~ sqrt(N)" `Quick test_crossing_sqrt_scaling;
+    Alcotest.test_case "build validation" `Quick test_build_invalid;
+    QCheck_alcotest.to_alcotest qcheck_range;
+  ]

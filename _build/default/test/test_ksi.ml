@@ -1,0 +1,110 @@
+module Ksi = Kwsc.Ksi
+module Ksi_instance = Kwsc_invindex.Ksi_instance
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+
+let test_of_docs_vs_inverted () =
+  let rng = Prng.create 201 in
+  let docs =
+    Array.init 300 (fun _ ->
+        Doc.of_list (List.init (1 + Prng.int rng 6) (fun _ -> 1 + Prng.int rng 25)))
+  in
+  let t = Ksi.of_docs ~k:2 docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  for _ = 1 to 200 do
+    let ws = Helpers.random_keywords rng ~vocab:25 ~k:2 in
+    Helpers.check_ids "ksi = inverted" (Kwsc_invindex.Inverted.query_naive inv ws) (Ksi.query t ws)
+  done
+
+let test_k3 () =
+  let rng = Prng.create 202 in
+  let docs =
+    Array.init 200 (fun _ ->
+        Doc.of_list (List.init (2 + Prng.int rng 6) (fun _ -> 1 + Prng.int rng 12)))
+  in
+  let t = Ksi.of_docs ~k:3 docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  for _ = 1 to 150 do
+    let ws = Helpers.random_keywords rng ~vocab:12 ~k:3 in
+    Helpers.check_ids "ksi k=3" (Kwsc_invindex.Inverted.query_naive inv ws) (Ksi.query t ws)
+  done
+
+let test_of_instance () =
+  let inst = Ksi_instance.create [| [| 1; 2; 3 |]; [| 2; 3; 4 |]; [| 3; 4; 5 |] |] in
+  let t, elements = Ksi.of_instance ~k:2 inst in
+  let got = Array.map (fun id -> elements.(id)) (Ksi.query t [| 1; 3 |]) in
+  Array.sort compare got;
+  Alcotest.(check (array int)) "instance query" [| 3 |] got
+
+let test_emptiness () =
+  let inst = Ksi_instance.create [| [| 1; 2 |]; [| 3; 4 |]; [| 2; 3 |] |] in
+  let t, _ = Ksi.of_instance ~k:2 inst in
+  Alcotest.(check bool) "disjoint pair" true (Ksi.emptiness t [| 1; 2 |]);
+  Alcotest.(check bool) "overlapping pair" false (Ksi.emptiness t [| 1; 3 |])
+
+let test_adversarial_disjoint () =
+  let rng = Prng.create 203 in
+  let sets = Kwsc_workload.Gen.ksi_disjoint_heavy ~rng ~m:8 ~set_size:100 in
+  let inst = Ksi_instance.create sets in
+  let t, _ = Ksi.of_instance ~k:2 inst in
+  for a = 1 to 8 do
+    for b = a + 1 to 8 do
+      Alcotest.(check bool) "all pairs empty" true (Ksi.emptiness t [| a; b |])
+    done
+  done;
+  (* the emptiness probe must be cheap: far below N = 800 object scans *)
+  let _, st = Ksi.query_stats ~limit:1 t [| 1; 2 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "emptiness work %d sublinear" (Kwsc.Stats.work st))
+    true
+    (Kwsc.Stats.work st < 400)
+
+let test_sublinear_vs_out () =
+  (* when OUT is small, examined objects should be far below N *)
+  let rng = Prng.create 204 in
+  let docs =
+    Array.init 2000 (fun i ->
+        (* keywords 1 and 2 each appear in ~half the docs but intersect rarely *)
+        let base = if i mod 2 = 0 then [ 1 ] else [ 2 ] in
+        let base = if i mod 997 = 0 then [ 1; 2 ] else base in
+        Doc.of_list (base @ [ 100 + Prng.int rng 50 ]))
+  in
+  let t = Ksi.of_docs ~k:2 docs in
+  let ids, st = Ksi.query_stats t [| 1; 2 |] in
+  Alcotest.(check int) "small OUT" 3 (Array.length ids);
+  let n = Ksi.input_size t in
+  Alcotest.(check bool)
+    (Printf.sprintf "work %d << N=%d" (Kwsc.Stats.work st) n)
+    true
+    (Kwsc.Stats.work st < n / 2)
+
+let qcheck_ksi =
+  QCheck.Test.make ~name:"Ksi equals naive intersection" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let m = 2 + Prng.int rng 5 in
+      let sets =
+        Array.init m (fun _ -> Array.init (1 + Prng.int rng 20) (fun _ -> Prng.int rng 40))
+      in
+      let inst = Ksi_instance.create sets in
+      let t, elements = Ksi.of_instance ~k:2 inst in
+      let a = 1 + Prng.int rng m in
+      let b = 1 + ((a + Prng.int rng (m - 1)) mod m) in
+      if a = b then true
+      else begin
+        let got = Array.map (fun id -> elements.(id)) (Ksi.query t [| a; b |]) in
+        Array.sort compare got;
+        got = Ksi_instance.reporting inst [| a; b |]
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "of_docs vs inverted" `Quick test_of_docs_vs_inverted;
+    Alcotest.test_case "k=3" `Quick test_k3;
+    Alcotest.test_case "of_instance" `Quick test_of_instance;
+    Alcotest.test_case "emptiness" `Quick test_emptiness;
+    Alcotest.test_case "adversarial disjoint sets" `Quick test_adversarial_disjoint;
+    Alcotest.test_case "sublinear work at small OUT" `Quick test_sublinear_vs_out;
+    QCheck_alcotest.to_alcotest qcheck_ksi;
+  ]

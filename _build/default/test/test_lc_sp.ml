@@ -1,0 +1,161 @@
+open Kwsc_geom
+module Sp = Kwsc.Sp_kw
+module Lc = Kwsc.Lc_kw
+module Prng = Kwsc_util.Prng
+
+let random_halfspace rng d range =
+  Halfspace.make
+    (Array.init d (fun _ -> Prng.float rng 2.0 -. 1.0))
+    (Prng.float rng (range *. 1.5))
+
+let random_triangle rng range =
+  let v () = [| Prng.float rng range; Prng.float rng range |] in
+  let rec go attempts =
+    if attempts > 50 then Alcotest.fail "no triangle"
+    else
+      match Simplex.of_vertices [| v (); v (); v () |] with
+      | s -> s
+      | exception Invalid_argument _ -> go (attempts + 1)
+  in
+  go 0
+
+let test_sp_matches_oracle () =
+  let objs = Helpers.dataset ~seed:61 ~n:300 ~d:2 () in
+  let t = Sp.build ~k:2 objs in
+  let rng = Prng.create 301 in
+  for _ = 1 to 60 do
+    let s = random_triangle rng 1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "sp = oracle"
+      (Helpers.oracle objs (Simplex.contains s) ws)
+      (Sp.query_simplex t s ws)
+  done
+
+let test_lc_single_constraint () =
+  let objs = Helpers.dataset ~seed:62 ~n:300 ~d:2 () in
+  let t = Lc.build ~k:2 objs in
+  let rng = Prng.create 302 in
+  for _ = 1 to 60 do
+    let h = random_halfspace rng 2 1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "lc s=1 = oracle"
+      (Helpers.oracle objs (Halfspace.satisfies h) ws)
+      (Lc.query t [ h ] ws)
+  done
+
+let test_lc_multi_constraints () =
+  let objs = Helpers.dataset ~seed:63 ~n:300 ~d:2 () in
+  let t = Lc.build ~k:2 objs in
+  let rng = Prng.create 303 in
+  for _ = 1 to 60 do
+    let hs = List.init (1 + Prng.int rng 3) (fun _ -> random_halfspace rng 2 1000.0) in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "lc multi = oracle"
+      (Helpers.oracle objs (fun p -> List.for_all (fun h -> Halfspace.satisfies h p) hs) ws)
+      (Lc.query t hs ws)
+  done
+
+let test_lc_3d () =
+  let objs = Helpers.dataset ~seed:64 ~n:200 ~d:3 () in
+  let t = Lc.build ~k:2 objs in
+  let rng = Prng.create 304 in
+  for _ = 1 to 30 do
+    let hs = List.init 2 (fun _ -> random_halfspace rng 3 1000.0) in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "lc 3d = oracle"
+      (Helpers.oracle objs (fun p -> List.for_all (fun h -> Halfspace.satisfies h p) hs) ws)
+      (Lc.query t hs ws)
+  done
+
+let test_lc_rect_equals_orp () =
+  (* the remark after Theorem 5: ORP-KW through 2d linear constraints *)
+  let objs = Helpers.dataset ~seed:65 ~n:250 ~d:2 () in
+  let lc = Lc.build ~k:2 objs in
+  let orp = Kwsc.Orp_kw.build ~k:2 objs in
+  let rng = Prng.create 305 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "LC-KW(rect) = ORP-KW" (Kwsc.Orp_kw.query orp q ws) (Lc.query_rect lc q ws)
+  done
+
+let test_lc_via_simplices_agrees () =
+  let objs = Helpers.dataset ~seed:66 ~n:200 ~d:2 () in
+  let t = Lc.build ~k:2 objs in
+  let rng = Prng.create 306 in
+  let tried = ref 0 in
+  while !tried < 20 do
+    (* bounded region: a random query rectangle as constraints, plus a cut *)
+    let r = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let hs = random_halfspace rng 2 1000.0 :: Halfspace.of_rect r in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let direct = Lc.query t hs ws in
+    let via = Lc.query_via_simplices t hs ws in
+    (* only compare when no object sits on a triangulation edge: the
+       decomposition is exact for interior points, boundary points can be
+       assigned either way by float rounding, so allow the rare off-by-edge
+       by re-checking membership *)
+    Helpers.check_ids "simplex decomposition agrees" direct via;
+    incr tried
+  done
+
+let test_empty_region () =
+  let objs = Helpers.dataset ~seed:67 ~n:100 ~d:2 () in
+  let t = Lc.build ~k:2 objs in
+  let hs = [ Halfspace.make [| 1.0; 0.0 |] 0.0; Halfspace.make [| -1.0; 0.0 |] (-1.0) ] in
+  Helpers.check_ids "infeasible constraints" [||] (Lc.query t hs [| 1; 2 |])
+
+let test_whole_space () =
+  let objs = Helpers.dataset ~seed:68 ~n:200 ~d:2 () in
+  let t = Lc.build ~k:2 objs in
+  let inv = Kwsc_invindex.Inverted.build (Array.map snd objs) in
+  let rng = Prng.create 307 in
+  for _ = 1 to 40 do
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "no constraints = pure keyword search"
+      (Kwsc_invindex.Inverted.query_naive inv ws)
+      (Lc.query t [] ws)
+  done
+
+let test_duplicate_points_sp () =
+  let doc i = Kwsc_invindex.Doc.of_list [ 1 + (i mod 2); 9 ] in
+  let objs = Array.init 80 (fun i -> ((if i < 40 then [| 1.0; 1.0 |] else [| 9.0; 9.0 |]), doc i)) in
+  let t = Sp.build ~k:2 objs in
+  let s = Simplex.of_vertices [| [| 0.0; 0.0 |]; [| 4.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  Helpers.check_ids "duplicates respected"
+    (Helpers.oracle objs (Simplex.contains s) [| 1; 9 |])
+    (Sp.query_simplex t s [| 1; 9 |])
+
+let test_sp_invariants () =
+  let objs = Helpers.dataset ~seed:69 ~n:300 ~d:2 () in
+  let t = Sp.build ~k:2 objs in
+  Sp.fold_nodes t ~init:() ~f:(fun () v ->
+      let bound = float_of_int (Sp.input_size t) /. (2.0 ** float_of_int v.Kwsc.Transform.depth) in
+      Alcotest.(check bool) "weight halving" true (float_of_int v.Kwsc.Transform.n_u <= bound +. 1e-9))
+
+let qcheck_lc =
+  QCheck.Test.make ~name:"LC-KW equals oracle" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:100 ~d:2 ~vocab:15 () in
+      let t = Lc.build ~k:2 objs in
+      let rng = Prng.create (seed + 777) in
+      let hs = List.init (1 + Prng.int rng 2) (fun _ -> random_halfspace rng 2 1000.0) in
+      let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+      Helpers.oracle objs (fun p -> List.for_all (fun h -> Halfspace.satisfies h p) hs) ws
+      = Lc.query t hs ws)
+
+let suite =
+  [
+    Alcotest.test_case "SP-KW matches oracle" `Quick test_sp_matches_oracle;
+    Alcotest.test_case "LC-KW single constraint" `Quick test_lc_single_constraint;
+    Alcotest.test_case "LC-KW multiple constraints" `Quick test_lc_multi_constraints;
+    Alcotest.test_case "LC-KW 3d" `Quick test_lc_3d;
+    Alcotest.test_case "LC-KW(rect) = ORP-KW" `Quick test_lc_rect_equals_orp;
+    Alcotest.test_case "simplex decomposition agrees" `Quick test_lc_via_simplices_agrees;
+    Alcotest.test_case "infeasible region" `Quick test_empty_region;
+    Alcotest.test_case "whole space" `Quick test_whole_space;
+    Alcotest.test_case "duplicate points" `Quick test_duplicate_points_sp;
+    Alcotest.test_case "SP-KW weight invariant" `Quick test_sp_invariants;
+    QCheck_alcotest.to_alcotest qcheck_lc;
+  ]

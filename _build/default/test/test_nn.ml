@@ -1,0 +1,132 @@
+module Linf = Kwsc.Linf_nn_kw
+module L2 = Kwsc.L2_nn_kw
+module Prng = Kwsc_util.Prng
+
+(* NN answers may differ from the oracle in *which* equidistant object is
+   picked, but the distance multiset of the t answers must match. *)
+let check_distances name expected got =
+  Alcotest.(check int) (name ^ " count") (Array.length expected) (Array.length got);
+  Array.iteri
+    (fun i (_, d) ->
+      let _, ed = expected.(i) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%s dist[%d]" name i) ed d)
+    got
+
+let test_linf_matches_oracle () =
+  let objs = Helpers.dataset ~seed:81 ~n:300 ~d:2 () in
+  let t = Linf.build ~k:2 objs in
+  let rng = Prng.create 501 in
+  for _ = 1 to 50 do
+    let q = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+    let t' = 1 + Prng.int rng 10 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle_nn objs `Linf q t' ws in
+    let got = Linf.query t q ~t' ws in
+    check_distances "linf nn" expected got
+  done
+
+let test_linf_fewer_matches_than_t () =
+  let objs =
+    [|
+      ([| 0.0; 0.0 |], Kwsc_invindex.Doc.of_list [ 1; 2 ]);
+      ([| 5.0; 0.0 |], Kwsc_invindex.Doc.of_list [ 1; 2 ]);
+      ([| 9.0; 0.0 |], Kwsc_invindex.Doc.of_list [ 1; 3 ]);
+    |]
+  in
+  let t = Linf.build ~k:2 objs in
+  let got = Linf.query t [| 0.0; 0.0 |] ~t':10 [| 1; 2 |] in
+  Alcotest.(check int) "only two match" 2 (Array.length got);
+  Alcotest.(check int) "nearest first" 0 (fst got.(0));
+  Alcotest.(check int) "then the other" 1 (fst got.(1))
+
+let test_linf_t1 () =
+  let objs = Helpers.dataset ~seed:82 ~n:200 ~d:2 () in
+  let t = Linf.build ~k:2 objs in
+  let rng = Prng.create 502 in
+  for _ = 1 to 50 do
+    let q = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle_nn objs `Linf q 1 ws in
+    let got = Linf.query t q ~t':1 ws in
+    check_distances "1-nn" expected got
+  done
+
+let test_linf_probe_count_logarithmic () =
+  let objs = Helpers.dataset ~seed:83 ~n:1000 ~d:2 () in
+  let t = Linf.build ~k:2 objs in
+  let _, probes = Linf.query_count t [| 500.0; 500.0 |] ~t':5 [| 1; 2 |] in
+  (* binary search over 2N candidates: ~log2(2000) + the final full query *)
+  Alcotest.(check bool) (Printf.sprintf "probes %d = O(log N)" probes) true (probes <= 16)
+
+let test_l2_matches_oracle () =
+  let rng = Prng.create 503 in
+  let pts = Kwsc_workload.Gen.points_int ~rng ~n:250 ~d:2 ~max_coord:100 in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n:250 ~vocab:30 ~theta:0.8 ~len_min:1 ~len_max:5 in
+  let objs = Array.init 250 (fun i -> (pts.(i), docs.(i))) in
+  let t = L2.build ~k:2 objs in
+  for _ = 1 to 40 do
+    let q = [| float_of_int (Prng.int rng 101); float_of_int (Prng.int rng 101) |] in
+    let t' = 1 + Prng.int rng 8 in
+    let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+    let expected = Helpers.oracle_nn objs `L2 q t' ws in
+    let got = L2.query t q ~t' ws in
+    check_distances "l2 nn" expected got
+  done
+
+let test_l2_rejects_non_integers () =
+  Alcotest.check_raises "non-integer coordinates"
+    (Invalid_argument "L2_nn_kw.build: coordinates must be small non-negative integers")
+    (fun () ->
+      ignore (L2.build ~k:2 [| ([| 0.5; 1.0 |], Kwsc_invindex.Doc.of_list [ 1 ]) |]))
+
+let test_l2_probe_count () =
+  let rng = Prng.create 504 in
+  let pts = Kwsc_workload.Gen.points_int ~rng ~n:400 ~d:2 ~max_coord:64 in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n:400 ~vocab:20 ~theta:0.8 ~len_min:1 ~len_max:4 in
+  let objs = Array.init 400 (fun i -> (pts.(i), docs.(i))) in
+  let t = L2.build ~k:2 objs in
+  let _, probes = L2.query_count t [| 32.0; 32.0 |] ~t':3 [| 1; 2 |] in
+  (* binary search over integer squared radii: log2(4 * (d * 64^2 + ...)) *)
+  Alcotest.(check bool) (Printf.sprintf "probes %d logarithmic" probes) true (probes <= 24)
+
+let test_linf_3d_engines () =
+  let objs = Helpers.dataset ~seed:84 ~n:200 ~d:3 () in
+  let kd = Linf.build ~engine:`Kd ~k:2 objs in
+  let dr = Linf.build ~engine:`Dimred ~k:2 objs in
+  let rng = Prng.create 505 in
+  for _ = 1 to 30 do
+    let q = Array.init 3 (fun _ -> Prng.float rng 1000.0) in
+    let t' = 1 + Prng.int rng 6 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let expected = Helpers.oracle_nn objs `Linf q t' ws in
+    check_distances "3d kd engine" expected (Linf.query kd q ~t' ws);
+    check_distances "3d dimred engine" expected (Linf.query dr q ~t' ws)
+  done
+
+let qcheck_linf =
+  QCheck.Test.make ~name:"Linf NN distances equal oracle" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:80 ~d:2 ~vocab:12 () in
+      let t = Linf.build ~k:2 objs in
+      let rng = Prng.create (seed + 999) in
+      let q = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+      let t' = 1 + Prng.int rng 5 in
+      let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+      let expected = Helpers.oracle_nn objs `Linf q t' ws in
+      let got = Linf.query t q ~t' ws in
+      Array.length expected = Array.length got
+      && Array.for_all2 (fun (_, a) (_, b) -> abs_float (a -. b) < 1e-9) expected got)
+
+let suite =
+  [
+    Alcotest.test_case "Linf NN matches oracle" `Quick test_linf_matches_oracle;
+    Alcotest.test_case "Linf fewer matches than t" `Quick test_linf_fewer_matches_than_t;
+    Alcotest.test_case "Linf t=1" `Quick test_linf_t1;
+    Alcotest.test_case "Linf probe count O(log N)" `Quick test_linf_probe_count_logarithmic;
+    Alcotest.test_case "Linf 3d engines agree with oracle" `Quick test_linf_3d_engines;
+    Alcotest.test_case "L2 NN matches oracle" `Quick test_l2_matches_oracle;
+    Alcotest.test_case "L2 rejects non-integers" `Quick test_l2_rejects_non_integers;
+    Alcotest.test_case "L2 probe count" `Quick test_l2_probe_count;
+    QCheck_alcotest.to_alcotest qcheck_linf;
+  ]

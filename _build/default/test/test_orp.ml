@@ -1,0 +1,229 @@
+open Kwsc_geom
+module Orp = Kwsc.Orp_kw
+module Prng = Kwsc_util.Prng
+
+let build ?(k = 2) objs = Orp.build ~k objs
+
+let test_matches_oracle_2d_k2 () =
+  let objs = Helpers.dataset ~n:400 ~d:2 () in
+  let t = build objs in
+  let rng = Prng.create 101 in
+  for _ = 1 to 150 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "orp = oracle" (Helpers.oracle_rect objs q ws) (Orp.query t q ws)
+  done
+
+let test_matches_oracle_2d_k3 () =
+  let objs = Helpers.dataset ~seed:55 ~n:300 ~d:2 ~len_min:2 ~len_max:8 () in
+  let t = build ~k:3 objs in
+  let rng = Prng.create 102 in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:3 in
+    Helpers.check_ids "orp k=3 = oracle" (Helpers.oracle_rect objs q ws) (Orp.query t q ws)
+  done
+
+let test_matches_oracle_1d () =
+  let objs = Helpers.dataset ~seed:77 ~n:250 ~d:1 () in
+  let t = build objs in
+  let rng = Prng.create 103 in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect rng ~d:1 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "orp 1d = oracle" (Helpers.oracle_rect objs q ws) (Orp.query t q ws)
+  done
+
+let test_ties_grid_data () =
+  (* many duplicate coordinates: exercises rank-space tie-breaking (Step 4) *)
+  let objs = Helpers.gridded_dataset ~n:300 ~d:2 () in
+  let t = build objs in
+  let rng = Prng.create 104 in
+  for _ = 1 to 150 do
+    let q = Helpers.random_rect rng ~d:2 ~range:8.0 in
+    let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+    Helpers.check_ids "gridded = oracle" (Helpers.oracle_rect objs q ws) (Orp.query t q ws)
+  done
+
+let test_identical_points () =
+  let doc i = Kwsc_invindex.Doc.of_list [ 1 + (i mod 3); 10 ] in
+  let objs = Array.init 60 (fun i -> ([| 5.0; 5.0 |], doc i)) in
+  let t = build objs in
+  let hit = Rect.make [| 5.0; 5.0 |] [| 5.0; 5.0 |] in
+  let miss = Rect.make [| 6.0; 6.0 |] [| 7.0; 7.0 |] in
+  Helpers.check_ids "all identical, keyword filter"
+    (Helpers.oracle_rect objs hit [| 1; 10 |])
+    (Orp.query t hit [| 1; 10 |]);
+  Helpers.check_ids "identical, miss rect" [||] (Orp.query t miss [| 1; 10 |])
+
+let test_no_results_keywords () =
+  let objs = Helpers.dataset ~n:100 ~d:2 () in
+  let t = build objs in
+  (* keyword 9999 appears nowhere *)
+  Helpers.check_ids "absent keyword" [||] (Orp.query t (Rect.full 2) [| 1; 9999 |])
+
+let test_full_space_equals_pure_keyword_search () =
+  let objs = Helpers.dataset ~seed:91 ~n:350 ~d:2 () in
+  let t = build objs in
+  let docs = Array.map snd objs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  let rng = Prng.create 105 in
+  for _ = 1 to 100 do
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "full-space = inverted index"
+      (Kwsc_invindex.Inverted.query_naive inv ws)
+      (Orp.query t (Rect.full 2) ws)
+  done
+
+let test_limit () =
+  let objs = Helpers.dataset ~seed:13 ~n:400 ~d:2 ~vocab:5 () in
+  let t = build objs in
+  let full = Orp.query t (Rect.full 2) [| 1; 2 |] in
+  if Array.length full > 3 then begin
+    let capped = Orp.query ~limit:3 t (Rect.full 2) [| 1; 2 |] in
+    Alcotest.(check int) "limit respected" 3 (Array.length capped);
+    Array.iter
+      (fun id -> Alcotest.(check bool) "capped subset of full" true (Array.mem id full))
+      capped
+  end
+
+let test_keyword_validation () =
+  let objs = Helpers.dataset ~n:50 ~d:2 () in
+  let t = build objs in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Transform.query: expected 2 distinct keywords, got 1") (fun () ->
+      ignore (Orp.query t (Rect.full 2) [| 1 |]));
+  Alcotest.check_raises "duplicates collapse"
+    (Invalid_argument "Transform.query: expected 2 distinct keywords, got 1") (fun () ->
+      ignore (Orp.query t (Rect.full 2) [| 3; 3 |]))
+
+let test_build_validation () =
+  Alcotest.check_raises "k=1 rejected" (Invalid_argument "Transform.build: k must be >= 2")
+    (fun () -> ignore (build ~k:1 (Helpers.dataset ~n:10 ~d:2 ())));
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Orp_kw.build: empty input")
+    (fun () -> ignore (build [||]))
+
+let test_single_object () =
+  let objs = [| ([| 1.0; 2.0 |], Kwsc_invindex.Doc.of_list [ 4; 7 ]) |] in
+  let t = build objs in
+  Helpers.check_ids "singleton hit" [| 0 |] (Orp.query t (Rect.full 2) [| 4; 7 |]);
+  Helpers.check_ids "singleton keyword miss" [||] (Orp.query t (Rect.full 2) [| 4; 8 |]);
+  Helpers.check_ids "singleton rect miss" [||]
+    (Orp.query t (Rect.make [| 5.0; 5.0 |] [| 6.0; 6.0 |]) [| 4; 7 |])
+
+(* --- structural invariants (Appendix B budget) ------------------------ *)
+
+let test_invariant_weight_halving () =
+  let objs = Helpers.dataset ~seed:3 ~n:500 ~d:2 () in
+  let t = build objs in
+  let n = Orp.input_size t in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      let bound = float_of_int n /. (2.0 ** float_of_int v.Kwsc.Transform.depth) in
+      Alcotest.(check bool)
+        (Printf.sprintf "N_u=%d <= N/2^%d" v.Kwsc.Transform.n_u v.Kwsc.Transform.depth)
+        true
+        (float_of_int v.Kwsc.Transform.n_u <= bound +. 1e-9))
+
+let test_invariant_pivot_constant () =
+  let objs = Helpers.dataset ~seed:4 ~n:500 ~d:2 ~len_min:1 ~len_max:4 () in
+  let t = Orp.build ~leaf_weight:4 ~k:2 objs in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      if v.Kwsc.Transform.num_children > 0 then
+        Alcotest.(check bool) "internal pivot O(1)" true (Array.length v.Kwsc.Transform.pivot <= 2)
+      else
+        (* leaves absorb at most leaf_weight words of objects *)
+        Alcotest.(check bool) "leaf pivot bounded" true (Array.length v.Kwsc.Transform.pivot <= 4))
+
+let test_invariant_large_budget () =
+  let objs = Helpers.dataset ~seed:5 ~n:600 ~d:2 () in
+  let t = build objs in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      let cap = float_of_int v.Kwsc.Transform.n_u ** 0.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "num_large=%d <= sqrt(N_u)=%g" v.Kwsc.Transform.num_large cap)
+        true
+        (float_of_int v.Kwsc.Transform.num_large <= cap +. 1e-9))
+
+let test_invariant_materialize_once () =
+  let objs = Helpers.dataset ~seed:6 ~n:400 ~d:2 () in
+  let t = build objs in
+  let seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Orp.fold_nodes t ~init:() ~f:(fun () v ->
+      List.iter
+        (fun (w, ids) ->
+          Array.iter
+            (fun id ->
+              let key = (id, w) in
+              Hashtbl.replace seen key (1 + Option.value ~default:0 (Hashtbl.find_opt seen key)))
+            ids)
+        v.Kwsc.Transform.materialized);
+  Hashtbl.iter
+    (fun (id, w) count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(obj %d, kw %d) materialized %d times" id w count)
+        true (count = 1))
+    seen
+
+(* Lemma 9: every covered node's subtree contributes at least one reported
+   object per covered leaf, so covered nodes are few when OUT is small:
+   covered <= (OUT + 1) * (max depth + 1). *)
+let test_lemma9_covered_bound () =
+  let objs = Helpers.dataset ~seed:7 ~n:600 ~d:2 () in
+  let t = build objs in
+  let depth = (Orp.space_stats t).Kwsc.Stats.max_depth in
+  let rng = Prng.create 106 in
+  for _ = 1 to 100 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1200.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    let ids, st = Orp.query_stats t q ws in
+    let out = Array.length ids in
+    Alcotest.(check bool)
+      (Printf.sprintf "covered=%d <= (OUT=%d + 1) * (depth+1)" st.Kwsc.Stats.covered_nodes out)
+      true
+      (st.Kwsc.Stats.covered_nodes <= (out + 1) * (depth + 1))
+  done
+
+let test_space_linear () =
+  (* total words grow ~linearly in N: compare two sizes *)
+  let words n =
+    let objs = Helpers.dataset ~seed:8 ~n ~d:2 () in
+    (Orp.space_stats (build objs)).Kwsc.Stats.total_words
+  in
+  let w1 = words 500 and w2 = words 2000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "space %d -> %d stays ~linear" w1 w2)
+    true
+    (float_of_int w2 <= 6.5 *. float_of_int w1)
+
+let qcheck_orp_oracle =
+  QCheck.Test.make ~name:"ORP-KW equals oracle on random instances" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:120 ~d:2 ~vocab:15 () in
+      let t = build objs in
+      let rng = Prng.create (seed + 31337) in
+      let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+      let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+      Helpers.oracle_rect objs q ws = Orp.query t q ws)
+
+let suite =
+  [
+    Alcotest.test_case "matches oracle 2d k=2" `Quick test_matches_oracle_2d_k2;
+    Alcotest.test_case "matches oracle 2d k=3" `Quick test_matches_oracle_2d_k3;
+    Alcotest.test_case "matches oracle 1d" `Quick test_matches_oracle_1d;
+    Alcotest.test_case "tie-heavy grid data" `Quick test_ties_grid_data;
+    Alcotest.test_case "identical points" `Quick test_identical_points;
+    Alcotest.test_case "absent keyword" `Quick test_no_results_keywords;
+    Alcotest.test_case "full space = pure keyword search" `Quick test_full_space_equals_pure_keyword_search;
+    Alcotest.test_case "output limit" `Quick test_limit;
+    Alcotest.test_case "keyword validation" `Quick test_keyword_validation;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    Alcotest.test_case "single object" `Quick test_single_object;
+    Alcotest.test_case "invariant: weight halving" `Quick test_invariant_weight_halving;
+    Alcotest.test_case "invariant: pivot O(1)" `Quick test_invariant_pivot_constant;
+    Alcotest.test_case "invariant: large-keyword budget" `Quick test_invariant_large_budget;
+    Alcotest.test_case "invariant: materialize once" `Quick test_invariant_materialize_once;
+    Alcotest.test_case "Lemma 9: covered-node bound" `Quick test_lemma9_covered_bound;
+    Alcotest.test_case "space stays linear" `Quick test_space_linear;
+    QCheck_alcotest.to_alcotest qcheck_orp_oracle;
+  ]

@@ -1,0 +1,131 @@
+open Kwsc_geom
+module Ptree = Kwsc_ptree.Ptree
+module Prng = Kwsc_util.Prng
+
+let make_pts ~seed ~n ~d ~range =
+  let rng = Prng.create seed in
+  Array.init n (fun i -> (Array.init d (fun _ -> Prng.float rng range), i))
+
+let naive pts pred =
+  Array.to_list pts
+  |> List.filter_map (fun (p, i) -> if pred p then Some i else None)
+  |> List.sort compare
+
+let ids_of l = List.sort compare (List.map snd l)
+
+let random_triangle rng range =
+  let v () = [| Prng.float rng range; Prng.float rng range |] in
+  let rec go attempts =
+    if attempts > 50 then Alcotest.fail "could not sample a triangle"
+    else
+      match Simplex.of_vertices [| v (); v (); v () |] with
+      | s -> s
+      | exception Invalid_argument _ -> go (attempts + 1)
+  in
+  go 0
+
+let test_simplex_matches_naive () =
+  let pts = make_pts ~seed:31 ~n:400 ~d:2 ~range:100.0 in
+  let t = Ptree.build pts in
+  let rng = Prng.create 32 in
+  for _ = 1 to 60 do
+    let s = random_triangle rng 100.0 in
+    Alcotest.(check (list int)) "simplex query = naive"
+      (naive pts (Simplex.contains s))
+      (ids_of (Ptree.query_simplex t s))
+  done
+
+let test_halfspace_matches_naive () =
+  let pts = make_pts ~seed:33 ~n:400 ~d:2 ~range:100.0 in
+  let t = Ptree.build pts in
+  let rng = Prng.create 34 in
+  for _ = 1 to 60 do
+    let h =
+      Halfspace.make
+        [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |]
+        (Prng.float rng 100.0)
+    in
+    Alcotest.(check (list int)) "halfspace query = naive"
+      (naive pts (Halfspace.satisfies h))
+      (ids_of (Ptree.query_halfspaces t [ h ]))
+  done
+
+let test_polytope_3d () =
+  let pts = make_pts ~seed:35 ~n:250 ~d:3 ~range:50.0 in
+  let t = Ptree.build pts in
+  let rng = Prng.create 36 in
+  for _ = 1 to 30 do
+    let hs =
+      List.init 3 (fun _ ->
+          Halfspace.make
+            [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |]
+            (Prng.float rng 80.0 -. 10.0))
+    in
+    let q = Polytope.make ~dim:3 hs in
+    Alcotest.(check (list int)) "3d polytope query = naive"
+      (naive pts (Polytope.mem q))
+      (ids_of (Ptree.query_polytope t q))
+  done
+
+let test_full_and_empty () =
+  let pts = make_pts ~seed:37 ~n:100 ~d:2 ~range:10.0 in
+  let t = Ptree.build pts in
+  Alcotest.(check int) "whole space" 100
+    (List.length (Ptree.query_polytope t (Polytope.make ~dim:2 [])));
+  let empty =
+    Polytope.make ~dim:2
+      [ Halfspace.make [| 1.0; 0.0 |] 0.0; Halfspace.make [| -1.0; 0.0 |] (-1.0) ]
+  in
+  Alcotest.(check int) "empty region" 0 (List.length (Ptree.query_polytope t empty))
+
+let test_duplicates () =
+  let pts = Array.init 64 (fun i -> ([| 3.0; 3.0 |], i)) in
+  let t = Ptree.build pts in
+  let q = Polytope.of_rect (Rect.make [| 2.0; 2.0 |] [| 4.0; 4.0 |]) in
+  Alcotest.(check int) "duplicates all found" 64 (List.length (Ptree.query_polytope t q))
+
+let test_depth_logarithmic () =
+  let pts = make_pts ~seed:38 ~n:2048 ~d:2 ~range:100.0 in
+  let t = Ptree.build ~leaf_size:1 pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth %d <= 2 log n" (Ptree.depth t))
+    true
+    (Ptree.depth t <= 2 * 11 + 2)
+
+(* The substitute structure's crossing exponent should be clearly sublinear
+   (DESIGN.md substitution 1 predicts ~N^0.79 in 2D). *)
+let test_crossing_sublinear () =
+  let crossing n =
+    let pts = make_pts ~seed:39 ~n ~d:2 ~range:1000.0 in
+    let t = Ptree.build ~leaf_size:1 pts in
+    let h = Halfspace.make [| 1.0; 1.0 |] 1000.0 in
+    (Ptree.stats_polytope t (Polytope.make ~dim:2 [ h ])).Ptree.crossing
+  in
+  let c1 = crossing 512 and c2 = crossing 2048 in
+  (* 4x points must give far less than 4x crossings *)
+  Alcotest.(check bool)
+    (Printf.sprintf "crossing growth %d -> %d sublinear" c1 c2)
+    true
+    (float_of_int c2 <= 3.4 *. float_of_int c1)
+
+let qcheck_simplex =
+  QCheck.Test.make ~name:"ptree simplex query equals filter" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let pts = make_pts ~seed ~n:80 ~d:2 ~range:30.0 in
+      let t = Ptree.build pts in
+      let rng = Prng.create (seed + 555) in
+      let s = random_triangle rng 30.0 in
+      naive pts (Simplex.contains s) = ids_of (Ptree.query_simplex t s))
+
+let suite =
+  [
+    Alcotest.test_case "simplex matches naive" `Quick test_simplex_matches_naive;
+    Alcotest.test_case "halfspace matches naive" `Quick test_halfspace_matches_naive;
+    Alcotest.test_case "3d polytope" `Quick test_polytope_3d;
+    Alcotest.test_case "full and empty regions" `Quick test_full_and_empty;
+    Alcotest.test_case "duplicate points" `Quick test_duplicates;
+    Alcotest.test_case "depth logarithmic" `Quick test_depth_logarithmic;
+    Alcotest.test_case "crossing sublinear" `Quick test_crossing_sublinear;
+    QCheck_alcotest.to_alcotest qcheck_simplex;
+  ]

@@ -1,0 +1,120 @@
+open Kwsc_geom
+module Rr = Kwsc.Rr_kw
+module Prng = Kwsc_util.Prng
+
+let random_rects ~seed ~n ~d ~range ~side =
+  let rng = Prng.create seed in
+  Array.init n (fun _ ->
+      let lo = Array.init d (fun _ -> Prng.float rng range) in
+      let hi = Array.map (fun x -> x +. Prng.float rng side) lo in
+      Rect.make lo hi)
+
+let dataset ~seed ~n ~d =
+  let rng = Prng.create (seed + 1) in
+  let rects = random_rects ~seed ~n ~d ~range:1000.0 ~side:80.0 in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n ~vocab:30 ~theta:0.9 ~len_min:1 ~len_max:5 in
+  Array.init n (fun i -> (rects.(i), docs.(i)))
+
+let oracle objs q ws =
+  let hits = ref [] in
+  Array.iteri
+    (fun id (r, doc) ->
+      if Rect.intersects r q && Array.for_all (fun w -> Kwsc_invindex.Doc.mem doc w) ws then
+        hits := id :: !hits)
+    objs;
+  let a = Array.of_list !hits in
+  Array.sort compare a;
+  a
+
+let test_intervals_1d () =
+  (* temporal keyword search: documents with lifespans *)
+  let objs = dataset ~seed:111 ~n:300 ~d:1 in
+  let t = Rr.build ~k:2 objs in
+  let rng = Prng.create 601 in
+  for _ = 1 to 80 do
+    let q = Helpers.random_rect rng ~d:1 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+    Helpers.check_ids "1d intervals = oracle" (oracle objs q ws) (Rr.query t q ws)
+  done
+
+let test_rects_2d () =
+  let objs = dataset ~seed:112 ~n:250 ~d:2 in
+  let t = Rr.build ~k:2 objs in
+  let rng = Prng.create 602 in
+  for _ = 1 to 60 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+    Helpers.check_ids "2d rectangles = oracle" (oracle objs q ws) (Rr.query t q ws)
+  done
+
+let test_touching_rectangles () =
+  let doc = Kwsc_invindex.Doc.of_list [ 1; 2 ] in
+  let objs =
+    [|
+      (Rect.make [| 0.0 |] [| 1.0 |], doc);
+      (Rect.make [| 1.0 |] [| 2.0 |], doc);
+      (Rect.make [| 3.0 |] [| 4.0 |], doc);
+    |]
+  in
+  let t = Rr.build ~k:2 objs in
+  (* query [1,1] touches the first two intervals at a single point *)
+  Helpers.check_ids "touching counts as intersecting" [| 0; 1 |]
+    (Rr.query t (Rect.make [| 1.0 |] [| 1.0 |]) [| 1; 2 |]);
+  Helpers.check_ids "gap misses" [| 0; 1 |] (Rr.query t (Rect.make [| 0.5 |] [| 2.5 |]) [| 1; 2 |])
+
+let test_containment_both_ways () =
+  let doc = Kwsc_invindex.Doc.of_list [ 5; 6 ] in
+  let objs =
+    [| (Rect.make [| 0.0; 0.0 |] [| 100.0; 100.0 |], doc); (Rect.make [| 40.0; 40.0 |] [| 60.0; 60.0 |], doc) |]
+  in
+  let t = Rr.build ~k:2 objs in
+  (* tiny query inside the big rect *)
+  Helpers.check_ids "query inside data rect" [| 0; 1 |]
+    (Rr.query t (Rect.make [| 45.0; 45.0 |] [| 46.0; 46.0 |]) [| 5; 6 |]);
+  (* huge query containing both *)
+  Helpers.check_ids "query containing data" [| 0; 1 |]
+    (Rr.query t (Rect.make [| -10.0; -10.0 |] [| 200.0; 200.0 |]) [| 5; 6 |])
+
+let test_rejects_unbounded_data () =
+  Alcotest.check_raises "unbounded data rectangle"
+    (Invalid_argument "Rr_kw.build: data rectangles must be bounded") (fun () ->
+      ignore
+        (Rr.build ~k:2
+           [| (Rect.make [| 0.0 |] [| infinity |], Kwsc_invindex.Doc.of_list [ 1 ]) |]))
+
+let test_engines_agree_all () =
+  let objs = dataset ~seed:115 ~n:150 ~d:2 in
+  let kd = Rr.build ~engine:`Kd ~k:2 objs in
+  let dr = Rr.build ~engine:`Dimred ~k:2 objs in
+  let lc = Rr.build ~engine:`Lc ~k:2 objs in
+  let rng = Prng.create 603 in
+  for _ = 1 to 40 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+    let expected = oracle objs q ws in
+    Helpers.check_ids "kd engine" expected (Rr.query kd q ws);
+    Helpers.check_ids "dimred engine" expected (Rr.query dr q ws);
+    Helpers.check_ids "lc engine" expected (Rr.query lc q ws)
+  done
+
+let qcheck_rr =
+  QCheck.Test.make ~name:"RR-KW equals oracle" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = dataset ~seed ~n:100 ~d:2 in
+      let t = Rr.build ~k:2 objs in
+      let rng = Prng.create (seed + 1111) in
+      let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+      let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+      oracle objs q ws = Rr.query t q ws)
+
+let suite =
+  [
+    Alcotest.test_case "1d intervals (temporal)" `Quick test_intervals_1d;
+    Alcotest.test_case "2d rectangles" `Quick test_rects_2d;
+    Alcotest.test_case "touching rectangles" `Quick test_touching_rectangles;
+    Alcotest.test_case "containment both ways" `Quick test_containment_both_ways;
+    Alcotest.test_case "rejects unbounded data" `Quick test_rejects_unbounded_data;
+    Alcotest.test_case "all three engines agree" `Quick test_engines_agree_all;
+    QCheck_alcotest.to_alcotest qcheck_rr;
+  ]

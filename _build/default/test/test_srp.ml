@@ -1,0 +1,95 @@
+open Kwsc_geom
+module Srp = Kwsc.Srp_kw
+module Prng = Kwsc_util.Prng
+
+let random_sphere rng ~range = Sphere.make [| Prng.float rng range; Prng.float rng range |] (Prng.float rng (range /. 2.0))
+
+let test_matches_oracle () =
+  let objs = Helpers.dataset ~seed:71 ~n:300 ~d:2 () in
+  let t = Srp.build ~k:2 objs in
+  let rng = Prng.create 401 in
+  for _ = 1 to 60 do
+    let s = random_sphere rng ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "srp = oracle" (Helpers.oracle objs (Sphere.contains s) ws) (Srp.query t s ws)
+  done
+
+let test_k3 () =
+  let objs = Helpers.dataset ~seed:72 ~n:250 ~d:2 ~len_min:2 ~len_max:7 () in
+  let t = Srp.build ~k:3 objs in
+  let rng = Prng.create 402 in
+  for _ = 1 to 40 do
+    let s = random_sphere rng ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:3 in
+    Helpers.check_ids "srp k=3" (Helpers.oracle objs (Sphere.contains s) ws) (Srp.query t s ws)
+  done
+
+let test_zero_radius () =
+  let objs =
+    [|
+      ([| 5.0; 5.0 |], Kwsc_invindex.Doc.of_list [ 1; 2 ]);
+      ([| 5.0; 6.0 |], Kwsc_invindex.Doc.of_list [ 1; 2 ]);
+    |]
+  in
+  let t = Srp.build ~k:2 objs in
+  Helpers.check_ids "point sphere hits exactly" [| 0 |]
+    (Srp.query t (Sphere.make [| 5.0; 5.0 |] 0.0) [| 1; 2 |])
+
+let test_huge_radius () =
+  let objs = Helpers.dataset ~seed:73 ~n:150 ~d:2 () in
+  let t = Srp.build ~k:2 objs in
+  let inv = Kwsc_invindex.Inverted.build (Array.map snd objs) in
+  let rng = Prng.create 403 in
+  for _ = 1 to 30 do
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "everything inside = pure keyword search"
+      (Kwsc_invindex.Inverted.query_naive inv ws)
+      (Srp.query t (Sphere.make [| 500.0; 500.0 |] 1e6) ws)
+  done
+
+let test_ball_sq_exact_integers () =
+  let objs =
+    Array.init 50 (fun i ->
+        ([| float_of_int (i mod 10); float_of_int (i / 10) |], Kwsc_invindex.Doc.of_list [ 1; 2 ]))
+  in
+  let t = Srp.build ~k:2 objs in
+  (* squared radius 2 around (0,0): points (0,0) (1,0) (0,1) (1,1) *)
+  let got = Srp.query_ball_sq t [| 0.0; 0.0 |] 2.0 [| 1; 2 |] in
+  let expect = Helpers.oracle objs (fun p -> Point.l2_dist_sq [| 0.0; 0.0 |] p <= 2.0) [| 1; 2 |] in
+  Helpers.check_ids "integer squared radius exact" expect got
+
+let test_3d () =
+  let objs = Helpers.dataset ~seed:74 ~n:150 ~d:3 () in
+  let t = Srp.build ~k:2 objs in
+  let rng = Prng.create 404 in
+  for _ = 1 to 20 do
+    let s =
+      Sphere.make
+        [| Prng.float rng 1000.0; Prng.float rng 1000.0; Prng.float rng 1000.0 |]
+        (Prng.float rng 500.0)
+    in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "srp 3d" (Helpers.oracle objs (Sphere.contains s) ws) (Srp.query t s ws)
+  done
+
+let qcheck_srp =
+  QCheck.Test.make ~name:"SRP-KW equals oracle" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:100 ~d:2 ~vocab:15 () in
+      let t = Srp.build ~k:2 objs in
+      let rng = Prng.create (seed + 888) in
+      let s = random_sphere rng ~range:1000.0 in
+      let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+      Helpers.oracle objs (Sphere.contains s) ws = Srp.query t s ws)
+
+let suite =
+  [
+    Alcotest.test_case "matches oracle" `Quick test_matches_oracle;
+    Alcotest.test_case "k=3" `Quick test_k3;
+    Alcotest.test_case "zero radius" `Quick test_zero_radius;
+    Alcotest.test_case "huge radius" `Quick test_huge_radius;
+    Alcotest.test_case "integer squared radius" `Quick test_ball_sq_exact_integers;
+    Alcotest.test_case "3d spheres" `Quick test_3d;
+    QCheck_alcotest.to_alcotest qcheck_srp;
+  ]

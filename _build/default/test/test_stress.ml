@@ -1,0 +1,131 @@
+(* Larger instances, higher dimensions and arities — the configurations the
+   quick suites keep small. *)
+
+open Kwsc_geom
+module Prng = Kwsc_util.Prng
+
+let test_orp_20k () =
+  let objs = Helpers.dataset ~seed:211 ~n:20000 ~d:2 ~vocab:60 () in
+  let t = Kwsc.Orp_kw.build ~k:2 objs in
+  let rng = Prng.create 212 in
+  for _ = 1 to 25 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:60 ~k:2 in
+    Helpers.check_ids "orp 20k = oracle" (Helpers.oracle_rect objs q ws) (Kwsc.Orp_kw.query t q ws)
+  done;
+  (* space must stay a small multiple of N *)
+  let words = (Kwsc.Orp_kw.space_stats t).Kwsc.Stats.total_words in
+  Alcotest.(check bool)
+    (Printf.sprintf "space %d words for N=%d" words (Kwsc.Orp_kw.input_size t))
+    true
+    (words < 8 * Kwsc.Orp_kw.input_size t)
+
+let test_dimred_5d () =
+  let objs = Helpers.dataset ~seed:213 ~n:400 ~d:5 () in
+  let t = Kwsc.Dimred.build ~k:2 objs in
+  let rng = Prng.create 214 in
+  for _ = 1 to 30 do
+    let q = Helpers.random_rect rng ~d:5 ~range:1200.0 in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "dimred 5d = oracle" (Helpers.oracle_rect objs q ws) (Kwsc.Dimred.query t q ws)
+  done
+
+let test_sp_4d () =
+  let objs = Helpers.dataset ~seed:215 ~n:250 ~d:4 () in
+  let t = Kwsc.Sp_kw.build ~k:2 objs in
+  let rng = Prng.create 216 in
+  for _ = 1 to 25 do
+    let hs =
+      List.init 2 (fun _ ->
+          Halfspace.make
+            (Array.init 4 (fun _ -> Prng.float rng 2.0 -. 1.0))
+            (Prng.float rng 1500.0))
+    in
+    let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+    Helpers.check_ids "sp 4d = oracle"
+      (Helpers.oracle objs (fun p -> List.for_all (fun h -> Halfspace.satisfies h p) hs) ws)
+      (Kwsc.Sp_kw.query_halfspaces t hs ws)
+  done
+
+let test_ksi_k5 () =
+  let rng = Prng.create 217 in
+  let docs =
+    Array.init 400 (fun _ ->
+        Kwsc_invindex.Doc.of_list (List.init (4 + Prng.int rng 6) (fun _ -> 1 + Prng.int rng 10)))
+  in
+  let t = Kwsc.Ksi.of_docs ~k:5 docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  for _ = 1 to 60 do
+    let ws = Helpers.random_keywords rng ~vocab:10 ~k:5 in
+    Helpers.check_ids "ksi k=5" (Kwsc_invindex.Inverted.query_naive inv ws) (Kwsc.Ksi.query t ws)
+  done
+
+let test_dynamic_3000_ops () =
+  let t = Kwsc.Dynamic.create ~k:2 ~d:2 () in
+  let rng = Prng.create 218 in
+  let model : (int, Point.t * Kwsc_invindex.Doc.t) Hashtbl.t = Hashtbl.create 64 in
+  let live = ref [] in
+  for round = 1 to 3000 do
+    if Prng.int rng 3 = 0 && !live <> [] then begin
+      let victim = List.nth !live (Prng.int rng (List.length !live)) in
+      Kwsc.Dynamic.delete t victim;
+      Hashtbl.remove model victim;
+      live := List.filter (fun id -> id <> victim) !live
+    end
+    else begin
+      let p = [| Prng.float rng 100.0; Prng.float rng 100.0 |] in
+      let doc =
+        Kwsc_invindex.Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 15))
+      in
+      let id = Kwsc.Dynamic.insert t (p, doc) in
+      Hashtbl.add model id (p, doc);
+      live := id :: !live
+    end;
+    if round mod 500 = 0 then begin
+      let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+      let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+      let expected =
+        Hashtbl.fold
+          (fun id (p, doc) acc ->
+            if Rect.contains_point q p && Kwsc_invindex.Doc.mem_all doc ws then id :: acc else acc)
+          model []
+      in
+      let expected = Array.of_list expected in
+      Array.sort compare expected;
+      Helpers.check_ids "dynamic 3000 ops" expected (Kwsc.Dynamic.query t q ws)
+    end
+  done;
+  Alcotest.(check int) "size" (Hashtbl.length model) (Kwsc.Dynamic.size t)
+
+let test_rr_intervals_10k () =
+  let rng = Prng.create 219 in
+  let objs =
+    Array.init 10000 (fun _ ->
+        let s = Prng.float rng 1000.0 in
+        ( Rect.make [| s |] [| s +. Prng.float rng 40.0 |],
+          Kwsc_invindex.Doc.of_list (List.init (1 + Prng.int rng 3) (fun _ -> 1 + Prng.int rng 25)) ))
+  in
+  let t = Kwsc.Rr_kw.build ~k:2 objs in
+  for _ = 1 to 15 do
+    let a = Prng.float rng 900.0 in
+    let q = Rect.make [| a |] [| a +. 50.0 |] in
+    let ws = Helpers.random_keywords rng ~vocab:25 ~k:2 in
+    let expected = ref [] in
+    Array.iteri
+      (fun id (r, doc) ->
+        if Rect.intersects r q && Kwsc_invindex.Doc.mem_all doc ws then expected := id :: !expected)
+      objs;
+    let e = Array.of_list !expected in
+    Array.sort compare e;
+    Helpers.check_ids "rr 10k intervals" e (Kwsc.Rr_kw.query t q ws)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "orp 20k objects" `Slow test_orp_20k;
+    Alcotest.test_case "dimred 5 dimensions" `Slow test_dimred_5d;
+    Alcotest.test_case "sp-kw 4 dimensions" `Slow test_sp_4d;
+    Alcotest.test_case "ksi k=5" `Slow test_ksi_k5;
+    Alcotest.test_case "dynamic 3000 operations" `Slow test_dynamic_3000_ops;
+    Alcotest.test_case "rr 10k intervals" `Slow test_rr_intervals_10k;
+  ]

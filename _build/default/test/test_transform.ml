@@ -1,0 +1,192 @@
+(* Direct tests of the Transform framework through a minimal hand-written
+   space (1-D integer cells), independent of the real geometry
+   instantiations. *)
+
+module T = Kwsc.Transform
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+
+(* Cells are closed integer intervals over object ids; queries are the same.
+   Splitting halves the id range — a faithful toy space-partitioning
+   index. *)
+let interval_space n : ((int * int), (int * int)) T.space =
+  let classify (qa, qb) (ca, cb) =
+    if cb < qa || ca > qb then T.Disjoint
+    else if qa <= ca && cb <= qb then T.Covered
+    else T.Crossing
+  in
+  let split ~depth:_ (ca, cb) ids =
+    let mid = (ca + cb) / 2 in
+    let left = Array.of_list (List.filter (fun id -> id < mid) (Array.to_list ids)) in
+    let right = Array.of_list (List.filter (fun id -> id > mid) (Array.to_list ids)) in
+    let pivots = Array.of_list (List.filter (fun id -> id = mid) (Array.to_list ids)) in
+    ([| ((ca, mid), left); ((mid, cb), right) |], pivots)
+  in
+  {
+    T.root_cell = (0, n - 1);
+    split;
+    classify;
+    contains = (fun (qa, qb) id -> qa <= id && id <= qb);
+  }
+
+let random_docs ~seed ~n ~vocab =
+  let rng = Prng.create seed in
+  Array.init n (fun _ ->
+      Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng vocab)))
+
+let oracle docs (qa, qb) ws =
+  let hits = ref [] in
+  Array.iteri
+    (fun id doc ->
+      if id >= qa && id <= qb && Array.for_all (fun w -> Doc.mem doc w) ws then hits := id :: !hits)
+    docs;
+  let a = Array.of_list !hits in
+  Array.sort compare a;
+  a
+
+let test_interval_space_oracle () =
+  let n = 300 in
+  let docs = random_docs ~seed:181 ~n ~vocab:20 in
+  let t = T.build ~k:2 ~space:(interval_space n) docs in
+  let rng = Prng.create 182 in
+  for _ = 1 to 150 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let q = (min a b, max a b) in
+    let ws = Helpers.random_keywords rng ~vocab:20 ~k:2 in
+    Helpers.check_ids "interval transform = oracle" (oracle docs q ws) (T.query t q ws)
+  done
+
+let test_stats_consistency () =
+  let n = 400 in
+  let docs = random_docs ~seed:183 ~n ~vocab:15 in
+  let t = T.build ~k:2 ~space:(interval_space n) docs in
+  let rng = Prng.create 184 in
+  for _ = 1 to 60 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let q = (min a b, max a b) in
+    let ws = Helpers.random_keywords rng ~vocab:15 ~k:2 in
+    let ids, st = T.query_stats t q ws in
+    Alcotest.(check int) "covered + crossing = visited" st.Kwsc.Stats.nodes_visited
+      (st.Kwsc.Stats.covered_nodes + st.Kwsc.Stats.crossing_nodes);
+    Alcotest.(check int) "reported = |ids|" (Array.length ids) st.Kwsc.Stats.reported;
+    Alcotest.(check bool) "work >= reported" true (Kwsc.Stats.work st >= Array.length ids)
+  done
+
+let test_input_size () =
+  let docs = [| Doc.of_list [ 1; 2 ]; Doc.of_list [ 3 ]; Doc.of_list [ 1; 2; 3; 4 ] |] in
+  let t = T.build ~k:2 ~space:(interval_space 3) docs in
+  Alcotest.(check int) "N = sum of doc sizes" 7 (T.input_size t);
+  Alcotest.(check int) "k" 2 (T.k t)
+
+(* A splitter that never separates anything: the framework must fall back to
+   a leaf instead of looping. *)
+let test_non_progress_splitter () =
+  let stuck_space : (unit, unit) T.space =
+    {
+      T.root_cell = ();
+      split = (fun ~depth:_ () ids -> ([| ((), ids) |], [||]));
+      classify = (fun () () -> T.Covered);
+      contains = (fun () _ -> true);
+    }
+  in
+  let docs = random_docs ~seed:185 ~n:50 ~vocab:8 in
+  let t = T.build ~k:2 ~space:stuck_space docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  let rng = Prng.create 186 in
+  for _ = 1 to 40 do
+    let ws = Helpers.random_keywords rng ~vocab:8 ~k:2 in
+    Helpers.check_ids "degenerate splitter still correct"
+      (Kwsc_invindex.Inverted.query_naive inv ws)
+      (T.query t () ws)
+  done
+
+(* A splitter that drops every object into pivots immediately. *)
+let test_all_pivots_splitter () =
+  let pivot_space : (unit, unit) T.space =
+    {
+      T.root_cell = ();
+      split = (fun ~depth:_ () ids -> ([||], ids));
+      classify = (fun () () -> T.Covered);
+      contains = (fun () _ -> true);
+    }
+  in
+  let docs = random_docs ~seed:187 ~n:60 ~vocab:8 in
+  let t = T.build ~k:2 ~space:pivot_space docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  let ws = [| 1; 2 |] in
+  Helpers.check_ids "all-pivot splitter correct"
+    (Kwsc_invindex.Inverted.query_naive inv ws)
+    (T.query t () ws)
+
+(* One object whose document dwarfs everything else: the weighted median
+   must absorb it as a pivot without breaking the halving invariant
+   elsewhere. *)
+let test_heavy_object () =
+  let heavy = Doc.of_list (List.init 200 (fun i -> 1000 + i)) in
+  let docs = Array.append [| heavy |] (random_docs ~seed:188 ~n:100 ~vocab:10) in
+  let t = T.build ~k:2 ~space:(interval_space (Array.length docs)) docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  let rng = Prng.create 189 in
+  for _ = 1 to 40 do
+    let ws = Helpers.random_keywords rng ~vocab:10 ~k:2 in
+    Helpers.check_ids "heavy object correct"
+      (Kwsc_invindex.Inverted.query_naive inv ws)
+      (T.query t (0, Array.length docs - 1) ws)
+  done;
+  (* keywords of the heavy doc *)
+  Helpers.check_ids "heavy doc keywords" [| 0 |] (T.query t (0, Array.length docs - 1) [| 1000; 1199 |])
+
+let test_negative_keywords () =
+  let docs = [| Doc.of_list [ -5; 3 ]; Doc.of_list [ -5; -2 ]; Doc.of_list [ 3; -2 ] |] in
+  let t = T.build ~k:2 ~space:(interval_space 3) docs in
+  Helpers.check_ids "negative ids work" [| 0 |] (T.query t (0, 2) [| -5; 3 |]);
+  Helpers.check_ids "negative pair" [| 1 |] (T.query t (0, 2) [| -5; -2 |])
+
+let test_limit_edge_cases () =
+  let docs = Array.make 30 (Doc.of_list [ 7; 8 ]) in
+  let t = T.build ~k:2 ~space:(interval_space 30) docs in
+  Alcotest.(check int) "limit 1" 1 (Array.length (T.query ~limit:1 t (0, 29) [| 7; 8 |]));
+  Alcotest.(check int) "limit = OUT" 30 (Array.length (T.query ~limit:30 t (0, 29) [| 7; 8 |]));
+  Alcotest.(check int) "limit > OUT" 30 (Array.length (T.query ~limit:100 t (0, 29) [| 7; 8 |]));
+  Alcotest.check_raises "limit 0 rejected" (Invalid_argument "Transform.query: limit must be >= 1")
+    (fun () -> ignore (T.query ~limit:0 t (0, 29) [| 7; 8 |]))
+
+let test_k4 () =
+  let rng = Prng.create 190 in
+  let docs =
+    Array.init 200 (fun _ ->
+        Doc.of_list (List.init (3 + Prng.int rng 5) (fun _ -> 1 + Prng.int rng 10)))
+  in
+  let t = T.build ~k:4 ~space:(interval_space 200) docs in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  for _ = 1 to 60 do
+    let ws = Helpers.random_keywords rng ~vocab:10 ~k:4 in
+    Helpers.check_ids "k=4 correct" (Kwsc_invindex.Inverted.query_naive inv ws) (T.query t (0, 199) ws)
+  done
+
+let qcheck_interval =
+  QCheck.Test.make ~name:"interval transform equals oracle" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let n = 100 in
+      let docs = random_docs ~seed ~n ~vocab:12 in
+      let t = T.build ~k:2 ~space:(interval_space n) docs in
+      let rng = Prng.create (seed + 4242) in
+      let a = Prng.int rng n and b = Prng.int rng n in
+      let q = (min a b, max a b) in
+      let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+      oracle docs q ws = T.query t q ws)
+
+let suite =
+  [
+    Alcotest.test_case "interval space vs oracle" `Quick test_interval_space_oracle;
+    Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+    Alcotest.test_case "input size" `Quick test_input_size;
+    Alcotest.test_case "non-progress splitter" `Quick test_non_progress_splitter;
+    Alcotest.test_case "all-pivots splitter" `Quick test_all_pivots_splitter;
+    Alcotest.test_case "heavy object" `Quick test_heavy_object;
+    Alcotest.test_case "negative keywords" `Quick test_negative_keywords;
+    Alcotest.test_case "limit edge cases" `Quick test_limit_edge_cases;
+    Alcotest.test_case "k=4" `Quick test_k4;
+    QCheck_alcotest.to_alcotest qcheck_interval;
+  ]

@@ -1,0 +1,201 @@
+open Kwsc_util
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "length" 100 (Bitset.length b);
+  Alcotest.(check bool) "initially clear" false (Bitset.get b 7);
+  Bitset.set b 7;
+  Bitset.set b 0;
+  Bitset.set b 99;
+  Alcotest.(check bool) "set 7" true (Bitset.get b 7);
+  Alcotest.(check bool) "set 0" true (Bitset.get b 0);
+  Alcotest.(check bool) "set 99" true (Bitset.get b 99);
+  Alcotest.(check bool) "unset 8" false (Bitset.get b 8);
+  Alcotest.(check int) "popcount" 3 (Bitset.popcount b);
+  Bitset.clear b 7;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 7);
+  Alcotest.(check int) "popcount after clear" 2 (Bitset.popcount b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "negative index" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.get b (-1)));
+  Alcotest.check_raises "index = length" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.set b 8);
+  Alcotest.check_raises "negative size" (Invalid_argument "Bitset.create: negative size")
+    (fun () -> ignore (Bitset.create (-1)))
+
+let test_bitset_zero () =
+  let b = Bitset.create 0 in
+  Alcotest.(check int) "empty popcount" 0 (Bitset.popcount b)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_float_range () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "float in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 77 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let total = ref 0.0 in
+  for r = 1 to 100 do
+    total := !total +. Zipf.pmf z r
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:50 ~theta:1.2 in
+  let rng = Prng.create 3 in
+  let counts = Array.make 51 0 in
+  for _ = 1 to 20000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "rank in range" true (r >= 1 && r <= 50);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true (counts.(1) > counts.(10));
+  Alcotest.(check bool) "rank 10 beats rank 50" true (counts.(10) > counts.(50))
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  for r = 1 to 10 do
+    Alcotest.(check (float 1e-9)) "uniform pmf" 0.1 (Zipf.pmf z r)
+  done
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_stats_median_percentile () =
+  Alcotest.(check (float 1e-9)) "odd median" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "even median" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "p100" 9.0 (Stats.percentile [| 9.0; 1.0 |] 100.0)
+
+let test_stats_fit_exponent () =
+  (* y = 3 * x^1.7 exactly *)
+  let pts = Array.init 10 (fun i ->
+      let x = float_of_int (i + 2) in
+      (x, 3.0 *. (x ** 1.7)))
+  in
+  Alcotest.(check (float 1e-6)) "recovers exponent" 1.7 (Stats.fit_exponent pts);
+  Alcotest.(check (float 1e-6)) "r squared" 1.0
+    (Stats.r_squared (Array.map (fun (x, y) -> (log x, log y)) pts))
+
+let test_sorted_bounds () =
+  let a = [| 1.0; 3.0; 3.0; 7.0 |] in
+  Alcotest.(check int) "lower 3" 1 (Kwsc_util.Sorted.lower_bound a 3.0);
+  Alcotest.(check int) "upper 3" 3 (Kwsc_util.Sorted.upper_bound a 3.0);
+  Alcotest.(check int) "lower 0" 0 (Kwsc_util.Sorted.lower_bound a 0.0);
+  Alcotest.(check int) "upper 9" 4 (Kwsc_util.Sorted.upper_bound a 9.0);
+  Alcotest.(check int) "count in range" 3 (Kwsc_util.Sorted.count_in_range a 3.0 7.0)
+
+let test_sorted_mem_intersect () =
+  let a = [| 1; 4; 6; 9 |] and b = [| 2; 4; 9; 12 |] in
+  Alcotest.(check bool) "mem hit" true (Kwsc_util.Sorted.mem_int a 6);
+  Alcotest.(check bool) "mem miss" false (Kwsc_util.Sorted.mem_int a 5);
+  Alcotest.(check (array int)) "intersect" [| 4; 9 |] (Kwsc_util.Sorted.intersect a b);
+  Alcotest.(check (array int)) "dedup" [| 1; 2 |] (Kwsc_util.Sorted.dedup_int [| 1; 1; 2; 2; 2 |]);
+  Alcotest.(check (array int)) "sort_dedup" [| 1; 3; 5 |] (Kwsc_util.Sorted.sort_dedup [ 5; 1; 3; 1 ])
+
+let test_kth_abs_diff_brute () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 50 do
+    let cols =
+      Array.init (1 + Prng.int rng 3) (fun _ ->
+          let a = Array.init (1 + Prng.int rng 20) (fun _ -> Prng.float rng 100.0) in
+          Array.sort compare a;
+          (a, Prng.float rng 100.0))
+    in
+    let all =
+      Array.concat
+        (Array.to_list (Array.map (fun (a, q) -> Array.map (fun x -> abs_float (x -. q)) a) cols))
+    in
+    Array.sort compare all;
+    let k = 1 + Prng.int rng (Array.length all) in
+    let got = Kwsc_util.Sorted.kth_abs_diff cols k in
+    Alcotest.(check (float 1e-9)) "kth candidate" all.(k - 1) got
+  done
+
+let test_kth_abs_diff_duplicates () =
+  let cols = [| ([| 5.0; 5.0; 5.0 |], 5.0) |] in
+  Alcotest.(check (float 1e-12)) "all zero" 0.0 (Kwsc_util.Sorted.kth_abs_diff cols 3)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (k, v) -> Heap.push h k v) [ (3.0, "c"); (1.0, "a"); (5.0, "e"); (2.0, "b") ];
+  Alcotest.(check int) "size" 4 (Heap.size h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "peek max" (Some (5.0, "e")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "pop max" (Some (5.0, "e")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "next" (Some (3.0, "c")) (Heap.pop h);
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in descending key order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let rec drain acc = match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> acc in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+let qcheck_kth_abs_diff =
+  QCheck.Test.make ~name:"kth_abs_diff agrees with sorting" ~count:100
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 50.0)) (float_bound_exclusive 50.0))
+    (fun (xs, q) ->
+      QCheck.assume (xs <> []);
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let all = Array.map (fun x -> abs_float (x -. q)) a in
+      Array.sort compare all;
+      let k = 1 + (Array.length all / 2) in
+      abs_float (Kwsc_util.Sorted.kth_abs_diff [| (a, q) |] k -. all.(k - 1)) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset zero-size" `Quick test_bitset_zero;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "zipf pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf theta=0 uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats median/percentile" `Quick test_stats_median_percentile;
+    Alcotest.test_case "stats exponent fit" `Quick test_stats_fit_exponent;
+    Alcotest.test_case "sorted bounds" `Quick test_sorted_bounds;
+    Alcotest.test_case "sorted mem/intersect/dedup" `Quick test_sorted_mem_intersect;
+    Alcotest.test_case "kth_abs_diff vs brute force" `Quick test_kth_abs_diff_brute;
+    Alcotest.test_case "kth_abs_diff duplicates" `Quick test_kth_abs_diff_duplicates;
+    Alcotest.test_case "heap order" `Quick test_heap_order;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+    QCheck_alcotest.to_alcotest qcheck_kth_abs_diff;
+  ]

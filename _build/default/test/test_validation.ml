@@ -1,0 +1,93 @@
+(* Error-path coverage: every public entry point must reject malformed
+   input with a descriptive Invalid_argument instead of misbehaving. *)
+
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+
+let objs2 = Helpers.dataset ~seed:201 ~n:40 ~d:2 ()
+let objs3 = Helpers.dataset ~seed:202 ~n:40 ~d:3 ()
+
+let raises_invalid name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" name)
+
+let orp = Kwsc.Orp_kw.build ~k:2 objs2
+let lc = Kwsc.Lc_kw.build ~k:2 objs2
+let srp = Kwsc.Srp_kw.build ~k:2 objs2
+let nn = Kwsc.Linf_nn_kw.build ~k:2 objs2
+let dimred = Kwsc.Dimred.build ~k:2 objs3
+
+let suite =
+  [
+    raises_invalid "orp: query dim mismatch" (fun () ->
+        Kwsc.Orp_kw.query orp (Rect.full 3) [| 1; 2 |]);
+    raises_invalid "orp: k=1 build" (fun () -> Kwsc.Orp_kw.build ~k:1 objs2);
+    raises_invalid "orp: empty build" (fun () -> Kwsc.Orp_kw.build ~k:2 [||]);
+    raises_invalid "orp: mixed dims" (fun () ->
+        Kwsc.Orp_kw.build ~k:2 [| ([| 1.0 |], Doc.of_list [ 1 ]); ([| 1.0; 2.0 |], Doc.of_list [ 2 ]) |]);
+    raises_invalid "orp: bad leaf weight" (fun () -> Kwsc.Orp_kw.build ~leaf_weight:0 ~k:2 objs2);
+    raises_invalid "orp: too few keywords" (fun () ->
+        Kwsc.Orp_kw.query orp (Rect.full 2) [| 1 |]);
+    raises_invalid "orp: too many keywords" (fun () ->
+        Kwsc.Orp_kw.query orp (Rect.full 2) [| 1; 2; 3 |]);
+    raises_invalid "orp: count_at_least threshold 0" (fun () ->
+        Kwsc.Orp_kw.count_at_least orp (Rect.full 2) [| 1; 2 |] ~threshold:0);
+    raises_invalid "lc: constraint dim mismatch" (fun () ->
+        Kwsc.Lc_kw.query lc [ Halfspace.make [| 1.0 |] 0.0 ] [| 1; 2 |]);
+    raises_invalid "lc: rect dim mismatch" (fun () ->
+        Kwsc.Lc_kw.query_rect lc (Rect.full 3) [| 1; 2 |]);
+    raises_invalid "lc: simplices on non-2d" (fun () ->
+        Kwsc.Lc_kw.query_via_simplices (Kwsc.Lc_kw.build ~k:2 objs3) [] [| 1; 2 |]);
+    raises_invalid "srp: center dim mismatch" (fun () ->
+        Kwsc.Srp_kw.query srp (Sphere.make [| 0.0 |] 1.0) [| 1; 2 |]);
+    raises_invalid "srp: negative squared radius" (fun () ->
+        Kwsc.Srp_kw.query_ball_sq srp [| 0.0; 0.0 |] (-1.0) [| 1; 2 |]);
+    raises_invalid "sphere: negative radius" (fun () -> Sphere.make [| 0.0 |] (-1.0));
+    raises_invalid "nn: t=0" (fun () -> Kwsc.Linf_nn_kw.query nn [| 0.0; 0.0 |] ~t':0 [| 1; 2 |]);
+    raises_invalid "nn: point dim mismatch" (fun () ->
+        Kwsc.Linf_nn_kw.query nn [| 0.0 |] ~t':1 [| 1; 2 |]);
+    raises_invalid "dimred: query dim mismatch" (fun () ->
+        Kwsc.Dimred.query dimred (Rect.full 2) [| 1; 2 |]);
+    raises_invalid "dynamic: d=0" (fun () -> Kwsc.Dynamic.create ~k:2 ~d:0 ());
+    raises_invalid "dynamic: k=1" (fun () -> Kwsc.Dynamic.create ~k:1 ~d:2 ());
+    raises_invalid "dynamic: insert dim mismatch" (fun () ->
+        let t = Kwsc.Dynamic.create ~k:2 ~d:2 () in
+        Kwsc.Dynamic.insert t ([| 1.0 |], Doc.of_list [ 1 ]));
+    raises_invalid "dynamic: query dim mismatch" (fun () ->
+        let t = Kwsc.Dynamic.create ~k:2 ~d:2 () in
+        Kwsc.Dynamic.query t (Rect.full 1) [| 1; 2 |]);
+    raises_invalid "rr: unbounded data rect" (fun () ->
+        Kwsc.Rr_kw.build ~k:2 [| (Rect.full 1, Doc.of_list [ 1 ]) |]);
+    raises_invalid "ksi instance: one set" (fun () ->
+        Kwsc_invindex.Ksi_instance.create [| [| 1 |] |]);
+    raises_invalid "ksi instance: bad id" (fun () ->
+        Kwsc_invindex.Ksi_instance.set (Kwsc_invindex.Ksi_instance.create [| [| 1 |]; [| 2 |] |]) 3);
+    raises_invalid "inverted: no keywords" (fun () ->
+        Kwsc_invindex.Inverted.query (Kwsc_invindex.Inverted.build [| Doc.of_list [ 1 ] |]) [||]);
+    raises_invalid "zipf: n=0" (fun () -> Kwsc_util.Zipf.create ~n:0 ~theta:1.0);
+    raises_invalid "zipf: negative theta" (fun () -> Kwsc_util.Zipf.create ~n:5 ~theta:(-0.1));
+    raises_invalid "gen docs: bad lengths" (fun () ->
+        Kwsc_workload.Gen.docs ~rng:(Kwsc_util.Prng.create 1) ~n:5 ~vocab:5 ~theta:1.0 ~len_min:3
+          ~len_max:2);
+    raises_invalid "gen clustered: zero clusters" (fun () ->
+        Kwsc_workload.Gen.points_clustered ~rng:(Kwsc_util.Prng.create 1) ~n:5 ~d:2 ~clusters:0
+          ~spread:1.0 ~range:10.0);
+    raises_invalid "stats: empty mean" (fun () -> Kwsc_util.Stats.mean [||]);
+    raises_invalid "stats: one-point fit" (fun () ->
+        Kwsc_util.Stats.linear_fit [| (1.0, 1.0) |]);
+    raises_invalid "stats: non-positive exponent point" (fun () ->
+        Kwsc_util.Stats.fit_exponent [| (0.0, 1.0); (2.0, 2.0) |]);
+    raises_invalid "sorted: kth out of range" (fun () ->
+        Kwsc_util.Sorted.kth_abs_diff [| ([| 1.0 |], 0.0) |] 2);
+    raises_invalid "timer: zero repeats" (fun () ->
+        Kwsc_util.Timer.time_median ~repeats:0 (fun () -> ()));
+    raises_invalid "rank space: empty" (fun () -> Rank_space.create [||]);
+    raises_invalid "polytope: dim 0" (fun () -> Polytope.make ~dim:0 []);
+    raises_invalid "seidel: objective mismatch" (fun () ->
+        Seidel_lp.minimize ~rng:(Kwsc_util.Prng.create 1) ~dim:2 [] [| 1.0 |]);
+    raises_invalid "kd: leaf size 0" (fun () ->
+        Kwsc_kdtree.Kd.build ~leaf_size:0 [| ([| 1.0 |], 0) |]);
+    raises_invalid "ptree: empty" (fun () -> Kwsc_ptree.Ptree.build ([||] : (Point.t * int) array));
+  ]

@@ -1,0 +1,126 @@
+module Gen = Kwsc_workload.Gen
+module Hotels = Kwsc_workload.Hotels
+module Prng = Kwsc_util.Prng
+
+let test_docs_shape () =
+  let rng = Prng.create 141 in
+  let docs = Gen.docs ~rng ~n:200 ~vocab:30 ~theta:0.9 ~len_min:2 ~len_max:6 in
+  Alcotest.(check int) "count" 200 (Array.length docs);
+  Array.iter
+    (fun d ->
+      let size = Kwsc_invindex.Doc.size d in
+      Alcotest.(check bool) "non-empty" true (size >= 1);
+      Alcotest.(check bool) "within max" true (size <= 6);
+      Kwsc_invindex.Doc.iter
+        (fun w -> Alcotest.(check bool) "keyword in vocab" true (w >= 1 && w <= 30))
+        d)
+    docs
+
+let test_docs_zipf_skew () =
+  let rng = Prng.create 142 in
+  let docs = Gen.docs ~rng ~n:2000 ~vocab:50 ~theta:1.0 ~len_min:1 ~len_max:4 in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  Alcotest.(check bool) "rank-1 keyword much more frequent" true
+    (Kwsc_invindex.Inverted.frequency inv 1 > 3 * Kwsc_invindex.Inverted.frequency inv 40)
+
+let test_points_ranges () =
+  let rng = Prng.create 143 in
+  let pts = Gen.points_uniform ~rng ~n:100 ~d:3 ~range:50.0 in
+  Array.iter
+    (Array.iter (fun x -> Alcotest.(check bool) "uniform in range" true (x >= 0.0 && x < 50.0)))
+    pts;
+  let ipts = Gen.points_int ~rng ~n:100 ~d:2 ~max_coord:9 in
+  Array.iter
+    (Array.iter (fun x ->
+         Alcotest.(check bool) "integer coords" true (Float.is_integer x && x >= 0.0 && x <= 9.0)))
+    ipts
+
+let test_points_clustered () =
+  let rng = Prng.create 144 in
+  let pts = Gen.points_clustered ~rng ~n:300 ~d:2 ~clusters:3 ~spread:5.0 ~range:1000.0 in
+  Alcotest.(check int) "count" 300 (Array.length pts)
+
+let test_keywords_by_rank () =
+  let rng = Prng.create 145 in
+  let docs = Gen.docs ~rng ~n:500 ~vocab:20 ~theta:1.0 ~len_min:1 ~len_max:5 in
+  let inv = Kwsc_invindex.Inverted.build docs in
+  (match Gen.keywords_by_rank inv ~rank:1 ~k:2 with
+  | None -> Alcotest.fail "vocabulary has >= 2 keywords"
+  | Some ws ->
+      Alcotest.(check int) "two keywords" 2 (Array.length ws);
+      Alcotest.(check bool) "first is most frequent" true
+        (Kwsc_invindex.Inverted.frequency inv ws.(0) >= Kwsc_invindex.Inverted.frequency inv ws.(1)));
+  Alcotest.(check bool) "rank beyond vocab" true (Gen.keywords_by_rank inv ~rank:1000 ~k:2 = None)
+
+let test_ksi_disjoint () =
+  let rng = Prng.create 146 in
+  let sets = Gen.ksi_disjoint_heavy ~rng ~m:5 ~set_size:20 in
+  Alcotest.(check int) "m sets" 5 (Array.length sets);
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      Alcotest.(check (array int)) "pairwise disjoint" [||]
+        (Kwsc_util.Sorted.intersect sets.(i) sets.(j))
+    done
+  done
+
+let test_poison_structure () =
+  let rng = Prng.create 147 in
+  let objs, q = Gen.poison ~rng ~n:200 ~d:2 ~range:1000.0 ~kws:[| 1; 2 |] in
+  Alcotest.(check int) "n objects" 200 (Array.length objs);
+  (* nothing satisfies both sides *)
+  Alcotest.(check (array int)) "intersection empty" [||] (Helpers.oracle_rect objs q [| 1; 2 |]);
+  let kw_matches = ref 0 and rect_matches = ref 0 in
+  Array.iter
+    (fun (p, doc) ->
+      if Kwsc_invindex.Doc.mem_all doc [| 1; 2 |] then incr kw_matches;
+      if Kwsc_geom.Rect.contains_point q p then incr rect_matches)
+    objs;
+  Alcotest.(check int) "half match keywords" 100 !kw_matches;
+  Alcotest.(check int) "half match rectangle" 100 !rect_matches
+
+let test_topical () =
+  let rng = Prng.create 149 in
+  let objs =
+    Gen.topical ~rng ~n:800 ~d:2 ~topics:4 ~vocab_per_topic:10 ~correlation:1.0 ~range:1000.0
+  in
+  Alcotest.(check int) "count" 800 (Array.length objs);
+  (* with full correlation, a document's keywords come from one topic block *)
+  Array.iter
+    (fun (_, doc) ->
+      let kws = Kwsc_invindex.Doc.to_array doc in
+      let topic_of w = (w - 1) / 10 in
+      let t0 = topic_of kws.(0) in
+      Array.iter (fun w -> Alcotest.(check int) "one topic per doc" t0 (topic_of w)) kws)
+    objs;
+  Alcotest.check_raises "bad correlation"
+    (Invalid_argument "Gen.topical: correlation must be in [0,1]") (fun () ->
+      ignore
+        (Gen.topical ~rng ~n:5 ~d:2 ~topics:2 ~vocab_per_topic:3 ~correlation:1.5 ~range:10.0))
+
+let test_hotels () =
+  let rng = Prng.create 148 in
+  let hs = Hotels.generate ~rng ~n:50 in
+  Alcotest.(check int) "count" 50 (Array.length hs);
+  Array.iter
+    (fun h ->
+      Alcotest.(check bool) "price range" true (h.Hotels.price >= 50.0 && h.Hotels.price <= 550.0);
+      Alcotest.(check bool) "rating range" true (h.Hotels.rating >= 0.0 && h.Hotels.rating <= 10.0))
+    hs;
+  Alcotest.(check string) "tag round trip" "pool" (Hotels.tag_name (Hotels.tag_id "pool"));
+  Alcotest.check_raises "unknown tag" Not_found (fun () -> ignore (Hotels.tag_id "nonexistent"));
+  let objs = Hotels.to_objects hs in
+  Alcotest.(check int) "objects" 50 (Array.length objs);
+  Alcotest.(check (float 1e-9)) "point is (price, rating)" hs.(0).Hotels.price (fst objs.(0)).(0)
+
+let suite =
+  [
+    Alcotest.test_case "docs shape" `Quick test_docs_shape;
+    Alcotest.test_case "docs zipf skew" `Quick test_docs_zipf_skew;
+    Alcotest.test_case "point ranges" `Quick test_points_ranges;
+    Alcotest.test_case "clustered points" `Quick test_points_clustered;
+    Alcotest.test_case "keywords by rank" `Quick test_keywords_by_rank;
+    Alcotest.test_case "ksi disjoint heavy" `Quick test_ksi_disjoint;
+    Alcotest.test_case "poison workload" `Quick test_poison_structure;
+    Alcotest.test_case "topical generator" `Quick test_topical;
+    Alcotest.test_case "hotels" `Quick test_hotels;
+  ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick examples clean doc
+.PHONY: all build test bench bench-quick examples clean doc lint audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -9,6 +9,18 @@ build:
 
 test:
 	dune runtest --force
+
+# Repo-specific static analysis (tools/lint; rules R1-R7).
+lint:
+	dune build @lint
+
+# Re-run the suite with deep structural audits on every index build/update.
+audit:
+	KWSC_AUDIT=1 dune runtest --force
+
+# Everything CI checks: build + tests + lint.
+ci:
+	sh scripts/ci.sh
 
 bench:
 	dune exec bench/main.exe

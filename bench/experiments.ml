@@ -560,7 +560,7 @@ let a1 () =
       let sp = Kwsc.Ksi.space_stats t in
       Printf.printf "  %-10.2f %12d %14d %12d%s\n" tau (Kwsc.Stats.work st)
         sp.Kwsc.Stats.bitset_words sp.Kwsc.Stats.total_words
-        (if tau = 0.5 then "   <- paper's 1 - 1/k" else ""))
+        (if Float.equal tau 0.5 then "   <- paper's 1 - 1/k" else ""))
     [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
 
 let a2 () =

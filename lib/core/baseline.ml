@@ -28,7 +28,7 @@ let doc_all t ws id = Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws
 
 let finish ids =
   let a = Array.of_list ids in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   a
 
 let structured_filter t candidates ws =
@@ -76,7 +76,11 @@ let sphere_keywords t s ws =
 let by_distance metric t q ids =
   let dist = match metric with `Linf -> Point.linf_dist | `L2 -> Point.l2_dist in
   let a = Array.map (fun id -> (id, dist q t.pts.(id))) ids in
-  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) a;
+  Array.sort
+    (fun (ia, da) (ib, db) ->
+      let c = Float.compare da db in
+      if c <> 0 then c else Int.compare ia ib)
+    a;
   a
 
 let nn_structured t ~metric q ~t' ws =

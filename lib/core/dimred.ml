@@ -57,8 +57,8 @@ let build ?leaf_weight ~k objs =
     let sorted = Array.copy subset in
     Array.sort
       (fun a b ->
-        let c = compare (x a) (x b) in
-        if c <> 0 then c else compare a b)
+        let c = Float.compare (x a) (x b) in
+        if c <> 0 then c else Int.compare a b)
       sorted;
     let w_total = Array.fold_left (fun acc id -> acc + Doc.size docs.(id)) 0 sorted in
     let f = fanout_at ~k level in
@@ -199,6 +199,124 @@ let cut_stats t f =
     Array.iter go_cut node.children
   in
   go t.root
+
+module I = Kwsc_util.Invariant
+
+let check_invariants t =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Dimred" ~locus fmt in
+  let weight_of ids = List.fold_left (fun acc id -> acc + Doc.size t.docs.(id)) 0 ids in
+  let m = Array.length t.pts in
+  (* Walk a (sub)tree; [proj_from] leading dimensions are stripped, [dims]
+     remain. Returns the active set as a list of global ids. *)
+  let rec check_tree tree locus proj_from dims =
+    match tree with
+    | Base (orp, ids) ->
+        if dims > 2 then
+          push (vf locus "Base (Theorem-1) node at dims=%d; expected a Cut node for dims > 2" dims);
+        let seen = Hashtbl.create (max 16 (Array.length ids)) in
+        Array.iter
+          (fun id ->
+            if id < 0 || id >= m then push (vf locus "object id %d outside [0,%d)" id m)
+            else if Hashtbl.mem seen id then push (vf locus "duplicate object id %d" id)
+            else Hashtbl.add seen id ())
+          ids;
+        let ids = Array.to_list ids in
+        let w = weight_of ids in
+        if Orp_kw.input_size orp <> w then
+          push
+            (vf locus "secondary index input size %d <> active-set weight %d"
+               (Orp_kw.input_size orp) w);
+        ids
+    | Cut node ->
+        if dims <= 2 then
+          push (vf locus "Cut node at dims=%d; expected a Base node for dims <= 2" dims);
+        check_cut node locus proj_from dims 0
+  and check_cut node locus proj_from dims expected_level =
+    let x id = t.pts.(id).(proj_from) in
+    if node.level <> expected_level then
+      push (vf locus "level %d, expected %d" node.level expected_level);
+    let expected_fanout = fanout_at ~k:t.k_ node.level in
+    if node.fanout <> expected_fanout then
+      push
+        (vf locus "fanout %d <> f_u = 2*2^(k^level) = %d (equation 10)" node.fanout
+           expected_fanout);
+    (* active set = pivots + children's active sets *)
+    let child_active =
+      Array.to_list
+        (Array.mapi
+           (fun i child ->
+             check_cut child (Printf.sprintf "%s.%d" locus i) proj_from dims (node.level + 1))
+           node.children)
+    in
+    let active = List.concat (Array.to_list node.pivots :: child_active) in
+    let w = weight_of active in
+    if node.weight <> w then
+      push (vf locus "stored weight %d <> active-set weight %d" node.weight w);
+    if Array.length node.children > node.fanout then
+      push
+        (vf locus "%d children exceed the fanout bound %d" (Array.length node.children)
+           node.fanout);
+    (* f-balanced cut (footnote 13): no child may exceed W/f *)
+    let target = float_of_int node.weight /. float_of_int node.fanout in
+    Array.iteri
+      (fun i child ->
+        if float_of_int child.weight > target +. 1e-6 then
+          push
+            (vf locus "child %d weight %d exceeds W/f = %g (f-balanced cut)" i child.weight
+               target))
+      node.children;
+    (* sigma is the exact x-extent of the active set *)
+    (match active with
+    | [] -> push (vf locus "empty active set")
+    | id0 :: rest ->
+        let xlo = ref (x id0) and xhi = ref (x id0) in
+        List.iter
+          (fun id ->
+            xlo := Float.min !xlo (x id);
+            xhi := Float.max !xhi (x id))
+          rest;
+        let slo, shi = node.sigma in
+        if not (Float.equal slo !xlo && Float.equal shi !xhi) then
+          push
+            (vf locus "sigma [%g, %g] <> active x-extent [%g, %g]" slo shi !xlo !xhi));
+    (* children partition the x-axis in order, separated by the pivots *)
+    let last_hi = ref neg_infinity in
+    Array.iteri
+      (fun i child ->
+        let clo, chi = child.sigma in
+        if clo < !last_hi then
+          push (vf locus "child %d x-range [%g, %g] overlaps its left sibling" i clo chi);
+        last_hi := chi)
+      node.children;
+    (* type-1 discipline: the secondary answers the whole active set with
+       the first remaining dimension projected away *)
+    let secondary_active =
+      check_tree node.secondary (locus ^ ".sec") (proj_from + 1) (dims - 1)
+    in
+    let sorted_ids l = Kwsc_util.Sorted.sort_dedup l in
+    let same_ids a b = Array.length a = Array.length b && Array.for_all2 Int.equal a b in
+    if not (same_ids (sorted_ids secondary_active) (sorted_ids active)) then
+      push
+        (vf locus "secondary active set (%d objects) differs from the node's (%d objects)"
+           (List.length secondary_active) (List.length active));
+    active
+  in
+  let active = check_tree t.root "root" 0 t.d in
+  let root_sorted = Kwsc_util.Sorted.sort_dedup active in
+  if Array.length root_sorted <> m
+     || not (Array.for_all2 Int.equal root_sorted (Array.init m Fun.id))
+  then push (vf "root" "active set is not the full object set [0,%d)" m);
+  if weight_of active <> t.n then
+    push (vf "root" "stored input size %d <> total document weight %d" t.n (weight_of active));
+  List.rev !bad
+
+(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+let build ?leaf_weight ~k objs =
+  let t = build ?leaf_weight ~k objs in
+  I.auto_check (fun () -> check_invariants t);
+  t
 
 let space_words t =
   let rec words = function

@@ -48,3 +48,11 @@ val cut_stats : t -> (level:int -> fanout:int -> weight:int -> children:int -> p
 val space_words : t -> int
 (** Total footprint in words, summing every secondary structure — the
     O(N (log log N)^(d-2)) budget of Theorem 2. *)
+
+val check_invariants : t -> Kwsc_util.Invariant.violation list
+(** Deep structural audit of the Figure-2 discipline: fanout f_u =
+    2*2^(k^level) at every cut node, f-balanced child weights (footnote 13),
+    exact sigma extents, ordered non-overlapping child ranges, type-1
+    secondaries covering exactly the node's active set, Base nodes only at
+    d <= 2, and weight bookkeeping. Empty when well-formed. [build] runs
+    this automatically when [KWSC_AUDIT=1]. *)

@@ -52,7 +52,7 @@ let rec absorb t group = function
       let merged =
         Array.of_list
           (List.filter
-             (fun id -> live t id <> None)
+             (fun id -> Option.is_some (live t id))
              (Array.to_list (Array.append b.ids group)))
       in
       absorb t merged rest
@@ -61,7 +61,7 @@ let rec absorb t group = function
 let rebuild_all t =
   let alive = ref [] in
   for id = t.next_id - 1 downto 0 do
-    if live t id <> None then alive := id :: !alive
+    if Option.is_some (live t id) then alive := id :: !alive
   done;
   t.dead_pending <- 0;
   t.buckets <-
@@ -100,9 +100,82 @@ let query t q ws =
       Array.iter
         (fun local ->
           let id = b.ids.(local) in
-          if live t id <> None then hits := id :: !hits)
+          if Option.is_some (live t id) then hits := id :: !hits)
         (Orp_kw.query b.index q ws))
     t.buckets;
   let out = Array.of_list !hits in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
+
+module I = Kwsc_util.Invariant
+
+let check_invariants t =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Dynamic" ~locus fmt in
+  let live_actual = ref 0 in
+  Array.iteri
+    (fun id slot ->
+      match slot with
+      | Some (p, _) ->
+          if id >= t.next_id then
+            push (vf "objects" "object %d stored at or beyond next_id=%d" id t.next_id);
+          if Array.length p <> t.d then
+            push (vf "objects" "object %d has dimension %d in a %d-d index" id (Array.length p) t.d);
+          incr live_actual
+      | None -> ())
+    t.objects;
+  if !live_actual <> t.live_count then
+    push (vf "objects" "live_count=%d but %d live objects stored" t.live_count !live_actual);
+  if t.dead_pending < 0 || t.dead_pending > t.next_id - t.live_count then
+    push
+      (vf "objects" "dead_pending=%d outside [0, %d] (ids assigned minus live)" t.dead_pending
+         (t.next_id - t.live_count));
+  (* tombstone debt is bounded: a deletion crossing the threshold rebuilds *)
+  if t.dead_pending >= t.live_count && t.dead_pending > 8 then
+    push
+      (vf "objects" "dead_pending=%d reached live_count=%d without a compacting rebuild"
+         t.dead_pending t.live_count);
+  (* buckets: geometric (binary-counter) capacities, largest first, and a
+     partition of the live objects *)
+  let seen = Hashtbl.create (max 16 t.live_count) in
+  List.iteri
+    (fun i b ->
+      let locus = Printf.sprintf "bucket[%d]" i in
+      if Array.length b.ids = 0 then push (vf locus "empty bucket");
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= t.next_id then
+            push (vf locus "object id %d outside [0,%d)" id t.next_id)
+          else if Hashtbl.mem seen id then
+            push (vf locus "object id %d appears in more than one bucket" id)
+          else Hashtbl.add seen id ())
+        b.ids)
+    t.buckets;
+  for id = 0 to t.next_id - 1 do
+    match t.objects.(id) with
+    | Some _ when not (Hashtbl.mem seen id) ->
+        push (vf "buckets" "live object %d is in no bucket" id)
+    | _ -> ()
+  done;
+  let rec sizes_decay = function
+    | b1 :: (b2 :: _ as rest) ->
+        if Array.length b1.ids <= 2 * Array.length b2.ids then
+          push
+            (vf "buckets" "capacities %d and %d break the binary-counter decay (larger <= 2x smaller)"
+               (Array.length b1.ids) (Array.length b2.ids));
+        sizes_decay rest
+    | _ -> ()
+  in
+  sizes_decay t.buckets;
+  List.rev !bad
+
+(* Self-audit every update when KWSC_AUDIT=1 (Invariant.enabled). *)
+let insert t obj =
+  let id = insert t obj in
+  I.auto_check (fun () -> check_invariants t);
+  id
+
+let delete t id =
+  delete t id;
+  I.auto_check (fun () -> check_invariants t)

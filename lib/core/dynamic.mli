@@ -42,3 +42,10 @@ val input_size : t -> int
 val buckets : t -> int list
 (** Sizes (in objects) of the current static buckets, largest first —
     exposed for tests and the DYN bench. *)
+
+val check_invariants : t -> Kwsc_util.Invariant.violation list
+(** Deep structural audit of the logarithmic method: buckets partition the
+    stored ids with geometrically decaying capacities, every live object is
+    indexed exactly once, and the live/tombstone bookkeeping is exact.
+    Empty when well-formed. [insert] and [delete] run this automatically
+    when [KWSC_AUDIT=1]. *)

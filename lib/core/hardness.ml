@@ -23,7 +23,7 @@ let ksi_via_linf_nn ~k inst ws =
   in
   let hits = grow 1 in
   let out = Array.map (fun (id, _) -> elements.(id)) hits in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let lemma8_delta ~k ~eps =

@@ -4,7 +4,7 @@ let of_docs ?leaf_weight ?tau_exponent ?use_bits ~k docs =
   let weights = Array.map Kwsc_invindex.Doc.size docs in
   let split ~depth:_ () ids =
     let sorted = Array.copy ids in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     let total = Array.fold_left (fun acc id -> acc + weights.(id)) 0 sorted in
     let j = ref 0 and acc = ref 0 in
     (try

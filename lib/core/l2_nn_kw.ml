@@ -23,7 +23,11 @@ let input_size t = Srp_kw.input_size t.srp
 
 let take_nearest t q t' ids =
   let with_dist = Array.map (fun id -> (id, Point.l2_dist q t.pts.(id))) ids in
-  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) with_dist;
+  Array.sort
+    (fun (ia, da) (ib, db) ->
+      let c = Float.compare da db in
+      if c <> 0 then c else Int.compare ia ib)
+    with_dist;
   Array.sub with_dist 0 (min t' (Array.length with_dist))
 
 let query_count t q ~t' ws =

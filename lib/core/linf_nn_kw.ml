@@ -16,7 +16,7 @@ let build ?leaf_weight ?(engine = `Auto) ~k objs =
   let coords =
     Array.init d (fun j ->
         let c = Array.map (fun p -> p.(j)) pts in
-        Array.sort compare c;
+        Array.sort Float.compare c;
         c)
   in
   let engine =
@@ -42,7 +42,11 @@ let input_size t =
 
 let take_nearest t q t' ids =
   let with_dist = Array.map (fun id -> (id, Point.linf_dist q t.pts.(id))) ids in
-  Array.sort (fun (ia, da) (ib, db) -> if da <> db then compare da db else compare ia ib) with_dist;
+  Array.sort
+    (fun (ia, da) (ib, db) ->
+      let c = Float.compare da db in
+      if c <> 0 then c else Int.compare ia ib)
+    with_dist;
   Array.sub with_dist 0 (min t' (Array.length with_dist))
 
 let query_count t q ~t' ws =

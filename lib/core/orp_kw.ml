@@ -37,7 +37,7 @@ let build ?leaf_weight ?tau_exponent ?use_bits ~k objs =
   let split ~depth cell ids =
     let axis = depth mod d in
     let sorted = Array.copy ids in
-    Array.sort (fun a b -> compare ranks.(a).(axis) ranks.(b).(axis)) sorted;
+    Array.sort (fun a b -> Int.compare ranks.(a).(axis) ranks.(b).(axis)) sorted;
     let total = Array.fold_left (fun acc id -> acc + weights.(id)) 0 sorted in
     (* smallest prefix whose weight reaches half: that object is the pivot,
        guaranteeing both children carry at most half the weight *)

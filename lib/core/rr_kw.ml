@@ -10,7 +10,7 @@ let lift_objects rects d =
       if Rect.dim r <> d then invalid_arg "Rr_kw.build: mixed dimensions";
       let p = Array.make (2 * d) 0.0 in
       for i = 0 to d - 1 do
-        if r.Rect.lo.(i) = neg_infinity || r.Rect.hi.(i) = infinity then
+        if Float.equal r.Rect.lo.(i) neg_infinity || Float.equal r.Rect.hi.(i) infinity then
           invalid_arg "Rr_kw.build: data rectangles must be bounded";
         p.(2 * i) <- r.Rect.lo.(i);
         p.((2 * i) + 1) <- r.Rect.hi.(i)

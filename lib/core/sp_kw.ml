@@ -79,8 +79,11 @@ let build ?leaf_weight ?(seed = 0x51ac3d) ~k objs =
     let keyed = Array.map (fun id -> (Linalg.dot dir pts.(id), id)) ids in
     Array.sort
       (fun (ka, ia) (kb, ib) ->
-        let c = compare ka kb in
-        if c <> 0 then c else compare (pts.(ia), ia) (pts.(ib), ib))
+        let c = Float.compare ka kb in
+        if c <> 0 then c
+        else
+          let c = Point.compare_lex pts.(ia) pts.(ib) in
+          if c <> 0 then c else Int.compare ia ib)
       keyed;
     let total = Array.fold_left (fun acc (_, id) -> acc + weights.(id)) 0 keyed in
     let j = ref 0 and acc = ref 0 in
@@ -98,10 +101,10 @@ let build ?leaf_weight ?(seed = 0x51ac3d) ~k objs =
     (* every object on the splitting hyperplane becomes a pivot (Step 2:
        objects on child-cell boundaries) *)
     let lo = ref !j and hi = ref !j in
-    while !lo > 0 && fst keyed.(!lo - 1) = m_val do
+    while !lo > 0 && Float.equal (fst keyed.(!lo - 1)) m_val do
       decr lo
     done;
-    while !hi < Array.length keyed - 1 && fst keyed.(!hi + 1) = m_val do
+    while !hi < Array.length keyed - 1 && Float.equal (fst keyed.(!hi + 1)) m_val do
       incr hi
     done;
     let left = Array.map snd (Array.sub keyed 0 !lo) in

@@ -98,7 +98,7 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ~k ~space docs =
         if float_of_int (List.length !l) >= tau then large_kws := w :: !large_kws
         else Hashtbl.add materialized w (Array.of_list !l))
       lists;
-    let large_sorted = List.sort compare !large_kws in
+    let large_sorted = List.sort Int.compare !large_kws in
     let num_large = List.length large_sorted in
     let large = Hashtbl.create (max 1 num_large) in
     List.iteri (fun i w -> Hashtbl.add large w i) large_sorted;
@@ -160,7 +160,7 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ~k ~space docs =
                         | Some r -> ranks := r :: !ranks
                         | None -> ())
                       docs.(id);
-                    let ranks = Array.of_list (List.sort compare !ranks) in
+                    let ranks = Array.of_list (List.sort Int.compare !ranks) in
                     iter_combos ranks k num_large (fun code -> Bitset.set nonempty code))
                   cids;
               { node; nonempty })
@@ -216,7 +216,7 @@ let query_stats ?limit t q ws =
       let all_large = Array.for_all (fun w -> Hashtbl.mem node.large w) ws in
       if all_large then begin
         let ranks = Array.map (fun w -> Hashtbl.find node.large w) ws in
-        Array.sort compare ranks;
+        Array.sort Int.compare ranks;
         let code = Array.fold_left (fun c r -> (c * node.num_large) + r) 0 ranks in
         Array.iter
           (fun child ->
@@ -257,7 +257,7 @@ let query_stats ?limit t q ws =
   in
   (try if t.space.classify q t.root.cell <> Disjoint then visit t.root with Limit_reached -> ());
   let out = Array.of_list !acc in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   (out, st)
 
 let query ?limit t q ws = fst (query_stats ?limit t q ws)

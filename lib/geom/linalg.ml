@@ -35,7 +35,7 @@ let solve a b =
        end;
        for r = col + 1 to n - 1 do
          let f = m.(r).(col) /. m.(col).(col) in
-         if f <> 0.0 then begin
+         if not (Float.equal f 0.0) then begin
            for c = col to n - 1 do
              m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
            done;

@@ -23,9 +23,21 @@ let l2_dist_sq p q =
 
 let l2_dist p q = sqrt (l2_dist_sq p q)
 
-let equal p q = Array.length p = Array.length q && Array.for_all2 ( = ) p q
+let equal p q = Array.length p = Array.length q && Array.for_all2 Float.equal p q
 
-let compare_lex p q = compare p q
+let compare_lex p q =
+  let np = Array.length p and nq = Array.length q in
+  let c = Int.compare np nq in
+  if c <> 0 then c
+  else begin
+    let rec go i =
+      if i = np then 0
+      else
+        let c = Float.compare p.(i) q.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let to_string p =
   "(" ^ String.concat ", " (Array.to_list (Array.map (fun x -> Printf.sprintf "%g" x) p)) ^ ")"

@@ -78,7 +78,7 @@ let vertices_2d ?(box = 1e9) t =
       let cx = List.fold_left (fun s p -> s +. p.(0)) 0.0 distinct /. float_of_int (List.length distinct) in
       let cy = List.fold_left (fun s p -> s +. p.(1)) 0.0 distinct /. float_of_int (List.length distinct) in
       List.sort
-        (fun p q -> compare (atan2 (p.(1) -. cy) (p.(0) -. cx)) (atan2 (q.(1) -. cy) (q.(0) -. cx)))
+        (fun p q -> Float.compare (atan2 (p.(1) -. cy) (p.(0) -. cx)) (atan2 (q.(1) -. cy) (q.(0) -. cx)))
         distinct
 
 let triangulate_2d ?box t =

@@ -16,8 +16,8 @@ let create pts =
     let order = Array.init n (fun i -> i) in
     Array.sort
       (fun a b ->
-        let c = compare pts.(a).(j) pts.(b).(j) in
-        if c <> 0 then c else compare a b)
+        let c = Float.compare pts.(a).(j) pts.(b).(j) in
+        if c <> 0 then c else Int.compare a b)
       order;
     ids.(j) <- order;
     coords.(j) <- Array.map (fun id -> pts.(id).(j)) order;

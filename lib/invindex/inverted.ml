@@ -15,7 +15,7 @@ let build docs =
   Hashtbl.iter
     (fun w l ->
       let a = Array.of_list !l in
-      Array.sort compare a;
+      Array.sort Int.compare a;
       Hashtbl.add postings w a)
     postings_l;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
@@ -55,7 +55,72 @@ let query t ws =
 let query_naive t ws =
   if Array.length ws = 0 then invalid_arg "Inverted.query_naive: need at least one keyword";
   let lists = Array.map (posting t) ws in
-  Array.sort (fun a b -> compare (Array.length a) (Array.length b)) lists;
+  Array.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists;
   Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
 
 let is_empty_query t ws = Array.length (query t ws) = 0
+
+module I = Kwsc_util.Invariant
+
+let check_invariants t =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Inverted" ~locus fmt in
+  let ndocs = Array.length t.docs in
+  let strictly_sorted a =
+    let ok = ref true in
+    for i = 1 to Array.length a - 1 do
+      if a.(i - 1) >= a.(i) then ok := false
+    done;
+    !ok
+  in
+  if not (strictly_sorted t.vocab) then
+    push (vf "vocab" "vocabulary is not strictly sorted");
+  if Array.length t.vocab <> Hashtbl.length t.postings then
+    push
+      (vf "vocab" "%d vocabulary entries but %d posting lists" (Array.length t.vocab)
+         (Hashtbl.length t.postings));
+  Array.iter
+    (fun w ->
+      if not (Hashtbl.mem t.postings w) then
+        push (vf "vocab" "keyword %d has no posting list" w))
+    t.vocab;
+  Hashtbl.iter
+    (fun w ids ->
+      let locus = Printf.sprintf "posting[%d]" w in
+      if Array.length ids = 0 then push (vf locus "empty posting list");
+      if not (strictly_sorted ids) then
+        push (vf locus "posting list is not strictly sorted (or has duplicates)");
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
+          else if not (Doc.mem t.docs.(id) w) then
+            push (vf locus "object %d is listed but its document lacks keyword %d" id w))
+        ids)
+    t.postings;
+  (* completeness: every (doc, keyword) pair appears in its posting list *)
+  Array.iteri
+    (fun id doc ->
+      Doc.iter
+        (fun w ->
+          let ids = match Hashtbl.find_opt t.postings w with Some a -> a | None -> [||] in
+          if not (Kwsc_util.Sorted.mem_int ids id) then
+            push
+              (vf
+                 (Printf.sprintf "doc[%d]" id)
+                 "keyword %d is in the document but object %d is missing from its posting list"
+                 w id))
+        doc)
+    t.docs;
+  let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 t.docs in
+  if n <> t.n then push (vf "root" "stored input size %d <> total document weight %d" t.n n);
+  let posted = Hashtbl.fold (fun _ ids acc -> acc + Array.length ids) t.postings 0 in
+  if posted <> n then
+    push (vf "root" "%d posted pairs <> %d document words (doc-count inconsistency)" posted n);
+  List.rev !bad
+
+(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+let build docs =
+  let t = build docs in
+  I.auto_check (fun () -> check_invariants t);
+  t

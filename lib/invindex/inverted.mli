@@ -34,3 +34,10 @@ val query_naive : t -> int array -> int array
 
 val is_empty_query : t -> int array -> bool
 (** k-SI emptiness (Section 1.2). *)
+
+val check_invariants : t -> Kwsc_util.Invariant.violation list
+(** Deep structural audit: every posting list strictly sorted and
+    duplicate-free, postings and documents mutually consistent (soundness
+    and completeness), vocabulary exact, and the N bookkeeping of
+    equation (2) intact. Empty when well-formed. [build] runs this
+    automatically when [KWSC_AUDIT=1]. *)

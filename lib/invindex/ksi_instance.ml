@@ -24,7 +24,7 @@ let input_size t = t.n
 let reporting t ids =
   if Array.length ids = 0 then invalid_arg "Ksi_instance.reporting: no set ids";
   let lists = Array.map (set t) ids in
-  Array.sort (fun a b -> compare (Array.length a) (Array.length b)) lists;
+  Array.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists;
   Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
 
 let emptiness t ids = Array.length (reporting t ids) = 0

@@ -16,8 +16,8 @@ let build ?(leaf_size = 8) pts =
   (* median split on [lo, hi) along [axis]; ties broken by full lexicographic
      compare so duplicates distribute evenly *)
   let cmp axis (p, _) (q, _) =
-    let c = compare (p : float array).(axis) (q : float array).(axis) in
-    if c <> 0 then c else compare p q
+    let c = Float.compare (p : float array).(axis) (q : float array).(axis) in
+    if c <> 0 then c else Point.compare_lex p q
   in
   let rec go lo hi depth =
     let len = hi - lo in
@@ -215,3 +215,53 @@ let range_stats t q =
   in
   go t.root t.bounds;
   { nodes = !nodes; covered = !covered; crossing = !crossing; leaves_scanned = !leaves }
+
+module I = Kwsc_util.Invariant
+
+let check_invariants t =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Kd" ~locus fmt in
+  (* Walk the tree with the implicit cell of every subtree; returns the
+     actual subtree size so stored counts are validated bottom-up. *)
+  let rec go node locus lo hi =
+    match node with
+    | Leaf pts ->
+        Array.iter
+          (fun (p, _) ->
+            if Array.length p <> t.d then
+              push (vf locus "point of dimension %d in a %d-d tree" (Array.length p) t.d)
+            else
+              for i = 0 to t.d - 1 do
+                if p.(i) < lo.(i) || p.(i) > hi.(i) then
+                  push
+                    (vf locus "point %s escapes its cell on axis %d" (Point.to_string p) i)
+              done)
+          pts;
+        Array.length pts
+    | Node { axis; split; left; right; count } ->
+        if axis < 0 || axis >= t.d then push (vf locus "axis %d outside [0,%d)" axis t.d);
+        let lhi = Array.copy hi and rlo = Array.copy lo in
+        if axis >= 0 && axis < t.d then begin
+          lhi.(axis) <- split;
+          rlo.(axis) <- split
+        end;
+        let ls = go left (locus ^ ".L") lo lhi in
+        let rs = go right (locus ^ ".R") rlo hi in
+        if ls + rs <> count then
+          push (vf locus "size bookkeeping: count=%d but |left|+|right|=%d" count (ls + rs));
+        if abs (ls - rs) > 1 then
+          push (vf locus "median balance: |left|=%d and |right|=%d differ by more than 1" ls rs);
+        ls + rs
+  in
+  let total =
+    go t.root "root" (Array.copy t.bounds.Rect.lo) (Array.copy t.bounds.Rect.hi)
+  in
+  if total <> t.n then push (vf "root" "stored size %d <> actual size %d" t.n total);
+  List.rev !bad
+
+(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+let build ?leaf_size pts =
+  let t = build ?leaf_size pts in
+  I.auto_check (fun () -> check_invariants t);
+  t

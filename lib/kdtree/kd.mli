@@ -34,3 +34,8 @@ val range_stats : 'a t -> Rect.t -> visit_stats
 (** Structural accounting of one range query: how many node cells the
     rectangle covered vs crossed — the covered/crossing dichotomy of
     Section 3.3 measured on the raw kd-tree. *)
+
+val check_invariants : 'a t -> Kwsc_util.Invariant.violation list
+(** Deep structural audit (median balance at every internal node, subtree
+    cell containment of every point, size bookkeeping). Empty when the tree
+    is well-formed. [build] runs this automatically when [KWSC_AUDIT=1]. *)

@@ -41,8 +41,8 @@ let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) pts =
       let dir = dirs.(depth mod Array.length dirs) in
       let keyed = Array.map (fun (p, v) -> (Linalg.dot dir p, p, v)) pts in
       Array.sort (fun (ka, pa, _) (kb, pb, _) ->
-          let c = compare ka kb in
-          if c <> 0 then c else compare pa pb)
+          let c = Float.compare ka kb in
+          if c <> 0 then c else Point.compare_lex pa pb)
         keyed;
       let mid = len / 2 in
       let _, pmid, _ = keyed.(mid) in
@@ -128,3 +128,62 @@ let depth t =
     | Node { left; right; _ } -> 1 + max (go left) (go right)
   in
   go t.root
+
+module I = Kwsc_util.Invariant
+
+let check_invariants t =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Ptree" ~locus fmt in
+  (* Every leaf point must satisfy every ancestor halfspace: key <= m down
+     a left edge, key >= m down a right edge. [Linalg.dot] is deterministic,
+     so recomputed keys match the keys used at build time bit-for-bit. *)
+  let rec go node locus cons =
+    match node with
+    | Leaf pts ->
+        Array.iter
+          (fun (p, _) ->
+            if Array.length p <> t.d then
+              push (vf locus "point of dimension %d in a %d-d tree" (Array.length p) t.d)
+            else
+              List.iter
+                (fun (dir, m, left_side) ->
+                  let key = Linalg.dot dir p in
+                  if left_side && key > m then
+                    push
+                      (vf locus "left-subtree point %s has key %g > split %g"
+                         (Point.to_string p) key m)
+                  else if (not left_side) && key < m then
+                    push
+                      (vf locus "right-subtree point %s has key %g < split %g"
+                         (Point.to_string p) key m))
+                cons)
+          pts;
+        Array.length pts
+    | Node { dir; m; left; right; count } ->
+        if Array.length dir <> t.d then
+          push (vf locus "direction of dimension %d in a %d-d tree" (Array.length dir) t.d)
+        else begin
+          let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 dir) in
+          if abs_float (norm -. 1.0) > 1e-6 then
+            push (vf locus "split direction is not unit (norm %g)" norm)
+        end;
+        let ls = go left (locus ^ ".L") ((dir, m, true) :: cons) in
+        let rs = go right (locus ^ ".R") ((dir, m, false) :: cons) in
+        if ls + rs <> count then
+          push (vf locus "size bookkeeping: count=%d but |left|+|right|=%d" count (ls + rs));
+        if abs (ls - rs) > 1 then
+          push
+            (vf locus "weight-median balance: |left|=%d and |right|=%d differ by more than 1"
+               ls rs);
+        ls + rs
+  in
+  let total = go t.root "root" [] in
+  if total <> t.n then push (vf "root" "stored size %d <> actual size %d" t.n total);
+  List.rev !bad
+
+(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+let build ?leaf_size ?seed pts =
+  let t = build ?leaf_size ?seed pts in
+  I.auto_check (fun () -> check_invariants t);
+  t

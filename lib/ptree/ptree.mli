@@ -36,3 +36,9 @@ val stats_polytope : 'a t -> Polytope.t -> crossing_stats
 
 val depth : 'a t -> int
 (** Height of the tree. *)
+
+val check_invariants : 'a t -> Kwsc_util.Invariant.violation list
+(** Deep structural audit: fan-out-2 weight-median balance at every node,
+    unit split directions, every point inside every ancestor halfspace, and
+    size bookkeeping. Empty when well-formed. [build] runs this
+    automatically when [KWSC_AUDIT=1]. *)

@@ -1,0 +1,20 @@
+type violation = { structure : string; locus : string; detail : string }
+
+let v ~structure ~locus detail = { structure; locus; detail }
+
+let vf ~structure ~locus fmt =
+  Printf.ksprintf (fun detail -> { structure; locus; detail }) fmt
+
+let to_string { structure; locus; detail } =
+  Printf.sprintf "%s: %s: %s" structure locus detail
+
+let report vs = String.concat "\n" (List.map to_string vs)
+
+exception Audit_failure of string
+
+let enabled () =
+  match Sys.getenv_opt "KWSC_AUDIT" with Some "1" -> true | Some _ | None -> false
+
+let auto_check f =
+  if enabled () then
+    match f () with [] -> () | vs -> raise (Audit_failure (report vs))

@@ -1,0 +1,47 @@
+(** Deep structural-invariant auditing shared by every index.
+
+    Each index module exports a [check_invariants : t -> Invariant.violation
+    list] walking its entire structure and reporting every broken invariant
+    (median balance, weight bounds, sortedness, ...). The checks are linear
+    (or worse) in the structure size, so they never run on the hot path by
+    default: builds and updates self-audit only when the [KWSC_AUDIT]
+    environment variable is set to [1] (see [enabled]), which is how the
+    qcheck audit tests run and how a suspect workload can be re-run under
+    full checking without recompiling. *)
+
+type violation = {
+  structure : string;  (** which index, e.g. ["Kd"] *)
+  locus : string;  (** where inside it, e.g. ["node[0.1.0]"] *)
+  detail : string;  (** what is broken, human-readable *)
+}
+
+val v : structure:string -> locus:string -> string -> violation
+(** Build one violation record. *)
+
+val vf :
+  structure:string ->
+  locus:string ->
+  ('a, unit, string, violation) format4 ->
+  'a
+(** [vf ~structure ~locus fmt ...] — printf-style [v]. *)
+
+val to_string : violation -> string
+(** ["Kd: node[0.1]: left subtree ..."]. *)
+
+val report : violation list -> string
+(** All violations, one per line (empty string for the empty list). *)
+
+exception Audit_failure of string
+(** Raised by [auto_check] when auditing is enabled and violations exist.
+    The payload is [report] of the violations. *)
+
+val enabled : unit -> bool
+(** True iff the environment variable [KWSC_AUDIT] is ["1"] (re-read on
+    every call so tests can toggle it with [putenv]). *)
+
+val auto_check : (unit -> violation list) -> unit
+(** [auto_check f] does nothing unless [enabled ()]; otherwise runs [f] and
+    raises {!Audit_failure} if any violations come back. Index builds and
+    dynamic updates call this on themselves, so [KWSC_AUDIT=1 dune runtest]
+    audits every structure the suite ever constructs, while release
+    binaries pay only an environment-variable lookup per build. *)

@@ -67,7 +67,7 @@ let dedup_int a =
 
 let sort_dedup l =
   let a = Array.of_list l in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   dedup_int a
 
 let intersect a b =
@@ -181,7 +181,7 @@ let kth_abs_diff columns k =
     let ans = ref nan in
     while Float.is_nan !ans do
       let c = next_candidate !r in
-      if c = infinity then ans := !r
+      if Float.equal c infinity then ans := !r
       else if count c >= k then ans := c
       else r := c
     done;

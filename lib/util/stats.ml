@@ -11,7 +11,7 @@ let stddev xs =
 let median xs =
   if Array.length xs = 0 then invalid_arg "Stats.median: empty";
   let a = Array.copy xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
@@ -19,7 +19,7 @@ let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let a = Array.copy xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   a.(max 0 (min (n - 1) (rank - 1)))

@@ -26,7 +26,10 @@ let parse_line lineno line =
           Kwsc_invindex.Doc.of_list (List.map int_of_string (String.split_on_char ';' kws))
         in
         (p, doc)
-      with _ -> failwith (Printf.sprintf "Csv_io.load: malformed line %d" lineno))
+      with Failure _ | Invalid_argument _ ->
+        (* float_of_string / int_of_string reject a token, or Doc.of_list
+           rejects an empty keyword set *)
+        failwith (Printf.sprintf "Csv_io.load: malformed line %d" lineno))
   | _ -> failwith (Printf.sprintf "Csv_io.load: malformed line %d" lineno)
 
 let load path =

@@ -36,7 +36,7 @@ let keywords_by_rank inv ~rank ~k =
   let vocab = Kwsc_invindex.Inverted.vocabulary inv in
   let by_freq = Array.copy vocab in
   Array.sort
-    (fun a b -> compare (Kwsc_invindex.Inverted.frequency inv b) (Kwsc_invindex.Inverted.frequency inv a))
+    (fun a b -> Int.compare (Kwsc_invindex.Inverted.frequency inv b) (Kwsc_invindex.Inverted.frequency inv a))
     by_freq;
   if rank < 1 || rank + k - 1 > Array.length by_freq then None
   else Some (Array.sub by_freq (rank - 1) k)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full correctness gate: build everything, run the whole test suite
+# (which includes the lint meta-tests and the KWSC_AUDIT qcheck audits),
+# then lint the repository itself.  Run from the repo root; `make ci`.
+set -eux
+
+dune build @all
+dune runtest --force
+dune build @lint

@@ -1,0 +1,28 @@
+(* Seeded violations for the kwsc-lint meta-test (test_lint.ml).
+
+   This file is parsed by the linter but never compiled: the directory
+   has no dune file, so no stanza claims it.  It seeds at least one
+   violation per rule; the meta-test asserts every rule fires under
+   --assume-hot --assume-lib --require-mli and that the CLI exits
+   nonzero.  R7 is the deliberate absence of bad.mli. *)
+
+(* R1: polymorphic comparison on float-bearing data (hot-path scope) *)
+let r1_compare p q = compare p q
+let r1_operator a b = (a : Point.t) = b
+let r1_value () = List.sort ( < ) [ 3; 1; 2 ]
+
+(* R2: Obj.magic *)
+let r2 x = (Obj.magic x : int)
+
+(* R3: printing from library code (lib/ scope) *)
+let r3 n = Printf.printf "debug: %d\n" n
+
+(* R4: accidentally-quadratic list idioms (hot-path scope) *)
+let r4_nth l = List.nth l 3
+let r4_append a b c = (a @ b) @ c
+
+(* R5: exact float equality *)
+let r5 x = x = 1.0
+
+(* R6: blanket exception handler *)
+let r6 f = try f () with _ -> 0

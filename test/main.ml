@@ -25,4 +25,6 @@ let () =
       ("stress", Test_stress.suite);
       ("coverage", Test_coverage.suite);
       ("hardness", Test_hardness.suite);
+      ("lint", Test_lint.suite);
+      ("invariants", Test_invariants.suite);
     ]

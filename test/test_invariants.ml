@@ -1,0 +1,89 @@
+(* Randomized deep structural audits (the KWSC_AUDIT layer).
+
+   Drives random insert/delete sequences through the dynamic index with
+   KWSC_AUDIT=1 — so every insert, delete and interior carry-chain
+   rebuild re-audits the Bentley–Saxe bookkeeping automatically — and
+   after every batch rebuilds each static index (Kd, Ptree, Dimred,
+   Inverted) from the live set and asserts its deep audit comes back
+   clean.  Gridded coordinates force tie-breaking paths; a tiny
+   vocabulary forces heavily shared keywords. *)
+
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+module Invariant = Kwsc_util.Invariant
+module Dyn = Kwsc.Dynamic
+module Dimred = Kwsc.Dimred
+module Kd = Kwsc_kdtree.Kd
+module Ptree = Kwsc_ptree.Ptree
+module Inverted = Kwsc_invindex.Inverted
+
+let fail_if_violations what vs =
+  if vs <> [] then
+    QCheck.Test.fail_reportf "%s audit failed:@.%s" what (Invariant.report vs)
+
+let random_obj rng ~d =
+  let p = Array.init d (fun _ -> float_of_int (Prng.int rng 8)) in
+  let doc =
+    Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> Prng.int rng 10))
+  in
+  (p, doc)
+
+let audit_statics objs =
+  if Array.length objs > 0 then begin
+    let tagged = Array.map (fun (p, _) -> (p, ())) objs in
+    fail_if_violations "Kd" (Kd.check_invariants (Kd.build tagged));
+    fail_if_violations "Ptree" (Ptree.check_invariants (Ptree.build tagged));
+    fail_if_violations "Dimred" (Dimred.check_invariants (Dimred.build ~k:2 objs));
+    fail_if_violations "Inverted"
+      (Inverted.check_invariants (Inverted.build (Array.map snd objs)))
+  end
+
+(* The audit gate itself: off by default, raises when enabled. *)
+let test_gate () =
+  Unix.putenv "KWSC_AUDIT" "0";
+  Alcotest.(check bool) "disabled when KWSC_AUDIT=0" false (Invariant.enabled ());
+  Invariant.auto_check (fun () ->
+      Alcotest.fail "auto_check must not run the checker when disabled");
+  Unix.putenv "KWSC_AUDIT" "1";
+  Alcotest.(check bool) "enabled when KWSC_AUDIT=1" true (Invariant.enabled ());
+  let boom = Invariant.v ~structure:"Fake" ~locus:"root" "seeded violation" in
+  Alcotest.check_raises "auto_check raises on violations"
+    (Invariant.Audit_failure (Invariant.report [ boom ]))
+    (fun () -> Invariant.auto_check (fun () -> [ boom ]));
+  Unix.putenv "KWSC_AUDIT" "0"
+
+let qcheck_audit =
+  QCheck.Test.make
+    ~name:"random op sequences leave every index audit-clean" ~count:120
+    QCheck.(small_int)
+    (fun seed ->
+      Unix.putenv "KWSC_AUDIT" "1";
+      let rng = Prng.create (0x5eed + seed) in
+      let d = 2 + Prng.int rng 2 in
+      let t = Dyn.create ~k:2 ~d () in
+      let model = ref [] in
+      let ops = 40 in
+      for i = 1 to ops do
+        (if Prng.int rng 4 = 0 && !model <> [] then begin
+           let victim, _ =
+             List.nth !model (Prng.int rng (List.length !model))
+           in
+           Dyn.delete t victim;
+           model := List.filter (fun (id, _) -> id <> victim) !model
+         end
+         else
+           let obj = random_obj rng ~d in
+           let id = Dyn.insert t obj in
+           model := (id, obj) :: !model);
+        if i mod 8 = 0 || i = ops then begin
+          fail_if_violations "Dynamic" (Dyn.check_invariants t);
+          audit_statics (Array.of_list (List.map snd !model))
+        end
+      done;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "KWSC_AUDIT gate" `Quick test_gate;
+    QCheck_alcotest.to_alcotest qcheck_audit;
+  ]

@@ -1,0 +1,87 @@
+(* Meta-tests for kwsc-lint: every rule fires on the seeded fixture,
+   path scoping behaves, the allowlist silences precisely, and the CLI
+   exit codes are the contract CI relies on. *)
+
+module Lint = Kwsc_lint_lib.Lint
+
+let fixture = "lint_fixtures/bad.ml"
+
+let strict =
+  { Lint.default_config with
+    assume_hot = true;
+    assume_lib = true;
+    require_mli = true }
+
+let rule_fires vs r = List.exists (fun v -> v.Lint.rule = r) vs
+
+let test_every_rule_fires () =
+  let vs = Lint.lint_file ~config:strict fixture in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires on fixture" (Lint.rule_id r))
+        true (rule_fires vs r))
+    Lint.all_rules;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "violation line is positive" true (v.Lint.line > 0))
+    vs
+
+let test_scoping () =
+  (* Outside lib/ and the hot-path dirs only the universal rules apply. *)
+  let vs = Lint.lint_file ~config:Lint.default_config fixture in
+  let ids =
+    List.sort_uniq String.compare
+      (List.map (fun v -> Lint.rule_id v.Lint.rule) vs)
+  in
+  Alcotest.(check (list string))
+    "only universal rules outside lib/hot scope" [ "R2"; "R5"; "R6" ] ids
+
+let test_allowlist () =
+  let allow =
+    Lint.parse_allow "; audited exceptions\n(R2 lint_fixtures/bad.ml)\nR6 bad.ml\n"
+  in
+  let vs = Lint.lint_file ~config:{ strict with allow } fixture in
+  Alcotest.(check bool) "R2 silenced by full path" false (rule_fires vs Lint.R2);
+  Alcotest.(check bool) "R6 silenced by suffix path" false (rule_fires vs Lint.R6);
+  Alcotest.(check bool) "R4 unaffected" true (rule_fires vs Lint.R4)
+
+let test_allowlist_line_scoped () =
+  let vs0 = Lint.lint_file ~config:strict fixture in
+  let r5 = List.find (fun v -> v.Lint.rule = Lint.R5) vs0 in
+  let exact = Lint.parse_allow (Printf.sprintf "(R5 bad.ml %d)" r5.Lint.line) in
+  let vs = Lint.lint_file ~config:{ strict with allow = exact } fixture in
+  Alcotest.(check bool) "exact-line entry silences" false (rule_fires vs Lint.R5);
+  let wrong = Lint.parse_allow "(R5 bad.ml 9999)" in
+  let vs = Lint.lint_file ~config:{ strict with allow = wrong } fixture in
+  Alcotest.(check bool) "wrong-line entry does not" true (rule_fires vs Lint.R5)
+
+let exe = "../tools/lint/kwsc_lint.exe"
+
+let test_cli_nonzero_on_fixture () =
+  let cmd =
+    Printf.sprintf "%s --assume-hot --assume-lib --require-mli %s > /dev/null"
+      exe fixture
+  in
+  Alcotest.(check bool) "CLI exits nonzero on fixture" true (Sys.command cmd <> 0)
+
+let test_cli_clean_on_good_file () =
+  let tmp = Filename.temp_file "kwsc_lint_ok" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "let answer = 41 + 1\n";
+      close_out oc;
+      let cmd = Printf.sprintf "%s --assume-hot --assume-lib %s > /dev/null" exe tmp in
+      Alcotest.(check int) "CLI exits 0 on a clean file" 0 (Sys.command cmd))
+
+let suite =
+  [
+    Alcotest.test_case "every rule fires on the fixture" `Quick test_every_rule_fires;
+    Alcotest.test_case "rules scope by path" `Quick test_scoping;
+    Alcotest.test_case "allowlist silences by rule+path" `Quick test_allowlist;
+    Alcotest.test_case "allowlist line scoping" `Quick test_allowlist_line_scoped;
+    Alcotest.test_case "cli: nonzero exit on violations" `Quick test_cli_nonzero_on_fixture;
+    Alcotest.test_case "cli: zero exit on clean input" `Quick test_cli_clean_on_good_file;
+  ]

@@ -1,0 +1,8 @@
+; kwsc-lint allowlist — audited exceptions to the lint rules.
+; One entry per line: (RULE PATH [LINE])
+;   RULE  rule id, e.g. R5
+;   PATH  matched as a path-segment suffix of the offending file
+;   LINE  optional exact line; omit to allow the rule anywhere in the file
+; Keep this list short: every entry is a reviewed, justified exception.
+; Example (commented out):
+;   (R5 lib/geom/linalg.ml 42)

@@ -1,0 +1,97 @@
+(* kwsc_lint: command-line driver for the repo linter (see lint.mli).
+
+   Usage: kwsc_lint [options] [path ...]
+   Paths may be files or directories (recursed).  With no paths, lints
+   lib/ bin/ bench/ examples/ relative to the current directory.
+   Exit status: 0 clean, 1 violations, 2 usage or parse errors. *)
+
+module Lint = Kwsc_lint_lib.Lint
+
+let usage = "kwsc_lint [--allow FILE] [--assume-hot] [--assume-lib] [--require-mli] [path ...]"
+
+let print_rules () =
+  List.iter
+    (fun r -> Printf.printf "%s  %s\n" (Lint.rule_id r) (Lint.rule_doc r))
+    Lint.all_rules;
+  exit 0
+
+let () =
+  let allow_file = ref None in
+  let assume_hot = ref false in
+  let assume_lib = ref false in
+  let require_mli = ref false in
+  let rev_paths = ref [] in
+  let spec =
+    [ ("--allow", Arg.String (fun s -> allow_file := Some s),
+       "FILE allowlist of audited exceptions (see tools/lint/allow.sexp)");
+      ("--assume-hot", Arg.Set assume_hot,
+       " treat every input as a hot-path module (rules R1, R4)");
+      ("--assume-lib", Arg.Set assume_lib,
+       " treat every input as library code (rule R3)");
+      ("--require-mli", Arg.Set require_mli,
+       " require a .mli beside every .ml (rule R7)");
+      ("--rules", Arg.Unit print_rules, " list the rules and exit") ]
+  in
+  Arg.parse spec (fun p -> rev_paths := p :: !rev_paths) usage;
+  let paths =
+    match List.rev !rev_paths with
+    | [] ->
+        List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
+    | ps -> ps
+  in
+  let allow =
+    match !allow_file with
+    | None -> []
+    | Some f -> (
+        try Lint.load_allow f
+        with Sys_error msg | Failure msg ->
+          Printf.eprintf "kwsc_lint: %s\n" msg;
+          exit 2)
+  in
+  let config =
+    { Lint.assume_hot = !assume_hot; assume_lib = !assume_lib;
+      require_mli = !require_mli; allow }
+  in
+  (match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | [] -> ()
+  | missing ->
+      Printf.eprintf "kwsc_lint: no such file or directory: %s\n"
+        (String.concat " " missing);
+      exit 2);
+  let files = Lint.lint_paths paths in
+  if files = [] then (
+    Printf.eprintf "kwsc_lint: no .ml/.mli files under: %s\n"
+      (String.concat " " paths);
+    exit 2);
+  let parse_errors = ref 0 in
+  let violations =
+    List.concat_map
+      (fun f ->
+        try Lint.lint_file ~config f
+        with exn ->
+          incr parse_errors;
+          let msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok e) ->
+                Format.asprintf "%a" Location.print_report e
+            | _ -> Printexc.to_string exn
+          in
+          Printf.eprintf "kwsc_lint: cannot parse %s:\n%s\n" f msg;
+          [])
+      files
+  in
+  let violations =
+    List.sort
+      (fun a b ->
+        match String.compare a.Lint.file b.Lint.file with
+        | 0 -> Int.compare a.Lint.line b.Lint.line
+        | c -> c)
+      violations
+  in
+  List.iter (fun v -> print_endline (Lint.pp_violation v)) violations;
+  if !parse_errors > 0 then exit 2
+  else if violations <> [] then (
+    Printf.printf "kwsc-lint: %d violation(s) in %d file(s) checked\n"
+      (List.length violations) (List.length files);
+    exit 1)
+  else Printf.printf "kwsc-lint: OK (%d files checked)\n" (List.length files)

@@ -1,0 +1,448 @@
+(* Repo-specific static analysis over the OCaml parsetree (no typing).
+   See lint.mli for the rule catalogue and the rationale for the
+   syntactic approximations used by the type-dependent rules. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+
+let rule_doc = function
+  | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
+  | R2 -> "Obj.magic defeats the type system"
+  | R3 -> "printing from library code (lib/): diagnostics belong in bin/ or bench/"
+  | R4 -> "accidentally-quadratic list idiom (List.nth / left-nested @) in a hot-path module"
+  | R5 -> "exact float equality: use Float.equal or an explicit tolerance"
+  | R6 -> "blanket 'try ... with _ ->' swallows every exception, including Out_of_memory"
+  | R7 -> "library module lacks an interface (.mli)"
+
+type violation = { file : string; line : int; rule : rule; message : string }
+
+let pp_violation v =
+  Printf.sprintf "%s:%d: [%s] %s" v.file v.line (rule_id v.rule) v.message
+
+type allow_entry = { a_rule : string; a_path : string; a_line : int option }
+
+type config = {
+  assume_hot : bool;
+  assume_lib : bool;
+  require_mli : bool;
+  allow : allow_entry list;
+}
+
+let default_config =
+  { assume_hot = false; assume_lib = false; require_mli = false; allow = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Path classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let rec is_prefix pre l =
+  match (pre, l) with
+  | [], _ -> true
+  | p :: ps, x :: xs -> String.equal p x && is_prefix ps xs
+  | _ :: _, [] -> false
+
+let rec has_subpath sub = function
+  | [] -> false
+  | _ :: tl as l -> is_prefix sub l || has_subpath sub tl
+
+let hot_dirs =
+  [ [ "lib"; "kdtree" ]; [ "lib"; "ptree" ]; [ "lib"; "core" ]; [ "lib"; "geom" ] ]
+
+let path_is_hot path =
+  let segs = segments path in
+  List.exists (fun d -> has_subpath d segs) hot_dirs
+
+let path_in_lib path = List.mem "lib" (segments path)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_allow text =
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line ';' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let toks =
+      String.map (function '(' | ')' | '\t' | '\r' -> ' ' | c -> c) line
+      |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+    in
+    match toks with
+    | [] -> None
+    | [ r; p ] -> Some { a_rule = r; a_path = p; a_line = None }
+    | [ r; p; l ] -> (
+        match int_of_string_opt l with
+        | Some i -> Some { a_rule = r; a_path = p; a_line = Some i }
+        | None ->
+            failwith
+              (Printf.sprintf "allowlist line %d: bad line number %S" lineno l))
+    | _ ->
+        failwith
+          (Printf.sprintf "allowlist line %d: expected (RULE PATH [LINE])" lineno)
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> parse_line (i + 1) l)
+  |> List.filter_map Fun.id
+
+let load_allow file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_allow (really_input_string ic (in_channel_length ic)))
+
+let allowed allow v =
+  let suffix_match pat file =
+    let p = segments pat and f = segments file in
+    let seg_eq a b =
+      List.length a = List.length b && List.for_all2 String.equal a b
+    in
+    let rec tails = function [] -> [ [] ] | _ :: tl as l -> l :: tails tl in
+    String.equal pat file || List.exists (fun t -> seg_eq t p) (tails f)
+  in
+  List.exists
+    (fun a ->
+      String.equal a.a_rule (rule_id v.rule)
+      && suffix_match a.a_path v.file
+      && match a.a_line with None -> true | Some l -> l = v.line)
+    allow
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic predicates                                               *)
+(* ------------------------------------------------------------------ *)
+
+open Parsetree
+
+let flatten_opt lid = try Some (Longident.flatten lid) with _ -> None
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten_opt txt
+  | _ -> None
+
+let unqualify = function
+  | ("Stdlib" | "Pervasives") :: rest -> rest
+  | p -> p
+
+let comparison_ops = [ "="; "<>"; "=="; "!="; "<"; "<="; ">"; ">=" ]
+let equality_ops = [ "="; "<>"; "=="; "!=" ]
+
+let float_const_idents =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let float_arith_ops =
+  [ "+."; "-."; "*."; "/."; "**"; "~-."; "sqrt"; "abs_float"; "float_of_int";
+    "atan2"; "exp"; "log"; "log10"; "sin"; "cos"; "tan"; "ceil"; "floor";
+    "mod_float" ]
+
+let float_returning_float_fns =
+  [ "of_int"; "add"; "sub"; "mul"; "div"; "neg"; "abs"; "sqrt"; "pow"; "rem";
+    "min"; "max"; "round"; "trunc"; "succ"; "pred"; "fma" ]
+
+let ends_with ~suffix l =
+  let n = List.length l and m = List.length suffix in
+  n >= m && is_prefix suffix (List.filteri (fun i _ -> i >= n - m) l)
+
+let rec type_is_float_scalar t =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      match flatten_opt txt with
+      | Some p ->
+          let u = unqualify p in
+          u = [ "float" ] || ends_with ~suffix:[ "Float"; "t" ] u
+      | None -> false)
+  | Ptyp_alias (t, _) | Ptyp_poly (_, t) -> type_is_float_scalar t
+  | _ -> false
+
+(* Abstract float-bearing types the repo cares about: geometry values and
+   float arrays.  Extend here when a new hot-path abstract type appears. *)
+let rec type_is_float_abstract t =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) -> (
+      match flatten_opt txt with
+      | None -> false
+      | Some p -> (
+          let u = unqualify p in
+          ends_with ~suffix:[ "Point"; "t" ] u
+          || ends_with ~suffix:[ "Rect"; "t" ] u
+          ||
+          match (u, args) with
+          | [ "array" ], [ a ] | [ "list" ], [ a ] | [ "option" ], [ a ] ->
+              type_is_float_scalar a || type_is_float_abstract a
+          | _ -> false))
+  | Ptyp_tuple ts -> List.exists type_is_float_scalar ts
+  | Ptyp_alias (t, _) | Ptyp_poly (_, t) -> type_is_float_abstract t
+  | _ -> false
+
+let rec expr_float_scalar e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident _ -> (
+      match ident_path e with
+      | Some p -> (
+          match unqualify p with
+          | [ c ] -> List.mem c float_const_idents
+          | [ "Float"; c ] ->
+              List.mem c [ "infinity"; "neg_infinity"; "nan"; "pi"; "epsilon";
+                           "max_float"; "min_float"; "zero"; "one"; "minus_one" ]
+          | _ -> false)
+      | None -> false)
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some p -> (
+          match unqualify p with
+          (* min/max stay polymorphic: float-bearing only if an operand is. *)
+          | [ ("min" | "max") ] ->
+              List.exists (fun (_, a) -> expr_float_scalar a) args
+          | [ op ] when List.mem op float_arith_ops -> true
+          | [ "Float"; fn ] -> List.mem fn float_returning_float_fns
+          | _ -> false)
+      | None -> false)
+  | Pexp_constraint (_, ty) -> type_is_float_scalar ty
+  | Pexp_field (_, _) -> false
+  | _ -> false
+
+let expr_float_abstract e =
+  match e.pexp_desc with
+  | Pexp_constraint (_, ty) -> type_is_float_abstract ty
+  | _ -> false
+
+(* Printing detection for R3.  [`Direct] is always a violation inside
+   lib/; [`Channelled] only when aimed at stdout/stderr (formatter-
+   parametric pretty-printers are the sanctioned idiom). *)
+let print_kind u =
+  match u with
+  | [ f ] when
+      List.mem f
+        [ "print_string"; "print_endline"; "print_newline"; "print_int";
+          "print_float"; "print_char"; "print_bytes"; "prerr_string";
+          "prerr_endline"; "prerr_newline"; "prerr_int"; "prerr_float";
+          "prerr_char"; "prerr_bytes" ] ->
+      Some `Direct
+  | [ "Printf"; ("printf" | "eprintf") ] | [ "Format"; ("printf" | "eprintf") ]
+    ->
+      Some `Direct
+  | [ "Format"; f ] when String.length f >= 6 && String.sub f 0 6 = "print_" ->
+      Some `Direct
+  | [ ("Printf" | "Format"); "fprintf" ] -> Some `Channelled
+  | _ -> None
+
+let is_std_sink e =
+  match ident_path e with
+  | Some p -> (
+      match unqualify p with
+      | [ ("stdout" | "stderr") ]
+      | [ "Format"; ("std_formatter" | "err_formatter") ]
+      | [ ("std_formatter" | "err_formatter") ] ->
+          true
+      | _ -> false)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* The traversal                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lint_structure config ~file str =
+  let out = ref [] in
+  let add rule loc message =
+    out :=
+      { file; line = loc.Location.loc_start.Lexing.pos_lnum; rule; message }
+      :: !out
+  in
+  let hot = config.assume_hot || path_is_hot file in
+  let lib = config.assume_lib || path_in_lib file in
+  (* Function idents already reported (or cleared) as the head of an
+     application are marked here so the bare-ident pass skips them. *)
+  let consumed = Hashtbl.create 64 in
+  let key loc =
+    (loc.Location.loc_start.Lexing.pos_lnum, loc.Location.loc_start.Lexing.pos_cnum)
+  in
+  let left_nested_append lhs =
+    match lhs.pexp_desc with
+    | Pexp_apply (g, _ :: _ :: _) -> (
+        match ident_path g with
+        | Some gp -> unqualify gp = [ "@" ]
+        | None -> false)
+    | _ -> false
+  in
+  let check_apply f args =
+    match ident_path f with
+    | None -> ()
+    | Some p ->
+        Hashtbl.replace consumed (key f.pexp_loc) ();
+        let u = unqualify p in
+        let loc = f.pexp_loc in
+        (match u with
+        | [ "compare" ] when hot ->
+            add R1 loc
+              "polymorphic compare in hot-path module; use Float.compare, \
+               Int.compare or Point.compare_lex"
+        | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
+        | [ "List"; "nth" ] when hot ->
+            add R4 loc "List.nth is O(n); use arrays or restructure the loop"
+        | _ -> ());
+        (match print_kind u with
+        | Some `Direct when lib ->
+            add R3 loc
+              (Printf.sprintf "%s prints from library code; move diagnostics \
+                               to bin/ or bench/" (String.concat "." u))
+        | Some `Channelled when lib -> (
+            match args with
+            | (_, sink) :: _ when is_std_sink sink ->
+                add R3 loc
+                  (Printf.sprintf "%s aimed at a standard sink from library \
+                                   code" (String.concat "." u))
+            | _ -> ())
+        | _ -> ());
+        (if hot && u = [ "@" ] then
+           match args with
+           | (_, lhs) :: _ when left_nested_append lhs ->
+               add R4 loc
+                 "left-nested (@) is quadratic; right-nest, or use \
+                  List.rev_append / List.concat"
+           | _ -> ());
+        match u with
+        | [ op ] when List.mem op comparison_ops -> (
+            match args with
+            | (_, l) :: (_, r) :: _ ->
+                let abstract = expr_float_abstract l || expr_float_abstract r in
+                let scalar = expr_float_scalar l || expr_float_scalar r in
+                if hot && abstract then
+                  add R1 loc
+                    (Printf.sprintf
+                       "polymorphic ( %s ) on a float-bearing abstract value; \
+                        use a specialized comparator" op)
+                else if scalar && List.mem op equality_ops then
+                  add R5 loc
+                    (Printf.sprintf
+                       "( %s ) on float operands; use Float.equal or a \
+                        tolerance" op)
+            | _ ->
+                if hot then
+                  add R1 loc
+                    (Printf.sprintf
+                       "partially applied polymorphic ( %s ) in hot-path \
+                        module" op))
+        | _ -> ()
+  in
+  let check_bare_ident e =
+    if not (Hashtbl.mem consumed (key e.pexp_loc)) then
+      match ident_path e with
+      | None -> ()
+      | Some p -> (
+          let u = unqualify p in
+          let loc = e.pexp_loc in
+          match u with
+          | [ "compare" ] when hot ->
+              add R1 loc
+                "polymorphic compare passed as a value in hot-path module"
+          | [ op ] when hot && List.mem op comparison_ops ->
+              add R1 loc
+                (Printf.sprintf
+                   "polymorphic ( %s ) passed as a value in hot-path module" op)
+          | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
+          | [ "List"; "nth" ] when hot ->
+              add R4 loc "List.nth passed as a value in hot-path module"
+          | _ -> (
+              match print_kind u with
+              | Some `Direct when lib ->
+                  add R3 loc
+                    (Printf.sprintf "%s passed as a value in library code"
+                       (String.concat "." u))
+              | _ -> ()))
+  in
+  let expr_iter self e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> check_apply f args
+    | Pexp_ident _ -> check_bare_ident e
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                add R6 c.pc_lhs.ppat_loc
+                  "blanket 'with _ ->' swallows all exceptions; match the \
+                   specific exceptions you expect"
+            | _ -> ())
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  it.structure it str;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_with parser path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Location.input_name := path;
+      parser lexbuf)
+
+let lint_file ?(config = default_config) path =
+  let vs =
+    if Filename.check_suffix path ".mli" then (
+      (* Interfaces carry no expressions the rules inspect; parsing them
+         still catches syntax rot in rarely-rebuilt dirs. *)
+      ignore (parse_with Parse.interface path);
+      [])
+    else
+      let str = parse_with Parse.implementation path in
+      lint_structure config ~file:path str
+  in
+  let vs =
+    if
+      Filename.check_suffix path ".ml"
+      && (config.require_mli || path_in_lib path)
+      && not (Sys.file_exists (Filename.chop_extension path ^ ".mli"))
+    then
+      { file = path; line = 1; rule = R7;
+        message =
+          Printf.sprintf "%s has no interface; add %s.mli" path
+            (Filename.remove_extension (Filename.basename path)) }
+      :: vs
+    else vs
+  in
+  List.filter (fun v -> not (allowed config.allow v)) vs
+
+let lint_paths paths =
+  let skip_dir name =
+    String.equal name "_build"
+    || String.equal name "lint_fixtures"
+    || (String.length name > 0 && name.[0] = '.')
+  in
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry ->
+          if skip_dir entry then acc
+          else walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then path :: acc
+    else acc
+  in
+  List.fold_left walk [] paths |> List.sort_uniq String.compare

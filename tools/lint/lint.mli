@@ -1,0 +1,80 @@
+(** kwsc-lint: repo-specific static analysis over the OCaml parsetree.
+
+    The linter parses source files with [compiler-libs] (no typing pass)
+    and enforces the project's correctness rules:
+
+    - R1: no polymorphic [compare] / comparison operators on float-bearing
+      data in hot-path modules ([lib/kdtree], [lib/ptree], [lib/core],
+      [lib/geom]).  Polymorphic structural comparison on floats is both
+      slow (generic C loop) and wrong at the edges (nan, -0.); the repo
+      standardises on [Float.compare], [Int.compare], [Point.compare_lex].
+    - R2: no [Obj.magic], anywhere.
+    - R3: no printing ([Printf.printf], [print_*], [Format.printf], or
+      [fprintf] aimed at stdout/stderr) inside [lib/]; diagnostics belong
+      in [bin/] and [bench/].  Formatter-parametric pretty-printers
+      ([Format.fprintf ppf ...]) and [sprintf] are fine.
+    - R4: no [List.nth] and no left-nested [(a @ b) @ c] in hot-path
+      modules (accidentally-quadratic list idioms).
+    - R5: no exact float equality ([=] / [<>] against float expressions);
+      use [Float.equal] or an explicit tolerance.
+    - R6: no blanket [try ... with _ ->]; it swallows [Out_of_memory],
+      [Stack_overflow] and assertion failures alike.
+    - R7: every [.ml] under [lib/] must have a matching [.mli].
+
+    Rules that depend on types (R1, R5) are syntactic approximations:
+    they fire on float literals, float-typed annotations, float intrinsic
+    applications, and comparison operators passed as first-class values
+    in hot-path code.  False positives are silenced via the checked-in
+    allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** ["R1"] ... ["R7"]. *)
+
+val rule_doc : rule -> string
+(** One-line description used by [--rules] and violation reports. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : rule;
+  message : string;
+}
+
+val pp_violation : violation -> string
+(** Renders as ["file:line: [R#] message"]. *)
+
+(** One allowlist entry: a rule id, a path (matched as a path-segment
+    suffix of the offending file), and an optional exact line. *)
+type allow_entry = { a_rule : string; a_path : string; a_line : int option }
+
+type config = {
+  assume_hot : bool;  (** treat every input as a hot-path module (R1, R4) *)
+  assume_lib : bool;  (** treat every input as [lib/] code (R3) *)
+  require_mli : bool;  (** require a [.mli] beside every [.ml] (R7) *)
+  allow : allow_entry list;
+}
+
+val default_config : config
+(** All flags off, empty allowlist: scope is inferred from file paths. *)
+
+val parse_allow : string -> allow_entry list
+(** Parse allowlist text.  Line-based: [; comment]s stripped, then each
+    non-empty line is [(RULE PATH [LINE])] — parentheses optional.
+    @raise Failure on a malformed line. *)
+
+val load_allow : string -> allow_entry list
+(** [parse_allow] over a file's contents. *)
+
+val lint_file : ?config:config -> string -> violation list
+(** Lint one [.ml] (full rule set + R7) or [.mli] (syntax check only).
+    Violations matching the allowlist are filtered out.  Propagates
+    lexer/parser exceptions on unparseable input. *)
+
+val lint_paths : string list -> string list
+(** Expand files and directories (recursively; skips [_build], hidden
+    directories and [lint_fixtures]) into the sorted list of [.ml] and
+    [.mli] files to lint. *)

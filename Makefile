@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick examples clean doc lint audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel examples clean doc lint audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -10,7 +10,12 @@ build:
 test:
 	dune runtest --force
 
-# Repo-specific static analysis (tools/lint; rules R1-R7).
+# The heavy tier: large stress instances, the 120-sequence dynamic audit
+# and the parallel stress test, under deep audits and a 4-domain pool.
+test-slow:
+	KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
+
+# Repo-specific static analysis (tools/lint; rules R1-R8).
 lint:
 	dune build @lint
 
@@ -18,7 +23,7 @@ lint:
 audit:
 	KWSC_AUDIT=1 dune runtest --force
 
-# Everything CI checks: build + tests + lint.
+# Everything CI checks: build + tests at 1 and 4 domains + slow tier + lint.
 ci:
 	sh scripts/ci.sh
 
@@ -27,6 +32,10 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Multicore build-throughput and batched-QPS scaling (writes BENCH_pr2.json).
+bench-parallel:
+	dune exec bench/main.exe -- --only PAR
 
 examples:
 	dune exec examples/quickstart.exe

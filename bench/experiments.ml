@@ -680,4 +680,5 @@ let all : (string * string * (unit -> unit)) list =
     ("A2", "Ablation: emptiness bits, leaf weight", a2);
     ("DYN", "Extension: dynamization (Bentley-Saxe)", dyn);
     ("W1", "Robustness: correlated geo-text workload", w1);
+    ("PAR", "Multicore scaling: pool builds & batched queries", Parallel.run);
   ]

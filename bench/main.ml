@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- --quick      -- smaller sweeps
      dune exec bench/main.exe -- --only T1.1  -- one experiment
      dune exec bench/main.exe -- --no-micro   -- skip Bechamel section
+     dune exec bench/main.exe -- --domains 4  -- default pool size (KWSC_DOMAINS)
 
    Each experiment regenerates one Table-1 row or figure of the paper
    (DESIGN.md section 3 maps ids to paper artifacts; EXPERIMENTS.md records
@@ -24,8 +25,18 @@ let () =
     | "--only" :: id :: rest ->
         only := Some id;
         parse rest
+    | "--domains" :: d :: rest ->
+        (* Sets the default pool's size for every experiment; parsed
+           before any build runs, so the lazy default pool sees it. *)
+        (match int_of_string_opt d with
+        | Some n when n >= 1 -> Unix.putenv "KWSC_DOMAINS" d
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %s\n" d;
+            exit 1);
+        parse rest
     | "--help" :: _ ->
-        print_endline "options: [--quick] [--no-micro] [--only EXPID]";
+        print_endline
+          "options: [--quick] [--no-micro] [--only EXPID] [--domains N]";
         print_endline "experiment ids:";
         List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) Experiments.all;
         exit 0

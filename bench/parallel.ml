@@ -1,0 +1,92 @@
+(* Multicore scaling: bulk-build throughput and batched-query QPS at 1, 2
+   and 4 domains. No paper claim backs this experiment — the pool is an
+   implementation extension — so instead of a shape verdict it records
+   raw numbers, both as a table and as machine-readable BENCH_pr2.json
+   (with the host's core count, since speedup on a 1-core runner is
+   honestly ~1x). Correctness of the parallel paths is the test suite's
+   job (test_parallel_diff); this experiment only measures. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Pool = Kwsc_util.Pool
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, t = Kwsc_util.Timer.time f in
+    result := Some r;
+    if t < !best then best := t
+  done;
+  (Option.get !result, !best)
+
+let run () =
+  H.header "PAR: multicore bulk-build & batched queries"
+    "no claim (implementation extension); structures identical at every pool size";
+  let n = if !H.quick then 30_000 else 100_000 in
+  let nq = if !H.quick then 512 else 2048 in
+  let rng = Prng.create 0xbead in
+  let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:200 ~range:1000.0 in
+  let tagged = Array.map (fun (p, _) -> (p, ())) objs in
+  let sub = Array.sub objs 0 (n / 4) in
+  let queries =
+    Array.init nq (fun _ ->
+        (H.rect_of_trial rng, [| 1 + Prng.int rng 20; 21 + Prng.int rng 40 |]))
+  in
+  let rows =
+    List.map
+      (fun dcount ->
+        let pool = Pool.create ~domains:dcount () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            let _, kd_t = time_best ~reps:3 (fun () -> Kwsc_kdtree.Kd.build ~pool tagged) in
+            let orp, orp_t =
+              time_best ~reps:(if !H.quick then 1 else 2) (fun () ->
+                  Kwsc.Orp_kw.build ~pool ~k:2 sub)
+            in
+            let _, batch_t =
+              time_best ~reps:3 (fun () -> Kwsc.Orp_kw.query_batch ~pool orp queries)
+            in
+            Printf.printf
+              "  domains=%d  kd-build=%7.1fms (%5.2f Mpts/s)  orp-build=%7.1fms  \
+               batch=%7.1fms (%7.0f q/s)\n"
+              dcount (kd_t *. 1e3)
+              (float_of_int n /. kd_t /. 1e6)
+              (orp_t *. 1e3) (batch_t *. 1e3)
+              (float_of_int nq /. batch_t);
+            (dcount, kd_t, orp_t, batch_t)))
+      [ 1; 2; 4 ]
+  in
+  let _, kd1, orp1, batch1 = List.hd rows in
+  List.iter
+    (fun (d, kd_t, orp_t, batch_t) ->
+      if d > 1 then
+        Printf.printf "  -> domains=%d speedup: kd-build %.2fx  orp-build %.2fx  batch %.2fx\n" d
+          (kd1 /. kd_t) (orp1 /. orp_t) (batch1 /. batch_t))
+    rows;
+  let oc = open_out "BENCH_pr2.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"multicore bulk-build & batched queries\",\n\
+    \  \"cores\": %d,\n\
+    \  \"kd_points\": %d,\n\
+    \  \"orp_objects\": %d,\n\
+    \  \"batch_queries\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    n (Array.length sub) nq
+    (String.concat ",\n"
+       (List.map
+          (fun (d, kd_t, orp_t, batch_t) ->
+            Printf.sprintf
+              "    {\"domains\": %d, \"kd_build_s\": %.6f, \"orp_build_s\": %.6f, \
+               \"query_batch_s\": %.6f, \"kd_speedup\": %.3f, \"orp_speedup\": %.3f, \
+               \"batch_speedup\": %.3f}"
+              d kd_t orp_t batch_t (kd1 /. kd_t) (orp1 /. orp_t) (batch1 /. batch_t))
+          rows));
+  close_out oc;
+  Printf.printf "  wrote BENCH_pr2.json\n"

@@ -1,0 +1,21 @@
+let run ?pool answer qs =
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  let n = Array.length qs in
+  let out = Array.make n [||] in
+  if n = 0 then (out, Stats.fresh_query ())
+  else begin
+    (* One contiguous shard per worker, each with a private accumulator:
+       no counter is shared across domains, and the shard boundaries
+       depend only on (n, shards), never on scheduling. *)
+    let shards = max 1 (min n (Kwsc_util.Pool.size pool)) in
+    let accs = Array.init shards (fun _ -> Stats.fresh_query ()) in
+    Kwsc_util.Pool.parallel_for pool ~lo:0 ~hi:shards (fun s ->
+        let lo = s * n / shards and hi = (s + 1) * n / shards in
+        let acc = accs.(s) in
+        for i = lo to hi - 1 do
+          let ids, st = answer qs.(i) in
+          out.(i) <- ids;
+          Stats.add_into ~into:acc st
+        done);
+    (out, Array.fold_left Stats.merge (Stats.fresh_query ()) accs)
+  end

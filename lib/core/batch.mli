@@ -1,0 +1,24 @@
+(** Shared implementation of the [query_batch] APIs: shard a query
+    stream across the domain pool with domain-local statistics.
+
+    Every Table-1 index exposes [query_batch] as a thin wrapper around
+    {!run}, because the indexes are immutable after construction and
+    their query paths allocate a fresh {!Stats.query} per call — the
+    only cross-query mutable state a naive batch loop would share is the
+    accumulated counters, which [run] keeps strictly per-shard (one
+    shard per pool worker) and combines with {!Stats.merge} at the end.
+
+    Equivalence contract (checked by [test_parallel_diff]): for any pool
+    size, [run] returns exactly the per-query answers of a sequential
+    loop, and the merged counters equal the sequential field-wise sum —
+    integer addition is associative, so even the totals are identical,
+    not merely statistically close. *)
+
+val run :
+  ?pool:Kwsc_util.Pool.t ->
+  ('q -> int array * Stats.query) ->
+  'q array ->
+  int array array * Stats.query
+(** [run answer qs]: evaluate [answer] on every element of [qs] (in
+    parallel shards on [pool], default {!Kwsc_util.Pool.default}),
+    returning per-query id arrays in input order plus merged counters. *)

@@ -32,9 +32,14 @@ let fanout_at ~k level =
   let e = min 40 (kpow 1 level) in
   2 * (1 lsl e)
 
-let build ?leaf_weight ~k objs =
+(* Below this active-set weight the cut/secondary recursion stays
+   sequential even under a parallel pool. *)
+let par_cutoff = 4096
+
+let build ?leaf_weight ?pool ~k objs =
   if Array.length objs = 0 then invalid_arg "Dimred.build: empty input";
   if k < 2 then invalid_arg "Dimred.build: k must be >= 2";
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
   let pts = Array.map fst objs in
   let docs = Array.map snd objs in
   let d = Array.length pts.(0) in
@@ -49,7 +54,7 @@ let build ?leaf_weight ~k objs =
           (fun id -> (Array.sub pts.(id) proj_from dims, docs.(id)))
           subset
       in
-      Base (Orp_kw.build ?leaf_weight ~k local, subset)
+      Base (Orp_kw.build ?leaf_weight ~pool ~k local, subset)
     end
     else Cut (make_cut subset proj_from dims 0)
   and make_cut subset proj_from dims level =
@@ -83,10 +88,25 @@ let build ?leaf_weight ~k objs =
       sorted;
     groups := Array.of_list (List.rev !cur) :: !groups;
     let groups = List.rev !groups and pivots = Array.of_list (List.rev !pivots) in
-    let children =
-      List.filter_map
-        (fun g -> if Array.length g = 0 then None else Some (make_cut g proj_from dims (level + 1)))
-        groups
+    let nonempty =
+      Array.of_list (List.filter (fun g -> Array.length g > 0) groups)
+    in
+    let par = w_total >= par_cutoff && not (Kwsc_util.Pool.sequential pool) in
+    (* The secondary and every child act on data fully materialized above:
+       they are independent tasks, and forking them changes nothing about
+       the structure produced (each task is a pure function of its group). *)
+    let build_children () =
+      if par && Array.length nonempty >= 2 then
+        Kwsc_util.Pool.fork_join_array pool
+          (Array.map (fun g () -> make_cut g proj_from dims (level + 1)) nonempty)
+      else Array.map (fun g -> make_cut g proj_from dims (level + 1)) nonempty
+    in
+    let build_secondary () = make_tree subset (proj_from + 1) (dims - 1) in
+    let children, secondary =
+      if par then Kwsc_util.Pool.fork_join pool build_children build_secondary
+      else
+        let c = build_children () in
+        (c, build_secondary ())
     in
     {
       sigma = (x sorted.(0), x sorted.(Array.length sorted - 1));
@@ -94,8 +114,8 @@ let build ?leaf_weight ~k objs =
       fanout = f;
       weight = w_total;
       pivots;
-      secondary = make_tree subset (proj_from + 1) (dims - 1);
-      children = Array.of_list children;
+      secondary;
+      children;
     }
   in
   let all = Array.init (Array.length objs) (fun i -> i) in
@@ -188,6 +208,49 @@ let query_profile ?limit t q ws =
     } )
 
 let query ?limit t q ws = fst (query_profile ?limit t q ws)
+
+let empty_profile =
+  { type1 = 0; type2 = 0; type2_by_level = [||]; pivot_checked = 0; work = 0 }
+
+(* Element-wise sum; [type2_by_level] arrays of different heights pad with
+   zeros. Integer addition is associative and commutative, so folding the
+   per-shard profiles in any order equals the sequential accumulation. *)
+let merge_profile a b =
+  let la = Array.length a.type2_by_level and lb = Array.length b.type2_by_level in
+  let by_level =
+    Array.init (max la lb) (fun i ->
+        (if i < la then a.type2_by_level.(i) else 0)
+        + if i < lb then b.type2_by_level.(i) else 0)
+  in
+  {
+    type1 = a.type1 + b.type1;
+    type2 = a.type2 + b.type2;
+    type2_by_level = by_level;
+    pivot_checked = a.pivot_checked + b.pivot_checked;
+    work = a.work + b.work;
+  }
+
+(* The index is immutable after [build] and [query_profile] keeps all its
+   scratch state local, so shards race on nothing: slot [i] of the output
+   is exactly [query ?limit t q ws] for [qs.(i)]. *)
+let query_batch ?pool ?limit t qs =
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  let n = Array.length qs in
+  let out = Array.make n [||] in
+  if n = 0 then (out, empty_profile)
+  else begin
+    let shards = max 1 (min n (Kwsc_util.Pool.size pool)) in
+    let accs = Array.make shards empty_profile in
+    Kwsc_util.Pool.parallel_for pool ~lo:0 ~hi:shards (fun s ->
+        let lo = s * n / shards and hi = (s + 1) * n / shards in
+        for i = lo to hi - 1 do
+          let q, ws = qs.(i) in
+          let ids, p = query_profile ?limit t q ws in
+          out.(i) <- ids;
+          accs.(s) <- merge_profile accs.(s) p
+        done);
+    (out, Array.fold_left merge_profile empty_profile accs)
+  end
 
 let cut_stats t f =
   let rec go = function Base _ -> () | Cut node -> go_cut node
@@ -313,8 +376,8 @@ let check_invariants t =
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
-let build ?leaf_weight ~k objs =
-  let t = build ?leaf_weight ~k objs in
+let build ?leaf_weight ?pool ~k objs =
+  let t = build ?leaf_weight ?pool ~k objs in
   I.auto_check (fun () -> check_invariants t);
   t
 

@@ -15,8 +15,12 @@ open Kwsc_geom
 
 type t
 
-val build : ?leaf_weight:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
-(** Works for any d >= 1 (d <= 2 degenerates to the Theorem-1 index). *)
+val build :
+  ?leaf_weight:int -> ?pool:Kwsc_util.Pool.t -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+(** Works for any d >= 1 (d <= 2 degenerates to the Theorem-1 index).
+    Heavy cut nodes build their children and secondary structures as
+    parallel [pool] tasks (default {!Kwsc_util.Pool.default}); the
+    structure produced is identical at every pool size. *)
 
 val k : t -> int
 val dim : t -> int
@@ -39,6 +43,17 @@ type profile = {
 val query_profile : ?limit:int -> t -> Rect.t -> int array -> int array * profile
 (** As [query] plus the type-1/type-2 accounting of the top-level cut
     tree. *)
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Rect.t * int array) array ->
+  int array array * profile
+(** Evaluate a query stream, sharded across the [pool]; slot [i] is
+    [query ?limit t q ws] for [qs.(i)], and the returned profile is the
+    element-wise sum of the per-query profiles (equal to a sequential
+    accumulation, since integer addition is associative). *)
 
 val cut_stats : t -> (level:int -> fanout:int -> weight:int -> children:int -> pivots:int -> unit) -> unit
 (** Visit every node of the top-level cut tree (no-op when d <= 2) — used

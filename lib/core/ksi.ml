@@ -1,6 +1,6 @@
 type t = { inner : (unit, unit) Transform.t }
 
-let of_docs ?leaf_weight ?tau_exponent ?use_bits ~k docs =
+let of_docs ?leaf_weight ?tau_exponent ?use_bits ?pool ~k docs =
   let weights = Array.map Kwsc_invindex.Doc.size docs in
   let split ~depth:_ () ids =
     let sorted = Array.copy ids in
@@ -30,7 +30,7 @@ let of_docs ?leaf_weight ?tau_exponent ?use_bits ~k docs =
       contains = (fun () _ -> true);
     }
   in
-  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ~k ~space docs }
+  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k ~space docs }
 
 let of_instance ?leaf_weight ~k inst =
   let docs, elements = Kwsc_invindex.Ksi_instance.to_keyword_dataset inst in
@@ -40,6 +40,7 @@ let k t = Transform.k t.inner
 let input_size t = Transform.input_size t.inner
 let query_stats ?limit t ws = Transform.query_stats ?limit t.inner () ws
 let query ?limit t ws = fst (query_stats ?limit t ws)
+let query_batch ?pool ?limit t wss = Batch.run ?pool (fun ws -> query_stats ?limit t ws) wss
 let emptiness t ws = Array.length (query ~limit:1 t ws) = 0
 let space_stats t = Transform.space_stats t.inner
 let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f

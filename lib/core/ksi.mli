@@ -12,6 +12,7 @@ val of_docs :
   ?leaf_weight:int ->
   ?tau_exponent:float ->
   ?use_bits:bool ->
+  ?pool:Kwsc_util.Pool.t ->
   k:int ->
   Kwsc_invindex.Doc.t array ->
   t
@@ -31,6 +32,16 @@ val query : ?limit:int -> t -> int array -> int array
     (as label-array indexes). *)
 
 val query_stats : ?limit:int -> t -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  int array array ->
+  int array array * Stats.query
+(** Evaluate a stream of keyword sets, sharded across the [pool] with
+    per-shard counters merged at the end — the {!Batch.run} equivalence
+    contract. *)
 
 val emptiness : t -> int array -> bool
 (** k-SI emptiness via an output-capped reporting query ([limit:1]) — the

@@ -2,7 +2,7 @@ open Kwsc_geom
 
 type t = { sp : Sp_kw.t }
 
-let build ?leaf_weight ?seed ~k objs = { sp = Sp_kw.build ?leaf_weight ?seed ~k objs }
+let build ?leaf_weight ?seed ?pool ~k objs = { sp = Sp_kw.build ?leaf_weight ?seed ?pool ~k objs }
 let k t = Sp_kw.k t.sp
 let dim t = Sp_kw.dim t.sp
 let input_size t = Sp_kw.input_size t.sp
@@ -10,6 +10,9 @@ let query ?limit t hs ws = Sp_kw.query_halfspaces ?limit t.sp hs ws
 
 let query_stats ?limit t hs ws =
   Sp_kw.query_stats ?limit t.sp (Polytope.make ~dim:(dim t) hs) ws
+
+let query_batch ?pool ?limit t qs =
+  Batch.run ?pool (fun (hs, ws) -> query_stats ?limit t hs ws) qs
 
 let query_rect ?limit t r ws =
   if Rect.dim r <> dim t then invalid_arg "Lc_kw.query_rect: dimension mismatch";

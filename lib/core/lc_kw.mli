@@ -13,7 +13,14 @@ open Kwsc_geom
 
 type t
 
-val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+val build :
+  ?leaf_weight:int ->
+  ?seed:int ->
+  ?pool:Kwsc_util.Pool.t ->
+  k:int ->
+  (Point.t * Kwsc_invindex.Doc.t) array ->
+  t
+
 val k : t -> int
 val dim : t -> int
 val input_size : t -> int
@@ -23,6 +30,15 @@ val query : ?limit:int -> t -> Halfspace.t list -> int array -> int array
     keywords. *)
 
 val query_stats : ?limit:int -> t -> Halfspace.t list -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Halfspace.t list * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with per-shard
+    counters merged at the end — the {!Batch.run} equivalence contract. *)
 
 val query_rect : ?limit:int -> t -> Rect.t -> int array -> int array
 (** ORP-KW through LC-KW — a d-rectangle is the conjunction of 2d linear

@@ -24,7 +24,7 @@ type t = {
   d : int;
 }
 
-let build ?leaf_weight ?tau_exponent ?use_bits ~k objs =
+let build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k objs =
   let m = Array.length objs in
   if m = 0 then invalid_arg "Orp_kw.build: empty input";
   let pts = Array.map fst objs in
@@ -76,7 +76,7 @@ let build ?leaf_weight ?tau_exponent ?use_bits ~k objs =
     !ok
   in
   let space = { Transform.root_cell; split; classify; contains } in
-  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ~k ~space docs; rs; ranks; d }
+  { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k ~space docs; rs; ranks; d }
 
 let k t = Transform.k t.inner
 let dim t = t.d
@@ -95,6 +95,7 @@ let query_stats ?limit t q ws =
   | Some (ilo, ihi) -> Transform.query_stats ?limit t.inner { ilo; ihi } ws
 
 let query ?limit t q ws = fst (query_stats ?limit t q ws)
+let query_batch ?pool ?limit t qs = Batch.run ?pool (fun (q, ws) -> query_stats ?limit t q ws) qs
 let space_stats t = Transform.space_stats t.inner
 let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f
 

@@ -20,12 +20,14 @@ val build :
   ?leaf_weight:int ->
   ?tau_exponent:float ->
   ?use_bits:bool ->
+  ?pool:Kwsc_util.Pool.t ->
   k:int ->
   (Point.t * Kwsc_invindex.Doc.t) array ->
   t
 (** @raise Invalid_argument if [k < 2], the input is empty, or dimensions
     are mixed. [tau_exponent] and [use_bits] are the ablation knobs of
-    {!Transform.build}. *)
+    {!Transform.build}; [pool] parallelizes heavy subtree builds exactly as
+    in {!Transform.build} (identical structure at every pool size). *)
 
 val k : t -> int
 val dim : t -> int
@@ -39,6 +41,16 @@ val query : ?limit:int -> t -> Rect.t -> int array -> int array
     (the probe mode of Corollary 4). *)
 
 val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Rect.t * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with per-shard
+    counters merged at the end — the {!Batch.run} equivalence contract. *)
+
 val space_stats : t -> Stats.space
 
 val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a

@@ -18,7 +18,7 @@ let lift_objects rects d =
       (p, doc))
     rects
 
-let build ?leaf_weight ?(engine = `Auto) ~k rects =
+let build ?leaf_weight ?(engine = `Auto) ?pool ~k rects =
   if Array.length rects = 0 then invalid_arg "Rr_kw.build: empty input";
   let d = Rect.dim (fst rects.(0)) in
   let objs = lift_objects rects d in
@@ -31,9 +31,9 @@ let build ?leaf_weight ?(engine = `Auto) ~k rects =
   in
   let inner =
     match engine with
-    | `Kd -> E_kd (Orp_kw.build ?leaf_weight ~k objs)
-    | `Dimred -> E_dimred (Dimred.build ?leaf_weight ~k objs)
-    | `Lc -> E_lc (Lc_kw.build ?leaf_weight ~k objs)
+    | `Kd -> E_kd (Orp_kw.build ?leaf_weight ?pool ~k objs)
+    | `Dimred -> E_dimred (Dimred.build ?leaf_weight ?pool ~k objs)
+    | `Lc -> E_lc (Lc_kw.build ?leaf_weight ?pool ~k objs)
   in
   { inner; d }
 
@@ -70,6 +70,9 @@ let query_stats ?limit t q ws =
       (ids, st)
 
 let query ?limit t q ws = fst (query_stats ?limit t q ws)
+
+let query_batch ?pool ?limit t qs =
+  Batch.run ?pool (fun (q, ws) -> query_stats ?limit t q ws) qs
 
 let space_stats t =
   match t.inner with

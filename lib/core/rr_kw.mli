@@ -14,6 +14,7 @@ type t
 val build :
   ?leaf_weight:int ->
   ?engine:[ `Auto | `Kd | `Dimred | `Lc ] ->
+  ?pool:Kwsc_util.Pool.t ->
   k:int ->
   (Rect.t * Kwsc_invindex.Doc.t) array ->
   t
@@ -39,4 +40,14 @@ val query : ?limit:int -> t -> Rect.t -> int array -> int array
 (** Sorted ids of the data rectangles intersecting [q] with all keywords. *)
 
 val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Rect.t * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with per-shard
+    counters merged at the end — the {!Batch.run} equivalence contract. *)
+
 val space_stats : t -> Stats.space

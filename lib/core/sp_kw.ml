@@ -64,7 +64,7 @@ let bbox_of d pts ids =
     ids;
   Rect.make lo hi
 
-let build ?leaf_weight ?(seed = 0x51ac3d) ~k objs =
+let build ?leaf_weight ?(seed = 0x51ac3d) ?pool ~k objs =
   let m = Array.length objs in
   if m = 0 then invalid_arg "Sp_kw.build: empty input";
   let pts = Array.map fst objs in
@@ -119,7 +119,7 @@ let build ?leaf_weight ?(seed = 0x51ac3d) ~k objs =
   let contains q id = Polytope.mem q pts.(id) in
   let all_ids = Array.init m (fun i -> i) in
   let space = { Transform.root_cell = bbox_of d pts all_ids; split; classify; contains } in
-  { inner = Transform.build ?leaf_weight ~k ~space docs; d }
+  { inner = Transform.build ?leaf_weight ?pool ~k ~space docs; d }
 
 let k t = Transform.k t.inner
 let dim t = t.d
@@ -132,5 +132,6 @@ let query_stats ?limit t q ws =
 let query_polytope ?limit t q ws = fst (query_stats ?limit t q ws)
 let query_simplex ?limit t s ws = query_polytope ?limit t (Polytope.of_simplex s) ws
 let query_halfspaces ?limit t hs ws = query_polytope ?limit t (Polytope.make ~dim:t.d hs) ws
+let query_batch ?pool ?limit t qs = Batch.run ?pool (fun (q, ws) -> query_stats ?limit t q ws) qs
 let space_stats t = Transform.space_stats t.inner
 let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f

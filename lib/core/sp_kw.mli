@@ -16,8 +16,16 @@ open Kwsc_geom
 
 type t
 
-val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
-(** @raise Invalid_argument if [k < 2] or the input is empty. *)
+val build :
+  ?leaf_weight:int ->
+  ?seed:int ->
+  ?pool:Kwsc_util.Pool.t ->
+  k:int ->
+  (Point.t * Kwsc_invindex.Doc.t) array ->
+  t
+(** @raise Invalid_argument if [k < 2] or the input is empty. The BSP
+    direction palette is fixed by [seed] before any parallel work starts,
+    so the structure is identical at every [pool] size. *)
 
 val k : t -> int
 val dim : t -> int
@@ -34,5 +42,17 @@ val query_halfspaces : ?limit:int -> t -> Halfspace.t list -> int array -> int a
 (** LC-KW form: conjunction of linear constraints. *)
 
 val query_stats : ?limit:int -> t -> Polytope.t -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Polytope.t * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with per-shard
+    counters merged at the end — the {!Batch.run} equivalence contract.
+    Classification is the exact box-vs-halfspace test (no LP, no rng), so
+    the query path is read-only and race-free. *)
+
 val space_stats : t -> Stats.space
 val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a

@@ -2,11 +2,11 @@ open Kwsc_geom
 
 type t = { sp : Sp_kw.t; d : int }
 
-let build ?leaf_weight ?seed ~k objs =
+let build ?leaf_weight ?seed ?pool ~k objs =
   if Array.length objs = 0 then invalid_arg "Srp_kw.build: empty input";
   let d = Array.length (fst objs.(0)) in
   let lifted = Array.map (fun (p, doc) -> (Lift.point p, doc)) objs in
-  { sp = Sp_kw.build ?leaf_weight ?seed ~k lifted; d }
+  { sp = Sp_kw.build ?leaf_weight ?seed ?pool ~k lifted; d }
 
 let k t = Sp_kw.k t.sp
 let dim t = t.d
@@ -31,6 +31,9 @@ let query ?limit t (s : Sphere.t) ws =
 let query_stats ?limit t (s : Sphere.t) ws =
   let h = halfspace_of_ball_sq t s.Sphere.center (s.Sphere.radius *. s.Sphere.radius) in
   Sp_kw.query_stats ?limit t.sp (Polytope.make ~dim:(t.d + 1) [ h ]) ws
+
+let query_batch ?pool ?limit t qs =
+  Batch.run ?pool (fun (s, ws) -> query_stats ?limit t s ws) qs
 
 let space_stats t = Sp_kw.space_stats t.sp
 

@@ -10,7 +10,14 @@ open Kwsc_geom
 
 type t
 
-val build : ?leaf_weight:int -> ?seed:int -> k:int -> (Point.t * Kwsc_invindex.Doc.t) array -> t
+val build :
+  ?leaf_weight:int ->
+  ?seed:int ->
+  ?pool:Kwsc_util.Pool.t ->
+  k:int ->
+  (Point.t * Kwsc_invindex.Doc.t) array ->
+  t
+
 val k : t -> int
 
 val dim : t -> int
@@ -26,6 +33,16 @@ val query_ball_sq : ?limit:int -> t -> Point.t -> float -> int array -> int arra
     coordinates, which is what the binary search of Corollary 7 needs. *)
 
 val query_stats : ?limit:int -> t -> Sphere.t -> int array -> int array * Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  t ->
+  (Sphere.t * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with per-shard
+    counters merged at the end — the {!Batch.run} equivalence contract. *)
+
 val space_stats : t -> Stats.space
 
 val emptiness : t -> Sphere.t -> int array -> bool

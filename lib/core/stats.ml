@@ -23,6 +23,22 @@ let fresh_query () =
 
 let work q = q.pivot_checked + q.small_scanned + q.nodes_visited
 
+let add_into ~into q =
+  into.nodes_visited <- into.nodes_visited + q.nodes_visited;
+  into.covered_nodes <- into.covered_nodes + q.covered_nodes;
+  into.crossing_nodes <- into.crossing_nodes + q.crossing_nodes;
+  into.pivot_checked <- into.pivot_checked + q.pivot_checked;
+  into.small_scanned <- into.small_scanned + q.small_scanned;
+  into.pruned_empty <- into.pruned_empty + q.pruned_empty;
+  into.pruned_geom <- into.pruned_geom + q.pruned_geom;
+  into.reported <- into.reported + q.reported
+
+let merge a b =
+  let m = fresh_query () in
+  add_into ~into:m a;
+  add_into ~into:m b;
+  m
+
 type space = {
   nodes : int;
   max_depth : int;

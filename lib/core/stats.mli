@@ -20,6 +20,17 @@ val work : query -> int
 (** Total objects examined — the machine-independent cost measure used for
     exponent fits. *)
 
+val add_into : into:query -> query -> unit
+(** Accumulate [q]'s counters into [into], field by field. The batched
+    query paths keep one accumulator per domain (no counter is ever
+    shared across domains) and combine them with {!merge} at the end. *)
+
+val merge : query -> query -> query
+(** Fresh counter record holding the field-wise sum. Associative and
+    commutative with {!fresh_query} as identity, so per-domain partial
+    sums fold to the same totals as a sequential accumulation — the
+    property [test_parallel_diff] checks. *)
+
 type space = {
   nodes : int;
   max_depth : int;

@@ -46,11 +46,17 @@ let iter_combos ranks k l f =
   in
   if len >= k then go 0 0 0
 
-let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ~k ~space docs =
+(* Nodes lighter than this build sequentially even under a parallel
+   pool: the split/sort work no longer amortises a task. *)
+let par_cutoff = 4096
+
+let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space docs =
   if k < 2 then invalid_arg "Transform.build: k must be >= 2";
   let m = Array.length docs in
   if m = 0 then invalid_arg "Transform.build: empty dataset";
   if leaf_weight < 1 then invalid_arg "Transform.build: leaf_weight must be >= 1";
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  let fork_below = Kwsc_util.Pool.fork_depth pool in
   let tau_exp =
     match tau_exponent with
     | None -> 1.0 -. (1.0 /. float_of_int k)
@@ -145,26 +151,37 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ~k ~space docs =
           then ipow num_large k
           else 0
         in
+        (* Each child task touches only its own subtree, its own bitset
+           and read-only parent state ([docs], [large], the candidate
+           table — fully populated before the fork), so heavy nodes near
+           the root fork their children into the pool; the structure is
+           identical at every pool size. *)
+        let build_child (ccell, cids) =
+          let node = build_node ccell cids child_candidates (depth + 1) in
+          let nonempty = Bitset.create bits_len in
+          if bits_len > 0 then
+            Array.iter
+              (fun id ->
+                let ranks = ref [] in
+                Doc.iter
+                  (fun w ->
+                    match Hashtbl.find_opt large w with
+                    | Some r -> ranks := r :: !ranks
+                    | None -> ())
+                  docs.(id);
+                let ranks = Array.of_list (List.sort Int.compare !ranks) in
+                iter_combos ranks k num_large (fun code -> Bitset.set nonempty code))
+              cids;
+          { node; nonempty }
+        in
         let children =
-          Array.map
-            (fun (ccell, cids) ->
-              let node = build_node ccell cids child_candidates (depth + 1) in
-              let nonempty = Bitset.create bits_len in
-              if bits_len > 0 then
-                Array.iter
-                  (fun id ->
-                    let ranks = ref [] in
-                    Doc.iter
-                      (fun w ->
-                        match Hashtbl.find_opt large w with
-                        | Some r -> ranks := r :: !ranks
-                        | None -> ())
-                      docs.(id);
-                    let ranks = Array.of_list (List.sort Int.compare !ranks) in
-                    iter_combos ranks k num_large (fun code -> Bitset.set nonempty code))
-                  cids;
-              { node; nonempty })
-            nonempty_children
+          if
+            depth < fork_below && n_u >= par_cutoff
+            && Array.length nonempty_children >= 2
+          then
+            Kwsc_util.Pool.fork_join_array pool
+              (Array.map (fun c () -> build_child c) nonempty_children)
+          else Array.map build_child nonempty_children
         in
         { cell; depth; n_u; pivot = pivots; children; large; num_large; materialized }
       end
@@ -261,6 +278,9 @@ let query_stats ?limit t q ws =
   (out, st)
 
 let query ?limit t q ws = fst (query_stats ?limit t q ws)
+
+let query_batch ?pool ?limit t qs =
+  Batch.run ?pool (fun (q, ws) -> query_stats ?limit t q ws) qs
 
 type node_view = {
   depth : int;

@@ -37,6 +37,7 @@ val build :
   ?leaf_weight:int ->
   ?tau_exponent:float ->
   ?use_bits:bool ->
+  ?pool:Kwsc_util.Pool.t ->
   k:int ->
   space:('cell, 'query) space ->
   Kwsc_invindex.Doc.t array ->
@@ -57,6 +58,10 @@ val build :
       the query then always descends into geometrically feasible children.
       Correct, but emptiness queries lose their O(1)-per-node pruning.
 
+    Heavy nodes near the root build their children as parallel [pool]
+    tasks (default {!Kwsc_util.Pool.default}); the structure produced is
+    identical at every pool size.
+
     @raise Invalid_argument if [k < 2], [docs] is empty, or [tau_exponent]
     is outside [\[0, 1\]]. *)
 
@@ -75,6 +80,16 @@ val query : ?limit:int -> ('cell, 'query) t -> 'query -> int array -> int array
 
 val query_stats : ?limit:int -> ('cell, 'query) t -> 'query -> int array -> int array * Stats.query
 (** As [query], also returning per-query instrumentation. *)
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  ?limit:int ->
+  ('cell, 'query) t ->
+  ('query * int array) array ->
+  int array array * Stats.query
+(** Evaluate a query stream, sharded across the [pool] with domain-local
+    counters merged at the end — see {!Batch.run} for the exact
+    equivalence contract with a sequential loop. *)
 
 val space_stats : ('cell, 'query) t -> Stats.space
 (** Space accounting in words (Appendix B's budget). *)

@@ -1,6 +1,7 @@
 type t = { docs : Doc.t array; postings : (int, int array) Hashtbl.t; n : int; vocab : int array }
 
-let build docs =
+let build ?pool docs =
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
   let postings_l : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
     (fun id doc ->
@@ -11,13 +12,22 @@ let build docs =
           | None -> Hashtbl.add postings_l w (ref [ id ]))
         doc)
     docs;
-  let postings = Hashtbl.create (Hashtbl.length postings_l) in
-  Hashtbl.iter
-    (fun w l ->
-      let a = Array.of_list !l in
-      Array.sort Int.compare a;
-      Hashtbl.add postings w a)
-    postings_l;
+  (* Materializing and sorting each keyword's posting list is independent
+     per keyword: snapshot the accumulator table into an array and sort
+     the lists as pool tasks, then insert the results sequentially. *)
+  let entries =
+    Array.of_list (Hashtbl.fold (fun w l acc -> (w, !l) :: acc) postings_l [])
+  in
+  let sorted_arrays =
+    Kwsc_util.Pool.parallel_map pool
+      (fun (_, l) ->
+        let a = Array.of_list l in
+        Array.sort Int.compare a;
+        a)
+      entries
+  in
+  let postings = Hashtbl.create (max 1 (Array.length entries)) in
+  Array.iteri (fun i (w, _) -> Hashtbl.add postings w sorted_arrays.(i)) entries;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
   let vocab = Kwsc_util.Sorted.sort_dedup (Hashtbl.fold (fun w _ acc -> w :: acc) postings []) in
   { docs; postings; n; vocab }
@@ -59,6 +69,12 @@ let query_naive t ws =
   Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
 
 let is_empty_query t ws = Array.length (query t ws) = 0
+
+(* The index is immutable after [build] and [query] touches no shared
+   mutable state, so a batch is a plain parallel map over the stream. *)
+let query_batch ?pool t wss =
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  Kwsc_util.Pool.parallel_map pool (fun ws -> query t ws) wss
 
 module I = Kwsc_util.Invariant
 
@@ -120,7 +136,7 @@ let check_invariants t =
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
-let build docs =
-  let t = build docs in
+let build ?pool docs =
+  let t = build ?pool docs in
   I.auto_check (fun () -> check_invariants t);
   t

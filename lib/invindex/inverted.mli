@@ -6,8 +6,11 @@
 
 type t
 
-val build : Doc.t array -> t
-(** [build docs] indexes objects [0 .. Array.length docs - 1]. *)
+val build : ?pool:Kwsc_util.Pool.t -> Doc.t array -> t
+(** [build docs] indexes objects [0 .. Array.length docs - 1]. Posting
+    lists are materialized and sorted as parallel [pool] tasks (default
+    {!Kwsc_util.Pool.default}); the index is identical at every pool
+    size. *)
 
 val input_size : t -> int
 (** N = total document size, equation (2). *)
@@ -34,6 +37,10 @@ val query_naive : t -> int array -> int array
 
 val is_empty_query : t -> int array -> bool
 (** k-SI emptiness (Section 1.2). *)
+
+val query_batch : ?pool:Kwsc_util.Pool.t -> t -> int array array -> int array array
+(** [query_batch t wss] answers every keyword set of [wss], sharding the
+    stream across the [pool]; slot [i] is [query t wss.(i)]. *)
 
 val check_invariants : t -> Kwsc_util.Invariant.violation list
 (** Deep structural audit: every posting list strictly sorted and

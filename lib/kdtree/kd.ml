@@ -4,7 +4,12 @@ type 'a node =
 
 type 'a t = { root : 'a node; d : int; n : int; bounds : Rect.t }
 
-let build ?(leaf_size = 8) pts =
+(* Below this many points a subtree is built sequentially even when a
+   parallel pool is available: the sort dominates and task overhead would
+   swamp it. *)
+let par_cutoff = 4096
+
+let build ?(leaf_size = 8) ?pool pts =
   if leaf_size < 1 then invalid_arg "Kd.build: leaf_size must be >= 1";
   let n = Array.length pts in
   if n = 0 then invalid_arg "Kd.build: empty input";
@@ -12,6 +17,8 @@ let build ?(leaf_size = 8) pts =
   Array.iter
     (fun (p, _) -> if Array.length p <> d then invalid_arg "Kd.build: mixed dimensions")
     pts;
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  let fork_below = Kwsc_util.Pool.fork_depth pool in
   let pts = Array.copy pts in
   (* median split on [lo, hi) along [axis]; ties broken by full lexicographic
      compare so duplicates distribute evenly *)
@@ -19,6 +26,9 @@ let build ?(leaf_size = 8) pts =
     let c = Float.compare (p : float array).(axis) (q : float array).(axis) in
     if c <> 0 then c else Point.compare_lex p q
   in
+  (* The two recursive calls sort and rewrite disjoint slices of [pts], so
+     forking them is safe; the split itself (sort + blit of [lo, hi)) runs
+     before the fork. The tree produced is identical at every pool size. *)
   let rec go lo hi depth =
     let len = hi - lo in
     if len <= leaf_size then Leaf (Array.sub pts lo len)
@@ -29,14 +39,14 @@ let build ?(leaf_size = 8) pts =
       Array.blit sub 0 pts lo len;
       let mid = lo + (len / 2) in
       let split = (fst pts.(mid)).(axis) in
-      Node
-        {
-          axis;
-          split;
-          left = go lo mid (depth + 1);
-          right = go mid hi (depth + 1);
-          count = len;
-        }
+      let left, right =
+        if depth < fork_below && len >= par_cutoff then
+          Kwsc_util.Pool.fork_join pool
+            (fun () -> go lo mid (depth + 1))
+            (fun () -> go mid hi (depth + 1))
+        else (go lo mid (depth + 1), go mid hi (depth + 1))
+      in
+      Node { axis; split; left; right; count = len }
     end
   in
   let lo = Array.make d infinity and hi = Array.make d neg_infinity in
@@ -261,7 +271,7 @@ let check_invariants t =
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
-let build ?leaf_size pts =
-  let t = build ?leaf_size pts in
+let build ?leaf_size ?pool pts =
+  let t = build ?leaf_size ?pool pts in
   I.auto_check (fun () -> check_invariants t);
   t

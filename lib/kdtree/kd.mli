@@ -5,8 +5,11 @@
 
 type 'a t
 
-val build : ?leaf_size:int -> (Point.t * 'a) array -> 'a t
+val build : ?leaf_size:int -> ?pool:Kwsc_util.Pool.t -> (Point.t * 'a) array -> 'a t
 (** [build pts] with payloads. [leaf_size] (default 8) caps leaf buckets.
+    Large subtrees near the root are built as parallel [pool] tasks
+    (default {!Kwsc_util.Pool.default}); the resulting tree is identical
+    at every pool size — only wall-clock time changes.
     @raise Invalid_argument on empty input or mixed dimensions. *)
 
 val size : 'a t -> int

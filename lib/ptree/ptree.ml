@@ -24,7 +24,11 @@ let make_dirs rng d =
         else Array.map (fun x -> x /. norm) v
       end)
 
-let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) pts =
+(* Sequential-build cutoff for parallel pools; below this the per-node
+   sort no longer amortises a pool task. *)
+let par_cutoff = 4096
+
+let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) ?pool pts =
   if leaf_size < 1 then invalid_arg "Ptree.build: leaf_size must be >= 1";
   let n = Array.length pts in
   if n = 0 then invalid_arg "Ptree.build: empty input";
@@ -32,8 +36,13 @@ let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) pts =
   Array.iter
     (fun (p, _) -> if Array.length p <> d then invalid_arg "Ptree.build: mixed dimensions")
     pts;
+  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+  let fork_below = Kwsc_util.Pool.fork_depth pool in
   let rng = Kwsc_util.Prng.create seed in
   let dirs = make_dirs rng d in
+  (* The split palette [dirs] is fixed up front and each recursive call
+     owns a fresh sub-array, so forking the two children is safe and the
+     tree is identical at every pool size. *)
   let rec go (pts : (Point.t * 'a) array) depth =
     let len = Array.length pts in
     if len <= leaf_size then Leaf pts
@@ -48,14 +57,16 @@ let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) pts =
       let _, pmid, _ = keyed.(mid) in
       let m = Linalg.dot dir pmid in
       let strip = Array.map (fun (_, p, v) -> (p, v)) keyed in
-      Node
-        {
-          dir;
-          m;
-          left = go (Array.sub strip 0 mid) (depth + 1);
-          right = go (Array.sub strip mid (len - mid)) (depth + 1);
-          count = len;
-        }
+      let left, right =
+        if depth < fork_below && len >= par_cutoff then
+          Kwsc_util.Pool.fork_join pool
+            (fun () -> go (Array.sub strip 0 mid) (depth + 1))
+            (fun () -> go (Array.sub strip mid (len - mid)) (depth + 1))
+        else
+          ( go (Array.sub strip 0 mid) (depth + 1),
+            go (Array.sub strip mid (len - mid)) (depth + 1) )
+      in
+      Node { dir; m; left; right; count = len }
     end
   in
   let box =
@@ -183,7 +194,7 @@ let check_invariants t =
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
-let build ?leaf_size ?seed pts =
-  let t = build ?leaf_size ?seed pts in
+let build ?leaf_size ?seed ?pool pts =
+  let t = build ?leaf_size ?seed ?pool pts in
   I.auto_check (fun () -> check_invariants t);
   t

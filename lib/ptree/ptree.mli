@@ -12,8 +12,12 @@
 
 type 'a t
 
-val build : ?leaf_size:int -> ?seed:int -> (Point.t * 'a) array -> 'a t
-(** @raise Invalid_argument on empty input or mixed dimensions. *)
+val build : ?leaf_size:int -> ?seed:int -> ?pool:Kwsc_util.Pool.t -> (Point.t * 'a) array -> 'a t
+(** Builds the tree, forking large subtrees near the root as parallel
+    [pool] tasks (default {!Kwsc_util.Pool.default}). The split-direction
+    palette is drawn from [seed] before any forking, so the tree is
+    identical at every pool size.
+    @raise Invalid_argument on empty input or mixed dimensions. *)
 
 val size : 'a t -> int
 val dim : 'a t -> int

@@ -1,0 +1,292 @@
+(* Work-stealing domain pool (see pool.mli for the contract).
+
+   Concurrency design, kept deliberately boring:
+   - one deque per worker, each a mutex-protected LIFO list. Owners push
+     and pop at the head (hot subtree first); thieves take from the tail
+     (the oldest entry is the biggest remaining subproblem). Tasks are
+     coarse — builders stop forking below a size cutoff — so the deques
+     hold at most a few dozen closures and O(len) tail removal is noise.
+   - [pending] counts queued-but-untaken tasks; workers park on a
+     condition variable only when it reaches zero. Pushers increment
+     before signalling and parkers re-check under the park mutex, so no
+     wakeup is lost.
+   - a joiner never blocks: [await] runs queued tasks (its own deque
+     first, then steals) while its future is pending, so a task that
+     forks and joins children from inside the pool makes progress even
+     when every worker is busy — the standard help-first work-stealing
+     argument for deadlock freedom.
+   - futures are [Atomic]s, so completing a task publishes (release) all
+     the memory it wrote and [await]'s read (acquire) of [Done] makes
+     those writes visible to the joiner.
+
+   This module is the only place in lib/ allowed to touch Domain /
+   Atomic / Mutex / Condition — lint rule R8 confines the primitives
+   here so every other module expresses parallelism through the
+   scheduling-independent combinators below. *)
+
+type task = unit -> unit
+
+type deque = { lock : Mutex.t; mutable tasks : task list (* head = newest *) }
+
+type t = {
+  uid : int;
+  size_ : int;
+  deques : deque array;
+  mutable domains : unit Domain.t array;
+  pending : int Atomic.t;
+  park : Mutex.t;
+  wake : Condition.t;
+  stop : bool Atomic.t;
+}
+
+let uid_counter = Atomic.make 0
+
+(* (pool uid, worker index) of the current domain; (-1, 0) = not a pool
+   worker, which maps every foreign submitter onto deque 0 (the caller's,
+   shared safely under its mutex). *)
+let dls_key : (int * int) Domain.DLS.key = Domain.DLS.new_key (fun () -> (-1, 0))
+
+let my_id pool =
+  let u, i = Domain.DLS.get dls_key in
+  if u = pool.uid then i else 0
+
+let size t = t.size_
+let sequential t = t.size_ <= 1
+
+let fork_depth t =
+  let rec log2up acc n = if n <= 1 then acc else log2up (acc + 1) ((n + 1) / 2) in
+  log2up 0 t.size_ + 2
+
+let env_domains () =
+  match Sys.getenv_opt "KWSC_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 128
+      | Some _ | None ->
+          invalid_arg "Pool.env_domains: KWSC_DOMAINS must be a positive integer")
+  | None -> max 1 (min 128 (Domain.recommended_domain_count ()))
+
+let push pool id task =
+  let dq = pool.deques.(id) in
+  Mutex.lock dq.lock;
+  dq.tasks <- task :: dq.tasks;
+  Mutex.unlock dq.lock;
+  Atomic.incr pool.pending;
+  Mutex.lock pool.park;
+  Condition.signal pool.wake;
+  Mutex.unlock pool.park
+
+let pop_newest dq =
+  Mutex.lock dq.lock;
+  let r =
+    match dq.tasks with
+    | [] -> None
+    | t :: rest ->
+        dq.tasks <- rest;
+        Some t
+  in
+  Mutex.unlock dq.lock;
+  r
+
+let pop_oldest dq =
+  Mutex.lock dq.lock;
+  let r =
+    match dq.tasks with
+    | [] -> None
+    | [ t ] ->
+        dq.tasks <- [];
+        Some t
+    | l ->
+        let rec split acc = function
+          | [ t ] -> (List.rev acc, t)
+          | x :: tl -> split (x :: acc) tl
+          | [] -> assert false
+        in
+        let rest, t = split [] l in
+        dq.tasks <- rest;
+        Some t
+  in
+  Mutex.unlock dq.lock;
+  r
+
+(* Own deque LIFO first, then steal the oldest task round-robin. *)
+let try_take pool me =
+  let n = pool.size_ in
+  let got = ref (pop_newest pool.deques.(me)) in
+  let j = ref 1 in
+  while Option.is_none !got && !j < n do
+    got := pop_oldest pool.deques.((me + !j) mod n);
+    incr j
+  done;
+  (match !got with Some _ -> Atomic.decr pool.pending | None -> ());
+  !got
+
+let rec worker_loop pool id =
+  match try_take pool id with
+  | Some t ->
+      t ();
+      worker_loop pool id
+  | None ->
+      if Atomic.get pool.stop then ()
+      else begin
+        Mutex.lock pool.park;
+        if Atomic.get pool.pending = 0 && not (Atomic.get pool.stop) then
+          Condition.wait pool.wake pool.park;
+        Mutex.unlock pool.park;
+        worker_loop pool id
+      end
+
+let create ?domains () =
+  let n = match domains with Some n -> n | None -> env_domains () in
+  let n = max 1 (min 128 n) in
+  let pool =
+    {
+      uid = Atomic.fetch_and_add uid_counter 1;
+      size_ = n;
+      deques = Array.init n (fun _ -> { lock = Mutex.create (); tasks = [] });
+      domains = [||];
+      pending = Atomic.make 0;
+      park = Mutex.create ();
+      wake = Condition.create ();
+      stop = Atomic.make false;
+    }
+  in
+  if n > 1 then
+    pool.domains <-
+      Array.init (n - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set dls_key (pool.uid, i + 1);
+              worker_loop pool (i + 1)));
+  pool
+
+let shutdown pool =
+  if not (Atomic.exchange pool.stop true) then begin
+    Mutex.lock pool.park;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.park;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end
+
+let default_pool : t option Atomic.t = Atomic.make None
+
+let default () =
+  match Atomic.get default_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      if Atomic.compare_and_set default_pool None (Some p) then begin
+        at_exit (fun () -> shutdown p);
+        p
+      end
+      else begin
+        (* lost the publication race: retire ours, use the winner *)
+        shutdown p;
+        match Atomic.get default_pool with Some q -> q | None -> assert false
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Futures and combinators                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = 'a state Atomic.t
+
+let run_to fut f =
+  let r = try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
+  Atomic.set fut r
+
+let async pool f =
+  if Atomic.get pool.stop then invalid_arg "Pool.async: pool is shut down";
+  let fut = Atomic.make Pending in
+  if pool.size_ <= 1 then run_to fut f
+  else push pool (my_id pool) (fun () -> run_to fut f);
+  fut
+
+let rec await pool fut =
+  match Atomic.get fut with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+      (match try_take pool (my_id pool) with
+      | Some t -> t ()
+      | None -> Domain.cpu_relax ());
+      await pool fut
+
+let fork_join pool f g =
+  if pool.size_ <= 1 then begin
+    let a = f () in
+    let b = g () in
+    (a, b)
+  end
+  else begin
+    let fg = async pool g in
+    match f () with
+    | a -> (a, await pool fg)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* drain the forked task so nothing outlives the call; the
+           primary exception wins *)
+        (match await pool fg with _ -> () | exception _secondary -> ());
+        Printexc.raise_with_backtrace e bt
+  end
+
+let fork_join_array pool thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if pool.size_ <= 1 || n = 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    let futs = Array.init (n - 1) (fun i -> async pool thunks.(i)) in
+    match thunks.(n - 1) () with
+    | last ->
+        let out = Array.make n last in
+        let err = ref None in
+        Array.iteri
+          (fun i fut ->
+            match await pool fut with
+            | v -> out.(i) <- v
+            | exception e ->
+                if Option.is_none !err then err := Some (e, Printexc.get_raw_backtrace ()))
+          futs;
+        (match !err with
+        | None -> out
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Array.iter
+          (fun fut -> match await pool fut with _ -> () | exception _secondary -> ())
+          futs;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let parallel_for pool ?(chunk = 1) ~lo ~hi body =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+  let rec go lo hi =
+    if hi - lo <= chunk then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let (), () = fork_join pool (fun () -> go lo mid) (fun () -> go mid hi) in
+      ()
+    end
+  in
+  if hi > lo then
+    if pool.size_ <= 1 then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else go lo hi
+
+let parallel_map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if pool.size_ <= 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    let chunk = max 1 (n / (pool.size_ * 8)) in
+    parallel_for pool ~chunk ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

@@ -1,0 +1,79 @@
+(** Fixed-size domain pool with work-stealing deques.
+
+    The OCaml 5 multicore substrate for every parallel code path in the
+    repository: bulk index construction forks independent subtree tasks
+    into the pool, and the batched-query APIs shard query streams across
+    it. A pool owns [size - 1] spawned domains plus the submitting caller
+    (worker 0), each with its own deque: owners push and pop LIFO for
+    locality, idle workers steal the oldest task from a sibling, and a
+    joiner helps — it runs queued tasks while the future it waits on is
+    unresolved — so nested fork/join (a subtree task forking its own
+    children) cannot deadlock.
+
+    Determinism contract: the pool schedules, it never splits work.
+    Callers decompose their job into a scheduling-independent task DAG
+    (e.g. "left subtree" / "right subtree"), so results are identical at
+    every pool size; [test_parallel_diff] enforces this differentially.
+
+    Degradation: a pool of size 1 spawns no domains and runs every
+    combinator inline — [parallel_for] is a for loop, [fork_join] calls
+    its closures in order — which is both the [KWSC_DOMAINS=1] escape
+    hatch and the mode the differential tests use as ground truth. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] workers total
+    (including the caller). Defaults to {!env_domains}. Values are
+    clamped to [\[1, 128\]]. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use from
+    {!env_domains} and shut down automatically at exit. Every [?pool]
+    argument in the library defaults to it. *)
+
+val env_domains : unit -> int
+(** The domain count requested by the environment: [KWSC_DOMAINS] if set
+    to a positive integer, otherwise [Domain.recommended_domain_count ()].
+    Read at every call, so tests may [putenv] before creating a pool. *)
+
+val size : t -> int
+(** Total workers, caller included; [size t = 1] means sequential. *)
+
+val sequential : t -> bool
+(** [size t <= 1]: combinators run inline with zero scheduling cost. *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join their domains. Idempotent.
+    Submitting to a pool after shutdown raises [Invalid_argument]. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit a task. On a sequential pool the task runs immediately. *)
+
+val await : t -> 'a future -> 'a
+(** Wait for a future, helping with queued work meanwhile. Re-raises the
+    task's exception (with its backtrace) if it failed. *)
+
+val fork_join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [fork_join p f g] runs [f] in the caller and [g] in the pool,
+    returning both results. If [f] raises, [g] is still awaited before
+    the exception propagates, so no task outlives the call. *)
+
+val fork_join_array : t -> (unit -> 'a) array -> 'a array
+(** N-ary [fork_join]: thunk [i]'s result lands in slot [i]. The last
+    thunk runs in the caller; the rest are offered to the pool. *)
+
+val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for p ~lo ~hi body] runs [body i] for [lo <= i < hi],
+    recursively halving the range into pool tasks until a subrange is at
+    most [chunk] (default 1) wide. Iterations must be independent. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [Array.map], one pool task per element chunk. *)
+
+val fork_depth : t -> int
+(** ceil(log2 size) + 2 — how many levels of a binary recursion are worth
+    forking before the pool is saturated; the tree builders stop forking
+    below this depth (and below their size cutoffs). *)

@@ -2,8 +2,16 @@
 # Full correctness gate: build everything, run the whole test suite
 # (which includes the lint meta-tests and the KWSC_AUDIT qcheck audits),
 # then lint the repository itself.  Run from the repo root; `make ci`.
+#
+# The suite runs twice to pin the parallel determinism contract at both
+# ends: forced-sequential (KWSC_DOMAINS=1) and a 4-domain pool.  The
+# slow tier (KWSC_SLOW=1) additionally enables the large stress
+# instances, the 120-sequence dynamic audit and the parallel stress
+# test, all under deep structural audits.
 set -eux
 
 dune build @all
-dune runtest --force
+KWSC_DOMAINS=1 dune runtest --force
+KWSC_DOMAINS=4 dune runtest --force
+KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 dune build @lint

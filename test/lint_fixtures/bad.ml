@@ -26,3 +26,7 @@ let r5 x = x = 1.0
 
 (* R6: blanket exception handler *)
 let r6 f = try f () with _ -> 0
+
+(* R8: raw multicore primitives in library code (lib/ scope) *)
+let r8_spawn f = Domain.spawn f
+let r8_value = Atomic.get

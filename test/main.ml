@@ -23,6 +23,7 @@ let () =
       ("dynamic/pad", Test_dynamic.suite);
       ("validation", Test_validation.suite);
       ("stress", Test_stress.suite);
+      ("parallel-diff", Test_parallel_diff.suite);
       ("coverage", Test_coverage.suite);
       ("hardness", Test_hardness.suite);
       ("lint", Test_lint.suite);

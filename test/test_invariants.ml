@@ -52,9 +52,13 @@ let test_gate () =
     (fun () -> Invariant.auto_check (fun () -> [ boom ]));
   Unix.putenv "KWSC_AUDIT" "0"
 
+(* 120 sequences is the thorough KWSC_SLOW=1 tier; the default keeps the
+   audit representative without dominating the quick suite's runtime. *)
+let audit_count = match Sys.getenv_opt "KWSC_SLOW" with Some "1" -> 120 | _ -> 25
+
 let qcheck_audit =
   QCheck.Test.make
-    ~name:"random op sequences leave every index audit-clean" ~count:120
+    ~name:"random op sequences leave every index audit-clean" ~count:audit_count
     QCheck.(small_int)
     (fun seed ->
       Unix.putenv "KWSC_AUDIT" "1";

@@ -1,0 +1,363 @@
+(* Differential proof that the multicore paths change nothing.
+
+   Ground truth is always a pool of size 1, which runs every combinator
+   inline; pools of size 2 and 4 must be indistinguishable from it:
+   builds byte-identical (Marshal digest) or answer-identical with equal
+   machine-independent work counters, batched queries slot-for-slot equal
+   to a sequential loop with the same merged counters. Every build in the
+   qcheck test runs under KWSC_AUDIT=1, so the deep structural audits
+   also pass on parallel-built structures. *)
+
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+module Pool = Kwsc_util.Pool
+module Kd = Kwsc_kdtree.Kd
+module Ptree = Kwsc_ptree.Ptree
+module Inverted = Kwsc_invindex.Inverted
+module Stats = Kwsc.Stats
+
+let slow = match Sys.getenv_opt "KWSC_SLOW" with Some "1" -> true | _ -> false
+
+(* One pool per size under test, shared by every case in this file and
+   joined at exit so the runtime can terminate. *)
+let pools =
+  lazy
+    (let ps = Array.map (fun n -> Pool.create ~domains:n ()) [| 1; 2; 4 |] in
+     at_exit (fun () -> Array.iter Pool.shutdown ps);
+     ps)
+
+let with_each_pool f = Array.iter f (Lazy.force pools)
+
+let with_audit f =
+  Unix.putenv "KWSC_AUDIT" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "KWSC_AUDIT" "0") f
+
+(* In-process byte identity: closures are marshaled by code pointer, so
+   two builds of the same program state digest equally iff the structures
+   (including captured environments) are identical. *)
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.Closures ]))
+
+let check_query_eq what (a : Stats.query) (b : Stats.query) =
+  let ck field va vb = Alcotest.(check int) (what ^ ": " ^ field) va vb in
+  ck "nodes_visited" a.Stats.nodes_visited b.Stats.nodes_visited;
+  ck "covered_nodes" a.Stats.covered_nodes b.Stats.covered_nodes;
+  ck "crossing_nodes" a.Stats.crossing_nodes b.Stats.crossing_nodes;
+  ck "pivot_checked" a.Stats.pivot_checked b.Stats.pivot_checked;
+  ck "small_scanned" a.Stats.small_scanned b.Stats.small_scanned;
+  ck "pruned_empty" a.Stats.pruned_empty b.Stats.pruned_empty;
+  ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
+  ck "reported" a.Stats.reported b.Stats.reported;
+  ck "work" (Stats.work a) (Stats.work b)
+
+(* --- satellite: Stats.merge is exactly sequential accumulation --- *)
+
+let test_stats_merge () =
+  let mk (a, b, c, d, e, f, g, h) =
+    {
+      Stats.nodes_visited = a;
+      covered_nodes = b;
+      crossing_nodes = c;
+      pivot_checked = d;
+      small_scanned = e;
+      pruned_empty = f;
+      pruned_geom = g;
+      reported = h;
+    }
+  in
+  let q1 = mk (1, 2, 3, 4, 5, 6, 7, 8) in
+  let q2 = mk (10, 20, 30, 40, 50, 60, 70, 80) in
+  let q3 = mk (9, 8, 7, 6, 5, 4, 3, 2) in
+  (* merge = field-wise sum *)
+  check_query_eq "q1+q2" (mk (11, 22, 33, 44, 55, 66, 77, 88)) (Stats.merge q1 q2);
+  (* identity *)
+  check_query_eq "merge with fresh" q1 (Stats.merge (Stats.fresh_query ()) q1);
+  (* associativity: per-domain partial sums fold like a sequential loop *)
+  check_query_eq "associativity"
+    (Stats.merge (Stats.merge q1 q2) q3)
+    (Stats.merge q1 (Stats.merge q2 q3));
+  (* add_into over a stream == fold of merge over the same stream *)
+  let stream = [ q1; q2; q3; q2; q1 ] in
+  let acc = Stats.fresh_query () in
+  List.iter (fun q -> Stats.add_into ~into:acc q) stream;
+  let folded = List.fold_left Stats.merge (Stats.fresh_query ()) stream in
+  check_query_eq "add_into vs merge fold" acc folded;
+  (* merge leaves its arguments untouched *)
+  check_query_eq "q1 unchanged" (mk (1, 2, 3, 4, 5, 6, 7, 8)) q1
+
+(* --- parallel builds of the plain structures are byte-identical --- *)
+
+let test_static_digests () =
+  List.iter
+    (fun seed ->
+      let objs = Helpers.dataset ~seed ~n:6000 ~d:2 ~vocab:50 () in
+      let tagged = Array.map (fun (p, _) -> (p, ())) objs in
+      let docs = Array.map snd objs in
+      let reference = ref None in
+      with_each_pool (fun pool ->
+          let dk = digest (Kd.build ~pool tagged) in
+          let dp = digest (Ptree.build ~pool tagged) in
+          let di = digest (Inverted.build ~pool docs) in
+          match !reference with
+          | None -> reference := Some (dk, dp, di)
+          | Some (k0, p0, i0) ->
+              Alcotest.(check string)
+                (Printf.sprintf "kd digest at %d domains" (Pool.size pool))
+                k0 dk;
+              Alcotest.(check string)
+                (Printf.sprintf "ptree digest at %d domains" (Pool.size pool))
+                p0 dp;
+              Alcotest.(check string)
+                (Printf.sprintf "inverted digest at %d domains" (Pool.size pool))
+                i0 di))
+    [ 3; 77 ]
+
+(* --- satellite: same seed, same domain count, run twice --- *)
+
+let test_determinism () =
+  let objs = Helpers.dataset ~seed:901 ~n:5000 ~d:2 ~vocab:50 () in
+  let tagged = Array.map (fun (p, _) -> (p, ())) objs in
+  with_each_pool (fun pool ->
+      let what fmt = Printf.sprintf fmt (Pool.size pool) in
+      Alcotest.(check string)
+        (what "kd repeat build at %d domains")
+        (digest (Kd.build ~pool tagged))
+        (digest (Kd.build ~pool tagged));
+      Alcotest.(check string)
+        (what "ptree repeat build at %d domains")
+        (digest (Ptree.build ~pool ~seed:11 tagged))
+        (digest (Ptree.build ~pool ~seed:11 tagged));
+      Alcotest.(check string)
+        (what "orp repeat build at %d domains")
+        (digest (Kwsc.Orp_kw.build ~pool ~k:2 objs))
+        (digest (Kwsc.Orp_kw.build ~pool ~k:2 objs)));
+  (* and across domain counts: the parallel structure IS the sequential one *)
+  let digests =
+    Array.map
+      (fun pool -> digest (Kwsc.Orp_kw.build ~pool ~k:2 objs))
+      (Lazy.force pools)
+  in
+  Alcotest.(check string) "orp digest 1 vs 2 domains" digests.(0) digests.(1);
+  Alcotest.(check string) "orp digest 1 vs 4 domains" digests.(0) digests.(2)
+
+(* --- batched queries == a sequential loop, counters included --- *)
+
+let test_batch_equivalence () =
+  let vocab = 30 in
+  let objs = Helpers.dataset ~seed:314 ~n:2000 ~d:2 ~vocab () in
+  let docs = Array.map snd objs in
+  let rng = Prng.create 315 in
+  let qs =
+    Array.init 64 (fun _ ->
+        (Helpers.random_rect rng ~d:2 ~range:1000.0, Helpers.random_keywords rng ~vocab ~k:2))
+  in
+  (* ORP-KW: slot-wise answers and merged counters *)
+  let t = Kwsc.Orp_kw.build ~k:2 objs in
+  let seq = Array.map (fun (q, ws) -> Kwsc.Orp_kw.query_stats t q ws) qs in
+  let seq_acc = Stats.fresh_query () in
+  Array.iter (fun (_, st) -> Stats.add_into ~into:seq_acc st) seq;
+  with_each_pool (fun pool ->
+      let out, st = Kwsc.Orp_kw.query_batch ~pool t qs in
+      Array.iteri
+        (fun i ids -> Helpers.check_ids (Printf.sprintf "orp batch slot %d" i) (fst seq.(i)) ids)
+        out;
+      check_query_eq (Printf.sprintf "orp batch stats at %d domains" (Pool.size pool)) seq_acc st);
+  (* the limit knob flows through the batch path too *)
+  with_each_pool (fun pool ->
+      let out, _ = Kwsc.Orp_kw.query_batch ~pool ~limit:3 t qs in
+      Array.iteri
+        (fun i ids ->
+          Helpers.check_ids
+            (Printf.sprintf "orp capped batch slot %d" i)
+            (fst (Kwsc.Orp_kw.query_stats ~limit:3 t (fst qs.(i)) (snd qs.(i))))
+            ids)
+        out);
+  (* inverted index *)
+  let inv = Inverted.build docs in
+  let wss = Array.map snd qs in
+  let seq_inv = Array.map (Inverted.query inv) wss in
+  with_each_pool (fun pool ->
+      let out = Inverted.query_batch ~pool inv wss in
+      Array.iteri
+        (fun i ids -> Helpers.check_ids (Printf.sprintf "inverted batch slot %d" i) seq_inv.(i) ids)
+        out);
+  (* k-SI through the framework *)
+  let ksi = Kwsc.Ksi.of_docs ~k:2 docs in
+  let seq_ksi = Array.map (fun ws -> Kwsc.Ksi.query_stats ksi ws) wss in
+  let seq_ksi_acc = Stats.fresh_query () in
+  Array.iter (fun (_, st) -> Stats.add_into ~into:seq_ksi_acc st) seq_ksi;
+  with_each_pool (fun pool ->
+      let out, st = Kwsc.Ksi.query_batch ~pool ksi wss in
+      Array.iteri
+        (fun i ids -> Helpers.check_ids (Printf.sprintf "ksi batch slot %d" i) (fst seq_ksi.(i)) ids)
+        out;
+      check_query_eq (Printf.sprintf "ksi batch stats at %d domains" (Pool.size pool)) seq_ksi_acc st);
+  (* dimension reduction: profile counters instead of Stats.query *)
+  let objs3 = Helpers.dataset ~seed:316 ~n:500 ~d:3 ~vocab () in
+  let td = Kwsc.Dimred.build ~k:2 objs3 in
+  let rng3 = Prng.create 317 in
+  let qs3 =
+    Array.init 32 (fun _ ->
+        (Helpers.random_rect rng3 ~d:3 ~range:1000.0, Helpers.random_keywords rng3 ~vocab ~k:2))
+  in
+  let seq3 = Array.map (fun (q, ws) -> Kwsc.Dimred.query_profile td q ws) qs3 in
+  let sum f = Array.fold_left (fun acc (_, p) -> acc + f p) 0 seq3 in
+  with_each_pool (fun pool ->
+      let out, p = Kwsc.Dimred.query_batch ~pool td qs3 in
+      Array.iteri
+        (fun i ids -> Helpers.check_ids (Printf.sprintf "dimred batch slot %d" i) (fst seq3.(i)) ids)
+        out;
+      let what field = Printf.sprintf "dimred %s at %d domains" field (Pool.size pool) in
+      Alcotest.(check int) (what "type1") (sum (fun p -> p.Kwsc.Dimred.type1)) p.Kwsc.Dimred.type1;
+      Alcotest.(check int) (what "type2") (sum (fun p -> p.Kwsc.Dimred.type2)) p.Kwsc.Dimred.type2;
+      Alcotest.(check int) (what "pivot_checked")
+        (sum (fun p -> p.Kwsc.Dimred.pivot_checked))
+        p.Kwsc.Dimred.pivot_checked;
+      Alcotest.(check int) (what "work") (sum (fun p -> p.Kwsc.Dimred.work)) p.Kwsc.Dimred.work;
+      Array.iteri
+        (fun l c ->
+          let expect =
+            Array.fold_left
+              (fun acc (_, q) ->
+                acc
+                + if l < Array.length q.Kwsc.Dimred.type2_by_level then q.Kwsc.Dimred.type2_by_level.(l) else 0)
+              0 seq3
+          in
+          Alcotest.(check int) (what (Printf.sprintf "type2_by_level[%d]" l)) expect c)
+        p.Kwsc.Dimred.type2_by_level)
+
+(* --- differential qcheck over the transform family, audits on --- *)
+
+let fail_diff structure pool_size what =
+  QCheck.Test.fail_reportf "%s: %d-domain build disagrees with sequential on %s" structure
+    pool_size what
+
+let check_same structure pool_size what ids0 ids =
+  if ids <> ids0 then fail_diff structure pool_size what
+
+let diff_transform =
+  QCheck.Test.make
+    ~name:"parallel builds answer like sequential ones (KWSC_AUDIT=1)"
+    ~count:(if slow then 15 else 5)
+    QCheck.small_int
+    (fun seed ->
+      with_audit (fun () ->
+          let pools = Lazy.force pools in
+          let vocab = 40 in
+          let rng = Prng.create (0xd1ff + seed) in
+          (* heavy enough that the par_cutoff actually forks at the root *)
+          let objs = Helpers.dataset ~seed:(1 + (seed * 31)) ~n:2500 ~d:2 ~vocab () in
+          let orp = Array.map (fun pool -> Kwsc.Orp_kw.build ~pool ~k:2 objs) pools in
+          for _ = 1 to 8 do
+            let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+            let ws = Helpers.random_keywords rng ~vocab ~k:2 in
+            let ids0, st0 = Kwsc.Orp_kw.query_stats orp.(0) q ws in
+            Helpers.check_ids "sequential orp = oracle" (Helpers.oracle_rect objs q ws) ids0;
+            Array.iter
+              (fun t ->
+                let ids, st = Kwsc.Orp_kw.query_stats t q ws in
+                check_same "orp" (Kwsc.Orp_kw.input_size t) "answers" ids0 ids;
+                if Stats.work st <> Stats.work st0 then fail_diff "orp" 0 "work counters")
+              orp
+          done;
+          (* SP-KW / LC-KW share the partition-tree path; seeded palette *)
+          let objs3 = Helpers.dataset ~seed:(2 + (seed * 31)) ~n:1500 ~d:3 ~vocab () in
+          let sp = Array.map (fun pool -> Kwsc.Sp_kw.build ~pool ~seed:5 ~k:2 objs3) pools in
+          let lc = Array.map (fun pool -> Kwsc.Lc_kw.build ~pool ~seed:5 ~k:2 objs3) pools in
+          for _ = 1 to 6 do
+            let hs =
+              List.init 2 (fun _ ->
+                  Kwsc_geom.Halfspace.make
+                    (Array.init 3 (fun _ -> Prng.float rng 2.0 -. 1.0))
+                    (Prng.float rng 1500.0))
+            in
+            let ws = Helpers.random_keywords rng ~vocab ~k:2 in
+            let ids0 = Kwsc.Sp_kw.query_halfspaces sp.(0) hs ws in
+            Helpers.check_ids "sequential sp = oracle"
+              (Helpers.oracle objs3
+                 (fun p -> List.for_all (fun h -> Kwsc_geom.Halfspace.satisfies h p) hs)
+                 ws)
+              ids0;
+            Array.iter
+              (fun t -> check_same "sp" 0 "answers" ids0 (Kwsc.Sp_kw.query_halfspaces t hs ws))
+              sp;
+            Array.iter
+              (fun t -> check_same "lc" 0 "answers" ids0 (Kwsc.Lc_kw.query t hs ws))
+              lc
+          done;
+          (* dimension reduction, d = 3 *)
+          let dim = Array.map (fun pool -> Kwsc.Dimred.build ~pool ~k:2 objs3) pools in
+          for _ = 1 to 6 do
+            let q = Helpers.random_rect rng ~d:3 ~range:1000.0 in
+            let ws = Helpers.random_keywords rng ~vocab ~k:2 in
+            let ids0, p0 = Kwsc.Dimred.query_profile dim.(0) q ws in
+            Helpers.check_ids "sequential dimred = oracle" (Helpers.oracle_rect objs3 q ws) ids0;
+            Array.iter
+              (fun t ->
+                let ids, p = Kwsc.Dimred.query_profile t q ws in
+                check_same "dimred" 0 "answers" ids0 ids;
+                if p.Kwsc.Dimred.work <> p0.Kwsc.Dimred.work then
+                  fail_diff "dimred" 0 "work counters")
+              dim
+          done;
+          (* rectangle reporting (appendix F lift over the kd engine) *)
+          let rects =
+            Array.map
+              (fun (p, doc) ->
+                (Kwsc_geom.Rect.make [| p.(0) |] [| p.(0) +. (1.0 +. p.(1) /. 25.0) |], doc))
+              objs
+          in
+          let rr = Array.map (fun pool -> Kwsc.Rr_kw.build ~pool ~k:2 rects) pools in
+          for _ = 1 to 6 do
+            let a = Prng.float rng 950.0 in
+            let q = Kwsc_geom.Rect.make [| a |] [| a +. 50.0 |] in
+            let ws = Helpers.random_keywords rng ~vocab ~k:2 in
+            let ids0 = Kwsc.Rr_kw.query rr.(0) q ws in
+            Array.iter
+              (fun t -> check_same "rr" 0 "answers" ids0 (Kwsc.Rr_kw.query t q ws))
+              rr
+          done;
+          true))
+
+(* --- slow tier: larger instances, deeper fork trees --- *)
+
+let test_parallel_stress () =
+  let objs = Helpers.dataset ~seed:4242 ~n:40000 ~d:2 ~vocab:80 () in
+  let tagged = Array.map (fun (p, _) -> (p, ())) objs in
+  let reference = ref None in
+  with_each_pool (fun pool ->
+      let dk = digest (Kd.build ~pool tagged) in
+      let dp = digest (Ptree.build ~pool tagged) in
+      match !reference with
+      | None -> reference := Some (dk, dp)
+      | Some (k0, p0) ->
+          Alcotest.(check string)
+            (Printf.sprintf "kd 40k digest at %d domains" (Pool.size pool))
+            k0 dk;
+          Alcotest.(check string)
+            (Printf.sprintf "ptree 40k digest at %d domains" (Pool.size pool))
+            p0 dp);
+  let sub = Array.sub objs 0 20000 in
+  let rng = Prng.create 4243 in
+  let ts = Array.map (fun pool -> Kwsc.Orp_kw.build ~pool ~k:2 sub) (Lazy.force pools) in
+  for _ = 1 to 10 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:80 ~k:2 in
+    let ids0 = Kwsc.Orp_kw.query ts.(0) q ws in
+    Helpers.check_ids "orp 20k = oracle" (Helpers.oracle_rect sub q ws) ids0;
+    Array.iter
+      (fun t -> Helpers.check_ids "orp 20k parallel = sequential" ids0 (Kwsc.Orp_kw.query t q ws))
+      ts
+  done
+
+let suite =
+  [
+    Alcotest.test_case "Stats.merge equals sequential accumulation" `Quick test_stats_merge;
+    Alcotest.test_case "kd/ptree/inverted parallel builds byte-identical" `Quick
+      test_static_digests;
+    Alcotest.test_case "same seed, same domains: repeat builds byte-identical" `Quick
+      test_determinism;
+    Alcotest.test_case "batched queries equal a sequential loop" `Quick test_batch_equivalence;
+    QCheck_alcotest.to_alcotest diff_transform;
+  ]
+  @ if slow then [ Alcotest.test_case "parallel stress (KWSC_SLOW)" `Slow test_parallel_stress ]
+    else []

@@ -6,3 +6,7 @@
 ; Keep this list short: every entry is a reviewed, justified exception.
 ; Example (commented out):
 ;   (R5 lib/geom/linalg.ml 42)
+
+; pool.ml IS the concurrency abstraction R8 protects: the one place
+; allowed to touch Domain/Atomic/Mutex/Condition directly.
+(R8 lib/util/pool.ml)

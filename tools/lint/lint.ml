@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -14,6 +14,7 @@ let rule_id = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -23,6 +24,7 @@ let rule_doc = function
   | R5 -> "exact float equality: use Float.equal or an explicit tolerance"
   | R6 -> "blanket 'try ... with _ ->' swallows every exception, including Out_of_memory"
   | R7 -> "library module lacks an interface (.mli)"
+  | R8 -> "raw multicore primitive in library code: Pool (lib/util/pool.ml) owns them all"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -141,6 +143,11 @@ let unqualify = function
 
 let comparison_ops = [ "="; "<>"; "=="; "!="; "<"; "<="; ">"; ">=" ]
 let equality_ops = [ "="; "<>"; "=="; "!=" ]
+
+(* R8: modules whose direct use means unmanaged concurrency.  Library
+   code must go through the Pool abstraction; only pool.ml itself (via
+   the allowlist) touches these. *)
+let multicore_heads = [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Thread"; "Semaphore" ]
 
 let float_const_idents =
   [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
@@ -295,6 +302,12 @@ let lint_structure config ~file str =
         | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
         | [ "List"; "nth" ] when hot ->
             add R4 loc "List.nth is O(n); use arrays or restructure the loop"
+        | m :: _ :: _ when lib && List.mem m multicore_heads ->
+            add R8 loc
+              (Printf.sprintf
+                 "%s in library code; route concurrency through Kwsc_util.Pool \
+                  (only lib/util/pool.ml may use %s directly)"
+                 (String.concat "." u) m)
         | _ -> ());
         (match print_kind u with
         | Some `Direct when lib ->
@@ -358,6 +371,11 @@ let lint_structure config ~file str =
           | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
           | [ "List"; "nth" ] when hot ->
               add R4 loc "List.nth passed as a value in hot-path module"
+          | m :: _ :: _ when lib && List.mem m multicore_heads ->
+              add R8 loc
+                (Printf.sprintf "%s passed as a value in library code; route \
+                                 concurrency through Kwsc_util.Pool"
+                   (String.concat "." u))
           | _ -> (
               match print_kind u with
               | Some `Direct when lib ->

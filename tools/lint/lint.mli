@@ -20,6 +20,12 @@
     - R6: no blanket [try ... with _ ->]; it swallows [Out_of_memory],
       [Stack_overflow] and assertion failures alike.
     - R7: every [.ml] under [lib/] must have a matching [.mli].
+    - R8: no raw multicore primitives ([Domain], [Atomic], [Mutex],
+      [Condition], [Thread], [Semaphore]) inside [lib/]: all concurrency
+      is routed through the [Kwsc_util.Pool] abstraction so the
+      determinism contract has a single enforcement point.  The one
+      sanctioned user is [lib/util/pool.ml], via the allowlist — an
+      audited exception, not a weakening of the rule.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -27,12 +33,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R7"]. *)
+(** ["R1"] ... ["R8"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)

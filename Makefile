@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel examples clean doc lint audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-smoke examples clean doc lint audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -36,6 +36,15 @@ bench-quick:
 # Multicore build-throughput and batched-QPS scaling (writes BENCH_pr2.json).
 bench-parallel:
 	dune exec bench/main.exe -- --only PAR
+
+# Flat (frozen) layouts vs boxed trees: build/range/NN/intersection
+# throughput and words allocated per query (writes BENCH_pr3.json).
+bench-flat:
+	dune exec bench/main.exe -- --only FLAT
+
+# CI sanity run: every experiment at tiny N (crash test, not measurement).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --no-micro
 
 examples:
 	dune exec examples/quickstart.exe

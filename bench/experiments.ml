@@ -62,7 +62,7 @@ let t1_1 () =
   orp_threshold_exponent ~k:2 ~d:2 ~base:4096 ~label:"work exponent vs N (k=2)";
   orp_threshold_exponent ~k:3 ~d:2 ~base:4096 ~label:"work exponent vs N (k=3)";
   Printf.printf "-- OUT sweep at fixed N (k=2): bound work <= c N^(1/2)(1+OUT^(1/2)) --\n";
-  let n = if !H.quick then 8192 else 16384 in
+  let n = H.sized (if !H.quick then 8192 else 16384) in
   let rows = ref [] in
   List.iter
     (fun frac ->
@@ -110,7 +110,7 @@ let t1_2 () =
     [ 3; 4 ];
   (* space blow-up per dimension at fixed N *)
   Printf.printf "-- space per input word across d (fixed N) --\n";
-  let m = if !H.quick then 4096 else 8192 in
+  let m = H.sized (if !H.quick then 4096 else 8192) in
   List.iter
     (fun d ->
       let rng = Prng.create (2100 + d) in
@@ -212,7 +212,7 @@ let nn_workload ~rng ~n ~k ~range ~integer =
 let t1_5 () =
   H.header "T1.5  Linf-NN-KW (Corollary 4)"
     "space O(N (loglog N)^(d-2)); query O(N^(1-1/k) t^(1/k) log N)";
-  let n = if !H.quick then 4096 else 16384 in
+  let n = H.sized (if !H.quick then 4096 else 16384) in
   let rng = Prng.create 5001 in
   let objs = nn_workload ~rng ~n ~k:2 ~range:1000.0 ~integer:false in
   let t = Kwsc.Linf_nn_kw.build ~k:2 objs in
@@ -337,7 +337,7 @@ let t1_9 () =
     e 0.667
 
 let l2nn_sweeps ~k ~label_prefix =
-  let n = if !H.quick then 2048 else 8192 in
+  let n = H.sized (if !H.quick then 2048 else 8192) in
   let rng = Prng.create (8000 + k) in
   let objs = nn_workload ~rng ~n ~k ~range:1024.0 ~integer:true in
   let t = Kwsc.L2_nn_kw.build ~k objs in
@@ -440,7 +440,7 @@ let f2 () =
 let h1 () =
   H.header "H1  k-SI hardness machinery (Section 1.2, Lemma 8, Appendix G)"
     "k-SI reporting: work O(N^(1-1/k) (1 + OUT^(1/k))); every reduction result-equal";
-  let s = if !H.quick then 2048 else 8192 in
+  let s = H.sized (if !H.quick then 2048 else 8192) in
   Printf.printf "-- bound check, two sets of %d elements sharing OUT (k=2) --\n" s;
   let rows = ref [] in
   List.iter
@@ -455,7 +455,8 @@ let h1 () =
       let ids, st = Kwsc.Ksi.query_stats t [| 1; 2 |] in
       assert (Array.length ids = out);
       rows := (Kwsc.Ksi.input_size t, out, float_of_int (Kwsc.Stats.work st)) :: !rows)
-    [ 0; 4; 16; 64; 256; 1024 ];
+    (* cap OUT at s/2 so the instance stays well-formed at smoke sizes *)
+    (List.filter (fun out -> out <= s / 2) [ 0; 4; 16; 64; 256; 1024 ]);
   H.check_bound ~label:"k-SI reporting bound" ~max_ratio:2.0
     ~bound:(fun n out -> sqrt (float_of_int n) *. (1.0 +. sqrt (float_of_int out)))
     (List.rev !rows);
@@ -526,7 +527,7 @@ let b1 () =
         (Kwsc.Orp_kw.input_size orp) ex_k (Kwsc.Stats.work st))
     (H.n_sweep ~base:4096);
   Printf.printf "-- crossover: growing OUT at fixed N --\n";
-  let n = if !H.quick then 8192 else 16384 in
+  let n = H.sized (if !H.quick then 8192 else 16384) in
   List.iter
     (fun frac ->
       let rng = Prng.create 99999 in
@@ -543,7 +544,7 @@ let b1 () =
 let a1 () =
   H.header "A1  Ablation: the large/small threshold exponent (Section 3.2)"
     "tau = 1 - 1/k balances scan work against bit-array space; the extremes lose on one axis";
-  let m = if !H.quick then 8192 else 32768 in
+  let m = H.sized (if !H.quick then 8192 else 32768) in
   let rng = Prng.create 10001 in
   (* threshold structure plus a wide filler vocabulary *)
   let f = max 1 (int_of_float (sqrt (float_of_int m)) - 1) in
@@ -566,7 +567,7 @@ let a1 () =
 let a2 () =
   H.header "A2  Ablation: the child-emptiness bit arrays (Section 3.2)"
     "without the bits, disjoint-keyword probes degrade from O(1)-per-node pruning to tree walks";
-  let s = if !H.quick then 2048 else 8192 in
+  let s = H.sized (if !H.quick then 2048 else 8192) in
   (* eight pairwise-disjoint keywords, supports interleaved by object id so
      that every subtree keeps seeing both query keywords *)
   let docs = Array.init (8 * s) (fun i -> Doc.of_list [ 1 + (i mod 8) ]) in
@@ -581,7 +582,7 @@ let a2 () =
         (Kwsc.Stats.work st) sp.Kwsc.Stats.bitset_words)
     [ true; false ];
   Printf.printf "-- leaf_weight sensitivity (threshold workload, k=2) --\n";
-  let m = if !H.quick then 8192 else 16384 in
+  let m = H.sized (if !H.quick then 8192 else 16384) in
   List.iter
     (fun lw ->
       let rng = Prng.create 10003 in
@@ -596,7 +597,7 @@ let a2 () =
 let dyn () =
   H.header "DYN  Extension: Bentley-Saxe dynamization of ORP-KW"
     "decomposability gives inserts/deletes at an O(log n) query overhead (beyond the paper)";
-  let n = if !H.quick then 4096 else 16384 in
+  let n = H.sized (if !H.quick then 4096 else 16384) in
   let rng = Prng.create 11001 in
   let objs, _, kws = H.poison_workload ~rng ~n ~d:2 ~k:2 ~range:1000.0 in
   (* build dynamically and statically over the same objects *)
@@ -627,7 +628,7 @@ let dyn () =
 let w1 () =
   H.header "W1  Robustness: correlated spatial-keyword data"
     "real geo-text corpora cluster keywords with locations; sublinearity must survive correlation";
-  let n = if !H.quick then 8192 else 16384 in
+  let n = H.sized (if !H.quick then 8192 else 16384) in
   List.iter
     (fun correlation ->
       let rng = Prng.create (12000 + int_of_float (correlation *. 100.0)) in
@@ -681,4 +682,5 @@ let all : (string * string * (unit -> unit)) list =
     ("DYN", "Extension: dynamization (Bentley-Saxe)", dyn);
     ("W1", "Robustness: correlated geo-text workload", w1);
     ("PAR", "Multicore scaling: pool builds & batched queries", Parallel.run);
+    ("FLAT", "Flat vs boxed layouts: build/range/NN/intersection + alloc", Flatbench.run);
   ]

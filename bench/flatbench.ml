@@ -1,0 +1,204 @@
+(* FLAT: frozen arena-backed layouts vs the boxed pointer structures they
+   are compiled from. No paper claim backs this experiment — the flat
+   kernels are an implementation optimisation (DESIGN.md section 8) — so
+   it records raw numbers: build + freeze cost, range reporting, k-NN and
+   posting-intersection throughput, and words allocated per query on each
+   path, both as a table and as machine-readable BENCH_pr3.json.
+   Differential correctness of the two paths is the test suite's job
+   (test_flat_diff); this experiment only measures.
+
+   --boxed / --flat restrict which side is timed (for profiling one path
+   in isolation); BENCH_pr3.json is written only when both sides ran. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Ibuf = Kwsc_util.Ibuf
+module Kd = Kwsc_kdtree.Kd
+module Kd_flat = Kwsc_kdtree.Kd_flat
+module Inverted = Kwsc_invindex.Inverted
+module Postings = Kwsc_invindex.Postings
+
+let side : [ `Both | `Boxed | `Flat ] ref = ref `Both
+let run_boxed () = !side <> `Flat
+let run_flat () = !side <> `Boxed
+
+(* Words allocated per run of [f], averaged over [iters] runs and counting
+   both heaps: arrays above Max_young_wosize bypass the minor heap, so a
+   minor-words delta alone would hide the boxed paths' big copies. *)
+let words_per ~iters f =
+  ignore (f ());
+  (* warm caches and reusable buffers *)
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Gc.allocated_bytes () -. before)
+  /. float_of_int iters
+  /. float_of_int (Sys.word_size / 8)
+
+let run () =
+  H.header "FLAT: flat layouts vs boxed trees"
+    "no claim (implementation optimisation); same answers, measured speedups";
+  let n = H.sized (if !H.quick then 20_000 else 100_000) in
+  let nq = H.sized (if !H.quick then 256 else 1024) in
+  let rng = Prng.create 0xf1a7 in
+  let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:200 ~range:1000.0 in
+  let tagged = Array.init n (fun i -> (fst objs.(i), i)) in
+  let rects = Array.init nq (fun _ -> H.rect_of_trial rng) in
+  let probes = Array.init nq (fun _ -> Array.init 2 (fun _ -> Prng.float rng 1000.0)) in
+  let wss =
+    Array.init nq (fun _ -> [| 1 + Prng.int rng 20; 21 + Prng.int rng 60 |])
+  in
+  (* Both sides need the boxed builds: the flat form is compiled from them. *)
+  let kd, build_t = H.time_best ~reps:3 (fun () -> Kd.build tagged) in
+  let kdf, freeze_t = H.time_best ~reps:3 (fun () -> Kd.freeze kd) in
+  let inv, inv_t =
+    H.time_best ~reps:3 (fun () -> Inverted.build (Array.map snd objs))
+  in
+  let pst = Inverted.postings inv in
+  Printf.printf
+    "  N=%d  kd-build=%7.1fms  freeze=%6.1fms (%4.1f%% of build)  inv-build=%7.1fms\n"
+    n (build_t *. 1e3) (freeze_t *. 1e3)
+    (100.0 *. freeze_t /. build_t)
+    (inv_t *. 1e3);
+
+  (* -------------------------------------------------------------- *)
+  (* Throughput: each thunk runs the whole query set once.           *)
+  (* -------------------------------------------------------------- *)
+  let per t = t /. float_of_int nq *. 1e6 in
+  let section label ~reps boxed flat =
+    let bt = if run_boxed () then per (snd (H.time_best ~reps boxed)) else nan in
+    let ft = if run_flat () then per (snd (H.time_best ~reps flat)) else nan in
+    if run_boxed () && run_flat () then
+      Printf.printf "  %-24s boxed=%8.2fus/q  flat=%8.2fus/q  speedup=%5.2fx\n"
+        label bt ft (bt /. ft)
+    else
+      Printf.printf "  %-24s %s=%8.2fus/q\n" label
+        (if run_boxed () then "boxed" else "flat")
+        (if run_boxed () then bt else ft);
+    (bt, ft)
+  in
+  (* Range reporting, kernel vs kernel (callback APIs on both sides). *)
+  let sum_boxed = ref 0 and sum_flat = ref 0 in
+  let boxed_range () =
+    sum_boxed := 0;
+    Array.iter (fun q -> Kd.range_iter kd q (fun _ v -> sum_boxed := !sum_boxed + v)) rects
+  in
+  let flat_range () =
+    sum_flat := 0;
+    Array.iter
+      (fun q -> Kd_flat.range_iter kdf q (fun _ v -> sum_flat := !sum_flat + v))
+      rects
+  in
+  let range_bt, range_ft = section "range reporting" ~reps:5 boxed_range flat_range in
+  if run_boxed () && run_flat () && !sum_boxed <> !sum_flat then
+    failwith "FLAT: boxed and flat range checksums disagree";
+  (* k-NN, k = 8, Linf. *)
+  let sink = ref 0.0 in
+  let boxed_nn () =
+    Array.iter
+      (fun q ->
+        List.iter (fun (dist, _, _) -> sink := !sink +. dist) (Kd.nearest kd ~metric:`Linf q 8))
+      probes
+  in
+  let flat_nn () =
+    Array.iter
+      (fun q ->
+        Array.iter
+          (fun (dist, _) -> sink := !sink +. dist)
+          (Kd_flat.nearest kdf ~metric:`Linf q 8))
+      probes
+  in
+  let nn_bt, nn_ft = section "nearest (k=8, Linf)" ~reps:5 boxed_nn flat_nn in
+  (* Posting intersection: fresh-copy pairwise merge (the pre-arena idiom)
+     vs rarest-first galloping into reused buffers. *)
+  let isum_boxed = ref 0 and isum_flat = ref 0 in
+  let boxed_isect () =
+    isum_boxed := 0;
+    Array.iter
+      (fun ws ->
+        let acc = ref (Inverted.posting inv ws.(0)) in
+        for i = 1 to Array.length ws - 1 do
+          acc := Kwsc_util.Sorted.intersect !acc (Inverted.posting inv ws.(i))
+        done;
+        isum_boxed := !isum_boxed + Array.length !acc)
+      wss
+  in
+  let out = Ibuf.create () and tmp = Ibuf.create () in
+  let flat_isect () =
+    isum_flat := 0;
+    Array.iter
+      (fun ws ->
+        Postings.query_into pst ws out tmp;
+        isum_flat := !isum_flat + Ibuf.length out)
+      wss
+  in
+  let isect_bt, isect_ft = section "posting intersection" ~reps:5 boxed_isect flat_isect in
+  if run_boxed () && run_flat () && !isum_boxed <> !isum_flat then
+    failwith "FLAT: boxed and flat intersection checksums disagree";
+
+  (* -------------------------------------------------------------- *)
+  (* Allocation: words per query, old list/copy APIs vs flat kernels. *)
+  (* -------------------------------------------------------------- *)
+  let iters = 3 in
+  let alloc label boxed flat =
+    let wq f = words_per ~iters f /. float_of_int nq in
+    let wb = if run_boxed () then wq boxed else nan in
+    let wf = if run_flat () then wq flat else nan in
+    if run_boxed () && run_flat () then
+      Printf.printf "  %-24s boxed=%9.1f w/q   flat=%9.1f w/q   ratio=%6.1fx\n" label wb
+        (* a zero-allocation steady state divides by the callback sink's
+           noise floor; clamp to one word so the ratio stays finite *)
+        (max wf 1.0)
+        (wb /. max wf 1.0)
+    else
+      Printf.printf "  %-24s %s=%9.1f w/q\n" label
+        (if run_boxed () then "boxed" else "flat")
+        (if run_boxed () then wb else wf);
+    (wb, max wf 1.0)
+  in
+  let boxed_range_list () =
+    Array.iter (fun q -> ignore (Kd.range kd q)) rects
+  in
+  let ra_b, ra_f = alloc "alloc: range" boxed_range_list flat_range in
+  let al_b, al_f = alloc "alloc: intersection" boxed_isect flat_isect in
+
+  (* -------------------------------------------------------------- *)
+  (* Verdicts and JSON.                                              *)
+  (* -------------------------------------------------------------- *)
+  if run_boxed () && run_flat () then (
+    let speed_ok = range_bt /. range_ft >= 1.5 && isect_bt /. isect_ft >= 1.5 in
+    let alloc_ok = ra_b /. ra_f >= 10.0 && al_b /. al_f >= 10.0 in
+    Printf.printf "  -> flat speedups: range %.2fx, intersection %.2fx (target >= 1.5x) %s\n"
+      (range_bt /. range_ft) (isect_bt /. isect_ft)
+      (if speed_ok then "[OK]" else "[BELOW TARGET]");
+    Printf.printf "  -> alloc reduction: range %.1fx, intersection %.1fx (target >= 10x) %s\n"
+      (ra_b /. ra_f) (al_b /. al_f)
+      (if alloc_ok then "[OK]" else "[BELOW TARGET]");
+    if !H.smoke then Printf.printf "  (smoke run: BENCH_pr3.json not written)\n"
+    else begin
+    let oc = open_out "BENCH_pr3.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"flat layouts vs boxed trees\",\n\
+      \  \"n\": %d,\n\
+      \  \"queries\": %d,\n\
+      \  \"kd_build_s\": %.6f,\n\
+      \  \"freeze_s\": %.6f,\n\
+      \  \"inv_build_s\": %.6f,\n\
+      \  \"range\": {\"boxed_us_per_q\": %.3f, \"flat_us_per_q\": %.3f, \"speedup\": %.3f},\n\
+      \  \"nearest\": {\"boxed_us_per_q\": %.3f, \"flat_us_per_q\": %.3f, \"speedup\": %.3f},\n\
+      \  \"intersection\": {\"boxed_us_per_q\": %.3f, \"flat_us_per_q\": %.3f, \"speedup\": %.3f},\n\
+      \  \"alloc_words_per_q\": {\n\
+      \    \"range\": {\"boxed\": %.1f, \"flat\": %.1f, \"ratio\": %.1f},\n\
+      \    \"intersection\": {\"boxed\": %.1f, \"flat\": %.1f, \"ratio\": %.1f}\n\
+      \  }\n\
+       }\n"
+      n nq build_t freeze_t inv_t range_bt range_ft (range_bt /. range_ft) nn_bt nn_ft
+      (nn_bt /. nn_ft) isect_bt isect_ft (isect_bt /. isect_ft) ra_b ra_f (ra_b /. ra_f)
+      al_b al_f (al_b /. al_f);
+    close_out oc;
+    Printf.printf "  wrote BENCH_pr3.json\n"
+    end)
+  else
+    Printf.printf "  (one side disabled by --boxed/--flat: no speedups, no BENCH_pr3.json)\n"

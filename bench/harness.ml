@@ -6,6 +6,14 @@ module Doc = Kwsc_invindex.Doc
 
 let quick = ref false
 
+(* Smoke mode (--smoke, `make bench-smoke`): every experiment at tiny N so
+   CI can exercise the whole harness end-to-end in seconds. Numbers from a
+   smoke run are for crash-testing only, not measurement. *)
+let smoke = ref false
+
+(* Scale a dataset / query-count choice down to the smoke footprint. *)
+let sized n = if !smoke then max 256 (n / 50) else n
+
 let fmt_exp = Printf.sprintf "%.3f"
 
 let header title paper_claim =
@@ -64,7 +72,21 @@ let measure_queries queries =
   let _, elapsed = Kwsc_util.Timer.time (fun () -> Array.iter (fun f -> ignore (f ())) queries) in
   (Kwsc_util.Stats.median works, elapsed /. float_of_int (Array.length queries))
 
-let n_sweep ~base = if !quick then [ base; base * 2; base * 4 ] else [ base; base * 2; base * 4; base * 8 ]
+let n_sweep ~base =
+  if !smoke then [ max 128 (base / 8); max 256 (base / 4) ]
+  else if !quick then [ base; base * 2; base * 4 ]
+  else [ base; base * 2; base * 4; base * 8 ]
+
+(* Best-of-[reps] wall time of [f]; returns the last result too. *)
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, t = Kwsc_util.Timer.time f in
+    result := Some r;
+    if t < !best then best := t
+  done;
+  (Option.get !result, !best)
 
 let fit_and_print ~label ~target ~tolerance pts =
   let e = Kwsc_util.Stats.fit_exponent pts in

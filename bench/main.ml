@@ -3,9 +3,12 @@
    Usage:
      dune exec bench/main.exe                 -- every experiment + micro
      dune exec bench/main.exe -- --quick      -- smaller sweeps
+     dune exec bench/main.exe -- --smoke      -- tiny-N CI sanity run
      dune exec bench/main.exe -- --only T1.1  -- one experiment
      dune exec bench/main.exe -- --no-micro   -- skip Bechamel section
      dune exec bench/main.exe -- --domains 4  -- default pool size (KWSC_DOMAINS)
+     dune exec bench/main.exe -- --flat       -- FLAT: time only the flat side
+     dune exec bench/main.exe -- --boxed      -- FLAT: time only the boxed side
 
    Each experiment regenerates one Table-1 row or figure of the paper
    (DESIGN.md section 3 maps ids to paper artifacts; EXPERIMENTS.md records
@@ -19,8 +22,20 @@ let () =
     | "--quick" :: rest ->
         Harness.quick := true;
         parse rest
+    | "--smoke" :: rest ->
+        (* Smoke implies quick; Harness.sized then shrinks every dataset
+           so CI can crash-test all experiments in seconds. *)
+        Harness.quick := true;
+        Harness.smoke := true;
+        parse rest
     | "--no-micro" :: rest ->
         micro := false;
+        parse rest
+    | "--flat" :: rest ->
+        Flatbench.side := `Flat;
+        parse rest
+    | "--boxed" :: rest ->
+        Flatbench.side := `Boxed;
         parse rest
     | "--only" :: id :: rest ->
         only := Some id;
@@ -36,7 +51,8 @@ let () =
         parse rest
     | "--help" :: _ ->
         print_endline
-          "options: [--quick] [--no-micro] [--only EXPID] [--domains N]";
+          "options: [--quick] [--smoke] [--no-micro] [--only EXPID] [--domains N] \
+           [--flat|--boxed]";
         print_endline "experiment ids:";
         List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) Experiments.all;
         exit 0

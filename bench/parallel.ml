@@ -10,21 +10,13 @@ module H = Harness
 module Prng = Kwsc_util.Prng
 module Pool = Kwsc_util.Pool
 
-let time_best ~reps f =
-  let best = ref infinity in
-  let result = ref None in
-  for _ = 1 to reps do
-    let r, t = Kwsc_util.Timer.time f in
-    result := Some r;
-    if t < !best then best := t
-  done;
-  (Option.get !result, !best)
+let time_best = H.time_best
 
 let run () =
   H.header "PAR: multicore bulk-build & batched queries"
     "no claim (implementation extension); structures identical at every pool size";
-  let n = if !H.quick then 30_000 else 100_000 in
-  let nq = if !H.quick then 512 else 2048 in
+  let n = H.sized (if !H.quick then 30_000 else 100_000) in
+  let nq = H.sized (if !H.quick then 512 else 2048) in
   let rng = Prng.create 0xbead in
   let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:200 ~range:1000.0 in
   let tagged = Array.map (fun (p, _) -> (p, ())) objs in
@@ -32,6 +24,16 @@ let run () =
   let queries =
     Array.init nq (fun _ ->
         (H.rect_of_trial rng, [| 1 + Prng.int rng 20; 21 + Prng.int rng 40 |]))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let dcounts =
+    if cores = 1 then (
+      Printf.printf
+        "  !! host reports 1 core: skipping the 2- and 4-domain rows \
+         (multi-domain \"speedups\" on one core measure scheduler noise, \
+         not scaling)\n";
+      [ 1 ])
+    else [ 1; 2; 4 ]
   in
   let rows =
     List.map
@@ -56,7 +58,7 @@ let run () =
               (orp_t *. 1e3) (batch_t *. 1e3)
               (float_of_int nq /. batch_t);
             (dcount, kd_t, orp_t, batch_t)))
-      [ 1; 2; 4 ]
+      dcounts
   in
   let _, kd1, orp1, batch1 = List.hd rows in
   List.iter
@@ -65,6 +67,8 @@ let run () =
         Printf.printf "  -> domains=%d speedup: kd-build %.2fx  orp-build %.2fx  batch %.2fx\n" d
           (kd1 /. kd_t) (orp1 /. orp_t) (batch1 /. batch_t))
     rows;
+  if !H.smoke then Printf.printf "  (smoke run: BENCH_pr2.json not written)\n"
+  else begin
   let oc = open_out "BENCH_pr2.json" in
   Printf.fprintf oc
     "{\n\
@@ -77,8 +81,7 @@ let run () =
      %s\n\
     \  ]\n\
      }\n"
-    (Domain.recommended_domain_count ())
-    n (Array.length sub) nq
+    cores n (Array.length sub) nq
     (String.concat ",\n"
        (List.map
           (fun (d, kd_t, orp_t, batch_t) ->
@@ -90,3 +93,4 @@ let run () =
           rows));
   close_out oc;
   Printf.printf "  wrote BENCH_pr2.json\n"
+  end

@@ -5,7 +5,9 @@ type t = {
   pts : Point.t array;
   docs : Doc.t array;
   kd : int Kwsc_kdtree.Kd.t;
+  kdf : int Kwsc_kdtree.Kd_flat.t; (* frozen kd: the query-path layout *)
   ptree : int Kwsc_ptree.Ptree.t;
+  ptf : int Kwsc_ptree.Ptree_flat.t; (* frozen partition tree *)
   inv : Kwsc_invindex.Inverted.t;
 }
 
@@ -13,11 +15,15 @@ let build ?seed objs =
   if Array.length objs = 0 then invalid_arg "Baseline.build: empty input";
   let pts = Array.map fst objs and docs = Array.map snd objs in
   let tagged = Array.mapi (fun i (p, _) -> (p, i)) objs in
+  let kd = Kwsc_kdtree.Kd.build tagged in
+  let ptree = Kwsc_ptree.Ptree.build ?seed tagged in
   {
     pts;
     docs;
-    kd = Kwsc_kdtree.Kd.build tagged;
-    ptree = Kwsc_ptree.Ptree.build ?seed tagged;
+    kd;
+    kdf = Kwsc_kdtree.Kd.freeze kd;
+    ptree;
+    ptf = Kwsc_ptree.Ptree.freeze ptree;
     inv = Kwsc_invindex.Inverted.build docs;
   }
 
@@ -31,10 +37,16 @@ let finish ids =
   Array.sort Int.compare a;
   a
 
-let structured_filter t candidates ws =
-  let examined = List.length candidates in
-  let hits = List.filter_map (fun (_, id) -> if doc_all t ws id then Some id else None) candidates in
-  (finish hits, examined)
+(* Structured-only strategies report through the flat kernels: the iter
+   callback filters by keywords and pushes survivors into a flat buffer —
+   no candidate list is ever materialized. *)
+let structured_filter_iter t iter ws =
+  let examined = ref 0 in
+  let hits = Kwsc_util.Ibuf.create () in
+  iter (fun id ->
+      incr examined;
+      if doc_all t ws id then Kwsc_util.Ibuf.push hits id);
+  (Kwsc_util.Ibuf.sorted_array hits, !examined)
 
 (* The true cost of the keywords-only strategy is the scan of the rarest
    posting list (that is what the intersection algorithm reads), not the
@@ -46,29 +58,33 @@ let keyword_scan_cost t ws =
 
 let keywords_filter t ws matches pred =
   let examined = keyword_scan_cost t ws in
-  let hits =
-    Array.to_list matches |> List.filter (fun id -> pred t.pts.(id))
-  in
-  (finish hits, examined)
+  let hits = Kwsc_util.Ibuf.create () in
+  Array.iter (fun id -> if pred t.pts.(id) then Kwsc_util.Ibuf.push hits id) matches;
+  (Kwsc_util.Ibuf.to_array hits, examined)
 
-let rect_structured t q ws = structured_filter t (Kwsc_kdtree.Kd.range t.kd q) ws
+let rect_structured t q ws =
+  structured_filter_iter t (fun f -> Kwsc_kdtree.Kd_flat.range_iter t.kdf q (fun _ id -> f id)) ws
+
 let rect_keywords t q ws =
   keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Rect.contains_point q)
 
-let poly_structured t q ws = structured_filter t (Kwsc_ptree.Ptree.query_polytope t.ptree q) ws
+let poly_structured t q ws =
+  structured_filter_iter t
+    (fun f -> Kwsc_ptree.Ptree_flat.query_polytope_iter t.ptf q (fun _ id -> f id))
+    ws
+
 let poly_keywords t q ws =
   keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Polytope.mem q)
 
 let sphere_structured t (s : Sphere.t) ws =
-  (* kd range over the bounding box, then exact metric test *)
-  let candidates = Kwsc_kdtree.Kd.range t.kd (Sphere.bounding_rect s) in
-  let examined = List.length candidates in
-  let hits =
-    List.filter_map
-      (fun (p, id) -> if Sphere.contains s p && doc_all t ws id then Some id else None)
-      candidates
-  in
-  (finish hits, examined)
+  (* flat kd range over the bounding box, then exact metric test; the
+     payload id resolves the point without materializing the slot *)
+  let examined = ref 0 in
+  let hits = Kwsc_util.Ibuf.create () in
+  Kwsc_kdtree.Kd_flat.range_iter t.kdf (Sphere.bounding_rect s) (fun _ id ->
+      incr examined;
+      if Sphere.contains s t.pts.(id) && doc_all t ws id then Kwsc_util.Ibuf.push hits id);
+  (Kwsc_util.Ibuf.sorted_array hits, !examined)
 
 let sphere_keywords t s ws =
   keywords_filter t ws (Kwsc_invindex.Inverted.query t.inv ws) (Sphere.contains s)
@@ -86,15 +102,20 @@ let by_distance metric t q ids =
 let nn_structured t ~metric q ~t' ws =
   if t' < 1 then invalid_arg "Baseline.nn_structured: t must be >= 1";
   let n = n_objects t in
+  let matches = Kwsc_util.Ibuf.create () in
   let rec grow batch =
-    let near = Kwsc_kdtree.Kd.nearest t.kd ~metric q batch in
-    let matches = List.filter (fun (_, _, id) -> doc_all t ws id) near in
-    if List.length matches >= t' || batch >= n then (matches, List.length near)
+    let near = Kwsc_kdtree.Kd_flat.nearest t.kdf ~metric q batch in
+    Kwsc_util.Ibuf.clear matches;
+    Array.iter
+      (fun (_, s) ->
+        let id = Kwsc_kdtree.Kd_flat.payload t.kdf s in
+        if doc_all t ws id then Kwsc_util.Ibuf.push matches id)
+      near;
+    if Kwsc_util.Ibuf.length matches >= t' || batch >= n then Array.length near
     else grow (min n (batch * 2))
   in
-  let matches, examined = grow (max 2 (2 * t')) in
-  let ids = Array.of_list (List.map (fun (_, _, id) -> id) matches) in
-  let sorted = by_distance metric t q ids in
+  let examined = grow (max 2 (2 * t')) in
+  let sorted = by_distance metric t q (Kwsc_util.Ibuf.to_array matches) in
   (Array.sub sorted 0 (min t' (Array.length sorted)), examined)
 
 let nn_keywords t ~metric q ~t' ws =

@@ -49,6 +49,24 @@ let take_nearest t q t' ids =
     with_dist;
   Array.sub with_dist 0 (min t' (Array.length with_dist))
 
+(* Inclusive L-infinity ball. [Rect.linf_ball] computes q_j +- r in
+   floating point, which can round to just inside the true ball and
+   silently drop a point whose distance is exactly r — and the candidate
+   radii of the binary search below ARE such distances, so the farthest
+   sought point can be excluded even at the maximal candidate radius.
+   The rounding error of q_j +- r is bounded by a few ulps of
+   (|q_j| + r), which dwarfs ulps of the bound itself when the boundary
+   coordinate is small (q_j ~ 900, r ~ 889, x_j ~ 5: the error is ~100
+   ulps of x_j). Widen each bound by that magnitude-aware slack; a point
+   admitted this way lies within ~1e-15 relative distance of r, far
+   below any tolerance the t'-NN contract cares about, and [take_nearest]
+   recomputes exact distances anyway. *)
+let ball q r =
+  let slack x = 4.0 *. epsilon_float *. (Float.abs x +. r) in
+  Rect.make
+    (Array.map (fun x -> x -. r -. slack x) q)
+    (Array.map (fun x -> x +. r +. slack x) q)
+
 let query_count t q ~t' ws =
   if Array.length q <> t.d then invalid_arg "Linf_nn_kw.query: dimension mismatch";
   if t' < 1 then invalid_arg "Linf_nn_kw.query: t must be >= 1";
@@ -56,7 +74,7 @@ let query_count t q ~t' ws =
   (* at least t' matching objects within radius r? output-capped probe *)
   let enough r =
     incr probes;
-    Array.length (inner_query ~limit:t' t (Rect.linf_ball q r) ws) >= t'
+    Array.length (inner_query ~limit:t' t (ball q r) ws) >= t'
   in
   let columns = Array.init t.d (fun j -> (t.coords.(j), q.(j))) in
   let total = Array.fold_left (fun acc (c, _) -> acc + Array.length c) 0 columns in
@@ -64,7 +82,7 @@ let query_count t q ~t' ws =
   let r_max = radius total in
   if not (enough r_max) then
     (* fewer than t' objects match the keywords at all: return them all *)
-    (take_nearest t q t' (inner_query t (Rect.linf_ball q r_max) ws), !probes)
+    (take_nearest t q t' (inner_query t (ball q r_max) ws), !probes)
   else begin
     (* smallest candidate rank whose radius already holds t' matches *)
     let lo = ref 1 and hi = ref total in
@@ -73,7 +91,7 @@ let query_count t q ~t' ws =
       if enough (radius mid) then hi := mid else lo := mid + 1
     done;
     let r_star = radius !lo in
-    let ids = inner_query t (Rect.linf_ball q r_star) ws in
+    let ids = inner_query t (ball q r_star) ws in
     (take_nearest t q t' ids, !probes)
   end
 

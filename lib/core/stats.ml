@@ -7,6 +7,7 @@ type query = {
   mutable pruned_empty : int;
   mutable pruned_geom : int;
   mutable reported : int;
+  mutable alloc_words : int;
 }
 
 let fresh_query () =
@@ -19,6 +20,7 @@ let fresh_query () =
     pruned_empty = 0;
     pruned_geom = 0;
     reported = 0;
+    alloc_words = 0;
   }
 
 let work q = q.pivot_checked + q.small_scanned + q.nodes_visited
@@ -31,7 +33,19 @@ let add_into ~into q =
   into.small_scanned <- into.small_scanned + q.small_scanned;
   into.pruned_empty <- into.pruned_empty + q.pruned_empty;
   into.pruned_geom <- into.pruned_geom + q.pruned_geom;
-  into.reported <- into.reported + q.reported
+  into.reported <- into.reported + q.reported;
+  into.alloc_words <- into.alloc_words + q.alloc_words
+
+(* Words of minor-heap allocation performed by [f], charged to
+   [q.alloc_words]. [Gc.minor_words] is a per-domain monotone counter in
+   OCaml 5, so the delta is exact for the calling domain and the batched
+   query paths (one accumulator per domain) merge it like any other
+   counter. *)
+let count_alloc q f =
+  let before = Gc.minor_words () in
+  let r = f () in
+  q.alloc_words <- q.alloc_words + int_of_float (Gc.minor_words () -. before);
+  r
 
 let merge a b =
   let m = fresh_query () in

@@ -12,6 +12,10 @@ type query = {
   mutable pruned_empty : int;  (** children skipped by the emptiness bits *)
   mutable pruned_geom : int;  (** children skipped by cell-vs-query tests *)
   mutable reported : int;  (** OUT *)
+  mutable alloc_words : int;
+      (** minor-heap words allocated while answering, measured by
+          {!count_alloc} — the observable the flat kernels drive toward
+          zero *)
 }
 
 val fresh_query : unit -> query
@@ -24,6 +28,12 @@ val add_into : into:query -> query -> unit
 (** Accumulate [q]'s counters into [into], field by field. The batched
     query paths keep one accumulator per domain (no counter is ever
     shared across domains) and combine them with {!merge} at the end. *)
+
+val count_alloc : query -> (unit -> 'a) -> 'a
+(** [count_alloc q f] runs [f ()], charging the minor-heap words it
+    allocates (the calling domain's [Gc.minor_words] delta) to
+    [q.alloc_words]. Deterministic for a deterministic [f], so parallel
+    and sequential runs of the same query batch agree. *)
 
 val merge : query -> query -> query
 (** Fresh counter record holding the field-wise sum. Associative and

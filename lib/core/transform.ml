@@ -212,9 +212,11 @@ let query_stats ?limit t q ws =
   | Some l when l < 1 -> invalid_arg "Transform.query: limit must be >= 1"
   | _ -> ());
   let st = Stats.fresh_query () in
-  let acc = ref [] in
+  (* flat accumulator: the hot loop pushes ids into one growable int
+     buffer instead of consing a list *)
+  let acc = Kwsc_util.Ibuf.create () in
   let report id =
-    acc := id :: !acc;
+    Kwsc_util.Ibuf.push acc id;
     st.Stats.reported <- st.Stats.reported + 1;
     match limit with Some l when st.Stats.reported >= l -> raise Limit_reached | _ -> ()
   in
@@ -272,9 +274,12 @@ let query_stats ?limit t q ws =
       end
     end
   in
-  (try if t.space.classify q t.root.cell <> Disjoint then visit t.root with Limit_reached -> ());
-  let out = Array.of_list !acc in
-  Array.sort Int.compare out;
+  let out =
+    Stats.count_alloc st (fun () ->
+        (try if t.space.classify q t.root.cell <> Disjoint then visit t.root
+         with Limit_reached -> ());
+        Kwsc_util.Ibuf.sorted_array acc)
+  in
   (out, st)
 
 let query ?limit t q ws = fst (query_stats ?limit t q ws)

@@ -1,4 +1,4 @@
-type t = { docs : Doc.t array; postings : (int, int array) Hashtbl.t; n : int; vocab : int array }
+type t = { docs : Doc.t array; postings : Postings.t; n : int }
 
 let build ?pool docs =
   let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
@@ -14,10 +14,12 @@ let build ?pool docs =
     docs;
   (* Materializing and sorting each keyword's posting list is independent
      per keyword: snapshot the accumulator table into an array and sort
-     the lists as pool tasks, then insert the results sequentially. *)
+     the lists as pool tasks, then concatenate the results into the flat
+     arena in vocabulary order. *)
   let entries =
     Array.of_list (Hashtbl.fold (fun w l acc -> (w, !l) :: acc) postings_l [])
   in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) entries;
   let sorted_arrays =
     Kwsc_util.Pool.parallel_map pool
       (fun (_, l) ->
@@ -26,41 +28,25 @@ let build ?pool docs =
         a)
       entries
   in
-  let postings = Hashtbl.create (max 1 (Array.length entries)) in
-  Array.iteri (fun i (w, _) -> Hashtbl.add postings w sorted_arrays.(i)) entries;
+  let nw = Array.length entries in
+  let vocab = Array.make nw 0 in
+  let offsets = Array.make (nw + 1) 0 in
+  Array.iteri
+    (fun i (w, _) ->
+      vocab.(i) <- w;
+      offsets.(i + 1) <- offsets.(i) + Array.length sorted_arrays.(i))
+    entries;
+  let arena = Array.make offsets.(nw) 0 in
+  Array.iteri (fun i a -> Array.blit a 0 arena offsets.(i) (Array.length a)) sorted_arrays;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
-  let vocab = Kwsc_util.Sorted.sort_dedup (Hashtbl.fold (fun w _ acc -> w :: acc) postings []) in
-  { docs; postings; n; vocab }
+  { docs; postings = Postings.unsafe_make ~vocab ~offsets ~arena; n }
 
 let input_size t = t.n
-let vocabulary t = Array.copy t.vocab
-let posting t w = match Hashtbl.find_opt t.postings w with Some a -> a | None -> [||]
-let frequency t w = Array.length (posting t w)
-
-let query t ws =
-  if Array.length ws = 0 then invalid_arg "Inverted.query: need at least one keyword";
-  let rarest = ref ws.(0) in
-  Array.iter (fun w -> if frequency t w < frequency t !rarest then rarest := w) ws;
-  let base = posting t !rarest in
-  let others = Array.of_list (List.filter (fun w -> w <> !rarest) (Array.to_list ws)) in
-  let hits = ref [] and count = ref 0 in
-  Array.iter
-    (fun id ->
-      if Array.for_all (fun w -> Doc.mem t.docs.(id) w) others then begin
-        hits := id :: !hits;
-        incr count
-      end)
-    base;
-  let out = Array.make !count 0 in
-  let rest = ref !hits in
-  for i = !count - 1 downto 0 do
-    (match !rest with
-    | x :: tl ->
-        out.(i) <- x;
-        rest := tl
-    | [] -> assert false)
-  done;
-  out
+let postings t = t.postings
+let vocabulary t = Array.init (Postings.num_words t.postings) (Postings.word t.postings)
+let posting t w = Postings.copy_posting t.postings w
+let frequency t w = Postings.frequency t.postings w
+let query t ws = Postings.query t.postings ws
 
 let query_naive t ws =
   if Array.length ws = 0 then invalid_arg "Inverted.query_naive: need at least one keyword";
@@ -70,11 +56,17 @@ let query_naive t ws =
 
 let is_empty_query t ws = Array.length (query t ws) = 0
 
-(* The index is immutable after [build] and [query] touches no shared
-   mutable state, so a batch is a plain parallel map over the stream. *)
+(* The index is immutable after [build]; each batch task owns its output
+   and scratch buffers, so a batch is a plain parallel map that reuses
+   the buffer pair across the queries of one shard. *)
 let query_batch ?pool t wss =
   let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
-  Kwsc_util.Pool.parallel_map pool (fun ws -> query t ws) wss
+  Kwsc_util.Pool.parallel_map pool
+    (fun ws ->
+      let out = Kwsc_util.Ibuf.create () and tmp = Kwsc_util.Ibuf.create () in
+      Postings.query_into t.postings ws out tmp;
+      Kwsc_util.Ibuf.to_array out)
+    wss
 
 module I = Kwsc_util.Invariant
 
@@ -83,56 +75,56 @@ let check_invariants t =
   let push x = bad := x :: !bad in
   let vf locus fmt = I.vf ~structure:"Inverted" ~locus fmt in
   let ndocs = Array.length t.docs in
-  let strictly_sorted a =
-    let ok = ref true in
-    for i = 1 to Array.length a - 1 do
-      if a.(i - 1) >= a.(i) then ok := false
-    done;
-    !ok
-  in
-  if not (strictly_sorted t.vocab) then
-    push (vf "vocab" "vocabulary is not strictly sorted");
-  if Array.length t.vocab <> Hashtbl.length t.postings then
-    push
-      (vf "vocab" "%d vocabulary entries but %d posting lists" (Array.length t.vocab)
-         (Hashtbl.length t.postings));
-  Array.iter
-    (fun w ->
-      if not (Hashtbl.mem t.postings w) then
-        push (vf "vocab" "keyword %d has no posting list" w))
-    t.vocab;
-  Hashtbl.iter
-    (fun w ids ->
-      let locus = Printf.sprintf "posting[%d]" w in
-      if Array.length ids = 0 then push (vf locus "empty posting list");
-      if not (strictly_sorted ids) then
-        push (vf locus "posting list is not strictly sorted (or has duplicates)");
-      Array.iter
-        (fun id ->
-          if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
-          else if not (Doc.mem t.docs.(id) w) then
-            push (vf locus "object %d is listed but its document lacks keyword %d" id w))
-        ids)
-    t.postings;
-  (* completeness: every (doc, keyword) pair appears in its posting list *)
+  let ps = t.postings in
+  let nw = Postings.num_words ps in
+  (* vocabulary strictly sorted; offsets monotone and exactly covering *)
+  for r = 1 to nw - 1 do
+    if Postings.word ps (r - 1) >= Postings.word ps r then
+      push (vf "vocab" "vocabulary is not strictly sorted at rank %d" r)
+  done;
+  for r = 0 to nw - 1 do
+    if Postings.stop ps r < Postings.start ps r then
+      push (vf "offsets" "span of rank %d has negative length" r);
+    if r > 0 && Postings.start ps r <> Postings.stop ps (r - 1) then
+      push (vf "offsets" "span of rank %d does not start where rank %d ends" r (r - 1))
+  done;
+  if nw > 0 && Postings.start ps 0 <> 0 then push (vf "offsets" "first span does not start at 0");
+  if nw > 0 && Postings.stop ps (nw - 1) <> Postings.arena_size ps then
+    push (vf "offsets" "last span does not end at the arena size");
+  (* each span strictly sorted, non-empty, sound against the documents *)
+  for r = 0 to nw - 1 do
+    let w = Postings.word ps r in
+    let locus = Printf.sprintf "posting[%d]" w in
+    let lo = Postings.start ps r and hi = Postings.stop ps r in
+    if hi = lo then push (vf locus "empty posting span");
+    for i = lo to hi - 1 do
+      let id = Postings.arena_get ps i in
+      if i > lo && Postings.arena_get ps (i - 1) >= id then
+        push (vf locus "posting span is not strictly sorted (or has duplicates)");
+      if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
+      else if not (Doc.mem t.docs.(id) w) then
+        push (vf locus "object %d is listed but its document lacks keyword %d" id w)
+    done
+  done;
+  (* completeness: every (doc, keyword) pair appears in its posting span *)
   Array.iteri
     (fun id doc ->
       Doc.iter
         (fun w ->
-          let ids = match Hashtbl.find_opt t.postings w with Some a -> a | None -> [||] in
-          if not (Kwsc_util.Sorted.mem_int ids id) then
+          if not (Postings.mem ps w id) then
             push
               (vf
                  (Printf.sprintf "doc[%d]" id)
-                 "keyword %d is in the document but object %d is missing from its posting list"
+                 "keyword %d is in the document but object %d is missing from its posting span"
                  w id))
         doc)
     t.docs;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 t.docs in
   if n <> t.n then push (vf "root" "stored input size %d <> total document weight %d" t.n n);
-  let posted = Hashtbl.fold (fun _ ids acc -> acc + Array.length ids) t.postings 0 in
-  if posted <> n then
-    push (vf "root" "%d posted pairs <> %d document words (doc-count inconsistency)" posted n);
+  if Postings.arena_size ps <> n then
+    push
+      (vf "root" "%d posted pairs <> %d document words (doc-count inconsistency)"
+         (Postings.arena_size ps) n);
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)

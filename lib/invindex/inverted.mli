@@ -18,18 +18,27 @@ val input_size : t -> int
 val vocabulary : t -> int array
 (** Sorted distinct keywords across all documents. *)
 
+val postings : t -> Postings.t
+(** The flat postings arena behind this index — the zero-allocation query
+    surface ({!Postings.query_into}, {!Postings.iter_posting}) for hot
+    loops that reuse buffers across queries. *)
+
 val posting : t -> int -> int array
 (** [posting t w] is the sorted id list of objects containing [w]
-    (empty if [w] occurs nowhere). The returned array must not be mutated. *)
+    (empty if [w] occurs nowhere). The returned array is a fresh copy on
+    every call — callers may keep or mutate it freely without aliasing
+    the index (use {!postings} + {!Postings.iter_posting} to read a span
+    without the copy). *)
 
 val frequency : t -> int -> int
 (** Posting-list length. *)
 
 val query : t -> int array -> int array
 (** [query t ws] is the id set of objects containing all keywords of [ws]
-    — a k-SI reporting query over the postings. Runs in
-    O(min-posting * k log) by scanning the rarest keyword's posting and
-    probing the others. Sorted output. *)
+    — a k-SI reporting query over the postings. Intersects the posting
+    spans rarest-first by the adaptive kernel (sequential merge for
+    balanced spans, galloping probes into much larger ones). Sorted
+    output. *)
 
 val query_naive : t -> int array -> int array
 (** Same result via full pairwise sorted-array intersection (the oracle used

@@ -1,0 +1,63 @@
+(** Flat postings layout: every keyword's sorted posting list is one span
+    of a single concatenated int arena, addressed through a sorted
+    vocabulary array and an offset table. Built by {!Inverted.build};
+    replaces per-keyword boxed arrays behind a [Hashtbl] so a k-SI query
+    touches two cache-friendly flat arrays and nothing else.
+
+    This module is a tagged query kernel (lint rule R9): no [Hashtbl], no
+    list construction. Multi-keyword intersection runs adaptively over
+    arena spans (sequential merge for balanced spans, galloping for
+    skewed ones), rarest first, into caller-owned reusable buffers. *)
+
+type t
+
+val unsafe_make : vocab:int array -> offsets:int array -> arena:int array -> t
+(** Raw constructor used by {!Inverted.build}. [offsets] has one entry
+    per vocabulary rank plus a sentinel equal to the arena length; rank
+    [r]'s posting span is [arena.(offsets.(r)) .. arena.(offsets.(r+1) - 1)].
+    Checks only length/sentinel consistency; span sortedness is the
+    builder's contract (audited by [Inverted.check_invariants] under
+    [KWSC_AUDIT=1]). *)
+
+val num_words : t -> int
+val arena_size : t -> int
+
+val word : t -> int -> int
+(** Keyword at vocabulary rank [r] (ranks are sorted by keyword). *)
+
+val rank : t -> int -> int
+(** Vocabulary rank of a keyword, or [-1] when it occurs nowhere. *)
+
+val start : t -> int -> int
+(** First arena index of rank [r]'s span. *)
+
+val stop : t -> int -> int
+(** One past the last arena index of rank [r]'s span. *)
+
+val arena_get : t -> int -> int
+
+val frequency : t -> int -> int
+(** Posting-span length of a keyword (0 if absent). *)
+
+val iter_posting : t -> int -> (int -> unit) -> unit
+(** Apply a callback to each object id of a keyword's span, in ascending
+    order, without materializing anything. *)
+
+val copy_posting : t -> int -> int array
+(** Fresh copy of a keyword's posting span (empty if absent). *)
+
+val mem : t -> int -> int -> bool
+(** [mem t w id]: does keyword [w]'s posting span contain [id]?
+    Galloping search, no allocation. *)
+
+val query_into : t -> int array -> Kwsc_util.Ibuf.t -> Kwsc_util.Ibuf.t -> unit
+(** [query_into t ws out tmp] leaves the sorted id set of objects whose
+    documents contain every keyword of [ws] in [out] ([tmp] is scratch;
+    both are cleared first). Spans are intersected rarest-first (the two
+    rarest arena-to-arena, then ping-ponging between the buffers) by the
+    adaptive kernel of {!Kwsc_util.Sorted.gallop_intersect_into}; with
+    warmed-up buffers the query allocates only one small rank array.
+    @raise Invalid_argument on an empty keyword set. *)
+
+val query : t -> int array -> int array
+(** Convenience wrapper around {!query_into} with throwaway buffers. *)

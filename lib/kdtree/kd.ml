@@ -270,8 +270,150 @@ let check_invariants t =
   if total <> t.n then push (vf "root" "stored size %d <> actual size %d" t.n total);
   List.rev !bad
 
-(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+(* ------------------------------------------------------------------ *)
+(* Flat layout: compile the boxed tree into Kd_flat's preorder arrays  *)
+(* ------------------------------------------------------------------ *)
+
+let freeze t =
+  let rec n_nodes = function
+    | Leaf _ -> 1
+    | Node { left; right; _ } -> 1 + n_nodes left + n_nodes right
+  in
+  let nn = n_nodes t.root in
+  let n_axis = Array.make nn (-1) in
+  let n_split = Array.make nn 0.0 in
+  let n_right = Array.make nn (-1) in
+  let n_start = Array.make nn 0 in
+  let n_count = Array.make nn 0 in
+  let coords = Array.make (t.n * t.d) 0.0 in
+  (* every leaf is non-empty (the builder rejects empty input and median
+     splits keep both halves populated), so a seed payload exists *)
+  let rec first_payload = function
+    | Leaf pts -> snd pts.(0)
+    | Node { left; _ } -> first_payload left
+  in
+  let payload = Array.make t.n (first_payload t.root) in
+  let ni = ref 0 and si = ref 0 in
+  let rec go node =
+    let i = !ni in
+    incr ni;
+    n_start.(i) <- !si;
+    match node with
+    | Leaf pts ->
+        n_count.(i) <- Array.length pts;
+        Array.iter
+          (fun (p, v) ->
+            let s = !si in
+            Array.blit p 0 coords (s * t.d) t.d;
+            payload.(s) <- v;
+            incr si)
+          pts
+    | Node { axis; split; left; right; count } ->
+        n_axis.(i) <- axis;
+        n_split.(i) <- split;
+        n_count.(i) <- count;
+        go left;
+        n_right.(i) <- !ni;
+        go right
+  in
+  go t.root;
+  Kd_flat.unsafe_make ~d:t.d ~n:t.n
+    ~blo:(Array.copy t.bounds.Rect.lo)
+    ~bhi:(Array.copy t.bounds.Rect.hi)
+    ~axis:n_axis ~split:n_split ~right:n_right ~start:n_start ~count:n_count ~coords
+    ~payload
+
+(* Flat-layout auditors: offset monotonicity, arena coverage, and slot
+   permutation equality with the boxed tree the layout was frozen from. *)
+let check_flat t ft =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Kd.flat" ~locus fmt in
+  if Kd_flat.size ft <> t.n then
+    push (vf "root" "flat size %d <> boxed size %d" (Kd_flat.size ft) t.n);
+  if Kd_flat.dim ft <> t.d then
+    push (vf "root" "flat dimension %d <> boxed dimension %d" (Kd_flat.dim ft) t.d);
+  let nn = Kd_flat.num_nodes ft in
+  (* Walk the packed preorder: each call consumes the subtree rooted at
+     [i] whose arena slice must begin at [expect] and returns (next node
+     index, end slot). Checks offset monotonicity and arena coverage. *)
+  let rec walk i expect =
+    if i < 0 || i >= nn then begin
+      push (vf "layout" "node index %d outside [0,%d)" i nn);
+      (nn, expect)
+    end
+    else begin
+      if Kd_flat.node_start ft i <> expect then
+        push
+          (vf
+             (Printf.sprintf "node[%d]" i)
+             "start offset %d breaks arena monotonicity (expected %d)"
+             (Kd_flat.node_start ft i) expect);
+      let cnt = Kd_flat.node_count ft i in
+      if cnt < 0 then push (vf (Printf.sprintf "node[%d]" i) "negative count %d" cnt);
+      if Kd_flat.node_axis ft i < 0 then (i + 1, expect + cnt)
+      else begin
+        let next_l, end_l = walk (i + 1) expect in
+        if Kd_flat.node_right ft i <> next_l then
+          push
+            (vf
+               (Printf.sprintf "node[%d]" i)
+               "right-child index %d is not the preorder successor %d of the left subtree"
+               (Kd_flat.node_right ft i) next_l);
+        let next_r, end_r = walk next_l end_l in
+        if end_r - expect <> cnt then
+          push
+            (vf
+               (Printf.sprintf "node[%d]" i)
+               "count %d <> children coverage %d" cnt (end_r - expect));
+        (next_r, end_r)
+      end
+    end
+  in
+  let last, covered = walk 0 0 in
+  if last <> nn then push (vf "layout" "%d packed nodes but preorder walk consumed %d" nn last);
+  if covered <> t.n then
+    push (vf "layout" "arena coverage %d slots <> %d points" covered t.n);
+  (* permutation equality: the arena must hold exactly the boxed leaves'
+     points, in preorder leaf order, payload references included *)
+  let s = ref 0 in
+  let rec cmp node =
+    match node with
+    | Leaf pts ->
+        Array.iter
+          (fun (p, v) ->
+            let slot = !s in
+            incr s;
+            if slot >= t.n then ()
+            else begin
+              for j = 0 to t.d - 1 do
+                if not (Float.equal (Kd_flat.coord ft slot j) p.(j)) then
+                  push
+                    (vf
+                       (Printf.sprintf "slot[%d]" slot)
+                       "coordinate %d is %g in the arena but %g in the boxed tree" j
+                       (Kd_flat.coord ft slot j) p.(j))
+              done;
+              if Kd_flat.payload ft slot != v then
+                push (vf (Printf.sprintf "slot[%d]" slot) "payload differs from the boxed tree")
+            end)
+          pts
+    | Node { left; right; _ } ->
+        cmp left;
+        cmp right
+  in
+  cmp t.root;
+  if !s <> t.n then
+    push (vf "layout" "boxed tree holds %d points but flat arena %d" !s t.n);
+  List.rev !bad
+
+(* Self-audit every build/freeze when KWSC_AUDIT=1 (Invariant.enabled). *)
 let build ?leaf_size ?pool pts =
   let t = build ?leaf_size ?pool pts in
   I.auto_check (fun () -> check_invariants t);
   t
+
+let freeze t =
+  let ft = freeze t in
+  I.auto_check (fun () -> check_flat t ft);
+  ft

@@ -42,3 +42,16 @@ val check_invariants : 'a t -> Kwsc_util.Invariant.violation list
 (** Deep structural audit (median balance at every internal node, subtree
     cell containment of every point, size bookkeeping). Empty when the tree
     is well-formed. [build] runs this automatically when [KWSC_AUDIT=1]. *)
+
+val freeze : 'a t -> 'a Kd_flat.t
+(** Compile the boxed tree into the flat preorder layout of {!Kd_flat}:
+    unboxed coordinate arena, implicit left children, contiguous subtree
+    slices. Queries on the frozen form return exactly the same answers
+    (slot-for-point) as the boxed kernels. Runs {!check_flat}
+    automatically when [KWSC_AUDIT=1]. *)
+
+val check_flat : 'a t -> 'a Kd_flat.t -> Kwsc_util.Invariant.violation list
+(** Flat-layout auditors: start-offset monotonicity along the preorder,
+    exact arena coverage (every slot owned by exactly one leaf), preorder
+    child indexing, and slot permutation equality with the boxed tree
+    ([coords] bit-equal, payload references shared). *)

@@ -1,0 +1,258 @@
+(* Flat, cache-conscious kd-tree: the boxed tree of kd.ml compiled into
+   implicit preorder arrays (Kd.freeze). Internal node i's left child is
+   i + 1; the right child index is stored. Every subtree's points occupy
+   one contiguous slice of the coordinate arena, so a covered subtree is
+   reported by a linear scan instead of a pointer chase.
+
+   This module is a tagged query kernel (lint rule R9): no Hashtbl, no
+   list construction — the hot loops allocate nothing beyond the caller's
+   output and two d-sized cell scratch arrays per query. *)
+
+type 'a t = {
+  d : int;
+  n : int;
+  blo : float array; (* dataset bounding box *)
+  bhi : float array;
+  (* per node, preorder; axis = -1 marks a leaf *)
+  axis : int array;
+  split : float array;
+  right : int array; (* right-child node index (internal nodes only) *)
+  start : int array; (* first point slot of the subtree *)
+  count : int array; (* number of points in the subtree *)
+  (* point arena: slot s occupies coords[s*d, (s+1)*d), payload.(s) *)
+  coords : float array;
+  payload : 'a array;
+}
+
+let unsafe_make ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload =
+  let nn = Array.length axis in
+  if
+    Array.length split <> nn
+    || Array.length right <> nn
+    || Array.length start <> nn
+    || Array.length count <> nn
+    || Array.length coords <> n * d
+    || Array.length payload <> n
+    || Array.length blo <> d
+    || Array.length bhi <> d
+  then invalid_arg "Kd_flat.unsafe_make: inconsistent array lengths";
+  { d; n; blo; bhi; axis; split; right; start; count; coords; payload }
+
+let size t = t.n
+let dim t = t.d
+let num_nodes t = Array.length t.axis
+let bounds t = Rect.make t.blo t.bhi
+let node_axis t i = t.axis.(i)
+let node_split t i = t.split.(i)
+let node_right t i = t.right.(i)
+let node_start t i = t.start.(i)
+let node_count t i = t.count.(i)
+let coord t s j = t.coords.((s * t.d) + j)
+let payload t s = t.payload.(s)
+let get_point t s = Array.init t.d (fun j -> t.coords.((s * t.d) + j))
+
+let range_iter t (q : Rect.t) f =
+  if Rect.dim q <> t.d then invalid_arg "Kd_flat.range_iter: dimension mismatch";
+  let d = t.d in
+  let qlo = q.Rect.lo and qhi = q.Rect.hi in
+  (* the current cell, mutated in place down the recursion (one float
+     saved and restored per descent — no per-node rectangle copies) *)
+  let clo = Array.make d neg_infinity and chi = Array.make d infinity in
+  let covered () =
+    let ok = ref true in
+    for j = 0 to d - 1 do
+      if clo.(j) < qlo.(j) || chi.(j) > qhi.(j) then ok := false
+    done;
+    !ok
+  in
+  let slot_inside s =
+    let base = s * d in
+    let ok = ref true in
+    for j = 0 to d - 1 do
+      let x = t.coords.(base + j) in
+      if x < qlo.(j) || x > qhi.(j) then ok := false
+    done;
+    !ok
+  in
+  let rec go i =
+    let ax = t.axis.(i) in
+    if ax < 0 then begin
+      let s0 = t.start.(i) in
+      for s = s0 to s0 + t.count.(i) - 1 do
+        if slot_inside s then f s t.payload.(s)
+      done
+    end
+    else if covered () then begin
+      (* the whole subtree lies inside q: contiguous arena dump *)
+      let s0 = t.start.(i) in
+      for s = s0 to s0 + t.count.(i) - 1 do
+        f s t.payload.(s)
+      done
+    end
+    else begin
+      let sp = t.split.(i) in
+      if qlo.(ax) <= sp then begin
+        let saved = chi.(ax) in
+        chi.(ax) <- sp;
+        go (i + 1);
+        chi.(ax) <- saved
+      end;
+      if qhi.(ax) >= sp then begin
+        let saved = clo.(ax) in
+        clo.(ax) <- sp;
+        go t.right.(i);
+        clo.(ax) <- saved
+      end
+    end
+  in
+  go 0
+
+let range_count t (q : Rect.t) =
+  if Rect.dim q <> t.d then invalid_arg "Kd_flat.range_count: dimension mismatch";
+  let d = t.d in
+  let qlo = q.Rect.lo and qhi = q.Rect.hi in
+  let clo = Array.make d neg_infinity and chi = Array.make d infinity in
+  let covered () =
+    let ok = ref true in
+    for j = 0 to d - 1 do
+      if clo.(j) < qlo.(j) || chi.(j) > qhi.(j) then ok := false
+    done;
+    !ok
+  in
+  let acc = ref 0 in
+  let rec go i =
+    let ax = t.axis.(i) in
+    if ax < 0 then begin
+      let s0 = t.start.(i) in
+      for s = s0 to s0 + t.count.(i) - 1 do
+        let base = s * d in
+        let ok = ref true in
+        for j = 0 to d - 1 do
+          let x = t.coords.(base + j) in
+          if x < qlo.(j) || x > qhi.(j) then ok := false
+        done;
+        if !ok then incr acc
+      done
+    end
+    else if covered () then acc := !acc + t.count.(i)
+    else begin
+      let sp = t.split.(i) in
+      if qlo.(ax) <= sp then begin
+        let saved = chi.(ax) in
+        chi.(ax) <- sp;
+        go (i + 1);
+        chi.(ax) <- saved
+      end;
+      if qhi.(ax) >= sp then begin
+        let saved = clo.(ax) in
+        clo.(ax) <- sp;
+        go t.right.(i);
+        clo.(ax) <- saved
+      end
+    end
+  in
+  go 0;
+  !acc
+
+let nearest t ~metric (q : Point.t) k =
+  if Array.length q <> t.d then invalid_arg "Kd_flat.nearest: dimension mismatch";
+  if k <= 0 then invalid_arg "Kd_flat.nearest: k must be positive";
+  let d = t.d in
+  let best : int Kwsc_util.Heap.t = Kwsc_util.Heap.create () in
+  let worst () =
+    if Kwsc_util.Heap.size best < k then infinity
+    else match Kwsc_util.Heap.peek best with Some (dist, _) -> dist | None -> infinity
+  in
+  let dist_slot s =
+    let base = s * d in
+    match metric with
+    | `Linf ->
+        let m = ref 0.0 in
+        for j = 0 to d - 1 do
+          m := Float.max !m (abs_float (q.(j) -. t.coords.(base + j)))
+        done;
+        !m
+    | `L2 ->
+        let acc = ref 0.0 in
+        for j = 0 to d - 1 do
+          let dj = q.(j) -. t.coords.(base + j) in
+          acc := !acc +. (dj *. dj)
+        done;
+        sqrt !acc
+  in
+  let clo = Array.make d neg_infinity and chi = Array.make d infinity in
+  let dist_cell () =
+    match metric with
+    | `Linf ->
+        let m = ref 0.0 in
+        for j = 0 to d - 1 do
+          let gap =
+            if q.(j) < clo.(j) then clo.(j) -. q.(j)
+            else if q.(j) > chi.(j) then q.(j) -. chi.(j)
+            else 0.0
+          in
+          m := Float.max !m gap
+        done;
+        !m
+    | `L2 ->
+        let acc = ref 0.0 in
+        for j = 0 to d - 1 do
+          let gap =
+            if q.(j) < clo.(j) then clo.(j) -. q.(j)
+            else if q.(j) > chi.(j) then q.(j) -. chi.(j)
+            else 0.0
+          in
+          acc := !acc +. (gap *. gap)
+        done;
+        sqrt !acc
+  in
+  let offer s =
+    let dist = dist_slot s in
+    if dist < worst () || Kwsc_util.Heap.size best < k then begin
+      Kwsc_util.Heap.push best dist s;
+      if Kwsc_util.Heap.size best > k then ignore (Kwsc_util.Heap.pop best)
+    end
+  in
+  let rec go i =
+    if dist_cell () <= worst () then begin
+      let ax = t.axis.(i) in
+      if ax < 0 then begin
+        let s0 = t.start.(i) in
+        for s = s0 to s0 + t.count.(i) - 1 do
+          offer s
+        done
+      end
+      else begin
+        let sp = t.split.(i) in
+        let left () =
+          let saved = chi.(ax) in
+          chi.(ax) <- sp;
+          go (i + 1);
+          chi.(ax) <- saved
+        in
+        let right () =
+          let saved = clo.(ax) in
+          clo.(ax) <- sp;
+          go t.right.(i);
+          clo.(ax) <- saved
+        in
+        if q.(ax) <= sp then begin
+          left ();
+          right ()
+        end
+        else begin
+          right ();
+          left ()
+        end
+      end
+    end
+  in
+  go 0;
+  let m = Kwsc_util.Heap.size best in
+  let out = Array.make m (0.0, -1) in
+  for i = m - 1 downto 0 do
+    match Kwsc_util.Heap.pop best with
+    | Some (dist, s) -> out.(i) <- (dist, s)
+    | None -> assert false
+  done;
+  out

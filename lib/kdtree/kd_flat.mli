@@ -1,0 +1,75 @@
+(** Flat, cache-conscious kd-tree layout and its allocation-free query
+    kernels. Produced by {!Kd.freeze} from a built boxed tree: nodes are
+    packed in preorder (left child of [i] is [i + 1], right child index
+    stored), and every subtree's points occupy one contiguous slice of an
+    unboxed coordinate arena, so covered subtrees are reported by a
+    linear scan.
+
+    This module is a tagged query kernel (lint rule R9): no [Hashtbl],
+    no list construction. A query allocates two d-sized scratch arrays
+    and nothing else; results are delivered through callbacks on point
+    slots. Slot [s] is the s-th point in arena order — use {!payload} /
+    {!get_point} / {!coord} to resolve it. *)
+
+type 'a t
+
+val unsafe_make :
+  d:int ->
+  n:int ->
+  blo:float array ->
+  bhi:float array ->
+  axis:int array ->
+  split:float array ->
+  right:int array ->
+  start:int array ->
+  count:int array ->
+  coords:float array ->
+  payload:'a array ->
+  'a t
+(** Raw constructor used by {!Kd.freeze}. Checks only array-length
+    consistency; structural soundness is the freezer's contract (audited
+    by [Kd.check_flat] under [KWSC_AUDIT=1]). *)
+
+val size : 'a t -> int
+val dim : 'a t -> int
+
+val num_nodes : 'a t -> int
+(** Total packed nodes (internal + leaves), preorder indices [0..num_nodes). *)
+
+val bounds : 'a t -> Rect.t
+(** Bounding box of the stored points (fresh copy). *)
+
+val node_axis : 'a t -> int -> int
+(** Split axis of node [i]; [-1] marks a leaf. *)
+
+val node_split : 'a t -> int -> float
+val node_right : 'a t -> int -> int
+val node_start : 'a t -> int -> int
+(** First arena slot of the subtree rooted at node [i]. *)
+
+val node_count : 'a t -> int -> int
+(** Number of points in the subtree rooted at node [i]. *)
+
+val coord : 'a t -> int -> int -> float
+(** [coord t s j] is coordinate [j] of the point in slot [s] (no
+    allocation). *)
+
+val payload : 'a t -> int -> 'a
+
+val get_point : 'a t -> int -> Point.t
+(** Materializes slot [s] as a fresh point (allocates). *)
+
+val range_iter : 'a t -> Rect.t -> (int -> 'a -> unit) -> unit
+(** [range_iter t q f] calls [f slot payload] for every stored point
+    inside the closed rectangle [q] — the allocation-free counterpart of
+    [Kd.range_iter], reporting exactly the same points. Covered subtrees
+    are emitted as contiguous arena scans. *)
+
+val range_count : 'a t -> Rect.t -> int
+(** Number of points inside [q]; equals [Kd.count] on the source tree. *)
+
+val nearest : 'a t -> metric:[ `Linf | `L2 ] -> Point.t -> int -> (float * int) array
+(** [nearest t ~metric q k] is the [min k size] nearest slots to [q],
+    sorted by increasing distance — slot-for-point identical to
+    [Kd.nearest] on the source tree (same traversal, same bounded
+    max-heap, hence the same tie resolution). *)

@@ -79,15 +79,13 @@ let build ?(leaf_size = 8) ?(seed = 0x9e3779b9) ?pool pts =
 let size t = t.n
 let dim t = t.d
 
-let query_polytope t q =
-  if Polytope.dim q <> t.d then invalid_arg "Ptree.query_polytope: dimension mismatch";
-  let out = ref [] in
+let query_polytope_iter t q f =
+  if Polytope.dim q <> t.d then invalid_arg "Ptree.query_polytope_iter: dimension mismatch";
   (* classification is only a pruning device; every reported point is
      re-checked against the query, so LP tolerance cannot cause wrong
      answers *)
   let rec dump = function
-    | Leaf pts ->
-        Array.iter (fun ((p, _) as pv) -> if Polytope.mem q p then out := pv :: !out) pts
+    | Leaf pts -> Array.iter (fun (p, v) -> if Polytope.mem q p then f p v) pts
     | Node { left; right; _ } ->
         dump left;
         dump right
@@ -98,13 +96,16 @@ let query_polytope t q =
     | Polytope.Covered -> dump node
     | Polytope.Crossing -> (
         match node with
-        | Leaf pts ->
-            Array.iter (fun ((p, _) as pv) -> if Polytope.mem q p then out := pv :: !out) pts
+        | Leaf pts -> Array.iter (fun (p, v) -> if Polytope.mem q p then f p v) pts
         | Node { dir; m; left; right; _ } ->
             go left (Polytope.add cell (Halfspace.make dir m));
             go right (Polytope.add cell (Halfspace.make (Array.map (fun c -> -.c) dir) (-.m))))
   in
-  go t.root (Polytope.make ~dim:t.d []);
+  go t.root (Polytope.make ~dim:t.d [])
+
+let query_polytope t q =
+  let out = ref [] in
+  query_polytope_iter t q (fun p v -> out := (p, v) :: !out);
   !out
 
 let query_simplex t s = query_polytope t (Polytope.of_simplex s)
@@ -193,8 +194,163 @@ let check_invariants t =
   if total <> t.n then push (vf "root" "stored size %d <> actual size %d" t.n total);
   List.rev !bad
 
-(* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
+let freeze t =
+  let rec n_nodes = function
+    | Leaf _ -> 1
+    | Node { left; right; _ } -> 1 + n_nodes left + n_nodes right
+  in
+  let nn = n_nodes t.root in
+  let n_dir = Array.make (nn * t.d) 0.0 in
+  let n_m = Array.make nn 0.0 in
+  let n_right = Array.make nn (-1) in
+  let n_start = Array.make nn 0 in
+  let n_count = Array.make nn 0 in
+  let coords = Array.make (t.n * t.d) 0.0 in
+  (* every leaf is non-empty (the builder rejects empty input and
+     weight-median splits keep both halves populated), so a seed payload
+     exists *)
+  let rec first_payload = function
+    | Leaf pts -> snd pts.(0)
+    | Node { left; _ } -> first_payload left
+  in
+  let payload = Array.make t.n (first_payload t.root) in
+  let ni = ref 0 and si = ref 0 in
+  let rec go node =
+    let i = !ni in
+    incr ni;
+    n_start.(i) <- !si;
+    match node with
+    | Leaf pts ->
+        n_count.(i) <- Array.length pts;
+        Array.iter
+          (fun (p, v) ->
+            let s = !si in
+            Array.blit p 0 coords (s * t.d) t.d;
+            payload.(s) <- v;
+            incr si)
+          pts
+    | Node { dir; m; left; right; count } ->
+        Array.blit dir 0 n_dir (i * t.d) t.d;
+        n_m.(i) <- m;
+        n_count.(i) <- count;
+        go left;
+        n_right.(i) <- !ni;
+        go right
+  in
+  go t.root;
+  (* the frozen tree owns a copy of the rng so boxed and flat query
+     streams cannot perturb each other (answers are rng-independent
+     either way: every reported point is re-checked by Polytope.mem) *)
+  Ptree_flat.unsafe_make ~d:t.d ~n:t.n ~dir:n_dir ~m:n_m ~right:n_right ~start:n_start
+    ~count:n_count ~coords ~payload ~box:t.box
+    ~rng:(Kwsc_util.Prng.copy t.rng)
+
+(* Flat-layout auditors: offset monotonicity, arena coverage, and slot
+   permutation equality with the boxed tree the layout was frozen from. *)
+let check_flat t ft =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let vf locus fmt = I.vf ~structure:"Ptree.flat" ~locus fmt in
+  if Ptree_flat.size ft <> t.n then
+    push (vf "root" "flat size %d <> boxed size %d" (Ptree_flat.size ft) t.n);
+  if Ptree_flat.dim ft <> t.d then
+    push (vf "root" "flat dimension %d <> boxed dimension %d" (Ptree_flat.dim ft) t.d);
+  let nn = Ptree_flat.num_nodes ft in
+  (* Walk the packed preorder: each call consumes the subtree rooted at
+     [i] whose arena slice must begin at [expect] and returns (next node
+     index, end slot). Checks offset monotonicity and arena coverage. *)
+  let rec walk i expect =
+    if i < 0 || i >= nn then begin
+      push (vf "layout" "node index %d outside [0,%d)" i nn);
+      (nn, expect)
+    end
+    else begin
+      if Ptree_flat.node_start ft i <> expect then
+        push
+          (vf
+             (Printf.sprintf "node[%d]" i)
+             "start offset %d breaks arena monotonicity (expected %d)"
+             (Ptree_flat.node_start ft i) expect);
+      let cnt = Ptree_flat.node_count ft i in
+      if cnt < 0 then push (vf (Printf.sprintf "node[%d]" i) "negative count %d" cnt);
+      if Ptree_flat.node_right ft i < 0 then (i + 1, expect + cnt)
+      else begin
+        let next_l, end_l = walk (i + 1) expect in
+        if Ptree_flat.node_right ft i <> next_l then
+          push
+            (vf
+               (Printf.sprintf "node[%d]" i)
+               "right-child index %d is not the preorder successor %d of the left subtree"
+               (Ptree_flat.node_right ft i) next_l);
+        let next_r, end_r = walk next_l end_l in
+        if end_r - expect <> cnt then
+          push
+            (vf (Printf.sprintf "node[%d]" i) "count %d <> children coverage %d" cnt
+               (end_r - expect));
+        (next_r, end_r)
+      end
+    end
+  in
+  let last, covered = walk 0 0 in
+  if last <> nn then push (vf "layout" "%d packed nodes but preorder walk consumed %d" nn last);
+  if covered <> t.n then push (vf "layout" "arena coverage %d slots <> %d points" covered t.n);
+  (* permutation equality: the arena must hold exactly the boxed leaves'
+     points, in preorder leaf order, payload references included; split
+     planes must match bit-for-bit at matching preorder indices *)
+  let s = ref 0 and i = ref 0 in
+  let rec cmp node =
+    let idx = !i in
+    incr i;
+    match node with
+    | Leaf pts ->
+        if idx < nn && Ptree_flat.node_right ft idx >= 0 then
+          push (vf (Printf.sprintf "node[%d]" idx) "boxed leaf packed as an internal node");
+        Array.iter
+          (fun (p, v) ->
+            let slot = !s in
+            incr s;
+            if slot >= t.n then ()
+            else begin
+              for j = 0 to t.d - 1 do
+                if not (Float.equal (Ptree_flat.coord ft slot j) p.(j)) then
+                  push
+                    (vf
+                       (Printf.sprintf "slot[%d]" slot)
+                       "coordinate %d is %g in the arena but %g in the boxed tree" j
+                       (Ptree_flat.coord ft slot j) p.(j))
+              done;
+              if Ptree_flat.payload ft slot != v then
+                push (vf (Printf.sprintf "slot[%d]" slot) "payload differs from the boxed tree")
+            end)
+          pts
+    | Node { dir; m; left; right; _ } ->
+        if idx < nn then begin
+          if not (Float.equal (Ptree_flat.node_split ft idx) m) then
+            push
+              (vf (Printf.sprintf "node[%d]" idx) "split offset %g <> boxed %g"
+                 (Ptree_flat.node_split ft idx) m);
+          let fdir = Ptree_flat.node_dir ft idx in
+          for j = 0 to t.d - 1 do
+            if not (Float.equal fdir.(j) dir.(j)) then
+              push
+                (vf (Printf.sprintf "node[%d]" idx) "direction coordinate %d is %g <> boxed %g"
+                   j fdir.(j) dir.(j))
+          done
+        end;
+        cmp left;
+        cmp right
+  in
+  cmp t.root;
+  if !s <> t.n then push (vf "layout" "boxed tree holds %d points but flat arena %d" !s t.n);
+  List.rev !bad
+
+(* Self-audit every build/freeze when KWSC_AUDIT=1 (Invariant.enabled). *)
 let build ?leaf_size ?seed ?pool pts =
   let t = build ?leaf_size ?seed ?pool pts in
   I.auto_check (fun () -> check_invariants t);
   t
+
+let freeze t =
+  let ft = freeze t in
+  I.auto_check (fun () -> check_flat t ft);
+  ft

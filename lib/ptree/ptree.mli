@@ -26,6 +26,10 @@ val query_polytope : 'a t -> Polytope.t -> (Point.t * 'a) list
 (** All points in the convex region (the conjunction of its halfspaces) —
     an LC-KW geometric query without keywords. *)
 
+val query_polytope_iter : 'a t -> Polytope.t -> (Point.t -> 'a -> unit) -> unit
+(** Callback form of [query_polytope]: no result list is built, so hot
+    loops can accumulate into preallocated buffers. *)
+
 val query_simplex : 'a t -> Simplex.t -> (Point.t * 'a) list
 (** All points in the closed simplex — SP-KW without keywords. *)
 
@@ -46,3 +50,16 @@ val check_invariants : 'a t -> Kwsc_util.Invariant.violation list
     unit split directions, every point inside every ancestor halfspace, and
     size bookkeeping. Empty when well-formed. [build] runs this
     automatically when [KWSC_AUDIT=1]. *)
+
+val freeze : 'a t -> 'a Ptree_flat.t
+(** Compile the boxed tree into the flat preorder layout of {!Ptree_flat}:
+    unboxed direction and coordinate arenas, implicit left children,
+    contiguous subtree slices. Queries on the frozen form report exactly
+    the same points as the boxed kernels. Runs {!check_flat} automatically
+    when [KWSC_AUDIT=1]. *)
+
+val check_flat : 'a t -> 'a Ptree_flat.t -> Kwsc_util.Invariant.violation list
+(** Flat-layout auditors: start-offset monotonicity along the preorder,
+    exact arena coverage, preorder child indexing, bit-equal split planes,
+    and slot permutation equality with the boxed tree (coordinates
+    bit-equal, payload references shared). *)

@@ -1,0 +1,81 @@
+(* Flat, cache-conscious partition tree: the boxed BSP tree of ptree.ml
+   compiled into implicit preorder arrays (Ptree.freeze). Internal node
+   i's left child is i + 1; the right child index is stored (-1 marks a
+   leaf). Split directions are packed into one unboxed row-major float
+   array, and every subtree's points occupy one contiguous slice of the
+   coordinate arena, so covered cells are reported by a linear scan.
+
+   This module is a tagged query kernel (lint rule R9): no Hashtbl, no
+   list construction. The geometric classification still goes through
+   Polytope (its LP owns the cell polytopes); the per-point hot loop
+   reuses one scratch point and allocates nothing per slot. *)
+
+type 'a t = {
+  d : int;
+  n : int;
+  (* per node, preorder; right = -1 marks a leaf *)
+  dir : float array; (* num_nodes * d, row i is node i's split direction *)
+  m : float array;
+  right : int array;
+  start : int array;
+  count : int array;
+  (* point arena: slot s occupies coords[s*d, (s+1)*d), payload.(s) *)
+  coords : float array;
+  payload : 'a array;
+  box : float;
+  rng : Kwsc_util.Prng.t; (* for the LP calls at query time *)
+}
+
+let unsafe_make ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng =
+  let nn = Array.length right in
+  if
+    Array.length dir <> nn * d
+    || Array.length m <> nn
+    || Array.length start <> nn
+    || Array.length count <> nn
+    || Array.length coords <> n * d
+    || Array.length payload <> n
+  then invalid_arg "Ptree_flat.unsafe_make: inconsistent array lengths";
+  { d; n; dir; m; right; start; count; coords; payload; box; rng }
+
+let size t = t.n
+let dim t = t.d
+let num_nodes t = Array.length t.right
+let node_right t i = t.right.(i)
+let node_split t i = t.m.(i)
+let node_start t i = t.start.(i)
+let node_count t i = t.count.(i)
+let node_dir t i = Array.init t.d (fun j -> t.dir.((i * t.d) + j))
+let coord t s j = t.coords.((s * t.d) + j)
+let payload t s = t.payload.(s)
+let get_point t s = Array.init t.d (fun j -> t.coords.((s * t.d) + j))
+
+let query_polytope_iter t q f =
+  if Polytope.dim q <> t.d then invalid_arg "Ptree_flat.query_polytope_iter: dimension mismatch";
+  let d = t.d in
+  (* one scratch point reused for every membership test *)
+  let scratch = Array.make d 0.0 in
+  let scan_slice s0 len =
+    for s = s0 to s0 + len - 1 do
+      Array.blit t.coords (s * d) scratch 0 d;
+      if Polytope.mem q scratch then f s t.payload.(s)
+    done
+  in
+  let rec go i cell =
+    match Polytope.classify ~box:t.box ~rng:t.rng cell q with
+    | Polytope.Disjoint -> ()
+    | Polytope.Covered ->
+        (* the cell is inside q: contiguous arena scan (membership is
+           still re-checked per point, exactly like the boxed dump, so
+           LP tolerance cannot cause wrong answers) *)
+        scan_slice t.start.(i) t.count.(i)
+    | Polytope.Crossing ->
+        if t.right.(i) < 0 then scan_slice t.start.(i) t.count.(i)
+        else begin
+          let dir = node_dir t i and m = t.m.(i) in
+          go (i + 1) (Polytope.add cell (Halfspace.make dir m));
+          go t.right.(i)
+            (Polytope.add cell (Halfspace.make (Array.map (fun c -> -.c) dir) (-.m)))
+        end
+  in
+  go 0 (Polytope.make ~dim:t.d [])

@@ -1,0 +1,66 @@
+(** Flat, cache-conscious partition-tree layout and its allocation-free
+    query kernel. Produced by {!Ptree.freeze} from a built boxed tree:
+    nodes are packed in preorder (left child of [i] is [i + 1], right
+    child index stored, [-1] marks a leaf), split directions live in one
+    row-major float arena, and every subtree's points occupy one
+    contiguous slice of an unboxed coordinate arena, so covered cells
+    are reported by a linear scan.
+
+    This module is a tagged query kernel (lint rule R9): no [Hashtbl],
+    no list construction. The cell classification still goes through
+    {!Polytope.classify} (whose LP owns the cell polytopes); the
+    per-point hot loop reuses one scratch point and allocates nothing
+    per slot. Slot [s] is the s-th point in arena order — use
+    {!payload} / {!get_point} / {!coord} to resolve it. *)
+
+type 'a t
+
+val unsafe_make :
+  d:int ->
+  n:int ->
+  dir:float array ->
+  m:float array ->
+  right:int array ->
+  start:int array ->
+  count:int array ->
+  coords:float array ->
+  payload:'a array ->
+  box:float ->
+  rng:Kwsc_util.Prng.t ->
+  'a t
+(** Raw constructor used by {!Ptree.freeze}. Checks only array-length
+    consistency; structural soundness is the freezer's contract (audited
+    by [Ptree.check_flat] under [KWSC_AUDIT=1]). *)
+
+val size : 'a t -> int
+val dim : 'a t -> int
+
+val num_nodes : 'a t -> int
+(** Total packed nodes (internal + leaves), preorder indices [0..num_nodes). *)
+
+val node_right : 'a t -> int -> int
+(** Right-child node index of node [i]; [-1] marks a leaf. *)
+
+val node_split : 'a t -> int -> float
+val node_start : 'a t -> int -> int
+val node_count : 'a t -> int -> int
+
+val node_dir : 'a t -> int -> float array
+(** Split direction of internal node [i] (fresh copy). *)
+
+val coord : 'a t -> int -> int -> float
+(** [coord t s j] is coordinate [j] of the point in slot [s] (no
+    allocation). *)
+
+val payload : 'a t -> int -> 'a
+
+val get_point : 'a t -> int -> Point.t
+(** Materializes slot [s] as a fresh point (allocates). *)
+
+val query_polytope_iter : 'a t -> Polytope.t -> (int -> 'a -> unit) -> unit
+(** [query_polytope_iter t q f] calls [f slot payload] for every stored
+    point inside the convex region [q] — reporting exactly the same
+    points as [Ptree.query_polytope] on the source tree (every candidate
+    is re-checked with [Polytope.mem], so answers are independent of the
+    LP's random pivoting). Covered cells are emitted as contiguous arena
+    scans. *)

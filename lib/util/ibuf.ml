@@ -1,0 +1,48 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Ibuf.create: capacity must be >= 1";
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+
+let clear t = t.len <- 0
+
+let grow t needed =
+  let cap = ref (Array.length t.data) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let data = Array.make !cap 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let swap a b =
+  let data = a.data and len = a.len in
+  a.data <- b.data;
+  a.len <- b.len;
+  b.data <- data;
+  b.len <- len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ibuf.get: index out of bounds";
+  t.data.(i)
+
+let unsafe_data t = t.data
+
+let to_array t = Array.sub t.data 0 t.len
+
+let sorted_array t =
+  let a = to_array t in
+  Array.sort Int.compare a;
+  a
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done

@@ -1,0 +1,40 @@
+(** Growable int buffer: the result accumulator of the allocation-free
+    query kernels. A kernel pushes ids into a reusable buffer instead of
+    consing a list, so the hot loop allocates nothing beyond the rare
+    doubling of one flat array ([clear] + refill reuses the storage and
+    allocates nothing at all once the buffer has warmed up). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty buffer. [capacity] (default 16) pre-sizes the storage.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Reset to empty, keeping the storage (no allocation). *)
+
+val push : t -> int -> unit
+(** Append one element; amortized O(1), allocation only on doubling. *)
+
+val swap : t -> t -> unit
+(** Exchange the contents (storage and length) of two buffers in O(1) —
+    lets a ping-pong intersection end with the result in the caller's
+    output buffer without copying. *)
+
+val get : t -> int -> int
+(** @raise Invalid_argument outside [\[0, length)]. *)
+
+val unsafe_data : t -> int array
+(** The backing store; only the first [length] slots are meaningful, and
+    the array is invalidated by the next [push] that grows the buffer.
+    For kernels that scan their own accumulator without copying. *)
+
+val to_array : t -> int array
+(** Fresh array of the first [length] elements. *)
+
+val sorted_array : t -> int array
+(** [to_array] sorted ascending ([Int.compare]). *)
+
+val iter : (int -> unit) -> t -> unit

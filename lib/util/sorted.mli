@@ -27,7 +27,27 @@ val sort_dedup : int list -> int array
 (** Sort a list of ints and remove duplicates. *)
 
 val intersect : int array -> int array -> int array
-(** Intersection of two sorted int arrays. *)
+(** Intersection of two sorted int arrays (linear merge; the oracle the
+    galloping kernel is tested against). *)
+
+val gallop_lower_bound : int array -> lo:int -> hi:int -> int -> int
+(** [gallop_lower_bound a ~lo ~hi x] is the least index [i] in [\[lo, hi)]
+    with [a.(i) >= x] ([hi] if none), found by exponential probing from
+    [lo] — O(log r) where [r] is the distance advanced, the primitive
+    behind the adaptive intersection. *)
+
+val gallop_intersect_into :
+  int array -> alo:int -> ahi:int -> int array -> blo:int -> bhi:int -> Ibuf.t -> unit
+(** Intersect the sorted spans [a\[alo, ahi)] and [b\[blo, bhi)],
+    appending the common elements to the buffer. Adaptive: spans of
+    comparable length stream through a sequential merge; spans skewed
+    beyond 8x gallop the short one through the long one, costing
+    O(short * log(long/short)) instead of O(short + long). Allocation-free
+    apart from the buffer's own growth. Operating on spans lets callers
+    intersect slices of a postings arena in place. *)
+
+val gallop_intersect : int array -> int array -> int array
+(** Whole-array convenience wrapper around {!gallop_intersect_into}. *)
 
 val count_in_range : float array -> float -> float -> int
 (** [count_in_range a lo hi] counts entries in the closed interval

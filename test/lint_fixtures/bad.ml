@@ -3,8 +3,8 @@
    This file is parsed by the linter but never compiled: the directory
    has no dune file, so no stanza claims it.  It seeds at least one
    violation per rule; the meta-test asserts every rule fires under
-   --assume-hot --assume-lib --require-mli and that the CLI exits
-   nonzero.  R7 is the deliberate absence of bad.mli. *)
+   --assume-hot --assume-lib --assume-kernel --require-mli and that the
+   CLI exits nonzero.  R7 is the deliberate absence of bad.mli. *)
 
 (* R1: polymorphic comparison on float-bearing data (hot-path scope) *)
 let r1_compare p q = compare p q
@@ -30,3 +30,7 @@ let r6 f = try f () with _ -> 0
 (* R8: raw multicore primitives in library code (lib/ scope) *)
 let r8_spawn f = Domain.spawn f
 let r8_value = Atomic.get
+
+(* R9: Hashtbl and list construction in a query-kernel module (kernel scope) *)
+let r9_table () = Hashtbl.create 7
+let r9_cons x xs = x :: xs

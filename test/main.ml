@@ -24,6 +24,7 @@ let () =
       ("validation", Test_validation.suite);
       ("stress", Test_stress.suite);
       ("parallel-diff", Test_parallel_diff.suite);
+      ("flat-diff", Test_flat_diff.suite);
       ("coverage", Test_coverage.suite);
       ("hardness", Test_hardness.suite);
       ("lint", Test_lint.suite);

@@ -1,0 +1,264 @@
+(* Differential suite for the flat layouts (PR 3): the frozen kd-tree,
+   frozen partition tree and postings arena must return *identical*
+   answers to their boxed sources — same slots, same order where the
+   traversal order is part of the contract, same tie resolution — and
+   the Stats allocation counters must behave like every other counter
+   (monotone accumulation, merge-compatible). *)
+
+open Kwsc_geom
+module Kd = Kwsc_kdtree.Kd
+module Kd_flat = Kwsc_kdtree.Kd_flat
+module Ptree = Kwsc_ptree.Ptree
+module Ptree_flat = Kwsc_ptree.Ptree_flat
+module Inverted = Kwsc_invindex.Inverted
+module Postings = Kwsc_invindex.Postings
+module Prng = Kwsc_util.Prng
+module Sorted = Kwsc_util.Sorted
+module Ibuf = Kwsc_util.Ibuf
+module Stats = Kwsc.Stats
+
+let make_pts ~seed ~n ~d ~range =
+  let rng = Prng.create seed in
+  Array.init n (fun i -> (Array.init d (fun _ -> Prng.float rng range), i))
+
+(* clumped coordinates: duplicates and ties exercise the shared-order
+   contract hardest *)
+let make_gridded ~seed ~n ~d =
+  let rng = Prng.create seed in
+  Array.init n (fun i -> (Array.init d (fun _ -> float_of_int (Prng.int rng 6)), i))
+
+(* ---------- kd: boxed vs flat ---------- *)
+
+(* range reporting must agree point-for-point IN ORDER: both kernels
+   visit left-then-right preorder and dump covered subtrees in arena
+   (= leaf) order *)
+let check_kd_range_once t ft q =
+  let boxed = ref [] in
+  Kd.range_iter t q (fun p v -> boxed := (p, v) :: !boxed);
+  let boxed = List.rev !boxed in
+  let flat = ref [] in
+  Kd_flat.range_iter ft q (fun s v -> flat := (s, v) :: !flat);
+  let flat = List.rev !flat in
+  Alcotest.(check int) "range cardinality" (List.length boxed) (List.length flat);
+  List.iter2
+    (fun (p, vb) (s, vf) ->
+      Alcotest.(check int) "payload in order" vb vf;
+      Alcotest.(check int) "slot resolves payload" vb (Kd_flat.payload ft s);
+      Array.iteri
+        (fun j x ->
+          Alcotest.(check bool)
+            "slot coordinates bit-equal" true
+            (Float.equal x (Kd_flat.coord ft s j)))
+        p)
+    boxed flat;
+  Alcotest.(check int) "count agrees" (Kd.count t q) (Kd_flat.range_count ft q)
+
+let check_kd_nearest_once t ft metric q k =
+  let boxed = Kd.nearest t ~metric q k in
+  let flat = Kd_flat.nearest ft ~metric q k in
+  Alcotest.(check int) "nearest cardinality" (List.length boxed) (Array.length flat);
+  List.iteri
+    (fun i (db, _, vb) ->
+      let df, s = flat.(i) in
+      Alcotest.(check bool) "nearest distance bit-equal" true (Float.equal db df);
+      (* same heap, same push order => ties resolve to the same object *)
+      Alcotest.(check int) "nearest payload" vb (Kd_flat.payload ft s))
+    boxed
+
+let kd_sweep seed =
+  let d = 2 + (seed mod 3) in
+  let n = 40 + (seed * 37 mod 400) in
+  let pts =
+    if seed mod 2 = 0 then make_pts ~seed ~n ~d ~range:100.0 else make_gridded ~seed ~n ~d
+  in
+  let t = Kd.build pts in
+  let ft = Kd.freeze t in
+  Alcotest.(check int) "flat size" (Kd.size t) (Kd_flat.size ft);
+  let rng = Prng.create (seed + 1000) in
+  for _ = 1 to 12 do
+    let range = if seed mod 2 = 0 then 100.0 else 6.0 in
+    check_kd_range_once t ft (Helpers.random_rect rng ~d ~range)
+  done;
+  check_kd_range_once t ft (Rect.full d);
+  List.iter
+    (fun metric ->
+      for _ = 1 to 8 do
+        let q = Array.init d (fun _ -> Prng.float rng 100.0) in
+        check_kd_nearest_once t ft metric q (1 + Prng.int rng 12)
+      done;
+      check_kd_nearest_once t ft metric (Array.make d 0.0) (n + 5))
+    [ `Linf; `L2 ];
+  true
+
+let qcheck_kd =
+  QCheck.Test.make ~name:"kd boxed and flat kernels are slot-identical" ~count:12
+    QCheck.(small_int)
+    kd_sweep
+
+(* ---------- ptree: boxed vs flat ---------- *)
+
+let random_halfspaces rng d range =
+  List.init
+    (1 + Prng.int rng 3)
+    (fun _ ->
+      Halfspace.make
+        (Array.init d (fun _ -> Prng.float rng 2.0 -. 1.0))
+        (Prng.float rng range))
+
+let sorted_ids l =
+  let a = Array.of_list l in
+  Array.sort Int.compare a;
+  a
+
+let ptree_sweep seed =
+  let d = 2 + (seed mod 2) in
+  let n = 40 + (seed * 53 mod 300) in
+  let pts = make_pts ~seed:(seed + 7) ~n ~d ~range:100.0 in
+  let t = Ptree.build pts in
+  let ft = Ptree.freeze t in
+  Alcotest.(check int) "flat size" (Ptree.size t) (Ptree_flat.size ft);
+  let rng = Prng.create (seed + 2000) in
+  for _ = 1 to 15 do
+    let q = Polytope.make ~dim:d (random_halfspaces rng d 100.0) in
+    let boxed = ref [] in
+    Ptree.query_polytope_iter t q (fun _ v -> boxed := v :: !boxed);
+    (* the list API is defined by the iter: prepend order *)
+    Alcotest.(check (array int))
+      "query_polytope = iter"
+      (sorted_ids (List.map snd (Ptree.query_polytope t q)))
+      (sorted_ids !boxed);
+    let flat = ref [] in
+    Ptree_flat.query_polytope_iter ft q (fun s v ->
+        Alcotest.(check int) "slot resolves payload" v (Ptree_flat.payload ft s);
+        flat := v :: !flat);
+    Alcotest.(check (array int)) "flat ids = boxed ids" (sorted_ids !boxed) (sorted_ids !flat)
+  done;
+  true
+
+let qcheck_ptree =
+  QCheck.Test.make ~name:"ptree boxed and flat kernels report the same points" ~count:10
+    QCheck.(small_int)
+    ptree_sweep
+
+(* ---------- postings: galloping arena vs list-based oracle ---------- *)
+
+let random_sorted rng maxlen bound =
+  Sorted.sort_dedup (List.init (Prng.int rng maxlen) (fun _ -> Prng.int rng bound))
+
+let intersect_sweep seed =
+  let rng = Prng.create (seed + 3000) in
+  for _ = 1 to 40 do
+    let a = random_sorted rng 120 150 and b = random_sorted rng 120 150 in
+    Alcotest.(check (array int))
+      "gallop = merge intersect" (Sorted.intersect a b)
+      (Sorted.gallop_intersect a b);
+    (* galloping is asymmetric in its probe pattern; the result must not be *)
+    Alcotest.(check (array int))
+      "gallop commutes" (Sorted.gallop_intersect a b)
+      (Sorted.gallop_intersect b a)
+  done;
+  (* edges: empty, disjoint, identical, nested spans *)
+  Alcotest.(check (array int)) "empty left" [||] (Sorted.gallop_intersect [||] [| 1; 2 |]);
+  Alcotest.(check (array int)) "empty right" [||] (Sorted.gallop_intersect [| 1; 2 |] [||]);
+  Alcotest.(check (array int))
+    "disjoint" [||]
+    (Sorted.gallop_intersect [| 1; 3; 5 |] [| 2; 4; 6 |]);
+  Alcotest.(check (array int))
+    "identical" [| 1; 2; 3 |]
+    (Sorted.gallop_intersect [| 1; 2; 3 |] [| 1; 2; 3 |]);
+  true
+
+let qcheck_intersect =
+  QCheck.Test.make ~name:"galloping intersection equals the merge oracle" ~count:10
+    QCheck.(small_int)
+    intersect_sweep
+
+let inverted_sweep seed =
+  let n = 60 + (seed * 41 mod 300) in
+  let objs = Helpers.dataset ~seed:(seed + 11) ~n ~d:2 ~vocab:25 () in
+  let docs = Array.map snd objs in
+  let inv = Inverted.build docs in
+  let ps = Inverted.postings inv in
+  let rng = Prng.create (seed + 4000) in
+  let out = Ibuf.create () and tmp = Ibuf.create () in
+  for _ = 1 to 30 do
+    let k = 1 + Prng.int rng 3 in
+    let ws = Array.init k (fun _ -> 1 + Prng.int rng 30) in
+    let oracle = Inverted.query_naive inv ws in
+    Alcotest.(check (array int)) "query = naive" oracle (Inverted.query inv ws);
+    (* reusing the same buffer pair across queries must not leak state *)
+    Postings.query_into ps ws out tmp;
+    Alcotest.(check (array int)) "query_into reusable buffers" oracle (Ibuf.to_array out)
+  done;
+  (* posting returns a fresh copy: mutating it must not corrupt the index *)
+  let w = 1 + Prng.int rng 25 in
+  let copy = Inverted.posting inv w in
+  if Array.length copy > 0 then begin
+    let before = Inverted.query inv [| w |] in
+    copy.(0) <- max_int;
+    Alcotest.(check (array int)) "posting copy is unaliased" before (Inverted.query inv [| w |])
+  end;
+  true
+
+let qcheck_inverted =
+  QCheck.Test.make ~name:"postings arena agrees with the intersection oracle" ~count:10
+    QCheck.(small_int)
+    inverted_sweep
+
+(* ---------- Stats.alloc_words: monotone and merge-compatible ---------- *)
+
+let test_alloc_counters () =
+  let st = Stats.fresh_query () in
+  Alcotest.(check int) "fresh counter is zero" 0 st.Stats.alloc_words;
+  let x = Stats.count_alloc st (fun () -> 41 + 1) in
+  Alcotest.(check int) "count_alloc returns f's value" 42 x;
+  Alcotest.(check bool) "never negative" true (st.Stats.alloc_words >= 0);
+  let before = st.Stats.alloc_words in
+  (* arrays above Max_young_wosize would bypass the minor heap: allocate
+     many small blocks instead *)
+  let arr =
+    Stats.count_alloc st (fun () -> Array.init 20 (fun _ -> Array.make 100 0.0))
+  in
+  Alcotest.(check int) "allocation really ran" 20 (Array.length arr);
+  Alcotest.(check bool)
+    "an allocating f is charged" true
+    (st.Stats.alloc_words >= before + 2000);
+  (* monotone accumulation: a second charge only grows the counter *)
+  let mid = st.Stats.alloc_words in
+  ignore (Stats.count_alloc st (fun () -> Array.make 64 0));
+  Alcotest.(check bool) "accumulates monotonically" true (st.Stats.alloc_words > mid);
+  (* merge-compatible: alloc_words sums like every other field *)
+  let a = Stats.fresh_query () and b = Stats.fresh_query () in
+  a.Stats.alloc_words <- 17;
+  b.Stats.alloc_words <- 25;
+  Alcotest.(check int) "merge sums alloc_words" 42 (Stats.merge a b).Stats.alloc_words;
+  let acc = Stats.fresh_query () in
+  Stats.add_into ~into:acc a;
+  Stats.add_into ~into:acc b;
+  Alcotest.(check int) "add_into accumulates alloc_words" 42 acc.Stats.alloc_words
+
+(* the transformed query path measures its own allocation *)
+let test_transform_alloc_measured () =
+  let objs = Helpers.dataset ~seed:9 ~n:400 ~d:2 ~vocab:20 () in
+  let t = Kwsc.Orp_kw.build ~k:2 objs in
+  let rng = Prng.create 77 in
+  let seen_positive = ref false in
+  for _ = 1 to 20 do
+    let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+    let ws = Helpers.random_keywords rng ~vocab:20 ~k:2 in
+    let _, st = Kwsc.Orp_kw.query_stats t q ws in
+    Alcotest.(check bool) "alloc_words >= 0" true (st.Stats.alloc_words >= 0);
+    if st.Stats.alloc_words > 0 then seen_positive := true
+  done;
+  Alcotest.(check bool) "some query allocates a result" true !seen_positive
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_kd;
+    QCheck_alcotest.to_alcotest qcheck_ptree;
+    QCheck_alcotest.to_alcotest qcheck_intersect;
+    QCheck_alcotest.to_alcotest qcheck_inverted;
+    Alcotest.test_case "alloc counters monotone and mergeable" `Quick test_alloc_counters;
+    Alcotest.test_case "transformed queries measure allocation" `Quick
+      test_transform_alloc_measured;
+  ]

@@ -10,6 +10,7 @@ let strict =
   { Lint.default_config with
     assume_hot = true;
     assume_lib = true;
+    assume_kernel = true;
     require_mli = true }
 
 let rule_fires vs r = List.exists (fun v -> v.Lint.rule = r) vs
@@ -60,8 +61,8 @@ let exe = "../tools/lint/kwsc_lint.exe"
 
 let test_cli_nonzero_on_fixture () =
   let cmd =
-    Printf.sprintf "%s --assume-hot --assume-lib --require-mli %s > /dev/null"
-      exe fixture
+    Printf.sprintf
+      "%s --assume-hot --assume-lib --assume-kernel --require-mli %s > /dev/null" exe fixture
   in
   Alcotest.(check bool) "CLI exits nonzero on fixture" true (Sys.command cmd <> 0)
 

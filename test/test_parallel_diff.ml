@@ -47,12 +47,13 @@ let check_query_eq what (a : Stats.query) (b : Stats.query) =
   ck "pruned_empty" a.Stats.pruned_empty b.Stats.pruned_empty;
   ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
   ck "reported" a.Stats.reported b.Stats.reported;
+  ck "alloc_words" a.Stats.alloc_words b.Stats.alloc_words;
   ck "work" (Stats.work a) (Stats.work b)
 
 (* --- satellite: Stats.merge is exactly sequential accumulation --- *)
 
 let test_stats_merge () =
-  let mk (a, b, c, d, e, f, g, h) =
+  let mk (a, b, c, d, e, f, g, h, w) =
     {
       Stats.nodes_visited = a;
       covered_nodes = b;
@@ -62,13 +63,14 @@ let test_stats_merge () =
       pruned_empty = f;
       pruned_geom = g;
       reported = h;
+      alloc_words = w;
     }
   in
-  let q1 = mk (1, 2, 3, 4, 5, 6, 7, 8) in
-  let q2 = mk (10, 20, 30, 40, 50, 60, 70, 80) in
-  let q3 = mk (9, 8, 7, 6, 5, 4, 3, 2) in
+  let q1 = mk (1, 2, 3, 4, 5, 6, 7, 8, 9) in
+  let q2 = mk (10, 20, 30, 40, 50, 60, 70, 80, 90) in
+  let q3 = mk (9, 8, 7, 6, 5, 4, 3, 2, 1) in
   (* merge = field-wise sum *)
-  check_query_eq "q1+q2" (mk (11, 22, 33, 44, 55, 66, 77, 88)) (Stats.merge q1 q2);
+  check_query_eq "q1+q2" (mk (11, 22, 33, 44, 55, 66, 77, 88, 99)) (Stats.merge q1 q2);
   (* identity *)
   check_query_eq "merge with fresh" q1 (Stats.merge (Stats.fresh_query ()) q1);
   (* associativity: per-domain partial sums fold like a sequential loop *)
@@ -82,7 +84,7 @@ let test_stats_merge () =
   let folded = List.fold_left Stats.merge (Stats.fresh_query ()) stream in
   check_query_eq "add_into vs merge fold" acc folded;
   (* merge leaves its arguments untouched *)
-  check_query_eq "q1 unchanged" (mk (1, 2, 3, 4, 5, 6, 7, 8)) q1
+  check_query_eq "q1 unchanged" (mk (1, 2, 3, 4, 5, 6, 7, 8, 9)) q1
 
 (* --- parallel builds of the plain structures are byte-identical --- *)
 

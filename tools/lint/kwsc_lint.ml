@@ -7,7 +7,9 @@
 
 module Lint = Kwsc_lint_lib.Lint
 
-let usage = "kwsc_lint [--allow FILE] [--assume-hot] [--assume-lib] [--require-mli] [path ...]"
+let usage =
+  "kwsc_lint [--allow FILE] [--assume-hot] [--assume-lib] [--assume-kernel] [--require-mli] \
+   [path ...]"
 
 let print_rules () =
   List.iter
@@ -19,6 +21,7 @@ let () =
   let allow_file = ref None in
   let assume_hot = ref false in
   let assume_lib = ref false in
+  let assume_kernel = ref false in
   let require_mli = ref false in
   let rev_paths = ref [] in
   let spec =
@@ -28,6 +31,8 @@ let () =
        " treat every input as a hot-path module (rules R1, R4)");
       ("--assume-lib", Arg.Set assume_lib,
        " treat every input as library code (rule R3)");
+      ("--assume-kernel", Arg.Set assume_kernel,
+       " treat every input as a query-kernel module (rule R9)");
       ("--require-mli", Arg.Set require_mli,
        " require a .mli beside every .ml (rule R7)");
       ("--rules", Arg.Unit print_rules, " list the rules and exit") ]
@@ -50,7 +55,7 @@ let () =
   in
   let config =
     { Lint.assume_hot = !assume_hot; assume_lib = !assume_lib;
-      require_mli = !require_mli; allow }
+      assume_kernel = !assume_kernel; require_mli = !require_mli; allow }
   in
   (match List.filter (fun p -> not (Sys.file_exists p)) paths with
   | [] -> ()

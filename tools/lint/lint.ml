@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -15,6 +15,7 @@ let rule_id = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -25,6 +26,9 @@ let rule_doc = function
   | R6 -> "blanket 'try ... with _ ->' swallows every exception, including Out_of_memory"
   | R7 -> "library module lacks an interface (.mli)"
   | R8 -> "raw multicore primitive in library code: Pool (lib/util/pool.ml) owns them all"
+  | R9 ->
+      "Hashtbl or list construction in a query-kernel module: flat kernels report through \
+       callbacks and Ibuf, never per-result heap blocks"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -36,12 +40,14 @@ type allow_entry = { a_rule : string; a_path : string; a_line : int option }
 type config = {
   assume_hot : bool;
   assume_lib : bool;
+  assume_kernel : bool;
   require_mli : bool;
   allow : allow_entry list;
 }
 
 let default_config =
-  { assume_hot = false; assume_lib = false; require_mli = false; allow = [] }
+  { assume_hot = false; assume_lib = false; assume_kernel = false; require_mli = false;
+    allow = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Path classification                                                *)
@@ -66,6 +72,18 @@ let hot_dirs =
 let path_is_hot path =
   let segs = segments path in
   List.exists (fun d -> has_subpath d segs) hot_dirs
+
+(* R9: the query-kernel-tagged modules — flat layouts whose hot loops
+   must not allocate per result.  Extend here when a new frozen kernel
+   appears. *)
+let kernel_files =
+  [ [ "lib"; "kdtree"; "kd_flat.ml" ];
+    [ "lib"; "ptree"; "ptree_flat.ml" ];
+    [ "lib"; "invindex"; "postings.ml" ] ]
+
+let path_is_kernel path =
+  let segs = segments path in
+  List.exists (fun f -> has_subpath f segs) kernel_files
 
 let path_in_lib path = List.mem "lib" (segments path)
 
@@ -273,6 +291,7 @@ let lint_structure config ~file str =
   in
   let hot = config.assume_hot || path_is_hot file in
   let lib = config.assume_lib || path_in_lib file in
+  let kernel = config.assume_kernel || path_is_kernel file in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -302,6 +321,12 @@ let lint_structure config ~file str =
         | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
         | [ "List"; "nth" ] when hot ->
             add R4 loc "List.nth is O(n); use arrays or restructure the loop"
+        | "Hashtbl" :: _ when kernel ->
+            add R9 loc
+              (Printf.sprintf
+                 "%s in a query-kernel module; kernels address flat arrays (vocabulary \
+                  ranks, arena offsets), never hash tables"
+                 (String.concat "." u))
         | m :: _ :: _ when lib && List.mem m multicore_heads ->
             add R8 loc
               (Printf.sprintf
@@ -371,6 +396,10 @@ let lint_structure config ~file str =
           | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
           | [ "List"; "nth" ] when hot ->
               add R4 loc "List.nth passed as a value in hot-path module"
+          | "Hashtbl" :: _ when kernel ->
+              add R9 loc
+                (Printf.sprintf "%s passed as a value in a query-kernel module"
+                   (String.concat "." u))
           | m :: _ :: _ when lib && List.mem m multicore_heads ->
               add R8 loc
                 (Printf.sprintf "%s passed as a value in library code; route \
@@ -388,6 +417,12 @@ let lint_structure config ~file str =
     (match e.pexp_desc with
     | Pexp_apply (f, args) -> check_apply f args
     | Pexp_ident _ -> check_bare_ident e
+    | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) when kernel ->
+        (* expression-position cons only: matching [x :: tl] in a pattern
+           destructures and allocates nothing *)
+        add R9 e.pexp_loc
+          "list construction in a query-kernel module; accumulate into \
+           Kwsc_util.Ibuf or report through callbacks"
     | Pexp_try (_, cases) ->
         List.iter
           (fun c ->

@@ -26,6 +26,14 @@
       determinism contract has a single enforcement point.  The one
       sanctioned user is [lib/util/pool.ml], via the allowlist — an
       audited exception, not a weakening of the rule.
+    - R9: no [Hashtbl] use and no list construction ([::], list literals)
+      inside the query-kernel-tagged modules ([lib/kdtree/kd_flat.ml],
+      [lib/ptree/ptree_flat.ml], [lib/invindex/postings.ml]): flat
+      kernels report through callbacks and [Kwsc_util.Ibuf], never by
+      allocating a heap block per result.  Matching [x :: tl] in a
+      pattern is destructuring and stays legal; [\[\]] alone allocates
+      nothing and stays legal.  The tagged file list lives in
+      [kernel_files]; extend it when a new frozen kernel appears.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -33,12 +41,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R8"]. *)
+(** ["R1"] ... ["R9"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)
@@ -60,6 +68,7 @@ type allow_entry = { a_rule : string; a_path : string; a_line : int option }
 type config = {
   assume_hot : bool;  (** treat every input as a hot-path module (R1, R4) *)
   assume_lib : bool;  (** treat every input as [lib/] code (R3) *)
+  assume_kernel : bool;  (** treat every input as a query-kernel module (R9) *)
   require_mli : bool;  (** require a [.mli] beside every [.ml] (R7) *)
   allow : allow_entry list;
 }

@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-smoke examples clean doc lint audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-smoke examples clean doc lint audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -15,7 +15,7 @@ test:
 test-slow:
 	KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 
-# Repo-specific static analysis (tools/lint; rules R1-R8).
+# Repo-specific static analysis (tools/lint; rules R1-R10).
 lint:
 	dune build @lint
 
@@ -41,6 +41,11 @@ bench-parallel:
 # throughput and words allocated per query (writes BENCH_pr3.json).
 bench-flat:
 	dune exec bench/main.exe -- --only FLAT
+
+# Durable snapshots: save/load round trip vs cold build, answer- and
+# counter-identical (writes BENCH_pr4.json).
+bench-snap:
+	dune exec bench/main.exe -- --only SNAP
 
 # CI sanity run: every experiment at tiny N (crash test, not measurement).
 bench-smoke:

@@ -683,4 +683,5 @@ let all : (string * string * (unit -> unit)) list =
     ("W1", "Robustness: correlated geo-text workload", w1);
     ("PAR", "Multicore scaling: pool builds & batched queries", Parallel.run);
     ("FLAT", "Flat vs boxed layouts: build/range/NN/intersection + alloc", Flatbench.run);
+    ("SNAP", "Durable snapshots: load vs cold build, identical answers", Snapbench.run);
   ]

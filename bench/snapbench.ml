@@ -1,0 +1,108 @@
+(* SNAP: durable snapshots vs cold rebuilds. No paper claim backs this
+   experiment — snapshots are an operational feature (DESIGN.md section 9)
+   — so it records raw numbers: cold build time, snapshot save/load time
+   and file size for ORP-KW and the inverted baseline, with every loaded
+   index answer- and work-counter-checked against the cold one, both as a
+   table and as machine-readable BENCH_pr4.json. Target: a snapshot load
+   at least 10x faster than the cold build it replaces. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module C = Kwsc_snapshot.Codec
+module Orp = Kwsc.Orp_kw
+module Inverted = Kwsc_invindex.Inverted
+
+let counters (st : Kwsc.Stats.query) =
+  ( st.Kwsc.Stats.nodes_visited,
+    st.Kwsc.Stats.covered_nodes,
+    st.Kwsc.Stats.crossing_nodes,
+    st.Kwsc.Stats.pivot_checked,
+    st.Kwsc.Stats.small_scanned,
+    st.Kwsc.Stats.pruned_empty,
+    st.Kwsc.Stats.pruned_geom,
+    st.Kwsc.Stats.reported )
+
+let load_orp path =
+  match Orp.load path with Ok t -> t | Error e -> failwith (C.error_to_string e)
+
+let load_inv path =
+  match Inverted.load path with Ok t -> t | Error e -> failwith (C.error_to_string e)
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+let run () =
+  H.header "SNAP: durable snapshots vs cold rebuilds"
+    "no claim (operational feature); identical answers, load >= 10x faster than build";
+  let n = H.sized (if !H.quick then 20_000 else 100_000) in
+  let nq = H.sized 200 in
+  let rng = Prng.create 0x4242 in
+  let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:60 ~range:1000.0 in
+  let rects = Array.init nq (fun _ -> H.rect_of_trial rng) in
+  let wss =
+    (* two keywords drawn from disjoint ranges: distinct by construction *)
+    Array.init nq (fun _ -> [| 1 + Prng.int rng 20; 21 + Prng.int rng 39 |])
+  in
+  let snap = Filename.temp_file "kwsc_snap_orp" ".snap" in
+  let snap_inv = Filename.temp_file "kwsc_snap_inv" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove snap with Sys_error _ -> ());
+      try Sys.remove snap_inv with Sys_error _ -> ())
+    (fun () ->
+      (* ---- ORP-KW (Theorem 1) ---------------------------------------- *)
+      let cold, build_s = Kwsc_util.Timer.time (fun () -> Orp.build ~k:2 objs) in
+      let (), save_s = Kwsc_util.Timer.time (fun () -> Orp.save snap cold) in
+      let warm, load_s = H.time_best ~reps:7 (fun () -> load_orp snap) in
+      let mismatches = ref 0 in
+      Array.iteri
+        (fun i q ->
+          let ids_c, st_c = Orp.query_stats cold q wss.(i) in
+          let ids_w, st_w = Orp.query_stats warm q wss.(i) in
+          if ids_c <> ids_w || counters st_c <> counters st_w then incr mismatches)
+        rects;
+      let bytes = file_size snap in
+      Printf.printf
+        "  ORP-KW    N=%d  build=%7.1fms  save=%6.1fms  load=%6.1fms  %7d bytes\n" n
+        (build_s *. 1e3) (save_s *. 1e3) (load_s *. 1e3) bytes;
+      Printf.printf "  %d/%d queries identical (ids + work counters) on the loaded index\n"
+        (nq - !mismatches) nq;
+      if !mismatches > 0 then failwith "SNAP: loaded ORP-KW index disagrees with the cold build";
+
+      (* ---- inverted baseline ----------------------------------------- *)
+      let docs = Array.map snd objs in
+      let inv_cold, inv_build_s = Kwsc_util.Timer.time (fun () -> Inverted.build docs) in
+      let (), inv_save_s = Kwsc_util.Timer.time (fun () -> Inverted.save snap_inv inv_cold) in
+      let inv_warm, inv_load_s = H.time_best ~reps:7 (fun () -> load_inv snap_inv) in
+      let inv_bad = ref 0 in
+      Array.iter
+        (fun ws -> if Inverted.query inv_cold ws <> Inverted.query inv_warm ws then incr inv_bad)
+        wss;
+      Printf.printf
+        "  inverted  N=%d  build=%7.1fms  save=%6.1fms  load=%6.1fms  %7d bytes\n" n
+        (inv_build_s *. 1e3) (inv_save_s *. 1e3) (inv_load_s *. 1e3) (file_size snap_inv);
+      if !inv_bad > 0 then failwith "SNAP: loaded inverted index disagrees with the cold build";
+
+      let speedup = build_s /. load_s in
+      let inv_speedup = inv_build_s /. inv_load_s in
+      Printf.printf "  -> load vs cold build: orp %.1fx, inverted %.1fx (target >= 10x) %s\n"
+        speedup inv_speedup
+        (if speedup >= 10.0 then "[OK]" else "[BELOW TARGET]");
+      if !H.smoke then Printf.printf "  (smoke run: BENCH_pr4.json not written)\n"
+      else begin
+        let oc = open_out "BENCH_pr4.json" in
+        Printf.fprintf oc
+          "{\n\
+          \  \"bench\": \"snapshot load vs cold build\",\n\
+          \  \"n\": %d,\n\
+          \  \"queries\": %d,\n\
+          \  \"orp\": {\"build_s\": %.6f, \"save_s\": %.6f, \"load_s\": %.6f, \"bytes\": %d, \"speedup\": %.3f},\n\
+          \  \"inverted\": {\"build_s\": %.6f, \"save_s\": %.6f, \"load_s\": %.6f, \"bytes\": %d, \"speedup\": %.3f},\n\
+          \  \"answers_identical\": true\n\
+           }\n"
+          n nq build_s save_s load_s bytes speedup inv_build_s inv_save_s inv_load_s
+          (file_size snap_inv) inv_speedup;
+        close_out oc;
+        Printf.printf "  wrote BENCH_pr4.json\n"
+      end)

@@ -7,6 +7,8 @@
      sphere      SRP-KW query (Corollary 6)
      nn          L-infinity / L2 nearest-neighbor query (Corollaries 4, 7)
      info        index statistics (space accounting)
+     save        build an index and write a durable snapshot
+     load        load a snapshot (no rebuild) and query it
 
    Datasets are the plain-text format of {!Kwsc_workload.Csv_io}: one object
    per line, "x1,x2|kw1;kw2;kw3". *)
@@ -196,6 +198,131 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Build the ORP-KW index and print space accounting" ~man:man_footer)
     Term.(const info_cmd_impl $ input_arg $ k_arg)
 
+(* ---- save / load ---------------------------------------------------- *)
+
+module Codec = Kwsc_snapshot.Codec
+
+let save input k kindsel out =
+  let objs = load_objects input in
+  let kind =
+    match kindsel with
+    | `Orp ->
+        Kwsc.Orp_kw.save out (Kwsc.Orp_kw.build ~k objs);
+        Kwsc.Orp_kw.kind
+    | `Lc ->
+        Kwsc.Lc_kw.save out (Kwsc.Lc_kw.build ~k objs);
+        Kwsc.Lc_kw.kind
+    | `Srp ->
+        Kwsc.Srp_kw.save out (Kwsc.Srp_kw.build ~k objs);
+        Kwsc.Srp_kw.kind
+    | `Inverted ->
+        Kwsc_invindex.Inverted.save out (Kwsc_invindex.Inverted.build (Array.map snd objs));
+        Kwsc_invindex.Inverted.kind
+  in
+  let size =
+    let ic = open_in_bin out in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+  in
+  Printf.printf "wrote %s snapshot (%d bytes) to %s\n" kind size out
+
+let save_cmd =
+  let kindsel =
+    Arg.(
+      value
+      & opt (enum [ ("orp", `Orp); ("lc", `Lc); ("srp", `Srp); ("inverted", `Inverted) ]) `Orp
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Index to build and snapshot: orp, lc, srp or inverted.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Build an index and write a durable snapshot" ~man:man_footer)
+    Term.(const save $ input_arg $ k_arg $ kindsel $ out)
+
+let corrupt_exit (e : Codec.error) : 'a =
+  Printf.eprintf "kwsc load: %s\n" (Codec.error_to_string e);
+  exit 1
+
+let ok_or_die = function Ok t -> t | Error e -> corrupt_exit e
+
+let require flag = function
+  | Some v -> v
+  | None ->
+      Printf.eprintf "kwsc load: --%s is required for this snapshot kind\n" flag;
+      exit 2
+
+let load_impl snap input lo hi kws stats =
+  let kind = ok_or_die (Codec.peek_kind ~path:snap) in
+  if kind = Kwsc.Orp_kw.kind then begin
+    (* same output as [kwsc rect] on the same dataset — the CI round-trip
+       gate diffs the two byte for byte *)
+    let objs = load_objects (require "input" input) in
+    let t = ok_or_die (Kwsc.Orp_kw.load snap) in
+    let q = Rect.make (Array.of_list (require "lo" lo)) (Array.of_list (require "hi" hi)) in
+    let ids, st = Kwsc.Orp_kw.query_stats t q (Array.of_list (require "kw" kws)) in
+    print_results objs ids;
+    if stats then print_query_stats st
+  end
+  else if kind = Kwsc_invindex.Inverted.kind then begin
+    let objs = load_objects (require "input" input) in
+    let t = ok_or_die (Kwsc_invindex.Inverted.load snap) in
+    let ids = Kwsc_invindex.Inverted.query t (Array.of_list (require "kw" kws)) in
+    print_results objs ids
+  end
+  else begin
+    let summary name k d n = Printf.printf "loaded %s snapshot: k=%d d=%d N=%d\n" name k d n in
+    if kind = Kwsc.Lc_kw.kind then
+      let t = ok_or_die (Kwsc.Lc_kw.load snap) in
+      summary kind (Kwsc.Lc_kw.k t) (Kwsc.Lc_kw.dim t) (Kwsc.Lc_kw.input_size t)
+    else if kind = Kwsc.Srp_kw.kind then
+      let t = ok_or_die (Kwsc.Srp_kw.load snap) in
+      summary kind (Kwsc.Srp_kw.k t) (Kwsc.Srp_kw.dim t) (Kwsc.Srp_kw.input_size t)
+    else if kind = Kwsc.Sp_kw.kind then
+      let t = ok_or_die (Kwsc.Sp_kw.load snap) in
+      summary kind (Kwsc.Sp_kw.k t) (Kwsc.Sp_kw.dim t) (Kwsc.Sp_kw.input_size t)
+    else if kind = Kwsc.Rr_kw.kind then
+      let t = ok_or_die (Kwsc.Rr_kw.load snap) in
+      summary kind (Kwsc.Rr_kw.k t) (Kwsc.Rr_kw.dim t) (Kwsc.Rr_kw.input_size t)
+    else if kind = Kwsc.L2_nn_kw.kind then
+      let t = ok_or_die (Kwsc.L2_nn_kw.load snap) in
+      summary kind (Kwsc.L2_nn_kw.k t) (Kwsc.L2_nn_kw.dim t) (Kwsc.L2_nn_kw.input_size t)
+    else if kind = Kwsc.Linf_nn_kw.kind then
+      let t = ok_or_die (Kwsc.Linf_nn_kw.load snap) in
+      summary kind (Kwsc.Linf_nn_kw.k t) (Kwsc.Linf_nn_kw.dim t) (Kwsc.Linf_nn_kw.input_size t)
+    else begin
+      Printf.eprintf "kwsc load: unknown snapshot kind %S\n" kind;
+      exit 1
+    end
+  end
+
+let load_cmd =
+  let snap =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "index" ] ~docv:"SNAP" ~doc:"Snapshot file written by kwsc save.")
+  in
+  let input_opt =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Dataset file (needed to print matched objects).")
+  in
+  let opt_floats names docv doc =
+    Arg.(value & opt (some (list float)) None & info names ~docv ~doc)
+  in
+  let lo = opt_floats [ "lo" ] "X1,X2,..." "Lower corner of the query rectangle (orp snapshots)." in
+  let hi = opt_floats [ "hi" ] "Y1,Y2,..." "Upper corner of the query rectangle (orp snapshots)." in
+  let kws =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "kw"; "keywords" ] ~docv:"W1,W2,..." ~doc:"Query keywords (orp and inverted snapshots).")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a snapshot and query it (no rebuild)" ~man:man_footer)
+    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -203,4 +330,5 @@ let () =
   let info = Cmd.info "kwsc" ~version:"1.0.0" ~doc ~man:man_footer in
   exit
     (Cmd.eval
-       (Cmd.group info [ generate_cmd; rect_cmd; halfspace_cmd; sphere_cmd; nn_cmd; info_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; rect_cmd; halfspace_cmd; sphere_cmd; nn_cmd; info_cmd; save_cmd; load_cmd ]))

@@ -154,7 +154,10 @@ let query_profile ?limit t q ws =
   in
   let t2l : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let out = ref [] in
-  let ws_sorted = Kwsc_util.Sorted.sort_dedup (Array.to_list ws) in
+  (* enforce the uniform Table-1 arity contract here too: Base nodes would
+     validate eventually, but a pure type-2 path (pivot scans only) used
+     to accept any keyword multiset silently *)
+  let ws_sorted = Transform.validate_keyword_arity ~k:t.k_ ws in
   let full_match id =
     Rect.contains_point q t.pts.(id) && Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws_sorted
   in
@@ -392,3 +395,72 @@ let space_words t =
           node.children
   in
   words t.root
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let encode w t =
+  C.W.i64 w t.d;
+  C.W.i64 w t.k_;
+  C.W.i64 w t.n;
+  C.W.float_array2 w t.pts;
+  C.W.array w (fun w (doc : Doc.t) -> C.W.int_array w (doc :> int array)) t.docs;
+  let rec tree w = function
+    | Base (orp, ids) ->
+        C.W.byte w 0;
+        Orp_kw.encode w orp;
+        C.W.int_array w ids
+    | Cut node ->
+        C.W.byte w 1;
+        cut w node
+  and cut w node =
+    let slo, shi = node.sigma in
+    C.W.f64 w slo;
+    C.W.f64 w shi;
+    C.W.i64 w node.level;
+    C.W.i64 w node.fanout;
+    C.W.i64 w node.weight;
+    C.W.int_array w node.pivots;
+    tree w node.secondary;
+    C.W.array w cut node.children
+  in
+  tree w t.root
+
+let decode r =
+  let d = C.R.i64 r in
+  let k_ = C.R.i64 r in
+  let n = C.R.i64 r in
+  let pts = C.R.float_array2 r in
+  let docs = C.R.array r (fun r -> Doc.of_array (C.R.int_array r)) in
+  let rec tree r =
+    match C.R.byte r with
+    | 0 ->
+        let orp = Orp_kw.decode r in
+        let ids = C.R.int_array r in
+        Base (orp, ids)
+    | 1 -> Cut (cut r)
+    | tag -> C.corrupt (Printf.sprintf "Dimred: unknown tree tag %d" tag)
+  and cut r =
+    let slo = C.R.f64 r in
+    let shi = C.R.f64 r in
+    let level = C.R.i64 r in
+    let fanout = C.R.i64 r in
+    let weight = C.R.i64 r in
+    let pivots = C.R.int_array r in
+    let secondary = tree r in
+    let children = C.R.array r cut in
+    { sigma = (slo, shi); level; fanout; weight; pivots; secondary; children }
+  in
+  let root = tree r in
+  if k_ < 2 then C.corrupt "Dimred: k must be >= 2";
+  if Array.length pts <> Array.length docs then
+    C.corrupt "Dimred: points and documents disagree in length";
+  Array.iter
+    (fun p -> if Array.length p <> d then C.corrupt "Dimred: point with the wrong dimension")
+    pts;
+  let t = { root; pts; docs; d; k_; n } in
+  I.auto_check (fun () -> check_invariants t);
+  t

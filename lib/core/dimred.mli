@@ -27,10 +27,14 @@ val dim : t -> int
 val input_size : t -> int
 
 val query : ?limit:int -> t -> Rect.t -> int array -> int array
-(** Sorted ids of the objects in [q] containing all [k] keywords. [limit]
-    stops reporting early (every object is reported by exactly one node —
-    the highest type-1 secondary or pivot scan covering it — so the capped
-    result holds [min limit OUT] distinct ids). *)
+(** Sorted ids of the objects in [q] containing all [k] keywords. [ws]
+    must hold exactly [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract — enforced even on pure
+    pivot-scan paths); keywords absent from every document are legal and
+    yield an empty answer. [limit] stops reporting early (every object is
+    reported by exactly one node — the highest type-1 secondary or pivot
+    scan covering it — so the capped result holds [min limit OUT]
+    distinct ids). *)
 
 type profile = {
   type1 : int;  (** type-1 nodes visited (secondary queries issued) *)
@@ -71,3 +75,10 @@ val check_invariants : t -> Kwsc_util.Invariant.violation list
     secondaries covering exactly the node's active set, Base nodes only at
     d <= 2, and weight bookkeeping. Empty when well-formed. [build] runs
     this automatically when [KWSC_AUDIT=1]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw snapshot codec, for embedding inside {!Linf_nn_kw} / {!Rr_kw}
+    snapshots (this index never stands alone in Table 1). [decode] raises
+    [Kwsc_snapshot.Codec.Corrupt] on malformed bytes and re-runs
+    {!check_invariants} when [KWSC_AUDIT=1]. *)

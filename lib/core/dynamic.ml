@@ -37,7 +37,12 @@ let input_size t =
 
 let buckets t = List.map (fun b -> Array.length b.ids) t.buckets
 
-let live t id = match t.objects.(id) with Some obj -> Some obj | None -> None
+(* Total on every int: an id never assigned (negative, or >= next_id —
+   including far beyond the backing array's capacity) is simply not live.
+   The unchecked [t.objects.(id)] this replaces raised an untyped
+   [Invalid_argument "index out of bounds"] for ids at or beyond the
+   array's current capacity. *)
+let live t id = if id < 0 || id >= t.next_id then None else t.objects.(id)
 
 let build_bucket t ids =
   let objs = Array.map (fun id -> Option.get (live t id)) ids in

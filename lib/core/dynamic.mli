@@ -33,6 +33,11 @@ val query : t -> Rect.t -> int array -> int array
 (** Sorted ids of live objects inside the rectangle containing all [k]
     keywords. *)
 
+val live : t -> int -> (Point.t * Kwsc_invindex.Doc.t) option
+(** The object stored under an id, or [None] if it was deleted — or never
+    assigned at all. Total on every [int]: negative ids and ids at or
+    beyond the next unassigned one return [None] rather than raising. *)
+
 val size : t -> int
 (** Live objects. *)
 

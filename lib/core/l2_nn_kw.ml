@@ -60,3 +60,55 @@ let query_count t q ~t' ws =
 
 let query t q ~t' ws = fst (query_count t q ~t' ws)
 let srp_index t = t.srp
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.l2-nn-kw"
+
+let encode w t =
+  C.W.i64 w t.d;
+  C.W.f64 w t.max_sq;
+  C.W.float_array2 w t.pts;
+  Srp_kw.encode w t.srp
+
+let decode r =
+  let d = C.R.i64 r in
+  let max_sq = C.R.f64 r in
+  let pts = C.R.float_array2 r in
+  Array.iter
+    (fun p ->
+      if Array.length p <> d then C.corrupt "L2_nn_kw: point with the wrong dimension";
+      if not (check_integral p) then C.corrupt "L2_nn_kw: non-integral coordinates")
+    pts;
+  let srp = Srp_kw.decode r in
+  if Srp_kw.dim srp <> d then C.corrupt "L2_nn_kw: inner index dimension mismatch";
+  { srp; pts; d; max_sq }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "L2_nn_kw: meta section disagrees with the decoded index";
+      t)

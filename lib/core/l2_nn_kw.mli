@@ -22,9 +22,20 @@ val input_size : t -> int
 val query : t -> Point.t -> t':int -> int array -> (int * float) array
 (** [query t q ~t' ws]: the [t'] nearest matching objects as
     (id, L2 distance), increasing distance, ties by id; fewer iff fewer
-    match. [q] must have integer coordinates. *)
+    match. [q] must have integer coordinates. [ws] must hold exactly
+    [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract); keywords absent from
+    every document are legal and yield an empty answer. *)
 
 val query_count : t -> Point.t -> t':int -> int array -> (int * float) array * int
 (** As [query] plus the number of SRP-KW probes (the O(log N) factor). *)
 
 val srp_index : t -> Srp_kw.t
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.l2-nn-kw"]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip; see {!Orp_kw.save} / {!Orp_kw.load} for
+    the shared contract. *)

@@ -31,3 +31,38 @@ let space_stats t = Sp_kw.space_stats t.sp
 let sp_index t = t.sp
 
 let emptiness t hs ws = Array.length (query ~limit:1 t hs ws) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.lc-kw"
+let encode w t = Sp_kw.encode w t.sp
+let decode r = { sp = Sp_kw.decode r }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w (dim t);
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || dim t <> md || input_size t <> mn then
+        C.corrupt "Lc_kw: meta section disagrees with the decoded index";
+      t)

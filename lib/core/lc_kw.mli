@@ -27,7 +27,9 @@ val input_size : t -> int
 
 val query : ?limit:int -> t -> Halfspace.t list -> int array -> int array
 (** Sorted ids of objects satisfying every constraint and containing all
-    keywords. *)
+    keywords. [ws] must hold exactly [k t] distinct keywords (the
+    canonical {!Transform.validate_keyword_arity} contract); keywords
+    absent from every document are legal and yield an empty answer. *)
 
 val query_stats : ?limit:int -> t -> Halfspace.t list -> int array -> int array * Stats.query
 
@@ -56,3 +58,16 @@ val sp_index : t -> Sp_kw.t
 
 val emptiness : t -> Halfspace.t list -> int array -> bool
 (** Output-capped emptiness probe. *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.lc-kw"]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw codec, for embedding inside other snapshots ({!Rr_kw}). [decode]
+    raises [Kwsc_snapshot.Codec.Corrupt]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip; see {!Orp_kw.save} / {!Orp_kw.load} for
+    the shared contract. *)

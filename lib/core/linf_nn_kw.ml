@@ -96,3 +96,72 @@ let query_count t q ~t' ws =
   end
 
 let query t q ~t' ws = fst (query_count t q ~t' ws)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.linf-nn-kw"
+
+let encode w t =
+  C.W.i64 w t.d;
+  C.W.float_array2 w t.pts;
+  C.W.float_array2 w t.coords;
+  match t.engine with
+  | E_kd i ->
+      C.W.byte w 0;
+      Orp_kw.encode w i
+  | E_dimred i ->
+      C.W.byte w 1;
+      Dimred.encode w i
+
+let decode r =
+  let d = C.R.i64 r in
+  if d < 1 then C.corrupt "Linf_nn_kw: dimension must be >= 1";
+  let pts = C.R.float_array2 r in
+  let coords = C.R.float_array2 r in
+  Array.iter
+    (fun p -> if Array.length p <> d then C.corrupt "Linf_nn_kw: point with the wrong dimension")
+    pts;
+  if Array.length coords <> d then C.corrupt "Linf_nn_kw: coordinate table count <> d";
+  Array.iter
+    (fun c ->
+      if Array.length c <> Array.length pts then
+        C.corrupt "Linf_nn_kw: coordinate column length <> number of points")
+    coords;
+  let engine =
+    match C.R.byte r with
+    | 0 -> E_kd (Orp_kw.decode r)
+    | 1 -> E_dimred (Dimred.decode r)
+    | tag -> C.corrupt (Printf.sprintf "Linf_nn_kw: unknown engine tag %d" tag)
+  in
+  let inner_d = match engine with E_kd i -> Orp_kw.dim i | E_dimred i -> Dimred.dim i in
+  if inner_d <> d then C.corrupt "Linf_nn_kw: inner index dimension mismatch";
+  { engine; pts; coords; d }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "Linf_nn_kw: meta section disagrees with the decoded index";
+      t)

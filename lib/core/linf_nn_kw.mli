@@ -30,8 +30,20 @@ val input_size : t -> int
 val query : t -> Point.t -> t':int -> int array -> (int * float) array
 (** [query t q ~t' ws] is the [t'] nearest matching objects as
     (id, L∞ distance), ordered by increasing distance (ties broken by id).
-    Returns fewer than [t'] entries iff fewer objects match the keywords. *)
+    Returns fewer than [t'] entries iff fewer objects match the keywords.
+    [ws] must hold exactly [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract); keywords absent from
+    every document are legal and yield an empty answer. *)
 
 val query_count : t -> Point.t -> t':int -> int array -> (int * float) array * int
 (** As [query], also returning the number of ORP-KW probes issued — the
     O(log N) binary-search factor of Corollary 4, measurable. *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.linf-nn-kw"]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip (the active engine — kd or dimred — is
+    tagged in the file); see {!Orp_kw.save} / {!Orp_kw.load} for the
+    shared contract. *)

@@ -24,6 +24,23 @@ type t = {
   d : int;
 }
 
+(* Both geometry predicates are shared by [build] and the snapshot
+   decoder: [classify] is pure over rank-space rectangles, and [contains]
+   captures only the rank table, which a snapshot recomputes from the
+   serialized rank space. *)
+let classify q cell =
+  if not (irect_intersects q cell) then Transform.Disjoint
+  else if irect_covers q cell then Transform.Covered
+  else Transform.Crossing
+
+let contains_of ranks d q id =
+  let r = (ranks : int array array).(id) in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if r.(i) < q.ilo.(i) || r.(i) > q.ihi.(i) then ok := false
+  done;
+  !ok
+
 let build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k objs =
   let m = Array.length objs in
   if m = 0 then invalid_arg "Orp_kw.build: empty input";
@@ -62,20 +79,7 @@ let build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k objs =
     rcell.ilo.(axis) <- pivot_rank;
     ([| (lcell, left); (rcell, right) |], [| sorted.(j) |])
   in
-  let classify q cell =
-    if not (irect_intersects q cell) then Transform.Disjoint
-    else if irect_covers q cell then Transform.Covered
-    else Transform.Crossing
-  in
-  let contains q id =
-    let r = ranks.(id) in
-    let ok = ref true in
-    for i = 0 to d - 1 do
-      if r.(i) < q.ilo.(i) || r.(i) > q.ihi.(i) then ok := false
-    done;
-    !ok
-  in
-  let space = { Transform.root_cell; split; classify; contains } in
+  let space = { Transform.root_cell; split; classify; contains = contains_of ranks d } in
   { inner = Transform.build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k ~space docs; rs; ranks; d }
 
 let k t = Transform.k t.inner
@@ -85,11 +89,7 @@ let input_size t = Transform.input_size t.inner
 let query_stats ?limit t q ws =
   if Rect.dim q <> t.d then invalid_arg "Orp_kw.query: dimension mismatch";
   (* validate keywords even when the rank conversion short-circuits *)
-  if Array.length (Kwsc_util.Sorted.sort_dedup (Array.to_list ws)) <> Transform.k t.inner then
-    invalid_arg
-      (Printf.sprintf "Transform.query: expected %d distinct keywords, got %d"
-         (Transform.k t.inner)
-         (Array.length (Kwsc_util.Sorted.sort_dedup (Array.to_list ws))));
+  ignore (Transform.validate_keyword_arity ~k:(Transform.k t.inner) ws);
   match Rank_space.rect_to_ranks t.rs q with
   | None -> ([||], Stats.fresh_query ())
   | Some (ilo, ihi) -> Transform.query_stats ?limit t.inner { ilo; ihi } ws
@@ -104,3 +104,91 @@ let emptiness t q ws = Array.length (query ~limit:1 t q ws) = 0
 let count_at_least t q ws ~threshold =
   if threshold < 1 then invalid_arg "Orp_kw.count_at_least: threshold must be >= 1";
   Array.length (query ~limit:threshold t q ws) >= threshold
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.orp-kw"
+
+(* cells are rank rectangles of the known dimension d, so they travel as
+   2d bare varints — no per-array length or width framing for the ~10^5
+   cells of a large tree *)
+let write_cell w c =
+  Array.iter (C.W.vint w) c.ilo;
+  Array.iter (C.W.vint w) c.ihi
+
+let read_cell d r =
+  let rd () =
+    let a = Array.make d 0 in
+    for i = 0 to d - 1 do
+      a.(i) <- C.R.vint r
+    done;
+    a
+  in
+  let ilo = rd () in
+  let ihi = rd () in
+  { ilo; ihi }
+
+let encode w t =
+  C.W.i64 w t.d;
+  let coords, ids, _rank_of = Rank_space.export t.rs in
+  (* rank_of is the inverse permutation of ids: recomputed on load, not
+     stored — a fifth of the snapshot for pure redundancy otherwise *)
+  C.W.float_array2 w coords;
+  C.W.int_array2 w ids;
+  Transform.encode write_cell w t.inner
+
+let decode r =
+  let d = C.R.i64 r in
+  let coords = C.R.float_array2 r in
+  let ids = C.R.int_array2 r in
+  (* invert the stored permutations; a duplicate or out-of-range id either
+     trips the range check here or the inverse-consistency check in
+     [Rank_space.import] below *)
+  let rank_of =
+    Array.map
+      (fun idj ->
+        let n = Array.length idj in
+        let inv = Array.make n (-1) in
+        Array.iteri
+          (fun rank id ->
+            if id < 0 || id >= n then C.corrupt "Orp_kw: rank table id out of range";
+            inv.(id) <- rank)
+          idj;
+        inv)
+      ids
+  in
+  let rs = Rank_space.import ~coords ~ids ~rank_of in
+  if Rank_space.dim rs <> d then C.corrupt "Orp_kw: dimension disagrees with the rank tables";
+  (* ranks are a cache over the rank space: recompute, don't store *)
+  let ranks = Array.init (Rank_space.size rs) (fun id -> Rank_space.ranks rs id) in
+  let inner = Transform.decode ~classify ~contains:(contains_of ranks d) (read_cell d) r in
+  { inner; rs; ranks; d }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "Orp_kw: meta section disagrees with the decoded index";
+      t)

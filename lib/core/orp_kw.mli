@@ -36,9 +36,13 @@ val input_size : t -> int
 (** N = total document size (equation (2)). *)
 
 val query : ?limit:int -> t -> Rect.t -> int array -> int array
-(** Sorted ids of the objects in [q] containing all keywords. [ws] must be
-    [k t] distinct keywords. [limit] caps the number of reported objects
-    (the probe mode of Corollary 4). *)
+(** Sorted ids of the objects in [q] containing all keywords. [ws] must
+    hold exactly [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract: anything else raises
+    [Invalid_argument]); keywords absent from every document are legal
+    and yield an empty answer without scanning. Degenerate rectangles
+    (NaN or inverted bounds) also yield an empty answer. [limit] caps the
+    number of reported objects (the probe mode of Corollary 4). *)
 
 val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
 
@@ -64,3 +68,21 @@ val count_at_least : t -> Rect.t -> int array -> threshold:int -> bool
 (** [count_at_least t q ws ~threshold]: does the query return at least
     [threshold] objects? The detection probe in the proof of Corollary 4,
     costing O(N^(1-1/k) threshold^(1/k)). *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.orp-kw"]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw codec, for embedding inside other snapshots ({!Linf_nn_kw},
+    {!Rr_kw}, {!Dimred}). [decode] raises [Kwsc_snapshot.Codec.Corrupt]. *)
+
+val save : string -> t -> unit
+(** [save path t] writes a durable snapshot (see {!Kwsc_snapshot.Codec}
+    for the format). Raises [Sys_error] on IO failure. *)
+
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Rebuild an index from a snapshot in O(file size). Queries on the
+    result are answer- and work-counter-identical to the freshly built
+    index. Corrupt input — truncation, flipped bytes, bad magic or
+    version, another module's snapshot — returns [Error], never raises. *)

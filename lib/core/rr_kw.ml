@@ -89,3 +89,69 @@ let space_stats t =
         table_words = 0;
         total_words = Dimred.space_words i;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.rr-kw"
+
+let encode w t =
+  C.W.i64 w t.d;
+  match t.inner with
+  | E_kd i ->
+      C.W.byte w 0;
+      Orp_kw.encode w i
+  | E_dimred i ->
+      C.W.byte w 1;
+      Dimred.encode w i
+  | E_lc i ->
+      C.W.byte w 2;
+      Lc_kw.encode w i
+
+let decode r =
+  let d = C.R.i64 r in
+  if d < 1 then C.corrupt "Rr_kw: dimension must be >= 1";
+  let inner =
+    match C.R.byte r with
+    | 0 -> E_kd (Orp_kw.decode r)
+    | 1 -> E_dimred (Dimred.decode r)
+    | 2 -> E_lc (Lc_kw.decode r)
+    | tag -> C.corrupt (Printf.sprintf "Rr_kw: unknown engine tag %d" tag)
+  in
+  let t = { inner; d } in
+  let inner_d =
+    match inner with
+    | E_kd i -> Orp_kw.dim i
+    | E_dimred i -> Dimred.dim i
+    | E_lc i -> Lc_kw.dim i
+  in
+  if inner_d <> 2 * d then C.corrupt "Rr_kw: inner index does not live in dimension 2d";
+  t
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "Rr_kw: meta section disagrees with the decoded index";
+      t)

@@ -37,7 +37,11 @@ val dim : t -> int
 val input_size : t -> int
 
 val query : ?limit:int -> t -> Rect.t -> int array -> int array
-(** Sorted ids of the data rectangles intersecting [q] with all keywords. *)
+(** Sorted ids of the data rectangles intersecting [q] with all keywords.
+    [ws] must hold exactly [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract, whichever engine is
+    active); keywords absent from every document are legal and yield an
+    empty answer. *)
 
 val query_stats : ?limit:int -> t -> Rect.t -> int array -> int array * Stats.query
 
@@ -51,3 +55,12 @@ val query_batch :
     counters merged at the end — the {!Batch.run} equivalence contract. *)
 
 val space_stats : t -> Stats.space
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.rr-kw"]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip (the active engine — kd, dimred or lc —
+    is tagged in the file); see {!Orp_kw.save} / {!Orp_kw.load} for the
+    shared contract. *)

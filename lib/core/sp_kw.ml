@@ -10,8 +10,11 @@ open Kwsc_geom
    - a box is covered if it satisfies every constraint entirely. *)
 type t = {
   inner : (Rect.t, Polytope.t) Transform.t;
+  pts : Point.t array; (* the [contains] test needs them; snapshots carry them *)
   d : int;
 }
+
+let contains_of pts q id = Polytope.mem q (pts : Point.t array).(id)
 
 let make_dirs rng d =
   let num = (2 * d) + 3 in
@@ -115,11 +118,16 @@ let build ?leaf_weight ?(seed = 0x51ac3d) ?pool ~k objs =
     if Array.length left > 0 then children := (bbox_of d pts left, left) :: !children;
     (Array.of_list !children, pivots)
   in
-  let classify q cell = classify_box q cell in
-  let contains q id = Polytope.mem q pts.(id) in
   let all_ids = Array.init m (fun i -> i) in
-  let space = { Transform.root_cell = bbox_of d pts all_ids; split; classify; contains } in
-  { inner = Transform.build ?leaf_weight ?pool ~k ~space docs; d }
+  let space =
+    {
+      Transform.root_cell = bbox_of d pts all_ids;
+      split;
+      classify = classify_box;
+      contains = contains_of pts;
+    }
+  in
+  { inner = Transform.build ?leaf_weight ?pool ~k ~space docs; pts; d }
 
 let k t = Transform.k t.inner
 let dim t = t.d
@@ -135,3 +143,64 @@ let query_halfspaces ?limit t hs ws = query_polytope ?limit t (Polytope.make ~di
 let query_batch ?pool ?limit t qs = Batch.run ?pool (fun (q, ws) -> query_stats ?limit t q ws) qs
 let space_stats t = Transform.space_stats t.inner
 let fold_nodes t ~init ~f = Transform.fold_nodes t.inner ~init ~f
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.sp-kw"
+
+let write_cell w (cell : Rect.t) =
+  C.W.float_array w cell.Rect.lo;
+  C.W.float_array w cell.Rect.hi
+
+let read_cell r =
+  let lo = C.R.float_array r in
+  let hi = C.R.float_array r in
+  (* Rect.make validates lo <= hi; under Codec.run a violation surfaces
+     as a Malformed error *)
+  Rect.make lo hi
+
+let encode w t =
+  C.W.i64 w t.d;
+  C.W.float_array2 w t.pts;
+  Transform.encode write_cell w t.inner
+
+let decode r =
+  let d = C.R.i64 r in
+  let pts = C.R.float_array2 r in
+  if d < 1 then C.corrupt "Sp_kw: dimension must be >= 1";
+  Array.iter
+    (fun p -> if Array.length p <> d then C.corrupt "Sp_kw: point with the wrong dimension")
+    pts;
+  let inner =
+    Transform.decode ~classify:classify_box ~contains:(contains_of pts) read_cell r
+  in
+  { inner; pts; d }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "Sp_kw: meta section disagrees with the decoded index";
+      t)

@@ -33,7 +33,9 @@ val input_size : t -> int
 
 val query_polytope : ?limit:int -> t -> Polytope.t -> int array -> int array
 (** Sorted ids of objects inside the convex region whose documents contain
-    all [k] keywords. *)
+    all [k] keywords. [ws] must hold exactly [k t] distinct keywords (the
+    canonical {!Transform.validate_keyword_arity} contract); keywords
+    absent from every document are legal and yield an empty answer. *)
 
 val query_simplex : ?limit:int -> t -> Simplex.t -> int array -> int array
 (** SP-KW proper: report inside a closed d-simplex. *)
@@ -56,3 +58,17 @@ val query_batch :
 
 val space_stats : t -> Stats.space
 val fold_nodes : t -> init:'a -> f:('a -> Transform.node_view -> 'a) -> 'a
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.sp-kw"]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw codec, for embedding inside other snapshots ({!Srp_kw}, {!Lc_kw}).
+    [decode] raises [Kwsc_snapshot.Codec.Corrupt]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip; see {!Orp_kw.save} / {!Orp_kw.load} for
+    the shared contract (answer- and work-counter-identical, typed errors
+    on corrupt input). *)

@@ -38,3 +38,47 @@ let query_batch ?pool ?limit t qs =
 let space_stats t = Sp_kw.space_stats t.sp
 
 let emptiness t s ws = Array.length (query ~limit:1 t s ws) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.srp-kw"
+
+let encode w t =
+  C.W.i64 w t.d;
+  Sp_kw.encode w t.sp
+
+let decode r =
+  let d = C.R.i64 r in
+  let sp = Sp_kw.decode r in
+  if Sp_kw.dim sp <> d + 1 then
+    C.corrupt "Srp_kw: the lifted index does not live in dimension d + 1";
+  { sp; d }
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (k t);
+           C.W.i64 w t.d;
+           C.W.i64 w (input_size t)));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mk, md, mn =
+        C.decode_section sections "meta" (fun r ->
+            let mk = C.R.i64 r in
+            let md = C.R.i64 r in
+            let mn = C.R.i64 r in
+            (mk, md, mn))
+      in
+      let t = C.decode_section sections "index" decode in
+      if k t <> mk || t.d <> md || input_size t <> mn then
+        C.corrupt "Srp_kw: meta section disagrees with the decoded index";
+      t)

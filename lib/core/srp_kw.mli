@@ -26,7 +26,10 @@ val dim : t -> int
 val input_size : t -> int
 
 val query : ?limit:int -> t -> Sphere.t -> int array -> int array
-(** Sorted ids of the objects in the closed ball with all keywords. *)
+(** Sorted ids of the objects in the closed ball with all keywords. [ws]
+    must hold exactly [k t] distinct keywords (the canonical
+    {!Transform.validate_keyword_arity} contract); keywords absent from
+    every document are legal and yield an empty answer. *)
 
 val query_ball_sq : ?limit:int -> t -> Point.t -> float -> int array -> int array
 (** As [query] with the squared radius given directly — exact on integer
@@ -47,3 +50,16 @@ val space_stats : t -> Stats.space
 
 val emptiness : t -> Sphere.t -> int array -> bool
 (** Output-capped emptiness probe. *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.srp-kw"]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw codec, for embedding inside other snapshots ({!L2_nn_kw}).
+    [decode] raises [Kwsc_snapshot.Codec.Corrupt]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Durable snapshot round trip; see {!Orp_kw.save} / {!Orp_kw.load} for
+    the shared contract. *)

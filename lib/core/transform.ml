@@ -23,12 +23,15 @@ type 'cell node = {
 
 and 'cell child = { node : 'cell node; nonempty : Bitset.t }
 
+type params = { leaf_weight : int; tau_exponent : float; use_bits : bool }
+
 type ('cell, 'query) t = {
   space : ('cell, 'query) space;
   docs : Doc.t array;
   k_ : int;
   n : int;
   root : 'cell node;
+  params : params;
 }
 
 let rec ipow base e = if e = 0 then 1 else base * ipow base (e - 1)
@@ -191,20 +194,26 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
   let root_candidates = Hashtbl.create 64 in
   Array.iter (fun d -> Doc.iter (fun w -> Hashtbl.replace root_candidates w ()) d) docs;
   let root = build_node space.root_cell all_ids root_candidates 0 in
-  { space; docs; k_ = k; n = !n; root }
+  { space; docs; k_ = k; n = !n; root; params = { leaf_weight; tau_exponent = tau_exp; use_bits } }
 
 let k t = t.k_
 let input_size t = t.n
+let params t = t.params
 
 exception Limit_reached
 
-let validate_keywords t ws =
+(* The one keyword-arity check of the whole codebase: every Table-1
+   wrapper funnels through here (directly or via [validate_keywords]) so
+   the contract — and the error message — cannot drift between modules. *)
+let validate_keyword_arity ~k ws =
   let sorted = Kwsc_util.Sorted.sort_dedup (Array.to_list ws) in
-  if Array.length sorted <> t.k_ then
+  if Array.length sorted <> k then
     invalid_arg
-      (Printf.sprintf "Transform.query: expected %d distinct keywords, got %d" t.k_
+      (Printf.sprintf "Transform.query: expected %d distinct keywords, got %d" k
          (Array.length sorted));
   sorted
+
+let validate_keywords t ws = validate_keyword_arity ~k:t.k_ ws
 
 let query_stats ?limit t q ws =
   let ws = validate_keywords t ws in
@@ -343,4 +352,244 @@ let space_stats t =
     bitset_words = !bitset_words;
     table_words = !table_words;
     total_words = !pivot_words + !materialized_words + !bitset_words + !table_words + (2 * !nodes);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+(* The tree travels columnar: one preorder pass streams the cells (via the
+   problem-specific callback) and accumulates every per-node scalar and
+   every variable-length table into flat columns, written as bulk
+   width-tagged arrays after the walk. A ~10^5-node tree then loads as a
+   dozen bulk array decodes plus slicing, instead of 10^5 framed parses —
+   the difference between "near-zero decode work" and a load dominated by
+   per-node overhead. *)
+let encode write_cell w t =
+  C.W.vint w t.k_;
+  C.W.vint w t.n;
+  C.W.vint w t.params.leaf_weight;
+  C.W.f64 w t.params.tau_exponent;
+  C.W.bool w t.params.use_bits;
+  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) t.docs);
+  let module B = Kwsc_util.Ibuf in
+  let rec count (u : _ node) =
+    Array.fold_left (fun acc c -> acc + count c.node) 1 u.children
+  in
+  let n_nodes = count t.root in
+  C.W.vint w n_nodes;
+  let depth = Array.make n_nodes 0
+  and n_u = Array.make n_nodes 0
+  and pivot_len = Array.make n_nodes 0
+  and large_len = Array.make n_nodes 0
+  and mats_cnt = Array.make n_nodes 0
+  and child_cnt = Array.make n_nodes 0 in
+  let pivots = B.create () and larges = B.create () in
+  let mat_kws = B.create () and mat_lens = B.create () and mat_ids = B.create () in
+  let bit_lens = B.create () in
+  let bits = Buffer.create 1024 in
+  let idx = ref 0 in
+  let rec walk (u : _ node) =
+    let i = !idx in
+    incr idx;
+    write_cell w u.cell;
+    depth.(i) <- u.depth;
+    n_u.(i) <- u.n_u;
+    pivot_len.(i) <- Array.length u.pivot;
+    Array.iter (B.push pivots) u.pivot;
+    (* the large table is keyword -> rank with ranks [0, num_large):
+       invert it into rank order so decode rebuilds identical codes *)
+    large_len.(i) <- u.num_large;
+    let by_rank = Array.make u.num_large 0 in
+    Hashtbl.iter (fun kw r -> by_rank.(r) <- kw) u.large;
+    Array.iter (B.push larges) by_rank;
+    let mats = Hashtbl.fold (fun kw ids acc -> (kw, ids) :: acc) u.materialized [] in
+    let mats = List.sort (fun (a, _) (b, _) -> Int.compare a b) mats in
+    mats_cnt.(i) <- List.length mats;
+    List.iter
+      (fun (kw, ids) ->
+        B.push mat_kws kw;
+        B.push mat_lens (Array.length ids);
+        (* materialized lists are sorted object ids: storing first-order
+           deltas keeps the column at byte width 1 for dense lists, where
+           raw ids would force width 3+ on every element *)
+        let prev = ref 0 in
+        Array.iter
+          (fun id ->
+            B.push mat_ids (id - !prev);
+            prev := id)
+          ids)
+      mats;
+    child_cnt.(i) <- Array.length u.children;
+    (* a child's bitset precedes its whole subtree, as in the rebuild *)
+    Array.iter
+      (fun c ->
+        B.push bit_lens (Bitset.length c.nonempty);
+        Buffer.add_bytes bits (Bitset.to_bytes c.nonempty);
+        walk c.node)
+      u.children
+  in
+  walk t.root;
+  C.W.int_array w depth;
+  C.W.int_array w n_u;
+  C.W.int_array w pivot_len;
+  C.W.int_array w (B.to_array pivots);
+  C.W.int_array w large_len;
+  C.W.int_array w (B.to_array larges);
+  C.W.int_array w mats_cnt;
+  C.W.int_array w (B.to_array mat_kws);
+  C.W.int_array w (B.to_array mat_lens);
+  C.W.int_array w (B.to_array mat_ids);
+  C.W.int_array w child_cnt;
+  C.W.int_array w (B.to_array bit_lens);
+  C.W.str w (Buffer.contents bits)
+
+let decode ~classify ~contains read_cell r =
+  let k_ = C.R.vint r in
+  let n = C.R.vint r in
+  let leaf_weight = C.R.vint r in
+  let tau_exponent = C.R.f64 r in
+  let use_bits = C.R.bool r in
+  let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
+  let n_nodes = C.R.vint r in
+  if n_nodes < 1 then C.corrupt "Transform: node count must be >= 1";
+  (* cells stream in preorder; explicit loop — evaluation order matters *)
+  let cells =
+    let c0 = read_cell r in
+    let a = Array.make n_nodes c0 in
+    for i = 1 to n_nodes - 1 do
+      a.(i) <- read_cell r
+    done;
+    a
+  in
+  let col name a =
+    if Array.length a <> n_nodes then
+      C.corrupt
+        (Printf.sprintf "Transform: column %s has %d entries for %d nodes" name (Array.length a)
+           n_nodes);
+    a
+  in
+  let depth = col "depth" (C.R.int_array r) in
+  let n_u = col "n_u" (C.R.int_array r) in
+  let pivot_len = col "pivot_len" (C.R.int_array r) in
+  let pivots = C.R.int_array r in
+  let large_len = col "large_len" (C.R.int_array r) in
+  let larges = C.R.int_array r in
+  let mats_cnt = col "mats_cnt" (C.R.int_array r) in
+  let mat_kws = C.R.int_array r in
+  let mat_lens = C.R.int_array r in
+  let mat_ids = C.R.int_array r in
+  let child_cnt = col "child_cnt" (C.R.int_array r) in
+  let bit_lens = C.R.int_array r in
+  let bits = C.R.str r in
+  if Array.length mat_kws <> Array.length mat_lens then
+    C.corrupt "Transform: materialized keyword and length columns disagree";
+  if Array.length bit_lens <> n_nodes - 1 then
+    C.corrupt "Transform: expected one bitset per non-root node";
+  let p_off = ref 0 and l_off = ref 0 and m_cur = ref 0 and mi_off = ref 0 in
+  let c_cur = ref 0 and b_off = ref 0 and idx = ref 0 in
+  (* Nodes with no large keywords (most leaves) and no materialized sets
+     (most internal nodes) share one empty table per load: a decoded tree
+     is never re-split (the installed [split] raises), and queries only
+     read these tables, so the sharing is unobservable — and it halves
+     the allocation burst of a ~10^5-node rebuild. *)
+  let empty_large : (int, int) Hashtbl.t = Hashtbl.create 1 in
+  let empty_mats : (int, int array) Hashtbl.t = Hashtbl.create 1 in
+  let slice src off len =
+    if len < 0 || len > Array.length src - !off then
+      C.corrupt "Transform: tree column cursor out of range";
+    let a = Array.sub src !off len in
+    off := !off + len;
+    a
+  in
+  let rec build () =
+    if !idx >= n_nodes then C.corrupt "Transform: preorder walk escapes the node count";
+    let i = !idx in
+    incr idx;
+    let pivot = slice pivots p_off pivot_len.(i) in
+    let num_large = large_len.(i) in
+    let by_rank = slice larges l_off num_large in
+    let large =
+      if num_large = 0 then empty_large
+      else begin
+        let h = Hashtbl.create num_large in
+        Array.iteri (fun rank kw -> Hashtbl.add h kw rank) by_rank;
+        h
+      end
+    in
+    let nm = mats_cnt.(i) in
+    if nm < 0 || nm > Array.length mat_kws - !m_cur then
+      C.corrupt "Transform: materialized count out of range";
+    let materialized =
+      if nm = 0 then empty_mats
+      else begin
+        let h = Hashtbl.create nm in
+        for _ = 1 to nm do
+          let m = !m_cur in
+          incr m_cur;
+          let ids = slice mat_ids mi_off mat_lens.(m) in
+          (* undo the delta encoding in place (the slice is fresh) *)
+          let acc = ref 0 in
+          for j = 0 to Array.length ids - 1 do
+            acc := !acc + ids.(j);
+            ids.(j) <- !acc
+          done;
+          Hashtbl.add h mat_kws.(m) ids
+        done;
+        h
+      end
+    in
+    let nc = child_cnt.(i) in
+    if nc < 0 then C.corrupt "Transform: negative child count";
+    let children =
+      if nc = 0 then [||]
+      else begin
+        let c0 = child () in
+        let a = Array.make nc c0 in
+        for j = 1 to nc - 1 do
+          a.(j) <- child ()
+        done;
+        a
+      end
+    in
+    { cell = cells.(i); depth = depth.(i); n_u = n_u.(i); pivot; children; large; num_large;
+      materialized }
+  and child () =
+    let b = !c_cur in
+    if b >= Array.length bit_lens then C.corrupt "Transform: more children than bitsets";
+    incr c_cur;
+    let nbits = bit_lens.(b) in
+    if nbits < 0 then C.corrupt "Transform: negative bitset length";
+    let nbytes = (nbits + 7) / 8 in
+    if nbytes > String.length bits - !b_off then C.corrupt "Transform: bitset bytes truncated";
+    let nonempty = Bitset.of_sub_string nbits bits !b_off in
+    b_off := !b_off + nbytes;
+    let node = build () in
+    { node; nonempty }
+  in
+  let root = build () in
+  if !idx <> n_nodes then C.corrupt "Transform: fewer nodes than declared";
+  if
+    !p_off <> Array.length pivots
+    || !l_off <> Array.length larges
+    || !m_cur <> Array.length mat_kws
+    || !mi_off <> Array.length mat_ids
+    || !c_cur <> Array.length bit_lens
+    || !b_off <> String.length bits
+  then C.corrupt "Transform: tree columns not fully consumed";
+  if k_ < 2 then C.corrupt "Transform: k must be >= 2";
+  if n < 0 then C.corrupt "Transform: negative total weight";
+  let split ~depth:_ _ _ =
+    invalid_arg "Transform: a snapshot-loaded index cannot be re-split"
+  in
+  let space = { root_cell = root.cell; split; classify; contains } in
+  {
+    space;
+    docs;
+    k_;
+    n;
+    root;
+    params = { leaf_weight; tau_exponent; use_bits };
   }

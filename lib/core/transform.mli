@@ -70,6 +70,22 @@ val k : ('cell, 'query) t -> int
 val input_size : ('cell, 'query) t -> int
 (** N of equation (2). *)
 
+type params = { leaf_weight : int; tau_exponent : float; use_bits : bool }
+(** The build-time knobs, as resolved (defaults applied). Recorded in the
+    index so snapshots can restate exactly how it was built. *)
+
+val params : ('cell, 'query) t -> params
+
+val validate_keyword_arity : k:int -> int array -> int array
+(** [validate_keyword_arity ~k ws] sorts and dedups [ws] and returns the
+    result, enforcing the uniform Table-1 keyword contract: exactly [k]
+    distinct keywords. Keywords need not occur in any document — an
+    absent keyword is legal and simply produces an empty answer.
+    @raise Invalid_argument with the canonical message
+    ["Transform.query: expected %d distinct keywords, got %d"] otherwise.
+    Every wrapper module funnels its keyword validation through this
+    function so the contract cannot drift. *)
+
 val query : ?limit:int -> ('cell, 'query) t -> 'query -> int array -> int array
 (** [query t q ws] returns the sorted ids of objects inside [q] whose
     documents contain all of [ws] — the Section 3.3 algorithm. [ws] must
@@ -106,3 +122,25 @@ type node_view = {
 val fold_nodes : ('cell, 'query) t -> init:'a -> f:('a -> node_view -> 'a) -> 'a
 (** Structural traversal for invariant tests (pivot sizes, weight decay,
     materialize-once, large-keyword budget). *)
+
+val encode :
+  (Kwsc_snapshot.Codec.W.t -> 'cell -> unit) ->
+  Kwsc_snapshot.Codec.W.t ->
+  ('cell, 'query) t ->
+  unit
+(** Serialize the transform — parameters, documents and the whole node
+    tree (pivots, large-keyword tables, materialized sets, child
+    emptiness bitsets) — using [write_cell] for the geometry cells. *)
+
+val decode :
+  classify:('query -> 'cell -> relation) ->
+  contains:('query -> int -> bool) ->
+  (Kwsc_snapshot.Codec.R.t -> 'cell) ->
+  Kwsc_snapshot.Codec.R.t ->
+  ('cell, 'query) t
+(** Rebuild a transform from {!encode}d bytes. The caller re-supplies the
+    pure geometry predicates ([classify] / [contains]); the splitter is
+    only ever used at build time, so a loaded index installs one that
+    raises. Queries on the result are bit-for-bit identical — answers and
+    work counters — to the original.
+    @raise Kwsc_snapshot.Codec.Corrupt on malformed bytes. *)

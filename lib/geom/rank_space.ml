@@ -36,12 +36,43 @@ let rect_to_ranks t (r : Rect.t) =
   let lo = Array.make t.d 0 and hi = Array.make t.d 0 in
   let empty = ref false in
   for j = 0 to t.d - 1 do
-    let l = Kwsc_util.Sorted.lower_bound t.coords.(j) r.Rect.lo.(j) in
-    let h = Kwsc_util.Sorted.upper_bound t.coords.(j) r.Rect.hi.(j) - 1 in
-    if l > h then empty := true
+    let lo_j = r.Rect.lo.(j) and hi_j = r.Rect.hi.(j) in
+    (* Sorted.{lower,upper}_bound probe with IEEE comparisons, under which
+       every test against NaN is false: both would answer [n] for a NaN
+       needle, making a NaN hi bound act as +infinity — a silently WRONG
+       non-empty rank box. A NaN or inverted side means the rectangle
+       contains nothing; answer None deterministically. *)
+    if Float.is_nan lo_j || Float.is_nan hi_j || lo_j > hi_j then empty := true
     else begin
-      lo.(j) <- l;
-      hi.(j) <- h
+      let l = Kwsc_util.Sorted.lower_bound t.coords.(j) lo_j in
+      let h = Kwsc_util.Sorted.upper_bound t.coords.(j) hi_j - 1 in
+      if l > h then empty := true
+      else begin
+        lo.(j) <- l;
+        hi.(j) <- h
+      end
     end
   done;
   if !empty then None else Some (lo, hi)
+
+let export t = (t.coords, t.ids, t.rank_of)
+
+let import ~coords ~ids ~rank_of =
+  let d = Array.length coords in
+  if d = 0 then invalid_arg "Rank_space.import: zero dimensions";
+  if Array.length ids <> d || Array.length rank_of <> d then
+    invalid_arg "Rank_space.import: per-dimension table counts disagree";
+  let n = Array.length coords.(0) in
+  if n = 0 then invalid_arg "Rank_space.import: empty rank tables";
+  for j = 0 to d - 1 do
+    if Array.length coords.(j) <> n || Array.length ids.(j) <> n || Array.length rank_of.(j) <> n
+    then invalid_arg "Rank_space.import: ragged rank tables";
+    for r = 0 to n - 1 do
+      let id = ids.(j).(r) in
+      if id < 0 || id >= n || rank_of.(j).(id) <> r then
+        invalid_arg "Rank_space.import: ids and rank_of are not inverse permutations";
+      if r > 0 && Float.compare coords.(j).(r - 1) coords.(j).(r) > 0 then
+        invalid_arg "Rank_space.import: coordinates not sorted"
+    done
+  done;
+  { d; n; coords; ids; rank_of }

@@ -23,4 +23,23 @@ val rect_to_ranks : t -> Rect.t -> (int array * int array) option
 (** Convert a query rectangle to closed rank intervals [(lo, hi)];
     [None] if the rectangle contains no object coordinate on some dimension
     (the query result is then certainly empty). An object is inside the
-    original rectangle iff its rank vector is inside the rank rectangle. *)
+    original rectangle iff its rank vector is inside the rank rectangle.
+
+    Degenerate rectangles are total and deterministic: a NaN bound or an
+    inverted side ([lo > hi]) on any dimension yields [None] — NaN is
+    never forwarded to the binary searches, whose IEEE comparisons would
+    otherwise treat a NaN hi bound as +infinity. *)
+
+val export : t -> float array array * int array array * int array array
+(** [(coords, ids, rank_of)] — the per-dimension rank tables, for
+    serialization. The arrays are the live internals: read-only. *)
+
+val import :
+  coords:float array array ->
+  ids:int array array ->
+  rank_of:int array array ->
+  t
+(** Rebuild a rank space from {!export}ed tables, taking ownership of the
+    arrays. Validates shape, sortedness of [coords] and that [ids] /
+    [rank_of] are inverse permutations on every dimension.
+    @raise Invalid_argument on any inconsistency. *)

@@ -6,6 +6,14 @@ let of_list l =
   a
 
 let of_array a = of_list (Array.to_list a)
+
+let of_sorted_array a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Doc.of_sorted_array: documents must be non-empty";
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then invalid_arg "Doc.of_sorted_array: not strictly sorted"
+  done;
+  a
 let size = Array.length
 let mem = Kwsc_util.Sorted.mem_int
 let mem_all t ws = Array.for_all (fun w -> mem t w) ws

@@ -10,6 +10,13 @@ val of_list : int list -> t
 val of_array : int array -> t
 (** As [of_list]. The input is not mutated. *)
 
+val of_sorted_array : int array -> t
+(** O(n) constructor for input that is already strictly sorted — the
+    snapshot-decode fast path, where documents were serialized from
+    well-formed [t]s and only need re-validation, not re-sorting. The
+    array is adopted without copying; the caller must not mutate it.
+    @raise Invalid_argument if empty, unsorted or containing duplicates. *)
+
 val size : t -> int
 (** Number of distinct keywords — the object's contribution to the input
     size N of equation (2). *)

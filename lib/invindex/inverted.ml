@@ -132,3 +132,58 @@ let build ?pool docs =
   let t = build ?pool docs in
   I.auto_check (fun () -> check_invariants t);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module C = Kwsc_snapshot.Codec
+
+let kind = "kwsc.inverted"
+
+let encode w t =
+  C.W.i64 w t.n;
+  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) t.docs);
+  let ps = t.postings in
+  let nw = Postings.num_words ps in
+  C.W.int_array w (Array.init nw (Postings.word ps));
+  C.W.int_array w
+    (Array.init (nw + 1) (fun r -> if r < nw then Postings.start ps r else Postings.arena_size ps));
+  C.W.int_array w (Array.init (Postings.arena_size ps) (Postings.arena_get ps))
+
+let decode r =
+  let n = C.R.i64 r in
+  let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
+  let vocab = C.R.int_array r in
+  let offsets = C.R.int_array r in
+  let arena = C.R.int_array r in
+  (* unsafe_make revalidates the length/sentinel contract; under
+     Codec.run a violation surfaces as a Malformed error *)
+  let t = { docs; postings = Postings.unsafe_make ~vocab ~offsets ~arena; n } in
+  I.auto_check (fun () -> check_invariants t);
+  t
+
+let save path t =
+  C.save_file ~path ~kind
+    [
+      ("meta", C.to_string (fun w ->
+           C.W.i64 w (Array.length t.docs);
+           C.W.i64 w (Postings.num_words t.postings);
+           C.W.i64 w t.n));
+      ("index", C.to_string (fun w -> encode w t));
+    ]
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let mdocs, mwords, mn =
+        C.decode_section sections "meta" (fun r ->
+            let a = C.R.i64 r in
+            let b = C.R.i64 r in
+            let c = C.R.i64 r in
+            (a, b, c))
+      in
+      let t = C.decode_section sections "index" decode in
+      if Array.length t.docs <> mdocs || Postings.num_words t.postings <> mwords || t.n <> mn
+      then C.corrupt "Inverted: meta section disagrees with the decoded index";
+      t)

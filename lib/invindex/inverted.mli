@@ -38,7 +38,13 @@ val query : t -> int array -> int array
     — a k-SI reporting query over the postings. Intersects the posting
     spans rarest-first by the adaptive kernel (sequential merge for
     balanced spans, galloping probes into much larger ones). Sorted
-    output. *)
+    output.
+
+    Keyword contract (shared with {!Postings.query_into}): [ws] may hold
+    any number [>= 1] of keywords, duplicates included — the baseline
+    is not arity-bound like the Table-1 wrappers. A keyword absent from
+    every document short-circuits to an empty answer without scanning any
+    posting span. An empty [ws] raises [Invalid_argument]. *)
 
 val query_naive : t -> int array -> int array
 (** Same result via full pairwise sorted-array intersection (the oracle used
@@ -57,3 +63,17 @@ val check_invariants : t -> Kwsc_util.Invariant.violation list
     and completeness), vocabulary exact, and the N bookkeeping of
     equation (2) intact. Empty when well-formed. [build] runs this
     automatically when [KWSC_AUDIT=1]. *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.inverted"]. *)
+
+val save : string -> t -> unit
+(** Write a durable snapshot (documents plus the flat postings arena);
+    see {!Kwsc_snapshot.Codec} for the format. Raises [Sys_error] on IO
+    failure. *)
+
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Rebuild the index from a snapshot in O(file size) — the arena and
+    offset tables are read back directly, no re-sorting. Corrupt input
+    returns a typed [Error], never raises; {!check_invariants} re-runs on
+    the loaded index when [KWSC_AUDIT=1]. *)

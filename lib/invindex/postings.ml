@@ -125,6 +125,10 @@ let query_into t ws out tmp =
   end
 
 let query t ws =
+  (* validate before sizing the buffers: an empty keyword set would fold
+     the capacity to max_int and die inside Array.make instead of
+     reporting the canonical contract violation *)
+  if Array.length ws = 0 then invalid_arg "Postings.query_into: need at least one keyword";
   let cap = max 1 (Array.fold_left (fun acc w -> min acc (frequency t w)) max_int ws) in
   let out = Kwsc_util.Ibuf.create ~capacity:cap () in
   let tmp = Kwsc_util.Ibuf.create ~capacity:cap () in

@@ -57,6 +57,11 @@ val query_into : t -> int array -> Kwsc_util.Ibuf.t -> Kwsc_util.Ibuf.t -> unit
     rarest arena-to-arena, then ping-ponging between the buffers) by the
     adaptive kernel of {!Kwsc_util.Sorted.gallop_intersect_into}; with
     warmed-up buffers the query allocates only one small rank array.
+
+    [ws] may hold any number [>= 1] of keywords, duplicates included. A
+    keyword absent from the vocabulary makes the intersection certainly
+    empty, and rarest-first selection short-circuits: OUT = 0 is answered
+    without touching any posting span.
     @raise Invalid_argument on an empty keyword set. *)
 
 val query : t -> int array -> int array

@@ -1,0 +1,148 @@
+(** Durable index snapshots: a versioned, checksummed binary codec.
+
+    Every frozen index serializes to a single file:
+
+    {v
+      offset  size  field
+      0       8     magic "KWSCSNAP"
+      8       8     format version (int64 LE; currently 1)
+      16      8+K   kind string (int64 LE length, then K bytes)
+      ..      8     section count (int64 LE)
+      then, per section:
+              8+N   section name (int64 LE length, then N bytes)
+              8     payload length (int64 LE)
+              4     CRC-32 of the payload (IEEE, int32 LE)
+              L     payload bytes
+    v}
+
+    All integers are little-endian; floats travel as their IEEE-754 bit
+    patterns ({!Int64.bits_of_float}), so round trips are exact — NaNs
+    included. Inside section payloads, scalar counts and lengths are
+    zigzag LEB128 varints ({!W.vint}), and int arrays are width-tagged:
+    each array is prefixed by the narrowest signed byte width of
+    [{1,2,3,4,8}] holding every element (object ids, keyword ids and
+    ranks rarely need more than 3 bytes). Together these shrink
+    snapshots several-fold — and load time is O(file size). The CRC covers each section payload; the header fields are
+    validated structurally, so a truncated file, a flipped byte or a
+    wrong-version header always surfaces as a typed {!error} — never a
+    crash, never a silently garbled index.
+
+    Version policy: the version is bumped on any layout change; loaders
+    accept exactly the version they were compiled for (no silent
+    downgrade reads). [Marshal] is deliberately not used anywhere (lint
+    rule R10): its format is neither stable across compiler versions nor
+    validatable against corruption. *)
+
+type error =
+  | Io of string  (** the file could not be read or written *)
+  | Bad_magic  (** not a snapshot file *)
+  | Bad_version of int  (** snapshot written by an incompatible format version *)
+  | Bad_kind of { expected : string; got : string }
+      (** a valid snapshot of a different index module *)
+  | Truncated  (** the file ends before the advertised data *)
+  | Checksum_mismatch of string  (** named section's payload fails its CRC *)
+  | Malformed of string  (** structurally invalid content *)
+
+exception Corrupt of error
+(** Raised by decoders; {!run} (and every index module's [load]) catches
+    it into a [result]. *)
+
+val error_to_string : error -> string
+
+val corrupt : string -> 'a
+(** [corrupt msg] raises [Corrupt (Malformed msg)]. *)
+
+val run : (unit -> 'a) -> ('a, error) result
+(** Run a loader, catching [Corrupt] — plus the [Invalid_argument] /
+    [Failure] / [Sys_error] / [End_of_file] a decoder may surface while
+    rebuilding structures from hostile bytes — into [Error]. *)
+
+(** Little-endian binary writer over a growable buffer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val i64 : t -> int -> unit
+  val f64 : t -> float -> unit
+
+  val bool : t -> bool -> unit
+  (** One byte, 0 or 1. *)
+
+  val vint : t -> int -> unit
+  (** Zigzag LEB128 varint: 1 byte for small magnitudes, at most 9. The
+      encoding of choice for scalars inside payloads (lengths, depths,
+      ids, counts); [i64] is for fields that must stay fixed-width. *)
+
+  val str : t -> string -> unit
+  (** Varint-length-prefixed bytes. *)
+
+  val int_array : t -> int array -> unit
+  val float_array : t -> float array -> unit
+  val int_array2 : t -> int array array -> unit
+  val float_array2 : t -> float array array -> unit
+
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+  (** Length-prefixed array with a per-element writer. *)
+
+  val contents : t -> string
+end
+
+val to_string : (W.t -> unit) -> string
+(** Run a writer against a fresh buffer and return the bytes. *)
+
+(** Bounds-checked reader over an in-memory payload. Every accessor
+    raises [Corrupt Truncated] rather than reading past the end, and
+    array lengths are validated against the remaining bytes before any
+    allocation (a flipped length byte cannot trigger a huge [Array.make]). *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val byte : t -> int
+  val i64 : t -> int
+  val f64 : t -> float
+  val bool : t -> bool
+  val vint : t -> int
+  val str : t -> string
+  val take : t -> int -> string
+  val int_array : t -> int array
+  val float_array : t -> float array
+  val int_array2 : t -> int array array
+  val float_array2 : t -> float array array
+  val array : t -> (t -> 'a) -> 'a array
+
+  val at_end : t -> bool
+  (** Has every byte been consumed? Section decoders must end exactly at
+      the payload boundary ({!decode_section} enforces this). *)
+end
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) as a
+    non-negative int in [0, 2^32). *)
+
+val magic : string
+val format_version : int
+
+val save_file : path:string -> kind:string -> (string * string) list -> unit
+(** [save_file ~path ~kind sections] writes a snapshot file with the
+    named payload sections. Raises [Sys_error] on IO failure. *)
+
+val load_file_exn : path:string -> string * (string * string) list
+(** Read and validate a snapshot file: magic, version, framing and every
+    section CRC. Returns the kind and the sections.
+    @raise Corrupt on any defect. *)
+
+val load_file : path:string -> (string * (string * string) list, error) result
+
+val peek_kind : path:string -> (string, error) result
+(** The kind string of a snapshot file (fully validated first) — lets a
+    caller dispatch to the right index module's [load]. *)
+
+val load_kind_exn : path:string -> kind:string -> (string * string) list
+(** As {!load_file_exn}, additionally checking the kind.
+    @raise Corrupt with [Bad_kind] when the file is another module's. *)
+
+val decode_section : (string * string) list -> string -> (R.t -> 'a) -> 'a
+(** Decode one named section; missing sections and trailing bytes after
+    the decoder finishes are [Malformed]. *)

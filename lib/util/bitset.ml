@@ -34,3 +34,20 @@ let popcount t =
   !c
 
 let words t = (Bytes.length t.bits + 7) / 8
+
+let to_bytes t = Bytes.copy t.bits
+
+let of_bytes n bits =
+  if n < 0 then invalid_arg "Bitset.of_bytes: negative size";
+  if Bytes.length bits <> (n + 7) / 8 then
+    invalid_arg "Bitset.of_bytes: storage does not match the bit count";
+  { bits = Bytes.copy bits; n }
+
+let of_sub_string n s off =
+  if n < 0 then invalid_arg "Bitset.of_sub_string: negative size";
+  let nb = (n + 7) / 8 in
+  if off < 0 || off > String.length s - nb then
+    invalid_arg "Bitset.of_sub_string: slice out of range";
+  let bits = Bytes.create nb in
+  Bytes.blit_string s off bits 0 nb;
+  { bits; n }

@@ -29,3 +29,18 @@ val popcount : t -> int
 
 val words : t -> int
 (** Storage footprint in 64-bit words (for space accounting). *)
+
+val to_bytes : t -> Bytes.t
+(** The backing storage, copied — bit [i] is bit [i land 7] of byte
+    [i lsr 3]. Together with {!length}, everything a serializer needs. *)
+
+val of_bytes : int -> Bytes.t -> t
+(** [of_bytes n bits] rebuilds an [n]-bit set from storage produced by
+    {!to_bytes} (copied, not aliased).
+    @raise Invalid_argument unless [Bytes.length bits = (n + 7) / 8]. *)
+
+val of_sub_string : int -> string -> int -> t
+(** [of_sub_string n s off] rebuilds an [n]-bit set from the
+    [(n + 7) / 8] bytes of [s] starting at [off] — the single-copy path
+    for deserializing many bit sets out of one pooled string.
+    @raise Invalid_argument if the slice falls outside [s]. *)

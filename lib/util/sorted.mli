@@ -9,10 +9,18 @@ val mem_int : int array -> int -> bool
 
 val lower_bound : float array -> float -> int
 (** [lower_bound a x] is the least index [i] with [a.(i) >= x], or
-    [Array.length a] if none. [a] must be sorted ascending. *)
+    [Array.length a] if none. [a] must be sorted ascending.
+
+    NaN caveat: the probe uses IEEE [>=], under which every comparison
+    against NaN is false, so [lower_bound a nan = Array.length a] — a NaN
+    needle behaves like +infinity, NOT like the above-+inf position
+    [Float.compare] would give it. Callers with possibly-NaN query bounds
+    (e.g. {!Kwsc_geom.Rank_space.rect_to_ranks}) must reject NaN before
+    searching. *)
 
 val upper_bound : float array -> float -> int
-(** Least index [i] with [a.(i) > x], or length if none. *)
+(** Least index [i] with [a.(i) > x], or length if none. Same NaN caveat
+    as {!lower_bound}: [upper_bound a nan = Array.length a]. *)
 
 val lower_bound_int : int array -> int -> int
 (** As [lower_bound] for int arrays. *)

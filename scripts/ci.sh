@@ -18,3 +18,49 @@ dune build @lint
 # Crash-test the whole bench harness at tiny N (numbers are meaningless
 # at this size; correctness of what it measures is the suite's job).
 dune exec bench/main.exe -- --smoke --no-micro
+
+# Snapshot round-trip gate: a freshly built index and its reloaded
+# snapshot must print byte-identical answers (and --stats counters) for
+# the same query, and a corrupted snapshot must be *refused*, not loaded.
+snapdir=$(mktemp -d)
+trap 'rm -rf "$snapdir"' EXIT
+kwsc="dune exec bin/main.exe --"
+$kwsc generate -n 2000 -d 2 -o "$snapdir/data.csv"
+KWSC_AUDIT=1 $kwsc rect -i "$snapdir/data.csv" \
+  --lo 100,100 --hi 600,600 --kw 1,2 --stats > "$snapdir/cold.out"
+$kwsc save -i "$snapdir/data.csv" --kind orp -k 2 -o "$snapdir/orp.snap"
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/orp.snap" -i "$snapdir/data.csv" \
+  --lo 100,100 --hi 600,600 --kw 1,2 --stats > "$snapdir/warm.out"
+diff "$snapdir/cold.out" "$snapdir/warm.out"
+# truncation must fail (`! cmd` would be invisible to set -e; test the
+# exit status explicitly so a wrongly-accepted snapshot fails the gate)
+head -c 40 "$snapdir/orp.snap" > "$snapdir/trunc.snap"
+if $kwsc load --index "$snapdir/trunc.snap" -i "$snapdir/data.csv" \
+     --lo 100,100 --hi 600,600 --kw 1,2; then
+  echo "truncated snapshot was accepted" >&2
+  exit 1
+fi
+# mangled magic must fail
+cp "$snapdir/orp.snap" "$snapdir/magic.snap"
+printf 'XXXX' | dd of="$snapdir/magic.snap" bs=1 count=4 conv=notrunc 2>/dev/null
+if $kwsc load --index "$snapdir/magic.snap" -i "$snapdir/data.csv" \
+     --lo 100,100 --hi 600,600 --kw 1,2; then
+  echo "bad-magic snapshot was accepted" >&2
+  exit 1
+fi
+# mid-file bit flips: each one must either be caught (typed refusal) or,
+# never, crash/accept — at least one of these offsets lands in a
+# checksummed section payload, so require >= 1 refusal
+size=$(wc -c < "$snapdir/orp.snap")
+ok=0
+for off in $((size / 4)) $((size / 2)) $((3 * size / 4)); do
+  cp "$snapdir/orp.snap" "$snapdir/flip.snap"
+  byte=$(dd if="$snapdir/flip.snap" bs=1 skip="$off" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+  printf "$(printf '\\%03o' $((byte ^ 1)))" \
+    | dd of="$snapdir/flip.snap" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+  if ! $kwsc load --index "$snapdir/flip.snap" -i "$snapdir/data.csv" \
+       --lo 100,100 --hi 600,600 --kw 1,2 > /dev/null; then
+    ok=$((ok + 1))
+  fi
+done
+test "$ok" -ge 1

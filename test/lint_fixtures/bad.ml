@@ -34,3 +34,7 @@ let r8_value = Atomic.get
 (* R9: Hashtbl and list construction in a query-kernel module (kernel scope) *)
 let r9_table () = Hashtbl.create 7
 let r9_cons x xs = x :: xs
+
+(* R10: Marshal instead of the versioned snapshot codec *)
+let r10_to x = Marshal.to_string x []
+let r10_value = Marshal.from_channel

@@ -26,6 +26,7 @@ let () =
       ("parallel-diff", Test_parallel_diff.suite);
       ("flat-diff", Test_flat_diff.suite);
       ("coverage", Test_coverage.suite);
+      ("snapshot", Test_snapshot.suite);
       ("hardness", Test_hardness.suite);
       ("lint", Test_lint.suite);
       ("invariants", Test_invariants.suite);

@@ -147,6 +147,158 @@ let test_poisoned_dynamic () =
   Array.iter (fun id -> Kwsc.Dynamic.delete t id) (Kwsc.Dynamic.query t (Rect.full 2) kws);
   Helpers.check_ids "after deleting all matches" [||] (Kwsc.Dynamic.query t q kws)
 
+(* ------------------------------------------------------------------ *)
+(* Degenerate query rectangles (NaN, inverted, point)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Rank_space = Kwsc_geom.Rank_space
+
+let rank_space_of_points pts = Rank_space.create pts
+
+(* [Rect.make] rejects inverted sides and record literals bypass it —
+   exactly the hostile inputs [rect_to_ranks] must stay total on. *)
+let degenerate_rect lo hi = { Rect.lo; hi }
+
+let test_rect_to_ranks_degenerate () =
+  let rng = Prng.create 231 in
+  let pts = Array.init 80 (fun _ -> [| Prng.float rng 100.0; Prng.float rng 100.0 |]) in
+  let rs = rank_space_of_points pts in
+  let check name r = Alcotest.(check bool) name true (Rank_space.rect_to_ranks rs r = None) in
+  check "nan lo" (degenerate_rect [| nan; 0.0 |] [| 100.0; 100.0 |]);
+  check "nan hi" (degenerate_rect [| 0.0; 0.0 |] [| 100.0; nan |]);
+  check "all nan" (degenerate_rect [| nan; nan |] [| nan; nan |]);
+  check "inverted side" (degenerate_rect [| 60.0; 0.0 |] [| 40.0; 100.0 |]);
+  check "inverted + nan" (degenerate_rect [| 60.0; nan |] [| 40.0; 100.0 |]);
+  (* a point rectangle exactly on an object coordinate is a real query *)
+  let p = pts.(7) in
+  match Rank_space.rect_to_ranks rs (Rect.make (Array.copy p) (Array.copy p)) with
+  | None -> Alcotest.fail "point rectangle on a data point must hit"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "point box is non-empty" true (lo.(0) <= hi.(0) && lo.(1) <= hi.(1))
+
+let qcheck_rect_to_ranks_total =
+  QCheck.Test.make ~name:"rect_to_ranks is total and sound on degenerate inputs" ~count:120
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (1000 + seed) in
+      let n = 3 + Prng.int rng 40 in
+      let pts = Array.init n (fun _ -> [| Prng.float rng 50.0; Prng.float rng 50.0 |]) in
+      let rs = rank_space_of_points pts in
+      let coord () =
+        match Prng.int rng 5 with
+        | 0 -> nan
+        | 1 -> Float.neg_infinity
+        | 2 -> Float.infinity
+        | _ -> Prng.float rng 60.0 -. 5.0
+      in
+      let r = degenerate_rect [| coord (); coord () |] [| coord (); coord () |] in
+      (* the documented contract: a NaN bound or inverted side means the
+         rectangle is empty, whatever IEEE comparisons would say *)
+      let degenerate =
+        let bad = ref false in
+        Array.iteri
+          (fun j lo_j ->
+            let hi_j = r.Rect.hi.(j) in
+            if Float.is_nan lo_j || Float.is_nan hi_j || lo_j > hi_j then bad := true)
+          r.Rect.lo;
+        !bad
+      in
+      match Rank_space.rect_to_ranks rs r with
+      | None ->
+          (* no object may satisfy containment — unless the rectangle is
+             degenerate, in which case None is the contract *)
+          degenerate || Array.for_all (fun p -> not (Rect.contains_point r p)) pts
+      | Some (lo, hi) ->
+          (* object in the rectangle iff its rank vector is in the box *)
+          let ok = ref true in
+          Array.iteri
+            (fun id p ->
+              let rk = Rank_space.ranks rs id in
+              let inside_box = rk.(0) >= lo.(0) && rk.(0) <= hi.(0) && rk.(1) >= lo.(1) && rk.(1) <= hi.(1) in
+              if inside_box <> Rect.contains_point r p then ok := false)
+            pts;
+          !ok)
+
+let test_orp_degenerate_rects () =
+  let objs = Helpers.dataset ~seed:232 ~n:120 ~d:2 () in
+  let t = Kwsc.Orp_kw.build ~k:2 objs in
+  let ws = [| 1; 2 |] in
+  Helpers.check_ids "nan rect" [||]
+    (Kwsc.Orp_kw.query t (degenerate_rect [| nan; 0.0 |] [| 100.0; 100.0 |]) ws);
+  Helpers.check_ids "inverted rect" [||]
+    (Kwsc.Orp_kw.query t (degenerate_rect [| 90.0; 0.0 |] [| 10.0; 100.0 |]) ws);
+  (* the keyword contract is validated even when geometry short-circuits *)
+  Alcotest.check_raises "nan rect still validates keywords"
+    (Invalid_argument "Transform.query: expected 2 distinct keywords, got 0") (fun () ->
+      ignore (Kwsc.Orp_kw.query t (degenerate_rect [| nan; 0.0 |] [| 1.0; 1.0 |]) [||]))
+
+(* ------------------------------------------------------------------ *)
+(* The shared keyword-set contract, across every query surface          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every k-constrained module funnels through
+   [Transform.validate_keyword_arity], so the error message is identical
+   everywhere; absent keywords are legal and answer empty. *)
+let test_keyword_contract_all_surfaces () =
+  let d2 = Helpers.dataset ~seed:233 ~n:150 ~d:2 () in
+  let d3 = Helpers.dataset ~seed:234 ~n:120 ~d:3 () in
+  let int2 =
+    let rng = Prng.create 235 in
+    let pts = Kwsc_workload.Gen.points_int ~rng ~n:120 ~d:2 ~max_coord:50 in
+    let docs = Kwsc_workload.Gen.docs ~rng ~n:120 ~vocab:20 ~theta:0.8 ~len_min:1 ~len_max:4 in
+    Array.init 120 (fun i -> (pts.(i), docs.(i)))
+  in
+  let rects1 =
+    let rng = Prng.create 236 in
+    Array.init 120 (fun _ ->
+        let lo = Prng.float rng 100.0 in
+        ( Rect.make [| lo |] [| lo +. Prng.float rng 10.0 |],
+          Kwsc_invindex.Doc.of_list (List.init (1 + Prng.int rng 3) (fun _ -> 1 + Prng.int rng 15)) ))
+  in
+  let trivial = [ Halfspace.make [| 0.0; 0.0 |] 1.0 ] in
+  let orp = Kwsc.Orp_kw.build ~k:2 d2 in
+  let lc = Kwsc.Lc_kw.build ~k:2 d2 in
+  let sp = Kwsc.Sp_kw.build ~k:2 d2 in
+  let srp = Kwsc.Srp_kw.build ~k:2 d2 in
+  let rr = Kwsc.Rr_kw.build ~k:2 rects1 in
+  let linf = Kwsc.Linf_nn_kw.build ~k:2 d2 in
+  let l2 = Kwsc.L2_nn_kw.build ~k:2 int2 in
+  let dimred = Kwsc.Dimred.build ~k:2 d3 in
+  let ids a = a in
+  let nn_ids a = Array.map fst a in
+  let surfaces =
+    [
+      ("orp", fun ws -> ids (Kwsc.Orp_kw.query orp (Rect.full 2) ws));
+      ("lc", fun ws -> ids (Kwsc.Lc_kw.query lc trivial ws));
+      ("sp", fun ws -> ids (Kwsc.Sp_kw.query_halfspaces sp trivial ws));
+      ("srp", fun ws -> ids (Kwsc.Srp_kw.query srp (Sphere.make [| 50.0; 50.0 |] 5000.0) ws));
+      ("rr", fun ws -> ids (Kwsc.Rr_kw.query rr (Rect.full 1) ws));
+      ("linf", fun ws -> nn_ids (Kwsc.Linf_nn_kw.query linf [| 0.0; 0.0 |] ~t':3 ws));
+      ("l2", fun ws -> nn_ids (Kwsc.L2_nn_kw.query l2 [| 0.0; 0.0 |] ~t':3 ws));
+      ("dimred", fun ws -> ids (Kwsc.Dimred.query dimred (Rect.full 3) ws));
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      Alcotest.check_raises
+        (name ^ ": empty keyword set")
+        (Invalid_argument "Transform.query: expected 2 distinct keywords, got 0")
+        (fun () -> ignore (run [||]));
+      Alcotest.check_raises
+        (name ^ ": oversized keyword set")
+        (Invalid_argument "Transform.query: expected 2 distinct keywords, got 3")
+        (fun () -> ignore (run [| 1; 2; 3 |]));
+      Helpers.check_ids (name ^ ": absent keywords answer empty") [||] (run [| 901; 902 |]))
+    surfaces;
+  (* the unconstrained baseline: >= 1 keyword, any arity *)
+  let inv = Kwsc_invindex.Inverted.build (Array.map snd d2) in
+  Alcotest.check_raises "postings: empty keyword set"
+    (Invalid_argument "Postings.query_into: need at least one keyword") (fun () ->
+      ignore (Kwsc_invindex.Inverted.query inv [||]));
+  Helpers.check_ids "postings: absent keyword" [||] (Kwsc_invindex.Inverted.query inv [| 901 |]);
+  Helpers.check_ids "postings: 25 keywords intersect to empty" [||]
+    (Kwsc_invindex.Inverted.query inv (Array.init 25 (fun i -> i + 1)))
+
 let suite =
   [
     Alcotest.test_case "sp-kw tetrahedra (3d)" `Quick test_sp_tetrahedra;
@@ -159,4 +311,8 @@ let suite =
     Alcotest.test_case "inverted single keyword" `Quick test_inverted_single_keyword;
     Alcotest.test_case "hotels via flex" `Quick test_hotels_pad_roundtrip;
     Alcotest.test_case "dynamic poison scenario" `Quick test_poisoned_dynamic;
+    Alcotest.test_case "degenerate rectangles (rank space)" `Quick test_rect_to_ranks_degenerate;
+    Alcotest.test_case "degenerate rectangles (orp)" `Quick test_orp_degenerate_rects;
+    Alcotest.test_case "keyword contract on all surfaces" `Quick test_keyword_contract_all_surfaces;
+    QCheck_alcotest.to_alcotest qcheck_rect_to_ranks_total;
   ]

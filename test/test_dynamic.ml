@@ -84,6 +84,25 @@ let test_delete_validation () =
   Dyn.delete t id;
   Dyn.delete t id (* idempotent *)
 
+(* Regression: [live] is total — out-of-range ids (negative, beyond
+   next_id, or wildly large) must answer [None], not crash on an
+   unchecked array access. *)
+let test_live_total () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  Alcotest.(check bool) "fresh: id 0" true (Dyn.live t 0 = None);
+  Alcotest.(check bool) "fresh: negative id" true (Dyn.live t (-1) = None);
+  Alcotest.(check bool) "fresh: huge id" true (Dyn.live t 1_000_000 = None);
+  let obj = ([| 1.0; 2.0 |], Doc.of_list [ 3; 4 ]) in
+  let id = Dyn.insert t obj in
+  (match Dyn.live t id with
+  | Some (p, doc) ->
+      Alcotest.(check bool) "live point" true (p = fst obj);
+      Alcotest.(check bool) "live doc" true (Doc.to_array doc = Doc.to_array (snd obj))
+  | None -> Alcotest.fail "inserted object must be live");
+  Alcotest.(check bool) "one past next_id" true (Dyn.live t (id + 16) = None);
+  Dyn.delete t id;
+  Alcotest.(check bool) "deleted id" true (Dyn.live t id = None)
+
 let test_buckets_logarithmic () =
   let t = Dyn.create ~k:2 ~d:2 () in
   let rng = Prng.create 194 in
@@ -184,6 +203,7 @@ let suite =
     Alcotest.test_case "interleaved insert/delete" `Quick test_interleaved_insert_delete;
     Alcotest.test_case "delete everything" `Quick test_delete_everything;
     Alcotest.test_case "delete validation" `Quick test_delete_validation;
+    Alcotest.test_case "live is total on any id" `Quick test_live_total;
     Alcotest.test_case "buckets stay logarithmic" `Quick test_buckets_logarithmic;
     Alcotest.test_case "pad: fewer keywords" `Quick test_pad_fewer_keywords;
     Alcotest.test_case "pad: validation" `Quick test_pad_validation;

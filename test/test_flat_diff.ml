@@ -140,6 +140,71 @@ let qcheck_ptree =
     QCheck.(small_int)
     ptree_sweep
 
+(* ---------- freeze degenerate shapes: one point, all duplicates ---------- *)
+
+(* A single-point tree and a tree of 37 copies of the same coordinate are
+   the extremes of the split recursion: no split possible, every pivot
+   tie-broken. Both flat layouts must still agree with their boxed source
+   slot-for-slot. *)
+let check_degenerate_kd pts =
+  let d = Array.length (fst pts.(0)) in
+  let t = Kd.build pts in
+  let ft = Kd.freeze t in
+  Alcotest.(check int) "flat size" (Kd.size t) (Kd_flat.size ft);
+  let rng = Prng.create 4242 in
+  check_kd_range_once t ft (Rect.full d);
+  (* a point rectangle exactly on the data, and rectangles near-missing it *)
+  let p = fst pts.(0) in
+  check_kd_range_once t ft (Rect.make p p);
+  check_kd_range_once t ft
+    (Rect.make (Array.map (fun x -> x +. 0.5) p) (Array.map (fun x -> x +. 1.0) p));
+  for _ = 1 to 6 do
+    check_kd_range_once t ft (Helpers.random_rect rng ~d ~range:8.0)
+  done;
+  List.iter
+    (fun metric ->
+      (* k = 1, k = n and k > n, probing both on- and off-point *)
+      check_kd_nearest_once t ft metric p 1;
+      check_kd_nearest_once t ft metric (Array.make d (-3.0)) (Array.length pts);
+      check_kd_nearest_once t ft metric (Array.make d 9.0) (Array.length pts + 4))
+    [ `Linf; `L2 ]
+
+let check_degenerate_ptree pts =
+  let d = Array.length (fst pts.(0)) in
+  let t = Ptree.build pts in
+  let ft = Ptree.freeze t in
+  Alcotest.(check int) "flat size" (Ptree.size t) (Ptree_flat.size ft);
+  let rng = Prng.create 2424 in
+  let check q =
+    let boxed = ref [] in
+    Ptree.query_polytope_iter t q (fun _ v -> boxed := v :: !boxed);
+    let flat = ref [] in
+    Ptree_flat.query_polytope_iter ft q (fun s v ->
+        Alcotest.(check int) "slot resolves payload" v (Ptree_flat.payload ft s);
+        flat := v :: !flat);
+    Alcotest.(check (array int)) "flat ids = boxed ids" (sorted_ids !boxed) (sorted_ids !flat)
+  in
+  (* the whole space, an empty halfspace, and random cuts *)
+  check (Polytope.make ~dim:d []);
+  check (Polytope.make ~dim:d [ Halfspace.make (Array.init d (fun i -> if i = 0 then 1.0 else 0.0)) (-1e9) ]);
+  for _ = 1 to 10 do
+    check (Polytope.make ~dim:d (random_halfspaces rng d 8.0))
+  done
+
+let test_freeze_single_point () =
+  check_degenerate_kd [| ([| 3.5; -1.0 |], 7) |];
+  check_degenerate_kd [| ([| 3.5; -1.0; 2.25 |], 7) |];
+  check_degenerate_ptree [| ([| 3.5; -1.0 |], 7) |];
+  check_degenerate_ptree [| ([| 3.5; -1.0; 2.25 |], 7) |]
+
+let test_freeze_all_duplicates () =
+  List.iter
+    (fun d ->
+      let pts = Array.init 37 (fun i -> (Array.make d 2.0, i)) in
+      check_degenerate_kd pts;
+      check_degenerate_ptree pts)
+    [ 2; 3 ]
+
 (* ---------- postings: galloping arena vs list-based oracle ---------- *)
 
 let random_sorted rng maxlen bound =
@@ -258,6 +323,8 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_ptree;
     QCheck_alcotest.to_alcotest qcheck_intersect;
     QCheck_alcotest.to_alcotest qcheck_inverted;
+    Alcotest.test_case "freeze: single-point trees" `Quick test_freeze_single_point;
+    Alcotest.test_case "freeze: all-duplicate trees" `Quick test_freeze_all_duplicates;
     Alcotest.test_case "alloc counters monotone and mergeable" `Quick test_alloc_counters;
     Alcotest.test_case "transformed queries measure allocation" `Quick
       test_transform_alloc_measured;

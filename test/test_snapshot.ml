@@ -1,0 +1,388 @@
+(* Durable snapshots (DESIGN.md section 9): every Table-1 index module and
+   the inverted baseline must round-trip through the versioned binary
+   codec answer- and work-counter-identically, and every corrupted input
+   — truncation, bit flips, bad magic or version — must come back as a
+   typed [Codec.error], never an exception or a silently wrong index. *)
+
+open Kwsc_geom
+module C = Kwsc_snapshot.Codec
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+
+let with_snap f =
+  let path = Filename.temp_file "kwsc_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let ok_exn = function
+  | Ok t -> t
+  | Error e -> Alcotest.failf "snapshot load failed: %s" (C.error_to_string e)
+
+(* work counters, minus alloc_words (an implementation detail of scratch
+   buffer reuse, not of the answer path) *)
+let counters (st : Kwsc.Stats.query) =
+  ( st.Kwsc.Stats.nodes_visited,
+    st.Kwsc.Stats.covered_nodes,
+    st.Kwsc.Stats.crossing_nodes,
+    st.Kwsc.Stats.pivot_checked,
+    st.Kwsc.Stats.small_scanned,
+    st.Kwsc.Stats.pruned_empty,
+    st.Kwsc.Stats.pruned_geom,
+    st.Kwsc.Stats.reported )
+
+let check_query name (ids_c, st_c) (ids_w, st_w) =
+  Helpers.check_ids (name ^ " ids") ids_c ids_w;
+  Alcotest.(check bool) (name ^ " work counters") true (counters st_c = counters st_w)
+
+(* ------------------------------------------------------------------ *)
+(* Round trips: the seven Table-1 problems plus the inverted baseline   *)
+(* ------------------------------------------------------------------ *)
+
+let test_orp_roundtrip () =
+  let module Orp = Kwsc.Orp_kw in
+  let objs = Helpers.dataset ~seed:91 ~n:300 ~d:2 () in
+  let cold = Orp.build ~k:2 objs in
+  with_snap (fun path ->
+      Orp.save path cold;
+      let warm = ok_exn (Orp.load path) in
+      Alcotest.(check int) "k" (Orp.k cold) (Orp.k warm);
+      Alcotest.(check int) "dim" (Orp.dim cold) (Orp.dim warm);
+      Alcotest.(check int) "input size" (Orp.input_size cold) (Orp.input_size warm);
+      let rng = Prng.create 911 in
+      for _ = 1 to 40 do
+        let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "orp" (Orp.query_stats cold q ws) (Orp.query_stats warm q ws)
+      done)
+
+let test_sp_roundtrip () =
+  let module Sp = Kwsc.Sp_kw in
+  let objs = Helpers.dataset ~seed:92 ~n:250 ~d:2 () in
+  let cold = Sp.build ~k:2 objs in
+  with_snap (fun path ->
+      Sp.save path cold;
+      let warm = ok_exn (Sp.load path) in
+      let rng = Prng.create 912 in
+      for _ = 1 to 25 do
+        let poly = Polytope.of_rect (Helpers.random_rect rng ~d:2 ~range:1000.0) in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "sp" (Sp.query_stats cold poly ws) (Sp.query_stats warm poly ws)
+      done)
+
+let test_srp_roundtrip () =
+  let module Srp = Kwsc.Srp_kw in
+  let objs = Helpers.dataset ~seed:93 ~n:250 ~d:2 () in
+  let cold = Srp.build ~k:2 objs in
+  with_snap (fun path ->
+      Srp.save path cold;
+      let warm = ok_exn (Srp.load path) in
+      let rng = Prng.create 913 in
+      for _ = 1 to 25 do
+        let c = [| Prng.float rng 1000.0; Prng.float rng 1000.0 |] in
+        let s = Sphere.make c (50.0 +. Prng.float rng 300.0) in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "srp" (Srp.query_stats cold s ws) (Srp.query_stats warm s ws)
+      done)
+
+let test_lc_roundtrip () =
+  let module Lc = Kwsc.Lc_kw in
+  let objs = Helpers.dataset ~seed:94 ~n:250 ~d:2 () in
+  let cold = Lc.build ~k:2 objs in
+  with_snap (fun path ->
+      Lc.save path cold;
+      let warm = ok_exn (Lc.load path) in
+      let rng = Prng.create 914 in
+      for _ = 1 to 25 do
+        let hs =
+          [
+            Halfspace.make
+              [| Prng.float rng 2.0 -. 1.0; Prng.float rng 2.0 -. 1.0 |]
+              (Prng.float rng 1000.0);
+          ]
+        in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "lc" (Lc.query_stats cold hs ws) (Lc.query_stats warm hs ws)
+      done)
+
+let test_nn_roundtrip () =
+  let module L2 = Kwsc.L2_nn_kw in
+  let module Linf = Kwsc.Linf_nn_kw in
+  let objs = Helpers.dataset ~seed:95 ~n:250 ~d:2 () in
+  let objs3 = Helpers.dataset ~seed:96 ~n:200 ~d:3 () in
+  (* L2 requires small integer coordinates (the paraboloid lifting) *)
+  let l2_objs =
+    let rng = Prng.create 950 in
+    let pts = Kwsc_workload.Gen.points_int ~rng ~n:250 ~d:2 ~max_coord:100 in
+    let docs = Kwsc_workload.Gen.docs ~rng ~n:250 ~vocab:40 ~theta:0.8 ~len_min:1 ~len_max:5 in
+    Array.init 250 (fun i -> (pts.(i), docs.(i)))
+  in
+  let l2_cold = L2.build ~k:2 l2_objs in
+  (* exercise both engines: Theorem-1 kd (d=2) and Theorem-2 dimension
+     reduction (d=3) *)
+  let linf_kd = Linf.build ~engine:`Kd ~k:2 objs in
+  let linf_dr = Linf.build ~engine:`Dimred ~k:2 objs3 in
+  let probe d rng = Array.init d (fun _ -> Prng.float rng 1000.0) in
+  let check_nn name cold_q warm_q =
+    Alcotest.(check bool) name true (cold_q = warm_q)
+  in
+  with_snap (fun path ->
+      L2.save path l2_cold;
+      let warm = ok_exn (L2.load path) in
+      let rng = Prng.create 915 in
+      for _ = 1 to 20 do
+        (* L2 query points must be integral as well *)
+        let q = Array.init 2 (fun _ -> float_of_int (Prng.int rng 100)) in
+        let t' = 1 + Prng.int rng 8 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_nn "l2 nn" (L2.query l2_cold q ~t' ws) (L2.query warm q ~t' ws)
+      done);
+  with_snap (fun path ->
+      Linf.save path linf_kd;
+      let warm = ok_exn (Linf.load path) in
+      let rng = Prng.create 916 in
+      for _ = 1 to 20 do
+        let q = probe 2 rng and t' = 1 + Prng.int rng 8 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_nn "linf nn (kd)" (Linf.query linf_kd q ~t' ws) (Linf.query warm q ~t' ws)
+      done);
+  with_snap (fun path ->
+      Linf.save path linf_dr;
+      let warm = ok_exn (Linf.load path) in
+      let rng = Prng.create 917 in
+      for _ = 1 to 20 do
+        let q = probe 3 rng and t' = 1 + Prng.int rng 8 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_nn "linf nn (dimred)" (Linf.query linf_dr q ~t' ws) (Linf.query warm q ~t' ws)
+      done)
+
+let rr_dataset ~seed ~n ~d =
+  let rng = Prng.create seed in
+  let rects =
+    Array.init n (fun _ ->
+        let lo = Array.init d (fun _ -> Prng.float rng 1000.0) in
+        let hi = Array.map (fun x -> x +. Prng.float rng 80.0) lo in
+        Rect.make lo hi)
+  in
+  let docs = Kwsc_workload.Gen.docs ~rng ~n ~vocab:30 ~theta:0.9 ~len_min:1 ~len_max:5 in
+  Array.init n (fun i -> (rects.(i), docs.(i)))
+
+let test_rr_roundtrip () =
+  let module Rr = Kwsc.Rr_kw in
+  (* one round trip per engine: kd (1d intervals), dimension reduction and
+     the footnote-3 partition-tree route (2d rectangles) *)
+  List.iter
+    (fun (name, engine, d) ->
+      let objs = rr_dataset ~seed:(97 + d) ~n:200 ~d in
+      let cold = Rr.build ~engine ~k:2 objs in
+      with_snap (fun path ->
+          Rr.save path cold;
+          let warm = ok_exn (Rr.load path) in
+          let rng = Prng.create (918 + d) in
+          for _ = 1 to 20 do
+            let q = Helpers.random_rect rng ~d ~range:1000.0 in
+            let ws = Helpers.random_keywords rng ~vocab:30 ~k:2 in
+            check_query name (Rr.query_stats cold q ws) (Rr.query_stats warm q ws)
+          done))
+    [ ("rr kd", `Kd, 1); ("rr dimred", `Dimred, 2); ("rr lc", `Lc, 2) ]
+
+let test_inverted_roundtrip () =
+  let module Inv = Kwsc_invindex.Inverted in
+  let docs = Array.map snd (Helpers.dataset ~seed:99 ~n:300 ~d:2 ()) in
+  let cold = Inv.build docs in
+  with_snap (fun path ->
+      Inv.save path cold;
+      let warm = ok_exn (Inv.load path) in
+      let rng = Prng.create 919 in
+      for _ = 1 to 40 do
+        let k = 1 + Prng.int rng 3 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k in
+        Helpers.check_ids "inverted ids" (Inv.query cold ws) (Inv.query warm ws)
+      done;
+      Alcotest.(check int) "input size" (Inv.input_size cold) (Inv.input_size warm))
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32 () =
+  (* the standard CRC-32 check vector, plus the empty string *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (C.crc32 "123456789");
+  Alcotest.(check int) "crc32(empty)" 0 (C.crc32 "")
+
+let test_primitive_roundtrip () =
+  let vints =
+    [ 0; 1; -1; 63; 64; -64; -65; 8191; 8192; 1 lsl 30; -(1 lsl 30); max_int; min_int ]
+  in
+  (* one array per byte width the writer can pick, signed both ways *)
+  let iarrays =
+    [
+      [||];
+      [| 0 |];
+      [| 127; -128 |];
+      [| 128; -129 |];
+      [| 40_000; -40_000 |];
+      [| 1 lsl 25; -(1 lsl 25) |];
+      [| 1 lsl 40; -(1 lsl 40); max_int; min_int |];
+    ]
+  in
+  let farray = [| 0.0; -0.0; 3.25; nan; infinity; neg_infinity; Float.min_float |] in
+  let rows = [| [| 1; 2; 3 |]; [||]; [| 42 |] |] in
+  let s =
+    C.to_string (fun w ->
+        List.iter (C.W.vint w) vints;
+        List.iter (C.W.int_array w) iarrays;
+        C.W.float_array w farray;
+        C.W.int_array2 w rows;
+        C.W.str w "hello\x00world";
+        C.W.bool w true;
+        C.W.i64 w (-42);
+        C.W.f64 w 2.5)
+  in
+  let r = C.R.of_string s in
+  List.iter (fun v -> Alcotest.(check int) "vint" v (C.R.vint r)) vints;
+  List.iter
+    (fun a -> Alcotest.(check (array int)) "int_array" a (C.R.int_array r))
+    iarrays;
+  let back = C.R.float_array r in
+  Alcotest.(check int) "float_array length" (Array.length farray) (Array.length back);
+  Array.iteri
+    (fun i v ->
+      (* bit-exact, so NaN and signed zero survive *)
+      Alcotest.(check int64) "float bits" (Int64.bits_of_float v) (Int64.bits_of_float back.(i)))
+    farray;
+  Alcotest.(check bool) "int_array2" true (rows = C.R.int_array2 r);
+  Alcotest.(check string) "str" "hello\x00world" (C.R.str r);
+  Alcotest.(check bool) "bool" true (C.R.bool r);
+  Alcotest.(check int) "i64" (-42) (C.R.i64 r);
+  Alcotest.(check (float 0.0)) "f64" 2.5 (C.R.f64 r);
+  Alcotest.(check bool) "at_end" true (C.R.at_end r)
+
+let test_reader_rejects () =
+  let reads_err s f =
+    match C.run (fun () -> f (C.R.of_string s)) with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "truncated i64" true (reads_err "abc" C.R.i64);
+  Alcotest.(check bool) "truncated vint" true (reads_err "\x80\x80" C.R.vint);
+  Alcotest.(check bool) "overlong varint" true
+    (reads_err "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01" C.R.vint);
+  (* int-array header claiming more elements than there are bytes *)
+  Alcotest.(check bool) "oversized count" true (reads_err "\xfe\xff\x07\x01" C.R.int_array);
+  (* width byte outside {1,2,3,4,8} *)
+  Alcotest.(check bool) "invalid width" true (reads_err "\x02\x05\xaa" C.R.int_array)
+
+let test_file_framing () =
+  with_snap (fun path ->
+      C.save_file ~path ~kind:"kwsc.test" [ ("alpha", "AAAA"); ("beta", "B") ];
+      let kind, sections = C.load_file_exn ~path in
+      Alcotest.(check string) "kind" "kwsc.test" kind;
+      Alcotest.(check (list (pair string string)))
+        "sections"
+        [ ("alpha", "AAAA"); ("beta", "B") ]
+        sections;
+      (match C.peek_kind ~path with
+      | Ok k -> Alcotest.(check string) "peek kind" "kwsc.test" k
+      | Error e -> Alcotest.failf "peek_kind: %s" (C.error_to_string e));
+      match C.run (fun () -> C.load_kind_exn ~path ~kind:"kwsc.other") with
+      | Error (C.Bad_kind { expected; got }) ->
+          Alcotest.(check string) "expected" "kwsc.other" expected;
+          Alcotest.(check string) "got" "kwsc.test" got
+      | Ok _ | Error _ -> Alcotest.fail "wrong kind must be Bad_kind")
+
+(* ------------------------------------------------------------------ *)
+(* Corruption: typed errors, never crashes or silent acceptance         *)
+(* ------------------------------------------------------------------ *)
+
+let small_orp () = Kwsc.Orp_kw.build ~k:2 (Helpers.dataset ~seed:77 ~n:60 ~d:2 ())
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let write_all path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_error_typing () =
+  (match Kwsc.Orp_kw.load "/nonexistent/dir/missing.snap" with
+  | Error (C.Io _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "missing file must be Io");
+  with_snap (fun path ->
+      write_all path "";
+      (match Kwsc.Orp_kw.load path with
+      | Error C.Bad_magic -> ()
+      | Ok _ | Error _ -> Alcotest.fail "empty file must be Bad_magic");
+      let t = small_orp () in
+      Kwsc.Orp_kw.save path t;
+      let good = read_all path in
+      let b = Bytes.of_string good in
+      Bytes.set b 0 'X';
+      write_all path (Bytes.to_string b);
+      (match Kwsc.Orp_kw.load path with
+      | Error C.Bad_magic -> ()
+      | Ok _ | Error _ -> Alcotest.fail "mangled magic must be Bad_magic");
+      (* the version int64 starts right after the 8-byte magic *)
+      let b = Bytes.of_string good in
+      Bytes.set b 8 (Char.chr (Char.code (Bytes.get b 8) + 1));
+      write_all path (Bytes.to_string b);
+      (match Kwsc.Orp_kw.load path with
+      | Error (C.Bad_version v) ->
+          Alcotest.(check int) "reported version" (C.format_version + 1) v
+      | Ok _ | Error _ -> Alcotest.fail "future version must be Bad_version");
+      (* a valid snapshot of another module *)
+      write_all path good;
+      match Kwsc_invindex.Inverted.load path with
+      | Error (C.Bad_kind { expected; got }) ->
+          Alcotest.(check string) "expected" Kwsc_invindex.Inverted.kind expected;
+          Alcotest.(check string) "got" Kwsc.Orp_kw.kind got
+      | Ok _ | Error _ -> Alcotest.fail "wrong module must be Bad_kind")
+
+let test_truncation_sweep () =
+  let t = small_orp () in
+  with_snap (fun path ->
+      Kwsc.Orp_kw.save path t;
+      let good = read_all path in
+      let n = String.length good in
+      List.iter
+        (fun keep ->
+          write_all path (String.sub good 0 keep);
+          match Kwsc.Orp_kw.load path with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted a %d/%d-byte truncation" keep n)
+        [ 0; 4; 8; 12; n / 4; n / 2; n - 1 ])
+
+(* Flipping any single byte must yield a typed error: the header fields
+   are validated and every section payload is covered by its CRC. *)
+let qcheck_bit_flip =
+  let good =
+    lazy
+      (let t = small_orp () in
+       with_snap (fun path ->
+           Kwsc.Orp_kw.save path t;
+           read_all path))
+  in
+  QCheck.Test.make ~name:"single byte flip is always a typed load error" ~count:150
+    QCheck.(small_nat)
+    (fun off ->
+      let good = Lazy.force good in
+      let off = off mod String.length good in
+      let b = Bytes.of_string good in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+      with_snap (fun path ->
+          write_all path (Bytes.to_string b);
+          match Kwsc.Orp_kw.load path with Ok _ -> false | Error _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "orp round trip" `Quick test_orp_roundtrip;
+    Alcotest.test_case "sp round trip" `Quick test_sp_roundtrip;
+    Alcotest.test_case "srp round trip" `Quick test_srp_roundtrip;
+    Alcotest.test_case "lc round trip" `Quick test_lc_roundtrip;
+    Alcotest.test_case "nn round trips (l2 + linf engines)" `Quick test_nn_roundtrip;
+    Alcotest.test_case "rr round trips (all engines)" `Quick test_rr_roundtrip;
+    Alcotest.test_case "inverted round trip" `Quick test_inverted_roundtrip;
+    Alcotest.test_case "crc32 check vector" `Quick test_crc32;
+    Alcotest.test_case "primitive round trips" `Quick test_primitive_roundtrip;
+    Alcotest.test_case "reader rejects malformed input" `Quick test_reader_rejects;
+    Alcotest.test_case "file framing" `Quick test_file_framing;
+    Alcotest.test_case "typed errors" `Quick test_error_typing;
+    Alcotest.test_case "truncation sweep" `Quick test_truncation_sweep;
+    QCheck_alcotest.to_alcotest qcheck_bit_flip;
+  ]

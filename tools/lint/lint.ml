@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -16,6 +16,7 @@ let rule_id = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -29,6 +30,9 @@ let rule_doc = function
   | R9 ->
       "Hashtbl or list construction in a query-kernel module: flat kernels report through \
        callbacks and Ibuf, never per-result heap blocks"
+  | R10 ->
+      "Marshal defeats the versioned snapshot codec: no version, no checksum, breaks across \
+       compilers; persist through Kwsc_snapshot.Codec (only test/ may use Marshal)"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -86,6 +90,11 @@ let path_is_kernel path =
   List.exists (fun f -> has_subpath f segs) kernel_files
 
 let path_in_lib path = List.mem "lib" (segments path)
+
+(* R10: Marshal is banned everywhere except test/ — the differential
+   suites may digest in-memory structures, but nothing durable may be
+   written with it. *)
+let path_in_test path = List.mem "test" (segments path)
 
 (* ------------------------------------------------------------------ *)
 (* Allowlist                                                          *)
@@ -292,6 +301,7 @@ let lint_structure config ~file str =
   let hot = config.assume_hot || path_is_hot file in
   let lib = config.assume_lib || path_in_lib file in
   let kernel = config.assume_kernel || path_is_kernel file in
+  let marshal_banned = not (path_in_test file) in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -319,6 +329,12 @@ let lint_structure config ~file str =
               "polymorphic compare in hot-path module; use Float.compare, \
                Int.compare or Point.compare_lex"
         | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
+        | "Marshal" :: _ when marshal_banned ->
+            add R10 loc
+              (Printf.sprintf
+                 "%s writes unversioned, unchecksummed bytes; persist through \
+                  Kwsc_snapshot.Codec (Marshal is allowed only under test/)"
+                 (String.concat "." u))
         | [ "List"; "nth" ] when hot ->
             add R4 loc "List.nth is O(n); use arrays or restructure the loop"
         | "Hashtbl" :: _ when kernel ->
@@ -394,6 +410,10 @@ let lint_structure config ~file str =
                 (Printf.sprintf
                    "polymorphic ( %s ) passed as a value in hot-path module" op)
           | [ "Obj"; "magic" ] -> add R2 loc "Obj.magic is forbidden"
+          | "Marshal" :: _ when marshal_banned ->
+              add R10 loc
+                (Printf.sprintf "%s passed as a value; persist through \
+                                 Kwsc_snapshot.Codec" (String.concat "." u))
           | [ "List"; "nth" ] when hot ->
               add R4 loc "List.nth passed as a value in hot-path module"
           | "Hashtbl" :: _ when kernel ->

@@ -34,6 +34,12 @@
       pattern is destructuring and stays legal; [\[\]] alone allocates
       nothing and stays legal.  The tagged file list lives in
       [kernel_files]; extend it when a new frozen kernel appears.
+    - R10: no [Marshal], anywhere outside [test/].  Marshalled bytes are
+      unversioned, unchecksummed, and tied to the exact compiler's value
+      representation — everything the durable snapshot codec
+      ([Kwsc_snapshot.Codec], DESIGN.md §9) exists to avoid.  The
+      differential test suites may still [Marshal] in-memory structures
+      to compare digests; that is the only sanctioned use.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -41,12 +47,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R9"]. *)
+(** ["R1"] ... ["R10"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)

@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-smoke examples clean doc lint audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-smoke examples clean doc lint audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -48,6 +48,9 @@ bench-snap:
 	dune exec bench/main.exe -- --only SNAP
 
 # CI sanity run: every experiment at tiny N (crash test, not measurement).
+bench-cmp:
+	dune exec bench/main.exe -- --only CMP
+
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro
 

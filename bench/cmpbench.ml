@@ -1,0 +1,388 @@
+(* CMP: hybrid posting containers vs the sparse-only flat arrays they
+   replaced. No paper claim backs this experiment — the three-way
+   container (sorted array / packed bitmap / run pairs, DESIGN.md §10)
+   is an implementation optimisation — so it records raw numbers: the
+   kind census of a mixed-density index, dense / clustered / sparse
+   intersection throughput under both policies, the planner-on vs
+   planner-off equivalence sweep over every query surface, and the
+   materialized-intersection cache counters. Results land in
+   BENCH_pr5.json; the deterministic work counters double as the CI
+   perf-regression reference (--check-ref scripts/cmp_ref.txt).
+
+   Targets: >= 2x on dense-keyword intersections (both postings above
+   the universe/64 density cutoff), <= 1.1x overhead where the hybrid
+   index degenerates to the same sparse arrays (pure dispatch cost),
+   and bit-identical answers + Stats counters with the planner on or
+   off. Differential correctness of the container kinds themselves is
+   the test suite's job (test_container_diff); this experiment measures
+   and cross-checks checksums only. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Ibuf = Kwsc_util.Ibuf
+module Planner = Kwsc_util.Planner
+module Doc = Kwsc_invindex.Doc
+module Inverted = Kwsc_invindex.Inverted
+module Postings = Kwsc_invindex.Postings
+
+(* --check-ref FILE (bench/main.ml): compare this run's deterministic
+   work counters against the committed reference and exit nonzero on
+   more than 10% drift. CI runs this in --smoke mode, so the committed
+   file holds smoke-footprint values. *)
+let check_ref : string option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-density workload                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Controlled document collection over [n] objects:
+   - keywords 1..4   dense: ~n/8 random objects each (above the n/64
+     density cutoff, so the hybrid policy packs them as bitmaps);
+   - keywords 11..14 clustered: one contiguous quarter-width block each
+     (a single run pair under the hybrid policy);
+   - keywords 21..120 sparse: ~n/100 objects each (below every cutoff,
+     stored as sorted arrays under both policies). *)
+let mixed_docs ~rng ~n =
+  Array.init n (fun i ->
+      let b = Kwsc_util.Ibuf.create ~capacity:8 () in
+      for w = 1 to 4 do
+        if Prng.int rng 8 = 0 then Kwsc_util.Ibuf.push b w
+      done;
+      for j = 0 to 3 do
+        let lo = j * (n / 4) and len = n / 8 in
+        if i >= lo && i < lo + len then Kwsc_util.Ibuf.push b (11 + j)
+      done;
+      Kwsc_util.Ibuf.push b (21 + Prng.int rng 100);
+      Doc.of_array (Kwsc_util.Ibuf.to_array b))
+
+(* Time [Postings.query_into] over a query set on both indexes and
+   cross-check the output checksums; returns (sparse_us, hybrid_us). *)
+let time_pair ~label ~nq sparse_pst hybrid_pst wss =
+  let out = Ibuf.create () and tmp = Ibuf.create () in
+  let run pst () =
+    let sum = ref 0 in
+    Array.iter
+      (fun ws ->
+        Postings.query_into pst ws out tmp;
+        sum := !sum + Ibuf.length out)
+      wss;
+    !sum
+  in
+  let per t = t /. float_of_int nq *. 1e6 in
+  let s_sum, s_t = H.time_best ~reps:5 (run sparse_pst) in
+  let h_sum, h_t = H.time_best ~reps:5 (run hybrid_pst) in
+  if s_sum <> h_sum then failwith ("CMP: sparse/hybrid checksums disagree on " ^ label);
+  Printf.printf "  %-24s sparse=%8.2fus/q  hybrid=%8.2fus/q  ratio=%5.2fx  (sum=%d)\n" label
+    (per s_t) (per h_t)
+    (per s_t /. per h_t)
+    s_sum;
+  (per s_t, per h_t, s_sum)
+
+(* ------------------------------------------------------------------ *)
+(* Planner-on vs planner-off equivalence sweep                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass over every query surface; returns (surface, answer ids,
+   total Stats.work) per surface. Run once with the planner off and once
+   with it on: both lists must be slot-identical — the planner changes
+   only the physical kernels, never an answer or a counter. *)
+let sweep_surfaces ~orp ~lc ~srp ~sp ~rr ~l2 ~linf ~inv ~rects ~halfs ~spheres ~polys ~probes
+    ~triples =
+  let zip name parts = (name, Array.concat (List.rev (fst parts)), snd parts) in
+  let fold f qs =
+    List.fold_left
+      (fun (ids, w) q ->
+        let a, st = f q in
+        (a :: ids, w + Kwsc.Stats.work st))
+      ([], 0) qs
+  in
+  let nn_fold f =
+    List.fold_left
+      (fun (ids, w) p ->
+        let rs, scanned = f p in
+        (Array.map fst rs :: ids, w + scanned))
+      ([], 0) probes
+  in
+  [
+    zip "orp" (fold (fun (q, ws) -> Kwsc.Orp_kw.query_stats orp q ws) rects);
+    zip "lc" (fold (fun (hs, ws) -> Kwsc.Lc_kw.query_stats lc hs ws) halfs);
+    zip "srp" (fold (fun (s, ws) -> Kwsc.Srp_kw.query_stats srp s ws) spheres);
+    zip "sp" (fold (fun (p, ws) -> Kwsc.Sp_kw.query_stats sp p ws) polys);
+    zip "rr" (fold (fun (q, ws) -> Kwsc.Rr_kw.query_stats rr q ws) rects);
+    zip "l2" (nn_fold (fun (p, ws) -> Kwsc.L2_nn_kw.query_count l2 p ~t':5 ws));
+    zip "linf" (nn_fold (fun (p, ws) -> Kwsc.Linf_nn_kw.query_count linf p ~t':5 ws));
+    zip "inverted"
+      (List.fold_left
+         (fun (ids, w) ws ->
+           let a = Inverted.query inv ws in
+           (a :: ids, w + Array.length a))
+         ([], 0) triples);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference-counter gate                                              *)
+(* ------------------------------------------------------------------ *)
+
+let print_counters counters =
+  Printf.printf "  work counters (scripts/cmp_ref.txt format):\n";
+  List.iter (fun (k, v) -> Printf.printf "    %s %d\n" k v) counters
+
+(* [key value] lines, [#]-comments and blanks skipped. Every reference
+   key must exist in this run and stay within 10% (with a +-2 absolute
+   floor for tiny counters); every computed counter must appear in the
+   reference, so adding a counter forces regenerating the file. *)
+let check_against_ref counters path =
+  let ic = open_in path in
+  let refs =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then
+               match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+               | [ k; v ] -> entries := (k, int_of_string v) :: !entries
+               | _ -> failwith (Printf.sprintf "CMP --check-ref: malformed line %S in %s" line path)
+           done
+         with End_of_file -> ());
+        List.rev !entries)
+  in
+  let drift = ref [] in
+  List.iter
+    (fun (k, expect) ->
+      match List.assoc_opt k counters with
+      | None -> drift := Printf.sprintf "%s: in reference but not measured" k :: !drift
+      | Some got ->
+          let tol = max 2 (abs expect / 10) in
+          if abs (got - expect) > tol then
+            drift :=
+              Printf.sprintf "%s: measured %d vs reference %d (tolerance %d)" k got expect tol
+              :: !drift)
+    refs;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k refs) then
+        drift := Printf.sprintf "%s: measured but missing from %s (regenerate it)" k path :: !drift)
+    counters;
+  match List.rev !drift with
+  | [] -> Printf.printf "  -> counter reference check vs %s [OK]\n" path
+  | ds ->
+      List.iter (fun d -> Printf.printf "  -> counter drift: %s\n" d) ds;
+      Printf.eprintf "CMP: %d work counter(s) drifted beyond 10%% of %s\n" (List.length ds) path;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  H.header "CMP: hybrid containers vs sparse-only postings"
+    "no claim (implementation optimisation); same answers, measured speedups";
+  let saved_planner = !Planner.enabled in
+  Fun.protect
+    ~finally:(fun () -> Planner.enabled := saved_planner)
+    (fun () ->
+      Planner.enabled := true;
+      let n = H.sized (if !H.quick then 50_000 else 200_000) in
+      let nq = H.sized 512 in
+      let rng = Prng.create 0xc39b in
+      let docs = mixed_docs ~rng ~n in
+      let hybrid = Inverted.build docs in
+      let sparse = Inverted.build ~policy:Kwsc_util.Container.Sparse_only docs in
+      let hp = Inverted.postings hybrid and sp_pst = Inverted.postings sparse in
+      let hs, hd, hr = Postings.kind_counts hp in
+      let ss, sd, sr = Postings.kind_counts sp_pst in
+      Printf.printf "  N=%d  kinds: hybrid sparse=%d dense=%d runs=%d | sparse-only %d/%d/%d\n" n
+        hs hd hr ss sd sr;
+      if sd + sr <> 0 then failwith "CMP: Sparse_only policy produced non-sparse containers";
+      if hd < 4 || hr < 4 then failwith "CMP: mixed workload failed to produce dense/run containers";
+
+      (* Intersection throughput by density regime. *)
+      let pick arr = Array.init nq (fun i -> arr.(i mod Array.length arr)) in
+      let dense_pairs = pick [| [| 1; 2 |]; [| 2; 3 |]; [| 3; 4 |]; [| 1; 3 |]; [| 2; 4 |] |] in
+      let clustered_pairs = pick [| [| 11; 1 |]; [| 12; 2 |]; [| 13; 14 |]; [| 11; 12 |] |] in
+      let sparse_pairs =
+        Array.init nq (fun _ -> [| 21 + Prng.int rng 100; 21 + Prng.int rng 100 |])
+      in
+      let d_s, d_h, d_sum = time_pair ~label:"dense x dense" ~nq sp_pst hp dense_pairs in
+      let c_s, c_h, c_sum = time_pair ~label:"clustered / mixed" ~nq sp_pst hp clustered_pairs in
+      let sp_s, sp_h, sp_sum = time_pair ~label:"sparse x sparse" ~nq sp_pst hp sparse_pairs in
+
+      (* The adversarial sparse regime: the threshold workload's postings
+         are contiguous blocks, so the hybrid policy stores them as runs —
+         overhead here is the whole dispatch + planning stack. *)
+      let tm = H.sized 100_000 in
+      let tobjs, tkws = H.threshold_workload ~rng ~m:tm ~k:2 ~d:2 ~range:1000.0 in
+      let tdocs = Array.map snd tobjs in
+      let th = Inverted.build tdocs in
+      let ts = Inverted.build ~policy:Kwsc_util.Container.Sparse_only tdocs in
+      let t_qs = pick [| tkws |] in
+      let t_s, t_h, t_sum =
+        time_pair ~label:"threshold workload" ~nq (Inverted.postings ts) (Inverted.postings th)
+          t_qs
+      in
+
+      let dense_speedup = d_s /. d_h in
+      let overhead = max (sp_h /. sp_s) (t_h /. t_s) in
+      Printf.printf "  -> dense speedup %.2fx (target >= 2x) %s\n" dense_speedup
+        (if dense_speedup >= 2.0 then "[OK]" else "[BELOW TARGET]");
+      Printf.printf "  -> sparse overhead %.2fx (target <= 1.1x) %s\n" overhead
+        (if overhead <= 1.1 then "[OK]" else "[ABOVE TARGET]");
+
+      (* Planner on/off equivalence across every query surface. *)
+      let n2 = H.sized 20_000 in
+      let nq2 = if !H.smoke then 24 else 64 in
+      let k = 3 in
+      (* integer coordinates so the L2 engine (Corollary 7: small
+         non-negative integer coordinates) accepts the same dataset *)
+      let objs =
+        let docs2 =
+          Kwsc_workload.Gen.docs ~rng ~n:n2 ~vocab:100 ~theta:0.9 ~len_min:1 ~len_max:6
+        in
+        Array.init n2 (fun i ->
+            (Array.init 2 (fun _ -> float_of_int (Prng.int rng 1000)), docs2.(i)))
+      in
+      let orp = Kwsc.Orp_kw.build ~k objs in
+      let lc = Kwsc.Lc_kw.build ~k objs in
+      let srp = Kwsc.Srp_kw.build ~k objs in
+      let sp = Kwsc.Sp_kw.build ~k objs in
+      let rr =
+        (* Rr_kw indexes rectangle objects: inflate each point to a unit box. *)
+        Kwsc.Rr_kw.build ~k
+          (Array.map
+             (fun (p, doc) ->
+               (Kwsc_geom.Rect.make p (Array.map (fun x -> x +. 1.0) p), doc))
+             objs)
+      in
+      let l2 = Kwsc.L2_nn_kw.build ~k objs in
+      let linf = Kwsc.Linf_nn_kw.build ~k objs in
+      let inv = Inverted.build (Array.map snd objs) in
+      let triple () =
+        let a = 1 + Prng.int rng 100 in
+        let b = ref (1 + Prng.int rng 100) in
+        while !b = a do
+          b := 1 + Prng.int rng 100
+        done;
+        let c = ref (1 + Prng.int rng 100) in
+        while !c = a || !c = !b do
+          c := 1 + Prng.int rng 100
+        done;
+        [| a; !b; !c |]
+      in
+      let triples = List.init nq2 (fun _ -> triple ()) in
+      let rects = List.map (fun ws -> (H.rect_of_trial rng, ws)) triples in
+      let halfs =
+        List.map
+          (fun ws ->
+            let c = Array.init 2 (fun _ -> Prng.float rng 2.0 -. 1.0) in
+            ([ Kwsc_geom.Halfspace.make c (Prng.float rng 1000.0) ], ws))
+          triples
+      in
+      let spheres =
+        List.map
+          (fun ws ->
+            let c = Array.init 2 (fun _ -> Prng.float rng 1000.0) in
+            (Kwsc_geom.Sphere.make c (100.0 +. Prng.float rng 200.0), ws))
+          triples
+      in
+      let polys =
+        List.map
+          (fun ((q, _), ws) ->
+            let lo = q.Kwsc_geom.Rect.lo and hi = q.Kwsc_geom.Rect.hi in
+            let box =
+              [
+                Kwsc_geom.Halfspace.make [| 1.0; 0.0 |] hi.(0);
+                Kwsc_geom.Halfspace.make [| -1.0; 0.0 |] (-.lo.(0));
+                Kwsc_geom.Halfspace.make [| 0.0; 1.0 |] hi.(1);
+                Kwsc_geom.Halfspace.make [| 0.0; -1.0 |] (-.lo.(1));
+              ]
+            in
+            (Kwsc_geom.Polytope.make ~dim:2 box, ws))
+          (List.combine rects triples)
+      in
+      let probes =
+        List.map
+          (fun ws -> (Array.init 2 (fun _ -> float_of_int (Prng.int rng 1000)), ws))
+          triples
+      in
+      let sweep () =
+        sweep_surfaces ~orp ~lc ~srp ~sp ~rr ~l2 ~linf ~inv ~rects ~halfs ~spheres ~polys ~probes
+          ~triples
+      in
+      Planner.enabled := false;
+      let off = sweep () in
+      Planner.enabled := true;
+      Inverted.reset_cache inv;
+      let on = sweep () in
+      List.iter2
+        (fun (name, ids_off, w_off) (name', ids_on, w_on) ->
+          assert (name = name');
+          if ids_off <> ids_on then
+            failwith (Printf.sprintf "CMP: planner changed answers on surface %s" name);
+          if w_off <> w_on then
+            failwith
+              (Printf.sprintf "CMP: planner changed work counters on surface %s (%d vs %d)" name
+                 w_off w_on))
+        off on;
+      Printf.printf
+        "  -> planner on/off: answers and work counters slot-identical over %d surfaces [OK]\n"
+        (List.length on);
+
+      (* Cache: hammer one cache-worthy dense pair. *)
+      Inverted.reset_cache hybrid;
+      let hot = [| 1; 2 |] in
+      let hot_len = Array.length (Inverted.query hybrid hot) in
+      for _ = 1 to 99 do
+        ignore (Inverted.query hybrid hot)
+      done;
+      let hits, misses, evictions = Inverted.cache_stats hybrid in
+      Printf.printf "  cache on hot pair: hits=%d misses=%d evictions=%d (|isect|=%d)\n" hits
+        misses evictions hot_len;
+      if hits < 90 then failwith "CMP: hot pair was not served from the cache";
+
+      let counters =
+        [
+          ("n", n);
+          ("kinds_sparse", hs);
+          ("kinds_dense", hd);
+          ("kinds_runs", hr);
+          ("dense_sum", d_sum);
+          ("clustered_sum", c_sum);
+          ("sparse_sum", sp_sum);
+          ("threshold_sum", t_sum);
+          ("cache_hits", hits);
+          ("cache_misses", misses);
+        ]
+        @ List.map (fun (name, _, w) -> ("work_" ^ name, w)) on
+      in
+      print_counters counters;
+      (match !check_ref with Some path -> check_against_ref counters path | None -> ());
+
+      if !H.smoke then Printf.printf "  (smoke run: numbers are crash-test only)\n";
+      let oc = open_out "BENCH_pr5.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"hybrid containers vs sparse-only postings\",\n\
+        \  \"smoke\": %b,\n\
+        \  \"n\": %d,\n\
+        \  \"queries\": %d,\n\
+        \  \"kinds_hybrid\": {\"sparse\": %d, \"dense\": %d, \"runs\": %d},\n\
+        \  \"dense\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"speedup\": %.3f},\n\
+        \  \"clustered\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"speedup\": \
+         %.3f},\n\
+        \  \"sparse\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"overhead\": \
+         %.3f},\n\
+        \  \"threshold\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"overhead\": \
+         %.3f},\n\
+        \  \"planner_equivalent\": true,\n\
+        \  \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d},\n\
+        \  \"work\": {%s}\n\
+         }\n"
+        !H.smoke n nq hs hd hr d_s d_h (d_s /. d_h) c_s c_h (c_s /. c_h) sp_s sp_h (sp_h /. sp_s)
+        t_s t_h (t_h /. t_s) hits misses evictions
+        (String.concat ", "
+           (List.map (fun (name, _, w) -> Printf.sprintf "\"%s\": %d" name w) on));
+      close_out oc;
+      Printf.printf "  wrote BENCH_pr5.json\n")

@@ -684,4 +684,5 @@ let all : (string * string * (unit -> unit)) list =
     ("PAR", "Multicore scaling: pool builds & batched queries", Parallel.run);
     ("FLAT", "Flat vs boxed layouts: build/range/NN/intersection + alloc", Flatbench.run);
     ("SNAP", "Durable snapshots: load vs cold build, identical answers", Snapbench.run);
+    ("CMP", "Hybrid containers vs sparse-only postings + planner equivalence", Cmpbench.run);
   ]

@@ -37,6 +37,12 @@ let () =
     | "--boxed" :: rest ->
         Flatbench.side := `Boxed;
         parse rest
+    | "--check-ref" :: path :: rest ->
+        (* CMP: gate this run's deterministic work counters against the
+           committed reference (scripts/cmp_ref.txt); exit nonzero on
+           more than 10% drift. *)
+        Cmpbench.check_ref := Some path;
+        parse rest
     | "--only" :: id :: rest ->
         only := Some id;
         parse rest
@@ -52,7 +58,7 @@ let () =
     | "--help" :: _ ->
         print_endline
           "options: [--quick] [--smoke] [--no-micro] [--only EXPID] [--domains N] \
-           [--flat|--boxed]";
+           [--flat|--boxed] [--check-ref FILE]";
         print_endline "experiment ids:";
         List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) Experiments.all;
         exit 0

@@ -47,6 +47,24 @@ let load_objects path =
   if Array.length objs = 0 then failwith "dataset is empty";
   objs
 
+(* --planner=on|off: toggle the cost-based intersection planner (and the
+   materialized-intersection cache it admits to). Defaults to the
+   KWSC_PLANNER environment setting; answers are identical either way —
+   only the physical kernels and the work counters change. *)
+let planner_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("on", true); ("off", false) ])) None
+    & info [ "planner" ] ~docv:"on|off"
+        ~doc:
+          "Enable or disable the cost-based intersection planner (default: the \
+           KWSC_PLANNER environment variable, on when unset). Answers are \
+           identical either way.")
+
+let apply_planner = function
+  | Some v -> Kwsc_util.Planner.enabled := v
+  | None -> ()
+
 let print_results objs ids =
   Printf.printf "%d objects:\n" (Array.length ids);
   Array.iter
@@ -91,7 +109,8 @@ let generate_cmd =
 
 (* ---- rect ----------------------------------------------------------- *)
 
-let rect input k lo hi kws stats =
+let rect input k lo hi kws stats planner =
+  apply_planner planner;
   let objs = load_objects input in
   let t = Kwsc.Orp_kw.build ~k objs in
   let q = Rect.make (Array.of_list lo) (Array.of_list hi) in
@@ -106,11 +125,12 @@ let rect_cmd =
   let hi = floats_arg [ "hi" ] "Y1,Y2,..." "Upper corner of the query rectangle." in
   Cmd.v
     (Cmd.info "rect" ~doc:"ORP-KW: rectangle + keywords (Theorem 1)" ~man:man_footer)
-    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag)
+    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag $ planner_arg)
 
 (* ---- halfspace ------------------------------------------------------ *)
 
-let halfspace input k coeffs bound kws stats =
+let halfspace input k coeffs bound kws stats planner =
+  apply_planner planner;
   let objs = load_objects input in
   let t = Kwsc.Lc_kw.build ~k objs in
   let h = Halfspace.make (Array.of_list coeffs) bound in
@@ -125,11 +145,12 @@ let halfspace_cmd =
   in
   Cmd.v
     (Cmd.info "halfspace" ~doc:"LC-KW: linear constraint + keywords (Theorem 5)" ~man:man_footer)
-    Term.(const halfspace $ input_arg $ k_arg $ coeffs $ bound $ kw_arg $ stats_flag)
+    Term.(const halfspace $ input_arg $ k_arg $ coeffs $ bound $ kw_arg $ stats_flag $ planner_arg)
 
 (* ---- sphere --------------------------------------------------------- *)
 
-let sphere input k center radius kws stats =
+let sphere input k center radius kws stats planner =
+  apply_planner planner;
   let objs = load_objects input in
   let t = Kwsc.Srp_kw.build ~k objs in
   let s = Sphere.make (Array.of_list center) radius in
@@ -144,11 +165,12 @@ let sphere_cmd =
   in
   Cmd.v
     (Cmd.info "sphere" ~doc:"SRP-KW: sphere + keywords (Corollary 6)" ~man:man_footer)
-    Term.(const sphere $ input_arg $ k_arg $ center $ radius $ kw_arg $ stats_flag)
+    Term.(const sphere $ input_arg $ k_arg $ center $ radius $ kw_arg $ stats_flag $ planner_arg)
 
 (* ---- nn ------------------------------------------------------------- *)
 
-let nn input k metric point t' kws =
+let nn input k metric point t' kws planner =
+  apply_planner planner;
   let objs = load_objects input in
   let q = Array.of_list point in
   let ws = Array.of_list kws in
@@ -179,7 +201,7 @@ let nn_cmd =
   let t' = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Number of neighbors.") in
   Cmd.v
     (Cmd.info "nn" ~doc:"Nearest neighbors + keywords (Corollaries 4 and 7)" ~man:man_footer)
-    Term.(const nn $ input_arg $ k_arg $ metric $ point $ t' $ kw_arg)
+    Term.(const nn $ input_arg $ k_arg $ metric $ point $ t' $ kw_arg $ planner_arg)
 
 (* ---- info ----------------------------------------------------------- *)
 
@@ -251,7 +273,8 @@ let require flag = function
       Printf.eprintf "kwsc load: --%s is required for this snapshot kind\n" flag;
       exit 2
 
-let load_impl snap input lo hi kws stats =
+let load_impl snap input lo hi kws stats planner =
+  apply_planner planner;
   let kind = ok_or_die (Codec.peek_kind ~path:snap) in
   if kind = Kwsc.Orp_kw.kind then begin
     (* same output as [kwsc rect] on the same dataset — the CI round-trip
@@ -321,7 +344,7 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load a snapshot and query it (no rebuild)" ~man:man_footer)
-    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag)
+    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

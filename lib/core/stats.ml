@@ -8,6 +8,8 @@ type query = {
   mutable pruned_geom : int;
   mutable reported : int;
   mutable alloc_words : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let fresh_query () =
@@ -21,6 +23,8 @@ let fresh_query () =
     pruned_geom = 0;
     reported = 0;
     alloc_words = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let work q = q.pivot_checked + q.small_scanned + q.nodes_visited
@@ -34,7 +38,9 @@ let add_into ~into q =
   into.pruned_empty <- into.pruned_empty + q.pruned_empty;
   into.pruned_geom <- into.pruned_geom + q.pruned_geom;
   into.reported <- into.reported + q.reported;
-  into.alloc_words <- into.alloc_words + q.alloc_words
+  into.alloc_words <- into.alloc_words + q.alloc_words;
+  into.cache_hits <- into.cache_hits + q.cache_hits;
+  into.cache_misses <- into.cache_misses + q.cache_misses
 
 (* Words of minor-heap allocation performed by [f], charged to
    [q.alloc_words]. [Gc.minor_words] is a per-domain monotone counter in

@@ -16,6 +16,10 @@ type query = {
       (** minor-heap words allocated while answering, measured by
           {!count_alloc} — the observable the flat kernels drive toward
           zero *)
+  mutable cache_hits : int;
+      (** queries served from the materialized-intersection cache *)
+  mutable cache_misses : int;
+      (** cache-eligible queries that had to run the kernels *)
 }
 
 val fresh_query : unit -> query

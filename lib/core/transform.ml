@@ -154,14 +154,25 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
           then ipow num_large k
           else 0
         in
-        (* Each child task touches only its own subtree, its own bitset
-           and read-only parent state ([docs], [large], the candidate
-           table — fully populated before the fork), so heavy nodes near
-           the root fork their children into the pool; the structure is
+        (* One pooled allocation backs the emptiness bits of all children
+           of this node; each child fills its own byte-aligned window.
+           Each child task touches only its own subtree, its own bitset
+           window and read-only parent state ([docs], [large], the
+           candidate table — fully populated before the fork), so heavy
+           nodes near the root fork their children into the pool; the
+           windows are disjoint byte ranges, and the structure is
            identical at every pool size. *)
-        let build_child (ccell, cids) =
+        let bpool =
+          if bits_len > 0 then
+            Bitset.pool_create ~count:(Array.length nonempty_children) ~n:bits_len
+          else Bytes.empty
+        in
+        let build_child idx (ccell, cids) =
           let node = build_node ccell cids child_candidates (depth + 1) in
-          let nonempty = Bitset.create bits_len in
+          let nonempty =
+            if bits_len > 0 then Bitset.pool_view bpool ~index:idx ~n:bits_len
+            else Bitset.create 0
+          in
           if bits_len > 0 then
             Array.iter
               (fun id ->
@@ -183,8 +194,8 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
             && Array.length nonempty_children >= 2
           then
             Kwsc_util.Pool.fork_join_array pool
-              (Array.map (fun c () -> build_child c) nonempty_children)
-          else Array.map build_child nonempty_children
+              (Array.mapi (fun i c () -> build_child i c) nonempty_children)
+          else Array.mapi build_child nonempty_children
         in
         { cell; depth; n_u; pivot = pivots; children; large; num_large; materialized }
       end
@@ -232,13 +243,29 @@ let query_stats ?limit t q ws =
   let doc_all id = Array.for_all (fun w -> Doc.mem t.docs.(id) w) ws in
   let rec visit node =
     st.Stats.nodes_visited <- st.Stats.nodes_visited + 1;
-    (match t.space.classify q node.cell with
-    | Covered -> st.Stats.covered_nodes <- st.Stats.covered_nodes + 1
-    | Crossing | Disjoint -> st.Stats.crossing_nodes <- st.Stats.crossing_nodes + 1);
+    let covered =
+      match t.space.classify q node.cell with
+      | Covered ->
+          st.Stats.covered_nodes <- st.Stats.covered_nodes + 1;
+          true
+      | Crossing | Disjoint ->
+          st.Stats.crossing_nodes <- st.Stats.crossing_nodes + 1;
+          false
+    in
+    (* Planner-gated check ordering — strictly counter- and
+       answer-neutral (the conjunction is commutative and every counter
+       increments before the check): in a covered cell the geometry
+       accepts everything, so run the cheap document filter first; in a
+       crossing cell the geometry rejects most ids, so lead with it.
+       Planner off keeps the historic doc-first order everywhere. *)
+    let check id =
+      if covered || not !Kwsc_util.Planner.enabled then doc_all id && t.space.contains q id
+      else t.space.contains q id && doc_all id
+    in
     Array.iter
       (fun id ->
         st.Stats.pivot_checked <- st.Stats.pivot_checked + 1;
-        if doc_all id && t.space.contains q id then report id)
+        if check id then report id)
       node.pivot;
     if Array.length node.children > 0 then begin
       let all_large = Array.for_all (fun w -> Hashtbl.mem node.large w) ws in
@@ -278,7 +305,7 @@ let query_stats ?limit t q ws =
             Array.iter
               (fun id ->
                 st.Stats.small_scanned <- st.Stats.small_scanned + 1;
-                if doc_all id && t.space.contains q id then report id)
+                if check id then report id)
               lst
       end
     end
@@ -484,6 +511,9 @@ let decode ~classify ~contains read_cell r =
   let child_cnt = col "child_cnt" (C.R.int_array r) in
   let bit_lens = C.R.int_array r in
   let bits = C.R.str r in
+  (* one shared backing store for every bitset: each child gets a
+     zero-copy byte-aligned view instead of its own Bytes allocation *)
+  let bits_shared = Bytes.of_string bits in
   if Array.length mat_kws <> Array.length mat_lens then
     C.corrupt "Transform: materialized keyword and length columns disagree";
   if Array.length bit_lens <> n_nodes - 1 then
@@ -564,7 +594,7 @@ let decode ~classify ~contains read_cell r =
     if nbits < 0 then C.corrupt "Transform: negative bitset length";
     let nbytes = (nbits + 7) / 8 in
     if nbytes > String.length bits - !b_off then C.corrupt "Transform: bitset bytes truncated";
-    let nonempty = Bitset.of_sub_string nbits bits !b_off in
+    let nonempty = Bitset.of_shared_bytes bits_shared ~off:!b_off ~n:nbits in
     b_off := !b_off + nbytes;
     let node = build () in
     { node; nonempty }

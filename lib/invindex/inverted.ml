@@ -1,7 +1,14 @@
-type t = { docs : Doc.t array; postings : Postings.t; n : int }
+module U = Kwsc_util
 
-let build ?pool docs =
-  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
+type t = {
+  docs : Doc.t array;
+  postings : Postings.t;
+  n : int;
+  cache : Isect_cache.t; (* hot-pair intersections; never snapshotted *)
+}
+
+let build ?pool ?(policy = U.Container.Hybrid) docs =
+  let pool = match pool with Some p -> p | None -> U.Pool.default () in
   let postings_l : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
     (fun id doc ->
@@ -15,13 +22,15 @@ let build ?pool docs =
   (* Materializing and sorting each keyword's posting list is independent
      per keyword: snapshot the accumulator table into an array and sort
      the lists as pool tasks, then concatenate the results into the flat
-     arena in vocabulary order. *)
+     arena in vocabulary order. Container classification happens after,
+     per span, inside Postings.unsafe_make — it is a pure function of
+     the span, so the index stays identical at every pool size. *)
   let entries =
     Array.of_list (Hashtbl.fold (fun w l acc -> (w, !l) :: acc) postings_l [])
   in
   Array.sort (fun (a, _) (b, _) -> Int.compare a b) entries;
   let sorted_arrays =
-    Kwsc_util.Pool.parallel_map pool
+    U.Pool.parallel_map pool
       (fun (_, l) ->
         let a = Array.of_list l in
         Array.sort Int.compare a;
@@ -39,36 +48,86 @@ let build ?pool docs =
   let arena = Array.make offsets.(nw) 0 in
   Array.iteri (fun i a -> Array.blit a 0 arena offsets.(i) (Array.length a)) sorted_arrays;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
-  { docs; postings = Postings.unsafe_make ~vocab ~offsets ~arena; n }
+  { docs;
+    postings = Postings.unsafe_make ~policy ~universe:(Array.length docs) ~vocab ~offsets arena;
+    n;
+    cache = Isect_cache.create () }
 
 let input_size t = t.n
 let postings t = t.postings
 let vocabulary t = Array.init (Postings.num_words t.postings) (Postings.word t.postings)
 let posting t w = Postings.copy_posting t.postings w
 let frequency t w = Postings.frequency t.postings w
-let query t ws = Postings.query t.postings ws
+
+(* [Some (a, b)] when [ws] holds exactly two distinct keywords
+   (duplicates allowed) — the only shape the pair cache can serve. *)
+let distinct_pair ws =
+  let a = ws.(0) in
+  let b = ref a in
+  let ok = ref true in
+  Array.iter
+    (fun w -> if w <> a then if !b = a then b := w else if w <> !b then ok := false)
+    ws;
+  if !ok && !b <> a then Some (a, !b) else None
+
+(* Sequential query surface with the LFU pair cache: a two-keyword query
+   whose cost reaches the tau = N^(1-1/k) admission threshold is served
+   from (or admitted to) the cache; everything else goes straight to the
+   postings kernels. The cache only ever stores what the kernels just
+   computed, so answers are bitwise identical with the cache cold, warm,
+   or disabled (--planner=off bypasses it entirely). Cache state is
+   per-index and mutated here — batch queries (query_batch) bypass it, so
+   parallel shards never contend. *)
+let query t ws =
+  if Array.length ws = 0 || not !U.Planner.enabled then Postings.query t.postings ws
+  else
+    match distinct_pair ws with
+    | None -> Postings.query t.postings ws
+    | Some (w1, w2) ->
+        let cost = min (frequency t w1) (frequency t w2) in
+        if cost > 0 && U.Planner.worth_caching ~n:t.n ~k:2 ~cost then begin
+          match Isect_cache.find t.cache w1 w2 with
+          | Some ids -> Array.copy ids
+          | None ->
+              let r = Postings.query t.postings ws in
+              Isect_cache.store t.cache w1 w2 (Array.copy r);
+              r
+        end
+        else Postings.query t.postings ws
+
+let cache_stats t = (Isect_cache.hits t.cache, Isect_cache.misses t.cache, Isect_cache.evictions t.cache)
+let reset_cache t = Isect_cache.reset t.cache
 
 let query_naive t ws =
   if Array.length ws = 0 then invalid_arg "Inverted.query_naive: need at least one keyword";
   let lists = Array.map (posting t) ws in
   Array.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists;
-  Array.fold_left Kwsc_util.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
+  Array.fold_left U.Sorted.intersect lists.(0) (Array.sub lists 1 (Array.length lists - 1))
 
 let is_empty_query t ws = Array.length (query t ws) = 0
 
-(* The index is immutable after [build]; each batch task owns its output
-   and scratch buffers, so a batch is a plain parallel map that reuses
-   the buffer pair across the queries of one shard. *)
+(* The index is immutable after [build] (the pair cache is bypassed
+   here); each batch task owns its output and scratch buffers, so a
+   batch is a plain parallel map that reuses the buffer pair across the
+   queries of one shard. *)
 let query_batch ?pool t wss =
-  let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
-  Kwsc_util.Pool.parallel_map pool
+  let pool = match pool with Some p -> p | None -> U.Pool.default () in
+  U.Pool.parallel_map pool
     (fun ws ->
-      let out = Kwsc_util.Ibuf.create () and tmp = Kwsc_util.Ibuf.create () in
+      let out = U.Ibuf.create () and tmp = U.Ibuf.create () in
       Postings.query_into t.postings ws out tmp;
-      Kwsc_util.Ibuf.to_array out)
+      U.Ibuf.to_array out)
     wss
 
-module I = Kwsc_util.Invariant
+module I = U.Invariant
+
+let tag_of_kind = function U.Container.Sparse -> 0 | U.Container.Dense -> 1 | U.Container.Runs -> 2
+
+let kind_of_tag = function
+  | 0 -> U.Container.Sparse
+  | 1 -> U.Container.Dense
+  | 2 -> U.Container.Runs
+  | k -> invalid_arg (Printf.sprintf "Inverted: unknown container kind tag %d" k)
 
 let check_invariants t =
   let bad = ref [] in
@@ -77,36 +136,49 @@ let check_invariants t =
   let ndocs = Array.length t.docs in
   let ps = t.postings in
   let nw = Postings.num_words ps in
-  (* vocabulary strictly sorted; offsets monotone and exactly covering *)
+  if Postings.universe ps <> ndocs then
+    push (vf "root" "postings universe %d <> %d documents" (Postings.universe ps) ndocs);
+  (* vocabulary strictly sorted *)
   for r = 1 to nw - 1 do
     if Postings.word ps (r - 1) >= Postings.word ps r then
       push (vf "vocab" "vocabulary is not strictly sorted at rank %d" r)
   done;
-  for r = 0 to nw - 1 do
-    if Postings.stop ps r < Postings.start ps r then
-      push (vf "offsets" "span of rank %d has negative length" r);
-    if r > 0 && Postings.start ps r <> Postings.stop ps (r - 1) then
-      push (vf "offsets" "span of rank %d does not start where rank %d ends" r (r - 1))
-  done;
-  if nw > 0 && Postings.start ps 0 <> 0 then push (vf "offsets" "first span does not start at 0");
-  if nw > 0 && Postings.stop ps (nw - 1) <> Postings.arena_size ps then
-    push (vf "offsets" "last span does not end at the arena size");
-  (* each span strictly sorted, non-empty, sound against the documents *)
+  (* each container non-empty, internally consistent, correctly
+     classified, sound against the documents *)
+  let total = ref 0 in
   for r = 0 to nw - 1 do
     let w = Postings.word ps r in
     let locus = Printf.sprintf "posting[%d]" w in
-    let lo = Postings.start ps r and hi = Postings.stop ps r in
-    if hi = lo then push (vf locus "empty posting span");
-    for i = lo to hi - 1 do
-      let id = Postings.arena_get ps i in
-      if i > lo && Postings.arena_get ps (i - 1) >= id then
-        push (vf locus "posting span is not strictly sorted (or has duplicates)");
-      if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
-      else if not (Doc.mem t.docs.(id) w) then
-        push (vf locus "object %d is listed but its document lacks keyword %d" id w)
-    done
+    let c = Postings.container ps r in
+    let card = U.Container.cardinality c in
+    total := !total + card;
+    if card = 0 then push (vf locus "empty posting container");
+    if U.Container.universe c <> ndocs then
+      push (vf locus "container universe %d <> %d documents" (U.Container.universe c) ndocs);
+    if U.Container.recount c <> card then
+      push
+        (vf locus "stored cardinality %d disagrees with the physical layout (%d)" card
+           (U.Container.recount c));
+    let expected =
+      U.Container.classify ~policy:(Postings.policy ps) ~universe:ndocs ~card
+        ~nruns:(U.Container.run_count c)
+    in
+    if tag_of_kind (U.Container.kind c) <> tag_of_kind expected then
+      push (vf locus "container kind disagrees with the classification policy");
+    let prev = ref (-1) and seen = ref 0 in
+    U.Container.iter
+      (fun id ->
+        if id <= !prev then push (vf locus "posting ids are not strictly ascending");
+        prev := id;
+        incr seen;
+        if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
+        else if not (Doc.mem t.docs.(id) w) then
+          push (vf locus "object %d is listed but its document lacks keyword %d" id w))
+      c;
+    if !seen <> card then
+      push (vf locus "iteration yields %d ids but cardinality says %d" !seen card)
   done;
-  (* completeness: every (doc, keyword) pair appears in its posting span *)
+  (* completeness: every (doc, keyword) pair appears in its posting *)
   Array.iteri
     (fun id doc ->
       Doc.iter
@@ -115,21 +187,25 @@ let check_invariants t =
             push
               (vf
                  (Printf.sprintf "doc[%d]" id)
-                 "keyword %d is in the document but object %d is missing from its posting span"
+                 "keyword %d is in the document but object %d is missing from its posting"
                  w id))
         doc)
     t.docs;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 t.docs in
   if n <> t.n then push (vf "root" "stored input size %d <> total document weight %d" t.n n);
-  if Postings.arena_size ps <> n then
+  if Postings.size ps <> n then
     push
       (vf "root" "%d posted pairs <> %d document words (doc-count inconsistency)"
-         (Postings.arena_size ps) n);
+         (Postings.size ps) n);
+  if !total <> Postings.size ps then
+    push
+      (vf "root" "container cardinalities sum to %d but the postings report %d" !total
+         (Postings.size ps));
   List.rev !bad
 
 (* Self-audit every build when KWSC_AUDIT=1 (Invariant.enabled). *)
-let build ?pool docs =
-  let t = build ?pool docs in
+let build ?pool ?policy docs =
+  let t = build ?pool ?policy docs in
   I.auto_check (fun () -> check_invariants t);
   t
 
@@ -141,25 +217,147 @@ module C = Kwsc_snapshot.Codec
 
 let kind = "kwsc.inverted"
 
+(* Version 2 layout: per-rank kind tags and cardinalities, then one
+   column per physical layout — delta-encoded ids for the sparse ranks,
+   (start, length) pairs with gap-encoded starts for the run ranks, and
+   a packed byte blob for the dense bitmaps (raw bytes, not width-tagged
+   ints: bitmap words are uniform random-looking 32-bit values, which
+   the signed width tagger would pad to 8 bytes each). *)
 let encode w t =
-  C.W.i64 w t.n;
-  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) t.docs);
   let ps = t.postings in
   let nw = Postings.num_words ps in
+  C.W.i64 w t.n;
+  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) t.docs);
   C.W.int_array w (Array.init nw (Postings.word ps));
-  C.W.int_array w
-    (Array.init (nw + 1) (fun r -> if r < nw then Postings.start ps r else Postings.arena_size ps));
-  C.W.int_array w (Array.init (Postings.arena_size ps) (Postings.arena_get ps))
+  C.W.bool w (match Postings.policy ps with U.Container.Sparse_only -> true | U.Container.Hybrid -> false);
+  C.W.int_array w (Array.init nw (fun r -> tag_of_kind (U.Container.kind (Postings.container ps r))));
+  C.W.int_array w (Array.init nw (fun r -> U.Container.cardinality (Postings.container ps r)));
+  (* sparse ranks: ids delta-encoded within each rank, concatenated *)
+  let sparse = U.Ibuf.create () in
+  let run_counts = U.Ibuf.create () in
+  let runs = U.Ibuf.create () in
+  let dense = Buffer.create 256 in
+  for r = 0 to nw - 1 do
+    let c = Postings.container ps r in
+    match U.Container.kind c with
+    | U.Container.Sparse ->
+        let prev = ref (-1) in
+        U.Container.iter
+          (fun id ->
+            U.Ibuf.push sparse (id - !prev);
+            prev := id)
+          c
+    | U.Container.Runs ->
+        let pairs = U.Container.runs_pairs c in
+        let nr = Array.length pairs / 2 in
+        U.Ibuf.push run_counts nr;
+        let prev_end = ref 0 in
+        for j = 0 to nr - 1 do
+          U.Ibuf.push runs (pairs.(2 * j) - !prev_end);
+          U.Ibuf.push runs pairs.((2 * j) + 1);
+          prev_end := pairs.(2 * j) + pairs.((2 * j) + 1)
+        done
+    | U.Container.Dense -> Buffer.add_string dense (U.Container.dense_bytes c)
+  done;
+  C.W.int_array w (U.Ibuf.to_array sparse);
+  C.W.int_array w (U.Ibuf.to_array run_counts);
+  C.W.int_array w (U.Ibuf.to_array runs);
+  C.W.str w (Buffer.contents dense)
 
 let decode r =
+  let n = C.R.i64 r in
+  let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
+  let universe = Array.length docs in
+  let vocab = C.R.int_array r in
+  let policy = if C.R.bool r then U.Container.Sparse_only else U.Container.Hybrid in
+  let kinds = Array.map kind_of_tag (C.R.int_array r) in
+  let cards = C.R.int_array r in
+  let nw = Array.length vocab in
+  if Array.length kinds <> nw || Array.length cards <> nw then
+    C.corrupt "Inverted: kind/cardinality columns disagree with the vocabulary";
+  let sparse = C.R.int_array r in
+  let run_counts = C.R.int_array r in
+  let runs = C.R.int_array r in
+  let dense = C.R.str r in
+  let sp = ref 0 and rc = ref 0 and rp = ref 0 and dp = ref 0 in
+  let nb_dense = (universe + 7) / 8 in
+  let containers =
+    Array.init nw (fun i ->
+        match kinds.(i) with
+        | U.Container.Sparse ->
+            let card = cards.(i) in
+            if !sp + card > Array.length sparse then
+              C.corrupt "Inverted: sparse id column exhausted";
+            let ids = Array.make card 0 in
+            let prev = ref (-1) in
+            for j = 0 to card - 1 do
+              prev := !prev + sparse.(!sp + j);
+              ids.(j) <- !prev
+            done;
+            sp := !sp + card;
+            (* validates ordering and range *)
+            U.Container.of_sorted_array_kind U.Container.Sparse ~universe ids
+        | U.Container.Runs ->
+            if !rc >= Array.length run_counts then
+              C.corrupt "Inverted: run-count column exhausted";
+            let nr = run_counts.(!rc) in
+            incr rc;
+            if nr < 0 || !rp + (2 * nr) > Array.length runs then
+              C.corrupt "Inverted: run pair column exhausted";
+            let pairs = Array.make (2 * nr) 0 in
+            let prev_end = ref 0 in
+            for j = 0 to nr - 1 do
+              let s = !prev_end + runs.(!rp + (2 * j)) in
+              let len = runs.(!rp + (2 * j) + 1) in
+              pairs.(2 * j) <- s;
+              pairs.((2 * j) + 1) <- len;
+              prev_end := s + len
+            done;
+            rp := !rp + (2 * nr);
+            (* validates run structure and range *)
+            let c = U.Container.of_runs ~universe pairs in
+            if U.Container.cardinality c <> cards.(i) then
+              C.corrupt "Inverted: run cardinality disagrees with the stored count";
+            c
+        | U.Container.Dense ->
+            if !dp + nb_dense > String.length dense then
+              C.corrupt "Inverted: dense bitmap blob exhausted";
+            let c = U.Container.of_dense_bytes ~universe ~card:cards.(i) dense ~off:!dp in
+            dp := !dp + nb_dense;
+            c)
+  in
+  if !sp <> Array.length sparse then C.corrupt "Inverted: trailing sparse ids";
+  if !rc <> Array.length run_counts || !rp <> Array.length runs then
+    C.corrupt "Inverted: trailing run pairs";
+  if !dp <> String.length dense then C.corrupt "Inverted: trailing dense bytes";
+  (* unsafe_of_containers revalidates universes and lengths; under
+     Codec.run a violation surfaces as a Malformed error *)
+  let t =
+    { docs;
+      postings = Postings.unsafe_of_containers ~policy ~universe ~vocab containers;
+      n;
+      cache = Isect_cache.create () }
+  in
+  I.auto_check (fun () -> check_invariants t);
+  t
+
+(* Version 1 layout: the flat arena (vocab, offsets, concatenated sorted
+   spans). Loading reclassifies each span under the hybrid policy — an
+   old snapshot silently gains the container upgrades. *)
+let decode_v1 r =
   let n = C.R.i64 r in
   let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
   let vocab = C.R.int_array r in
   let offsets = C.R.int_array r in
   let arena = C.R.int_array r in
-  (* unsafe_make revalidates the length/sentinel contract; under
-     Codec.run a violation surfaces as a Malformed error *)
-  let t = { docs; postings = Postings.unsafe_make ~vocab ~offsets ~arena; n } in
+  let t =
+    { docs;
+      postings =
+        Postings.unsafe_make ~policy:U.Container.Hybrid ~universe:(Array.length docs) ~vocab
+          ~offsets arena;
+      n;
+      cache = Isect_cache.create () }
+  in
   I.auto_check (fun () -> check_invariants t);
   t
 
@@ -175,7 +373,7 @@ let save path t =
 
 let load path =
   C.run (fun () ->
-      let sections = C.load_kind_exn ~path ~kind in
+      let version, sections = C.load_kind_versioned_exn ~path ~kind in
       let mdocs, mwords, mn =
         C.decode_section sections "meta" (fun r ->
             let a = C.R.i64 r in
@@ -183,7 +381,7 @@ let load path =
             let c = C.R.i64 r in
             (a, b, c))
       in
-      let t = C.decode_section sections "index" decode in
+      let t = C.decode_section sections "index" (if version <= 1 then decode_v1 else decode) in
       if Array.length t.docs <> mdocs || Postings.num_words t.postings <> mwords || t.n <> mn
       then C.corrupt "Inverted: meta section disagrees with the decoded index";
       t)

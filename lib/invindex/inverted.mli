@@ -2,15 +2,19 @@
     of ids of objects whose document contains [w]. This is simultaneously
     (i) the "keywords only" naive baseline of Section 1, and (ii) the
     standard encoding that makes pure keyword search identical to k-SI
-    reporting. *)
+    reporting. Postings are stored as hybrid containers
+    ({!Kwsc_util.Container}: sorted array / packed bitmap / run pairs by
+    density) and queried through the cost-based {!Kwsc_util.Planner}. *)
 
 type t
 
-val build : ?pool:Kwsc_util.Pool.t -> Doc.t array -> t
+val build : ?pool:Kwsc_util.Pool.t -> ?policy:Kwsc_util.Container.policy -> Doc.t array -> t
 (** [build docs] indexes objects [0 .. Array.length docs - 1]. Posting
     lists are materialized and sorted as parallel [pool] tasks (default
     {!Kwsc_util.Pool.default}); the index is identical at every pool
-    size. *)
+    size. [policy] (default [Hybrid]) classifies each posting into its
+    container kind; [Sparse_only] reproduces the flat-array layout for
+    A/B benchmarks. *)
 
 val input_size : t -> int
 (** N = total document size, equation (2). *)
@@ -19,7 +23,7 @@ val vocabulary : t -> int array
 (** Sorted distinct keywords across all documents. *)
 
 val postings : t -> Postings.t
-(** The flat postings arena behind this index — the zero-allocation query
+(** The hybrid postings behind this index — the zero-allocation query
     surface ({!Postings.query_into}, {!Postings.iter_posting}) for hot
     loops that reuse buffers across queries. *)
 
@@ -27,24 +31,37 @@ val posting : t -> int -> int array
 (** [posting t w] is the sorted id list of objects containing [w]
     (empty if [w] occurs nowhere). The returned array is a fresh copy on
     every call — callers may keep or mutate it freely without aliasing
-    the index (use {!postings} + {!Postings.iter_posting} to read a span
-    without the copy). *)
+    the index (use {!postings} + {!Postings.iter_posting} to read a
+    posting without the copy). *)
 
 val frequency : t -> int -> int
-(** Posting-list length. *)
+(** Posting cardinality (exact). *)
 
 val query : t -> int array -> int array
 (** [query t ws] is the id set of objects containing all keywords of [ws]
-    — a k-SI reporting query over the postings. Intersects the posting
-    spans rarest-first by the adaptive kernel (sequential merge for
-    balanced spans, galloping probes into much larger ones). Sorted
-    output.
+    — a k-SI reporting query over the postings. Containers are
+    intersected rarest-first by exact cardinality; the planner picks the
+    physical strategy (adaptive chain, probe, or word-parallel bitmap
+    AND) and hot two-keyword pairs above the tau admission threshold are
+    served from a bounded LFU cache. Answers are identical with the
+    planner on or off. Sorted output.
+
+    The cache makes this surface sequential: concurrent callers must use
+    {!query_batch} (which bypasses the cache) instead of sharing [t]
+    across domains through here.
 
     Keyword contract (shared with {!Postings.query_into}): [ws] may hold
     any number [>= 1] of keywords, duplicates included — the baseline
     is not arity-bound like the Table-1 wrappers. A keyword absent from
     every document short-circuits to an empty answer without scanning any
-    posting span. An empty [ws] raises [Invalid_argument]. *)
+    posting. An empty [ws] raises [Invalid_argument]. *)
+
+val cache_stats : t -> int * int * int
+(** (hits, misses, evictions) of the materialized-intersection cache
+    since build or {!reset_cache}. *)
+
+val reset_cache : t -> unit
+(** Drop the cached intersections and zero the counters. *)
 
 val query_naive : t -> int array -> int array
 (** Same result via full pairwise sorted-array intersection (the oracle used
@@ -55,12 +72,15 @@ val is_empty_query : t -> int array -> bool
 
 val query_batch : ?pool:Kwsc_util.Pool.t -> t -> int array array -> int array array
 (** [query_batch t wss] answers every keyword set of [wss], sharding the
-    stream across the [pool]; slot [i] is [query t wss.(i)]. *)
+    stream across the [pool]; slot [i] is [query t wss.(i)]. Bypasses
+    the pair cache, so shards never contend on shared state. *)
 
 val check_invariants : t -> Kwsc_util.Invariant.violation list
-(** Deep structural audit: every posting list strictly sorted and
-    duplicate-free, postings and documents mutually consistent (soundness
-    and completeness), vocabulary exact, and the N bookkeeping of
+(** Deep structural audit: every posting strictly sorted and
+    duplicate-free with its stored cardinality matching the physical
+    layout and its container kind matching the classification policy,
+    postings and documents mutually consistent (soundness and
+    completeness), vocabulary exact, and the N bookkeeping of
     equation (2) intact. Empty when well-formed. [build] runs this
     automatically when [KWSC_AUDIT=1]. *)
 
@@ -68,12 +88,15 @@ val kind : string
 (** Snapshot kind tag, ["kwsc.inverted"]. *)
 
 val save : string -> t -> unit
-(** Write a durable snapshot (documents plus the flat postings arena);
-    see {!Kwsc_snapshot.Codec} for the format. Raises [Sys_error] on IO
-    failure. *)
+(** Write a durable snapshot (documents plus kind-tagged container
+    sections: delta-encoded sparse ids, gap-encoded run pairs, packed
+    dense bitmap bytes); see {!Kwsc_snapshot.Codec} for the framing.
+    Cache state is never stored. Raises [Sys_error] on IO failure. *)
 
 val load : string -> (t, Kwsc_snapshot.Codec.error) result
-(** Rebuild the index from a snapshot in O(file size) — the arena and
-    offset tables are read back directly, no re-sorting. Corrupt input
-    returns a typed [Error], never raises; {!check_invariants} re-runs on
-    the loaded index when [KWSC_AUDIT=1]. *)
+(** Rebuild the index from a snapshot in O(file size) — containers are
+    reconstructed directly, no re-sorting. Version-1 snapshots (flat
+    arena postings) still load; their spans are reclassified under the
+    hybrid policy. Corrupt input returns a typed [Error], never raises;
+    {!check_invariants} re-runs on the loaded index when
+    [KWSC_AUDIT=1]. *)

@@ -1,0 +1,99 @@
+(* Bounded LFU cache of materialized two-keyword intersections.
+
+   Hot keyword pairs (the head of a Zipfian query distribution) pay the
+   full intersection once and are then answered by an array copy. The
+   cache is a fixed-capacity flat table scanned linearly — capacity is a
+   few dozen entries, so a scan costs less than one gallop probe of a
+   tau-sized posting — with least-frequently-used eviction. Admission is
+   the caller's job (Inverted gates it on Planner.worth_caching, the
+   N^(1-1/k) threshold algebra), so cold sparse pairs never churn it.
+
+   Everything here is flat records and int arrays: a fresh cache is
+   identical however it is built, so Marshal-digest determinism of the
+   enclosing index is preserved, and an index snapshot never stores cache
+   state (caches start cold on load). *)
+
+type entry = {
+  mutable w1 : int;
+  mutable w2 : int;
+  mutable freq : int; (* use count since admission; 0 = free slot *)
+  mutable ids : int array;
+}
+
+type t = {
+  entries : entry array;
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Isect_cache.create: capacity must be >= 1";
+  { entries = Array.init capacity (fun _ -> { w1 = -1; w2 = -1; freq = 0; ids = [||] });
+    used = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let capacity t = Array.length t.entries
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let reset t =
+  Array.iter
+    (fun e ->
+      e.w1 <- -1;
+      e.w2 <- -1;
+      e.freq <- 0;
+      e.ids <- [||])
+    t.entries;
+  t.used <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+(* canonical key order so (a, b) and (b, a) share a slot *)
+let norm w1 w2 = if w1 <= w2 then (w1, w2) else (w2, w1)
+
+let find t w1 w2 =
+  let w1, w2 = norm w1 w2 in
+  let hit = ref None in
+  let found = ref false in
+  let i = ref 0 in
+  let n = t.used in
+  while (not !found) && !i < n do
+    let e = t.entries.(!i) in
+    if e.freq > 0 && e.w1 = w1 && e.w2 = w2 then begin
+      e.freq <- e.freq + 1;
+      hit := Some e.ids;
+      found := true
+    end;
+    incr i
+  done;
+  if !found then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  !hit
+
+let store t w1 w2 ids =
+  let w1, w2 = norm w1 w2 in
+  let slot =
+    if t.used < Array.length t.entries then begin
+      let s = t.entries.(t.used) in
+      t.used <- t.used + 1;
+      s
+    end
+    else begin
+      (* evict the least frequently used entry (first minimum) *)
+      let best = ref t.entries.(0) in
+      Array.iter (fun e -> if e.freq < !best.freq then best := e) t.entries;
+      t.evictions <- t.evictions + 1;
+      !best
+    end
+  in
+  slot.w1 <- w1;
+  slot.w2 <- w2;
+  slot.freq <- 1;
+  slot.ids <- ids

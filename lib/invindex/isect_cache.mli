@@ -1,0 +1,39 @@
+(** Bounded LFU cache of materialized two-keyword intersections.
+
+    Hot keyword pairs pay the full intersection once and are then served
+    by an array copy. Fixed-capacity flat table, linear scan,
+    least-frequently-used eviction; admission is the caller's decision
+    ({!Inverted.query} gates it on {!Kwsc_util.Planner.worth_caching}).
+    A fresh cache is bit-identical however it is built, preserving the
+    Marshal-digest determinism contract of the enclosing index; snapshots
+    never store cache state. *)
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** Empty cache ([capacity] slots, default {!default_capacity}).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val find : t -> int -> int -> int array option
+(** [find t w1 w2] is the cached intersection of the (unordered) keyword
+    pair, bumping its use count on a hit. The returned array is the
+    cached storage itself — callers must copy before exposing it.
+    Counts one hit or one miss. *)
+
+val store : t -> int -> int -> int array -> unit
+(** Admit a materialized intersection for the (unordered) pair, evicting
+    the least-frequently-used entry when full. The array is adopted —
+    callers must not mutate it afterwards. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val reset : t -> unit
+(** Drop all entries and zero the counters. *)

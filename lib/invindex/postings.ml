@@ -1,35 +1,59 @@
-(* Flat postings layout: every keyword's sorted posting list lives as one
-   span of a single concatenated int arena, addressed through a sorted
-   vocabulary array and an offset table (offsets.(r) .. offsets.(r+1) is
-   the span of vocabulary rank r). Built by Inverted.build; replaces the
-   per-keyword boxed arrays behind a Hashtbl.
+(* Hybrid postings layout: every keyword's sorted posting list lives as
+   one Kwsc_util.Container — a sorted array when sparse, a packed 32-bit
+   bitmap when dense (frequency >= universe / 64), run pairs when
+   clustered — addressed through a sorted vocabulary array. Built by
+   Inverted.build from the concatenated arena; exact per-container
+   cardinalities feed the cost-based Kwsc_util.Planner, which picks the
+   intersection strategy (chain / probe / word-AND) per query.
 
    This module is a tagged query kernel (lint rule R9): no Hashtbl, no
-   list construction. Multi-keyword intersection runs by adaptive
-   merge/galloping over arena spans, rarest span first, accumulating into
-   caller-owned reusable buffers. *)
+   list construction. Multi-keyword intersection runs rarest-first by
+   exact cardinality through Container's kind-dispatched kernels,
+   accumulating into caller-owned reusable buffers. *)
+
+module U = Kwsc_util
 
 type t = {
   vocab : int array; (* sorted distinct keywords, rank order *)
-  offsets : int array; (* length num_words + 1; offsets.(0) = 0 *)
-  arena : int array; (* concatenated sorted posting spans *)
+  containers : U.Container.t array; (* one per vocabulary rank *)
+  universe : int; (* ids live in [0, universe) *)
+  total : int; (* sum of all cardinalities (= old arena size) *)
+  policy : U.Container.policy;
 }
 
-let unsafe_make ~vocab ~offsets ~arena =
+let unsafe_of_containers ?(policy = U.Container.Hybrid) ~universe ~vocab containers =
+  let nw = Array.length vocab in
+  if Array.length containers <> nw then
+    invalid_arg "Postings.unsafe_of_containers: one container per vocabulary word";
+  let total = ref 0 in
+  Array.iter
+    (fun c ->
+      if U.Container.universe c <> universe then
+        invalid_arg "Postings.unsafe_of_containers: container universe mismatch";
+      total := !total + U.Container.cardinality c)
+    containers;
+  { vocab; containers; universe; total = !total; policy }
+
+let unsafe_make ?(policy = U.Container.Hybrid) ~universe ~vocab ~offsets arena =
   let nw = Array.length vocab in
   if Array.length offsets <> nw + 1 then
     invalid_arg "Postings.unsafe_make: offsets must have one entry per word plus a sentinel";
   if nw > 0 && offsets.(0) <> 0 then invalid_arg "Postings.unsafe_make: offsets must start at 0";
   if Array.length offsets > 0 && offsets.(nw) <> Array.length arena then
     invalid_arg "Postings.unsafe_make: offset sentinel must equal the arena length";
-  { vocab; offsets; arena }
+  let containers =
+    Array.init nw (fun r ->
+        U.Container.of_sorted_array ~policy ~universe
+          (Array.sub arena offsets.(r) (offsets.(r + 1) - offsets.(r))))
+  in
+  { vocab; containers; universe; total = Array.length arena; policy }
 
 let num_words t = Array.length t.vocab
-let arena_size t = Array.length t.arena
+let size t = t.total
+let universe t = t.universe
+let policy t = t.policy
 let word t r = t.vocab.(r)
-let start t r = t.offsets.(r)
-let stop t r = t.offsets.(r + 1)
-let arena_get t i = t.arena.(i)
+let container t r = t.containers.(r)
 
 (* vocabulary rank of keyword w, or -1 when w occurs nowhere *)
 let rank t w =
@@ -42,37 +66,41 @@ let rank t w =
 
 let frequency t w =
   let r = rank t w in
-  if r < 0 then 0 else t.offsets.(r + 1) - t.offsets.(r)
+  if r < 0 then 0 else U.Container.cardinality t.containers.(r)
 
 let iter_posting t w f =
   let r = rank t w in
-  if r >= 0 then
-    for i = t.offsets.(r) to t.offsets.(r + 1) - 1 do
-      f t.arena.(i)
-    done
+  if r >= 0 then U.Container.iter f t.containers.(r)
 
 let copy_posting t w =
   let r = rank t w in
-  if r < 0 then [||]
-  else Array.sub t.arena t.offsets.(r) (t.offsets.(r + 1) - t.offsets.(r))
+  if r < 0 then [||] else U.Container.to_sorted_array t.containers.(r)
 
 let mem t w id =
   let r = rank t w in
-  r >= 0
-  &&
-  let lo = t.offsets.(r) and hi = t.offsets.(r + 1) in
-  let p = Kwsc_util.Sorted.gallop_lower_bound t.arena ~lo ~hi id in
-  p < hi && t.arena.(p) = id
+  r >= 0 && U.Container.mem t.containers.(r) id
+
+let kind_counts t =
+  let s = ref 0 and d = ref 0 and r = ref 0 in
+  Array.iter
+    (fun c ->
+      match U.Container.kind c with
+      | U.Container.Sparse -> incr s
+      | U.Container.Dense -> incr d
+      | U.Container.Runs -> incr r)
+    t.containers;
+  (!s, !d, !r)
 
 (* [query_into t ws out tmp] leaves the sorted intersection of all the
-   keyword postings in [out] ([tmp] is scratch). Spans are intersected
-   rarest-first, so the running result can only shrink. *)
+   keyword postings in [out] ([tmp] is scratch). Containers are ordered
+   rarest-first by exact cardinality; the planner then picks the
+   physical strategy (chain / probe / word-AND). *)
 let query_into t ws out tmp =
   let k = Array.length ws in
   if k = 0 then invalid_arg "Postings.query_into: need at least one keyword";
-  Kwsc_util.Ibuf.clear out;
-  Kwsc_util.Ibuf.clear tmp;
-  (* vocabulary ranks, sorted by ascending span length (insertion sort:
+  U.Ibuf.clear out;
+  U.Ibuf.clear tmp;
+  (* vocabulary ranks, sorted by ascending cardinality (insertion sort:
      k is the query keyword count, tiny) *)
   let ranks = Array.make k (-1) in
   let empty = ref false in
@@ -81,7 +109,7 @@ let query_into t ws out tmp =
     if r < 0 then empty := true else ranks.(i) <- r
   done;
   if not !empty then begin
-    let len r = t.offsets.(r + 1) - t.offsets.(r) in
+    let len r = U.Container.cardinality t.containers.(r) in
     for i = 1 to k - 1 do
       let x = ranks.(i) in
       let j = ref (i - 1) in
@@ -91,37 +119,17 @@ let query_into t ws out tmp =
       done;
       ranks.(!j + 1) <- x
     done;
-    (* The two rarest distinct spans intersect arena-to-arena straight
-       into [out], skipping a seed copy of the rarest span; only a
-       single-keyword (or all-duplicate) query copies its span. *)
-    let r0 = ranks.(0) in
-    let i = ref 1 in
-    while !i < k && ranks.(!i) = r0 do
-      incr i
+    (* drop duplicate keywords: intersecting with the same container
+       again is the identity (equal ranks are now adjacent) *)
+    let kd = ref 0 in
+    for i = 0 to k - 1 do
+      if i = 0 || ranks.(i) <> ranks.(i - 1) then begin
+        ranks.(!kd) <- ranks.(i);
+        incr kd
+      end
     done;
-    if !i >= k then
-      for p = t.offsets.(r0) to t.offsets.(r0 + 1) - 1 do
-        Kwsc_util.Ibuf.push out t.arena.(p)
-      done
-    else begin
-      let r1 = ranks.(!i) in
-      Kwsc_util.Sorted.gallop_intersect_into t.arena ~alo:t.offsets.(r0)
-        ~ahi:t.offsets.(r0 + 1) t.arena ~blo:t.offsets.(r1) ~bhi:t.offsets.(r1 + 1) out;
-      incr i;
-      while !i < k && Kwsc_util.Ibuf.length out > 0 do
-        let r = ranks.(!i) in
-        (* skip duplicate keywords: intersecting with the same span again
-           is the identity *)
-        if r <> ranks.(!i - 1) then begin
-          Kwsc_util.Ibuf.clear tmp;
-          Kwsc_util.Sorted.gallop_intersect_into (Kwsc_util.Ibuf.unsafe_data out) ~alo:0
-            ~ahi:(Kwsc_util.Ibuf.length out) t.arena ~blo:t.offsets.(r)
-            ~bhi:t.offsets.(r + 1) tmp;
-          Kwsc_util.Ibuf.swap out tmp
-        end;
-        incr i
-      done
-    end
+    let cs = Array.init !kd (fun i -> t.containers.(ranks.(i))) in
+    U.Container.intersect_query (U.Planner.choose cs) cs ~out ~tmp
   end
 
 let query t ws =
@@ -130,7 +138,7 @@ let query t ws =
      reporting the canonical contract violation *)
   if Array.length ws = 0 then invalid_arg "Postings.query_into: need at least one keyword";
   let cap = max 1 (Array.fold_left (fun acc w -> min acc (frequency t w)) max_int ws) in
-  let out = Kwsc_util.Ibuf.create ~capacity:cap () in
-  let tmp = Kwsc_util.Ibuf.create ~capacity:cap () in
+  let out = U.Ibuf.create ~capacity:cap () in
+  let tmp = U.Ibuf.create ~capacity:cap () in
   query_into t ws out tmp;
-  Kwsc_util.Ibuf.to_array out
+  U.Ibuf.to_array out

@@ -1,26 +1,57 @@
-(** Flat postings layout: every keyword's sorted posting list is one span
-    of a single concatenated int arena, addressed through a sorted
-    vocabulary array and an offset table. Built by {!Inverted.build};
-    replaces per-keyword boxed arrays behind a [Hashtbl] so a k-SI query
-    touches two cache-friendly flat arrays and nothing else.
+(** Hybrid postings layout: every keyword's sorted posting list is one
+    {!Kwsc_util.Container} — a sorted array when sparse, a packed bitmap
+    when dense (frequency at least universe / 64), run pairs when
+    clustered — addressed through a sorted vocabulary array. Built by
+    {!Inverted.build}; the exact per-container cardinalities feed the
+    cost-based {!Kwsc_util.Planner}, which picks the intersection
+    strategy (chain / probe / word-AND) per query.
 
     This module is a tagged query kernel (lint rule R9): no [Hashtbl], no
-    list construction. Multi-keyword intersection runs adaptively over
-    arena spans (sequential merge for balanced spans, galloping for
-    skewed ones), rarest first, into caller-owned reusable buffers. *)
+    list construction. Multi-keyword intersection runs rarest-first by
+    exact cardinality through the kind-dispatched container kernels, into
+    caller-owned reusable buffers. *)
 
 type t
 
-val unsafe_make : vocab:int array -> offsets:int array -> arena:int array -> t
-(** Raw constructor used by {!Inverted.build}. [offsets] has one entry
+val unsafe_make :
+  ?policy:Kwsc_util.Container.policy ->
+  universe:int ->
+  vocab:int array ->
+  offsets:int array ->
+  int array ->
+  t
+(** [unsafe_make ~universe ~vocab ~offsets arena] is the raw constructor
+    used by {!Inverted.build}. [offsets] has one entry
     per vocabulary rank plus a sentinel equal to the arena length; rank
-    [r]'s posting span is [arena.(offsets.(r)) .. arena.(offsets.(r+1) - 1)].
-    Checks only length/sentinel consistency; span sortedness is the
-    builder's contract (audited by [Inverted.check_invariants] under
-    [KWSC_AUDIT=1]). *)
+    [r]'s posting span is [arena.(offsets.(r)) .. arena.(offsets.(r+1) - 1)],
+    strictly sorted over ids in [\[0, universe)]. Each span is classified
+    and packed into its container ([policy] defaults to [Hybrid];
+    [Sparse_only] reproduces the flat-array PR 3 layout for A/B
+    benches). Checks length/sentinel consistency and per-span sortedness
+    (via container construction); deeper structure is audited by
+    [Inverted.check_invariants] under [KWSC_AUDIT=1]. *)
+
+val unsafe_of_containers :
+  ?policy:Kwsc_util.Container.policy ->
+  universe:int ->
+  vocab:int array ->
+  Kwsc_util.Container.t array ->
+  t
+(** Adopt pre-built containers (the snapshot decode path): one per
+    vocabulary rank, all over the same universe.
+    @raise Invalid_argument on a length or universe mismatch. *)
 
 val num_words : t -> int
-val arena_size : t -> int
+
+val size : t -> int
+(** Total posted pairs — the sum of all cardinalities (what the flat
+    arena length used to be). *)
+
+val universe : t -> int
+(** Ids live in [\[0, universe)]. *)
+
+val policy : t -> Kwsc_util.Container.policy
+(** The classification policy this index was built under. *)
 
 val word : t -> int -> int
 (** Keyword at vocabulary rank [r] (ranks are sorted by keyword). *)
@@ -28,40 +59,43 @@ val word : t -> int -> int
 val rank : t -> int -> int
 (** Vocabulary rank of a keyword, or [-1] when it occurs nowhere. *)
 
-val start : t -> int -> int
-(** First arena index of rank [r]'s span. *)
-
-val stop : t -> int -> int
-(** One past the last arena index of rank [r]'s span. *)
-
-val arena_get : t -> int -> int
+val container : t -> int -> Kwsc_util.Container.t
+(** The posting container at vocabulary rank [r]. *)
 
 val frequency : t -> int -> int
-(** Posting-span length of a keyword (0 if absent). *)
+(** Posting cardinality of a keyword (0 if absent) — exact, O(log
+    vocabulary). *)
+
+val kind_counts : t -> int * int * int
+(** How many containers are (sparse, dense, runs). *)
 
 val iter_posting : t -> int -> (int -> unit) -> unit
-(** Apply a callback to each object id of a keyword's span, in ascending
-    order, without materializing anything. *)
+(** Apply a callback to each object id of a keyword's posting, in
+    ascending order, without materializing anything. *)
 
 val copy_posting : t -> int -> int array
-(** Fresh copy of a keyword's posting span (empty if absent). *)
+(** Fresh sorted copy of a keyword's posting (empty if absent). *)
 
 val mem : t -> int -> int -> bool
-(** [mem t w id]: does keyword [w]'s posting span contain [id]?
-    Galloping search, no allocation. *)
+(** [mem t w id]: does keyword [w]'s posting contain [id]? O(log card)
+    sparse, O(1) dense, O(log runs) run containers; no allocation. *)
 
 val query_into : t -> int array -> Kwsc_util.Ibuf.t -> Kwsc_util.Ibuf.t -> unit
 (** [query_into t ws out tmp] leaves the sorted id set of objects whose
     documents contain every keyword of [ws] in [out] ([tmp] is scratch;
-    both are cleared first). Spans are intersected rarest-first (the two
-    rarest arena-to-arena, then ping-ponging between the buffers) by the
-    adaptive kernel of {!Kwsc_util.Sorted.gallop_intersect_into}; with
-    warmed-up buffers the query allocates only one small rank array.
+    both are cleared first). Containers are ordered rarest-first by
+    exact cardinality, duplicates dropped, and the planner picks the
+    physical strategy: pairwise chain through the kind-dispatched
+    kernels, probe of the rarest container against the others, or
+    word-parallel bitmap AND when every container is dense. With warmed
+    buffers the query allocates only two small per-query arrays (ranks
+    and container slots).
 
     [ws] may hold any number [>= 1] of keywords, duplicates included. A
     keyword absent from the vocabulary makes the intersection certainly
-    empty, and rarest-first selection short-circuits: OUT = 0 is answered
-    without touching any posting span.
+    empty, and the short-circuit answers OUT = 0 without touching any
+    container. Answers and buffers are identical under every planner
+    setting — the strategy changes only the physical kernel.
     @raise Invalid_argument on an empty keyword set. *)
 
 val query : t -> int array -> int array

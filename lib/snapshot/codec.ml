@@ -51,7 +51,13 @@ let run f =
       | exception End_of_file -> Error Truncated)
 
 let magic = "KWSCSNAP"
-let format_version = 1
+
+(* Version 2 added hybrid posting containers (kind-tagged sections in
+   kwsc.inverted). Writers emit [format_version]; readers accept the
+   whole [min_supported_version .. format_version] range and each index
+   module dispatches its decoder on the version it actually got. *)
+let format_version = 2
+let min_supported_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, reflected polynomial)                           *)
@@ -401,10 +407,12 @@ let read_frame_str r =
   let n = R.len r ~elt:1 in
   R.take r n
 
-let save_file ~path ~kind sections =
+let save_file ?(version = format_version) ~path ~kind sections =
+  if version < min_supported_version || version > format_version then
+    invalid_arg "Codec.save_file: unsupported format version";
   let b = Buffer.create (1 lsl 16) in
   Buffer.add_string b magic;
-  Buffer.add_int64_le b (Int64.of_int format_version);
+  Buffer.add_int64_le b (Int64.of_int version);
   frame_str b kind;
   W.i64 b (List.length sections);
   List.iter
@@ -430,13 +438,14 @@ let read_file path =
       try really_input_string ic n
       with End_of_file | Sys_error _ -> raise (Corrupt Truncated))
 
-let load_file_exn ~path =
+let load_versioned_exn ~path =
   let data = read_file path in
   let r = R.of_string data in
   let m = try R.take r (String.length magic) with Corrupt _ -> raise (Corrupt Bad_magic) in
   if not (String.equal m magic) then raise (Corrupt Bad_magic);
   let version = R.i64 r in
-  if version <> format_version then raise (Corrupt (Bad_version version));
+  if version < min_supported_version || version > format_version then
+    raise (Corrupt (Bad_version version));
   let kind = read_frame_str r in
   let nsections = R.len r ~elt:1 in
   let sections = ref [] in
@@ -452,7 +461,11 @@ let load_file_exn ~path =
   done;
   if not (R.at_end r) then
     corrupt (Printf.sprintf "%d trailing bytes after the last section" (R.remaining r));
-  (kind, List.rev !sections)
+  (version, kind, List.rev !sections)
+
+let load_file_exn ~path =
+  let _, kind, sections = load_versioned_exn ~path in
+  (kind, sections)
 
 let load_file ~path = run (fun () -> load_file_exn ~path)
 let peek_kind ~path = run (fun () -> fst (load_file_exn ~path))
@@ -461,6 +474,11 @@ let load_kind_exn ~path ~kind =
   let got, sections = load_file_exn ~path in
   if not (String.equal got kind) then raise (Corrupt (Bad_kind { expected = kind; got }));
   sections
+
+let load_kind_versioned_exn ~path ~kind =
+  let version, got, sections = load_versioned_exn ~path in
+  if not (String.equal got kind) then raise (Corrupt (Bad_kind { expected = kind; got }));
+  (version, sections)
 
 let decode_section sections name f =
   match List.assoc_opt name sections with

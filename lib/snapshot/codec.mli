@@ -122,11 +122,20 @@ val crc32 : string -> int
     non-negative int in [0, 2^32). *)
 
 val magic : string
-val format_version : int
 
-val save_file : path:string -> kind:string -> (string * string) list -> unit
+val format_version : int
+(** The version new snapshots are written at (2 since hybrid posting
+    containers). *)
+
+val min_supported_version : int
+(** Oldest version readers still accept (1: flat-arena postings). *)
+
+val save_file : ?version:int -> path:string -> kind:string -> (string * string) list -> unit
 (** [save_file ~path ~kind sections] writes a snapshot file with the
-    named payload sections. Raises [Sys_error] on IO failure. *)
+    named payload sections at [version] (default {!format_version};
+    older supported versions exist for back-compat tests — the caller
+    must then emit that version's section layout). Raises [Sys_error]
+    on IO failure, [Invalid_argument] on an unsupported version. *)
 
 val load_file_exn : path:string -> string * (string * string) list
 (** Read and validate a snapshot file: magic, version, framing and every
@@ -138,6 +147,12 @@ val load_file : path:string -> (string * (string * string) list, error) result
 val peek_kind : path:string -> (string, error) result
 (** The kind string of a snapshot file (fully validated first) — lets a
     caller dispatch to the right index module's [load]. *)
+
+val load_kind_versioned_exn : path:string -> kind:string -> int * (string * string) list
+(** As {!load_kind_exn}, also returning the format version the file was
+    written at (within the supported range) so a decoder can dispatch on
+    the section layout it should expect.
+    @raise Corrupt on any defect. *)
 
 val load_kind_exn : path:string -> kind:string -> (string * string) list
 (** As {!load_file_exn}, additionally checking the kind.

@@ -1,8 +1,16 @@
-type t = { bits : Bytes.t; n : int }
+(* A bit set is a window of [n] bits starting at byte [boff] of a backing
+   store. Standalone sets own their whole store (boff = 0); pooled sets
+   share one store with byte-aligned disjoint windows, so a builder can
+   allocate the emptiness arrays of all children of a node at once and
+   parallel child tasks can fill them without false structural sharing
+   issues (each task writes only its own byte range). *)
+type t = { bits : Bytes.t; boff : int; n : int }
+
+let bytes_for n = (n + 7) / 8
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative size";
-  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+  { bits = Bytes.make (bytes_for n) '\000'; boff = 0; n }
 
 let length t = t.n
 
@@ -10,44 +18,70 @@ let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: index out of rang
 
 let set t i =
   check t i;
-  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
-  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+  let j = t.boff + (i lsr 3) in
+  let byte = Char.code (Bytes.get t.bits j) in
+  Bytes.set t.bits j (Char.chr (byte lor (1 lsl (i land 7))))
 
 let clear t i =
   check t i;
-  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
-  Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xff))
+  let j = t.boff + (i lsr 3) in
+  let byte = Char.code (Bytes.get t.bits j) in
+  Bytes.set t.bits j (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xff))
 
 let get t i =
   check t i;
-  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Char.code (Bytes.get t.bits (t.boff + (i lsr 3))) land (1 lsl (i land 7)) <> 0
+
+(* per-byte popcounts, filled once at module init *)
+let byte_popcount =
+  let tbl = Array.make 256 0 in
+  for b = 1 to 255 do
+    tbl.(b) <- tbl.(b lsr 1) + (b land 1)
+  done;
+  tbl
 
 let popcount t =
   let c = ref 0 in
-  for i = 0 to Bytes.length t.bits - 1 do
-    let b = ref (Char.code (Bytes.get t.bits i)) in
-    while !b <> 0 do
-      c := !c + (!b land 1);
-      b := !b lsr 1
-    done
+  for j = t.boff to t.boff + bytes_for t.n - 1 do
+    c := !c + byte_popcount.(Char.code (Bytes.get t.bits j))
   done;
   !c
 
-let words t = (Bytes.length t.bits + 7) / 8
+let words t = (bytes_for t.n + 7) / 8
 
-let to_bytes t = Bytes.copy t.bits
+let to_bytes t = Bytes.sub t.bits t.boff (bytes_for t.n)
 
 let of_bytes n bits =
   if n < 0 then invalid_arg "Bitset.of_bytes: negative size";
-  if Bytes.length bits <> (n + 7) / 8 then
+  if Bytes.length bits <> bytes_for n then
     invalid_arg "Bitset.of_bytes: storage does not match the bit count";
-  { bits = Bytes.copy bits; n }
+  { bits = Bytes.copy bits; boff = 0; n }
 
 let of_sub_string n s off =
   if n < 0 then invalid_arg "Bitset.of_sub_string: negative size";
-  let nb = (n + 7) / 8 in
+  let nb = bytes_for n in
   if off < 0 || off > String.length s - nb then
     invalid_arg "Bitset.of_sub_string: slice out of range";
   let bits = Bytes.create nb in
   Bytes.blit_string s off bits 0 nb;
-  { bits; n }
+  { bits; boff = 0; n }
+
+let pool_create ~count ~n =
+  if count < 0 then invalid_arg "Bitset.pool_create: negative count";
+  if n < 0 then invalid_arg "Bitset.pool_create: negative size";
+  Bytes.make (count * bytes_for n) '\000'
+
+let pool_view pool ~index ~n =
+  if n < 0 then invalid_arg "Bitset.pool_view: negative size";
+  let nb = bytes_for n in
+  let off = index * nb in
+  if index < 0 || off + nb > Bytes.length pool then
+    invalid_arg "Bitset.pool_view: slice out of range";
+  { bits = pool; boff = off; n }
+
+let of_shared_bytes bits ~off ~n =
+  if n < 0 then invalid_arg "Bitset.of_shared_bytes: negative size";
+  let nb = bytes_for n in
+  if off < 0 || off > Bytes.length bits - nb then
+    invalid_arg "Bitset.of_shared_bytes: slice out of range";
+  { bits; boff = off; n }

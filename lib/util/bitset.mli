@@ -44,3 +44,21 @@ val of_sub_string : int -> string -> int -> t
     [(n + 7) / 8] bytes of [s] starting at [off] — the single-copy path
     for deserializing many bit sets out of one pooled string.
     @raise Invalid_argument if the slice falls outside [s]. *)
+
+val pool_create : count:int -> n:int -> Bytes.t
+(** One zeroed backing store for [count] bit sets of [n] bits each,
+    byte-aligned back to back. A builder that needs a set per child
+    allocates the pool once and hands each child a {!pool_view}; the
+    views' byte ranges are disjoint, so parallel tasks may fill sibling
+    views concurrently. @raise Invalid_argument on negative inputs. *)
+
+val pool_view : Bytes.t -> index:int -> n:int -> t
+(** The [index]-th [n]-bit window of a pool — aliased, not copied:
+    mutations through the view write the pool.
+    @raise Invalid_argument if the window falls outside the pool. *)
+
+val of_shared_bytes : Bytes.t -> off:int -> n:int -> t
+(** An [n]-bit view of [bits] starting at byte [off] — aliased, not
+    copied: the zero-copy path for deserializing many bit sets out of
+    one pooled buffer. @raise Invalid_argument if the slice falls
+    outside [bits]. *)

@@ -1,0 +1,469 @@
+(* Hybrid posting containers: one keyword's sorted id set stored in the
+   cheapest of three physical layouts, chosen by exact density — sorted
+   arrays for sparse sets, packed 32-bit bitmaps for dense ones, and
+   (start, length) run pairs for clustered ranges (the Roaring-bitmap
+   container dichotomy adapted to flat int arrays). Cardinality is kept
+   exact per container so the query planner never estimates.
+
+   This module is a tagged query kernel (lint rule R9): no Hashtbl, no
+   list construction. All intersection kernels append ascending ids into
+   caller-owned reusable buffers; raw bitmap words never leave this file
+   except through [unsafe_words] (lint rule R11 confines its use here). *)
+
+type kind = Sparse | Dense | Runs
+type policy = Hybrid | Sparse_only
+type strategy = Chain | Probe | And_words
+
+type t = {
+  kind : kind;
+  card : int; (* exact cardinality *)
+  universe : int; (* ids live in [0, universe) *)
+  ids : int array; (* Sparse: sorted ids; Runs: flattened (start, len) pairs *)
+  words : int array; (* Dense: 32-bit little-endian packed words *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bit twiddling                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* SWAR popcount of a 32-bit word (the OCaml int holds it unboxed). *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x5555_5555) in
+  let x = (x land 0x3333_3333) + ((x lsr 2) land 0x3333_3333) in
+  let x = (x + (x lsr 4)) land 0x0f0f_0f0f in
+  (x * 0x0101_0101) lsr 24 land 0x3f
+
+(* number of trailing zeros of a non-zero 32-bit word *)
+let ntz32 b = popcount32 ((b land -b) - 1)
+let nwords universe = (universe + 31) lsr 5
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A set is dense enough for a bitmap when it fills at least 1/64 of the
+   universe (the bitmap then costs at most 2 words per stored id), and
+   run-compressible when it has at most card/4 maximal runs (pairs then
+   cost at most half the sorted array). *)
+let dense_cutoff = 64
+let runs_cutoff = 4
+
+let classify ~policy ~universe ~card ~nruns =
+  match policy with
+  | Sparse_only -> Sparse
+  | Hybrid ->
+      if card = 0 then Sparse
+      else begin
+        (* smallest physical footprint among the eligible layouts; ties
+           prefer the simpler representation (Sparse, then Runs) *)
+        let s_sparse = card in
+        let s_runs = if nruns * runs_cutoff <= card then 2 * nruns else max_int in
+        let s_dense = if card * dense_cutoff >= universe then nwords universe else max_int in
+        if s_sparse <= s_runs && s_sparse <= s_dense then Sparse
+        else if s_runs <= s_dense then Runs
+        else Dense
+      end
+
+let count_runs ids =
+  let n = Array.length ids in
+  if n = 0 then 0
+  else begin
+    let r = ref 1 in
+    for i = 1 to n - 1 do
+      if ids.(i) <> ids.(i - 1) + 1 then incr r
+    done;
+    !r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let validate_ids ~universe ids =
+  let n = Array.length ids in
+  for i = 0 to n - 1 do
+    let x = ids.(i) in
+    if x < 0 || x >= universe then invalid_arg "Container: id outside the universe";
+    if i > 0 && ids.(i - 1) >= x then invalid_arg "Container: ids must be strictly increasing"
+  done
+
+let build_sparse ~universe ids =
+  { kind = Sparse; card = Array.length ids; universe; ids; words = [||] }
+
+let build_dense ~universe ids =
+  let w = Array.make (nwords universe) 0 in
+  Array.iter (fun x -> w.(x lsr 5) <- w.(x lsr 5) lor (1 lsl (x land 31))) ids;
+  { kind = Dense; card = Array.length ids; universe; ids = [||]; words = w }
+
+let build_runs ~universe ids =
+  let nr = count_runs ids in
+  let pairs = Array.make (2 * nr) 0 in
+  let r = ref (-1) in
+  Array.iteri
+    (fun i x ->
+      if i = 0 || x <> ids.(i - 1) + 1 then begin
+        incr r;
+        pairs.(2 * !r) <- x
+      end;
+      pairs.((2 * !r) + 1) <- pairs.((2 * !r) + 1) + 1)
+    ids;
+  { kind = Runs; card = Array.length ids; universe; ids = pairs; words = [||] }
+
+let of_sorted_array_kind k ~universe ids =
+  validate_ids ~universe ids;
+  match k with
+  | Sparse -> build_sparse ~universe ids
+  | Dense -> build_dense ~universe ids
+  | Runs -> build_runs ~universe ids
+
+let of_sorted_array ?(policy = Hybrid) ~universe ids =
+  validate_ids ~universe ids;
+  let card = Array.length ids in
+  match classify ~policy ~universe ~card ~nruns:(count_runs ids) with
+  | Sparse -> build_sparse ~universe ids
+  | Dense -> build_dense ~universe ids
+  | Runs -> build_runs ~universe ids
+
+let of_runs ~universe pairs =
+  let np = Array.length pairs in
+  if np land 1 <> 0 then invalid_arg "Container.of_runs: odd pair array";
+  let card = ref 0 in
+  for r = 0 to (np lsr 1) - 1 do
+    let s = pairs.(2 * r) and len = pairs.((2 * r) + 1) in
+    if len < 1 then invalid_arg "Container.of_runs: run length must be >= 1";
+    if s < 0 || s + len > universe then invalid_arg "Container.of_runs: run outside the universe";
+    (* maximal runs: the next run must leave a gap of at least one id *)
+    if r > 0 && s <= pairs.(2 * (r - 1)) + pairs.((2 * (r - 1)) + 1) then
+      invalid_arg "Container.of_runs: runs must be sorted, disjoint and maximal";
+    card := !card + len
+  done;
+  { kind = Runs; card = !card; universe; ids = pairs; words = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kind t = t.kind
+let cardinality t = t.card
+let universe t = t.universe
+let unsafe_words t = t.words
+
+let runs_pairs t =
+  match t.kind with
+  | Runs -> Array.copy t.ids
+  | Sparse | Dense -> invalid_arg "Container.runs_pairs: not a run container"
+
+let mem t x =
+  x >= 0 && x < t.universe
+  &&
+  match t.kind with
+  | Sparse -> Sorted.mem_int t.ids x
+  | Dense -> t.words.(x lsr 5) land (1 lsl (x land 31)) <> 0
+  | Runs ->
+      (* last run with start <= x, by binary search over the pair array *)
+      let nr = Array.length t.ids lsr 1 in
+      let lo = ref 0 and hi = ref nr in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.ids.(2 * mid) <= x then lo := mid + 1 else hi := mid
+      done;
+      !lo > 0 && x < t.ids.(2 * (!lo - 1)) + t.ids.((2 * (!lo - 1)) + 1)
+
+let iter f t =
+  match t.kind with
+  | Sparse -> Array.iter f t.ids
+  | Dense ->
+      for w = 0 to Array.length t.words - 1 do
+        let m = ref t.words.(w) in
+        let base = w lsl 5 in
+        while !m <> 0 do
+          f (base + ntz32 !m);
+          m := !m land (!m - 1)
+        done
+      done
+  | Runs ->
+      for r = 0 to (Array.length t.ids lsr 1) - 1 do
+        let s = t.ids.(2 * r) in
+        for x = s to s + t.ids.((2 * r) + 1) - 1 do
+          f x
+        done
+      done
+
+let to_sorted_array t =
+  let out = Array.make t.card 0 in
+  let i = ref 0 in
+  iter
+    (fun x ->
+      out.(!i) <- x;
+      incr i)
+    t;
+  out
+
+let append_into t out = iter (fun x -> Ibuf.push out x) t
+
+(* recompute the cardinality from the physical layout (audit helper) *)
+let recount t =
+  match t.kind with
+  | Sparse -> Array.length t.ids
+  | Dense -> Array.fold_left (fun acc w -> acc + popcount32 w) 0 t.words
+  | Runs ->
+      let acc = ref 0 in
+      for r = 0 to (Array.length t.ids lsr 1) - 1 do
+        acc := !acc + t.ids.((2 * r) + 1)
+      done;
+      !acc
+
+(* number of maximal runs in the stored id set: O(1) for Runs, one pass
+   otherwise (audit / classification helper) *)
+let run_count t =
+  match t.kind with
+  | Runs -> Array.length t.ids lsr 1
+  | Sparse -> count_runs t.ids
+  | Dense ->
+      let r = ref 0 and prev = ref (-2) in
+      iter
+        (fun x ->
+          if x <> !prev + 1 then incr r;
+          prev := x)
+        t;
+      !r
+
+(* ------------------------------------------------------------------ *)
+(* Intersection kernels                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [inter_span_into a ~lo ~hi b out] appends the intersection of the
+   sorted strictly-increasing span a.[lo, hi) with container [b]. The
+   span's ids must lie in [0, universe b) — chain steps feed back prior
+   intersections of [b]'s siblings, which satisfy this by construction. *)
+let inter_span_into a ~lo ~hi b out =
+  match b.kind with
+  | Sparse -> Sorted.gallop_intersect_into a ~alo:lo ~ahi:hi b.ids ~blo:0 ~bhi:b.card out
+  | Dense ->
+      let w = b.words in
+      for i = lo to hi - 1 do
+        let x = a.(i) in
+        if w.(x lsr 5) land (1 lsl (x land 31)) <> 0 then Ibuf.push out x
+      done
+  | Runs ->
+      let pairs = b.ids in
+      let nr = Array.length pairs lsr 1 in
+      let i = ref lo and r = ref 0 in
+      while !i < hi && !r < nr do
+        let s = pairs.(2 * !r) in
+        let e = s + pairs.((2 * !r) + 1) in
+        let x = a.(!i) in
+        if x < s then i := Sorted.gallop_lower_bound a ~lo:!i ~hi s
+        else if x >= e then incr r
+        else begin
+          Ibuf.push out x;
+          incr i
+        end
+      done
+
+let inter_dense_dense a b out =
+  let wa = a.words and wb = b.words in
+  let nw = min (Array.length wa) (Array.length wb) in
+  for w = 0 to nw - 1 do
+    let m = ref (wa.(w) land wb.(w)) in
+    if !m <> 0 then begin
+      let base = w lsl 5 in
+      while !m <> 0 do
+        Ibuf.push out (base + ntz32 !m);
+        m := !m land (!m - 1)
+      done
+    end
+  done
+
+let inter_runs_dense runs dense out =
+  let pairs = runs.ids and w = dense.words in
+  let hi_cap = dense.universe in
+  for r = 0 to (Array.length pairs lsr 1) - 1 do
+    let s = pairs.(2 * r) in
+    let e = min (s + pairs.((2 * r) + 1)) hi_cap in
+    for x = s to e - 1 do
+      if w.(x lsr 5) land (1 lsl (x land 31)) <> 0 then Ibuf.push out x
+    done
+  done
+
+let inter_runs_runs a b out =
+  let pa = a.ids and pb = b.ids in
+  let na = Array.length pa lsr 1 and nb = Array.length pb lsr 1 in
+  (* disjoint-span bail, mirroring Sorted.gallop_intersect_into: when one
+     side ends before the other begins, the merge walk degenerates to
+     pure bookkeeping — answer empty in O(1) instead *)
+  if
+    na = 0 || nb = 0
+    || pa.((2 * (na - 1)) + 1) + pa.(2 * (na - 1)) <= pb.(0)
+    || pb.((2 * (nb - 1)) + 1) + pb.(2 * (nb - 1)) <= pa.(0)
+  then ()
+  else begin
+    let i = ref 0 and j = ref 0 in
+    while !i < na && !j < nb do
+      let sa = pa.(2 * !i) in
+      let ea = sa + pa.((2 * !i) + 1) in
+      let sb = pb.(2 * !j) in
+      let eb = sb + pb.((2 * !j) + 1) in
+      let lo = max sa sb and hi = min ea eb in
+      if lo < hi then
+        for x = lo to hi - 1 do
+          Ibuf.push out x
+        done;
+      if ea <= eb then incr i else incr j
+    done
+  end
+
+let inter_into a b out =
+  match (a.kind, b.kind) with
+  | Sparse, _ -> inter_span_into a.ids ~lo:0 ~hi:a.card b out
+  | _, Sparse -> inter_span_into b.ids ~lo:0 ~hi:b.card a out
+  | Dense, Dense -> inter_dense_dense a b out
+  | Runs, Dense -> inter_runs_dense a b out
+  | Dense, Runs -> inter_runs_dense b a out
+  | Runs, Runs -> inter_runs_runs a b out
+
+(* ------------------------------------------------------------------ *)
+(* Union (differential-test and maintenance surface, not a hot kernel)  *)
+(* ------------------------------------------------------------------ *)
+
+let union_into a b out =
+  if a.kind = Dense && b.kind = Dense && a.universe = b.universe then begin
+    let wa = a.words and wb = b.words in
+    for w = 0 to Array.length wa - 1 do
+      let m = ref (wa.(w) lor wb.(w)) in
+      let base = w lsl 5 in
+      while !m <> 0 do
+        Ibuf.push out (base + ntz32 !m);
+        m := !m land (!m - 1)
+      done
+    done
+  end
+  else begin
+    let xs = to_sorted_array a and ys = to_sorted_array b in
+    let nx = Array.length xs and ny = Array.length ys in
+    let i = ref 0 and j = ref 0 in
+    while !i < nx && !j < ny do
+      let x = xs.(!i) and y = ys.(!j) in
+      if x < y then begin
+        Ibuf.push out x;
+        incr i
+      end
+      else if y < x then begin
+        Ibuf.push out y;
+        incr j
+      end
+      else begin
+        Ibuf.push out x;
+        incr i;
+        incr j
+      end
+    done;
+    while !i < nx do
+      Ibuf.push out xs.(!i);
+      incr i
+    done;
+    while !j < ny do
+      Ibuf.push out ys.(!j);
+      incr j
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Multi-way intersection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_dense_same_universe cs =
+  let ok = ref true in
+  let u = cs.(0).universe in
+  Array.iter (fun c -> if c.kind <> Dense || c.universe <> u then ok := false) cs;
+  !ok
+
+let chain cs ~out ~tmp =
+  let k = Array.length cs in
+  inter_into cs.(0) cs.(1) out;
+  let i = ref 2 in
+  while !i < k && Ibuf.length out > 0 do
+    Ibuf.clear tmp;
+    inter_span_into (Ibuf.unsafe_data out) ~lo:0 ~hi:(Ibuf.length out) cs.(!i) tmp;
+    Ibuf.swap out tmp;
+    incr i
+  done
+
+(* [intersect_query strategy cs ~out ~tmp] leaves the sorted intersection
+   of all containers in [out] ([tmp] is scratch; both cleared first).
+   [cs] should be ordered rarest-first for Chain/Probe; And_words is
+   order-insensitive and silently degrades to Chain unless every
+   container is Dense over one universe. *)
+let intersect_query strategy cs ~out ~tmp =
+  let k = Array.length cs in
+  if k = 0 then invalid_arg "Container.intersect_query: need at least one container";
+  Ibuf.clear out;
+  Ibuf.clear tmp;
+  if k = 1 then append_into cs.(0) out
+  else
+    match strategy with
+    | Probe ->
+        iter
+          (fun x ->
+            let ok = ref true in
+            let i = ref 1 in
+            while !ok && !i < k do
+              if not (mem cs.(!i) x) then ok := false;
+              incr i
+            done;
+            if !ok then Ibuf.push out x)
+          cs.(0)
+    | And_words when all_dense_same_universe cs ->
+        let nw = nwords cs.(0).universe in
+        Ibuf.reserve tmp nw;
+        let sw = Ibuf.unsafe_data tmp in
+        Array.blit cs.(0).words 0 sw 0 nw;
+        for c = 1 to k - 1 do
+          let wc = cs.(c).words in
+          for w = 0 to nw - 1 do
+            sw.(w) <- sw.(w) land wc.(w)
+          done
+        done;
+        for w = 0 to nw - 1 do
+          let m = ref sw.(w) in
+          if !m <> 0 then begin
+            let base = w lsl 5 in
+            while !m <> 0 do
+              Ibuf.push out (base + ntz32 !m);
+              m := !m land (!m - 1)
+            done
+          end
+        done
+    | And_words | Chain -> chain cs ~out ~tmp
+
+(* ------------------------------------------------------------------ *)
+(* Serialization surface                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense payload as packed little-endian bytes: bit [i] of the set is bit
+   [i land 7] of byte [i lsr 3] — the same convention as Bitset, so the
+   snapshot layer stores bitmaps byte-exactly and width-tag-free. *)
+let dense_bytes t =
+  if t.kind <> Dense then invalid_arg "Container.dense_bytes: not a dense container";
+  let nb = (t.universe + 7) lsr 3 in
+  String.init nb (fun j -> Char.chr ((t.words.(j lsr 2) lsr ((j land 3) * 8)) land 0xff))
+
+let of_dense_bytes ~universe ~card s ~off =
+  if universe < 0 then invalid_arg "Container.of_dense_bytes: negative universe";
+  let nb = (universe + 7) lsr 3 in
+  if off < 0 || off > String.length s - nb then
+    invalid_arg "Container.of_dense_bytes: slice out of range";
+  let w = Array.make (nwords universe) 0 in
+  for j = 0 to nb - 1 do
+    let b = Char.code (String.unsafe_get s (off + j)) in
+    w.(j lsr 2) <- w.(j lsr 2) lor (b lsl ((j land 3) * 8))
+  done;
+  let total = Array.fold_left (fun acc x -> acc + popcount32 x) 0 w in
+  if total <> card then invalid_arg "Container.of_dense_bytes: popcount disagrees with cardinality";
+  (* bits at or beyond the universe must be clear *)
+  if universe land 31 <> 0 && Array.length w > 0 then begin
+    let last = w.(Array.length w - 1) in
+    if last lsr (universe land 31) <> 0 then
+      invalid_arg "Container.of_dense_bytes: bits set beyond the universe"
+  end;
+  { kind = Dense; card; universe; ids = [||]; words = w }

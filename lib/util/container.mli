@@ -1,0 +1,126 @@
+(** Hybrid posting containers (Roaring-style three-way dichotomy over flat
+    int arrays): one keyword's sorted id set stored as a sorted array
+    (sparse), a packed 32-bit bitmap (dense), or (start, length) run
+    pairs (clustered), with the exact cardinality kept per container so
+    the cost-based planner never estimates.
+
+    This module is a tagged query kernel (lint rule R9): no [Hashtbl], no
+    list construction. All kernels append ascending ids into caller-owned
+    reusable buffers. Raw bitmap words are confined here by lint rule R11
+    — [unsafe_words] exists only for this module's own kernels and the
+    lint fixture. *)
+
+type kind = Sparse | Dense | Runs
+
+type policy =
+  | Hybrid  (** classify each set by density (the default) *)
+  | Sparse_only  (** force sorted arrays everywhere (PR 3 behavior, for A/B benches) *)
+
+(** Physical execution strategy for a multi-way intersection, chosen by
+    {!Planner.choose}. *)
+type strategy =
+  | Chain  (** pairwise rarest-first, ping-ponging through the buffers *)
+  | Probe  (** scan the rarest container, membership-test the others *)
+  | And_words  (** word-parallel bitmap AND; requires all-dense inputs *)
+
+type t
+
+val popcount32 : int -> int
+(** SWAR popcount of a 32-bit word. Bits above 31 must be clear. *)
+
+val dense_cutoff : int
+(** A set is bitmap-eligible when [card * dense_cutoff >= universe] (64:
+    density at least 1/64, so the bitmap costs at most ~2 words/id). *)
+
+val runs_cutoff : int
+(** A set is run-eligible when [nruns * runs_cutoff <= card] (4: the run
+    pairs then cost at most half the sorted array). *)
+
+val classify : policy:policy -> universe:int -> card:int -> nruns:int -> kind
+(** The layout [of_sorted_array] would pick: the smallest physical
+    footprint among the eligible layouts (ties prefer [Sparse], then
+    [Runs]); [Sparse_only] always answers [Sparse]. *)
+
+val of_sorted_array : ?policy:policy -> universe:int -> int array -> t
+(** [of_sorted_array ~universe ids] classifies and packs a strictly
+    increasing id array over [\[0, universe)]. The array may be adopted
+    (not copied) — callers must not mutate it afterwards.
+    @raise Invalid_argument if ids are unsorted, duplicated or out of
+    range. *)
+
+val of_sorted_array_kind : kind -> universe:int -> int array -> t
+(** Same, but with the layout forced — the promotion/demotion surface the
+    differential suite uses to pin kernel equivalence at the thresholds. *)
+
+val of_runs : universe:int -> int array -> t
+(** Rebuild a run container from flattened (start, length) pairs — the
+    snapshot decode path. Pairs must be sorted, disjoint and maximal
+    (adjacent runs merged), lengths [>= 1], within the universe.
+    @raise Invalid_argument otherwise. *)
+
+val of_dense_bytes : universe:int -> card:int -> string -> off:int -> t
+(** Rebuild a dense container from [(universe + 7) / 8] packed bytes of
+    [s] at [off] (bit [i] is bit [i land 7] of byte [i lsr 3], as in
+    {!Bitset}) — the snapshot decode path.
+    @raise Invalid_argument if the slice falls outside [s], the popcount
+    disagrees with [card], or bits beyond the universe are set. *)
+
+val kind : t -> kind
+val cardinality : t -> int
+
+val universe : t -> int
+(** Ids live in [\[0, universe)]. *)
+
+val mem : t -> int -> bool
+(** O(log card) sparse, O(1) dense, O(log runs) run containers. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending id order, every kind. *)
+
+val to_sorted_array : t -> int array
+val append_into : t -> Ibuf.t -> unit
+
+val recount : t -> int
+(** Cardinality recomputed from the physical layout (audit helper —
+    equals {!cardinality} on a well-formed container). *)
+
+val run_count : t -> int
+(** Number of maximal runs in the stored set: O(1) for [Runs], one pass
+    otherwise. *)
+
+val runs_pairs : t -> int array
+(** Fresh copy of the flattened (start, length) pairs — the snapshot
+    encode path. @raise Invalid_argument unless [kind t = Runs]. *)
+
+val inter_into : t -> t -> Ibuf.t -> unit
+(** Pairwise intersection appended to the buffer, dispatching on the kind
+    pair: array×array adaptive gallop/merge, array×bitmap bit probes,
+    bitmap×bitmap word-AND with bit extraction, run short-circuits. Both
+    containers must share one universe. *)
+
+val inter_span_into : int array -> lo:int -> hi:int -> t -> Ibuf.t -> unit
+(** Intersect the strictly increasing span [a.(lo) .. a.(hi - 1)] (ids
+    within the container's universe) with a container — the chain step
+    that feeds a running result back through the remaining containers. *)
+
+val union_into : t -> t -> Ibuf.t -> unit
+(** Sorted duplicate-free union (differential-test surface, not a hot
+    kernel; dense×dense runs word-parallel, everything else merges). *)
+
+val intersect_query : strategy -> t array -> out:Ibuf.t -> tmp:Ibuf.t -> unit
+(** [intersect_query strategy cs ~out ~tmp] leaves the sorted
+    intersection of all containers in [out] ([tmp] is scratch; both are
+    cleared first). [cs] should be ordered rarest-first for [Chain] and
+    [Probe]; [And_words] silently degrades to [Chain] unless every
+    container is dense over one universe, so a planner miss can never
+    produce a wrong answer. @raise Invalid_argument on an empty array. *)
+
+val unsafe_words : t -> int array
+(** The raw 32-bit word bank of a dense container ([[||]] otherwise),
+    aliased, not copied. Lint rule R11 bans touching this outside
+    [lib/util/container.ml] — every legitimate word-level operation
+    belongs in this module's kernels. *)
+
+val dense_bytes : t -> string
+(** Dense payload as packed bytes (see {!of_dense_bytes}).
+    @raise Invalid_argument unless [kind t = Dense]. *)

@@ -17,6 +17,8 @@ let grow t needed =
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
+let reserve t n = if n > Array.length t.data then grow t n
+
 let push t x =
   if t.len = Array.length t.data then grow t (t.len + 1);
   t.data.(t.len) <- x;

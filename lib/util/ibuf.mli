@@ -18,6 +18,12 @@ val clear : t -> unit
 val push : t -> int -> unit
 (** Append one element; amortized O(1), allocation only on doubling. *)
 
+val reserve : t -> int -> unit
+(** Ensure the backing store holds at least [n] slots without changing
+    the length — lets a kernel borrow [unsafe_data] as fixed-size
+    scratch (e.g. a word bank for a bitmap AND) with at most one
+    allocation. *)
+
 val swap : t -> t -> unit
 (** Exchange the contents (storage and length) of two buffers in O(1) —
     lets a ping-pong intersection end with the result in the caller's

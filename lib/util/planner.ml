@@ -1,0 +1,87 @@
+(* Cost-based strategy selection for multi-container intersections.
+
+   The planner only ever changes the physical kernel executing an
+   intersection — never the answer and never the logical work counters —
+   so every caller may consult it unconditionally and an [enabled :=
+   false] escape hatch (CLI --planner=off, KWSC_PLANNER=off) restores the
+   PR 3 chain behavior exactly.
+
+   Cost model (unit = one id comparison / word op, cardinalities exact
+   thanks to Container):
+   - Chain: rarest-first pairwise; each step is the adaptive kernel's
+     bound over the *effective scan lengths* of the two sides — ids for
+     sparse arrays, run pairs for run containers, words for bitmaps —
+     merge (e0 + e_i) when balanced, e0 * log2(e_i / e0) when skewed
+     past the gallop cutoff. Pricing runs by their pair count (not
+     their cardinality) is what lets a two-run disjoint intersection
+     cost ~1 instead of looking as expensive as a full probe.
+   - Probe: every id of the rarest container pays one membership test
+     per other container: O(1) dense, O(log card) sparse, O(log runs)
+     run containers.
+   - And_words: (k - 1) passes over universe/32 words; eligible only
+     when every container is dense.
+
+   The same N^(1 - 1/k) threshold algebra as the transform's tau gates
+   cache admission: only intersections at least as expensive as the
+   tree-descent threshold are worth pinning in the LFU cache. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "KWSC_PLANNER" with
+    | Some ("off" | "0" | "false") -> false
+    | _ -> true)
+
+let tau ~n ~k =
+  if n <= 0 then 0.0
+  else float_of_int n ** (1.0 -. (1.0 /. float_of_int (max 2 k)))
+
+(* smallest b >= 1 with 2^b >= n *)
+let ceil_log2 n =
+  let b = ref 1 in
+  while 1 lsl !b < n do
+    incr b
+  done;
+  !b
+
+let probe_unit c =
+  match Container.kind c with
+  | Container.Dense -> 1
+  | Container.Sparse -> ceil_log2 (Container.cardinality c + 1)
+  | Container.Runs -> ceil_log2 (Container.run_count c + 1)
+
+(* cost of one adaptive chain step intersecting sets of these sizes *)
+let chain_step short long =
+  if short * 8 < long then short * ceil_log2 ((long / max 1 short) + 1) else short + long
+
+(* what the chain kernels physically walk: ids for sparse arrays, run
+   pairs for run containers, 32-bit words for bitmaps *)
+let chain_len c =
+  match Container.kind c with
+  | Container.Sparse -> Container.cardinality c
+  | Container.Runs -> 2 * Container.run_count c
+  | Container.Dense -> (Container.universe c + 31) lsr 5
+
+let choose cs =
+  let k = Array.length cs in
+  if (not !enabled) || k <= 1 then Container.Chain
+  else begin
+    let c0 = Container.cardinality cs.(0) in
+    let e0 = chain_len cs.(0) in
+    let all_dense = ref (Container.kind cs.(0) = Container.Dense) in
+    let u0 = Container.universe cs.(0) in
+    let cost_chain = ref 0 and probe_units = ref 0 in
+    for i = 1 to k - 1 do
+      let ei = chain_len cs.(i) in
+      if Container.kind cs.(i) <> Container.Dense || Container.universe cs.(i) <> u0 then
+        all_dense := false;
+      cost_chain := !cost_chain + chain_step (min e0 ei) (max e0 ei);
+      probe_units := !probe_units + probe_unit cs.(i)
+    done;
+    let cost_probe = c0 * !probe_units in
+    let cost_and = if !all_dense then (k - 1) * ((u0 + 31) lsr 5) else max_int in
+    if cost_and <= !cost_chain && cost_and <= cost_probe then Container.And_words
+    else if cost_probe < !cost_chain then Container.Probe
+    else Container.Chain
+  end
+
+let worth_caching ~n ~k ~cost = !enabled && float_of_int cost >= tau ~n ~k

@@ -1,0 +1,32 @@
+(** Cost-based strategy selection for multi-container intersections.
+
+    The planner changes only the physical kernel — never the answer, never
+    the logical work counters — so callers consult it unconditionally and
+    [--planner=off] restores the pre-planner chain behavior exactly. *)
+
+val enabled : bool ref
+(** Global escape hatch. Initialized from [KWSC_PLANNER] ("off", "0" or
+    "false" disables; anything else, or unset, enables). When false,
+    {!choose} always answers [Chain] and {!worth_caching} always answers
+    false. *)
+
+val tau : n:int -> k:int -> float
+(** The paper's N^(1 - 1/k) crossover threshold — the same algebra the
+    transform uses for the large/small keyword dichotomy, reused here to
+    gate LFU-cache admission. [k] is clamped to at least 2. *)
+
+val ceil_log2 : int -> int
+(** Smallest [b >= 1] with [2^b >= n] — the planner's integer log. *)
+
+val choose : Container.t array -> Container.strategy
+(** [choose cs] picks the cheapest strategy for intersecting [cs]
+    (ordered rarest-first, cardinalities exact): word-parallel AND when
+    every container is dense over one universe and the word passes beat
+    both alternatives, probing when the rarest cardinality times the
+    per-container membership cost undercuts the adaptive chain, the
+    chain otherwise. Answers [Chain] when disabled or [k <= 1]. *)
+
+val worth_caching : n:int -> k:int -> cost:int -> bool
+(** Admission test for the materialized-intersection cache: only
+    intersections whose estimated cost reaches [tau ~n ~k] — the point
+    where tree descent would beat rescanning — are worth pinning. *)

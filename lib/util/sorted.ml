@@ -152,10 +152,17 @@ let gallop_short_into a ~alo ~ahi b ~blo ~bhi out =
    probe-and-bisect overhead loses to one-comparison-per-step streaming);
    spans skewed beyond 8x gallop the short one through the long one,
    costing O(short * log(long / short)) instead of O(short + long). The
-   only allocation either way is the output buffer's occasional doubling. *)
+   only allocation either way is the output buffer's occasional doubling.
+
+   Degenerate spans bail in O(1) before any probing: an empty span, or
+   one whose entire range precedes the other's (max < min), cannot
+   contribute — the guards cost two comparisons and spare the gallop's
+   probe-and-bisect startup on every chain step that has already run
+   dry or hit disjoint id ranges. *)
 let gallop_intersect_into a ~alo ~ahi b ~blo ~bhi out =
   let la = ahi - alo and lb = bhi - blo in
-  if la * 8 < lb then gallop_short_into a ~alo ~ahi b ~blo ~bhi out
+  if la <= 0 || lb <= 0 || a.(ahi - 1) < b.(blo) || b.(bhi - 1) < a.(alo) then ()
+  else if la * 8 < lb then gallop_short_into a ~alo ~ahi b ~blo ~bhi out
   else if lb * 8 < la then gallop_short_into b ~alo:blo ~ahi:bhi a ~blo:alo ~bhi:ahi out
   else merge_intersect_into a ~alo ~ahi b ~blo ~bhi out
 

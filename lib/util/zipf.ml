@@ -1,8 +1,6 @@
 type t = { cdf : float array; pmf : float array }
 
-let create ~n ~theta =
-  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
-  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+let build ~n ~theta =
   let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
   let total = Array.fold_left ( +. ) 0.0 w in
   let pmf = Array.map (fun x -> x /. total) w in
@@ -15,6 +13,35 @@ let create ~n ~theta =
     pmf;
   cdf.(n - 1) <- 1.0;
   { cdf; pmf }
+
+(* The normalization table is O(n) to build and the workload generators
+   rebuild identical samplers for every sweep row, so [create] memoizes
+   the last few (n, theta) tables. Entries are immutable and the cache is
+   only ever swapped whole, so a racy double-build is benign (both
+   winners are equivalent). *)
+let cache_limit = 16
+let cache : (int * float * t) array ref = ref [||]
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  let entries = !cache in
+  let hit = ref None in
+  Array.iter
+    (fun (n', theta', t) ->
+      match !hit with
+      | Some _ -> ()
+      | None -> if n' = n && Float.equal theta' theta then hit := Some t)
+    entries;
+  match !hit with
+  | Some t -> t
+  | None ->
+      let t = build ~n ~theta in
+      let keep = min (Array.length entries) (cache_limit - 1) in
+      let next = Array.make (keep + 1) (n, theta, t) in
+      Array.blit entries 0 next 1 keep;
+      cache := next;
+      t
 
 let sample t rng =
   let u = Prng.float rng 1.0 in

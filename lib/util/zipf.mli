@@ -10,7 +10,10 @@ type t
 
 val create : n:int -> theta:float -> t
 (** [create ~n ~theta] prepares a sampler over ranks [1..n] with exponent
-    [theta >= 0] ([theta = 0] is uniform; larger is more skewed).
+    [theta >= 0] ([theta = 0] is uniform; larger is more skewed). The
+    O(n) normalization table is memoized per (n, theta) — benchmark
+    sweeps that rebuild the same sampler hundreds of times pay for it
+    once; repeated calls return the identical (shared, immutable) table.
     @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
 
 val sample : t -> Prng.t -> int

@@ -19,6 +19,12 @@ dune build @lint
 # at this size; correctness of what it measures is the suite's job).
 dune exec bench/main.exe -- --smoke --no-micro
 
+# Perf-regression gate: the CMP experiment's deterministic work counters
+# (container kind census, intersection output sums, planner-equivalence
+# sweep totals, cache hit/miss) must stay within 10% of the committed
+# reference.  Timings never gate — only exact counters are stable.
+dune exec bench/main.exe -- --smoke --no-micro --only CMP --check-ref scripts/cmp_ref.txt
+
 # Snapshot round-trip gate: a freshly built index and its reloaded
 # snapshot must print byte-identical answers (and --stats counters) for
 # the same query, and a corrupted snapshot must be *refused*, not loaded.
@@ -64,3 +70,31 @@ for off in $((size / 4)) $((size / 2)) $((3 * size / 4)); do
   fi
 done
 test "$ok" -ge 1
+
+# Inverted snapshot gate: the hybrid container sections (kind tags,
+# cardinalities, delta ids, run pairs, dense bitmap blob) must reload to
+# the same answers with the planner on or off, and refuse corruption.
+$kwsc save -i "$snapdir/data.csv" --kind inverted -o "$snapdir/inv.snap"
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/inv.snap" -i "$snapdir/data.csv" \
+  --kw 1,2 --planner on > "$snapdir/inv_on.out"
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/inv.snap" -i "$snapdir/data.csv" \
+  --kw 1,2 --planner off > "$snapdir/inv_off.out"
+diff "$snapdir/inv_on.out" "$snapdir/inv_off.out"
+# truncation mid-way through the container columns must be refused
+invsize=$(wc -c < "$snapdir/inv.snap")
+head -c $((invsize / 2)) "$snapdir/inv.snap" > "$snapdir/inv_trunc.snap"
+if $kwsc load --index "$snapdir/inv_trunc.snap" -i "$snapdir/data.csv" --kw 1,2; then
+  echo "truncated inverted snapshot was accepted" >&2
+  exit 1
+fi
+# a bit flip inside the container payload must be refused (the section
+# CRC covers every byte past the header)
+cp "$snapdir/inv.snap" "$snapdir/inv_flip.snap"
+off=$((invsize / 2))
+byte=$(dd if="$snapdir/inv_flip.snap" bs=1 skip="$off" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 1)))" \
+  | dd of="$snapdir/inv_flip.snap" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+if $kwsc load --index "$snapdir/inv_flip.snap" -i "$snapdir/data.csv" --kw 1,2 > /dev/null; then
+  echo "bit-flipped inverted snapshot was accepted" >&2
+  exit 1
+fi

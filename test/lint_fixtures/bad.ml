@@ -38,3 +38,7 @@ let r9_cons x xs = x :: xs
 (* R10: Marshal instead of the versioned snapshot codec *)
 let r10_to x = Marshal.to_string x []
 let r10_value = Marshal.from_channel
+
+(* R11: raw container word access outside lib/util/container.ml *)
+let r11_apply c = Kwsc_util.Container.unsafe_words c
+let r11_value = Container.unsafe_words

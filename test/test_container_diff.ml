@@ -1,0 +1,247 @@
+(* Differential suite for the hybrid posting containers (PR 5): random
+   id sets pushed through all three physical layouts must agree with
+   plain sorted-array reference semantics for membership, intersection,
+   union and iteration — every kind pair, every intersection strategy —
+   and the automatic classifier must flip layouts exactly at the
+   documented density thresholds. *)
+
+module C = Kwsc_util.Container
+module Ibuf = Kwsc_util.Ibuf
+module Prng = Kwsc_util.Prng
+
+(* ---------- reference semantics on plain sorted arrays ---------- *)
+
+let ref_inter a b = List.filter (fun x -> Array.mem x b) (Array.to_list a)
+
+let ref_union a b =
+  List.sort_uniq compare (Array.to_list a @ Array.to_list b)
+
+let ref_inter_all = function
+  | [] -> invalid_arg "ref_inter_all"
+  | first :: rest ->
+      List.filter
+        (fun x -> List.for_all (fun arr -> Array.mem x arr) rest)
+        (Array.to_list first)
+
+(* ---------- random set generation ---------- *)
+
+(* a strictly increasing id set over [0, universe); [shape] picks the
+   density regime so every layout arises naturally *)
+let gen_set rng ~universe ~shape =
+  let keep =
+    match shape with
+    | `Sparse -> fun _ -> Prng.int rng universe < 8
+    | `Dense -> fun _ -> Prng.int rng 3 = 0
+    | `Clustered ->
+        let block = ref false in
+        fun i ->
+          if i mod (4 + Prng.int rng 13) = 0 then block := not !block;
+          !block
+    | `Empty -> fun _ -> false
+  in
+  let b = Ibuf.create () in
+  for i = 0 to universe - 1 do
+    if keep i then Ibuf.push b i
+  done;
+  Ibuf.to_array b
+
+(* every kind the set can legally take: Dense and Runs layouts exist for
+   any set (an empty set only as Sparse — the builders reject card = 0
+   bitmaps with stray bits, but Dense/Runs of [||] are fine too) *)
+let forced_kinds = [ C.Sparse; C.Dense; C.Runs ]
+
+let containers_of rng ~universe ids =
+  let auto = C.of_sorted_array ~universe (Array.copy ids) in
+  let forced =
+    List.map (fun k -> C.of_sorted_array_kind k ~universe (Array.copy ids)) forced_kinds
+  in
+  (* shuffle in the auto pick so kind pairs (auto x forced) also mix *)
+  ignore rng;
+  auto :: forced
+
+let shapes = [| `Sparse; `Dense; `Clustered; `Empty |]
+
+(* ---------- the differential property ---------- *)
+
+let check_one_set ids cs ~universe =
+  let ids_l = Array.to_list ids in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "cardinality" (Array.length ids) (C.cardinality c);
+      Alcotest.(check int) "recount" (Array.length ids) (C.recount c);
+      Alcotest.(check (list int)) "to_sorted_array" ids_l (Array.to_list (C.to_sorted_array c));
+      (* iter ascending == the reference order *)
+      let seen = ref [] in
+      C.iter (fun x -> seen := x :: !seen) c;
+      Alcotest.(check (list int)) "iter order" ids_l (List.rev !seen);
+      (* membership at and around every id, plus the borders *)
+      List.iter
+        (fun x ->
+          Alcotest.(check bool) "mem present" true (C.mem c x);
+          if not (Array.mem (x + 1) ids) && x + 1 < universe then
+            Alcotest.(check bool) "mem absent" false (C.mem c (x + 1)))
+        ids_l;
+      Alcotest.(check bool) "mem out of range lo" false (C.mem c (-1));
+      Alcotest.(check bool) "mem out of range hi" false (C.mem c universe))
+    cs
+
+let check_pair a_ids b_ids ca cb =
+  let want_i = ref_inter a_ids b_ids in
+  let want_u = ref_union a_ids b_ids in
+  let out = Ibuf.create () in
+  C.inter_into ca cb out;
+  Alcotest.(check (list int)) "inter_into" want_i (Array.to_list (Ibuf.to_array out));
+  Ibuf.clear out;
+  C.inter_into cb ca out;
+  Alcotest.(check (list int)) "inter_into commutes" want_i (Array.to_list (Ibuf.to_array out));
+  Ibuf.clear out;
+  C.union_into ca cb out;
+  Alcotest.(check (list int)) "union_into" want_u (Array.to_list (Ibuf.to_array out));
+  Ibuf.clear out;
+  C.inter_span_into a_ids ~lo:0 ~hi:(Array.length a_ids) cb out;
+  Alcotest.(check (list int)) "inter_span_into" want_i (Array.to_list (Ibuf.to_array out))
+
+let qcheck_container_diff =
+  QCheck.Test.make ~count:60 ~name:"hybrid containers == sorted-array reference"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (0x60d + seed) in
+      let universe = 24 + Prng.int rng 400 in
+      let sa = shapes.(Prng.int rng 4) and sb = shapes.(Prng.int rng 4) in
+      let a_ids = gen_set rng ~universe ~shape:sa in
+      let b_ids = gen_set rng ~universe ~shape:sb in
+      let cas = containers_of rng ~universe a_ids in
+      let cbs = containers_of rng ~universe b_ids in
+      check_one_set a_ids cas ~universe;
+      check_one_set b_ids cbs ~universe;
+      (* every kind pair, both directions *)
+      List.iter (fun ca -> List.iter (fun cb -> check_pair a_ids b_ids ca cb) cbs) cas;
+      true)
+
+(* every strategy answers the same multi-way intersection; And_words
+   degrades safely when inputs are not all dense *)
+let qcheck_strategies =
+  QCheck.Test.make ~count:60 ~name:"intersect_query strategies agree"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (0x57a + seed) in
+      let universe = 24 + Prng.int rng 300 in
+      let k = 2 + Prng.int rng 3 in
+      let idss =
+        List.init k (fun _ -> gen_set rng ~universe ~shape:shapes.(Prng.int rng 4))
+      in
+      let want = ref_inter_all idss in
+      let mk kindsel =
+        Array.of_list
+          (List.map
+             (fun ids ->
+               match kindsel with
+               | `Auto -> C.of_sorted_array ~universe (Array.copy ids)
+               | `Forced -> C.of_sorted_array_kind
+                              (List.nth forced_kinds (Prng.int rng 3))
+                              ~universe (Array.copy ids))
+             idss)
+      in
+      let out = Ibuf.create () and tmp = Ibuf.create () in
+      List.iter
+        (fun kindsel ->
+          let cs = mk kindsel in
+          List.iter
+            (fun strat ->
+              C.intersect_query strat cs ~out ~tmp;
+              Alcotest.(check (list int))
+                "strategy answer" want
+                (Array.to_list (Ibuf.to_array out)))
+            [ C.Chain; C.Probe; C.And_words; Kwsc_util.Planner.choose cs ])
+        [ `Auto; `Forced; `Forced ];
+      true)
+
+(* ---------- classification thresholds ---------- *)
+
+(* card * dense_cutoff >= universe gates dense *eligibility*; the chosen
+   layout is then the smallest footprint among the eligible ones, ties
+   preferring Sparse — so the observable flip sits at the footprint
+   crossover card > universe/32 words *)
+let test_dense_threshold () =
+  let universe = 4096 in
+  (* scattered ids (stride 2: alternating, nruns = card so runs are never
+     eligible) around both boundaries *)
+  let at = universe / C.dense_cutoff in
+  let words = (universe + 31) / 32 in
+  let mk card = Array.init card (fun i -> 2 * i) in
+  Alcotest.(check bool) "below eligibility: sparse" true
+    (C.kind (C.of_sorted_array ~universe (mk (at - 1))) = C.Sparse);
+  Alcotest.(check bool) "eligible but still smaller as array: sparse" true
+    (C.kind (C.of_sorted_array ~universe (mk at)) = C.Sparse);
+  Alcotest.(check bool) "footprint tie prefers sparse" true
+    (C.kind (C.of_sorted_array ~universe (mk words)) = C.Sparse);
+  Alcotest.(check bool) "past the crossover: dense" true
+    (C.kind (C.of_sorted_array ~universe (mk (words + 1))) = C.Dense);
+  (* the forced variants agree with the reference semantics either way *)
+  List.iter
+    (fun card ->
+      let ids = mk card in
+      List.iter
+        (fun k ->
+          let c = C.of_sorted_array_kind k ~universe (Array.copy ids) in
+          Alcotest.(check (list int))
+            "promotion/demotion preserves the set" (Array.to_list ids)
+            (Array.to_list (C.to_sorted_array c)))
+        forced_kinds)
+    [ at; at - 1; words; words + 1 ]
+
+(* nruns * runs_cutoff <= card flips run eligibility *)
+let test_runs_threshold () =
+  let universe = 4096 in
+  (* nr runs of length len each: card = nr * len, nruns = nr *)
+  let mk ~nr ~len =
+    Array.init (nr * len) (fun i ->
+        let r = i / len and o = i mod len in
+        (r * 2 * len) + o)
+  in
+  (* eligible exactly when len >= runs_cutoff *)
+  let ids_el = mk ~nr:8 ~len:C.runs_cutoff in
+  let ids_not = mk ~nr:8 ~len:(C.runs_cutoff - 1) in
+  let c_el = C.of_sorted_array ~universe ids_el in
+  let c_not = C.of_sorted_array ~universe ids_not in
+  Alcotest.(check bool) "at cutoff: runs" true (C.kind c_el = C.Runs);
+  Alcotest.(check bool) "below cutoff: not runs" true (C.kind c_not <> C.Runs);
+  Alcotest.(check int) "run_count exact" 8 (C.run_count c_el);
+  (* classify agrees with what of_sorted_array picked *)
+  Alcotest.(check bool) "classify matches build" true
+    (C.classify ~policy:C.Hybrid ~universe ~card:(Array.length ids_el)
+       ~nruns:(C.run_count c_el)
+    = C.kind c_el)
+
+let test_sparse_only_policy () =
+  let universe = 1024 in
+  let ids = Array.init 512 (fun i -> 2 * i) in
+  let c = C.of_sorted_array ~policy:C.Sparse_only ~universe ids in
+  Alcotest.(check bool) "Sparse_only never promotes" true (C.kind c = C.Sparse);
+  let full = Array.init universe (fun i -> i) in
+  let c = C.of_sorted_array ~policy:C.Sparse_only ~universe full in
+  Alcotest.(check bool) "even the full universe stays sparse" true (C.kind c = C.Sparse)
+
+(* round-trip through the snapshot encode surfaces *)
+let test_codec_surfaces () =
+  let universe = 777 in
+  let rng = Prng.create 0xdec0 in
+  let ids = gen_set rng ~universe ~shape:`Clustered in
+  let r = C.of_sorted_array_kind C.Runs ~universe (Array.copy ids) in
+  let r' = C.of_runs ~universe (C.runs_pairs r) in
+  Alcotest.(check (list int)) "runs_pairs round trip" (Array.to_list ids)
+    (Array.to_list (C.to_sorted_array r'));
+  let d = C.of_sorted_array_kind C.Dense ~universe (Array.copy ids) in
+  let d' = C.of_dense_bytes ~universe ~card:(Array.length ids) (C.dense_bytes d) ~off:0 in
+  Alcotest.(check (list int)) "dense_bytes round trip" (Array.to_list ids)
+    (Array.to_list (C.to_sorted_array d'))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_container_diff;
+    QCheck_alcotest.to_alcotest qcheck_strategies;
+    Alcotest.test_case "dense threshold flips the layout" `Quick test_dense_threshold;
+    Alcotest.test_case "runs threshold flips the layout" `Quick test_runs_threshold;
+    Alcotest.test_case "Sparse_only policy never promotes" `Quick test_sparse_only_policy;
+    Alcotest.test_case "encode surfaces round trip" `Quick test_codec_surfaces;
+  ]

@@ -36,7 +36,9 @@ let test_scoping () =
       (List.map (fun v -> Lint.rule_id v.Lint.rule) vs)
   in
   Alcotest.(check (list string))
-    "only universal rules outside lib/hot scope" [ "R10"; "R2"; "R5"; "R6" ] ids
+    "only universal rules outside lib/hot scope"
+    [ "R10"; "R11"; "R2"; "R5"; "R6" ]
+    ids
 
 let test_allowlist () =
   let allow =

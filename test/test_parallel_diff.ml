@@ -48,6 +48,8 @@ let check_query_eq what (a : Stats.query) (b : Stats.query) =
   ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
   ck "reported" a.Stats.reported b.Stats.reported;
   ck "alloc_words" a.Stats.alloc_words b.Stats.alloc_words;
+  ck "cache_hits" a.Stats.cache_hits b.Stats.cache_hits;
+  ck "cache_misses" a.Stats.cache_misses b.Stats.cache_misses;
   ck "work" (Stats.work a) (Stats.work b)
 
 (* --- satellite: Stats.merge is exactly sequential accumulation --- *)
@@ -64,6 +66,8 @@ let test_stats_merge () =
       pruned_geom = g;
       reported = h;
       alloc_words = w;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   let q1 = mk (1, 2, 3, 4, 5, 6, 7, 8, 9) in

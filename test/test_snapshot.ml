@@ -369,6 +369,140 @@ let qcheck_bit_flip =
           write_all path (Bytes.to_string b);
           match Kwsc.Orp_kw.load path with Ok _ -> false | Error _ -> true))
 
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid posting containers (PR 5): v2 layout, v1 back-compat          *)
+(* ------------------------------------------------------------------ *)
+
+module Inv = Kwsc_invindex.Inverted
+module Pst = Kwsc_invindex.Postings
+module Cont = Kwsc_util.Container
+module Ibuf = Kwsc_util.Ibuf
+
+(* mixed-density documents so the hybrid build yields all three container
+   kinds: words 1..4 dense (~n/8 objects each), 11..14 one contiguous
+   block each, 21..120 sparse tails *)
+let mixed_docs ~seed ~n =
+  let rng = Prng.create seed in
+  Array.init n (fun i ->
+      let b = Ibuf.create ~capacity:8 () in
+      for w = 1 to 4 do
+        if Prng.int rng 8 = 0 then Ibuf.push b w
+      done;
+      for j = 0 to 3 do
+        let lo = j * (n / 4) and len = n / 8 in
+        if i >= lo && i < lo + len then Ibuf.push b (11 + j)
+      done;
+      Ibuf.push b (21 + Prng.int rng 100);
+      Doc.of_array (Ibuf.to_array b))
+
+let check_inv_answers name cold warm =
+  let rng = Prng.create 0x5eed in
+  for _ = 1 to 60 do
+    let k = 1 + Prng.int rng 3 in
+    let ws = Array.init k (fun _ -> 1 + Prng.int rng 120) in
+    Helpers.check_ids name (Inv.query cold ws) (Inv.query warm ws)
+  done
+
+let test_hybrid_inverted_roundtrip () =
+  let cold = Inv.build (mixed_docs ~seed:1201 ~n:2048) in
+  let s_c, d_c, r_c = Pst.kind_counts (Inv.postings cold) in
+  Alcotest.(check bool) "all three kinds present" true (s_c > 0 && d_c > 0 && r_c > 0);
+  with_snap (fun path ->
+      Inv.save path cold;
+      let warm = ok_exn (Inv.load path) in
+      (* the physical layout round-trips exactly: same kind and
+         cardinality per rank, not just the same answers *)
+      Alcotest.(check bool) "kind counts preserved" true
+        (Pst.kind_counts (Inv.postings warm) = (s_c, d_c, r_c));
+      let pc = Inv.postings cold and pw = Inv.postings warm in
+      for r = 0 to Pst.num_words pc - 1 do
+        Alcotest.(check int) "word" (Pst.word pc r) (Pst.word pw r);
+        Alcotest.(check bool) "rank kind" true
+          (Cont.kind (Pst.container pc r) = Cont.kind (Pst.container pw r));
+        Alcotest.(check int) "rank cardinality"
+          (Cont.cardinality (Pst.container pc r))
+          (Cont.cardinality (Pst.container pw r))
+      done;
+      check_inv_answers "hybrid inverted" cold warm;
+      (* bit-exact: a second save of the loaded index reproduces the
+         file byte for byte *)
+      with_snap (fun path2 ->
+          Inv.save path2 warm;
+          Alcotest.(check bool) "save/load/save is byte-stable" true
+            (read_all path = read_all path2)))
+
+let test_inverted_v1_compat () =
+  (* hand-write the version-1 flat-arena layout (vocab, offsets,
+     concatenated sorted spans) and load it through today's reader *)
+  let docs = mixed_docs ~seed:1301 ~n:1024 in
+  let cold = Inv.build docs in
+  let ps = Inv.postings cold in
+  let nw = Pst.num_words ps in
+  let vocab = Array.init nw (Pst.word ps) in
+  let offsets = Array.make (nw + 1) 0 in
+  let arena = Ibuf.create () in
+  for r = 0 to nw - 1 do
+    Array.iter (Ibuf.push arena) (Cont.to_sorted_array (Pst.container ps r));
+    offsets.(r + 1) <- Ibuf.length arena
+  done;
+  with_snap (fun path ->
+      C.save_file ~version:1 ~path ~kind:Inv.kind
+        [
+          ( "meta",
+            C.to_string (fun w ->
+                C.W.i64 w (Array.length docs);
+                C.W.i64 w nw;
+                C.W.i64 w (Inv.input_size cold)) );
+          ( "index",
+            C.to_string (fun w ->
+                C.W.i64 w (Inv.input_size cold);
+                C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) docs);
+                C.W.int_array w vocab;
+                C.W.int_array w offsets;
+                C.W.int_array w (Ibuf.to_array arena)) );
+        ];
+      let warm = ok_exn (Inv.load path) in
+      Alcotest.(check int) "input size" (Inv.input_size cold) (Inv.input_size warm);
+      (* the old flat spans reclassify under the hybrid policy on load *)
+      let _, d_w, r_w = Pst.kind_counts (Inv.postings warm) in
+      Alcotest.(check bool) "v1 load promotes containers" true (d_w > 0 && r_w > 0);
+      check_inv_answers "v1 inverted" cold warm)
+
+(* corruption over the container columns: truncating the index payload at
+   any depth — even with a freshly valid CRC — must surface as a typed
+   error from the column-budget checks, never a crash or a wrong index *)
+let test_hybrid_section_corruption () =
+  let cold = Inv.build (mixed_docs ~seed:1401 ~n:1024) in
+  with_snap (fun path ->
+      Inv.save path cold;
+      let _, sections = C.load_file_exn ~path in
+      let index = List.assoc "index" sections in
+      let meta = List.assoc "meta" sections in
+      let n = String.length index in
+      List.iter
+        (fun keep ->
+          with_snap (fun path2 ->
+              C.save_file ~path:path2 ~kind:Inv.kind
+                [ ("meta", meta); ("index", String.sub index 0 keep) ];
+              match Inv.load path2 with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.failf "accepted a %d/%d-byte index section" keep n))
+        [ 0; 1; 8; n / 8; n / 4; n / 2; (3 * n) / 4; n - 2; n - 1 ];
+      (* whole-file bit flips are caught by the section CRCs *)
+      let good = read_all path in
+      let len = String.length good in
+      for i = 0 to 39 do
+        let off = i * (len / 40) in
+        let b = Bytes.of_string good in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+        with_snap (fun path2 ->
+            write_all path2 (Bytes.to_string b);
+            match Inv.load path2 with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted a flipped byte at offset %d" off)
+      done)
+
 let suite =
   [
     Alcotest.test_case "orp round trip" `Quick test_orp_roundtrip;
@@ -378,6 +512,11 @@ let suite =
     Alcotest.test_case "nn round trips (l2 + linf engines)" `Quick test_nn_roundtrip;
     Alcotest.test_case "rr round trips (all engines)" `Quick test_rr_roundtrip;
     Alcotest.test_case "inverted round trip" `Quick test_inverted_roundtrip;
+    Alcotest.test_case "hybrid inverted round trip is byte-stable" `Quick
+      test_hybrid_inverted_roundtrip;
+    Alcotest.test_case "v1 flat-arena snapshots still load" `Quick test_inverted_v1_compat;
+    Alcotest.test_case "container section corruption is typed" `Quick
+      test_hybrid_section_corruption;
     Alcotest.test_case "crc32 check vector" `Quick test_crc32;
     Alcotest.test_case "primitive round trips" `Quick test_primitive_roundtrip;
     Alcotest.test_case "reader rejects malformed input" `Quick test_reader_rejects;

@@ -176,6 +176,136 @@ let qcheck_kth_abs_diff =
       let k = 1 + (Array.length all / 2) in
       abs_float (Kwsc_util.Sorted.kth_abs_diff [| (a, q) |] k -. all.(k - 1)) < 1e-9)
 
+
+(* ---------- gallop_intersect_into degenerate spans (PR 5) ---------- *)
+
+let gallop a (alo, ahi) b (blo, bhi) =
+  let out = Ibuf.create () in
+  Sorted.gallop_intersect_into a ~alo ~ahi b ~blo ~bhi out;
+  Ibuf.to_array out
+
+let test_gallop_degenerate () =
+  let a = [| 1; 3; 5; 7 |] and b = [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "empty a span" [||] (gallop a (2, 2) b (0, 3));
+  Alcotest.(check (array int)) "empty b span" [||] (gallop a (0, 4) b (1, 1));
+  Alcotest.(check (array int)) "both spans empty" [||] (gallop a (0, 0) b (3, 3));
+  (* fully-preceding spans: every a id below every b id, and vice versa *)
+  Alcotest.(check (array int)) "a precedes b" [||] (gallop a (0, 4) b (0, 3));
+  Alcotest.(check (array int)) "b precedes a" [||] (gallop b (0, 3) a (0, 4));
+  (* sub-spans that only touch the disjoint halves *)
+  Alcotest.(check (array int)) "disjoint sub-spans" [||] (gallop a (1, 3) b (1, 2))
+
+let test_gallop_nested_spans () =
+  (* b's range strictly inside a's: the skew dispatch gallops the short
+     side; answers must match the plain intersection of the spans *)
+  let a = Array.init 100 (fun i -> 2 * i) (* evens 0..198 *) in
+  let b = [| 80; 81; 82; 84; 90; 95; 96 |] in
+  Alcotest.(check (array int))
+    "nested: b inside a" [| 80; 82; 84; 90; 96 |]
+    (gallop a (0, 100) b (0, 7));
+  Alcotest.(check (array int))
+    "nested: restricted a window" [| 82; 84 |]
+    (gallop a (41, 43) b (0, 7));
+  (* identical arrays, shifted windows *)
+  let c = [| 1; 2; 3; 4; 5; 6 |] in
+  Alcotest.(check (array int)) "self overlap" [| 3; 4 |] (gallop c (2, 4) c (0, 6))
+
+(* ---------- Zipf normalization cache (PR 5) ---------- *)
+
+let test_zipf_memoized () =
+  let a = Zipf.create ~n:321 ~theta:0.77 in
+  let b = Zipf.create ~n:321 ~theta:0.77 in
+  Alcotest.(check bool) "same (n, theta) shares one table" true (a == b);
+  let c = Zipf.create ~n:321 ~theta:0.78 in
+  Alcotest.(check bool) "different theta is a different table" true (not (b == c));
+  let d = Zipf.create ~n:322 ~theta:0.77 in
+  Alcotest.(check bool) "different n is a different table" true (not (a == d));
+  (* sampling through the shared table is unchanged *)
+  let r1 = Prng.create 42 and r2 = Prng.create 42 in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "same stream through shared table" (Zipf.sample a r1)
+      (Zipf.sample b r2)
+  done
+
+(* ---------- Container.popcount32 ---------- *)
+
+let test_popcount32 () =
+  let naive w =
+    let c = ref 0 in
+    for b = 0 to 31 do
+      if w land (1 lsl b) <> 0 then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int) "zero" 0 (Container.popcount32 0);
+  Alcotest.(check int) "all ones" 32 (Container.popcount32 0xFFFFFFFF);
+  Alcotest.(check int) "single high bit" 1 (Container.popcount32 0x80000000);
+  let rng = Prng.create 0xbeef in
+  for _ = 1 to 500 do
+    let w = Prng.int rng 0x40000000 lor (Prng.int rng 4 lsl 30) in
+    Alcotest.(check int) "matches naive" (naive w) (Container.popcount32 w)
+  done
+
+(* ---------- Ibuf.reserve ---------- *)
+
+let test_ibuf_reserve () =
+  let b = Ibuf.create ~capacity:2 () in
+  Ibuf.push b 10;
+  Ibuf.reserve b 100;
+  Alcotest.(check int) "reserve keeps length" 1 (Ibuf.length b);
+  Alcotest.(check int) "reserve keeps contents" 10 (Ibuf.get b 0);
+  Alcotest.(check bool) "capacity grew" true (Array.length (Ibuf.unsafe_data b) >= 100);
+  (* borrowing unsafe_data as scratch after reserve is stable: no push
+     in between means no reallocation *)
+  let data = Ibuf.unsafe_data b in
+  data.(50) <- 1234;
+  Alcotest.(check bool) "same backing array" true (data == Ibuf.unsafe_data b);
+  for i = 0 to 98 do
+    Ibuf.push b i
+  done;
+  Alcotest.(check int) "pushes after reserve" 100 (Ibuf.length b)
+
+(* ---------- Bitset pools and shared views (PR 5) ---------- *)
+
+let test_bitset_pool_views () =
+  let n = 21 in
+  let pool = Bitset.pool_create ~count:3 ~n in
+  let v0 = Bitset.pool_view pool ~index:0 ~n in
+  let v1 = Bitset.pool_view pool ~index:1 ~n in
+  let v2 = Bitset.pool_view pool ~index:2 ~n in
+  Bitset.set v1 0;
+  Bitset.set v1 20;
+  Alcotest.(check int) "view popcount" 2 (Bitset.popcount v1);
+  Alcotest.(check int) "neighbor left untouched" 0 (Bitset.popcount v0);
+  Alcotest.(check int) "neighbor right untouched" 0 (Bitset.popcount v2);
+  Alcotest.(check bool) "view get" true (Bitset.get v1 20);
+  Alcotest.(check bool) "view get clear bit" false (Bitset.get v1 10);
+  (* views serialize exactly like standalone bitsets of the same content *)
+  let standalone = Bitset.create n in
+  Bitset.set standalone 0;
+  Bitset.set standalone 20;
+  Alcotest.(check bytes) "view to_bytes" (Bitset.to_bytes standalone) (Bitset.to_bytes v1);
+  Alcotest.(check int) "view words" (Bitset.words standalone) (Bitset.words v1);
+  Alcotest.check_raises "view index out of pool"
+    (Invalid_argument "Bitset.pool_view: slice out of range") (fun () ->
+      ignore (Bitset.pool_view pool ~index:3 ~n))
+
+let test_bitset_shared_bytes () =
+  (* of_shared_bytes aliases: reads see later writes to the backing bytes *)
+  let n = 12 in
+  let backing = Bytes.make 4 '\000' in
+  let v = Bitset.of_shared_bytes backing ~off:1 ~n in
+  Alcotest.(check int) "initially clear" 0 (Bitset.popcount v);
+  Bytes.set backing 1 '\005' (* bits 0 and 2 of the view *);
+  Alcotest.(check bool) "aliased read" true (Bitset.get v 0 && Bitset.get v 2);
+  Alcotest.(check int) "aliased popcount" 2 (Bitset.popcount v);
+  Bitset.set v 11;
+  Alcotest.(check bool) "aliased write lands in backing" true
+    (Char.code (Bytes.get backing 2) land 0x08 <> 0);
+  Alcotest.check_raises "window past the bytes"
+    (Invalid_argument "Bitset.of_shared_bytes: slice out of range") (fun () ->
+      ignore (Bitset.of_shared_bytes backing ~off:2 ~n:32))
+
 let suite =
   [
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
@@ -198,4 +328,11 @@ let suite =
     Alcotest.test_case "heap order" `Quick test_heap_order;
     QCheck_alcotest.to_alcotest qcheck_heap_sorts;
     QCheck_alcotest.to_alcotest qcheck_kth_abs_diff;
+    Alcotest.test_case "gallop degenerate spans bail O(1)" `Quick test_gallop_degenerate;
+    Alcotest.test_case "gallop nested spans" `Quick test_gallop_nested_spans;
+    Alcotest.test_case "zipf tables memoized" `Quick test_zipf_memoized;
+    Alcotest.test_case "container popcount32" `Quick test_popcount32;
+    Alcotest.test_case "ibuf reserve" `Quick test_ibuf_reserve;
+    Alcotest.test_case "bitset pool views are disjoint" `Quick test_bitset_pool_views;
+    Alcotest.test_case "bitset shared-byte views alias" `Quick test_bitset_shared_bytes;
   ]

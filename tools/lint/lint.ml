@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -17,6 +17,7 @@ let rule_id = function
   | R8 -> "R8"
   | R9 -> "R9"
   | R10 -> "R10"
+  | R11 -> "R11"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -33,6 +34,9 @@ let rule_doc = function
   | R10 ->
       "Marshal defeats the versioned snapshot codec: no version, no checksum, breaks across \
        compilers; persist through Kwsc_snapshot.Codec (only test/ may use Marshal)"
+  | R11 ->
+      "raw container word access outside lib/util/container.ml: Container.unsafe_words \
+       exposes the packed bitmap representation; go through mem/iter/inter_into instead"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -83,6 +87,7 @@ let path_is_hot path =
 let kernel_files =
   [ [ "lib"; "kdtree"; "kd_flat.ml" ];
     [ "lib"; "ptree"; "ptree_flat.ml" ];
+    [ "lib"; "util"; "container.ml" ];
     [ "lib"; "invindex"; "postings.ml" ] ]
 
 let path_is_kernel path =
@@ -90,6 +95,11 @@ let path_is_kernel path =
   List.exists (fun f -> has_subpath f segs) kernel_files
 
 let path_in_lib path = List.mem "lib" (segments path)
+
+(* R11: the one module allowed to look at raw container words is the
+   container itself — everything else goes through the typed API. *)
+let path_is_container path =
+  has_subpath [ "lib"; "util"; "container.ml" ] (segments path)
 
 (* R10: Marshal is banned everywhere except test/ — the differential
    suites may digest in-memory structures, but nothing durable may be
@@ -302,6 +312,7 @@ let lint_structure config ~file str =
   let lib = config.assume_lib || path_in_lib file in
   let kernel = config.assume_kernel || path_is_kernel file in
   let marshal_banned = not (path_in_test file) in
+  let words_banned = not (path_is_container file) in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -337,6 +348,12 @@ let lint_structure config ~file str =
                  (String.concat "." u))
         | [ "List"; "nth" ] when hot ->
             add R4 loc "List.nth is O(n); use arrays or restructure the loop"
+        | _ when words_banned && ends_with ~suffix:[ "Container"; "unsafe_words" ] u ->
+            add R11 loc
+              (Printf.sprintf
+                 "%s reaches into the packed container words; only \
+                  lib/util/container.ml may — use mem/iter/inter_into/dense_bytes"
+                 (String.concat "." u))
         | "Hashtbl" :: _ when kernel ->
             add R9 loc
               (Printf.sprintf
@@ -416,6 +433,11 @@ let lint_structure config ~file str =
                                  Kwsc_snapshot.Codec" (String.concat "." u))
           | [ "List"; "nth" ] when hot ->
               add R4 loc "List.nth passed as a value in hot-path module"
+          | _ when words_banned && ends_with ~suffix:[ "Container"; "unsafe_words" ] u ->
+              add R11 loc
+                (Printf.sprintf
+                   "%s passed as a value; raw container words are private to \
+                    lib/util/container.ml" (String.concat "." u))
           | "Hashtbl" :: _ when kernel ->
               add R9 loc
                 (Printf.sprintf "%s passed as a value in a query-kernel module"

@@ -40,6 +40,12 @@
       ([Kwsc_snapshot.Codec], DESIGN.md §9) exists to avoid.  The
       differential test suites may still [Marshal] in-memory structures
       to compare digests; that is the only sanctioned use.
+    - R11: no [Container.unsafe_words], anywhere outside
+      [lib/util/container.ml].  The packed bitmap word array is a private
+      representation detail of the hybrid posting container (DESIGN.md
+      §10); code that reads it directly silently breaks when the word
+      width or the layout changes.  Everything else goes through the
+      typed API ([mem], [iter], [inter_into], [dense_bytes]).
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -47,12 +53,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R10"]. *)
+(** ["R1"] ... ["R11"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)

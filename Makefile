@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-smoke examples clean doc lint audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-smoke examples clean doc lint analyze audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -15,15 +15,22 @@ test:
 test-slow:
 	KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 
-# Repo-specific static analysis (tools/lint; rules R1-R10).
+# Repo-specific static analysis over the parsetree (tools/lint; rules
+# R1-R11).
 lint:
 	dune build @lint
+
+# Typed, interprocedural analysis over the typedtree (tools/analyze;
+# rules A1 allocation-freedom, A2 domain-safety, A3 unsafe-access gating).
+analyze:
+	dune build @analyze
 
 # Re-run the suite with deep structural audits on every index build/update.
 audit:
 	KWSC_AUDIT=1 dune runtest --force
 
-# Everything CI checks: build + tests at 1 and 4 domains + slow tier + lint.
+# Everything CI checks: build + tests at 1 and 4 domains + slow tier +
+# lint + typed analysis.
 ci:
 	sh scripts/ci.sh
 

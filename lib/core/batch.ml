@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 let run ?pool answer qs =
   let pool = match pool with Some p -> p | None -> Kwsc_util.Pool.default () in
   let n = Array.length qs in

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 open Kwsc_geom
 module Doc = Kwsc_invindex.Doc
 

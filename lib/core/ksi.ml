@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 type t = { inner : (unit, unit) Transform.t }
 
 let of_docs ?leaf_weight ?tau_exponent ?use_bits ?pool ~k docs =

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 open Kwsc_geom
 
 type t = { sp : Sp_kw.t }

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 open Kwsc_geom
 
 (* Cells and queries live in rank space: closed integer rectangles. *)

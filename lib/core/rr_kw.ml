@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 open Kwsc_geom
 
 type engine = E_kd of Orp_kw.t | E_dimred of Dimred.t | E_lc of Lc_kw.t

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 open Kwsc_geom
 
 (* Cells for classification are the bounding boxes of each node's active

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 module Doc = Kwsc_invindex.Doc
 module Bitset = Kwsc_util.Bitset
 

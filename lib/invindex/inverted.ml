@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 module U = Kwsc_util
 
 type t = {
@@ -86,11 +88,13 @@ let query t ws =
     | Some (w1, w2) ->
         let cost = min (frequency t w1) (frequency t w2) in
         if cost > 0 && U.Planner.worth_caching ~n:t.n ~k:2 ~cost then begin
+          (* the cache copies on both sides of its API (find returns a
+             fresh array, store copies on admission), so no copies here *)
           match Isect_cache.find t.cache w1 w2 with
-          | Some ids -> Array.copy ids
+          | Some ids -> ids
           | None ->
               let r = Postings.query t.postings ws in
-              Isect_cache.store t.cache w1 w2 (Array.copy r);
+              Isect_cache.store t.cache w1 w2 r;
               r
         end
         else Postings.query t.postings ws

@@ -69,7 +69,9 @@ let find t w1 w2 =
     let e = t.entries.(!i) in
     if e.freq > 0 && e.w1 = w1 && e.w2 = w2 then begin
       e.freq <- e.freq + 1;
-      hit := Some e.ids;
+      (* fresh copy: the caller owns the result, the cached storage
+         stays private however the answer array is used downstream *)
+      hit := Some (Array.copy e.ids);
       found := true
     end;
     incr i
@@ -96,4 +98,6 @@ let store t w1 w2 ids =
   slot.w1 <- w1;
   slot.w2 <- w2;
   slot.freq <- 1;
-  slot.ids <- ids
+  (* defensive copy: later caller-side mutation of [ids] cannot corrupt
+     the cached answer *)
+  slot.ids <- Array.copy ids

@@ -20,14 +20,14 @@ val capacity : t -> int
 
 val find : t -> int -> int -> int array option
 (** [find t w1 w2] is the cached intersection of the (unordered) keyword
-    pair, bumping its use count on a hit. The returned array is the
-    cached storage itself — callers must copy before exposing it.
+    pair, bumping its use count on a hit. The returned array is a fresh
+    copy owned by the caller — mutating it cannot corrupt the cache.
     Counts one hit or one miss. *)
 
 val store : t -> int -> int -> int array -> unit
 (** Admit a materialized intersection for the (unordered) pair, evicting
-    the least-frequently-used entry when full. The array is adopted —
-    callers must not mutate it afterwards. *)
+    the least-frequently-used entry when full. The array is copied on
+    admission — the caller keeps ownership of its argument. *)
 
 val hits : t -> int
 

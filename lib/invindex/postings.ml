@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 (* Hybrid postings layout: every keyword's sorted posting list lives as
    one Kwsc_util.Container — a sorted array when sparse, a packed 32-bit
    bitmap when dense (frequency >= universe / 64), run pairs when
@@ -47,6 +49,9 @@ let unsafe_make ?(policy = U.Container.Hybrid) ~universe ~vocab ~offsets arena =
           (Array.sub arena offsets.(r) (offsets.(r + 1) - offsets.(r))))
   in
   { vocab; containers; universe; total = Array.length arena; policy }
+[@@kwsc.alloc_ok
+  "construction path: builds every per-word container exactly once at \
+   index build/load time, never during queries"]
 
 let num_words t = Array.length t.vocab
 let size t = t.total

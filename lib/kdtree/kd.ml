@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 type 'a node =
   | Leaf of (Point.t * 'a) array
   | Node of { axis : int; split : float; left : 'a node; right : 'a node; count : int }

@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 (* Flat, cache-conscious kd-tree: the boxed tree of kd.ml compiled into
    implicit preorder arrays (Kd.freeze). Internal node i's left child is
    i + 1; the right child index is stored. Every subtree's points occupy
@@ -223,26 +225,28 @@ let nearest t ~metric (q : Point.t) k =
         done
       end
       else begin
+        (* near child first, then far child; the descent bodies are
+           inlined at both orders so the recursion allocates no thunks *)
         let sp = t.split.(i) in
-        let left () =
+        if q.(ax) <= sp then begin
           let saved = chi.(ax) in
           chi.(ax) <- sp;
           go (i + 1);
-          chi.(ax) <- saved
-        in
-        let right () =
+          chi.(ax) <- saved;
           let saved = clo.(ax) in
           clo.(ax) <- sp;
           go t.right.(i);
           clo.(ax) <- saved
-        in
-        if q.(ax) <= sp then begin
-          left ();
-          right ()
         end
         else begin
-          right ();
-          left ()
+          let saved = clo.(ax) in
+          clo.(ax) <- sp;
+          go t.right.(i);
+          clo.(ax) <- saved;
+          let saved = chi.(ax) in
+          chi.(ax) <- sp;
+          go (i + 1);
+          chi.(ax) <- saved
         end
       end
     end

@@ -1,3 +1,5 @@
+[@@@kwsc.domain_safe]
+
 type 'a node =
   | Leaf of (Point.t * 'a) array
   | Node of { dir : float array; m : float; left : 'a node; right : 'a node; count : int }

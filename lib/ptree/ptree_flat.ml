@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 (* Flat, cache-conscious partition tree: the boxed BSP tree of ptree.ml
    compiled into implicit preorder arrays (Ptree.freeze). Internal node
    i's left child is i + 1; the right child index is stored (-1 marks a
@@ -61,8 +63,11 @@ let query_polytope_iter t q f =
       if Polytope.mem q scratch then f s t.payload.(s)
     done
   in
+  (* hoist the optional-argument wrapper: `~box:t.box` would box the
+     float into a fresh Some at every node of the descent *)
+  let box = Some t.box in
   let rec go i cell =
-    match Polytope.classify ~box:t.box ~rng:t.rng cell q with
+    match Polytope.classify ?box ~rng:t.rng cell q with
     | Polytope.Disjoint -> ()
     | Polytope.Covered ->
         (* the cell is inside q: contiguous arena scan (membership is

@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 (* Hybrid posting containers: one keyword's sorted id set stored in the
    cheapest of three physical layouts, chosen by exact density — sorted
    arrays for sparse sets, packed 32-bit bitmaps for dense ones, and
@@ -455,7 +457,8 @@ let of_dense_bytes ~universe ~card s ~off =
     invalid_arg "Container.of_dense_bytes: slice out of range";
   let w = Array.make (nwords universe) 0 in
   for j = 0 to nb - 1 do
-    let b = Char.code (String.unsafe_get s (off + j)) in
+    (* cold load path: the checked accessor costs nothing measurable *)
+    let b = Char.code (String.get s (off + j)) in
     w.(j lsr 2) <- w.(j lsr 2) lor (b lsl ((j land 3) * 8))
   done;
   let total = Array.fold_left (fun acc x -> acc + popcount32 x) 0 w in

@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 type t = { mutable data : int array; mutable len : int }
 
 let create ?(capacity = 16) () =
@@ -16,6 +18,9 @@ let grow t needed =
   let data = Array.make !cap 0 in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
+[@@kwsc.alloc_ok
+  "amortized doubling: O(1) amortized per push, and callers that \
+   Ibuf.reserve up front never reach it on the query path"]
 
 let reserve t n = if n > Array.length t.data then grow t n
 

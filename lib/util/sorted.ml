@@ -1,3 +1,5 @@
+[@@@kwsc.kernel]
+
 let mem_int a x =
   let lo = ref 0 and hi = ref (Array.length a - 1) in
   let found = ref false in
@@ -45,22 +47,19 @@ let dedup_int a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let out = ref [ a.(0) ] in
+    (* count pass + fill pass: no intermediate list *)
     let count = ref 1 in
     for i = 1 to n - 1 do
-      if a.(i) <> a.(i - 1) then begin
-        out := a.(i) :: !out;
-        incr count
-      end
+      if a.(i) <> a.(i - 1) then incr count
     done;
     let res = Array.make !count 0 in
-    let rest = ref !out in
-    for i = !count - 1 downto 0 do
-      (match !rest with
-      | x :: tl ->
-          res.(i) <- x;
-          rest := tl
-      | [] -> assert false)
+    res.(0) <- a.(0);
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        res.(!k) <- a.(i);
+        incr k
+      end
     done;
     res
   end
@@ -72,28 +71,20 @@ let sort_dedup l =
 
 let intersect a b =
   let na = Array.length a and nb = Array.length b in
-  let out = ref [] and count = ref 0 in
-  let i = ref 0 and j = ref 0 in
+  (* write into a |shorter side| scratch; no intermediate list *)
+  let res = Array.make (if na < nb then na else nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
   while !i < na && !j < nb do
     if a.(!i) = b.(!j) then begin
-      out := a.(!i) :: !out;
-      incr count;
+      res.(!k) <- a.(!i);
+      incr k;
       incr i;
       incr j
     end
     else if a.(!i) < b.(!j) then incr i
     else incr j
   done;
-  let res = Array.make !count 0 in
-  let rest = ref !out in
-  for idx = !count - 1 downto 0 do
-    (match !rest with
-    | x :: tl ->
-        res.(idx) <- x;
-        rest := tl
-    | [] -> assert false)
-  done;
-  res
+  if !k = Array.length res then res else Array.sub res 0 !k
 
 (* Exponential-probe (galloping) lower bound within [lo, hi): first index
    with a.(i) >= x. Probes lo+1, lo+2, lo+4, ... then binary-searches the
@@ -215,7 +206,14 @@ let kth_abs_diff columns k =
     in
     left + right
   in
-  let count r = Array.fold_left (fun acc col -> acc + count_col col r) 0 columns in
+  let count r =
+    (* explicit loop: a fold closure here would allocate per bisection step *)
+    let acc = ref 0 in
+    for c = 0 to Array.length columns - 1 do
+      acc := !acc + count_col columns.(c) r
+    done;
+    !acc
+  in
   (* per column: smallest candidate value strictly greater than r *)
   let next_col (a, q) r =
     let m = lower_bound a q in
@@ -236,7 +234,11 @@ let kth_abs_diff columns k =
     !best
   in
   let next_candidate r =
-    Array.fold_left (fun acc col -> Float.min acc (next_col col r)) infinity columns
+    let best = ref infinity in
+    for c = 0 to Array.length columns - 1 do
+      best := Float.min !best (next_col columns.(c) r)
+    done;
+    !best
   in
   if count 0.0 >= k then 0.0
   else begin

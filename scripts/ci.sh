@@ -15,6 +15,7 @@ KWSC_DOMAINS=1 dune runtest --force
 KWSC_DOMAINS=4 dune runtest --force
 KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 dune build @lint
+dune build @analyze
 # Crash-test the whole bench harness at tiny N (numbers are meaningless
 # at this size; correctness of what it measures is the suite's job).
 dune exec bench/main.exe -- --smoke --no-micro

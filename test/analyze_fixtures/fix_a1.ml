@@ -1,0 +1,44 @@
+[@@@kwsc.kernel]
+
+(* Seeded A1 violations: one of each hot-context allocation class the
+   analyzer must catch in a kernel-tagged module. *)
+
+(* allocates a tuple in its body; callers in hot contexts inherit it *)
+let helper_pair x = (x, x + 1)
+
+let sum_pairs n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    (* allocating-call: propagated through the local call graph *)
+    let p = helper_pair i in
+    acc := !acc + fst p
+  done;
+  !acc
+
+let boxed_min xs =
+  let best = ref (-1) in
+  Array.iter
+    (fun x ->
+      (* boxed-construct: a fresh Some per element of the callback *)
+      match Some x with
+      | Some v -> if !best < 0 || v < !best then best := v
+      | None -> ())
+    xs;
+  !best
+
+let scale_all xs k =
+  let acc = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    (* closure: captures k and i, rebuilt every iteration *)
+    let f = fun v -> (v * k) + i in
+    acc := !acc + f xs.(i)
+  done;
+  !acc
+
+let grow_each n =
+  let out = ref [||] in
+  for i = 0 to n - 1 do
+    (* alloc-call: Array.append copies both sides every iteration *)
+    out := Array.append !out (Array.make 1 i)
+  done;
+  !out

@@ -1,0 +1,35 @@
+[@@@kwsc.domain_safe]
+
+(* Seeded A2 violations: module-level mutable state and captured writes
+   reachable from closures handed to a parallel entry point.  The local
+   Pool stands in for Kwsc_util.Pool — the analyzer matches the last two
+   path components of the callee. *)
+
+module Pool = struct
+  let parallel_map f xs = Array.map f xs
+end
+
+let shared = Hashtbl.create 16
+let counter = ref 0
+
+let bump_shared k =
+  Hashtbl.replace shared k k;
+  incr counter
+
+let tally xs =
+  Pool.parallel_map
+    (fun x ->
+      (* global-mutable: counter is module-level mutable state *)
+      counter := !counter + x;
+      (* mutating-call: bump_shared writes shared and counter *)
+      bump_shared x;
+      x)
+    xs
+
+let race out xs =
+  Pool.parallel_map
+    (fun i ->
+      (* captured-write: out is captured from the enclosing scope *)
+      out.(i) <- i;
+      i)
+    xs

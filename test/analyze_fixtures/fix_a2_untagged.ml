@@ -1,0 +1,10 @@
+(* Seeded A2 violation: calls a parallel entry point without the
+   [@@@kwsc.domain_safe] tag — the analyzer must demand the audit. *)
+
+module Pool = struct
+  let run f = f ()
+end
+
+let total = ref 0
+
+let go () = Pool.run (fun () -> incr total)

@@ -1,0 +1,26 @@
+(* Seeded A3 violations: unsafe accesses with no dominating bounds
+   guard, plus a backing-store escape — and one guarded (legal) access
+   the analyzer must NOT flag. *)
+
+module Buf = struct
+  type t = { data : int array }
+
+  let make n = { data = Array.make n 0 }
+  let unsafe_data t = t.data
+end
+
+let sum_unguarded a i =
+  (* unguarded-unsafe-get: no bounds check mentions i *)
+  Array.unsafe_get a i + 1
+
+let set_unguarded b j =
+  (* unguarded-unsafe-set: no bounds check mentions j *)
+  Bytes.unsafe_set b j 'x'
+
+let sum_guarded a i =
+  (* guarded: the condition names the exact index expression *)
+  if i < Array.length a then Array.unsafe_get a i else 0
+
+let peek t =
+  (* representation-escape: Buf.unsafe_data outside its defining module *)
+  (Buf.unsafe_data t).(0)

@@ -1,0 +1,21 @@
+[@@@kwsc.kernel]
+[@@@kwsc.domain_safe]
+
+(* Clean control: a tagged module with allocation-free hot loops and no
+   parallel calls — the analyzer must report nothing here. *)
+
+let add a b = a + b
+
+let sum n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + add i i
+  done;
+  !acc
+
+let count_below a x =
+  let c = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) < x then incr c
+  done;
+  !c

@@ -7,6 +7,7 @@ let () =
       ("kdtree", Test_kdtree.suite);
       ("ptree", Test_ptree.suite);
       ("invindex", Test_invindex.suite);
+      ("isect-cache", Test_isect_cache.suite);
       ("workload", Test_workload.suite);
       ("transform", Test_transform.suite);
       ("orp-kw", Test_orp.suite);
@@ -30,5 +31,6 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("hardness", Test_hardness.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
       ("invariants", Test_invariants.suite);
     ]

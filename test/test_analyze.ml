@@ -1,0 +1,130 @@
+(* Meta-tests for kwsc-analyze: every analysis fires on its seeded
+   fixture (with distinct finding kinds), guarded/clean code stays
+   silent, the checked-in allowlist cannot suppress fixture findings
+   (the CI gate), the justification discipline is enforced, and the CLI
+   exit codes hold. *)
+
+module A = Kwsc_analyze_lib.Analyze
+
+let fixture_cmts =
+  [ "analyze_fixtures/fix_a1.cmt";
+    "analyze_fixtures/fix_a2.cmt";
+    "analyze_fixtures/fix_a2_untagged.cmt";
+    "analyze_fixtures/fix_a3.cmt";
+    "analyze_fixtures/fix_clean.cmt" ]
+
+let findings = lazy (A.analyze_files fixture_cmts)
+
+let whats_of rule fs =
+  List.filter_map
+    (fun f -> if f.A.rule = rule then Some f.A.what else None)
+    fs
+  |> List.sort_uniq String.compare
+
+let in_file name fs =
+  List.filter (fun f -> Filename.basename f.A.file = name) fs
+
+let test_each_analysis_fires () =
+  let fs = Lazy.force findings in
+  List.iter
+    (fun r ->
+      let distinct = whats_of r fs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s yields >= 2 distinct finding kinds" (A.rule_id r))
+        true
+        (List.length distinct >= 2))
+    A.all_rules;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "finding line is positive" true (f.A.line > 0))
+    fs
+
+let test_a3_guard_discrimination () =
+  let a3 = in_file "fix_a3.ml" (Lazy.force findings) in
+  let count w = List.length (List.filter (fun f -> f.A.what = w) a3) in
+  (* one unguarded get, one unguarded set — the guarded access in
+     sum_guarded must NOT be flagged *)
+  Alcotest.(check int) "exactly one unguarded get" 1 (count "unguarded-unsafe-get");
+  Alcotest.(check int) "exactly one unguarded set" 1 (count "unguarded-unsafe-set");
+  Alcotest.(check int) "one representation escape" 1 (count "representation-escape")
+
+let test_domain_safe_tagging () =
+  let fs = Lazy.force findings in
+  let untagged f = f.A.what = "untagged-parallel-module" in
+  Alcotest.(check bool) "untagged module is reported" true
+    (List.exists untagged (in_file "fix_a2_untagged.ml" fs));
+  Alcotest.(check bool) "tagged module is not" false
+    (List.exists untagged (in_file "fix_a2.ml" fs))
+
+let test_clean_fixture_is_clean () =
+  Alcotest.(check int) "no findings in fix_clean.ml" 0
+    (List.length (in_file "fix_clean.ml" (Lazy.force findings)))
+
+let test_repo_allowlist_cannot_suppress_fixtures () =
+  (* the CI gate: every entry of the real allowlist is scoped to lib/,
+     so none may match (and thereby hide) a seeded fixture finding *)
+  let allow = A.load_allow "../tools/analyze/allow.sexp" in
+  Alcotest.(check bool) "repo allowlist is non-empty" true (allow <> []);
+  let fs = Lazy.force findings in
+  let kept, used = A.filter_allowed allow fs in
+  Alcotest.(check int) "no fixture finding suppressed"
+    (List.length fs) (List.length kept);
+  Alcotest.(check int) "no allow entry consumed by fixtures" 0
+    (List.length used)
+
+let test_justification_is_mandatory () =
+  (match A.parse_allow "(A1 lib/util/ibuf.ml 20) ; amortized doubling\n" with
+  | [ e ] ->
+      Alcotest.(check string) "rule parsed" "A1" e.A.a_rule;
+      Alcotest.(check bool) "justification captured" true
+        (String.length e.A.a_why > 0)
+  | _ -> Alcotest.fail "one well-formed entry expected");
+  Alcotest.check_raises "entry without justification rejected"
+    (Failure
+       "allow line 1: entry (A1 lib/util/ibuf.ml) has no justification — \
+        append '; why this is safe'")
+    (fun () -> ignore (A.parse_allow "(A1 lib/util/ibuf.ml)\n"))
+
+let exe = "../tools/analyze/kwsc_analyze.exe"
+
+let test_cli_nonzero_on_fixtures () =
+  let cmd = Printf.sprintf "%s analyze_fixtures > /dev/null" exe in
+  Alcotest.(check int) "CLI exits 1 on the fixture set" 1 (Sys.command cmd)
+
+let test_cli_strict_rejects_stale_allow () =
+  let tmp = Filename.temp_file "kwsc_analyze_allow" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "(A1 analyze_fixtures/no_such_file.ml) ; stale on purpose\n";
+      close_out oc;
+      let cmd =
+        Printf.sprintf "%s --allow %s --strict analyze_fixtures/fix_clean.cmt > /dev/null 2>&1"
+          exe tmp
+      in
+      Alcotest.(check int) "stale entry fails --strict" 1 (Sys.command cmd);
+      let cmd =
+        Printf.sprintf "%s --allow %s analyze_fixtures/fix_clean.cmt > /dev/null 2>&1" exe tmp
+      in
+      Alcotest.(check int) "without --strict it only warns" 0 (Sys.command cmd))
+
+let suite =
+  [
+    Alcotest.test_case "each analysis fires with distinct kinds" `Quick
+      test_each_analysis_fires;
+    Alcotest.test_case "A3 discriminates guarded from unguarded" `Quick
+      test_a3_guard_discrimination;
+    Alcotest.test_case "A2 keys off the domain-safe tag" `Quick
+      test_domain_safe_tagging;
+    Alcotest.test_case "clean fixture stays clean" `Quick
+      test_clean_fixture_is_clean;
+    Alcotest.test_case "repo allowlist cannot mask fixtures" `Quick
+      test_repo_allowlist_cannot_suppress_fixtures;
+    Alcotest.test_case "allow entries demand justification" `Quick
+      test_justification_is_mandatory;
+    Alcotest.test_case "cli: nonzero exit on fixtures" `Quick
+      test_cli_nonzero_on_fixtures;
+    Alcotest.test_case "cli: --strict rejects stale entries" `Quick
+      test_cli_strict_rejects_stale_allow;
+  ]

@@ -1,0 +1,104 @@
+(* Isect_cache: LFU eviction mechanics, counter lifecycle, and the
+   copy-on-both-sides ownership contract Inverted.query relies on. *)
+
+module C = Kwsc_invindex.Isect_cache
+
+let ids a = Array.of_list a
+
+let test_capacity_eviction () =
+  (* fill a default-capacity cache exactly: no evictions yet *)
+  let c = C.create () in
+  Alcotest.(check int) "default capacity" 64 (C.capacity c);
+  for w = 0 to C.default_capacity - 1 do
+    C.store c w (w + 1000) (ids [ w ])
+  done;
+  Alcotest.(check int) "full cache, no evictions" 0 (C.evictions c);
+  List.iter
+    (fun w ->
+      match C.find c w (w + 1000) with
+      | Some r -> Alcotest.(check (array int)) "resident pair" [| w |] r
+      | None -> Alcotest.fail "pair missing before any eviction")
+    [ 0; 17; C.default_capacity - 1 ];
+  (* entry 65 tips it over: exactly one eviction *)
+  C.store c 9999 10000 (ids [ 42 ]);
+  Alcotest.(check int) "one past capacity evicts once" 1 (C.evictions c);
+  Alcotest.(check bool) "newcomer resident" true (C.find c 9999 10000 <> None)
+
+let test_lfu_frequency_tie () =
+  (* capacity 3; bump two entries so the untouched one (freq 1) is the
+     unique minimum and must be the victim *)
+  let c = C.create ~capacity:3 () in
+  C.store c 0 1 (ids [ 10 ]);
+  C.store c 2 3 (ids [ 20 ]);
+  C.store c 4 5 (ids [ 30 ]);
+  ignore (C.find c 0 1);
+  ignore (C.find c 4 5);
+  C.store c 6 7 (ids [ 40 ]);
+  Alcotest.(check bool) "cold entry evicted" true (C.find c 2 3 = None);
+  Alcotest.(check bool) "hot entries survive" true
+    (C.find c 0 1 <> None && C.find c 4 5 <> None && C.find c 6 7 <> None);
+  (* all-tied frequencies: the first minimum in slot order is the victim *)
+  let c = C.create ~capacity:3 () in
+  C.store c 0 1 (ids [ 10 ]);
+  C.store c 2 3 (ids [ 20 ]);
+  C.store c 4 5 (ids [ 30 ]);
+  C.store c 6 7 (ids [ 40 ]);
+  Alcotest.(check bool) "tie evicts the first slot" true (C.find c 0 1 = None);
+  Alcotest.(check bool) "later ties untouched" true
+    (C.find c 2 3 <> None && C.find c 4 5 <> None)
+
+let test_key_normalization () =
+  let c = C.create ~capacity:4 () in
+  C.store c 7 3 (ids [ 1; 2 ]);
+  (match C.find c 3 7 with
+  | Some r -> Alcotest.(check (array int)) "swapped key hits" [| 1; 2 |] r
+  | None -> Alcotest.fail "unordered pair not normalized");
+  Alcotest.(check int) "one hit" 1 (C.hits c)
+
+let test_reset_clears_counters () =
+  let c = C.create ~capacity:2 () in
+  C.store c 0 1 (ids [ 5 ]);
+  C.store c 2 3 (ids [ 6 ]);
+  C.store c 4 5 (ids [ 7 ]);
+  ignore (C.find c 0 1);
+  ignore (C.find c 4 5);
+  Alcotest.(check bool) "counters moved" true
+    (C.hits c + C.misses c > 0 && C.evictions c = 1);
+  C.reset c;
+  Alcotest.(check int) "hits zeroed" 0 (C.hits c);
+  Alcotest.(check int) "misses zeroed" 0 (C.misses c);
+  Alcotest.(check int) "evictions zeroed" 0 (C.evictions c);
+  Alcotest.(check bool) "entries dropped" true (C.find c 4 5 = None);
+  (* the miss just counted proves the counters restart from zero *)
+  Alcotest.(check int) "counting restarts" 1 (C.misses c)
+
+let test_defensive_copies () =
+  let c = C.create ~capacity:2 () in
+  (* store copies: mutating the admitted array later must not leak in *)
+  let src = ids [ 1; 2; 3 ] in
+  C.store c 0 1 src;
+  src.(0) <- 999;
+  (match C.find c 0 1 with
+  | Some r -> Alcotest.(check (array int)) "store copied" [| 1; 2; 3 |] r
+  | None -> Alcotest.fail "stored pair missing");
+  (* find copies: mutating a returned answer must not corrupt the cache *)
+  (match C.find c 0 1 with
+  | Some r -> r.(1) <- 888
+  | None -> Alcotest.fail "stored pair missing");
+  match C.find c 0 1 with
+  | Some r -> Alcotest.(check (array int)) "find copied" [| 1; 2; 3 |] r
+  | None -> Alcotest.fail "stored pair missing"
+
+let suite =
+  [
+    Alcotest.test_case "eviction starts exactly past capacity" `Quick
+      test_capacity_eviction;
+    Alcotest.test_case "LFU victim selection and ties" `Quick
+      test_lfu_frequency_tie;
+    Alcotest.test_case "unordered keys share a slot" `Quick
+      test_key_normalization;
+    Alcotest.test_case "reset drops entries and zeroes counters" `Quick
+      test_reset_clears_counters;
+    Alcotest.test_case "copies on both sides of the API" `Quick
+      test_defensive_copies;
+  ]

@@ -59,7 +59,46 @@ let test_allowlist_line_scoped () =
   let vs = Lint.lint_file ~config:{ strict with allow = wrong } fixture in
   Alcotest.(check bool) "wrong-line entry does not" true (rule_fires vs Lint.R5)
 
+let test_stale_allow_detection () =
+  let live = Lint.parse_allow "(R2 lint_fixtures/bad.ml)" in
+  let stale = Lint.parse_allow "(R2 lint_fixtures/no_such.ml)\n(R5 bad.ml 9999)" in
+  let raw = Lint.lint_file_raw ~config:strict fixture in
+  let kept, used = Lint.filter_allowed (live @ stale) raw in
+  Alcotest.(check bool) "live entry filters R2" false (rule_fires kept Lint.R2);
+  Alcotest.(check (list string)) "only the live entry is used"
+    [ "(R2 lint_fixtures/bad.ml)" ]
+    (List.map Lint.pp_allow_entry used);
+  Alcotest.(check (list string)) "both stale entries reported"
+    [ "(R2 lint_fixtures/no_such.ml)"; "(R5 bad.ml 9999)" ]
+    (List.map Lint.pp_allow_entry
+       (Lint.unused_allow (live @ stale) ~used));
+  (* raw linting ignores the allowlist entirely *)
+  Alcotest.(check bool) "lint_file_raw keeps R2" true (rule_fires raw Lint.R2)
+
 let exe = "../tools/lint/kwsc_lint.exe"
+
+let test_cli_strict_rejects_stale_allow () =
+  let tmp = Filename.temp_file "kwsc_lint_allow" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "(R2 lint_fixtures/no_such.ml)\n";
+      close_out oc;
+      let good = Filename.temp_file "kwsc_lint_ok" ".ml" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove good)
+        (fun () ->
+          let oc = open_out good in
+          output_string oc "let answer = 41 + 1\n";
+          close_out oc;
+          let run flags =
+            Sys.command
+              (Printf.sprintf "%s --allow %s %s %s > /dev/null 2>&1" exe tmp
+                 flags good)
+          in
+          Alcotest.(check int) "stale entry fails --strict" 1 (run "--strict");
+          Alcotest.(check int) "without --strict it only warns" 0 (run "")))
 
 let test_cli_nonzero_on_fixture () =
   let cmd =
@@ -85,6 +124,10 @@ let suite =
     Alcotest.test_case "rules scope by path" `Quick test_scoping;
     Alcotest.test_case "allowlist silences by rule+path" `Quick test_allowlist;
     Alcotest.test_case "allowlist line scoping" `Quick test_allowlist_line_scoped;
+    Alcotest.test_case "stale allow entries are detected" `Quick
+      test_stale_allow_detection;
+    Alcotest.test_case "cli: --strict rejects stale entries" `Quick
+      test_cli_strict_rejects_stale_allow;
     Alcotest.test_case "cli: nonzero exit on violations" `Quick test_cli_nonzero_on_fixture;
     Alcotest.test_case "cli: zero exit on clean input" `Quick test_cli_clean_on_good_file;
   ]

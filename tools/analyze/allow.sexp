@@ -1,0 +1,22 @@
+; kwsc-analyze allowlist: audited exceptions to A1/A2/A3.
+; Format: (RULE PATH [LINE]) ; one-line justification (mandatory).
+; Paths match by suffix; a LINE pins the entry to one finding.
+; Entries matching no finding are reported as stale (and fail --strict).
+
+; --- A1: allocation-freedom -------------------------------------------
+(A1 lib/kdtree/kd_flat.ml 259) ; k-nearest epilogue materializes the k (dist, slot) result pairs the API returns: k allocations per query, not per visited node
+(A1 lib/ptree/ptree_flat.ml 80) ; crossing-node descent builds the two child halfspaces; per-point work stays in the allocation-free scan_slice loop
+(A1 lib/ptree/ptree_flat.ml 81) ; go allocates only at crossing nodes (line 80): O(n^(1-1/d)) nodes per query, never per point
+(A1 lib/ptree/ptree_flat.ml 82) ; go allocates only at crossing nodes (line 80): O(n^(1-1/d)) nodes per query, never per point
+(A1 lib/ptree/ptree_flat.ml 83) ; negated split direction for the far child is built once per crossing node, not per point
+
+; --- A2: domain-safety ------------------------------------------------
+(A2 lib/core/batch.ml 19) ; out.(i) has exactly one writer: parallel_for hands each shard [lo,hi) to one worker and shards are disjoint
+(A2 lib/core/dimred.ml 254) ; out.(i) has exactly one writer: each batch index belongs to exactly one worker shard
+(A2 lib/core/dimred.ml 255) ; accs.(s) is a per-shard private accumulator: shard s runs on exactly one worker
+(A2 lib/kdtree/kd.ml 41) ; fork_join children blit the disjoint [lo,mid) and [mid,hi) slices of pts: no element is shared
+
+; --- A3: unsafe-access gating -----------------------------------------
+(A3 lib/snapshot/codec.ml 102) ; slice-by-8 CRC loop maintains !i + 8 <= n, so !i + j is in bounds for j in 0..7
+(A3 lib/util/container.ml 389) ; Ibuf.unsafe_data spans a scratch buffer whose length this loop reads back per iteration; the span never outlives the call
+(A3 lib/util/container.ml 421) ; Ibuf.unsafe_data spans a scratch buffer sized by Ibuf.reserve nw two lines above; the span never outlives the call

@@ -1,0 +1,1324 @@
+(* kwsc-analyze implementation.  See analyze.mli for the contract.
+
+   Pipeline, per library (= one directory of .cmt files):
+     1. load      — read every .cmt, keep Implementation typedtrees;
+     2. collect   — module attributes ([@@@kwsc.kernel],
+                    [@@@kwsc.domain_safe]), top-level functions (with
+                    [@@kwsc.alloc_ok] justifications), top-level
+                    mutable bindings;
+     3. summarize — per-function effect summaries (may-allocate,
+                    mutates-param-i, touches-module-global) closed
+                    under a fixpoint over the per-library call graph;
+     4. analyze   — A1 / A2 / A3 traversals consulting the summaries.
+
+   Typedtree paths are compared on their last two components after
+   undoing dune's wrapped-library mangling (Kwsc_util__Ibuf -> Ibuf),
+   so `U.Ibuf.push`, `Kwsc_util.Ibuf.push` and a bare `push` inside
+   ibuf.ml all resolve to the same function. *)
+
+type rule = A1 | A2 | A3
+
+type finding = {
+  file : string;
+  line : int;
+  rule : rule;
+  what : string;
+  message : string;
+}
+
+let all_rules = [ A1; A2; A3 ]
+let rule_id = function A1 -> "A1" | A2 -> "A2" | A3 -> "A3"
+
+let rule_doc = function
+  | A1 ->
+      "allocation-freedom: no closures, boxed constructs, allocating calls or \
+       partial applications in hot contexts of [@@@kwsc.kernel] modules"
+  | A2 ->
+      "domain-safety: closures passed to Pool.parallel_* / fork_join* / async \
+       / Batch.run must not reach shared mutable state; host modules must be \
+       tagged [@@@kwsc.domain_safe]"
+  | A3 ->
+      "unsafe-access gating: unsafe_get/unsafe_set dominated by a bounds \
+       guard on the same index expression; unsafe_words/unsafe_data stay in \
+       their defining module"
+
+let pp_finding f =
+  Printf.sprintf "%s:%d: [%s:%s] %s" f.file f.line (rule_id f.rule) f.what
+    f.message
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type allow_entry = {
+  a_rule : string;
+  a_path : string;
+  a_line : int option;
+  a_why : string;
+}
+
+let pp_allow_entry e =
+  Printf.sprintf "(%s %s%s) ; %s" e.a_rule e.a_path
+    (match e.a_line with None -> "" | Some l -> " " ^ string_of_int l)
+    e.a_why
+
+(* Same surface syntax as tools/lint allow.sexp, with one extra rule: a
+   ';' comment on an entry line is the entry's justification and is
+   mandatory.  Comment-only lines remain plain comments. *)
+let parse_allow text =
+  let entries = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let body, why =
+        match String.index_opt raw ';' with
+        | None -> (raw, "")
+        | Some i ->
+            ( String.sub raw 0 i,
+              String.trim (String.sub raw (i + 1) (String.length raw - i - 1))
+            )
+      in
+      let body = String.trim body in
+      if body <> "" then begin
+        let toks =
+          String.split_on_char ' '
+            (String.map (function '(' | ')' | '\t' -> ' ' | c -> c) body)
+          |> List.filter (fun s -> s <> "")
+        in
+        let entry =
+          match toks with
+          | [ r; p ] -> { a_rule = r; a_path = p; a_line = None; a_why = why }
+          | [ r; p; l ] -> (
+              match int_of_string_opt l with
+              | Some n when n > 0 ->
+                  { a_rule = r; a_path = p; a_line = Some n; a_why = why }
+              | _ ->
+                  failwith
+                    (Printf.sprintf "allow line %d: bad line number %S"
+                       (lineno + 1) l))
+          | _ ->
+              failwith
+                (Printf.sprintf "allow line %d: expected (RULE PATH [LINE])"
+                   (lineno + 1))
+        in
+        if not (List.mem entry.a_rule [ "A1"; "A2"; "A3" ]) then
+          failwith
+            (Printf.sprintf "allow line %d: unknown rule %S" (lineno + 1)
+               entry.a_rule);
+        if entry.a_why = "" then
+          failwith
+            (Printf.sprintf
+               "allow line %d: entry (%s %s) has no justification — append \
+                '; why this is safe'"
+               (lineno + 1) entry.a_rule entry.a_path);
+        entries := entry :: !entries
+      end)
+    (String.split_on_char '\n' text);
+  List.rev !entries
+
+let load_allow path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_allow s
+
+(* Suffix path matching, as in tools/lint: an entry for ibuf.ml matches
+   lib/util/ibuf.ml; so does one for util/ibuf.ml. *)
+let split_path p =
+  String.split_on_char '/' (String.map (function '\\' -> '/' | c -> c) p)
+
+let suffix_match ~pat ~path =
+  let ps = List.rev (split_path pat) and fs = List.rev (split_path path) in
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | p :: ps', f :: fs' -> p = f && go (ps', fs')
+  in
+  go (ps, fs)
+
+let entry_matches e f =
+  e.a_rule = rule_id f.rule
+  && suffix_match ~pat:e.a_path ~path:f.file
+  && match e.a_line with None -> true | Some l -> l = f.line
+
+let filter_allowed allow fs =
+  let used = Hashtbl.create 8 in
+  let kept =
+    List.filter
+      (fun f ->
+        match List.find_opt (fun e -> entry_matches e f) allow with
+        | Some e ->
+            Hashtbl.replace used (pp_allow_entry e) ();
+            false
+        | None -> true)
+      fs
+  in
+  (kept, List.filter (fun e -> Hashtbl.mem used (pp_allow_entry e)) allow)
+
+let unused_allow allow ~used =
+  List.filter (fun e -> not (List.exists (fun u -> u = e) used)) allow
+
+(* ------------------------------------------------------------------ *)
+(* Typedtree plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+open Typedtree
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* Strip dune's wrapped-library mangling: Kwsc_util__Ibuf -> Ibuf. *)
+let demangle s =
+  let n = String.length s in
+  let rec find_last i acc =
+    if i + 1 >= n then acc
+    else if s.[i] = '_' && s.[i + 1] = '_' then find_last (i + 2) (Some (i + 2))
+    else find_last (i + 1) acc
+  in
+  match find_last 0 None with
+  | Some i when i < n -> String.sub s i (n - i)
+  | _ -> s
+
+(* Path components with mangling removed and Stdlib dropped. *)
+let path_parts p =
+  let parts = List.map demangle (String.split_on_char '.' (Path.name p)) in
+  match parts with "Stdlib" :: (_ :: _ as rest) -> rest | _ -> parts
+
+(* (penultimate, last) of a path; bare idents give (None, name). *)
+let last2 parts =
+  match List.rev parts with
+  | [] -> (None, "")
+  | [ x ] -> (None, x)
+  | x :: y :: _ -> (Some y, x)
+
+let loc_line (loc : Location.t) = loc.loc_start.pos_lnum
+
+(* Operators whose qualification we ignore entirely. *)
+let bare_ops =
+  SSet.of_list
+    [ ":="; "!"; "@"; "^"; "ref"; "incr"; "decr"; "raise"; "raise_notrace";
+      "invalid_arg"; "failwith" ]
+
+let norm_last2 p =
+  let m, f = last2 (path_parts p) in
+  if SSet.mem f bare_ops then (None, f) else (m, f)
+
+(* Allocating stdlib entry points.  `ref` is deliberately absent: local
+   int-ref accumulators are idiomatic in the kernels and the lint tier
+   already polices data-structure choice (documented in DESIGN.md §11). *)
+let alloc_calls =
+  [ ("Array",
+     [ "make"; "init"; "create_float"; "make_matrix"; "append"; "concat";
+       "sub"; "copy"; "of_list"; "to_list"; "map"; "mapi"; "map2"; "split";
+       "combine"; "of_seq"; "to_seq" ]);
+    ("List",
+     [ "init"; "map"; "mapi"; "map2"; "append"; "concat"; "flatten"; "rev";
+       "rev_append"; "rev_map"; "filter"; "filter_map"; "filteri"; "sort";
+       "stable_sort"; "fast_sort"; "sort_uniq"; "merge"; "of_seq"; "to_seq";
+       "cons"; "split"; "combine" ]);
+    ("String",
+     [ "make"; "init"; "sub"; "concat"; "map"; "mapi"; "cat"; "of_bytes";
+       "to_bytes"; "split_on_char"; "uppercase_ascii"; "lowercase_ascii";
+       "trim"; "escaped" ]);
+    ("Bytes",
+     [ "make"; "init"; "create"; "sub"; "copy"; "extend"; "concat"; "cat";
+       "of_string"; "to_string" ]);
+    ("Buffer", [ "create"; "contents"; "to_bytes"; "sub" ]);
+    ("Hashtbl", [ "create"; "copy"; "fold"; "to_seq"; "of_seq" ]);
+    ("Queue", [ "create" ]);
+    ("Stack", [ "create" ]);
+    ("Printf", [ "sprintf" ]);
+    ("Format", [ "asprintf" ]) ]
+
+let is_alloc_call (m, f) =
+  (match m with
+  | Some m -> List.exists (fun (m', fs) -> m = m' && List.mem f fs) alloc_calls
+  | None -> false)
+  || (m = None && (f = "@" || f = "^"))
+
+(* Calls that project (part of) their first argument, used when chasing
+   the root of an lvalue. *)
+let projects_arg0 = function
+  | Some ("Array" | "Bytes" | "String"), ("get" | "unsafe_get") -> true
+  | None, "!" -> true
+  | _ -> false
+
+(* Mutating stdlib entry points: positional (Nolabel) argument indices
+   the call mutates.  Ibuf is kwsc_util's scratch buffer; listing it
+   here keeps cross-library A2 checks honest even where the summary is
+   out of reach. *)
+let known_mutators =
+  [ ((Some "Array", "set"), [ 0 ]); ((Some "Array", "unsafe_set"), [ 0 ]);
+    ((Some "Array", "fill"), [ 0 ]); ((Some "Array", "blit"), [ 2 ]);
+    ((Some "Array", "sort"), [ 1 ]); ((Some "Array", "stable_sort"), [ 1 ]);
+    ((Some "Array", "fast_sort"), [ 1 ]);
+    ((Some "Bytes", "set"), [ 0 ]); ((Some "Bytes", "unsafe_set"), [ 0 ]);
+    ((Some "Bytes", "fill"), [ 0 ]); ((Some "Bytes", "blit"), [ 2 ]);
+    ((Some "Bytes", "blit_string"), [ 2 ]);
+    ((Some "Hashtbl", "add"), [ 0 ]); ((Some "Hashtbl", "replace"), [ 0 ]);
+    ((Some "Hashtbl", "remove"), [ 0 ]); ((Some "Hashtbl", "reset"), [ 0 ]);
+    ((Some "Hashtbl", "clear"), [ 0 ]);
+    ((Some "Hashtbl", "filter_map_inplace"), [ 1 ]);
+    ((Some "Buffer", "add_char"), [ 0 ]);
+    ((Some "Buffer", "add_string"), [ 0 ]);
+    ((Some "Buffer", "add_bytes"), [ 0 ]); ((Some "Buffer", "clear"), [ 0 ]);
+    ((Some "Buffer", "reset"), [ 0 ]);
+    ((Some "Queue", "push"), [ 1 ]); ((Some "Queue", "add"), [ 1 ]);
+    ((Some "Queue", "pop"), [ 0 ]); ((Some "Queue", "clear"), [ 0 ]);
+    ((Some "Stack", "push"), [ 1 ]); ((Some "Stack", "pop"), [ 0 ]);
+    ((Some "Ibuf", "push"), [ 0 ]); ((Some "Ibuf", "clear"), [ 0 ]);
+    ((Some "Ibuf", "reserve"), [ 0 ]); ((Some "Ibuf", "swap"), [ 0; 1 ]);
+    ((None, ":="), [ 0 ]); ((None, "incr"), [ 0 ]); ((None, "decr"), [ 0 ]) ]
+
+let known_mutator key = List.assoc_opt key known_mutators
+
+(* Parallel entry points whose closure arguments run on other domains.
+   Matched on the last two path components, so `U.Pool.parallel_map`,
+   `Kwsc_util.Pool.parallel_map` and a fixture-local `Pool` all count.
+   pool.ml itself calls these as bare idents and so self-exempts: it is
+   the one module allowed to own synchronization (lint R8). *)
+let parallel_entry = function
+  | ( Some "Pool",
+      ( "parallel_map" | "parallel_for" | "parallel_for_reduce" | "fork_join"
+      | "fork_join_array" | "async" | "run" ) ) ->
+      true
+  | Some "Batch", "run" -> true
+  | _ -> false
+
+let is_float_ty (e : expression) =
+  match Types.get_desc e.exp_type with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let is_exn_construct (e : expression) =
+  match Types.get_desc e.exp_type with
+  | Types.Tconstr (p, _, _) -> Path.same p Predef.path_exn
+  | _ -> false
+
+let returns_arrow (e : expression) =
+  let ty = try Ctype.expand_head e.exp_env e.exp_type with _ -> e.exp_type in
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* Bound variable names of a pattern (value or computation). *)
+let rec pat_names : type k. k general_pattern -> string list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (_, s) -> [ s.txt ]
+  | Tpat_alias (q, _, s) -> s.txt :: pat_names q
+  | Tpat_tuple ps -> List.concat_map pat_names ps
+  | Tpat_construct (_, _, ps, _) -> List.concat_map pat_names ps
+  | Tpat_array ps -> List.concat_map pat_names ps
+  | Tpat_record (fs, _) -> List.concat_map (fun (_, _, q) -> pat_names q) fs
+  | Tpat_variant (_, Some q, _) -> pat_names q
+  | Tpat_or (a, b, _) -> pat_names a @ pat_names b
+  | Tpat_lazy q -> pat_names q
+  | Tpat_value v -> pat_names (v :> value general_pattern)
+  | Tpat_exception q -> pat_names q
+  | _ -> []
+
+let is_lambda (e : expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+(* Positional (Nolabel) arguments of an application, in order. *)
+let pos_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+(* Generic child traversal via Tast_iterator: visit every sub-expression
+   of [e] with [k]. *)
+let iter_children k e =
+  let it =
+    { Tast_iterator.default_iterator with expr = (fun _ c -> k c) }
+  in
+  Tast_iterator.default_iterator.expr it e
+
+(* ------------------------------------------------------------------ *)
+(* Module model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type func = {
+  f_name : string;
+  f_loc : Location.t;
+  f_params : string list; (* positional parameter names, in order *)
+  f_param_all : (Asttypes.arg_label * string) list;
+  f_body : expression; (* after stripping the single-case lambda spine *)
+  f_rec : bool;
+  f_alloc_ok : string option; (* Some justification, possibly "" *)
+  mutable s_alloc : bool;
+  mutable s_mut : int; (* bitmask over positional params *)
+  mutable s_global : bool;
+}
+
+type modinfo = {
+  m_name : string;
+  m_file : string;
+  m_str : structure;
+  mutable m_kernel : bool;
+  mutable m_domain_safe : bool;
+  m_funcs : (string, func) Hashtbl.t;
+  m_globals : (string, Location.t) Hashtbl.t;
+}
+
+type lib = { mods : (string, modinfo) Hashtbl.t }
+
+let attr_name (a : Parsetree.attribute) = a.attr_name.txt
+
+let attr_string_payload (a : Parsetree.attribute) =
+  match a.attr_payload with
+  | Parsetree.PStr
+      [ { pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _ } ] ->
+      Some s
+  | _ -> None
+
+let rec strip_params e =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_lhs; c_guard = None; c_rhs } ]; arg_label; _ }
+    ->
+      let name =
+        match c_lhs.pat_desc with
+        | Tpat_var (_, s) -> s.txt
+        | Tpat_alias (_, _, s) -> s.txt
+        | _ -> "_"
+      in
+      let ps, body = strip_params c_rhs in
+      ((arg_label, name) :: ps, body)
+  | _ -> ([], e)
+
+(* Does a top-level binding's RHS build a mutable value?  Used to
+   collect the module-level mutable state A2 polices.  Atomic.make is
+   deliberately excluded: atomics are the sanctioned synchronization. *)
+let rec is_mutable_alloc (e : expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+      match norm_last2 p with
+      | None, "ref" -> true
+      | ( Some
+            ("Hashtbl" | "Queue" | "Stack" | "Buffer" | "Bytes" | "Ibuf"
+            | "Isect_cache"),
+          "create" ) ->
+          true
+      | Some "Array", ("make" | "init" | "create_float" | "make_matrix") ->
+          true
+      | _ -> false)
+  | Texp_array (_ :: _) -> true
+  | Texp_record { fields; _ } ->
+      Array.exists
+        (fun (ld, _) -> ld.Types.lbl_mut = Asttypes.Mutable)
+        fields
+  | Texp_let (_, _, body) | Texp_sequence (_, body) -> is_mutable_alloc body
+  | _ -> false
+
+let collect_module name file str =
+  let m =
+    { m_name = name; m_file = file; m_str = str; m_kernel = false;
+      m_domain_safe = false; m_funcs = Hashtbl.create 16;
+      m_globals = Hashtbl.create 4 }
+  in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute a -> (
+          match attr_name a with
+          | "kwsc.kernel" -> m.m_kernel <- true
+          | "kwsc.domain_safe" -> m.m_domain_safe <- true
+          | _ -> ())
+      | Tstr_value (rf, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (_, s) ->
+                  let params, body = strip_params vb.vb_expr in
+                  let is_fn = params <> [] || is_lambda body in
+                  if is_fn then
+                    let alloc_ok =
+                      List.find_map
+                        (fun a ->
+                          if attr_name a = "kwsc.alloc_ok" then
+                            Some
+                              (Option.value ~default:""
+                                 (attr_string_payload a))
+                          else None)
+                        vb.vb_attributes
+                    in
+                    Hashtbl.replace m.m_funcs s.txt
+                      { f_name = s.txt; f_loc = vb.vb_loc;
+                        f_params =
+                          List.filter_map
+                            (function
+                              | Asttypes.Nolabel, n -> Some n | _ -> None)
+                            params;
+                        f_param_all = params; f_body = body;
+                        f_rec = (rf = Asttypes.Recursive);
+                        f_alloc_ok = alloc_ok; s_alloc = false; s_mut = 0;
+                        s_global = false }
+                  else if is_mutable_alloc vb.vb_expr then
+                    Hashtbl.replace m.m_globals s.txt vb.vb_loc
+              | _ -> ())
+            vbs
+      | _ -> ())
+    str.str_items;
+  m
+
+let add_local_lambdas locals vbs =
+  List.fold_left
+    (fun acc vb ->
+      match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+      | Tpat_var (_, s), Texp_function _ ->
+          SMap.add s.txt (vb.vb_expr, vb.vb_loc) acc
+      | _ -> acc)
+    locals vbs
+
+(* ------------------------------------------------------------------ *)
+(* Roots: where does an lvalue or argument ultimately live?            *)
+(* ------------------------------------------------------------------ *)
+
+type root =
+  | Rparam of int (* reachable from positional parameter i *)
+  | Rlocal (* fresh or function-local *)
+  | Rglobal of string * string (* module-level mutable binding *)
+  | Rref of root (* a ref cell whose payload has this root *)
+  | Rcarrier of root list (* callback parameter: fed from these roots *)
+
+let resolve_global lib (m : modinfo) parts =
+  match last2 parts with
+  | None, x when Hashtbl.mem m.m_globals x -> Some (m.m_name, x)
+  | Some mq, x -> (
+      match Hashtbl.find_opt lib.mods mq with
+      | Some m' when Hashtbl.mem m'.m_globals x -> Some (m'.m_name, x)
+      | _ -> None)
+  | _ -> None
+
+let resolve_func lib (m : modinfo) parts =
+  match last2 parts with
+  | None, x -> Hashtbl.find_opt m.m_funcs x
+  | Some mq, x -> (
+      match Hashtbl.find_opt lib.mods mq with
+      | Some m' -> Hashtbl.find_opt m'.m_funcs x
+      | None -> None)
+
+let rec root_of lib m env (e : expression) : root =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let parts = path_parts p in
+      match parts with
+      | [ x ] -> (
+          match SMap.find_opt x env with
+          | Some r -> r
+          | None -> (
+              match resolve_global lib m parts with
+              | Some (gm, gx) -> Rglobal (gm, gx)
+              | None -> Rlocal (* top-level function or immutable value *)))
+      | _ -> (
+          match resolve_global lib m parts with
+          | Some (gm, gx) -> Rglobal (gm, gx)
+          | None -> Rlocal))
+  | Texp_field (b, _, _) -> root_of lib m env b
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+      let key = norm_last2 p in
+      let pos = pos_args args in
+      if projects_arg0 key then
+        match pos with
+        | a :: _ -> (
+            match root_of lib m env a with Rref r -> r | r -> r)
+        | [] -> Rlocal
+      else if key = (None, "ref") then
+        match pos with a :: _ -> Rref (root_of lib m env a) | [] -> Rlocal
+      else Rlocal)
+  | Texp_ifthenelse (_, t, _) -> root_of lib m env t
+  | Texp_let (_, _, body) | Texp_sequence (_, body) -> root_of lib m env body
+  | _ -> Rlocal
+
+(* The head identifier of an lvalue chain, for the A2 capture check. *)
+let rec head_ident (e : expression) : string option =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      match path_parts p with [ x ] -> Some x | _ -> None)
+  | Texp_field (b, _, _) -> head_ident b
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when projects_arg0 (norm_last2 p) -> (
+      match pos_args args with a :: _ -> head_ident a | [] -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: per-function effect summaries + call-graph fixpoint         *)
+(* ------------------------------------------------------------------ *)
+
+type edge = { e_callee : func; e_args : (int * root) list }
+
+let record_mut f = function
+  | Rparam i when i < 30 -> f.s_mut <- f.s_mut lor (1 lsl i)
+  | Rglobal _ -> f.s_global <- true
+  | Rparam _ | Rref _ | Rlocal | Rcarrier _ -> ()
+
+let rec record_mut_root f = function
+  | Rcarrier rs -> List.iter (record_mut_root f) rs
+  | r -> record_mut f r
+
+let bind_names env r pat =
+  List.fold_left (fun e n -> SMap.add n r e) env (pat_names pat)
+
+(* One traversal of a function body collecting direct effects and call
+   edges.  Lambda bodies are part of the tree, so effects inside local
+   closures accrue to the enclosing function — which is exactly the
+   summary a caller needs. *)
+let collect_effects lib m (f : func) : edge list =
+  let edges = ref [] in
+  let rec go env (e : expression) =
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        f.s_alloc <- true;
+        List.iter
+          (fun c ->
+            let env = bind_names env Rlocal c.c_lhs in
+            Option.iter (go env) c.c_guard;
+            go env c.c_rhs)
+          cases
+    | Texp_tuple _ | Texp_record _ | Texp_array (_ :: _)
+    | Texp_variant (_, Some _) ->
+        f.s_alloc <- true;
+        iter_children (go env) e
+    | Texp_construct (_, _, _ :: _) when not (is_exn_construct e) ->
+        f.s_alloc <- true;
+        iter_children (go env) e
+    | Texp_setfield (obj, _, _, v) ->
+        record_mut_root f (root_of lib m env obj);
+        go env obj;
+        go env v
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+        let key = norm_last2 p in
+        let pos = pos_args args in
+        if is_alloc_call key then f.s_alloc <- true;
+        (match known_mutator key with
+        | Some idxs ->
+            List.iter
+              (fun i ->
+                match List.nth_opt pos i with
+                | Some a -> record_mut_root f (root_of lib m env a)
+                | None -> ())
+              idxs
+        | None -> ());
+        (match resolve_func lib m (path_parts p) with
+        | Some callee when callee != f ->
+            let rec map_args pidx = function
+              | [] -> []
+              | (Asttypes.Nolabel, Some a) :: rest ->
+                  (pidx, root_of lib m env a) :: map_args (pidx + 1) rest
+              | _ :: rest -> map_args pidx rest
+            in
+            edges := { e_callee = callee; e_args = map_args 0 args } :: !edges
+        | _ -> ());
+        (* Callbacks: bind the lambda's params to the roots of the
+           other arguments, so `Array.iter (fun e -> e.x <- 0) t.arr`
+           attributes the write to t. *)
+        let other_roots =
+          List.filter_map
+            (fun (_, a) ->
+              match a with
+              | Some a when not (is_lambda a) -> Some (root_of lib m env a)
+              | _ -> None)
+            args
+        in
+        List.iter
+          (fun (_, a) ->
+            match a with
+            | Some a when is_lambda a ->
+                go_lambda env (Rcarrier other_roots) a
+            | Some a -> go env a
+            | None -> ())
+          args
+    | Texp_let (rf, vbs, body) ->
+        let env' =
+          List.fold_left
+            (fun acc vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (_, s) ->
+                  SMap.add s.txt
+                    (if rf = Asttypes.Recursive then Rlocal
+                     else root_of lib m env vb.vb_expr)
+                    acc
+              | _ -> bind_names acc Rlocal vb.vb_pat)
+            env vbs
+        in
+        List.iter
+          (fun vb ->
+            go (if rf = Asttypes.Recursive then env' else env) vb.vb_expr)
+          vbs;
+        go env' body
+    | Texp_match (scrut, cases, _) ->
+        go env scrut;
+        let sroot = root_of lib m env scrut in
+        List.iter
+          (fun c ->
+            let env = bind_names env sroot c.c_lhs in
+            Option.iter (go env) c.c_guard;
+            go env c.c_rhs)
+          cases
+    | Texp_for (id, _, lo, hi, _, body) ->
+        go env lo;
+        go env hi;
+        go (SMap.add (Ident.name id) Rlocal env) body
+    | _ -> iter_children (go env) e
+  and go_lambda env carrier (e : expression) =
+    (* a lambda is still an allocation for the enclosing function *)
+    f.s_alloc <- true;
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            let env = bind_names env carrier c.c_lhs in
+            Option.iter (go env) c.c_guard;
+            go_lambda env carrier c.c_rhs)
+          cases
+    | _ -> go env e
+  in
+  let env =
+    fst
+      (List.fold_left
+         (fun (acc, i) (lbl, n) ->
+           match lbl with
+           | Asttypes.Nolabel -> (SMap.add n (Rparam i) acc, i + 1)
+           | _ -> (SMap.add n Rlocal acc, i))
+         (SMap.empty, 0) f.f_param_all)
+  in
+  let entry env body =
+    match body.exp_desc with
+    | Texp_function { cases; _ } ->
+        (* trailing `function ...` match: one more positional param *)
+        let extra = Rparam (List.length f.f_params) in
+        List.iter
+          (fun c ->
+            let env = bind_names env extra c.c_lhs in
+            Option.iter (go env) c.c_guard;
+            go env c.c_rhs)
+          cases
+    | _ -> go env body
+  in
+  (match f.f_alloc_ok with
+  | None -> entry env f.f_body
+  | Some _ ->
+      (* audited: trust the justification for allocation, but still
+         collect mutation effects *)
+      entry env f.f_body;
+      f.s_alloc <- false);
+  !edges
+
+let fixpoint lib =
+  let all = ref [] in
+  Hashtbl.iter
+    (fun _ m ->
+      Hashtbl.iter
+        (fun _ f -> all := (f, collect_effects lib m f) :: !all)
+        m.m_funcs)
+    lib.mods;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f, edges) ->
+        List.iter
+          (fun { e_callee = g; e_args } ->
+            if g.s_alloc && g.f_alloc_ok = None && not f.s_alloc then begin
+              f.s_alloc <- true;
+              changed := true
+            end;
+            if g.s_global && not f.s_global then begin
+              f.s_global <- true;
+              changed := true
+            end;
+            List.iter
+              (fun (i, r) ->
+                if g.s_mut land (1 lsl i) <> 0 then begin
+                  let before = (f.s_mut, f.s_global) in
+                  record_mut_root f r;
+                  if (f.s_mut, f.s_global) <> before then changed := true
+                end)
+              e_args)
+          edges)
+      !all
+  done
+
+(* ------------------------------------------------------------------ *)
+(* A1: allocation freedom in [@@@kwsc.kernel] modules                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hot contexts: for/while bodies, bodies of recursive functions, and
+   bodies of lambdas passed as arguments (callbacks run per element).
+   Local let-bound lambdas are summarized on demand so a hot call to an
+   allocating helper is flagged at the call site. *)
+let a1_scan lib (m : modinfo) ~push =
+  let finding line what message =
+    push { file = m.m_file; line; rule = A1; what; message }
+  in
+  let seen = Hashtbl.create 32 in
+  let once line what message =
+    if not (Hashtbl.mem seen (line, what)) then begin
+      Hashtbl.replace seen (line, what) ();
+      finding line what message
+    end
+  in
+  let local_allocs : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  let lkey name (loc : Location.t) =
+    Printf.sprintf "%s@%d:%d" name loc.loc_start.pos_lnum
+      loc.loc_start.pos_cnum
+  in
+  (* Does calling this function allocate?  locals maps let-bound lambda
+     names to their definitions. *)
+  let rec call_allocates locals visited p =
+    match path_parts p with
+    | [ x ] -> (
+        match SMap.find_opt x locals with
+        | Some (lam, loc) -> (
+            let key = lkey x loc in
+            match Hashtbl.find_opt local_allocs key with
+            | Some b -> Some b
+            | None ->
+                if SSet.mem key visited then Some false
+                else begin
+                  let _, body = strip_params lam in
+                  let b =
+                    expr_allocates locals (SSet.add key visited) body
+                  in
+                  Hashtbl.replace local_allocs key b;
+                  Some b
+                end)
+        | None -> (
+            match resolve_func lib m [ x ] with
+            | Some g -> Some (g.s_alloc && g.f_alloc_ok = None)
+            | None -> None))
+    | parts -> (
+        match resolve_func lib m parts with
+        | Some g -> Some (g.s_alloc && g.f_alloc_ok = None)
+        | None -> None)
+  and expr_allocates locals visited e =
+    let found = ref false in
+    let rec go locals (e : expression) =
+      if !found then ()
+      else
+        match e.exp_desc with
+        | Texp_function _ -> found := true
+        | Texp_tuple _ | Texp_record _ | Texp_array (_ :: _)
+        | Texp_variant (_, Some _) ->
+            found := true
+        | Texp_construct (_, _, _ :: _) when not (is_exn_construct e) ->
+            found := true
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+            if is_alloc_call (norm_last2 p) then found := true
+            else begin
+              (match call_allocates locals visited p with
+              | Some true -> found := true
+              | _ -> ());
+              List.iter (fun (_, a) -> Option.iter (go locals) a) args
+            end
+        | Texp_let (_, vbs, body) ->
+            let locals' = add_local_lambdas locals vbs in
+            List.iter (fun vb -> go locals' vb.vb_expr) vbs;
+            go locals' body
+        | _ -> iter_children (go locals) e
+    in
+    go locals e;
+    !found
+  in
+  let callee_name p =
+    match last2 (path_parts p) with
+    | Some mo, fo -> mo ^ "." ^ fo
+    | None, fo -> fo
+  in
+  let rec walk locals hot (e : expression) =
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        if hot then
+          once (loc_line e.exp_loc) "closure"
+            "closure allocated in a hot context (loop body, recursive \
+             function, or callback)";
+        List.iter
+          (fun c ->
+            Option.iter (walk locals hot) c.c_guard;
+            walk locals hot c.c_rhs)
+          cases
+    | Texp_tuple parts when hot ->
+        once (loc_line e.exp_loc) "boxed-construct"
+          (if List.exists is_float_ty parts then
+             "tuple allocation boxes a float in a hot context"
+           else "tuple allocated in a hot context");
+        List.iter (walk locals hot) parts
+    | Texp_construct (lid, _, (_ :: _ as parts))
+      when hot && not (is_exn_construct e) ->
+        once (loc_line e.exp_loc) "boxed-construct"
+          (Printf.sprintf "%s%s allocated in a hot context"
+             (Longident.last lid.txt)
+             (if List.exists is_float_ty parts then " (boxes a float)"
+              else ""));
+        List.iter (walk locals hot) parts
+    | Texp_record { fields; extended_expression; _ } when hot ->
+        once (loc_line e.exp_loc) "boxed-construct"
+          "record allocated in a hot context";
+        Option.iter (walk locals hot) extended_expression;
+        Array.iter
+          (fun (_, def) ->
+            match def with
+            | Overridden (_, ex) -> walk locals hot ex
+            | Kept _ -> ())
+          fields
+    | Texp_array (_ :: _ as parts) when hot ->
+        once (loc_line e.exp_loc) "boxed-construct"
+          "array literal allocated in a hot context";
+        List.iter (walk locals hot) parts
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args) ->
+        if hot then begin
+          if is_alloc_call (norm_last2 p) then
+            once (loc_line e.exp_loc) "alloc-call"
+              (Printf.sprintf "call to allocating %s in a hot context"
+                 (callee_name p))
+          else begin
+            match call_allocates locals SSet.empty p with
+            | Some true ->
+                once (loc_line e.exp_loc) "allocating-call"
+                  (Printf.sprintf
+                     "call to %s, which allocates, in a hot context (make \
+                      it allocation-free or tag it [@@kwsc.alloc_ok \
+                      \"why\"])"
+                     (callee_name p))
+            | _ -> ()
+          end;
+          if returns_arrow e then
+            once (loc_line e.exp_loc) "partial-application"
+              "partial application allocates a closure in a hot context"
+        end;
+        walk locals hot fn;
+        List.iter
+          (fun (_, a) ->
+            match a with
+            | Some ({ exp_desc = Texp_function _; _ } as lam) ->
+                (* callback: its body runs per element *)
+                if hot then
+                  once (loc_line lam.exp_loc) "closure"
+                    "closure allocated in a hot context (loop body, \
+                     recursive function, or callback)";
+                let _, lb = strip_params lam in
+                walk_fun_body locals true lb
+            | Some a -> walk locals hot a
+            | None -> ())
+          args
+    | Texp_let (rf, vbs, body) ->
+        let locals' = add_local_lambdas locals vbs in
+        List.iter
+          (fun vb ->
+            if is_lambda vb.vb_expr then begin
+              if hot then
+                once
+                  (loc_line vb.vb_loc)
+                  "closure"
+                  "closure allocated in a hot context (loop body, \
+                   recursive function, or callback)";
+              let _, lb = strip_params vb.vb_expr in
+              walk_fun_body locals'
+                (hot || rf = Asttypes.Recursive)
+                lb
+            end
+            else walk locals hot vb.vb_expr)
+          vbs;
+        walk locals' hot body
+    | Texp_for (_, _, lo, hi, _, body) ->
+        walk locals hot lo;
+        walk locals hot hi;
+        walk locals true body
+    | Texp_while (c, body) ->
+        walk locals hot c;
+        walk locals true body
+    | _ -> iter_children (walk locals hot) e
+  and walk_fun_body locals hot (b : expression) =
+    (* entry point for a function body whose own lambda spine has been
+       stripped: a trailing multi-case `function` is not itself a
+       per-call allocation *)
+    match b.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            Option.iter (walk locals hot) c.c_guard;
+            walk locals hot c.c_rhs)
+          cases
+    | _ -> walk locals hot b
+  in
+  Hashtbl.iter
+    (fun _ (f : func) ->
+      match f.f_alloc_ok with
+      | Some "" ->
+          finding (loc_line f.f_loc) "unjustified-attribute"
+            (Printf.sprintf
+               "[@kwsc.alloc_ok] on %s has no justification string" f.f_name)
+      | Some _ -> () (* audited: body exempt *)
+      | None -> walk_fun_body SMap.empty f.f_rec f.f_body)
+    m.m_funcs
+
+(* ------------------------------------------------------------------ *)
+(* A2: domain-safety of closures passed to parallel entry points       *)
+(* ------------------------------------------------------------------ *)
+
+let a2_scan lib (m : modinfo) ~push =
+  let finding line what message =
+    push { file = m.m_file; line; rule = A2; what; message }
+  in
+  let untagged_reported = ref false in
+  (* Check one closure passed to a parallel entry point.  [inside] is
+     the set of names bound within the closure (its params and lets);
+     anything else is captured, hence shared across domains.  Calls to
+     sibling let-bound lambdas defined outside the closure (e.g. a
+     recursive [go] used from fork_join thunks) are expanded. *)
+  let check_closure op locals0 (lam : expression) =
+    let visited = Hashtbl.create 8 in
+    let lkey (loc : Location.t) =
+      Printf.sprintf "%d:%d" loc.loc_start.pos_lnum loc.loc_start.pos_cnum
+    in
+    let rec scan inside locals (e : expression) =
+      match e.exp_desc with
+      | Texp_function { cases; _ } ->
+          List.iter
+            (fun c ->
+              let inside =
+                List.fold_left
+                  (fun s n -> SSet.add n s)
+                  inside (pat_names c.c_lhs)
+              in
+              Option.iter (scan inside locals) c.c_guard;
+              scan inside locals c.c_rhs)
+            cases
+      | Texp_let (_, vbs, body) ->
+          let locals' = add_local_lambdas locals vbs in
+          let inside' =
+            List.fold_left
+              (fun s vb ->
+                List.fold_left
+                  (fun s n -> SSet.add n s)
+                  s (pat_names vb.vb_pat))
+              inside vbs
+          in
+          List.iter (fun vb -> scan inside' locals' vb.vb_expr) vbs;
+          scan inside' locals' body
+      | Texp_match (scrut, cases, _) ->
+          scan inside locals scrut;
+          List.iter
+            (fun c ->
+              let inside =
+                List.fold_left
+                  (fun s n -> SSet.add n s)
+                  inside (pat_names c.c_lhs)
+              in
+              Option.iter (scan inside locals) c.c_guard;
+              scan inside locals c.c_rhs)
+            cases
+      | Texp_for (id, _, lo, hi, _, body) ->
+          scan inside locals lo;
+          scan inside locals hi;
+          scan (SSet.add (Ident.name id) inside) locals body
+      | Texp_ident (p, _, _) -> (
+          let parts = path_parts p in
+          let shadowed =
+            match parts with [ x ] -> SSet.mem x inside | _ -> false
+          in
+          match resolve_global lib m parts with
+          | Some (gm, gx) when not shadowed ->
+              finding (loc_line e.exp_loc) "global-mutable"
+                (Printf.sprintf
+                   "closure passed to %s reaches module-level mutable \
+                    %s.%s — unsynchronized shared state across domains"
+                   op gm gx)
+          | _ -> ())
+      | Texp_setfield (obj, _, ld, v) ->
+          (match head_ident obj with
+          | Some h when not (SSet.mem h inside) ->
+              finding (loc_line e.exp_loc) "captured-write"
+                (Printf.sprintf
+                   "closure passed to %s writes field %s of captured \
+                    value %s"
+                   op ld.Types.lbl_name h)
+          | _ -> ());
+          scan inside locals obj;
+          scan inside locals v
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          let parts = path_parts p in
+          let key = norm_last2 p in
+          let pos = pos_args args in
+          (match known_mutator key with
+          | Some idxs ->
+              List.iter
+                (fun i ->
+                  match List.nth_opt pos i with
+                  | Some a -> (
+                      match head_ident a with
+                      | Some h when not (SSet.mem h inside) ->
+                          finding (loc_line e.exp_loc) "captured-write"
+                            (Printf.sprintf
+                               "closure passed to %s mutates captured \
+                                value %s (via %s)"
+                               op h
+                               (match key with
+                               | Some mo, fo -> mo ^ "." ^ fo
+                               | None, fo -> fo))
+                      | _ -> ())
+                  | None -> ())
+                idxs
+          | None -> ());
+          List.iter (fun (_, a) -> Option.iter (scan inside locals) a) args;
+          match parts with
+          | [ x ] when SMap.mem x locals && not (SSet.mem x inside) ->
+              (* call to a sibling lambda defined outside the closure:
+                 expand its body, its params count as inside *)
+              let lam', loc = SMap.find x locals in
+              if not (Hashtbl.mem visited (lkey loc)) then begin
+                Hashtbl.replace visited (lkey loc) ();
+                scan (SSet.add x inside) locals lam'
+              end
+          | _ -> (
+              match resolve_func lib m parts with
+              | Some g ->
+                  if g.s_global then
+                    finding (loc_line e.exp_loc) "mutating-call"
+                      (Printf.sprintf
+                         "closure passed to %s calls %s, which touches \
+                          module-level mutable state"
+                         op g.f_name);
+                  List.iteri
+                    (fun i a ->
+                      if g.s_mut land (1 lsl i) <> 0 then
+                        match head_ident a with
+                        | Some h when not (SSet.mem h inside) ->
+                            finding (loc_line e.exp_loc) "mutating-call"
+                              (Printf.sprintf
+                                 "closure passed to %s calls %s, which \
+                                  mutates its argument %s — captured, \
+                                  hence shared across domains"
+                                 op g.f_name h)
+                        | _ -> ())
+                    pos
+              | None -> ()))
+      | _ -> iter_children (scan inside locals) e
+    in
+    scan SSet.empty locals0 lam
+  in
+  (* Nested lambdas inside a non-lambda argument of a parallel entry
+     point (e.g. fork_join_array pool (Array.mapi (fun i c () -> ...))). *)
+  let rec scan_nested op locals (e : expression) =
+    if is_lambda e then check_closure op locals e
+    else iter_children (scan_nested op locals) e
+  in
+  let rec walk locals (e : expression) =
+    match e.exp_desc with
+    | Texp_let (_, vbs, body) ->
+        let locals' = add_local_lambdas locals vbs in
+        List.iter (fun vb -> walk locals' vb.vb_expr) vbs;
+        walk locals' body
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when parallel_entry (norm_last2 p) ->
+        let op =
+          match last2 (path_parts p) with
+          | Some mo, fo -> mo ^ "." ^ fo
+          | None, fo -> fo
+        in
+        if not m.m_domain_safe && not !untagged_reported then begin
+          untagged_reported := true;
+          finding (loc_line e.exp_loc) "untagged-parallel-module"
+            (Printf.sprintf
+               "module calls %s but is not tagged [@@@kwsc.domain_safe] — \
+                audit its closures and tag it"
+               op)
+        end;
+        List.iter
+          (fun (_, a) ->
+            match a with
+            | Some a when is_lambda a -> check_closure op locals a
+            | Some a ->
+                scan_nested op locals a;
+                walk locals a
+            | None -> ())
+          args
+    | _ -> iter_children (walk locals) e
+  in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter (fun vb -> walk SMap.empty vb.vb_expr) vbs
+      | _ -> ())
+    m.m_str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* A3: unsafe accesses dominated by a bounds guard                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Normalized printer for index expressions and guard operands; "?"
+   marks sub-expressions we cannot print and never matches a fact. *)
+let rec norm_expr (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> String.concat "." (path_parts p)
+  | Texp_constant (Asttypes.Const_int n) -> string_of_int n
+  | Texp_constant (Asttypes.Const_char c) -> Printf.sprintf "%C" c
+  | Texp_constant (Asttypes.Const_string (s, _, _)) -> Printf.sprintf "%S" s
+  | Texp_constant (Asttypes.Const_float f) -> f
+  | Texp_constant _ -> "?"
+  | Texp_field (b, _, ld) -> norm_expr b ^ "." ^ ld.Types.lbl_name
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+      "("
+      ^ String.concat " "
+          (String.concat "." (path_parts p)
+          :: List.map
+               (fun (_, a) ->
+                 match a with Some a -> norm_expr a | None -> "_")
+               args)
+      ^ ")"
+  | _ -> "?"
+
+let comparison_ops = SSet.of_list [ "<"; "<="; ">"; ">="; "="; "<>" ]
+
+(* Facts contributed by a condition: the normalized operands of every
+   comparison inside it (polarity-free, both branches — documented
+   approximation). *)
+let ops_of_cond facts (c : expression) =
+  let acc = ref facts in
+  let rec go (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        match last2 (path_parts p) with
+        | _, op when SSet.mem op comparison_ops -> (
+            match pos_args args with
+            | a :: b :: _ ->
+                let na = norm_expr a and nb = norm_expr b in
+                if na <> "?" then acc := SSet.add na !acc;
+                if nb <> "?" then acc := SSet.add nb !acc
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    iter_children go e
+  in
+  go c;
+  !acc
+
+let rec always_raises (e : expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+      match last2 (path_parts p) with
+      | _, ("raise" | "raise_notrace" | "invalid_arg" | "failwith") -> true
+      | _ -> false)
+  | Texp_let (_, _, b) | Texp_sequence (_, b) -> always_raises b
+  | Texp_ifthenelse (_, t, Some f) -> always_raises t && always_raises f
+  | _ -> false
+
+let a3_scan (m : modinfo) ~push =
+  let finding line what message =
+    push { file = m.m_file; line; rule = A3; what; message }
+  in
+  let is_unsafe_rw fo =
+    fo = "unsafe_get" || fo = "unsafe_set"
+    || String.length fo > 11
+       && (String.sub fo 0 11 = "unsafe_get_"
+          || String.sub fo 0 11 = "unsafe_set_")
+  in
+  let rec scan facts (e : expression) =
+    match e.exp_desc with
+    | Texp_ifthenelse (c, t, eo) ->
+        scan facts c;
+        let facts' = ops_of_cond facts c in
+        scan facts' t;
+        Option.iter (scan facts') eo
+    | Texp_sequence (a, b) ->
+        scan facts a;
+        let facts' =
+          (* early-exit guard: `if bad then invalid_arg ...; rest` *)
+          match a.exp_desc with
+          | Texp_ifthenelse (c, t, None) when always_raises t ->
+              ops_of_cond facts c
+          | _ -> facts
+        in
+        scan facts' b
+    | Texp_while (c, body) ->
+        scan facts c;
+        scan (ops_of_cond facts c) body
+    | Texp_for (id, _, lo, hi, _, body) ->
+        scan facts lo;
+        scan facts hi;
+        scan (SSet.add (Ident.name id) facts) body
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+        let mo, fo = last2 (path_parts p) in
+        (if is_unsafe_rw fo then
+           match List.nth_opt (pos_args args) 1 with
+           | Some idx ->
+               let s = norm_expr idx in
+               if not (s <> "?" && SSet.mem s facts) then
+                 finding (loc_line e.exp_loc)
+                   (if String.length fo >= 10 && String.sub fo 0 10 = "unsafe_set"
+                    then "unguarded-unsafe-set"
+                    else "unguarded-unsafe-get")
+                   (Printf.sprintf
+                      "%s on index %s is not dominated by a bounds guard \
+                       mentioning that index in this function"
+                      (match mo with Some mo -> mo ^ "." ^ fo | None -> fo)
+                      (if s = "?" then "<expr>" else s))
+           | None -> ()
+         else if fo = "unsafe_words" || fo = "unsafe_data" then
+           match mo with
+           | Some dm when dm <> m.m_name ->
+               finding (loc_line e.exp_loc) "representation-escape"
+                 (Printf.sprintf
+                    "%s.%s exposes the backing store outside its defining \
+                     module — needs a justified allow entry"
+                    dm fo)
+           | _ -> ());
+        List.iter (fun (_, a) -> Option.iter (scan facts) a) args
+    | _ -> iter_children (scan facts) e
+  in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter (fun vb -> scan SSet.empty vb.vb_expr) vbs
+      | _ -> ())
+    m.m_str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* Loading and driving                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let load_cmt path : modinfo option =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Cmt_format.Implementation str; cmt_modname;
+      cmt_sourcefile; _ } ->
+      let file =
+        Option.value cmt_sourcefile ~default:(Filename.basename path)
+      in
+      Some (collect_module (demangle cmt_modname) file str)
+  | _ -> None
+  | exception _ -> None
+
+let analyze_files cmts =
+  let lib = { mods = Hashtbl.create 16 } in
+  let ms = List.filter_map load_cmt cmts in
+  List.iter (fun m -> Hashtbl.replace lib.mods m.m_name m) ms;
+  fixpoint lib;
+  let acc = ref [] in
+  let push f = acc := f :: !acc in
+  List.iter
+    (fun m ->
+      if m.m_kernel then a1_scan lib m ~push;
+      a2_scan lib m ~push;
+      a3_scan m ~push)
+    ms;
+  List.sort_uniq compare !acc
+
+let collect_cmts paths =
+  let groups : (string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let add f =
+    let d = Filename.dirname f in
+    match Hashtbl.find_opt groups d with
+    | Some r -> r := f :: !r
+    | None -> Hashtbl.add groups d (ref [ f ])
+  in
+  let rec walk p =
+    if Sys.is_directory p then
+      Array.iter (fun e -> walk (Filename.concat p e)) (Sys.readdir p)
+    else if Filename.check_suffix p ".cmt" then add p
+  in
+  List.iter (fun p -> if Sys.file_exists p then walk p) paths;
+  Hashtbl.fold (fun _ r acc -> List.sort compare !r :: acc) groups []
+  |> List.sort compare

@@ -1,0 +1,75 @@
+(* kwsc-analyze: typed, interprocedural static analysis (tier 2).
+
+   Where tools/lint works on the parsetree (no typing), this tier
+   consumes the typedtree (.cmt files produced by dune) and checks the
+   three contracts the paper's performance claims rest on:
+
+   A1  allocation-freedom — modules tagged [@@@kwsc.kernel] must not
+       allocate in hot contexts (loop bodies, recursive functions,
+       callbacks): closures, boxed constructs (tuples, options, records,
+       boxed floats), allocating stdlib calls, partial applications, and
+       calls to local functions that allocate (propagated through the
+       per-library call graph).  [@@kwsc.alloc_ok "why"] on a binding
+       exempts it and requires a written justification.
+
+   A2  domain-safety — closures passed to Pool.parallel_map /
+       parallel_for / fork_join / fork_join_array / async / Batch.run
+       must not reach shared mutable state: module-level mutables,
+       writes to captured variables, or calls (propagated) to functions
+       that mutate state reachable from a captured argument.  Modules
+       hosting a parallel entry point must be tagged
+       [@@@kwsc.domain_safe] so the audit surface is explicit.
+
+   A3  unsafe-access gating — every Array/String/Bytes unsafe_get /
+       unsafe_set must be dominated by a bounds guard mentioning the
+       same index expression in the same function, and unsafe_words /
+       unsafe_data (representation escapes) may only appear in their
+       defining module; everything else needs a justified allow entry.
+
+   Approximations are documented in DESIGN.md §11. *)
+
+type rule = A1 | A2 | A3
+
+type finding = {
+  file : string;
+  line : int;
+  rule : rule;
+  what : string; (* stable finding-kind tag, e.g. "closure", "captured-write" *)
+  message : string;
+}
+
+val all_rules : rule list
+val rule_id : rule -> string
+val rule_doc : rule -> string
+val pp_finding : finding -> string
+
+(* Allowlist: same (RULE PATH [LINE]) shape as tools/lint, except every
+   entry MUST carry a one-line justification after a ';' on the same
+   line.  [parse_allow] raises [Failure] on an unjustified entry. *)
+type allow_entry = {
+  a_rule : string;
+  a_path : string;
+  a_line : int option;
+  a_why : string;
+}
+
+val parse_allow : string -> allow_entry list
+val load_allow : string -> allow_entry list
+val pp_allow_entry : allow_entry -> string
+
+(* [filter_allowed allow fs] returns the findings no entry matches,
+   plus the entries that matched at least one finding (for stale-entry
+   reporting). *)
+val filter_allowed :
+  allow_entry list -> finding list -> finding list * allow_entry list
+
+val unused_allow : allow_entry list -> used:allow_entry list -> allow_entry list
+
+(* [analyze_files cmts] analyzes one library: every .cmt in [cmts] joins
+   the same call graph.  Findings are sorted by (file, line). *)
+val analyze_files : string list -> finding list
+
+(* [collect_cmts paths] expands files/directories into .cmt groups, one
+   per containing directory (= one per library under dune's .objs
+   layout).  Directories are walked recursively. *)
+val collect_cmts : string list -> string list list

@@ -1,0 +1,92 @@
+(* kwsc_analyze: command-line driver for the tier-2 analyzer.
+
+   Usage: kwsc_analyze [options] [path ...]
+   Paths may be .cmt files or directories (recursed; dune keeps cmts
+   under .objs/byte, one directory per library).  With no paths, scans
+   lib/ and falls back to _build/default/lib so it works both from the
+   repo root and from inside a dune action.
+   Exit status: 0 clean, 1 findings (or, with --strict, stale allow
+   entries), 2 usage or parse errors. *)
+
+module A = Kwsc_analyze_lib.Analyze
+
+let usage = "kwsc_analyze [--allow FILE] [--strict] [--rules] [path ...]"
+
+let print_rules () =
+  List.iter
+    (fun r -> Printf.printf "%s  %s\n" (A.rule_id r) (A.rule_doc r))
+    A.all_rules;
+  exit 0
+
+let () =
+  let allow_file = ref None in
+  let strict = ref false in
+  let rev_paths = ref [] in
+  let spec =
+    [ ("--allow", Arg.String (fun s -> allow_file := Some s),
+       "FILE allowlist of justified exceptions (see tools/analyze/allow.sexp)");
+      ("--strict", Arg.Set strict,
+       " fail when the allowlist contains entries matching no finding");
+      ("--rules", Arg.Unit print_rules, " list the analyses and exit") ]
+  in
+  Arg.parse spec (fun p -> rev_paths := p :: !rev_paths) usage;
+  let paths =
+    match List.rev !rev_paths with [] -> [ "lib" ] | ps -> ps
+  in
+  let allow =
+    match !allow_file with
+    | None -> []
+    | Some f -> (
+        try A.load_allow f
+        with Sys_error msg | Failure msg ->
+          Printf.eprintf "kwsc_analyze: %s\n" msg;
+          exit 2)
+  in
+  let groups =
+    match A.collect_cmts paths with
+    | [] ->
+        (* allow running from the repo root before/without cd'ing into
+           the build tree *)
+        A.collect_cmts
+          (List.map (fun p -> Filename.concat "_build/default" p) paths)
+    | gs -> gs
+  in
+  if groups = [] then begin
+    Printf.eprintf
+      "kwsc_analyze: no .cmt files under: %s (run `dune build` first)\n"
+      (String.concat " " paths);
+    exit 2
+  end;
+  let nfiles = List.fold_left (fun n g -> n + List.length g) 0 groups in
+  let findings = List.concat_map A.analyze_files groups in
+  let findings =
+    List.sort
+      (fun a b ->
+        match String.compare a.A.file b.A.file with
+        | 0 -> Int.compare a.A.line b.A.line
+        | c -> c)
+      findings
+  in
+  let kept, used = A.filter_allowed allow findings in
+  let unused = A.unused_allow allow ~used in
+  List.iter (fun f -> print_endline (A.pp_finding f)) kept;
+  List.iter
+    (fun e ->
+      Printf.printf "kwsc-analyze: warning: unused allow entry %s\n"
+        (A.pp_allow_entry e))
+    unused;
+  if kept <> [] then begin
+    Printf.printf
+      "kwsc-analyze: %d finding(s) in %d cmt file(s), %d librar(y/ies)\n"
+      (List.length kept) nfiles (List.length groups);
+    exit 1
+  end
+  else if !strict && unused <> [] then begin
+    Printf.printf
+      "kwsc-analyze: %d stale allow entr(y/ies) under --strict\n"
+      (List.length unused);
+    exit 1
+  end
+  else
+    Printf.printf "kwsc-analyze: OK (%d cmt files in %d libraries, %d allowed)\n"
+      nfiles (List.length groups) (List.length used)

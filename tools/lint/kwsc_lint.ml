@@ -8,8 +8,8 @@
 module Lint = Kwsc_lint_lib.Lint
 
 let usage =
-  "kwsc_lint [--allow FILE] [--assume-hot] [--assume-lib] [--assume-kernel] [--require-mli] \
-   [path ...]"
+  "kwsc_lint [--allow FILE] [--strict] [--assume-hot] [--assume-lib] [--assume-kernel] \
+   [--require-mli] [path ...]"
 
 let print_rules () =
   List.iter
@@ -19,6 +19,7 @@ let print_rules () =
 
 let () =
   let allow_file = ref None in
+  let strict = ref false in
   let assume_hot = ref false in
   let assume_lib = ref false in
   let assume_kernel = ref false in
@@ -27,6 +28,8 @@ let () =
   let spec =
     [ ("--allow", Arg.String (fun s -> allow_file := Some s),
        "FILE allowlist of audited exceptions (see tools/lint/allow.sexp)");
+      ("--strict", Arg.Set strict,
+       " fail (exit 1) when an allowlist entry matches no violation");
       ("--assume-hot", Arg.Set assume_hot,
        " treat every input as a hot-path module (rules R1, R4)");
       ("--assume-lib", Arg.Set assume_lib,
@@ -69,10 +72,10 @@ let () =
       (String.concat " " paths);
     exit 2);
   let parse_errors = ref 0 in
-  let violations =
+  let raw =
     List.concat_map
       (fun f ->
-        try Lint.lint_file ~config f
+        try Lint.lint_file_raw ~config f
         with exn ->
           incr parse_errors;
           let msg =
@@ -85,6 +88,9 @@ let () =
           [])
       files
   in
+  (* Filter once over the whole run, not per file, so an allow entry is
+     stale only if it matched nothing anywhere. *)
+  let violations, used = Lint.filter_allowed allow raw in
   let violations =
     List.sort
       (fun a b ->
@@ -94,9 +100,22 @@ let () =
       violations
   in
   List.iter (fun v -> print_endline (Lint.pp_violation v)) violations;
+  let stale = Lint.unused_allow allow ~used in
+  List.iter
+    (fun a ->
+      Printf.eprintf
+        "kwsc_lint: warning: unused allow entry %s matches no violation; delete it\n"
+        (Lint.pp_allow_entry a))
+    stale;
   if !parse_errors > 0 then exit 2
   else if violations <> [] then (
     Printf.printf "kwsc-lint: %d violation(s) in %d file(s) checked\n"
       (List.length violations) (List.length files);
     exit 1)
-  else Printf.printf "kwsc-lint: OK (%d files checked)\n" (List.length files)
+  else if !strict && stale <> [] then (
+    Printf.printf "kwsc-lint: %d stale allow entr(y/ies), %d files checked\n"
+      (List.length stale) (List.length files);
+    exit 1)
+  else
+    Printf.printf "kwsc-lint: OK (%d files checked, %d allowed)\n"
+      (List.length files) (List.length used)

@@ -81,19 +81,6 @@ let path_is_hot path =
   let segs = segments path in
   List.exists (fun d -> has_subpath d segs) hot_dirs
 
-(* R9: the query-kernel-tagged modules — flat layouts whose hot loops
-   must not allocate per result.  Extend here when a new frozen kernel
-   appears. *)
-let kernel_files =
-  [ [ "lib"; "kdtree"; "kd_flat.ml" ];
-    [ "lib"; "ptree"; "ptree_flat.ml" ];
-    [ "lib"; "util"; "container.ml" ];
-    [ "lib"; "invindex"; "postings.ml" ] ]
-
-let path_is_kernel path =
-  let segs = segments path in
-  List.exists (fun f -> has_subpath f segs) kernel_files
-
 let path_in_lib path = List.mem "lib" (segments path)
 
 (* R11: the one module allowed to look at raw container words is the
@@ -145,27 +132,59 @@ let load_allow file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> parse_allow (really_input_string ic (in_channel_length ic)))
 
-let allowed allow v =
-  let suffix_match pat file =
-    let p = segments pat and f = segments file in
-    let seg_eq a b =
-      List.length a = List.length b && List.for_all2 String.equal a b
-    in
-    let rec tails = function [] -> [ [] ] | _ :: tl as l -> l :: tails tl in
-    String.equal pat file || List.exists (fun t -> seg_eq t p) (tails f)
+let suffix_match pat file =
+  let p = segments pat and f = segments file in
+  let seg_eq a b =
+    List.length a = List.length b && List.for_all2 String.equal a b
   in
-  List.exists
-    (fun a ->
-      String.equal a.a_rule (rule_id v.rule)
-      && suffix_match a.a_path v.file
-      && match a.a_line with None -> true | Some l -> l = v.line)
-    allow
+  let rec tails = function [] -> [ [] ] | _ :: tl as l -> l :: tails tl in
+  String.equal pat file || List.exists (fun t -> seg_eq t p) (tails f)
+
+let entry_matches a v =
+  String.equal a.a_rule (rule_id v.rule)
+  && suffix_match a.a_path v.file
+  && match a.a_line with None -> true | Some l -> l = v.line
+
+let allowed allow v = List.exists (fun a -> entry_matches a v) allow
+
+let filter_allowed allow vs =
+  let used = Hashtbl.create 8 in
+  let kept =
+    List.filter
+      (fun v ->
+        match List.filter (fun a -> entry_matches a v) allow with
+        | [] -> true
+        | ms ->
+            List.iter (fun a -> Hashtbl.replace used a ()) ms;
+            false)
+      vs
+  in
+  (kept, List.filter (Hashtbl.mem used) allow)
+
+let unused_allow allow ~used = List.filter (fun a -> not (List.mem a used)) allow
+
+let pp_allow_entry a =
+  match a.a_line with
+  | None -> Printf.sprintf "(%s %s)" a.a_rule a.a_path
+  | Some l -> Printf.sprintf "(%s %s %d)" a.a_rule a.a_path l
 
 (* ------------------------------------------------------------------ *)
 (* Syntactic predicates                                               *)
 (* ------------------------------------------------------------------ *)
 
 open Parsetree
+
+(* R9: query-kernel modules self-identify with a [@@@kwsc.kernel]
+   floating attribute rather than a hard-coded path list — tagging the
+   file is also what opts it into the typed allocation analysis
+   (tools/analyze, rule A1), so the two tiers cannot drift apart. *)
+let structure_has_attr name str =
+  List.exists
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> String.equal a.attr_name.Location.txt name
+      | _ -> false)
+    str
 
 let flatten_opt lid = try Some (Longident.flatten lid) with _ -> None
 
@@ -310,7 +329,7 @@ let lint_structure config ~file str =
   in
   let hot = config.assume_hot || path_is_hot file in
   let lib = config.assume_lib || path_in_lib file in
-  let kernel = config.assume_kernel || path_is_kernel file in
+  let kernel = config.assume_kernel || structure_has_attr "kwsc.kernel" str in
   let marshal_banned = not (path_in_test file) in
   let words_banned = not (path_is_container file) in
   (* Function idents already reported (or cleared) as the head of an
@@ -496,7 +515,7 @@ let parse_with parser path =
       Location.input_name := path;
       parser lexbuf)
 
-let lint_file ?(config = default_config) path =
+let lint_file_raw ?(config = default_config) path =
   let vs =
     if Filename.check_suffix path ".mli" then (
       (* Interfaces carry no expressions the rules inspect; parsing them
@@ -507,20 +526,20 @@ let lint_file ?(config = default_config) path =
       let str = parse_with Parse.implementation path in
       lint_structure config ~file:path str
   in
-  let vs =
-    if
-      Filename.check_suffix path ".ml"
-      && (config.require_mli || path_in_lib path)
-      && not (Sys.file_exists (Filename.chop_extension path ^ ".mli"))
-    then
-      { file = path; line = 1; rule = R7;
-        message =
-          Printf.sprintf "%s has no interface; add %s.mli" path
-            (Filename.remove_extension (Filename.basename path)) }
-      :: vs
-    else vs
-  in
-  List.filter (fun v -> not (allowed config.allow v)) vs
+  if
+    Filename.check_suffix path ".ml"
+    && (config.require_mli || path_in_lib path)
+    && not (Sys.file_exists (Filename.chop_extension path ^ ".mli"))
+  then
+    { file = path; line = 1; rule = R7;
+      message =
+        Printf.sprintf "%s has no interface; add %s.mli" path
+          (Filename.remove_extension (Filename.basename path)) }
+    :: vs
+  else vs
+
+let lint_file ?(config = default_config) path =
+  List.filter (fun v -> not (allowed config.allow v)) (lint_file_raw ~config path)
 
 let lint_paths paths =
   let skip_dir name =

@@ -27,13 +27,14 @@
       sanctioned user is [lib/util/pool.ml], via the allowlist — an
       audited exception, not a weakening of the rule.
     - R9: no [Hashtbl] use and no list construction ([::], list literals)
-      inside the query-kernel-tagged modules ([lib/kdtree/kd_flat.ml],
-      [lib/ptree/ptree_flat.ml], [lib/invindex/postings.ml]): flat
-      kernels report through callbacks and [Kwsc_util.Ibuf], never by
-      allocating a heap block per result.  Matching [x :: tl] in a
-      pattern is destructuring and stays legal; [\[\]] alone allocates
-      nothing and stays legal.  The tagged file list lives in
-      [kernel_files]; extend it when a new frozen kernel appears.
+      inside query-kernel modules — any file carrying the floating
+      attribute [\[@@@kwsc.kernel\]]: flat kernels report through
+      callbacks and [Kwsc_util.Ibuf], never by allocating a heap block
+      per result.  Matching [x :: tl] in a pattern is destructuring and
+      stays legal; [\[\]] alone allocates nothing and stays legal.
+      Tagging a file also opts it into the typed allocation analysis
+      (tools/analyze, rule A1), so there is no path list to keep in
+      sync: the attribute is the single source of truth.
     - R10: no [Marshal], anywhere outside [test/].  Marshalled bytes are
       unversioned, unchecksummed, and tied to the exact compiler's value
       representation — everything the durable snapshot codec
@@ -96,10 +97,31 @@ val parse_allow : string -> allow_entry list
 val load_allow : string -> allow_entry list
 (** [parse_allow] over a file's contents. *)
 
+val pp_allow_entry : allow_entry -> string
+(** Renders as ["(RULE PATH)"] or ["(RULE PATH LINE)"]. *)
+
+val filter_allowed :
+  allow_entry list -> violation list -> violation list * allow_entry list
+(** [filter_allowed allow vs] is [(kept, used)]: the violations no allow
+    entry matches, and the entries that matched at least one violation.
+    Feed the full (unfiltered) violation set so stale-entry detection
+    sees everything each entry could have matched. *)
+
+val unused_allow :
+  allow_entry list -> used:allow_entry list -> allow_entry list
+(** The entries of the allowlist absent from [used] — stale suppressions
+    whose violation no longer exists.  Report them: a stale entry is a
+    rule weakening waiting for the next real violation at that path. *)
+
 val lint_file : ?config:config -> string -> violation list
 (** Lint one [.ml] (full rule set + R7) or [.mli] (syntax check only).
     Violations matching the allowlist are filtered out.  Propagates
     lexer/parser exceptions on unparseable input. *)
+
+val lint_file_raw : ?config:config -> string -> violation list
+(** [lint_file] before allowlist filtering ([config.allow] is ignored).
+    Drivers that track stale allow entries lint raw and filter once,
+    globally, with [filter_allowed]. *)
 
 val lint_paths : string list -> string list
 (** Expand files and directories (recursively; skips [_build], hidden

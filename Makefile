@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-smoke examples clean doc lint analyze audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-smoke examples clean doc lint analyze audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -16,7 +16,7 @@ test-slow:
 	KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 
 # Repo-specific static analysis over the parsetree (tools/lint; rules
-# R1-R11).
+# R1-R12).
 lint:
 	dune build @lint
 
@@ -57,6 +57,11 @@ bench-snap:
 # CI sanity run: every experiment at tiny N (crash test, not measurement).
 bench-cmp:
 	dune exec bench/main.exe -- --only CMP
+
+# Per-shard indexes behind the scatter-gather router vs the monolithic
+# index, answer-checked at K in {1,2,4,8} (writes BENCH_pr6.json).
+bench-shard:
+	dune exec bench/main.exe -- --only SHARD
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro

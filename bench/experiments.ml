@@ -685,4 +685,5 @@ let all : (string * string * (unit -> unit)) list =
     ("FLAT", "Flat vs boxed layouts: build/range/NN/intersection + alloc", Flatbench.run);
     ("SNAP", "Durable snapshots: load vs cold build, identical answers", Snapbench.run);
     ("CMP", "Hybrid containers vs sparse-only postings + planner equivalence", Cmpbench.run);
+    ("SHARD", "Per-shard indexes + scatter-gather router vs monolithic", Shardbench.run);
   ]

@@ -1,0 +1,152 @@
+(* SHARD: per-shard hybrid indexes behind the scatter-gather router vs
+   the monolithic index. No paper claim backs this experiment — sharding
+   is an operational feature (DESIGN.md section 12) — so it records raw
+   numbers at K in {1, 2, 4, 8}: build time, scatter-gather query
+   latency vs the monolithic index, and parallel per-shard snapshot
+   save/load, with every sharded answer checked bit-identical against
+   the unsharded one (the same contract test/test_shard_diff.ml proves
+   exhaustively). Single-machine numbers are honest 1-box numbers: the
+   router pays a fan-out/merge tax at small N, and this table records
+   it rather than hiding it. Writes BENCH_pr6.json. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Pool = Kwsc_util.Pool
+module Timer = Kwsc_util.Timer
+module Inverted = Kwsc_invindex.Inverted
+module Orp = Kwsc.Orp_kw
+module Sh = Kwsc_shard.Surfaces
+module SPlan = Kwsc_shard.Plan
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+type row = {
+  shards : int;
+  inv_build_s : float;
+  inv_query_s : float;
+  orp_build_s : float;
+  orp_query_s : float;
+  save_s : float;
+  load_s : float;
+}
+
+let run () =
+  H.header "SHARD: scatter-gather router vs monolithic index"
+    "no claim (operational feature); answers bit-identical at every shard count";
+  let n = H.sized (if !H.quick then 20_000 else 100_000) in
+  let nq = H.sized 400 in
+  let rng = Prng.create 0x5A5A in
+  let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:60 ~range:1000.0 in
+  let docs = Array.map snd objs in
+  let rects = Array.init nq (fun _ -> H.rect_of_trial rng) in
+  let wss =
+    (* two keywords from disjoint ranges: distinct by construction *)
+    Array.init nq (fun _ -> [| 1 + Prng.int rng 20; 21 + Prng.int rng 39 |])
+  in
+  let pool = Pool.create () in
+  let snap = Filename.temp_file "kwsc_shard_orp" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool;
+      try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      (* ---- monolithic baselines -------------------------------------- *)
+      let inv_mono, inv_mono_build =
+        Timer.time (fun () -> Inverted.build ~pool docs)
+      in
+      let inv_answers = Array.map (Inverted.query inv_mono) wss in
+      let (), inv_mono_query =
+        Timer.time (fun () -> Array.iter (fun ws -> ignore (Inverted.query inv_mono ws)) wss)
+      in
+      let orp_mono, orp_mono_build = Timer.time (fun () -> Orp.build ~pool ~k:2 objs) in
+      let orp_answers =
+        Array.init nq (fun i -> Orp.query orp_mono rects.(i) wss.(i))
+      in
+      let (), orp_mono_query =
+        Timer.time (fun () ->
+            Array.iteri (fun i r -> ignore (Orp.query orp_mono r wss.(i))) rects)
+      in
+      Printf.printf
+        "  mono      inv-build=%7.1fms inv-q=%6.1fms  orp-build=%7.1fms orp-q=%6.1fms\n"
+        (inv_mono_build *. 1e3) (inv_mono_query *. 1e3) (orp_mono_build *. 1e3)
+        (orp_mono_query *. 1e3);
+
+      (* ---- sharded at K in {1, 2, 4, 8} ------------------------------- *)
+      let rows =
+        List.map
+          (fun k ->
+            let plan = (SPlan.Hash, k) in
+            let inv, inv_build_s =
+              Timer.time (fun () -> Sh.Inverted.build ~pool ~plan Kwsc_util.Container.Hybrid docs)
+            in
+            let bad = ref 0 in
+            Array.iteri
+              (fun i ws ->
+                if Sh.Inverted.query ~pool inv ws <> inv_answers.(i) then incr bad)
+              wss;
+            let (), inv_query_s =
+              Timer.time (fun () ->
+                  Array.iter (fun ws -> ignore (Sh.Inverted.query ~pool inv ws)) wss)
+            in
+            let orp, orp_build_s =
+              Timer.time (fun () -> Sh.Orp.build ~pool ~plan 2 objs)
+            in
+            Array.iteri
+              (fun i r ->
+                if Sh.Orp.query ~pool orp (r, wss.(i)) <> orp_answers.(i) then incr bad)
+              rects;
+            let (), orp_query_s =
+              Timer.time (fun () ->
+                  Array.iteri (fun i r -> ignore (Sh.Orp.query ~pool orp (r, wss.(i)))) rects)
+            in
+            if !bad > 0 then
+              failwith
+                (Printf.sprintf "SHARD: K=%d disagrees with the monolithic index on %d queries"
+                   k !bad);
+            let (), save_s = Timer.time (fun () -> Sh.Orp.save ~pool snap orp) in
+            let warm, load_s =
+              H.time_best ~reps:5 (fun () ->
+                  match Sh.Orp.load ~pool snap with
+                  | Ok t -> t
+                  | Error e -> failwith (Kwsc_snapshot.Codec.error_to_string e))
+            in
+            if Sh.Orp.query ~pool warm (rects.(0), wss.(0)) <> orp_answers.(0) then
+              failwith "SHARD: loaded sharded index disagrees";
+            Printf.printf
+              "  K=%d       inv-build=%7.1fms inv-q=%6.1fms  orp-build=%7.1fms \
+               orp-q=%6.1fms  save=%6.1fms load=%6.1fms\n"
+              k (inv_build_s *. 1e3) (inv_query_s *. 1e3) (orp_build_s *. 1e3)
+              (orp_query_s *. 1e3) (save_s *. 1e3) (load_s *. 1e3);
+            { shards = k; inv_build_s; inv_query_s = inv_query_s; orp_build_s;
+              orp_query_s; save_s; load_s })
+          shard_counts
+      in
+      Printf.printf "  -> all %d queries bit-identical to the monolithic index at every K\n"
+        (2 * nq);
+      if !H.smoke then Printf.printf "  (smoke run: BENCH_pr6.json not written)\n"
+      else begin
+        let oc = open_out "BENCH_pr6.json" in
+        Printf.fprintf oc
+          "{\n\
+          \  \"bench\": \"sharded scatter-gather vs monolithic\",\n\
+          \  \"n\": %d,\n\
+          \  \"queries\": %d,\n\
+          \  \"domains\": %d,\n\
+          \  \"mono\": {\"inv_build_s\": %.6f, \"inv_query_s\": %.6f, \"orp_build_s\": %.6f, \"orp_query_s\": %.6f},\n\
+          \  \"sharded\": [\n"
+          n nq (Pool.size pool) inv_mono_build inv_mono_query orp_mono_build
+          orp_mono_query;
+        List.iteri
+          (fun i r ->
+            Printf.fprintf oc
+              "    {\"shards\": %d, \"inv_build_s\": %.6f, \"inv_query_s\": %.6f, \
+               \"orp_build_s\": %.6f, \"orp_query_s\": %.6f, \"save_s\": %.6f, \
+               \"load_s\": %.6f}%s\n"
+              r.shards r.inv_build_s r.inv_query_s r.orp_build_s r.orp_query_s
+              r.save_s r.load_s
+              (if i = List.length rows - 1 then "" else ","))
+          rows;
+        Printf.fprintf oc "  ],\n  \"answers_identical\": true\n}\n";
+        close_out oc;
+        Printf.printf "  wrote BENCH_pr6.json\n"
+      end)

@@ -65,6 +65,28 @@ let apply_planner = function
   | Some v -> Kwsc_util.Planner.enabled := v
   | None -> ()
 
+(* --shards=K: partition the index across K shards behind the
+   scatter-gather router (lib/shard, DESIGN.md section 12). Defaults to
+   the KWSC_SHARDS environment setting; answers are identical at every
+   shard count — only the physical layout and the save/load parallelism
+   change. *)
+module Sh = Kwsc_shard.Surfaces
+module SPlan = Kwsc_shard.Plan
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the index into $(docv) shards behind the scatter-gather \
+           router (default: the KWSC_SHARDS environment variable, 1 when \
+           unset). Answers are identical at every shard count.")
+
+let resolve_shards = function
+  | Some k -> if k >= 1 then k else 1
+  | None -> SPlan.env_shards ()
+
 let print_results objs ids =
   Printf.printf "%d objects:\n" (Array.length ids);
   Array.iter
@@ -109,12 +131,20 @@ let generate_cmd =
 
 (* ---- rect ----------------------------------------------------------- *)
 
-let rect input k lo hi kws stats planner =
+let rect input k lo hi kws stats planner shards =
   apply_planner planner;
   let objs = load_objects input in
-  let t = Kwsc.Orp_kw.build ~k objs in
   let q = Rect.make (Array.of_list lo) (Array.of_list hi) in
-  let ids, st = Kwsc.Orp_kw.query_stats t q (Array.of_list kws) in
+  let ws = Array.of_list kws in
+  let kshards = resolve_shards shards in
+  let ids, st =
+    if kshards > 1 then
+      let t = Sh.Orp.build ~plan:(SPlan.default_policy (), kshards) k objs in
+      Sh.Orp.query_stats t (q, ws)
+    else
+      let t = Kwsc.Orp_kw.build ~k objs in
+      Kwsc.Orp_kw.query_stats t q ws
+  in
   print_results objs ids;
   if stats then print_query_stats st
 
@@ -125,7 +155,7 @@ let rect_cmd =
   let hi = floats_arg [ "hi" ] "Y1,Y2,..." "Upper corner of the query rectangle." in
   Cmd.v
     (Cmd.info "rect" ~doc:"ORP-KW: rectangle + keywords (Theorem 1)" ~man:man_footer)
-    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag $ planner_arg)
+    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag $ planner_arg $ shards_arg)
 
 (* ---- halfspace ------------------------------------------------------ *)
 
@@ -224,22 +254,34 @@ let info_cmd =
 
 module Codec = Kwsc_snapshot.Codec
 
-let save input k kindsel out =
+let save input k kindsel out shards =
   let objs = load_objects input in
+  let kshards = resolve_shards shards in
+  let plan = (SPlan.default_policy (), kshards) in
   let kind =
-    match kindsel with
-    | `Orp ->
+    match (kindsel, kshards > 1) with
+    | `Orp, false ->
         Kwsc.Orp_kw.save out (Kwsc.Orp_kw.build ~k objs);
         Kwsc.Orp_kw.kind
-    | `Lc ->
+    | `Orp, true ->
+        Sh.Orp.save out (Sh.Orp.build ~plan k objs);
+        Sh.Orp.kind
+    | `Lc, false ->
         Kwsc.Lc_kw.save out (Kwsc.Lc_kw.build ~k objs);
         Kwsc.Lc_kw.kind
-    | `Srp ->
+    | `Srp, false ->
         Kwsc.Srp_kw.save out (Kwsc.Srp_kw.build ~k objs);
         Kwsc.Srp_kw.kind
-    | `Inverted ->
+    | (`Lc | `Srp), true ->
+        Printf.eprintf "kwsc save: --shards supports only the orp and inverted kinds\n";
+        exit 2
+    | `Inverted, false ->
         Kwsc_invindex.Inverted.save out (Kwsc_invindex.Inverted.build (Array.map snd objs));
         Kwsc_invindex.Inverted.kind
+    | `Inverted, true ->
+        Sh.Inverted.save out
+          (Sh.Inverted.build ~plan Kwsc_util.Container.Hybrid (Array.map snd objs));
+        Sh.Inverted.kind
   in
   let size =
     let ic = open_in_bin out in
@@ -259,7 +301,7 @@ let save_cmd =
   in
   Cmd.v
     (Cmd.info "save" ~doc:"Build an index and write a durable snapshot" ~man:man_footer)
-    Term.(const save $ input_arg $ k_arg $ kindsel $ out)
+    Term.(const save $ input_arg $ k_arg $ kindsel $ out $ shards_arg)
 
 let corrupt_exit (e : Codec.error) : 'a =
   Printf.eprintf "kwsc load: %s\n" (Codec.error_to_string e);
@@ -273,10 +315,23 @@ let require flag = function
       Printf.eprintf "kwsc load: --%s is required for this snapshot kind\n" flag;
       exit 2
 
-let load_impl snap input lo hi kws stats planner =
+let load_impl snap input lo hi kws stats planner shards =
   apply_planner planner;
   let kind = ok_or_die (Codec.peek_kind ~path:snap) in
-  if kind = Kwsc.Orp_kw.kind then begin
+  let kshards = resolve_shards shards in
+  (* Only repartition when sharding was explicitly requested; a sharded
+     snapshot always loads under its stored plan. *)
+  let plan_opt = if kshards > 1 then Some (SPlan.default_policy (), kshards) else None in
+  if kind = Sh.Orp.kind || (kind = Kwsc.Orp_kw.kind && kshards > 1) then begin
+    (* sharded snapshot, or an unsharded one resharded on load *)
+    let objs = load_objects (require "input" input) in
+    let t = ok_or_die (Sh.Orp.load ?plan:plan_opt snap) in
+    let q = Rect.make (Array.of_list (require "lo" lo)) (Array.of_list (require "hi" hi)) in
+    let ids, st = Sh.Orp.query_stats t (q, Array.of_list (require "kw" kws)) in
+    print_results objs ids;
+    if stats then print_query_stats st
+  end
+  else if kind = Kwsc.Orp_kw.kind then begin
     (* same output as [kwsc rect] on the same dataset — the CI round-trip
        gate diffs the two byte for byte *)
     let objs = load_objects (require "input" input) in
@@ -285,6 +340,13 @@ let load_impl snap input lo hi kws stats planner =
     let ids, st = Kwsc.Orp_kw.query_stats t q (Array.of_list (require "kw" kws)) in
     print_results objs ids;
     if stats then print_query_stats st
+  end
+  else if kind = Sh.Inverted.kind || (kind = Kwsc_invindex.Inverted.kind && kshards > 1)
+  then begin
+    let objs = load_objects (require "input" input) in
+    let t = ok_or_die (Sh.Inverted.load ?plan:plan_opt snap) in
+    let ids = Sh.Inverted.query t (Array.of_list (require "kw" kws)) in
+    print_results objs ids
   end
   else if kind = Kwsc_invindex.Inverted.kind then begin
     let objs = load_objects (require "input" input) in
@@ -344,7 +406,7 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load a snapshot and query it (no rebuild)" ~man:man_footer)
-    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg)
+    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg $ shards_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

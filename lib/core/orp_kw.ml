@@ -87,6 +87,19 @@ let build ?leaf_weight ?tau_exponent ?use_bits ?pool ~k objs =
 let k t = Transform.k t.inner
 let dim t = t.d
 let input_size t = Transform.input_size t.inner
+let size t = Rank_space.size t.rs
+
+(* Reconstruct the build input exactly: coordinates come back through the
+   rank tables (coords.(j).(rank) round-trips the original float bits),
+   documents from the transform. [build ~k:(k t) (objects t)] therefore
+   rebuilds this index byte for byte — the contract reshard-on-load
+   relies on. *)
+let objects t =
+  let coords, _, _ = Rank_space.export t.rs in
+  let docs = Transform.documents t.inner in
+  Array.init (Rank_space.size t.rs) (fun id ->
+      let r = t.ranks.(id) in
+      (Array.init t.d (fun j -> coords.(j).(r.(j))), docs.(id)))
 
 let query_stats ?limit t q ws =
   if Rect.dim q <> t.d then invalid_arg "Orp_kw.query: dimension mismatch";

@@ -35,6 +35,15 @@ val dim : t -> int
 val input_size : t -> int
 (** N = total document size (equation (2)). *)
 
+val size : t -> int
+(** Number of indexed objects. *)
+
+val objects : t -> (Point.t * Kwsc_invindex.Doc.t) array
+(** Reconstruct the exact (point, document) input array in object-id
+    order: coordinates round-trip through the rank tables bit for bit,
+    so [build ~k:(k t) (objects t)] rebuilds this index byte-identically.
+    Used by the shard layer to repartition an index under a new plan. *)
+
 val query : ?limit:int -> t -> Rect.t -> int array -> int array
 (** Sorted ids of the objects in [q] containing all keywords. [ws] must
     hold exactly [k t] distinct keywords (the canonical

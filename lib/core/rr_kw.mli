@@ -59,6 +59,12 @@ val space_stats : t -> Stats.space
 val kind : string
 (** Snapshot kind tag, ["kwsc.rr-kw"]. *)
 
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw codec (engine tag + inner index), for embedding inside other
+    snapshots (the per-shard sections of {!Kwsc_shard}). [decode] raises
+    [Kwsc_snapshot.Codec.Corrupt]. *)
+
 val save : string -> t -> unit
 val load : string -> (t, Kwsc_snapshot.Codec.error) result
 (** Durable snapshot round trip (the active engine — kd, dimred or lc —

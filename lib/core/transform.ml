@@ -212,6 +212,7 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
 let k t = t.k_
 let input_size t = t.n
 let params t = t.params
+let documents t = Array.copy t.docs
 
 exception Limit_reached
 

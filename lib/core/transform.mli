@@ -70,6 +70,11 @@ val k : ('cell, 'query) t -> int
 val input_size : ('cell, 'query) t -> int
 (** N of equation (2). *)
 
+val documents : ('cell, 'query) t -> Kwsc_invindex.Doc.t array
+(** The indexed documents in object-id order — a fresh array of the
+    immutable build input, so wrappers (and the shard layer's
+    reshard-on-load) can reconstruct their original object arrays. *)
+
 type params = { leaf_weight : int; tau_exponent : float; use_bits : bool }
 (** The build-time knobs, as resolved (defaults applied). Recorded in the
     index so snapshots can restate exactly how it was built. *)

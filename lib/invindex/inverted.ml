@@ -57,6 +57,7 @@ let build ?pool ?(policy = U.Container.Hybrid) docs =
 
 let input_size t = t.n
 let postings t = t.postings
+let documents t = Array.copy t.docs
 let vocabulary t = Array.init (Postings.num_words t.postings) (Postings.word t.postings)
 let posting t w = Postings.copy_posting t.postings w
 let frequency t w = Postings.frequency t.postings w
@@ -80,6 +81,20 @@ let distinct_pair ws =
    or disabled (--planner=off bypasses it entirely). Cache state is
    per-index and mutated here — batch queries (query_batch) bypass it, so
    parallel shards never contend. *)
+let query_cached t ~use_cache ws =
+  match if use_cache && Array.length ws > 0 then distinct_pair ws else None with
+  | Some (w1, w2) -> begin
+      (* the cache copies on both sides of its API (find returns a
+         fresh array, store copies on admission), so no copies here *)
+      match Isect_cache.find t.cache w1 w2 with
+      | Some ids -> ids
+      | None ->
+          let r = Postings.query t.postings ws in
+          Isect_cache.store t.cache w1 w2 r;
+          r
+    end
+  | None -> Postings.query t.postings ws
+
 let query t ws =
   if Array.length ws = 0 || not !U.Planner.enabled then Postings.query t.postings ws
   else
@@ -87,17 +102,7 @@ let query t ws =
     | None -> Postings.query t.postings ws
     | Some (w1, w2) ->
         let cost = min (frequency t w1) (frequency t w2) in
-        if cost > 0 && U.Planner.worth_caching ~n:t.n ~k:2 ~cost then begin
-          (* the cache copies on both sides of its API (find returns a
-             fresh array, store copies on admission), so no copies here *)
-          match Isect_cache.find t.cache w1 w2 with
-          | Some ids -> ids
-          | None ->
-              let r = Postings.query t.postings ws in
-              Isect_cache.store t.cache w1 w2 r;
-              r
-        end
-        else Postings.query t.postings ws
+        query_cached t ~use_cache:(cost > 0 && U.Planner.worth_caching ~n:t.n ~k:2 ~cost) ws
 
 let cache_stats t = (Isect_cache.hits t.cache, Isect_cache.misses t.cache, Isect_cache.evictions t.cache)
 let reset_cache t = Isect_cache.reset t.cache

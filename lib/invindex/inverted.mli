@@ -22,6 +22,13 @@ val input_size : t -> int
 val vocabulary : t -> int array
 (** Sorted distinct keywords across all documents. *)
 
+val documents : t -> Doc.t array
+(** The indexed documents, [documents t].(id) being object [id]'s
+    document — a fresh array (the [Doc.t] values themselves are
+    immutable and shared). This is the exact [build] input, so
+    [build (documents t)] reproduces [t] byte for byte; the shard layer
+    uses it to repartition an index under a new plan. *)
+
 val postings : t -> Postings.t
 (** The hybrid postings behind this index — the zero-allocation query
     surface ({!Postings.query_into}, {!Postings.iter_posting}) for hot
@@ -56,6 +63,23 @@ val query : t -> int array -> int array
     every document short-circuits to an empty answer without scanning any
     posting. An empty [ws] raises [Invalid_argument]. *)
 
+val distinct_pair : int array -> (int * int) option
+(** [Some (a, b)] when the keyword set holds exactly two distinct
+    keywords (duplicates allowed) — the only query shape the LFU pair
+    cache can serve. Exposed so an external router (the shard layer)
+    can reproduce this index's cache-admission decision exactly. *)
+
+val query_cached : t -> use_cache:bool -> int array -> int array
+(** [query t ws] with the cache-admission decision made by the caller
+    instead of the local planner: when [use_cache] is true and [ws] is a
+    distinct two-keyword pair, the LFU pair cache is consulted and fed
+    unconditionally; otherwise the query goes straight to the postings
+    kernels. Same answers either way. The shard router computes one
+    global admission decision (from summed frequencies and total N) and
+    replays it on every shard, which keeps each shard-local cache's key
+    sequence — and therefore its hit/miss/eviction counters — identical
+    to the unsharded index's. Same keyword contract as {!query}. *)
+
 val cache_stats : t -> int * int * int
 (** (hits, misses, evictions) of the materialized-intersection cache
     since build or {!reset_cache}. *)
@@ -86,6 +110,13 @@ val check_invariants : t -> Kwsc_util.Invariant.violation list
 
 val kind : string
 (** Snapshot kind tag, ["kwsc.inverted"]. *)
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Raw version-2 codec, for embedding inside other snapshots (the
+    per-shard sections of {!Kwsc_shard}). [decode] raises
+    [Kwsc_snapshot.Codec.Corrupt] and re-runs {!check_invariants} when
+    [KWSC_AUDIT=1], exactly like {!load}. *)
 
 val save : string -> t -> unit
 (** Write a durable snapshot (documents plus kind-tagged container

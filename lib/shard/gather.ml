@@ -1,0 +1,41 @@
+[@@@kwsc.kernel]
+
+(* The gather half of scatter-gather: fold K shard-local answers back
+   into one globally sorted id list. Because every plan's per-shard
+   local-to-global table is strictly ascending and the tables are
+   pairwise disjoint (Plan.global_ids), mapping each local answer
+   through its table yields K sorted, disjoint global sequences — a
+   plain k-way merge reconstructs exactly the answer the unsharded
+   index would have reported, independent of shard order. K is small
+   (a handful of domains), so the O(K) scan per emitted id beats a
+   heap's bookkeeping. *)
+
+module Ibuf = Kwsc_util.Ibuf
+
+let merge_into ~globals ~locals ~cursors out =
+  let k = Array.length locals in
+  if Array.length globals < k || Array.length cursors < k then
+    invalid_arg "Gather.merge_into: globals/cursors shorter than locals";
+  let remaining = ref 0 in
+  for s = 0 to k - 1 do
+    cursors.(s) <- 0;
+    remaining := !remaining + Array.length locals.(s)
+  done;
+  let best = ref 0 and best_id = ref 0 in
+  while !remaining > 0 do
+    best := -1;
+    best_id := max_int;
+    for s = 0 to k - 1 do
+      let c = cursors.(s) in
+      if c < Array.length locals.(s) then begin
+        let g = globals.(s).(locals.(s).(c)) in
+        if g < !best_id then begin
+          best_id := g;
+          best := s
+        end
+      end
+    done;
+    Ibuf.push out !best_id;
+    cursors.(!best) <- cursors.(!best) + 1;
+    decr remaining
+  done

@@ -1,0 +1,21 @@
+(** The gather half of scatter-gather: k-way merge of shard-local
+    answers back into one globally sorted id list. Allocation-free
+    ([@@@kwsc.kernel]): the caller owns the output buffer and the
+    cursor scratch, both reusable across queries. *)
+
+val merge_into :
+  globals:int array array ->
+  locals:int array array ->
+  cursors:int array ->
+  Kwsc_util.Ibuf.t ->
+  unit
+(** [merge_into ~globals ~locals ~cursors out] appends to [out] the
+    sorted union of [globals.(s).(l)] over every shard [s] and local id
+    [l] of [locals.(s)]. Requires each [locals.(s)] sorted strictly
+    ascending with values indexing [globals.(s)], each [globals.(s)]
+    strictly ascending, and the [globals] images pairwise disjoint —
+    exactly what {!Plan.global_ids} guarantees — so the output order is
+    independent of shard order. [cursors] is caller-provided scratch
+    with at least as many slots as shards; its contents are overwritten.
+    @raise Invalid_argument if [globals] or [cursors] is shorter than
+    [locals]. *)

@@ -1,0 +1,98 @@
+(* Partitioning plans: which shard owns which object id.
+
+   A plan is a pure function of (policy, shards, n) — no randomness, no
+   per-process state — so two processes given the same triple partition
+   identically, snapshots only need to store the triple, and the
+   differential suite can compare indexes built under the same plan at
+   any pool size. The per-shard [global] tables are materialized once by
+   a single ascending pass over [0, n), which makes each shard's
+   local-to-global map strictly increasing: shard-local answers come
+   back already sorted in global id order and pairwise disjoint across
+   shards, the property the gather kernel's k-way merge relies on. *)
+
+module U = Kwsc_util
+module C = Kwsc_snapshot.Codec
+
+type policy = Hash | Range
+
+type t = {
+  policy : policy;
+  shards : int;
+  n : int;
+  global : int array array; (* shard -> local id -> global id, strictly ascending *)
+}
+
+let policy_name = function Hash -> "hash" | Range -> "range"
+
+let policy_of_name = function
+  | "hash" -> Some Hash
+  | "range" -> Some Range
+  | _ -> None
+
+let env_shards () =
+  match Sys.getenv_opt "KWSC_SHARDS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | _ -> 1)
+
+let default_policy () =
+  match Sys.getenv_opt "KWSC_SHARD_POLICY" with
+  | Some s -> ( match policy_of_name (String.lowercase_ascii (String.trim s)) with
+                | Some p -> p
+                | None -> Hash)
+  | None -> Hash
+
+(* xorshift*-style finalizer: a fixed avalanche of the object id, so hash
+   placement is deterministic across processes (Hashtbl.hash or Random
+   would not be contractual). The [land max_int] after each wrapping
+   multiply keeps the value non-negative on 63-bit ints. *)
+let mix id =
+  let x = id lxor (id lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D land max_int in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1F123BB5159A55E5 land max_int in
+  x lxor (x lsr 32)
+
+let owner_of t id =
+  match t.policy with
+  | Hash -> mix id mod t.shards
+  | Range -> if t.n = 0 then 0 else min (t.shards - 1) (id * t.shards / t.n)
+
+let make ~policy ~shards ~n =
+  if shards < 1 then invalid_arg "Plan.make: shard count must be >= 1";
+  if n < 0 then invalid_arg "Plan.make: negative universe";
+  let proto = { policy; shards; n; global = [||] } in
+  let bufs = Array.init shards (fun _ -> U.Ibuf.create ()) in
+  for id = 0 to n - 1 do
+    U.Ibuf.push bufs.(owner_of proto id) id
+  done;
+  { proto with global = Array.map U.Ibuf.to_array bufs }
+
+let policy t = t.policy
+let shards t = t.shards
+let size t = t.n
+let count t s = Array.length t.global.(s)
+let global_ids t s = t.global.(s)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec: the triple is the whole plan.                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode w t =
+  C.W.byte w (match t.policy with Hash -> 0 | Range -> 1);
+  C.W.vint w t.shards;
+  C.W.vint w t.n
+
+let decode r =
+  let policy =
+    match C.R.byte r with
+    | 0 -> Hash
+    | 1 -> Range
+    | b -> C.corrupt (Printf.sprintf "Plan: unknown policy tag %d" b)
+  in
+  let shards = C.R.vint r in
+  let n = C.R.vint r in
+  if shards < 1 || n < 0 then C.corrupt "Plan: invalid shard count or universe";
+  make ~policy ~shards ~n

@@ -1,0 +1,57 @@
+(** Partitioning plans: which shard owns which object id.
+
+    A plan is a pure function of (policy, shard count, universe size) —
+    deterministic across processes and pool sizes, so it travels in a
+    snapshot as just that triple. All shard-id arithmetic in the
+    codebase lives behind {!owner_of} (enforced by lint rule R12):
+    everything outside [lib/shard/] routes object placement through the
+    plan instead of re-deriving it. *)
+
+type policy =
+  | Hash  (** spread ids by a fixed avalanche hash — balanced under any id distribution *)
+  | Range  (** contiguous id ranges — locality-preserving, ideal for range-clustered data *)
+
+type t
+
+val make : policy:policy -> shards:int -> n:int -> t
+(** [make ~policy ~shards ~n] partitions object ids [0 .. n-1] into
+    [shards] shards. Shards may be empty when [shards > n].
+    @raise Invalid_argument if [shards < 1] or [n < 0]. *)
+
+val env_shards : unit -> int
+(** Shard count requested by the [KWSC_SHARDS] environment variable;
+    [1] (unsharded) when unset or unparsable. *)
+
+val default_policy : unit -> policy
+(** Policy requested by [KWSC_SHARD_POLICY] ("hash" / "range");
+    [Hash] when unset or unrecognized. *)
+
+val policy : t -> policy
+val shards : t -> int
+
+val size : t -> int
+(** Universe size [n]: ids live in [\[0, n)]. *)
+
+val count : t -> int -> int
+(** [count t s] is the number of objects shard [s] owns. *)
+
+val owner_of : t -> int -> int
+(** [owner_of t id] is the shard owning object [id] — THE shard-id
+    arithmetic, confined to [lib/shard/] by lint rule R12. Pure in
+    (policy, shards, n, id). *)
+
+val global_ids : t -> int -> int array
+(** [global_ids t s] maps shard [s]'s local ids back to global ids:
+    slot [l] is the global id of shard [s]'s object [l]. Strictly
+    ascending, and pairwise disjoint across shards — per-shard sorted
+    answers merge back into a globally sorted answer. The returned
+    array is the live internal: read-only. *)
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+
+val encode : Kwsc_snapshot.Codec.W.t -> t -> unit
+val decode : Kwsc_snapshot.Codec.R.t -> t
+(** Codec for the (policy, shards, n) triple; [decode] rebuilds the
+    ownership tables with {!make} and raises [Kwsc_snapshot.Codec.Corrupt]
+    on an invalid triple. *)

@@ -1,0 +1,251 @@
+[@@@kwsc.domain_safe]
+
+(* The Sharded functor: partition the universe under a Plan into K
+   per-shard indexes of any snapshot-capable query surface, and route
+   queries scatter-gather style across the domain pool.
+
+   Contracts (all proven by test/test_shard_diff.ml):
+
+   - Answers are bit-identical to the unsharded index at every K,
+     because the shards partition the objects (each answer id is
+     reported by exactly its owning shard) and the gather merge
+     reassembles global id order deterministically.
+   - Merged Stats follow the Stats.merge contract: per-shard counters
+     are summed field-wise in shard order 0..K-1 — an order-independent
+     result since the merge is commutative — and are identical at every
+     pool size because each shard's query runs inside a single task.
+   - Each shard owns a private planner admission decision replayed from
+     one globally computed hint (M.plan_query), so shard-local LFU
+     caches see the same key sequence as the unsharded cache.
+
+   Shards are [M.t option]: a plan with more shards than objects leaves
+   the surplus shards empty, and surfaces that refuse empty inputs
+   (Orp_kw.build) are never called on them — an empty shard contributes
+   an empty answer and zero counters.
+
+   Snapshots put every shard in its own checksummed section
+   ("shard.0".."shard.K-1"), so encode/decode fan out across the pool
+   and a corrupt shard surfaces as [Checksum_mismatch "shard.i"],
+   naming the culprit without touching the healthy sections. *)
+
+module U = Kwsc_util
+module C = Kwsc_snapshot.Codec
+
+module type SURFACE = sig
+  type obj
+  type query
+  type cfg
+  type t
+  type hint
+
+  val name : string
+  val inner_kind : string
+  val build : ?pool:U.Pool.t -> cfg -> obj array -> t
+  val config_of : t -> cfg
+  val input_size : t -> int
+  val size : (t -> int) option
+  val plan_query : t option array -> query -> hint
+  val query_stats : t -> hint -> query -> int array * Kwsc.Stats.query
+  val encode : C.W.t -> t -> unit
+  val decode : C.R.t -> t
+  val load_inner : string -> (t, C.error) result
+  val objects : (t -> obj array) option
+end
+
+module type S = sig
+  type obj
+  type query
+  type cfg
+  type sub
+  type t
+
+  val kind : string
+  val build : ?pool:U.Pool.t -> ?plan:Plan.policy * int -> cfg -> obj array -> t
+  val plan : t -> Plan.t
+  val shards : t -> int
+  val shard : t -> int -> sub option
+  val input_size : t -> int
+  val query_stats : ?pool:U.Pool.t -> t -> query -> int array * Kwsc.Stats.query
+  val query : ?pool:U.Pool.t -> t -> query -> int array
+  val save : ?pool:U.Pool.t -> string -> t -> unit
+  val load : ?pool:U.Pool.t -> ?plan:Plan.policy * int -> string -> (t, C.error) result
+end
+
+let section_name s = Printf.sprintf "shard.%d" s
+
+module Make (M : SURFACE) = struct
+  type obj = M.obj
+  type query = M.query
+  type cfg = M.cfg
+  type sub = M.t
+  type t = { plan : Plan.t; subs : M.t option array }
+
+  let kind = "kwsc.sharded:" ^ M.inner_kind
+
+  let plan t = t.plan
+  let shards t = Plan.shards t.plan
+  let shard t s = t.subs.(s)
+
+  let input_size t =
+    Array.fold_left
+      (fun acc sub -> match sub with None -> acc | Some s -> acc + M.input_size s)
+      0 t.subs
+
+  let resolve_plan plan ~n =
+    let policy, k =
+      match plan with
+      | Some pk -> pk
+      | None -> (Plan.default_policy (), Plan.env_shards ())
+    in
+    Plan.make ~policy ~shards:k ~n
+
+  (* Builds run shard by shard with the full pool inside each M.build —
+     per-shard structures are pool-size-independent by the PR 2
+     contract, so the sharded structure is too. *)
+  let build ?pool ?plan cfg objs =
+    let pool = match pool with Some p -> p | None -> U.Pool.default () in
+    let plan = resolve_plan plan ~n:(Array.length objs) in
+    let subs =
+      Array.init (Plan.shards plan) (fun s ->
+          let g = Plan.global_ids plan s in
+          if Array.length g = 0 then None
+          else Some (M.build ~pool cfg (Array.map (fun id -> objs.(id)) g)))
+    in
+    { plan; subs }
+
+  let query_stats ?pool t q =
+    let pool = match pool with Some p -> p | None -> U.Pool.default () in
+    let hint = M.plan_query t.subs q in
+    (* scatter: one task per owning shard; empty shards don't run *)
+    let per =
+      U.Pool.parallel_map pool
+        (fun sub ->
+          match sub with None -> None | Some s -> Some (M.query_stats s hint q))
+        t.subs
+    in
+    (* gather: merge answers through the plan's global tables, sum the
+       counters in fixed shard order *)
+    let k = Plan.shards t.plan in
+    let globals = Array.init k (Plan.global_ids t.plan) in
+    let locals = Array.make k [||] in
+    let st = Kwsc.Stats.fresh_query () in
+    Array.iteri
+      (fun s r ->
+        match r with
+        | None -> ()
+        | Some (ids, sub_st) ->
+            locals.(s) <- ids;
+            Kwsc.Stats.add_into ~into:st sub_st)
+      per;
+    let out = U.Ibuf.create () in
+    Gather.merge_into ~globals ~locals ~cursors:(Array.make k 0) out;
+    (U.Ibuf.to_array out, st)
+
+  let query ?pool t q = fst (query_stats ?pool t q)
+
+  (* ---------------------------------------------------------------- *)
+  (* Snapshots: one checksummed section per shard.                     *)
+  (* ---------------------------------------------------------------- *)
+
+  let save ?pool path t =
+    let pool = match pool with Some p -> p | None -> U.Pool.default () in
+    let payloads =
+      U.Pool.parallel_map pool
+        (fun sub ->
+          C.to_string (fun w ->
+              match sub with
+              | None -> C.W.bool w false
+              | Some s ->
+                  C.W.bool w true;
+                  M.encode w s))
+        t.subs
+    in
+    let meta =
+      C.to_string (fun w ->
+          Plan.encode w t.plan;
+          Array.iter
+            (fun sub ->
+              C.W.vint w (match sub with None -> 0 | Some s -> M.input_size s))
+            t.subs)
+    in
+    let sections =
+      ("meta", meta)
+      :: Array.to_list (Array.mapi (fun s p -> (section_name s, p)) payloads)
+    in
+    C.save_file ~path ~kind sections
+
+  let load_sharded pool path =
+    let sections = C.load_kind_exn ~path ~kind in
+    let plan, sizes =
+      C.decode_section sections "meta" (fun r ->
+          let plan = Plan.decode r in
+          let sizes = Array.init (Plan.shards plan) (fun _ -> C.R.vint r) in
+          (plan, sizes))
+    in
+    let k = Plan.shards plan in
+    let payloads =
+      Array.init k (fun s ->
+          let name = section_name s in
+          match List.assoc_opt name sections with
+          | Some p -> (name, p)
+          | None -> C.corrupt (Printf.sprintf "%s: missing section %s" M.name name))
+    in
+    let subs =
+      U.Pool.parallel_map pool
+        (fun (name, _ as section) ->
+          C.decode_section [ section ] name (fun r ->
+              if C.R.bool r then Some (M.decode r) else None))
+        payloads
+    in
+    (* cross-validate the decoded shards against the plan and the meta *)
+    Array.iteri
+      (fun s sub ->
+        let cnt = Plan.count plan s in
+        match sub with
+        | None ->
+            if cnt > 0 then
+              C.corrupt
+                (Printf.sprintf "%s: shard %d is empty but the plan assigns it %d objects"
+                   M.name s cnt)
+        | Some sb ->
+            if cnt = 0 then
+              C.corrupt
+                (Printf.sprintf "%s: shard %d holds data but the plan assigns it none"
+                   M.name s);
+            if M.input_size sb <> sizes.(s) then
+              C.corrupt
+                (Printf.sprintf "%s: shard %d input size disagrees with the meta section"
+                   M.name s);
+            (match M.size with
+            | Some size ->
+                if size sb <> cnt then
+                  C.corrupt
+                    (Printf.sprintf
+                       "%s: shard %d holds %d objects but the plan assigns it %d"
+                       M.name s (size sb) cnt)
+            | None -> ()))
+      subs;
+    { plan; subs }
+
+  (* Loading an unsharded snapshot under --shards=K repartitions the
+     decoded objects (reshard-on-load) — only for surfaces that can
+     surrender their build input. *)
+  let reshard pool plan sub =
+    match M.objects with
+    | None ->
+        C.corrupt
+          (Printf.sprintf "%s: %s snapshots cannot be resharded on load" M.name
+             M.inner_kind)
+    | Some objects -> build ~pool ?plan (M.config_of sub) (objects sub)
+
+  let load ?pool ?plan path =
+    let pool = match pool with Some p -> p | None -> U.Pool.default () in
+    match C.peek_kind ~path with
+    | Error e -> Error e
+    | Ok k when k = kind -> C.run (fun () -> load_sharded pool path)
+    | Ok k when k = M.inner_kind -> (
+        match M.load_inner path with
+        | Error e -> Error e
+        | Ok sub -> C.run (fun () -> reshard pool plan sub))
+    | Ok got -> Error (C.Bad_kind { expected = kind; got })
+end

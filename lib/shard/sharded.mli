@@ -1,0 +1,128 @@
+(** The [Sharded] functor: partition the universe under a {!Plan} into K
+    per-shard indexes of any snapshot-capable query surface, with a
+    scatter-gather router over the domain pool.
+
+    Equivalence contract (proven by [test/test_shard_diff.ml]): answers
+    are bit-identical to the unsharded index at every shard count and
+    every pool size; merged [Stats] counters follow the [Stats.merge]
+    determinism contract (field-wise sums, independent of shard
+    completion order); and shard-local planner/LFU caches replay the
+    unsharded index's admission decisions, keeping their hit/miss
+    counters aligned with the monolithic cache. *)
+
+module U := Kwsc_util
+module C := Kwsc_snapshot.Codec
+
+(** What a query surface must provide to be sharded. Implementations
+    live in {!Surfaces}. *)
+module type SURFACE = sig
+  type obj
+  (** One indexable object (document, point x document, rect x document). *)
+
+  type query
+
+  type cfg
+  (** Build configuration shared by every shard (container policy,
+      keyword arity k, ...). *)
+
+  type t
+
+  type hint
+  (** Globally computed routing hint replayed on every shard — the
+      mechanism that keeps shard-local planner/cache decisions identical
+      to the unsharded index's (unit when the surface needs none). *)
+
+  val name : string
+  (** For error messages, e.g. ["Sharded_inverted"]. *)
+
+  val inner_kind : string
+  (** The unsharded surface's snapshot kind tag. *)
+
+  val build : ?pool:U.Pool.t -> cfg -> obj array -> t
+  (** Never called on an empty array: empty shards stay [None]. *)
+
+  val config_of : t -> cfg
+  val input_size : t -> int
+
+  val size : (t -> int) option
+  (** Object count, when the surface can report it — used to
+      cross-validate decoded shards against the plan. *)
+
+  val plan_query : t option array -> query -> hint
+  (** Compute the global routing hint from all shards (e.g. the pair
+      cache admission decision from summed frequencies). *)
+
+  val query_stats : t -> hint -> query -> int array * Kwsc.Stats.query
+  (** Shard-local answer (sorted local ids) and counters under the given
+      hint. *)
+
+  val encode : C.W.t -> t -> unit
+  val decode : C.R.t -> t
+  val load_inner : string -> (t, C.error) result
+  (** Load an unsharded snapshot of this surface (for reshard-on-load). *)
+
+  val objects : (t -> obj array) option
+  (** Reconstruct the exact build input, when the surface supports it —
+      [None] disables reshard-on-load with a typed error. *)
+end
+
+module type S = sig
+  type obj
+  type query
+  type cfg
+
+  type sub
+  (** The unsharded surface index type ([M.t]). *)
+
+  type t
+
+  val kind : string
+  (** Snapshot kind tag: ["kwsc.sharded:" ^ inner kind]. *)
+
+  val build : ?pool:U.Pool.t -> ?plan:Plan.policy * int -> cfg -> obj array -> t
+  (** [build cfg objs] partitions [objs] under [plan] (default: the
+      [KWSC_SHARD_POLICY] / [KWSC_SHARDS] environment, i.e. unsharded
+      unless asked otherwise) and builds one index per non-empty shard.
+      Each per-shard build runs with the full [pool], so the sharded
+      structure is identical at every pool size. *)
+
+  val plan : t -> Plan.t
+  val shards : t -> int
+
+  val shard : t -> int -> sub option
+  (** The shard-local index ([None] when the plan left shard [s] empty)
+      — the hook tests use to audit per-shard cache counters. *)
+
+  val input_size : t -> int
+  (** Total N across shards = the unsharded N (the partition is exact). *)
+
+  val query_stats : ?pool:U.Pool.t -> t -> query -> int array * Kwsc.Stats.query
+  (** Scatter the query to every owning shard as parallel [pool] tasks,
+      gather with the allocation-free k-way merge ({!Gather.merge_into})
+      and sum the counters in fixed shard order. Answers equal the
+      unsharded surface's bit for bit; the merged counters are
+      independent of shard completion order ([Stats.merge] contract). *)
+
+  val query : ?pool:U.Pool.t -> t -> query -> int array
+
+  val save : ?pool:U.Pool.t -> string -> t -> unit
+  (** One checksummed section per shard ("shard.0".."shard.K-1") plus a
+      "meta" section holding the plan triple and per-shard input sizes;
+      shard payloads are encoded as parallel [pool] tasks. *)
+
+  val load : ?pool:U.Pool.t -> ?plan:Plan.policy * int -> string -> (t, C.error) result
+  (** Load a sharded snapshot (shard sections decoded as parallel [pool]
+      tasks; the stored plan wins over [plan]). A corrupt shard section
+      is refused as [Checksum_mismatch "shard.i"], naming the culprit
+      without poisoning the healthy sections. An *unsharded* snapshot of
+      the inner surface is accepted too and repartitioned under [plan]
+      (reshard-on-load) when the surface can surrender its build input;
+      surfaces that cannot return a typed [Malformed] error. *)
+end
+
+module Make (M : SURFACE) :
+  S
+    with type obj = M.obj
+     and type query = M.query
+     and type cfg = M.cfg
+     and type sub = M.t

@@ -1,0 +1,124 @@
+(* SURFACE instances for the inverted baseline and two Table-1 surfaces
+   (ORP-KW via the kd transform, RR-KW via the Appendix-F reduction),
+   plus their Sharded instantiations.
+
+   The inverted surface is the interesting one: its routing hint is the
+   pair-cache admission decision, computed once from *global* statistics
+   — summed per-shard frequencies (exact, the shards partition the
+   objects) and total N — and replayed verbatim on every shard through
+   Inverted.query_cached. Every shard-local LFU cache therefore sees
+   exactly the key sequence the unsharded cache sees, which is what
+   makes per-shard hit/miss/eviction counters comparable (equal, in
+   fact) to the monolithic index's — the invariant test_shard_diff
+   checks. The tree surfaces need no hint: their per-query state is
+   confined to the traversal. *)
+
+module U = Kwsc_util
+module Inv = Kwsc_invindex.Inverted
+module Postings = Kwsc_invindex.Postings
+module Stats = Kwsc.Stats
+
+module Inverted_surface = struct
+  type obj = Kwsc_invindex.Doc.t
+  type query = int array
+  type cfg = U.Container.policy
+  type t = Inv.t
+  type hint = bool (* consult the shard-local pair cache? *)
+
+  let name = "Sharded_inverted"
+  let inner_kind = Inv.kind
+  let build ?pool policy docs = Inv.build ?pool ~policy docs
+  let config_of t = Postings.policy (Inv.postings t)
+  let input_size = Inv.input_size
+  let size = Some (fun t -> Postings.universe (Inv.postings t))
+
+  (* The unsharded admission gate (Inverted.query) verbatim, over global
+     statistics: cost = min of the summed pair frequencies, n = total N. *)
+  let plan_query subs ws =
+    if Array.length ws = 0 || not !U.Planner.enabled then false
+    else
+      match Inv.distinct_pair ws with
+      | None -> false
+      | Some (w1, w2) ->
+          let n = ref 0 and f1 = ref 0 and f2 = ref 0 in
+          Array.iter
+            (function
+              | None -> ()
+              | Some s ->
+                  n := !n + Inv.input_size s;
+                  f1 := !f1 + Inv.frequency s w1;
+                  f2 := !f2 + Inv.frequency s w2)
+            subs;
+          let cost = min !f1 !f2 in
+          cost > 0 && U.Planner.worth_caching ~n:!n ~k:2 ~cost
+
+  (* Thread the shard-local cache activity through the returned Stats
+     (the cache counters were process-global blind spots before shards
+     existed): the router's merged Stats then carries the summed
+     hit/miss traffic of all K caches. *)
+  let query_stats t use_cache ws =
+    let h0, m0, _ = Inv.cache_stats t in
+    let ids = Inv.query_cached t ~use_cache ws in
+    let h1, m1, _ = Inv.cache_stats t in
+    let st = Stats.fresh_query () in
+    st.Stats.reported <- Array.length ids;
+    st.Stats.cache_hits <- h1 - h0;
+    st.Stats.cache_misses <- m1 - m0;
+    (ids, st)
+
+  let encode = Inv.encode
+  let decode = Inv.decode
+  let load_inner = Inv.load
+  let objects = Some Inv.documents
+end
+
+module Orp_surface = struct
+  type obj = Kwsc_geom.Point.t * Kwsc_invindex.Doc.t
+  type query = Kwsc_geom.Rect.t * int array
+  type cfg = int (* keyword arity k *)
+  type t = Kwsc.Orp_kw.t
+  type hint = unit
+
+  let name = "Sharded_orp"
+  let inner_kind = Kwsc.Orp_kw.kind
+  let build ?pool k objs = Kwsc.Orp_kw.build ?pool ~k objs
+  let config_of = Kwsc.Orp_kw.k
+  let input_size = Kwsc.Orp_kw.input_size
+  let size = Some Kwsc.Orp_kw.size
+  let plan_query _ _ = ()
+  let query_stats t () (q, ws) = Kwsc.Orp_kw.query_stats t q ws
+  let encode = Kwsc.Orp_kw.encode
+  let decode = Kwsc.Orp_kw.decode
+  let load_inner = Kwsc.Orp_kw.load
+  let objects = Some Kwsc.Orp_kw.objects
+end
+
+module Rr_surface = struct
+  type obj = Kwsc_geom.Rect.t * Kwsc_invindex.Doc.t
+  type query = Kwsc_geom.Rect.t * int array
+  type cfg = int (* keyword arity k; engine stays `Auto *)
+  type t = Kwsc.Rr_kw.t
+  type hint = unit
+
+  let name = "Sharded_rr"
+  let inner_kind = Kwsc.Rr_kw.kind
+  let build ?pool k objs = Kwsc.Rr_kw.build ?pool ~k objs
+  let config_of = Kwsc.Rr_kw.k
+  let input_size = Kwsc.Rr_kw.input_size
+
+  (* The engine wrapper cannot report its object count nor surrender its
+     build input (rectangles are folded into 2d points), so decoded
+     shards skip the count cross-check and reshard-on-load is refused
+     with a typed error. *)
+  let size = None
+  let plan_query _ _ = ()
+  let query_stats t () (q, ws) = Kwsc.Rr_kw.query_stats t q ws
+  let encode = Kwsc.Rr_kw.encode
+  let decode = Kwsc.Rr_kw.decode
+  let load_inner = Kwsc.Rr_kw.load
+  let objects = None
+end
+
+module Inverted = Sharded.Make (Inverted_surface)
+module Orp = Sharded.Make (Orp_surface)
+module Rr = Sharded.Make (Rr_surface)

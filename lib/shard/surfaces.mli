@@ -1,0 +1,38 @@
+(** Sharded instantiations of the inverted baseline and two Table-1
+    surfaces. Queries, snapshots and the equivalence contract are those
+    of {!Sharded.S}; shard counts come from [?plan] or the
+    [KWSC_SHARDS] / [KWSC_SHARD_POLICY] environment. *)
+
+module Inverted :
+  Sharded.S
+    with type obj = Kwsc_invindex.Doc.t
+     and type query = int array
+     and type cfg = Kwsc_util.Container.policy
+     and type sub = Kwsc_invindex.Inverted.t
+(** Sharded k-SI reporting over per-shard hybrid postings. The routing
+    hint replays one global pair-cache admission decision on every
+    shard, so each shard-local LFU cache sees the unsharded cache's key
+    sequence and the per-query hit/miss deltas ride back in the merged
+    [Stats]. Reshard-on-load supported. *)
+
+module Orp :
+  Sharded.S
+    with type obj = Kwsc_geom.Point.t * Kwsc_invindex.Doc.t
+     and type query = Kwsc_geom.Rect.t * int array
+     and type cfg = int
+     and type sub = Kwsc.Orp_kw.t
+(** Sharded ORP-KW (Theorem 1): cfg is the keyword arity [k]; a query is
+    (rectangle, keywords). Each shard owns a private rank space over its
+    own objects — queries convert per shard, answers merge back in
+    global id order. Reshard-on-load supported (the rank tables
+    round-trip the original coordinates bit for bit). *)
+
+module Rr :
+  Sharded.S
+    with type obj = Kwsc_geom.Rect.t * Kwsc_invindex.Doc.t
+     and type query = Kwsc_geom.Rect.t * int array
+     and type cfg = int
+     and type sub = Kwsc.Rr_kw.t
+(** Sharded RR-KW (Corollary 3): cfg is the keyword arity [k], engine
+    [`Auto]. Reshard-on-load is refused with a typed error (the
+    Appendix-F reduction does not surrender its build input). *)

@@ -4,15 +4,17 @@
 # then lint the repository itself.  Run from the repo root; `make ci`.
 #
 # The suite runs twice to pin the parallel determinism contract at both
-# ends: forced-sequential (KWSC_DOMAINS=1) and a 4-domain pool.  The
-# slow tier (KWSC_SLOW=1) additionally enables the large stress
-# instances, the 120-sequence dynamic audit and the parallel stress
-# test, all under deep structural audits.
+# ends: forced-sequential (KWSC_DOMAINS=1) and a 4-domain pool — and
+# with the shard layer forced unsharded (KWSC_SHARDS=1) and at a
+# 4-shard default, pinning the sharded-vs-unsharded equivalence
+# contract at both ends too.  The slow tier (KWSC_SLOW=1) additionally
+# enables the large stress instances, the 120-sequence dynamic audit
+# and the parallel stress test, all under deep structural audits.
 set -eux
 
 dune build @all
-KWSC_DOMAINS=1 dune runtest --force
-KWSC_DOMAINS=4 dune runtest --force
+KWSC_DOMAINS=1 KWSC_SHARDS=1 dune runtest --force
+KWSC_DOMAINS=4 KWSC_SHARDS=4 dune runtest --force
 KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
 dune build @lint
 dune build @analyze
@@ -97,5 +99,36 @@ printf "$(printf '\\%03o' $((byte ^ 1)))" \
   | dd of="$snapdir/inv_flip.snap" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
 if $kwsc load --index "$snapdir/inv_flip.snap" -i "$snapdir/data.csv" --kw 1,2 > /dev/null; then
   echo "bit-flipped inverted snapshot was accepted" >&2
+  exit 1
+fi
+
+# Sharded snapshot gate: a 4-shard index must print byte-identical
+# answers to the monolithic cold build, both freshly built (--shards)
+# and through its per-shard snapshot; an unsharded snapshot must
+# reshard on load (--shards against orp.snap) to the same bytes again.
+# strip the --stats line before comparing against the monolithic run:
+# traversal counters are per-shard sums over shard-local structures,
+# only the reported ids are contract-identical
+grep -v '^stats:' "$snapdir/cold.out" > "$snapdir/cold_nostats.out"
+KWSC_AUDIT=1 $kwsc rect -i "$snapdir/data.csv" \
+  --lo 100,100 --hi 600,600 --kw 1,2 --shards 4 > "$snapdir/shard_cold.out"
+diff "$snapdir/cold_nostats.out" "$snapdir/shard_cold.out"
+$kwsc save -i "$snapdir/data.csv" --kind orp -k 2 --shards 4 -o "$snapdir/orp4.snap"
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/orp4.snap" -i "$snapdir/data.csv" \
+  --lo 100,100 --hi 600,600 --kw 1,2 > "$snapdir/shard_warm.out"
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/orp.snap" -i "$snapdir/data.csv" \
+  --lo 100,100 --hi 600,600 --kw 1,2 --shards 4 > "$snapdir/shard_resh.out"
+diff "$snapdir/shard_warm.out" "$snapdir/shard_resh.out"
+diff "$snapdir/cold_nostats.out" "$snapdir/shard_warm.out"
+# a bit flip inside one shard section must be refused by name
+s4size=$(wc -c < "$snapdir/orp4.snap")
+cp "$snapdir/orp4.snap" "$snapdir/orp4_flip.snap"
+off=$((s4size / 2))
+byte=$(dd if="$snapdir/orp4_flip.snap" bs=1 skip="$off" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 1)))" \
+  | dd of="$snapdir/orp4_flip.snap" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+if $kwsc load --index "$snapdir/orp4_flip.snap" -i "$snapdir/data.csv" \
+     --lo 100,100 --hi 600,600 --kw 1,2 > /dev/null; then
+  echo "bit-flipped sharded snapshot was accepted" >&2
   exit 1
 fi

@@ -42,3 +42,7 @@ let r10_value = Marshal.from_channel
 (* R11: raw container word access outside lib/util/container.ml *)
 let r11_apply c = Kwsc_util.Container.unsafe_words c
 let r11_value = Container.unsafe_words
+
+(* R12: shard-id arithmetic outside lib/shard/ *)
+let r12_apply p i = Kwsc_shard.Plan.owner_of p i
+let r12_value = Plan.owner_of

@@ -25,6 +25,7 @@ let () =
       ("validation", Test_validation.suite);
       ("stress", Test_stress.suite);
       ("parallel-diff", Test_parallel_diff.suite);
+      ("shard-diff", Test_shard_diff.suite);
       ("flat-diff", Test_flat_diff.suite);
       ("container-diff", Test_container_diff.suite);
       ("coverage", Test_coverage.suite);

@@ -1,0 +1,467 @@
+(* Differential proof that sharding the data changes nothing.
+
+   Ground truth is the unsharded index. For every shard count
+   K ∈ {1, 2, 3, 8}, both partitioning policies, and three query
+   surfaces (the inverted baseline, ORP-KW, RR-KW):
+
+   - answers are bit-identical to the unsharded index, including the
+     K > |universe| (empty shards) and K = 1 degenerate plans;
+   - at K = 1 the single shard is byte-identical (Marshal digest) to
+     the unsharded structure and its merged counters equal the
+     unsharded counters field for field;
+   - at fixed K the sharded build and the scatter-gather counters are
+     identical at every pool size (the PR 2 determinism contract lifted
+     to the router);
+   - every shard-local LFU cache sees exactly the unsharded cache's
+     key sequence: per-shard (hits, misses, evictions) equal the
+     unsharded counters, and the cache traffic threaded through the
+     merged Stats sums the per-shard deltas.
+
+   Builds in the qcheck tests run under KWSC_AUDIT=1, so the deep
+   structural audits also pass on every per-shard structure. *)
+
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+module Inverted = Kwsc_invindex.Inverted
+module Prng = Kwsc_util.Prng
+module Pool = Kwsc_util.Pool
+module Stats = Kwsc.Stats
+module Plan = Kwsc_shard.Plan
+module Gather = Kwsc_shard.Gather
+module S = Kwsc_shard.Surfaces
+
+let slow = match Sys.getenv_opt "KWSC_SLOW" with Some "1" -> true | _ -> false
+let shard_counts = [| 1; 2; 3; 8 |]
+let policies = [| Plan.Hash; Plan.Range |]
+
+let pools =
+  lazy
+    (let ps = Array.map (fun n -> Pool.create ~domains:n ()) [| 1; 2; 4 |] in
+     at_exit (fun () -> Array.iter Pool.shutdown ps);
+     ps)
+
+let with_each_pool f = Array.iter f (Lazy.force pools)
+let pool1 () = (Lazy.force pools).(0)
+
+let with_audit f =
+  Unix.putenv "KWSC_AUDIT" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "KWSC_AUDIT" "0") f
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.Closures ]))
+let digest_sub = function Some sub -> digest sub | None -> "<empty shard>"
+
+let check_query_eq what (a : Stats.query) (b : Stats.query) =
+  let ck field va vb = Alcotest.(check int) (what ^ ": " ^ field) va vb in
+  ck "nodes_visited" a.Stats.nodes_visited b.Stats.nodes_visited;
+  ck "covered_nodes" a.Stats.covered_nodes b.Stats.covered_nodes;
+  ck "crossing_nodes" a.Stats.crossing_nodes b.Stats.crossing_nodes;
+  ck "pivot_checked" a.Stats.pivot_checked b.Stats.pivot_checked;
+  ck "small_scanned" a.Stats.small_scanned b.Stats.small_scanned;
+  ck "pruned_empty" a.Stats.pruned_empty b.Stats.pruned_empty;
+  ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
+  ck "reported" a.Stats.reported b.Stats.reported;
+  ck "alloc_words" a.Stats.alloc_words b.Stats.alloc_words;
+  ck "cache_hits" a.Stats.cache_hits b.Stats.cache_hits;
+  ck "cache_misses" a.Stats.cache_misses b.Stats.cache_misses;
+  ck "work" (Stats.work a) (Stats.work b)
+
+(* ------------------------------------------------------------------ *)
+(* The plan is a lawful partition.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_partition () =
+  Array.iter
+    (fun policy ->
+      List.iter
+        (fun (shards, n) ->
+          let what =
+            Printf.sprintf "%s K=%d n=%d" (Plan.policy_name policy) shards n
+          in
+          let plan = Plan.make ~policy ~shards ~n in
+          Alcotest.(check int) (what ^ ": shards") shards (Plan.shards plan);
+          Alcotest.(check int) (what ^ ": size") n (Plan.size plan);
+          let seen = Array.make n false in
+          let total = ref 0 in
+          for s = 0 to shards - 1 do
+            let g = Plan.global_ids plan s in
+            Alcotest.(check int)
+              (what ^ ": count agrees")
+              (Array.length g) (Plan.count plan s);
+            total := !total + Array.length g;
+            Array.iteri
+              (fun l id ->
+                Alcotest.(check bool) (what ^ ": id in range") true (id >= 0 && id < n);
+                Alcotest.(check bool) (what ^ ": no duplicate owner") false seen.(id);
+                seen.(id) <- true;
+                Alcotest.(check int) (what ^ ": owner_of consistent") s (Plan.owner_of plan id);
+                if l > 0 then
+                  Alcotest.(check bool)
+                    (what ^ ": strictly ascending")
+                    true
+                    (g.(l - 1) < id))
+              g
+          done;
+          Alcotest.(check int) (what ^ ": partition covers") n !total;
+          (* range policy keeps shards contiguous *)
+          if policy = Plan.Range then
+            for s = 0 to shards - 1 do
+              let g = Plan.global_ids plan s in
+              if Array.length g > 0 then
+                Alcotest.(check int)
+                  (what ^ ": range shard is contiguous")
+                  (g.(Array.length g - 1) - g.(0) + 1)
+                  (Array.length g)
+            done)
+        [ (1, 0); (1, 17); (2, 17); (3, 17); (8, 5); (8, 64); (5, 5) ])
+    policies;
+  Alcotest.check_raises "shards must be >= 1"
+    (Invalid_argument "Plan.make: shard count must be >= 1") (fun () ->
+      ignore (Plan.make ~policy:Plan.Hash ~shards:0 ~n:3))
+
+let test_plan_env () =
+  let set v = Unix.putenv "KWSC_SHARDS" v in
+  Fun.protect
+    ~finally:(fun () -> set "")
+    (fun () ->
+      set "3";
+      Alcotest.(check int) "KWSC_SHARDS=3" 3 (Plan.env_shards ());
+      set "not-a-number";
+      Alcotest.(check int) "garbage falls back to 1" 1 (Plan.env_shards ());
+      set "0";
+      Alcotest.(check int) "zero falls back to 1" 1 (Plan.env_shards ());
+      set "";
+      Alcotest.(check int) "empty falls back to 1" 1 (Plan.env_shards ()));
+  Alcotest.(check bool)
+    "policy_of_name round-trips" true
+    (Plan.policy_of_name (Plan.policy_name Plan.Range) = Some Plan.Range
+    && Plan.policy_of_name (Plan.policy_name Plan.Hash) = Some Plan.Hash
+    && Plan.policy_of_name "bogus" = None)
+
+let test_gather_merge () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 50 do
+    let n = 1 + Prng.int rng 60 in
+    let shards = 1 + Prng.int rng 5 in
+    let plan =
+      Plan.make ~policy:(if Prng.int rng 2 = 0 then Plan.Hash else Plan.Range) ~shards ~n
+    in
+    (* pick a random global subset, split it by owner into local ids *)
+    let chosen = Array.init n (fun _ -> Prng.int rng 2 = 0) in
+    let globals = Array.init shards (Plan.global_ids plan) in
+    let locals =
+      Array.init shards (fun s ->
+          let g = globals.(s) in
+          let b = Kwsc_util.Ibuf.create () in
+          Array.iteri (fun l id -> if chosen.(id) then Kwsc_util.Ibuf.push b l) g;
+          Kwsc_util.Ibuf.to_array b)
+    in
+    let out = Kwsc_util.Ibuf.create () in
+    Gather.merge_into ~globals ~locals ~cursors:(Array.make shards 0) out;
+    let expect =
+      Array.of_seq
+        (Seq.filter (fun id -> chosen.(id)) (Seq.init n (fun i -> i)))
+    in
+    Helpers.check_ids "merge reassembles the global subset" expect
+      (Kwsc_util.Ibuf.to_array out)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Inverted baseline: answers, structures, cache counters.             *)
+(* ------------------------------------------------------------------ *)
+
+let random_docs rng n vocab =
+  Array.init n (fun _ ->
+      let len = 1 + Prng.int rng 5 in
+      let l = List.init len (fun _ -> 1 + Prng.int rng vocab) in
+      Doc.of_list l)
+
+(* Query shapes the cache does and does not serve: singletons, distinct
+   pairs (cacheable), pairs with duplicates, triples. *)
+let random_keyword_sets rng vocab =
+  Array.init 12 (fun _ ->
+      match Prng.int rng 4 with
+      | 0 -> [| 1 + Prng.int rng vocab |]
+      | 1 | 2 ->
+          let a = 1 + Prng.int rng vocab and b = 1 + Prng.int rng vocab in
+          if Prng.int rng 3 = 0 then [| a; b; a |] else [| a; b |]
+      | _ ->
+          [| 1 + Prng.int rng vocab; 1 + Prng.int rng vocab; 1 + Prng.int rng vocab |])
+
+let inverted_diff_iteration seed =
+  let rng = Prng.create seed in
+  let n = 20 + Prng.int rng 100 in
+  let vocab = 4 + Prng.int rng 12 in
+  let docs = random_docs rng n vocab in
+  let queries = random_keyword_sets rng vocab in
+  let pool = pool1 () in
+  let mono = Inverted.build ~pool docs in
+  (* digest the pristine structure: later queries mutate the LFU cache,
+     and a fresh K=1 shard must match the index as built *)
+  let mono_digest = digest mono in
+  Array.iter
+    (fun policy ->
+      Array.iter
+        (fun shards ->
+          let what = Printf.sprintf "inv %s K=%d" (Plan.policy_name policy) shards in
+          let t = S.Inverted.build ~pool ~plan:(policy, shards) Kwsc_util.Container.Hybrid docs in
+          Alcotest.(check int) (what ^ ": input_size") (Inverted.input_size mono)
+            (S.Inverted.input_size t);
+          (* identical fresh structure at K=1 *)
+          if shards = 1 then
+            Alcotest.(check string)
+              (what ^ ": single shard is byte-identical to unsharded")
+              mono_digest
+              (digest_sub (S.Inverted.shard t 0));
+          (* replay the same query sequence on both; cache decisions and
+             therefore per-shard counters must track the unsharded cache *)
+          Inverted.reset_cache mono;
+          Array.iter
+            (fun ws ->
+              let expect = Inverted.query mono ws in
+              let got, st = S.Inverted.query_stats ~pool t ws in
+              Helpers.check_ids (what ^ ": answers") expect got;
+              Alcotest.(check int) (what ^ ": reported") (Array.length expect)
+                st.Stats.reported)
+            queries;
+          let mh, mm, me = Inverted.cache_stats mono in
+          let nonempty = ref 0 and sh = ref 0 and sm = ref 0 in
+          for s = 0 to shards - 1 do
+            match S.Inverted.shard t s with
+            | None -> ()
+            | Some sub ->
+                incr nonempty;
+                let h, m, e = Inverted.cache_stats sub in
+                sh := !sh + h;
+                sm := !sm + m;
+                Alcotest.(check (triple int int int))
+                  (Printf.sprintf "%s: shard %d cache counters equal unsharded" what s)
+                  (mh, mm, me) (h, m, e)
+          done;
+          (* the per-shard counters sum to the expected multiple of the
+             unsharded counter — at K=1 they are exactly equal *)
+          Alcotest.(check (pair int int))
+            (what ^ ": summed cache traffic")
+            (!nonempty * mh, !nonempty * mm)
+            (!sh, !sm))
+        shard_counts)
+    policies
+
+let test_inverted_diff =
+  QCheck.Test.make ~count:(if slow then 25 else 8)
+    ~name:"sharded inverted == unsharded (answers, structures, caches)"
+    QCheck.small_int
+    (fun seed ->
+      with_audit (fun () -> inverted_diff_iteration seed);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* ORP-KW: answers at every K, full counters at K=1 and across pools.  *)
+(* ------------------------------------------------------------------ *)
+
+let orp_diff_iteration seed =
+  let rng = Prng.create (seed + 1000) in
+  let n = 20 + Prng.int rng 80 in
+  let d = 1 + Prng.int rng 2 in
+  let vocab = 12 in
+  let objs = Helpers.dataset ~seed:(seed + 7) ~vocab ~n ~d () in
+  let queries =
+    Array.init 6 (fun _ ->
+        (Helpers.random_rect rng ~d ~range:1000.0, Helpers.random_keywords rng ~vocab ~k:2))
+  in
+  let pool = pool1 () in
+  let mono = Kwsc.Orp_kw.build ~pool ~k:2 objs in
+  Array.iter
+    (fun shards ->
+      let what = Printf.sprintf "orp K=%d" shards in
+      (* identical structure at every pool size, for the same plan *)
+      let builds =
+        Array.map
+          (fun p -> S.Orp.build ~pool:p ~plan:(Plan.Hash, shards) 2 objs)
+          (Lazy.force pools)
+      in
+      let t = builds.(0) in
+      Array.iteri
+        (fun i other ->
+          if i > 0 then
+            Alcotest.(check string)
+              (what ^ ": build digest pool-size-independent")
+              (digest t) (digest other))
+        builds;
+      if shards = 1 then
+        Alcotest.(check string)
+          (what ^ ": single shard is byte-identical to unsharded")
+          (digest mono)
+          (digest_sub (S.Orp.shard t 0));
+      Array.iter
+        (fun (q, ws) ->
+          let expect, est = Kwsc.Orp_kw.query_stats mono q ws in
+          let got, st = S.Orp.query_stats ~pool t (q, ws) in
+          Helpers.check_ids (what ^ ": answers") expect got;
+          Alcotest.(check int) (what ^ ": reported") (Array.length expect) st.Stats.reported;
+          if shards = 1 then check_query_eq (what ^ ": K=1 counters") est st;
+          (* merged counters are scatter-order-independent: every pool
+             size reports the same Stats *)
+          with_each_pool (fun p ->
+              let got', st' = S.Orp.query_stats ~pool:p t (q, ws) in
+              Helpers.check_ids (what ^ ": answers at every pool size") got got';
+              check_query_eq (what ^ ": counters at every pool size") st st'))
+        queries)
+    shard_counts
+
+let test_orp_diff =
+  QCheck.Test.make ~count:(if slow then 15 else 5)
+    ~name:"sharded ORP-KW == unsharded (answers, counters, structures)"
+    QCheck.small_int
+    (fun seed ->
+      with_audit (fun () -> orp_diff_iteration seed);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* RR-KW: the third surface.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rr_diff_iteration seed =
+  let rng = Prng.create (seed + 2000) in
+  let n = 15 + Prng.int rng 50 in
+  let vocab = 10 in
+  let objs =
+    Array.map
+      (fun (p, doc) ->
+        let w = 1.0 +. Prng.float rng 50.0 in
+        (Rect.make [| p.(0) |] [| p.(0) +. w |], doc))
+      (Helpers.dataset ~seed:(seed + 11) ~vocab ~n ~d:1 ())
+  in
+  let queries =
+    Array.init 5 (fun _ ->
+        (Helpers.random_rect rng ~d:1 ~range:1050.0, Helpers.random_keywords rng ~vocab ~k:2))
+  in
+  let pool = pool1 () in
+  let mono = Kwsc.Rr_kw.build ~pool ~k:2 objs in
+  Array.iter
+    (fun shards ->
+      let what = Printf.sprintf "rr K=%d" shards in
+      let t = S.Rr.build ~pool ~plan:(Plan.Range, shards) 2 objs in
+      Array.iter
+        (fun (q, ws) ->
+          let expect, _ = Kwsc.Rr_kw.query_stats mono q ws in
+          let got, st = S.Rr.query_stats ~pool t (q, ws) in
+          Helpers.check_ids (what ^ ": answers") expect got;
+          Alcotest.(check int) (what ^ ": reported") (Array.length expect) st.Stats.reported)
+        queries)
+    shard_counts
+
+let test_rr_diff =
+  QCheck.Test.make ~count:(if slow then 10 else 4)
+    ~name:"sharded RR-KW == unsharded (answers)" QCheck.small_int
+    (fun seed ->
+      with_audit (fun () -> rr_diff_iteration seed);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate plans: more shards than objects, tiny universes.         *)
+(* ------------------------------------------------------------------ *)
+
+let test_degenerate () =
+  let pool = pool1 () in
+  Array.iter
+    (fun policy ->
+      (* K = 8 > |universe| = 5: some shards must stay empty *)
+      let docs = random_docs (Prng.create 5) 5 6 in
+      let mono = Inverted.build ~pool docs in
+      let t = S.Inverted.build ~pool ~plan:(policy, 8) Kwsc_util.Container.Hybrid docs in
+      let empty = ref 0 in
+      for s = 0 to 7 do
+        if S.Inverted.shard t s = None then incr empty
+      done;
+      Alcotest.(check bool) "K > n leaves empty shards" true (!empty >= 3);
+      List.iter
+        (fun ws ->
+          let ws = Array.of_list ws in
+          Helpers.check_ids "inv K>n answers" (Inverted.query mono ws)
+            (S.Inverted.query ~pool t ws))
+        [ [ 1 ]; [ 1; 2 ]; [ 2; 3; 4 ]; [ 6 ] ];
+      (* a one-object universe across many shards *)
+      let one = [| Doc.of_list [ 1; 2 ] |] in
+      let mono1 = Inverted.build ~pool one in
+      let t1 = S.Inverted.build ~pool ~plan:(policy, 8) Kwsc_util.Container.Hybrid one in
+      Helpers.check_ids "inv n=1 answers" (Inverted.query mono1 [| 1; 2 |])
+        (S.Inverted.query ~pool t1 [| 1; 2 |]);
+      (* ORP with K > n: empty shards skip Orp_kw.build (which refuses
+         empty input) and contribute nothing *)
+      let objs = Helpers.dataset ~seed:3 ~vocab:6 ~n:5 ~d:2 () in
+      let morp = Kwsc.Orp_kw.build ~pool ~k:2 objs in
+      let torp = S.Orp.build ~pool ~plan:(policy, 8) 2 objs in
+      let rng = Prng.create 17 in
+      for _ = 1 to 5 do
+        let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+        let ws = Helpers.random_keywords rng ~vocab:6 ~k:2 in
+        Helpers.check_ids "orp K>n answers" (Kwsc.Orp_kw.query morp q ws)
+          (S.Orp.query ~pool torp (q, ws))
+      done)
+    policies
+
+(* ------------------------------------------------------------------ *)
+(* The LFU caches stay hot and aligned through a long mixed sequence.  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_alignment () =
+  let pool = pool1 () in
+  let rng = Prng.create 31 in
+  (* few keywords + many docs = heavy pair frequencies, so pairs clear
+     the tau admission threshold and the cache takes real traffic,
+     including evictions once distinct pairs exceed the LFU capacity *)
+  let docs = random_docs rng 400 40 in
+  let mono = Inverted.build ~pool docs in
+  let seq =
+    Array.init 300 (fun _ ->
+        let a = 1 + Prng.int rng 40 and b = 1 + Prng.int rng 40 in
+        if a = b then [| a |] else [| a; b |])
+  in
+  Array.iter
+    (fun shards ->
+      let what = Printf.sprintf "cache K=%d" shards in
+      let t = S.Inverted.build ~pool ~plan:(Plan.Hash, shards) Kwsc_util.Container.Hybrid docs in
+      Inverted.reset_cache mono;
+      let hits = ref 0 and misses = ref 0 in
+      Array.iter
+        (fun ws ->
+          let expect = Inverted.query mono ws in
+          let got, st = S.Inverted.query_stats ~pool t ws in
+          Helpers.check_ids (what ^ ": answers") expect got;
+          hits := !hits + st.Stats.cache_hits;
+          misses := !misses + st.Stats.cache_misses)
+        seq;
+      let mh, mm, me = Inverted.cache_stats mono in
+      Alcotest.(check bool) (what ^ ": the sequence exercises the cache") true (mh > 0 && mm > 0);
+      let nonempty = ref 0 in
+      for s = 0 to shards - 1 do
+        match S.Inverted.shard t s with
+        | None -> ()
+        | Some sub ->
+            incr nonempty;
+            Alcotest.(check (triple int int int))
+              (Printf.sprintf "%s: shard %d counters equal unsharded" what s)
+              (mh, mm, me)
+              (Inverted.cache_stats sub)
+      done;
+      (* the Stats threading accounts for every find: summed per-query
+         deltas = sum of the per-shard counters *)
+      Alcotest.(check (pair int int))
+        (what ^ ": Stats deltas sum the shard caches")
+        (!nonempty * mh, !nonempty * mm)
+        (!hits, !misses))
+    shard_counts
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "plans partition the universe" `Quick test_plan_partition;
+    Alcotest.test_case "KWSC_SHARDS / policy parsing" `Quick test_plan_env;
+    Alcotest.test_case "gather merge reassembles subsets" `Quick test_gather_merge;
+    qt test_inverted_diff;
+    qt test_orp_diff;
+    qt test_rr_diff;
+    Alcotest.test_case "degenerate plans (K > n, n = 1)" `Quick test_degenerate;
+    Alcotest.test_case "shard caches align with the unsharded cache" `Quick
+      test_cache_alignment;
+  ]

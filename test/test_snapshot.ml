@@ -503,6 +503,181 @@ let test_hybrid_section_corruption () =
             | Ok _ -> Alcotest.failf "accepted a flipped byte at offset %d" off)
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded snapshots (lib/shard): per-shard sections, reshard-on-load   *)
+(* ------------------------------------------------------------------ *)
+
+module Sh = Kwsc_shard.Surfaces
+module SPlan = Kwsc_shard.Plan
+
+let find_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = needle then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go 0
+
+let test_sharded_roundtrip () =
+  let docs = mixed_docs ~seed:2101 ~n:512 in
+  let mono = Inv.build docs in
+  List.iter
+    (fun shards ->
+      let what = Printf.sprintf "sharded inverted K=%d" shards in
+      let cold = Sh.Inverted.build ~plan:(SPlan.Hash, shards) Cont.Hybrid docs in
+      with_snap (fun path ->
+          Sh.Inverted.save path cold;
+          let warm = ok_exn (Sh.Inverted.load path) in
+          Alcotest.(check int) (what ^ ": shards preserved") shards (Sh.Inverted.shards warm);
+          Alcotest.(check int)
+            (what ^ ": input size")
+            (Inv.input_size mono)
+            (Sh.Inverted.input_size warm);
+          let rng = Prng.create (3000 + shards) in
+          for _ = 1 to 40 do
+            let k = 1 + Prng.int rng 3 in
+            let ws = Array.init k (fun _ -> 1 + Prng.int rng 120) in
+            let expect = Inv.query mono ws in
+            Helpers.check_ids (what ^ ": cold answers") expect (Sh.Inverted.query cold ws);
+            Helpers.check_ids (what ^ ": warm answers") expect (Sh.Inverted.query warm ws)
+          done))
+    [ 1; 3; 8 ];
+  (* ORP: merged work counters round-trip too *)
+  let objs = Helpers.dataset ~seed:2102 ~n:150 ~d:2 () in
+  let cold = Sh.Orp.build ~plan:(SPlan.Range, 3) 2 objs in
+  with_snap (fun path ->
+      Sh.Orp.save path cold;
+      let warm = ok_exn (Sh.Orp.load path) in
+      let rng = Prng.create 2103 in
+      for _ = 1 to 20 do
+        let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "sharded orp" (Sh.Orp.query_stats cold (q, ws))
+          (Sh.Orp.query_stats warm (q, ws))
+      done);
+  (* RR: the third sharded surface *)
+  let rects =
+    Array.map
+      (fun (p, doc) -> (Rect.make [| p.(0) |] [| p.(0) +. 20.0 |], doc))
+      (Helpers.dataset ~seed:2104 ~n:120 ~d:1 ())
+  in
+  let cold = Sh.Rr.build ~plan:(SPlan.Hash, 4) 2 rects in
+  with_snap (fun path ->
+      Sh.Rr.save path cold;
+      let warm = ok_exn (Sh.Rr.load path) in
+      let rng = Prng.create 2105 in
+      for _ = 1 to 20 do
+        let q = Helpers.random_rect rng ~d:1 ~range:1020.0 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        check_query "sharded rr" (Sh.Rr.query_stats cold (q, ws)) (Sh.Rr.query_stats warm (q, ws))
+      done)
+
+(* Corrupt exactly one shard section: the typed refusal must name that
+   shard, and the same file with the section intact must load — the rot
+   never spreads past its section. *)
+let test_sharded_corrupt_one_shard () =
+  let docs = mixed_docs ~seed:2201 ~n:400 in
+  let t = Sh.Inverted.build ~plan:(SPlan.Hash, 4) Cont.Hybrid docs in
+  with_snap (fun path ->
+      Sh.Inverted.save path t;
+      let _, sections = C.load_file_exn ~path in
+      Alcotest.(check (list string))
+        "one section per shard plus meta"
+        [ "meta"; "shard.0"; "shard.1"; "shard.2"; "shard.3" ]
+        (List.map fst sections);
+      let good = read_all path in
+      let payload = List.assoc "shard.2" sections in
+      let off =
+        match find_sub good payload with
+        | Some o -> o + (String.length payload / 2)
+        | None -> Alcotest.fail "shard.2 payload not found in the raw file"
+      in
+      let b = Bytes.of_string good in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+      with_snap (fun path2 ->
+          write_all path2 (Bytes.to_string b);
+          (match Sh.Inverted.load path2 with
+          | Error (C.Checksum_mismatch section) ->
+              Alcotest.(check string) "refusal names the corrupt shard" "shard.2" section
+          | Ok _ -> Alcotest.fail "accepted a corrupt shard section"
+          | Error e ->
+              Alcotest.failf "expected Checksum_mismatch, got %s" (C.error_to_string e));
+          (* healthy sections are untouched: restoring shard.2 alone heals
+             the snapshot *)
+          write_all path2 good;
+          ignore (ok_exn (Sh.Inverted.load path2))));
+  (* a missing shard section is refused with a typed error too *)
+  with_snap (fun path ->
+      Sh.Inverted.save path t;
+      let _, sections = C.load_file_exn ~path in
+      with_snap (fun path2 ->
+          C.save_file ~path:path2 ~kind:Sh.Inverted.kind
+            (List.filter (fun (name, _) -> name <> "shard.1") sections);
+          match Sh.Inverted.load path2 with
+          | Error (C.Malformed msg) ->
+              Alcotest.(check bool) "error names the missing shard" true
+                (find_sub msg "shard.1" <> None)
+          | Ok _ -> Alcotest.fail "accepted a snapshot missing a shard section"
+          | Error e -> Alcotest.failf "expected Malformed, got %s" (C.error_to_string e)))
+
+(* Loading a v2 *unsharded* snapshot into a sharded index repartitions
+   the decoded objects (reshard-on-load). *)
+let test_reshard_on_load () =
+  let docs = mixed_docs ~seed:2301 ~n:512 in
+  let mono = Inv.build docs in
+  with_snap (fun path ->
+      Inv.save path mono;
+      let resharded = ok_exn (Sh.Inverted.load ~plan:(SPlan.Hash, 3) path) in
+      Alcotest.(check int) "resharded into 3" 3 (Sh.Inverted.shards resharded);
+      Alcotest.(check int) "input size survives" (Inv.input_size mono)
+        (Sh.Inverted.input_size resharded);
+      let rng = Prng.create 2302 in
+      for _ = 1 to 40 do
+        let k = 1 + Prng.int rng 3 in
+        let ws = Array.init k (fun _ -> 1 + Prng.int rng 120) in
+        Helpers.check_ids "resharded inverted answers" (Inv.query mono ws)
+          (Sh.Inverted.query resharded ws)
+      done);
+  (* ORP reshards exactly: the rank tables surrender the original
+     coordinates bit for bit *)
+  let objs = Helpers.dataset ~seed:2303 ~n:150 ~d:2 () in
+  let morp = Kwsc.Orp_kw.build ~k:2 objs in
+  with_snap (fun path ->
+      Kwsc.Orp_kw.save path morp;
+      let resharded = ok_exn (Sh.Orp.load ~plan:(SPlan.Range, 4) path) in
+      Alcotest.(check int) "orp resharded into 4" 4 (Sh.Orp.shards resharded);
+      let rng = Prng.create 2304 in
+      for _ = 1 to 20 do
+        let q = Helpers.random_rect rng ~d:2 ~range:1000.0 in
+        let ws = Helpers.random_keywords rng ~vocab:40 ~k:2 in
+        Helpers.check_ids "resharded orp answers" (Kwsc.Orp_kw.query morp q ws)
+          (Sh.Orp.query resharded (q, ws))
+      done;
+      (* and the reverse direction: a sharded snapshot refuses to load as
+         the plain module (it is a different kind) *)
+      with_snap (fun path2 ->
+          Sh.Orp.save path2 resharded;
+          match Kwsc.Orp_kw.load path2 with
+          | Error (C.Bad_kind { got; _ }) ->
+              Alcotest.(check string) "sharded kind is distinct" Sh.Orp.kind got
+          | Ok _ | Error _ -> Alcotest.fail "sharded snapshot must be Bad_kind here"));
+  (* RR cannot surrender its build input: typed refusal, not a crash *)
+  let rects =
+    Array.map
+      (fun (p, doc) -> (Rect.make [| p.(0) |] [| p.(0) +. 10.0 |], doc))
+      (Helpers.dataset ~seed:2305 ~n:80 ~d:1 ())
+  in
+  let mrr = Kwsc.Rr_kw.build ~k:2 rects in
+  with_snap (fun path ->
+      Kwsc.Rr_kw.save path mrr;
+      match Sh.Rr.load ~plan:(SPlan.Hash, 2) path with
+      | Error (C.Malformed msg) ->
+          Alcotest.(check bool) "refusal mentions resharding" true
+            (find_sub msg "reshard" <> None)
+      | Ok _ -> Alcotest.fail "RR reshard-on-load must be refused"
+      | Error e -> Alcotest.failf "expected Malformed, got %s" (C.error_to_string e))
+
 let suite =
   [
     Alcotest.test_case "orp round trip" `Quick test_orp_roundtrip;
@@ -517,6 +692,11 @@ let suite =
     Alcotest.test_case "v1 flat-arena snapshots still load" `Quick test_inverted_v1_compat;
     Alcotest.test_case "container section corruption is typed" `Quick
       test_hybrid_section_corruption;
+    Alcotest.test_case "sharded round trips (inverted, orp, rr)" `Quick
+      test_sharded_roundtrip;
+    Alcotest.test_case "corrupt shard section is refused by name" `Quick
+      test_sharded_corrupt_one_shard;
+    Alcotest.test_case "unsharded snapshots reshard on load" `Quick test_reshard_on_load;
     Alcotest.test_case "crc32 check vector" `Quick test_crc32;
     Alcotest.test_case "primitive round trips" `Quick test_primitive_roundtrip;
     Alcotest.test_case "reader rejects malformed input" `Quick test_reader_rejects;

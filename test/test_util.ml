@@ -306,6 +306,154 @@ let test_bitset_shared_bytes () =
     (Invalid_argument "Bitset.of_shared_bytes: slice out of range") (fun () ->
       ignore (Bitset.of_shared_bytes backing ~off:2 ~n:32))
 
+(* Planner.choose boundary costs. Each case sits exactly at (or one
+   element off) a crossover of the cost model, so a drift in any term —
+   chain_step's gallop threshold, probe units, the all-dense AND gate or
+   a tie-break direction — flips the chosen strategy and fails here.
+   Shard-local planners instantiate the same module, so pinning the
+   global one pins them all. *)
+
+let with_planner_enabled f =
+  let saved = !Planner.enabled in
+  Planner.enabled := true;
+  Fun.protect ~finally:(fun () -> Planner.enabled := saved) f
+
+let seq_ids n = Array.init n (fun i -> i)
+
+let forced kind ~universe n =
+  Container.of_sorted_array_kind kind ~universe (seq_ids n)
+
+let strategy_name = function
+  | Container.Chain -> "Chain"
+  | Container.Probe -> "Probe"
+  | Container.And_words -> "And_words"
+
+let check_strategy msg expected cs =
+  Alcotest.(check string)
+    msg (strategy_name expected)
+    (strategy_name (Planner.choose cs))
+
+let test_planner_gates () =
+  with_planner_enabled (fun () ->
+      (* k <= 1 is always Chain, whatever the container looks like. *)
+      check_strategy "empty input" Container.Chain [||];
+      check_strategy "single container" Container.Chain
+        [| forced Container.Dense ~universe:4096 2048 |];
+      (* A probe-favourable pair (10 vs 80 below) degrades to Chain the
+         moment the planner is switched off. *)
+      let cs =
+        [| forced Container.Sparse ~universe:100_000 10;
+           forced Container.Sparse ~universe:100_000 80 |]
+      in
+      check_strategy "enabled picks probe" Container.Probe cs;
+      Planner.enabled := false;
+      check_strategy "disabled forces chain" Container.Chain cs;
+      Alcotest.(check bool)
+        "disabled never caches" false
+        (Planner.worth_caching ~n:1_000_000 ~k:2 ~cost:1_000_000);
+      Planner.enabled := true)
+
+let test_planner_ceil_log2_tau () =
+  with_planner_enabled (fun () ->
+      List.iter
+        (fun (n, b) ->
+          Alcotest.(check int) (Printf.sprintf "ceil_log2 %d" n) b
+            (Planner.ceil_log2 n))
+        [ (0, 1); (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (1024, 10);
+          (1025, 11) ];
+      Alcotest.(check (float 0.0)) "tau n=0" 0.0 (Planner.tau ~n:0 ~k:2);
+      (* k=2: tau = sqrt n. n = 100 puts the threshold at exactly 10. *)
+      Alcotest.(check (float 1e-9)) "tau n=100 k=2" 10.0
+        (Planner.tau ~n:100 ~k:2);
+      Alcotest.(check bool) "cost at tau caches" true
+        (Planner.worth_caching ~n:100 ~k:2 ~cost:10);
+      Alcotest.(check bool) "cost below tau skipped" false
+        (Planner.worth_caching ~n:100 ~k:2 ~cost:9);
+      (* k < 2 clamps to the square-root schedule, not n^0. *)
+      Alcotest.(check (float 1e-9)) "k clamps at 2" 10.0
+        (Planner.tau ~n:100 ~k:1))
+
+let test_planner_chain_probe_boundary () =
+  with_planner_enabled (fun () ->
+      let u = 100_000 in
+      let pair a b =
+        [| forced Container.Sparse ~universe:u a;
+           forced Container.Sparse ~universe:u b |]
+      in
+      (* c0=1: chain is one gallop of ceil_log2 101 = 7 and probe is
+         1 * ceil_log2 101 = 7. Exact tie — strict < keeps Chain. *)
+      check_strategy "equal costs tie-break to chain" Container.Chain
+        (pair 1 100);
+      (* c0=10, c1=80 sits on the merge side of the gallop threshold
+         (10*8 < 80 is false): chain = 10+80 = 90, probe = 10*7 = 70. *)
+      check_strategy "balanced merge loses to probe" Container.Probe
+        (pair 10 80);
+      (* One more element tips chain_step into galloping: chain becomes
+         10 * ceil_log2 (81/10 + 1) = 40 and beats probe's 70. *)
+      check_strategy "galloping chain wins at 81" Container.Chain
+        (pair 10 81);
+      (* Far out the skew keeps chain ahead: 10*ceil_log2 51 = 60 vs
+         probe 10 * ceil_log2 501 = 90. *)
+      check_strategy "deep skew stays chain" Container.Chain (pair 10 500))
+
+let test_planner_dense_probe () =
+  with_planner_enabled (fun () ->
+      (* Dense probe targets cost one unit each: probe = 4 * 2 = 8 beats
+         chain = 2 * (4 * ceil_log2 33) = 48. The sparse driver disables
+         And_words despite two dense inputs. *)
+      let cs =
+        [| forced Container.Sparse ~universe:4096 4;
+           forced Container.Dense ~universe:4096 2048;
+           forced Container.Dense ~universe:4096 2048 |]
+      in
+      check_strategy "dense targets are unit probes" Container.Probe cs)
+
+let test_planner_and_words_boundary () =
+  with_planner_enabled (fun () ->
+      let u = 4096 in
+      (* All dense over one universe of 128 words: cost_and = 2*128 =
+         256, chain = 2*256 = 512. Probe = c0 * 2 crosses 256 exactly at
+         c0 = 128; ties go to And_words. *)
+      let all_dense c0 =
+        [| forced Container.Dense ~universe:u c0;
+           forced Container.Dense ~universe:u 2048;
+           forced Container.Dense ~universe:u 2048 |]
+      in
+      check_strategy "tie prefers and-words" Container.And_words
+        (all_dense 128);
+      check_strategy "one id cheaper flips to probe" Container.Probe
+        (all_dense 127);
+      (* Same shape but one universe differs: the AND gate closes and the
+         former tie falls through to probe. *)
+      let mixed =
+        [| forced Container.Dense ~universe:u 128;
+           forced Container.Dense ~universe:u 2048;
+           forced Container.Dense ~universe:8192 4096 |]
+      in
+      check_strategy "universe mismatch closes the AND gate" Container.Probe
+        mixed)
+
+let test_planner_runs_pricing () =
+  with_planner_enabled (fun () ->
+      let u = 4096 in
+      let runs2 = Container.of_runs ~universe:u [| 0; 500; 1000; 500 |] in
+      Alcotest.(check int) "run container cardinality" 1000
+        (Container.cardinality runs2);
+      (* As the driver a 2-run container chains over 2 run pairs, not
+         1000 ids: chain = 4 * ceil_log2 26 = 20 crushes probe's
+         1000 * 7 = 7000. *)
+      check_strategy "runs drive chain by run pairs" Container.Chain
+        [| runs2; forced Container.Sparse ~universe:u 100 |];
+      (* As a probe target it costs ceil_log2 (runs+1) = 2 units. c0 = 3:
+         probe 6 < chain 7. c0 = 4: probe 8 ties chain 8 -> Chain. *)
+      let vs_runs c0 =
+        [| forced Container.Sparse ~universe:u c0; runs2 |]
+      in
+      check_strategy "runs target pays log run units" Container.Probe
+        (vs_runs 3);
+      check_strategy "runs target tie stays chain" Container.Chain
+        (vs_runs 4))
+
 let suite =
   [
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
@@ -335,4 +483,10 @@ let suite =
     Alcotest.test_case "ibuf reserve" `Quick test_ibuf_reserve;
     Alcotest.test_case "bitset pool views are disjoint" `Quick test_bitset_pool_views;
     Alcotest.test_case "bitset shared-byte views alias" `Quick test_bitset_shared_bytes;
+    Alcotest.test_case "planner gates (disabled, k<=1)" `Quick test_planner_gates;
+    Alcotest.test_case "planner ceil_log2 and tau boundary" `Quick test_planner_ceil_log2_tau;
+    Alcotest.test_case "planner chain/probe crossover" `Quick test_planner_chain_probe_boundary;
+    Alcotest.test_case "planner dense probe units" `Quick test_planner_dense_probe;
+    Alcotest.test_case "planner and-words crossover" `Quick test_planner_and_words_boundary;
+    Alcotest.test_case "planner runs pricing" `Quick test_planner_runs_pricing;
   ]

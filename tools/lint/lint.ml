@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -18,6 +18,7 @@ let rule_id = function
   | R9 -> "R9"
   | R10 -> "R10"
   | R11 -> "R11"
+  | R12 -> "R12"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -37,6 +38,9 @@ let rule_doc = function
   | R11 ->
       "raw container word access outside lib/util/container.ml: Container.unsafe_words \
        exposes the packed bitmap representation; go through mem/iter/inter_into instead"
+  | R12 ->
+      "shard-id arithmetic outside lib/shard/: Plan.owner_of is the partition function; \
+       code that re-derives owners drifts from the router — route through Kwsc_shard"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -87,6 +91,11 @@ let path_in_lib path = List.mem "lib" (segments path)
    container itself — everything else goes through the typed API. *)
 let path_is_container path =
   has_subpath [ "lib"; "util"; "container.ml" ] (segments path)
+
+(* R12: only the shard layer itself may compute shard ownership — a
+   second copy of the partition arithmetic would silently diverge from
+   the router's. *)
+let path_is_shard path = has_subpath [ "lib"; "shard" ] (segments path)
 
 (* R10: Marshal is banned everywhere except test/ — the differential
    suites may digest in-memory structures, but nothing durable may be
@@ -332,6 +341,7 @@ let lint_structure config ~file str =
   let kernel = config.assume_kernel || structure_has_attr "kwsc.kernel" str in
   let marshal_banned = not (path_in_test file) in
   let words_banned = not (path_is_container file) in
+  let owner_banned = not (path_is_shard file) in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -372,6 +382,12 @@ let lint_structure config ~file str =
               (Printf.sprintf
                  "%s reaches into the packed container words; only \
                   lib/util/container.ml may — use mem/iter/inter_into/dense_bytes"
+                 (String.concat "." u))
+        | _ when owner_banned && ends_with ~suffix:[ "Plan"; "owner_of" ] u ->
+            add R12 loc
+              (Printf.sprintf
+                 "%s re-derives shard ownership; the partition function is \
+                  private to lib/shard/ — route placement through Kwsc_shard"
                  (String.concat "." u))
         | "Hashtbl" :: _ when kernel ->
             add R9 loc
@@ -457,6 +473,11 @@ let lint_structure config ~file str =
                 (Printf.sprintf
                    "%s passed as a value; raw container words are private to \
                     lib/util/container.ml" (String.concat "." u))
+          | _ when owner_banned && ends_with ~suffix:[ "Plan"; "owner_of" ] u ->
+              add R12 loc
+                (Printf.sprintf
+                   "%s passed as a value; shard ownership is private to \
+                    lib/shard/" (String.concat "." u))
           | "Hashtbl" :: _ when kernel ->
               add R9 loc
                 (Printf.sprintf "%s passed as a value in a query-kernel module"

@@ -47,6 +47,12 @@
       §10); code that reads it directly silently breaks when the word
       width or the layout changes.  Everything else goes through the
       typed API ([mem], [iter], [inter_into], [dense_bytes]).
+    - R12: no [Plan.owner_of], anywhere outside [lib/shard/].  Shard-id
+      arithmetic (which shard owns an object id) is the partition
+      contract of the scatter-gather router (DESIGN.md §12); a second
+      copy of the owner computation outside the shard layer drifts
+      silently when the policy or mixing function changes.  Callers
+      route placement through the [Kwsc_shard] API instead.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -54,12 +60,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R11"]. *)
+(** ["R1"] ... ["R12"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)

@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-smoke examples clean doc lint analyze audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-wide bench-smoke examples clean doc lint analyze audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -54,14 +54,25 @@ bench-flat:
 bench-snap:
 	dune exec bench/main.exe -- --only SNAP
 
-# CI sanity run: every experiment at tiny N (crash test, not measurement).
+# Hybrid containers vs sparse-only postings, gated on the committed
+# deterministic work-counter reference (±10%; the reference holds
+# smoke-footprint values, so the gate replays the experiment at smoke
+# size first, then the full measurement run writes BENCH_pr5.json).
+# Regenerate the reference with scripts/regen_cmp_ref.sh after an
+# intentional counter change.
 bench-cmp:
+	dune exec bench/main.exe -- --smoke --no-micro --only CMP --check-ref scripts/cmp_ref.txt
 	dune exec bench/main.exe -- --only CMP
 
 # Per-shard indexes behind the scatter-gather router vs the monolithic
 # index, answer-checked at K in {1,2,4,8} (writes BENCH_pr6.json).
 bench-shard:
 	dune exec bench/main.exe -- --only SHARD
+
+# 63-bit wide bitmap kernels vs an in-bench scalar 32-bit reference,
+# plus the end-to-end CMP rows on this build (writes BENCH_pr8.json).
+bench-wide:
+	dune exec bench/main.exe -- --only WIDE
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro

@@ -686,4 +686,5 @@ let all : (string * string * (unit -> unit)) list =
     ("SNAP", "Durable snapshots: load vs cold build, identical answers", Snapbench.run);
     ("CMP", "Hybrid containers vs sparse-only postings + planner equivalence", Cmpbench.run);
     ("SHARD", "Per-shard indexes + scatter-gather router vs monolithic", Shardbench.run);
+    ("WIDE", "63-bit wide bitmap kernels vs scalar 32-bit reference", Widebench.run);
   ]

@@ -1,0 +1,267 @@
+(* WIDE: the PR 8 63-bit wide bitmap kernels vs a scalar 32-bit
+   reference. No paper claim backs this experiment — the word widening
+   and eight-way unrolling (DESIGN.md §13) are implementation
+   optimisations — so it records raw numbers on two axes:
+
+   - kernel-level: the production dense kernels (AND-materialize,
+     AND-count, span membership probe) against in-bench scalar 32-bit
+     re-implementations of the PR 5 shape (one 32-bit word per
+     iteration, per-word popcount). Same machine, same run, same
+     inputs — a machine-independent speedup figure. Target >= 1.5x on
+     every dense row.
+   - end-to-end: the CMP dense/clustered/sparse/threshold rows replayed
+     through [Postings.query_into] on this build, so BENCH_pr8.json is
+     directly comparable with a BENCH_pr5.json measured on the same
+     host. Sparse rows are pure dispatch overhead; target <= 1.05x.
+
+   Checksums cross-check every timed pair — a wrong kernel fails the
+   run, it never just reports a fast number. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Ibuf = Kwsc_util.Ibuf
+module Wordops = Kwsc_util.Wordops
+module C = Kwsc_util.Container
+module Inverted = Kwsc_invindex.Inverted
+module Postings = Kwsc_invindex.Postings
+
+(* ------------------------------------------------------------------ *)
+(* Scalar 32-bit reference kernels (the PR 5 shape)                    *)
+(* ------------------------------------------------------------------ *)
+
+let words32 u = (u + 31) / 32
+
+let bitmap32 ~universe ids =
+  let w = Array.make (max 1 (words32 universe)) 0 in
+  Array.iter (fun x -> w.(x lsr 5) <- w.(x lsr 5) lor (1 lsl (x land 31))) ids;
+  w
+
+(* one word per iteration, SWAR popcount per word *)
+let and32_count a b =
+  let n = min (Array.length a) (Array.length b) in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    c := !c + Wordops.popcount (a.(i) land b.(i))
+  done;
+  !c
+
+(* one word per iteration, lowest-set-bit extraction *)
+let and32_into a b out =
+  let n = min (Array.length a) (Array.length b) in
+  for i = 0 to n - 1 do
+    let m = ref (a.(i) land b.(i)) in
+    while !m <> 0 do
+      let bit = !m land (- !m) in
+      Ibuf.push out ((i lsl 5) + Wordops.ntz bit);
+      m := !m lxor bit
+    done
+  done
+
+(* per-id 32-bit word probe of a sorted span against a bitmap *)
+let probe32_into span w out =
+  Array.iter (fun x -> if w.(x lsr 5) land (1 lsl (x land 31)) <> 0 then Ibuf.push out x) span
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Time [scalar] and [wide] (each returning an int checksum) over [iters]
+   inner repetitions, best of 5 outer reps; cross-check the checksums and
+   print one row. Returns (scalar_us, wide_us, checksum). *)
+let time_kernel ~label ~iters scalar wide =
+  let run f () =
+    let sum = ref 0 in
+    for _ = 1 to iters do
+      sum := f ()
+    done;
+    !sum
+  in
+  let s_sum, s_t = H.time_best ~reps:5 (run scalar) in
+  let w_sum, w_t = H.time_best ~reps:5 (run wide) in
+  if s_sum <> w_sum then
+    failwith (Printf.sprintf "WIDE: scalar/wide checksums disagree on %s (%d vs %d)" label s_sum w_sum);
+  let per t = t /. float_of_int iters *. 1e6 in
+  Printf.printf "  %-24s scalar32=%8.2fus  wide=%8.2fus  speedup=%5.2fx  (sum=%d)\n" label
+    (per s_t) (per w_t)
+    (per s_t /. per w_t)
+    s_sum;
+  (per s_t, per w_t, s_sum)
+
+(* sum of ids in a buffer — an order-sensitive-enough checksum for the
+   materializing kernels (both sides emit ascending ids) *)
+let sum_ibuf b =
+  let s = ref (Ibuf.length b) in
+  Ibuf.iter (fun x -> s := !s + x) b;
+  !s
+
+(* Pull the dense "hybrid_us_per_q" figure out of a BENCH_pr5.json
+   written by the CMP experiment on this host (our own fixed printf
+   format, so a plain substring scan suffices); None when the file is
+   absent, mode-mismatched or unparsable. *)
+let pr5_dense_us path ~smoke =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let find_from start key =
+      let rec scan i =
+        if i + String.length key > String.length s then None
+        else if String.sub s i (String.length key) = key then Some (i + String.length key)
+        else scan (i + 1)
+      in
+      scan start
+    in
+    let mode = if smoke then "\"smoke\": true" else "\"smoke\": false" in
+    match find_from 0 mode with
+    | None -> None
+    | Some _ -> (
+        match find_from 0 "\"dense\": {" with
+        | None -> None
+        | Some dense_at -> (
+            match find_from dense_at "\"hybrid_us_per_q\": " with
+            | None -> None
+            | Some j ->
+                let k = ref j in
+                while
+                  !k < String.length s
+                  && (match s.[!k] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+                do
+                  incr k
+                done;
+                float_of_string_opt (String.sub s j (!k - j))))
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  H.header "WIDE: 63-bit wide bitmap kernels vs scalar 32-bit reference"
+    "no claim (implementation optimisation); same answers, measured kernel speedups";
+  let n = H.sized (if !H.quick then 50_000 else 200_000) in
+  let iters = if !H.smoke then 20 else 200 in
+  let rng = Prng.create 0x81de in
+
+  (* Two dense sets at CMP's dense density (1/8 of the universe) and a
+     sparse probe span (1/100), over one universe. *)
+  let gen frac =
+    let b = Ibuf.create () in
+    for i = 0 to n - 1 do
+      if Prng.int rng frac = 0 then Ibuf.push b i
+    done;
+    Ibuf.to_array b
+  in
+  let a_ids = gen 8 and b_ids = gen 8 and span = gen 100 in
+  let ca = C.of_sorted_array ~universe:n (Array.copy a_ids) in
+  let cb = C.of_sorted_array ~universe:n (Array.copy b_ids) in
+  if C.kind ca <> C.Dense || C.kind cb <> C.Dense then
+    failwith "WIDE: the dense workload did not classify as Dense";
+  let wa = bitmap32 ~universe:n a_ids and wb = bitmap32 ~universe:n b_ids in
+  Printf.printf "  N=%d  |A|=%d  |B|=%d  |span|=%d  words32=%d  words63=%d\n" n
+    (Array.length a_ids) (Array.length b_ids) (Array.length span) (words32 n) (Wordops.nwords n);
+
+  let out = Ibuf.create () and tmp = Ibuf.create () in
+  let cnt_s, cnt_w, _ =
+    time_kernel ~label:"dense AND-count" ~iters
+      (fun () -> and32_count wa wb)
+      (fun () -> C.inter_card ca cb)
+  in
+  let and_s, and_w, _ =
+    time_kernel ~label:"dense AND-materialize" ~iters
+      (fun () ->
+        Ibuf.clear out;
+        and32_into wa wb out;
+        sum_ibuf out)
+      (fun () ->
+        Ibuf.clear out;
+        Ibuf.clear tmp;
+        C.inter_into ca cb out;
+        sum_ibuf out)
+  in
+  let pr_s, pr_w, _ =
+    time_kernel ~label:"span membership probe" ~iters
+      (fun () ->
+        Ibuf.clear out;
+        probe32_into span wb out;
+        sum_ibuf out)
+      (fun () ->
+        Ibuf.clear out;
+        C.inter_span_into span ~lo:0 ~hi:(Array.length span) cb out;
+        sum_ibuf out)
+  in
+  let kernel_speedup = min (cnt_s /. cnt_w) (and_s /. and_w) in
+  Printf.printf "  -> dense kernel speedup %.2fx (target >= 1.5x) %s\n" kernel_speedup
+    (if kernel_speedup >= 1.5 then "[OK]" else "[BELOW TARGET]");
+
+  (* End-to-end CMP rows on this build: sparse-only vs hybrid postings
+     through the full planner + container stack. *)
+  let nq = H.sized 512 in
+  let mrng = Prng.create 0xc39b (* CMP's seed: the same mixed workload *) in
+  let docs = Cmpbench.mixed_docs ~rng:mrng ~n in
+  let hybrid = Inverted.build docs in
+  let sparse = Inverted.build ~policy:Kwsc_util.Container.Sparse_only docs in
+  let hp = Inverted.postings hybrid and sp_pst = Inverted.postings sparse in
+  let pick arr = Array.init nq (fun i -> arr.(i mod Array.length arr)) in
+  let dense_pairs = pick [| [| 1; 2 |]; [| 2; 3 |]; [| 3; 4 |]; [| 1; 3 |]; [| 2; 4 |] |] in
+  let clustered_pairs = pick [| [| 11; 1 |]; [| 12; 2 |]; [| 13; 14 |]; [| 11; 12 |] |] in
+  let sparse_pairs =
+    Array.init nq (fun _ -> [| 21 + Prng.int mrng 100; 21 + Prng.int mrng 100 |])
+  in
+  let d_s, d_h, _ = Cmpbench.time_pair ~label:"dense x dense" ~nq sp_pst hp dense_pairs in
+  let c_s, c_h, _ = Cmpbench.time_pair ~label:"clustered / mixed" ~nq sp_pst hp clustered_pairs in
+  let sp_s, sp_h, _ = Cmpbench.time_pair ~label:"sparse x sparse" ~nq sp_pst hp sparse_pairs in
+  let tm = H.sized 100_000 in
+  let tobjs, tkws = H.threshold_workload ~rng:mrng ~m:tm ~k:2 ~d:2 ~range:1000.0 in
+  let tdocs = Array.map snd tobjs in
+  let th = Inverted.build tdocs in
+  let ts = Inverted.build ~policy:Kwsc_util.Container.Sparse_only tdocs in
+  let t_s, t_h, _ =
+    Cmpbench.time_pair ~label:"threshold workload" ~nq (Inverted.postings ts)
+      (Inverted.postings th) (pick [| tkws |])
+  in
+  let overhead = max (sp_h /. sp_s) (t_h /. t_s) in
+  Printf.printf "  -> sparse overhead %.2fx (target <= 1.05x) %s\n" overhead
+    (if overhead <= 1.05 then "[OK]" else "[ABOVE TARGET]");
+
+  (* Cross-file comparison against a same-host, same-mode BENCH_pr5.json
+     when one is lying around (informational — machines vary; the
+     in-bench scalar reference above is the stable figure). *)
+  let pr5 = pr5_dense_us "BENCH_pr5.json" ~smoke:!H.smoke in
+  (match pr5 with
+  | Some us when us > 0.0 ->
+      Printf.printf "  -> dense vs BENCH_pr5.json on this host: %.2fus -> %.2fus (%.2fx)\n" us d_h
+        (us /. d_h)
+  | _ -> Printf.printf "  (no comparable BENCH_pr5.json on this host; skipping cross-file row)\n");
+
+  if !H.smoke then Printf.printf "  (smoke run: numbers are crash-test only)\n";
+  let oc = open_out "BENCH_pr8.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"63-bit wide bitmap kernels vs scalar 32-bit reference\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"n\": %d,\n\
+    \  \"kernel\": {\n\
+    \    \"and_count\": {\"scalar32_us\": %.3f, \"wide_us\": %.3f, \"speedup\": %.3f},\n\
+    \    \"and_materialize\": {\"scalar32_us\": %.3f, \"wide_us\": %.3f, \"speedup\": %.3f},\n\
+    \    \"probe_span\": {\"scalar32_us\": %.3f, \"wide_us\": %.3f, \"speedup\": %.3f}\n\
+    \  },\n\
+    \  \"endtoend\": {\n\
+    \    \"dense\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"speedup\": %.3f},\n\
+    \    \"clustered\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"speedup\": \
+     %.3f},\n\
+    \    \"sparse\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"overhead\": %.3f},\n\
+    \    \"threshold\": {\"sparse_us_per_q\": %.3f, \"hybrid_us_per_q\": %.3f, \"overhead\": \
+     %.3f}\n\
+    \  },\n\
+    \  \"pr5_dense_hybrid_us_per_q\": %s,\n\
+    \  \"targets\": {\"dense_kernel_speedup_ge_1_5\": %b, \"sparse_overhead_le_1_05\": %b}\n\
+     }\n"
+    !H.smoke n cnt_s cnt_w (cnt_s /. cnt_w) and_s and_w (and_s /. and_w) pr_s pr_w (pr_s /. pr_w)
+    d_s d_h (d_s /. d_h) c_s c_h (c_s /. c_h) sp_s sp_h (sp_h /. sp_s) t_s t_h (t_h /. t_s)
+    (match pr5 with Some us -> Printf.sprintf "%.3f" us | None -> "null")
+    (kernel_speedup >= 1.5) (overhead <= 1.05);
+  close_out oc;
+  Printf.printf "  wrote BENCH_pr8.json\n"

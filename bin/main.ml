@@ -65,6 +65,25 @@ let apply_planner = function
   | Some v -> Kwsc_util.Planner.enabled := v
   | None -> ()
 
+(* --feedback=on|off: toggle the planner's observed-selectivity
+   correction (chain pricing against the pair cache's recorded
+   intersection cardinalities, DESIGN.md section 13). Defaults to the
+   KWSC_PLANNER_FEEDBACK environment setting; purely physical — answers
+   and work counters are identical either way. *)
+let feedback_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("on", true); ("off", false) ])) None
+    & info [ "feedback" ] ~docv:"on|off"
+        ~doc:
+          "Enable or disable the planner's observed-selectivity feedback \
+           (default: the KWSC_PLANNER_FEEDBACK environment variable, on when \
+           unset). Answers and work counters are identical either way.")
+
+let apply_feedback = function
+  | Some v -> Kwsc_util.Planner.feedback_enabled := v
+  | None -> ()
+
 (* --shards=K: partition the index across K shards behind the
    scatter-gather router (lib/shard, DESIGN.md section 12). Defaults to
    the KWSC_SHARDS environment setting; answers are identical at every
@@ -131,8 +150,9 @@ let generate_cmd =
 
 (* ---- rect ----------------------------------------------------------- *)
 
-let rect input k lo hi kws stats planner shards =
+let rect input k lo hi kws stats planner feedback shards =
   apply_planner planner;
+  apply_feedback feedback;
   let objs = load_objects input in
   let q = Rect.make (Array.of_list lo) (Array.of_list hi) in
   let ws = Array.of_list kws in
@@ -155,12 +175,15 @@ let rect_cmd =
   let hi = floats_arg [ "hi" ] "Y1,Y2,..." "Upper corner of the query rectangle." in
   Cmd.v
     (Cmd.info "rect" ~doc:"ORP-KW: rectangle + keywords (Theorem 1)" ~man:man_footer)
-    Term.(const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag $ planner_arg $ shards_arg)
+    Term.(
+      const rect $ input_arg $ k_arg $ lo $ hi $ kw_arg $ stats_flag $ planner_arg $ feedback_arg
+      $ shards_arg)
 
 (* ---- halfspace ------------------------------------------------------ *)
 
-let halfspace input k coeffs bound kws stats planner =
+let halfspace input k coeffs bound kws stats planner feedback =
   apply_planner planner;
+  apply_feedback feedback;
   let objs = load_objects input in
   let t = Kwsc.Lc_kw.build ~k objs in
   let h = Halfspace.make (Array.of_list coeffs) bound in
@@ -175,12 +198,15 @@ let halfspace_cmd =
   in
   Cmd.v
     (Cmd.info "halfspace" ~doc:"LC-KW: linear constraint + keywords (Theorem 5)" ~man:man_footer)
-    Term.(const halfspace $ input_arg $ k_arg $ coeffs $ bound $ kw_arg $ stats_flag $ planner_arg)
+    Term.(
+      const halfspace $ input_arg $ k_arg $ coeffs $ bound $ kw_arg $ stats_flag $ planner_arg
+      $ feedback_arg)
 
 (* ---- sphere --------------------------------------------------------- *)
 
-let sphere input k center radius kws stats planner =
+let sphere input k center radius kws stats planner feedback =
   apply_planner planner;
+  apply_feedback feedback;
   let objs = load_objects input in
   let t = Kwsc.Srp_kw.build ~k objs in
   let s = Sphere.make (Array.of_list center) radius in
@@ -195,12 +221,15 @@ let sphere_cmd =
   in
   Cmd.v
     (Cmd.info "sphere" ~doc:"SRP-KW: sphere + keywords (Corollary 6)" ~man:man_footer)
-    Term.(const sphere $ input_arg $ k_arg $ center $ radius $ kw_arg $ stats_flag $ planner_arg)
+    Term.(
+      const sphere $ input_arg $ k_arg $ center $ radius $ kw_arg $ stats_flag $ planner_arg
+      $ feedback_arg)
 
 (* ---- nn ------------------------------------------------------------- *)
 
-let nn input k metric point t' kws planner =
+let nn input k metric point t' kws planner feedback =
   apply_planner planner;
+  apply_feedback feedback;
   let objs = load_objects input in
   let q = Array.of_list point in
   let ws = Array.of_list kws in
@@ -231,7 +260,8 @@ let nn_cmd =
   let t' = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Number of neighbors.") in
   Cmd.v
     (Cmd.info "nn" ~doc:"Nearest neighbors + keywords (Corollaries 4 and 7)" ~man:man_footer)
-    Term.(const nn $ input_arg $ k_arg $ metric $ point $ t' $ kw_arg $ planner_arg)
+    Term.(
+      const nn $ input_arg $ k_arg $ metric $ point $ t' $ kw_arg $ planner_arg $ feedback_arg)
 
 (* ---- info ----------------------------------------------------------- *)
 
@@ -315,8 +345,9 @@ let require flag = function
       Printf.eprintf "kwsc load: --%s is required for this snapshot kind\n" flag;
       exit 2
 
-let load_impl snap input lo hi kws stats planner shards =
+let load_impl snap input lo hi kws stats planner feedback shards =
   apply_planner planner;
+  apply_feedback feedback;
   let kind = ok_or_die (Codec.peek_kind ~path:snap) in
   let kshards = resolve_shards shards in
   (* Only repartition when sharding was explicitly requested; a sharded
@@ -406,7 +437,9 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load a snapshot and query it (no rebuild)" ~man:man_footer)
-    Term.(const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg $ shards_arg)
+    Term.(
+      const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg $ feedback_arg
+      $ shards_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

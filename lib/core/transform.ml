@@ -1,7 +1,7 @@
 [@@@kwsc.domain_safe]
 
 module Doc = Kwsc_invindex.Doc
-module Bitset = Kwsc_util.Bitset
+module Container = Kwsc_util.Container
 
 type relation = Disjoint | Covered | Crossing
 
@@ -20,10 +20,22 @@ type 'cell node = {
   children : 'cell child array;
   large : (int, int) Hashtbl.t; (* keyword -> rank in [0, num_large) *)
   num_large : int;
-  materialized : (int, int array) Hashtbl.t;
+  (* materialized active sets D_u^act(w), one container per small
+     keyword over the object-id universe: dense sets live as packed
+     63-bit bitmaps and descend through the same planner-picked wide
+     kernels as the inverted index *)
+  materialized : (int, Container.t) Hashtbl.t;
 }
 
-and 'cell child = { node : 'cell node; nonempty : Bitset.t }
+(* [nonempty] is the k-dimensional child-emptiness array as a container
+   over the code universe [0, L^k); universe 0 is the ablation sentinel
+   ([use_bits:false] or the L^k cap), meaning "treat every code as
+   possibly non-empty" *)
+and 'cell child = { node : 'cell node; nonempty : Container.t }
+
+(* the one shared ablation sentinel: immutable, so every bit-less child
+   of every tree can point at the same value *)
+let ablated_bits = Container.of_sorted_array ~universe:0 [||]
 
 type params = { leaf_weight : int; tau_exponent : float; use_bits : bool }
 
@@ -103,11 +115,14 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
       ids;
     let tau = float_of_int n_u ** tau_exp in
     let large_kws = ref [] in
-    let materialized = Hashtbl.create 8 in
+    (* small keywords keep their raw id lists until the pivots are known;
+       they containerize (sorted, pivot-filtered) just before the node is
+       assembled *)
+    let small_raw = ref [] in
     Hashtbl.iter
       (fun w l ->
         if float_of_int (List.length !l) >= tau then large_kws := w :: !large_kws
-        else Hashtbl.add materialized w (Array.of_list !l))
+        else small_raw := (w, Array.of_list !l) :: !small_raw)
       lists;
     let large_sorted = List.sort Int.compare !large_kws in
     let num_large = List.length large_sorted in
@@ -129,17 +144,19 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
         leaf ()
       else begin
         (* the pivot scan already covers the node's own pivots: drop them
-           from the materialized sets so no object is reported twice *)
-        if Array.length pivots > 0 then begin
-          let is_pivot id = Array.exists (fun p -> p = id) pivots in
-          let filtered =
-            Hashtbl.fold
-              (fun w ids acc -> (w, Array.of_list (List.filter (fun id -> not (is_pivot id)) (Array.to_list ids))) :: acc)
-              materialized []
-          in
-          Hashtbl.reset materialized;
-          List.iter (fun (w, ids) -> Hashtbl.add materialized w ids) filtered
-        end;
+           from the materialized sets so no object is reported twice;
+           then containerize each set over the object-id universe *)
+        let keep =
+          if Array.length pivots = 0 then fun _ -> true
+          else fun id -> not (Array.exists (fun p -> p = id) pivots)
+        in
+        let materialized = Hashtbl.create (max 1 (List.length !small_raw)) in
+        List.iter
+          (fun (w, raw) ->
+            let ids = Array.of_list (List.filter keep (Array.to_list raw)) in
+            Array.sort Int.compare ids;
+            Hashtbl.add materialized w (Container.of_sorted_array ~universe:m ids))
+          !small_raw;
         (* candidate keywords below are those large here *)
         let child_candidates = Hashtbl.create (max 1 num_large) in
         List.iter (fun w -> Hashtbl.add child_candidates w ()) large_sorted;
@@ -156,38 +173,47 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
           then ipow num_large k
           else 0
         in
-        (* One pooled allocation backs the emptiness bits of all children
-           of this node; each child fills its own byte-aligned window.
-           Each child task touches only its own subtree, its own bitset
-           window and read-only parent state ([docs], [large], the
-           candidate table — fully populated before the fork), so heavy
-           nodes near the root fork their children into the pool; the
-           windows are disjoint byte ranges, and the structure is
-           identical at every pool size. *)
-        let bpool =
-          if bits_len > 0 then
-            Bitset.pool_create ~count:(Array.length nonempty_children) ~n:bits_len
-          else Bytes.empty
-        in
-        let build_child idx (ccell, cids) =
+        (* Each child owns its emptiness codes outright: the lit codes
+           collect into a private buffer, sort, dedup (distinct objects
+           can light the same code) and containerize over the code
+           universe [0, L^k) — mostly-full arrays become packed bitmaps,
+           sparse ones stay id arrays.  Each child task touches only its
+           own subtree, its own buffer and read-only parent state
+           ([docs], [large], the candidate table — fully populated before
+           the fork), so heavy nodes near the root fork their children
+           into the pool; the structure is identical at every pool
+           size. *)
+        let build_child (ccell, cids) =
           let node = build_node ccell cids child_candidates (depth + 1) in
           let nonempty =
-            if bits_len > 0 then Bitset.pool_view bpool ~index:idx ~n:bits_len
-            else Bitset.create 0
+            if bits_len = 0 then ablated_bits
+            else begin
+              let codes = Kwsc_util.Ibuf.create () in
+              Array.iter
+                (fun id ->
+                  let ranks = ref [] in
+                  Doc.iter
+                    (fun w ->
+                      match Hashtbl.find_opt large w with
+                      | Some r -> ranks := r :: !ranks
+                      | None -> ())
+                    docs.(id);
+                  let ranks = Array.of_list (List.sort Int.compare !ranks) in
+                  iter_combos ranks k num_large (fun code ->
+                      Kwsc_util.Ibuf.push codes code))
+                cids;
+              let a = Kwsc_util.Ibuf.sorted_array codes in
+              let u = ref 0 in
+              Array.iter
+                (fun c ->
+                  if !u = 0 || a.(!u - 1) <> c then begin
+                    a.(!u) <- c;
+                    incr u
+                  end)
+                a;
+              Container.of_sorted_array ~universe:bits_len (Array.sub a 0 !u)
+            end
           in
-          if bits_len > 0 then
-            Array.iter
-              (fun id ->
-                let ranks = ref [] in
-                Doc.iter
-                  (fun w ->
-                    match Hashtbl.find_opt large w with
-                    | Some r -> ranks := r :: !ranks
-                    | None -> ())
-                  docs.(id);
-                let ranks = Array.of_list (List.sort Int.compare !ranks) in
-                iter_combos ranks k num_large (fun code -> Bitset.set nonempty code))
-              cids;
           { node; nonempty }
         in
         let children =
@@ -196,8 +222,8 @@ let build ?(leaf_weight = 4) ?tau_exponent ?(use_bits = true) ?pool ~k ~space do
             && Array.length nonempty_children >= 2
           then
             Kwsc_util.Pool.fork_join_array pool
-              (Array.mapi (fun i c () -> build_child i c) nonempty_children)
-          else Array.mapi build_child nonempty_children
+              (Array.map (fun c () -> build_child c) nonempty_children)
+          else Array.map build_child nonempty_children
         in
         { cell; depth; n_u; pivot = pivots; children; large; num_large; materialized }
       end
@@ -238,6 +264,13 @@ let query_stats ?limit t q ws =
   (* flat accumulator: the hot loop pushes ids into one growable int
      buffer instead of consing a list *)
   let acc = Kwsc_util.Ibuf.create () in
+  (* scratch for planner-routed small-set intersections, warmed across
+     the whole traversal; plus the stand-in container for a small
+     keyword with no materialized set here (empty over the object-id
+     universe, so every container the planner sees agrees on it) *)
+  let ix_out = Kwsc_util.Ibuf.create () in
+  let ix_tmp = Kwsc_util.Ibuf.create () in
+  let empty_mat = Container.of_sorted_array ~universe:(Array.length t.docs) [||] in
   let report id =
     Kwsc_util.Ibuf.push acc id;
     st.Stats.reported <- st.Stats.reported + 1;
@@ -278,9 +311,10 @@ let query_stats ?limit t q ws =
         let code = Array.fold_left (fun c r -> (c * node.num_large) + r) 0 ranks in
         Array.iter
           (fun child ->
-            (* a zero-length bit array means the bits were ablated away
+            (* a zero-universe container means the bits were ablated away
                ([use_bits:false]): treat every child as possibly non-empty *)
-            if Bitset.length child.nonempty = 0 || Bitset.get child.nonempty code then begin
+            if Container.universe child.nonempty = 0 || Container.mem child.nonempty code
+            then begin
               if t.space.classify q child.node.cell = Disjoint then
                 st.Stats.pruned_geom <- st.Stats.pruned_geom + 1
               else visit child.node
@@ -289,27 +323,55 @@ let query_stats ?limit t q ws =
           node.children
       end
       else begin
-        (* scan the cheapest materialized set among the small keywords *)
-        let best = ref None in
+        (* Small keywords: gather their materialized containers (an
+           absent keyword contributes the empty set). The cheapest one
+           is what the historic path scans — and what [small_scanned]
+           has always counted — so both paths charge exactly its
+           cardinality. With the planner on and no early-exit limit,
+           the small sets intersect through the same cost-based
+           strategy choice and wide kernels as the inverted index, and
+           only the survivors reach the per-id check. Answer
+           equivalence: any reported id passes [doc_all], sits in this
+           node's active set and is not a pivot, so it belongs to
+           *every* small keyword's materialized set — pre-filtering the
+           scan by the other small containers cannot change the
+           reported set, and with no limit the report order cannot
+           matter (results are sorted at the end). *)
+        let n_small = ref 0 in
+        Array.iter (fun w -> if not (Hashtbl.mem node.large w) then incr n_small) ws;
+        assert (!n_small > 0) (* not all large implies some small keyword exists *);
+        let cs = Array.make !n_small empty_mat in
+        let j = ref 0 in
         Array.iter
           (fun w ->
             if not (Hashtbl.mem node.large w) then begin
-              let lst =
-                match Hashtbl.find_opt node.materialized w with Some a -> a | None -> [||]
-              in
-              match !best with
-              | None -> best := Some lst
-              | Some b -> if Array.length lst < Array.length b then best := Some lst
+              (match Hashtbl.find_opt node.materialized w with
+              | Some c -> cs.(!j) <- c
+              | None -> ());
+              incr j
             end)
           ws;
-        match !best with
-        | None -> assert false (* not all large implies some small keyword exists *)
-        | Some lst ->
-            Array.iter
-              (fun id ->
-                st.Stats.small_scanned <- st.Stats.small_scanned + 1;
-                if check id then report id)
-              lst
+        (* first minimum in keyword order — the historic tie-break *)
+        let bi = ref 0 in
+        for i = 1 to !n_small - 1 do
+          if Container.cardinality cs.(i) < Container.cardinality cs.(!bi) then bi := i
+        done;
+        let best = cs.(!bi) in
+        if !n_small >= 2 && limit = None && !Kwsc_util.Planner.enabled then begin
+          st.Stats.small_scanned <- st.Stats.small_scanned + Container.cardinality best;
+          (* rarest-first, the order Planner.choose prices a chain in *)
+          Array.sort
+            (fun a b -> Int.compare (Container.cardinality a) (Container.cardinality b))
+            cs;
+          Container.intersect_query (Kwsc_util.Planner.choose cs) cs ~out:ix_out ~tmp:ix_tmp;
+          Kwsc_util.Ibuf.iter (fun id -> if check id then report id) ix_out
+        end
+        else
+          Container.iter
+            (fun id ->
+              st.Stats.small_scanned <- st.Stats.small_scanned + 1;
+              if check id then report id)
+            best
       end
     end
   in
@@ -344,12 +406,24 @@ let fold_nodes t ~init ~f =
         pivot = Array.copy node.pivot;
         num_children = Array.length node.children;
         num_large = node.num_large;
-        materialized = Hashtbl.fold (fun w ids acc -> (w, ids) :: acc) node.materialized [];
+        materialized =
+          Hashtbl.fold
+            (fun w c acc -> (w, Container.to_sorted_array c) :: acc)
+            node.materialized [];
       }
     in
     Array.fold_left (fun acc child -> go acc child.node) (f acc view) node.children
   in
   go init t.root
+
+(* physical footprint of one container, in words: the id array when
+   sparse, the packed 63-bit words when dense, (start, length) pairs
+   when run-encoded *)
+let container_words c =
+  match Container.kind c with
+  | Container.Sparse -> Container.cardinality c
+  | Container.Dense -> Kwsc_util.Wordops.nwords (Container.universe c)
+  | Container.Runs -> 2 * Container.run_count c
 
 let space_stats t =
   let nodes = ref 0
@@ -364,11 +438,13 @@ let space_stats t =
     max_depth := max !max_depth node.depth;
     max_pivot := max !max_pivot (Array.length node.pivot);
     pivot_words := !pivot_words + Array.length node.pivot;
-    Hashtbl.iter (fun _ ids -> materialized_words := !materialized_words + 1 + Array.length ids) node.materialized;
+    Hashtbl.iter
+      (fun _ c -> materialized_words := !materialized_words + 1 + container_words c)
+      node.materialized;
     table_words := !table_words + node.num_large;
     Array.iter
       (fun child ->
-        bitset_words := !bitset_words + Bitset.words child.nonempty;
+        bitset_words := !bitset_words + container_words child.nonempty;
         go child.node)
       node.children
   in
@@ -435,29 +511,34 @@ let encode write_cell w t =
     let by_rank = Array.make u.num_large 0 in
     Hashtbl.iter (fun kw r -> by_rank.(r) <- kw) u.large;
     Array.iter (B.push larges) by_rank;
-    let mats = Hashtbl.fold (fun kw ids acc -> (kw, ids) :: acc) u.materialized [] in
+    let mats = Hashtbl.fold (fun kw c acc -> (kw, c) :: acc) u.materialized [] in
     let mats = List.sort (fun (a, _) (b, _) -> Int.compare a b) mats in
     mats_cnt.(i) <- List.length mats;
     List.iter
-      (fun (kw, ids) ->
+      (fun (kw, c) ->
         B.push mat_kws kw;
-        B.push mat_lens (Array.length ids);
-        (* materialized lists are sorted object ids: storing first-order
-           deltas keeps the column at byte width 1 for dense lists, where
-           raw ids would force width 3+ on every element *)
+        B.push mat_lens (Container.cardinality c);
+        (* materialized ids stream ascending out of the container:
+           storing first-order deltas keeps the column at byte width 1
+           for dense lists, where raw ids would force width 3+ on every
+           element *)
         let prev = ref 0 in
-        Array.iter
+        Container.iter
           (fun id ->
             B.push mat_ids (id - !prev);
             prev := id)
-          ids)
+          c)
       mats;
     child_cnt.(i) <- Array.length u.children;
-    (* a child's bitset precedes its whole subtree, as in the rebuild *)
+    (* A child's emptiness bits precede its whole subtree, as in the
+       rebuild. The container persists as its plain bitmap image —
+       byte-identical to the historical Bitset.to_bytes payload, with
+       the code universe in the length column (0 = ablated) — so the
+       snapshot format did not move when the bits became containers. *)
     Array.iter
       (fun c ->
-        B.push bit_lens (Bitset.length c.nonempty);
-        Buffer.add_bytes bits (Bitset.to_bytes c.nonempty);
+        B.push bit_lens (Container.universe c.nonempty);
+        Buffer.add_string bits (Container.bitmap_bytes c.nonempty);
         walk c.node)
       u.children
   in
@@ -514,9 +595,6 @@ let decode ~classify ~contains read_cell r =
   let child_cnt = col "child_cnt" (C.R.int_array r) in
   let bit_lens = C.R.int_array r in
   let bits = C.R.str r in
-  (* one shared backing store for every bitset: each child gets a
-     zero-copy byte-aligned view instead of its own Bytes allocation *)
-  let bits_shared = Bytes.of_string bits in
   if Array.length mat_kws <> Array.length mat_lens then
     C.corrupt "Transform: materialized keyword and length columns disagree";
   if Array.length bit_lens <> n_nodes - 1 then
@@ -529,7 +607,7 @@ let decode ~classify ~contains read_cell r =
      read these tables, so the sharing is unobservable — and it halves
      the allocation burst of a ~10^5-node rebuild. *)
   let empty_large : (int, int) Hashtbl.t = Hashtbl.create 1 in
-  let empty_mats : (int, int array) Hashtbl.t = Hashtbl.create 1 in
+  let empty_mats : (int, Container.t) Hashtbl.t = Hashtbl.create 1 in
   let slice src off len =
     if len < 0 || len > Array.length src - !off then
       C.corrupt "Transform: tree column cursor out of range";
@@ -563,13 +641,22 @@ let decode ~classify ~contains read_cell r =
           let m = !m_cur in
           incr m_cur;
           let ids = slice mat_ids mi_off mat_lens.(m) in
-          (* undo the delta encoding in place (the slice is fresh) *)
+          (* undo the delta encoding in place (the slice is fresh), then
+             sort: current snapshots store ascending ids (the sort is a
+             no-op pass), while historical ones recorded the build's
+             encounter order *)
           let acc = ref 0 in
           for j = 0 to Array.length ids - 1 do
             acc := !acc + ids.(j);
             ids.(j) <- !acc
           done;
-          Hashtbl.add h mat_kws.(m) ids
+          Array.sort Int.compare ids;
+          let c =
+            try Container.of_sorted_array ~universe:(Array.length docs) ids
+            with Invalid_argument _ ->
+              C.corrupt "Transform: malformed materialized id list"
+          in
+          Hashtbl.add h mat_kws.(m) c
         done;
         h
       end
@@ -597,7 +684,10 @@ let decode ~classify ~contains read_cell r =
     if nbits < 0 then C.corrupt "Transform: negative bitset length";
     let nbytes = (nbits + 7) / 8 in
     if nbytes > String.length bits - !b_off then C.corrupt "Transform: bitset bytes truncated";
-    let nonempty = Bitset.of_shared_bytes bits_shared ~off:!b_off ~n:nbits in
+    let nonempty =
+      try Container.of_bitmap_string ~universe:nbits bits ~off:!b_off
+      with Invalid_argument _ -> C.corrupt "Transform: malformed emptiness bitmap"
+    in
     b_off := !b_off + nbytes;
     let node = build () in
     { node; nonempty }

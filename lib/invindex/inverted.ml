@@ -80,26 +80,43 @@ let distinct_pair ws =
    computed, so answers are bitwise identical with the cache cold, warm,
    or disabled (--planner=off bypasses it entirely). Cache state is
    per-index and mutated here — batch queries (query_batch) bypass it, so
-   parallel shards never contend. *)
+   parallel shards never contend.
+
+   Every distinct-pair result that flows through here (cache hit, fresh
+   admission, or uncached) also lands in the cache's observed-selectivity
+   side table; queries of three or more distinct keywords read it back
+   through [observed_of] so the planner can correct its uncorrelated
+   chain pricing with the true cardinality of the two rarest keywords.
+   Strictly physical: the feedback changes strategy choices only, never
+   an answer, a logical counter, or the cache hit/miss sequence. *)
+let observed_of t w1 w2 = Isect_cache.observed t.cache w1 w2
+
 let query_cached t ~use_cache ws =
-  match if use_cache && Array.length ws > 0 then distinct_pair ws else None with
-  | Some (w1, w2) -> begin
+  match if Array.length ws > 0 then distinct_pair ws else None with
+  | Some (w1, w2) when use_cache -> begin
       (* the cache copies on both sides of its API (find returns a
          fresh array, store copies on admission), so no copies here *)
       match Isect_cache.find t.cache w1 w2 with
-      | Some ids -> ids
+      | Some ids ->
+          Isect_cache.observe t.cache w1 w2 (Array.length ids);
+          ids
       | None ->
           let r = Postings.query t.postings ws in
           Isect_cache.store t.cache w1 w2 r;
+          Isect_cache.observe t.cache w1 w2 (Array.length r);
           r
     end
-  | None -> Postings.query t.postings ws
+  | Some (w1, w2) ->
+      let r = Postings.query t.postings ws in
+      Isect_cache.observe t.cache w1 w2 (Array.length r);
+      r
+  | None -> Postings.query ~observed_of:(observed_of t) t.postings ws
 
 let query t ws =
   if Array.length ws = 0 || not !U.Planner.enabled then Postings.query t.postings ws
   else
     match distinct_pair ws with
-    | None -> Postings.query t.postings ws
+    | None -> Postings.query ~observed_of:(observed_of t) t.postings ws
     | Some (w1, w2) ->
         let cost = min (frequency t w1) (frequency t w2) in
         query_cached t ~use_cache:(cost > 0 && U.Planner.worth_caching ~n:t.n ~k:2 ~cost) ws

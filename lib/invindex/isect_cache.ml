@@ -26,9 +26,22 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Observed-selectivity side table (planner feedback): a direct-mapped
+     record of the last intersection cardinality seen per keyword pair,
+     three parallel int arrays, overwrite on collision. Deliberately
+     lossy — a stale or evicted observation only mis-prices a physical
+     strategy choice, never an answer — and deterministic: the slot is a
+     pure hash of the canonical pair, so identically-ordered query
+     streams leave identical tables. *)
+  obs_w1 : int array;
+  obs_w2 : int array;
+  obs_card : int array;
 }
 
 let default_capacity = 64
+
+(* power of two so the slot mask is a [land] *)
+let obs_slots = 128
 
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Isect_cache.create: capacity must be >= 1";
@@ -36,7 +49,10 @@ let create ?(capacity = default_capacity) () =
     used = 0;
     hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    obs_w1 = Array.make obs_slots (-1);
+    obs_w2 = Array.make obs_slots (-1);
+    obs_card = Array.make obs_slots (-1) }
 
 let capacity t = Array.length t.entries
 let hits t = t.hits
@@ -54,10 +70,29 @@ let reset t =
   t.used <- 0;
   t.hits <- 0;
   t.misses <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  Array.fill t.obs_w1 0 obs_slots (-1);
+  Array.fill t.obs_w2 0 obs_slots (-1);
+  Array.fill t.obs_card 0 obs_slots (-1)
 
 (* canonical key order so (a, b) and (b, a) share a slot *)
 let norm w1 w2 = if w1 <= w2 then (w1, w2) else (w2, w1)
+
+(* deterministic pair mix (Fibonacci-style multipliers; the wrap is
+   harmless, [land] keeps the slot in range) *)
+let obs_slot w1 w2 = ((w1 * 0x9e37_79b1) + (w2 * 0x85eb_ca77)) land (obs_slots - 1)
+
+let observe t w1 w2 card =
+  let w1, w2 = norm w1 w2 in
+  let i = obs_slot w1 w2 in
+  t.obs_w1.(i) <- w1;
+  t.obs_w2.(i) <- w2;
+  t.obs_card.(i) <- card
+
+let observed t w1 w2 =
+  let w1, w2 = norm w1 w2 in
+  let i = obs_slot w1 w2 in
+  if t.obs_w1.(i) = w1 && t.obs_w2.(i) = w2 then t.obs_card.(i) else -1
 
 let find t w1 w2 =
   let w1, w2 = norm w1 w2 in

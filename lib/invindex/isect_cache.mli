@@ -35,5 +35,15 @@ val misses : t -> int
 
 val evictions : t -> int
 
+val observe : t -> int -> int -> int -> unit
+(** [observe t w1 w2 card] records the observed intersection cardinality
+    of the (unordered) keyword pair in the direct-mapped selectivity
+    side table (planner feedback). Overwrites on slot collision; does
+    not touch the hit/miss counters. *)
+
+val observed : t -> int -> int -> int
+(** Last recorded intersection cardinality of the (unordered) pair, or
+    [-1] when the slot holds no (or another pair's) observation. *)
+
 val reset : t -> unit
-(** Drop all entries and zero the counters. *)
+(** Drop all entries and observations, and zero the counters. *)

@@ -96,11 +96,18 @@ let kind_counts t =
     t.containers;
   (!s, !d, !r)
 
+(* absent-feedback default: a top-level function, not a per-call
+   closure, so the no-feedback path stays allocation-free (A1) *)
+let default_observed _ _ = -1
+
 (* [query_into t ws out tmp] leaves the sorted intersection of all the
    keyword postings in [out] ([tmp] is scratch). Containers are ordered
    rarest-first by exact cardinality; the planner then picks the
-   physical strategy (chain / probe / word-AND). *)
-let query_into t ws out tmp =
+   physical strategy (chain / probe / word-AND), consulting
+   [observed_of w1 w2] — the observed intersection cardinality of the
+   two rarest keywords, or -1 — as a correlation correction on queries
+   of three or more distinct keywords (pair costs are exact already). *)
+let query_into ?(observed_of = default_observed) t ws out tmp =
   let k = Array.length ws in
   if k = 0 then invalid_arg "Postings.query_into: need at least one keyword";
   U.Ibuf.clear out;
@@ -134,10 +141,13 @@ let query_into t ws out tmp =
       end
     done;
     let cs = Array.init !kd (fun i -> t.containers.(ranks.(i))) in
-    U.Container.intersect_query (U.Planner.choose cs) cs ~out ~tmp
+    let observed =
+      if !kd >= 3 then observed_of t.vocab.(ranks.(0)) t.vocab.(ranks.(1)) else -1
+    in
+    U.Container.intersect_query (U.Planner.choose ~observed cs) cs ~out ~tmp
   end
 
-let query t ws =
+let query ?observed_of t ws =
   (* validate before sizing the buffers: an empty keyword set would fold
      the capacity to max_int and die inside Array.make instead of
      reporting the canonical contract violation *)
@@ -145,5 +155,5 @@ let query t ws =
   let cap = max 1 (Array.fold_left (fun acc w -> min acc (frequency t w)) max_int ws) in
   let out = U.Ibuf.create ~capacity:cap () in
   let tmp = U.Ibuf.create ~capacity:cap () in
-  query_into t ws out tmp;
+  query_into ?observed_of t ws out tmp;
   U.Ibuf.to_array out

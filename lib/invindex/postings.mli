@@ -80,7 +80,13 @@ val mem : t -> int -> int -> bool
 (** [mem t w id]: does keyword [w]'s posting contain [id]? O(log card)
     sparse, O(1) dense, O(log runs) run containers; no allocation. *)
 
-val query_into : t -> int array -> Kwsc_util.Ibuf.t -> Kwsc_util.Ibuf.t -> unit
+val query_into :
+  ?observed_of:(int -> int -> int) ->
+  t ->
+  int array ->
+  Kwsc_util.Ibuf.t ->
+  Kwsc_util.Ibuf.t ->
+  unit
 (** [query_into t ws out tmp] leaves the sorted id set of objects whose
     documents contain every keyword of [ws] in [out] ([tmp] is scratch;
     both are cleared first). Containers are ordered rarest-first by
@@ -96,7 +102,13 @@ val query_into : t -> int array -> Kwsc_util.Ibuf.t -> Kwsc_util.Ibuf.t -> unit
     empty, and the short-circuit answers OUT = 0 without touching any
     container. Answers and buffers are identical under every planner
     setting — the strategy changes only the physical kernel.
+
+    [?observed_of w1 w2] supplies the observed intersection cardinality
+    of the two rarest keywords (or -1 for none) — the selectivity
+    feedback {!Kwsc_util.Planner.choose} folds into its chain pricing on
+    queries of three or more distinct keywords. Purely physical: any
+    [observed_of] yields identical answers and logical counters.
     @raise Invalid_argument on an empty keyword set. *)
 
-val query : t -> int array -> int array
+val query : ?observed_of:(int -> int -> int) -> t -> int array -> int array
 (** Convenience wrapper around {!query_into} with throwaway buffers. *)

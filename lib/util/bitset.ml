@@ -32,18 +32,12 @@ let get t i =
   check t i;
   Char.code (Bytes.get t.bits (t.boff + (i lsr 3))) land (1 lsl (i land 7)) <> 0
 
-(* per-byte popcounts, filled once at module init *)
-let byte_popcount =
-  let tbl = Array.make 256 0 in
-  for b = 1 to 255 do
-    tbl.(b) <- tbl.(b lsr 1) + (b land 1)
-  done;
-  tbl
-
+(* per-byte popcounts come from the shared word-ops kernel module, so
+   this layer and Container's bitmap kernels cannot drift apart *)
 let popcount t =
   let c = ref 0 in
   for j = t.boff to t.boff + bytes_for t.n - 1 do
-    c := !c + byte_popcount.(Char.code (Bytes.get t.bits j))
+    c := !c + Wordops.byte_popcount.(Char.code (Bytes.get t.bits j))
   done;
   !c
 

@@ -1,8 +1,11 @@
 (** Hybrid posting containers (Roaring-style three-way dichotomy over flat
     int arrays): one keyword's sorted id set stored as a sorted array
-    (sparse), a packed 32-bit bitmap (dense), or (start, length) run
-    pairs (clustered), with the exact cardinality kept per container so
-    the cost-based planner never estimates.
+    (sparse), a packed bitmap of native 63-bit words (dense), or
+    (start, length) run pairs (clustered), with the exact cardinality
+    kept per container so the cost-based planner never estimates. The
+    dense kernels (AND, AND-count, span membership) walk the word banks
+    eight words per iteration; {!Wordops} owns the width constant and
+    the SWAR helpers.
 
     This module is a tagged query kernel (lint rule R9): no [Hashtbl], no
     list construction. All kernels append ascending ids into caller-owned
@@ -25,9 +28,6 @@ type strategy =
 
 type t
 
-val popcount32 : int -> int
-(** SWAR popcount of a 32-bit word. Bits above 31 must be clear. *)
-
 val dense_cutoff : int
 (** A set is bitmap-eligible when [card * dense_cutoff >= universe] (64:
     density at least 1/64, so the bitmap costs at most ~2 words/id). *)
@@ -39,7 +39,10 @@ val runs_cutoff : int
 val classify : policy:policy -> universe:int -> card:int -> nruns:int -> kind
 (** The layout [of_sorted_array] would pick: the smallest physical
     footprint among the eligible layouts (ties prefer [Sparse], then
-    [Runs]); [Sparse_only] always answers [Sparse]. *)
+    [Runs]); [Sparse_only] always answers [Sparse]. The dense footprint
+    term is frozen at the snapshot-v2 32-bit word count [(u + 31) / 32]
+    — kinds are stored in v2 snapshots and re-derived on load, so this
+    decision cannot move with the physical word width. *)
 
 val of_sorted_array : ?policy:policy -> universe:int -> int array -> t
 (** [of_sorted_array ~universe ids] classifies and packs a strictly
@@ -98,6 +101,11 @@ val inter_into : t -> t -> Ibuf.t -> unit
     bitmap×bitmap word-AND with bit extraction, run short-circuits. Both
     containers must share one universe. *)
 
+val inter_card : t -> t -> int
+(** Exact [|a ∩ b|] without materializing the result: dense×dense runs
+    the eight-wide AND-count kernel, every other pair probes the rarer
+    side's memberships against the other. *)
+
 val inter_span_into : int array -> lo:int -> hi:int -> t -> Ibuf.t -> unit
 (** Intersect the strictly increasing span [a.(lo) .. a.(hi - 1)] (ids
     within the container's universe) with a container — the chain step
@@ -116,11 +124,27 @@ val intersect_query : strategy -> t array -> out:Ibuf.t -> tmp:Ibuf.t -> unit
     produce a wrong answer. @raise Invalid_argument on an empty array. *)
 
 val unsafe_words : t -> int array
-(** The raw 32-bit word bank of a dense container ([[||]] otherwise),
+(** The raw 63-bit word bank of a dense container ([[||]] otherwise),
     aliased, not copied. Lint rule R11 bans touching this outside
     [lib/util/container.ml] — every legitimate word-level operation
     belongs in this module's kernels. *)
 
 val dense_bytes : t -> string
-(** Dense payload as packed bytes (see {!of_dense_bytes}).
+(** Dense payload as packed bytes (see {!of_dense_bytes}). The byte
+    layout is width-agnostic — bit [i] is bit [i land 7] of byte
+    [i lsr 3] regardless of the in-memory word size — so v2 snapshot
+    blobs survived the 32 -> 63 bit widening unchanged.
     @raise Invalid_argument unless [kind t = Dense]. *)
+
+val bitmap_bytes : t -> string
+(** The whole container as [(universe + 7) / 8] packed bitmap bytes,
+    any kind — byte-compatible with {!dense_bytes} and the historical
+    [Bitset.to_bytes] convention (the transform's emptiness arrays
+    persist through this). *)
+
+val of_bitmap_string : ?policy:policy -> universe:int -> string -> off:int -> t
+(** Rebuild a container from [(universe + 7) / 8] packed bitmap bytes of
+    [s] at [off], classifying the decoded set under [policy] (default
+    [Hybrid]).
+    @raise Invalid_argument if the slice falls outside [s] or bits at or
+    beyond the universe are set. *)

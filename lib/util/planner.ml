@@ -18,8 +18,20 @@
    - Probe: every id of the rarest container pays one membership test
      per other container: O(1) dense, O(log card) sparse, O(log runs)
      run containers.
-   - And_words: (k - 1) passes over universe/32 words; eligible only
+   - And_words: (k - 1) passes over universe/63 words; eligible only
      when every container is dense.
+
+   Selectivity feedback (KWSC_PLANNER_FEEDBACK, default on): the
+   uncorrelated model keeps pricing every chain step against the rarest
+   container's full scan length e0 — correct when sets are independent,
+   pessimistic when the first pair already collapses the running result.
+   When the caller has *observed* the rarest pair's true intersection
+   cardinality (the LFU pair cache sees exactly the hot pairs), [choose
+   ~observed] re-prices the chain's running accumulator as that observed
+   sorted-array length from step two onward. Still a purely physical
+   decision: feedback can flip Chain <-> Probe <-> And_words, never an
+   answer or a logical counter, so [feedback_enabled := false] is
+   bit-identical on every query.
 
    The same N^(1 - 1/k) threshold algebra as the transform's tau gates
    cache admission: only intersections at least as expensive as the
@@ -28,6 +40,12 @@
 let enabled =
   ref
     (match Sys.getenv_opt "KWSC_PLANNER" with
+    | Some ("off" | "0" | "false") -> false
+    | _ -> true)
+
+let feedback_enabled =
+  ref
+    (match Sys.getenv_opt "KWSC_PLANNER_FEEDBACK" with
     | Some ("off" | "0" | "false") -> false
     | _ -> true)
 
@@ -54,14 +72,14 @@ let chain_step short long =
   if short * 8 < long then short * ceil_log2 ((long / max 1 short) + 1) else short + long
 
 (* what the chain kernels physically walk: ids for sparse arrays, run
-   pairs for run containers, 32-bit words for bitmaps *)
+   pairs for run containers, 63-bit words for bitmaps *)
 let chain_len c =
   match Container.kind c with
   | Container.Sparse -> Container.cardinality c
   | Container.Runs -> 2 * Container.run_count c
-  | Container.Dense -> (Container.universe c + 31) lsr 5
+  | Container.Dense -> Wordops.nwords (Container.universe c)
 
-let choose cs =
+let choose ?(observed = -1) cs =
   let k = Array.length cs in
   if (not !enabled) || k <= 1 then Container.Chain
   else begin
@@ -70,15 +88,20 @@ let choose cs =
     let all_dense = ref (Container.kind cs.(0) = Container.Dense) in
     let u0 = Container.universe cs.(0) in
     let cost_chain = ref 0 and probe_units = ref 0 in
+    (* effective scan length of the chain's running accumulator: the
+       rarest container before step one, a sorted array of the observed
+       pair cardinality afterwards (when feedback has one to offer) *)
+    let run = ref e0 in
     for i = 1 to k - 1 do
       let ei = chain_len cs.(i) in
       if Container.kind cs.(i) <> Container.Dense || Container.universe cs.(i) <> u0 then
         all_dense := false;
-      cost_chain := !cost_chain + chain_step (min e0 ei) (max e0 ei);
+      cost_chain := !cost_chain + chain_step (min !run ei) (max !run ei);
+      if i = 1 && !feedback_enabled && observed >= 0 then run := observed;
       probe_units := !probe_units + probe_unit cs.(i)
     done;
     let cost_probe = c0 * !probe_units in
-    let cost_and = if !all_dense then (k - 1) * ((u0 + 31) lsr 5) else max_int in
+    let cost_and = if !all_dense then (k - 1) * Wordops.nwords u0 else max_int in
     if cost_and <= !cost_chain && cost_and <= cost_probe then Container.And_words
     else if cost_probe < !cost_chain then Container.Probe
     else Container.Chain

@@ -10,6 +10,13 @@ val enabled : bool ref
     {!choose} always answers [Chain] and {!worth_caching} always answers
     false. *)
 
+val feedback_enabled : bool ref
+(** Selectivity-feedback escape hatch, same convention, initialized from
+    [KWSC_PLANNER_FEEDBACK]. When false, {!choose} ignores its
+    [?observed] argument and prices chains with the uncorrelated PR 5
+    model. Feedback is a purely physical refinement — answers and
+    logical work counters are bit-identical either way. *)
+
 val tau : n:int -> k:int -> float
 (** The paper's N^(1 - 1/k) crossover threshold — the same algebra the
     transform uses for the large/small keyword dichotomy, reused here to
@@ -18,13 +25,20 @@ val tau : n:int -> k:int -> float
 val ceil_log2 : int -> int
 (** Smallest [b >= 1] with [2^b >= n] — the planner's integer log. *)
 
-val choose : Container.t array -> Container.strategy
+val choose : ?observed:int -> Container.t array -> Container.strategy
 (** [choose cs] picks the cheapest strategy for intersecting [cs]
     (ordered rarest-first, cardinalities exact): word-parallel AND when
     every container is dense over one universe and the word passes beat
     both alternatives, probing when the rarest cardinality times the
     per-container membership cost undercuts the adaptive chain, the
-    chain otherwise. Answers [Chain] when disabled or [k <= 1]. *)
+    chain otherwise. Answers [Chain] when disabled or [k <= 1].
+
+    [?observed] (default [-1] = unknown) is the observed intersection
+    cardinality of the two rarest containers, as recorded by the LFU
+    pair cache. When non-negative and {!feedback_enabled}, chain steps
+    after the first are priced against a running accumulator of that
+    length instead of the rarest container's full scan length —
+    correlation correction over the uncorrelated cost model. *)
 
 val worth_caching : n:int -> k:int -> cost:int -> bool
 (** Admission test for the materialized-intersection cache: only

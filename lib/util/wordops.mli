@@ -1,0 +1,29 @@
+(** Wide word primitives shared by every bitmap layer ({!Container}'s
+    dense kernels, {!Bitset}'s byte windows): native OCaml ints used as
+    63-bit unsigned bit banks. One kernel-tagged module owns the SWAR
+    tricks and the word-width constant, so the bitmap layers cannot
+    drift apart. *)
+
+val bits : int
+(** Payload bits per word (63: a native int minus the tag bit; bit 62
+    makes the int negative, which every operation here tolerates). *)
+
+val nwords : int -> int
+(** Words needed for a bank of that many bits. *)
+
+val div_bits : int -> int
+(** [div_bits x] is [x / bits] — magic-multiply division on the hot
+    range, exact for every non-negative [x]. *)
+
+val mod_bits : int -> int
+(** [mod_bits x] is [x mod bits] for non-negative [x]. *)
+
+val popcount : int -> int
+(** SWAR popcount of a 63-bit word (all 63 payload bits counted). *)
+
+val ntz : int -> int
+(** Number of trailing zeros of a non-zero word. *)
+
+val byte_popcount : int array
+(** [byte_popcount.(b)] is the popcount of byte value [b] (256 entries,
+    filled at module init). *)

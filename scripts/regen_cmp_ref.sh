@@ -1,0 +1,41 @@
+#!/bin/sh
+# Regenerate scripts/cmp_ref.txt — the deterministic work-counter
+# reference the CMP perf-regression gate (scripts/ci.sh, `make
+# bench-cmp`) checks against at ±10%.
+#
+# Run from the repo root after an *intentional* change to container
+# classification, the planner's strategy choices or the intersection
+# cache, and commit the result together with the change that moved the
+# counters. The gate replays the experiment in --smoke mode, so the
+# reference holds smoke-footprint values; timings are deliberately
+# absent — only exact counters are stable enough to gate on.
+set -eu
+
+out=scripts/cmp_ref.txt
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+dune exec bench/main.exe -- --smoke --no-micro --only CMP > "$tmp"
+
+{
+  cat <<'EOF'
+# Deterministic work counters from the CMP experiment in --smoke mode
+# (bench/cmpbench.ml; regenerate with scripts/regen_cmp_ref.sh).
+# scripts/ci.sh replays the experiment with
+#   dune exec bench/main.exe -- --smoke --no-micro --only CMP --check-ref scripts/cmp_ref.txt
+# and fails on more than 10% drift in any counter — a cheap guard
+# against silent regressions in container classification, the planner's
+# strategy choices or the intersection cache. Timings are deliberately
+# absent: only exact work counters are stable enough to gate on.
+EOF
+  # the "work counters" block: indented "key value" lines after the
+  # header line, up to the first line that is not of that shape
+  awk '/work counters \(scripts\/cmp_ref.txt format\):/ { on = 1; next }
+       on && NF == 2 && $2 ~ /^-?[0-9]+$/ { print $1, $2; next }
+       on { exit }' "$tmp"
+} > "$out"
+
+# a regenerated reference must gate its own run cleanly
+dune exec bench/main.exe -- --smoke --no-micro --only CMP --check-ref "$out" > /dev/null
+echo "regenerated $out:"
+cat "$out"

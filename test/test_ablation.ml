@@ -59,18 +59,21 @@ let test_bits_prune_disjoint () =
     (Kwsc.Stats.work st_with * 4 < Kwsc.Stats.work st_without)
 
 (* The threshold 1 - 1/k trades query work against bit-array space:
-   tau = 0 (everything large) minimizes work but blows up the k-dimensional
-   bit arrays to vocab^k per node; tau = 1 (everything small) stores no bits
+   tau = 0 (everything large) blows the k-dimensional emptiness arrays up
+   to vocab^k codes per node; tau = 1 (everything small) stores no bits
    but pays full list scans. The default must sit between the extremes on
-   both axes. *)
+   both axes. The emptiness arrays live as containers now, so an array
+   with no lit codes costs nothing regardless of its code universe — the
+   filler docs carry two keywords each so tau = 0 genuinely lights a code
+   per doc and pays for it. *)
 let test_tau_default_tradeoff () =
   let m = 4096 in
   let f = max 1 (int_of_float (sqrt (float_of_int m)) - 1) in
-  (* wide vocabulary of filler keywords makes the tau=0 bit arrays heavy *)
+  (* wide vocabulary of filler keyword pairs makes the tau=0 code sets heavy *)
   let docs =
     Array.init m (fun i ->
         if i < 2 * f then Kwsc_invindex.Doc.of_list [ 1 + (i / f) ]
-        else Kwsc_invindex.Doc.of_list [ 3 + (i mod 300) ])
+        else Kwsc_invindex.Doc.of_list [ 3 + (i mod 300); 303 + (i mod 301) ])
   in
   let build tau = Kwsc.Ksi.of_docs ~tau_exponent:tau ~k:2 docs in
   let work t =

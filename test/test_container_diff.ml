@@ -156,6 +156,102 @@ let qcheck_strategies =
         [ `Auto; `Forced; `Forced ];
       true)
 
+(* ---------- wide-kernel word boundaries (PR 8) ---------- *)
+
+(* universes straddling the 63-bit word edge (62/63/64), the two-word
+   edge (126/127) and the eight-word unroll stride 63 * 8 = 504
+   (503/504/505): every kernel — membership, pairwise intersection,
+   AND-count, span probing — must agree with the sorted-array reference
+   on both sides of each boundary, for every kind pair. *)
+let wide_universes = [ 62; 63; 64; 126; 127; 503; 504; 505 ]
+
+let test_wide_boundaries () =
+  let rng = Prng.create 0x3f in
+  List.iter
+    (fun universe ->
+      (* adversarial sets for the last-word masks alongside the random
+         shapes: empty, full, and the single topmost id *)
+      let extremes =
+        [ [||]; Array.init universe (fun i -> i); [| universe - 1 |] ]
+      in
+      let randoms =
+        List.concat_map
+          (fun shape -> [ gen_set rng ~universe ~shape ])
+          [ `Sparse; `Dense; `Clustered ]
+      in
+      let sets = extremes @ randoms in
+      List.iter
+        (fun a_ids ->
+          let cas = containers_of rng ~universe a_ids in
+          check_one_set a_ids cas ~universe;
+          List.iter
+            (fun b_ids ->
+              let cbs = containers_of rng ~universe b_ids in
+              let want_i = ref_inter a_ids b_ids in
+              let want_card = List.length want_i in
+              let out = Ibuf.create () in
+              List.iter
+                (fun ca ->
+                  List.iter
+                    (fun cb ->
+                      Ibuf.clear out;
+                      C.inter_into ca cb out;
+                      Alcotest.(check (list int)) "inter_into" want_i
+                        (Array.to_list (Ibuf.to_array out));
+                      Ibuf.clear out;
+                      C.inter_span_into a_ids ~lo:0 ~hi:(Array.length a_ids) cb out;
+                      Alcotest.(check (list int)) "inter_span_into" want_i
+                        (Array.to_list (Ibuf.to_array out));
+                      Alcotest.(check int) "inter_card" want_card (C.inter_card ca cb);
+                      Alcotest.(check int) "inter_card commutes" want_card
+                        (C.inter_card cb ca))
+                    cbs)
+                cas)
+            sets)
+        sets)
+    wide_universes
+
+(* ---------- feedback never changes an answer (PR 8) ---------- *)
+
+(* Whatever the observed pair cardinality — absent, zero, tiny, or a lie
+   larger than any input — the planner's pick still computes the exact
+   intersection, with feedback enabled and disabled. *)
+let qcheck_feedback_identity =
+  QCheck.Test.make ~count:40 ~name:"selectivity feedback changes only the strategy"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prng.create (0xfeed + seed) in
+      let universe = 24 + Prng.int rng 500 in
+      let k = 2 + Prng.int rng 3 in
+      let idss =
+        List.init k (fun _ -> gen_set rng ~universe ~shape:shapes.(Prng.int rng 4))
+      in
+      let want = ref_inter_all idss in
+      let cs =
+        Array.of_list
+          (List.map (fun ids -> C.of_sorted_array ~universe (Array.copy ids)) idss)
+      in
+      Array.sort (fun a b -> Int.compare (C.cardinality a) (C.cardinality b)) cs;
+      let module P = Kwsc_util.Planner in
+      let saved = !P.feedback_enabled in
+      Fun.protect
+        ~finally:(fun () -> P.feedback_enabled := saved)
+        (fun () ->
+          let out = Ibuf.create () and tmp = Ibuf.create () in
+          List.iter
+            (fun fb ->
+              P.feedback_enabled := fb;
+              List.iter
+                (fun observed ->
+                  C.intersect_query (P.choose ~observed cs) cs ~out ~tmp;
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "feedback=%b observed=%d" fb observed)
+                    want
+                    (Array.to_list (Ibuf.to_array out)))
+                [ -1; 0; 1; C.cardinality cs.(0); universe ])
+            [ true; false ]);
+      true)
+
 (* ---------- classification thresholds ---------- *)
 
 (* card * dense_cutoff >= universe gates dense *eligibility*; the chosen
@@ -236,12 +332,65 @@ let test_codec_surfaces () =
   Alcotest.(check (list int)) "dense_bytes round trip" (Array.to_list ids)
     (Array.to_list (C.to_sorted_array d'))
 
+(* v2 snapshots persist sets as packed bitmap bytes and re-derive the
+   layout on load: whatever kind a set was encoded from, decoding yields
+   the same ids and the same kind a fresh hybrid build would pick — the
+   blob format is width-agnostic, so the 63-bit widening reads old bytes
+   unchanged. Exercised across the word/stride boundary universes. *)
+let test_bitmap_reclassify_roundtrip () =
+  let rng = Prng.create 0xb17 in
+  List.iter
+    (fun universe ->
+      List.iter
+        (fun ids ->
+          let auto = C.of_sorted_array ~universe (Array.copy ids) in
+          List.iter
+            (fun k ->
+              let c = C.of_sorted_array_kind k ~universe (Array.copy ids) in
+              let s = C.bitmap_bytes c in
+              Alcotest.(check int) "blob length" ((universe + 7) / 8) (String.length s);
+              (* encoding is kind-independent: same set, same bytes *)
+              Alcotest.(check string) "blob kind-independent" (C.bitmap_bytes auto) s;
+              let c' = C.of_bitmap_string ~universe s ~off:0 in
+              Alcotest.(check (list int)) "bitmap round trip" (Array.to_list ids)
+                (Array.to_list (C.to_sorted_array c'));
+              Alcotest.(check bool) "reclassified on load" true (C.kind c' = C.kind auto);
+              (* decode from a nonzero offset inside a larger blob *)
+              let c_off = C.of_bitmap_string ~universe ("\xff" ^ s ^ "\xff") ~off:1 in
+              Alcotest.(check (list int)) "offset decode" (Array.to_list ids)
+                (Array.to_list (C.to_sorted_array c_off));
+              (* the Sparse_only policy survives the round trip too *)
+              let c_sp = C.of_bitmap_string ~policy:C.Sparse_only ~universe s ~off:0 in
+              Alcotest.(check bool) "Sparse_only decode stays sparse" true
+                (C.kind c_sp = C.Sparse))
+            forced_kinds;
+          (* dense byte payloads spill across the 63-bit words on decode *)
+          let d = C.of_sorted_array_kind C.Dense ~universe (Array.copy ids) in
+          let d' =
+            C.of_dense_bytes ~universe ~card:(Array.length ids) (C.dense_bytes d) ~off:0
+          in
+          Alcotest.(check (list int)) "dense bytes at the boundary" (Array.to_list ids)
+            (Array.to_list (C.to_sorted_array d')))
+        [
+          [||];
+          Array.init universe (fun i -> i);
+          [| universe - 1 |];
+          gen_set rng ~universe ~shape:`Clustered;
+          gen_set rng ~universe ~shape:`Dense;
+          gen_set rng ~universe ~shape:`Sparse;
+        ])
+    wide_universes
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_container_diff;
     QCheck_alcotest.to_alcotest qcheck_strategies;
+    Alcotest.test_case "wide kernels at the word boundaries" `Quick test_wide_boundaries;
+    QCheck_alcotest.to_alcotest qcheck_feedback_identity;
     Alcotest.test_case "dense threshold flips the layout" `Quick test_dense_threshold;
     Alcotest.test_case "runs threshold flips the layout" `Quick test_runs_threshold;
     Alcotest.test_case "Sparse_only policy never promotes" `Quick test_sparse_only_policy;
     Alcotest.test_case "encode surfaces round trip" `Quick test_codec_surfaces;
+    Alcotest.test_case "bitmap blobs reclassify on load" `Quick
+      test_bitmap_reclassify_roundtrip;
   ]

@@ -452,6 +452,141 @@ let test_cache_alignment () =
         (!hits, !misses))
     shard_counts
 
+(* ------------------------------------------------------------------ *)
+(* Planner & feedback are purely physical: nothing observable moves    *)
+(* across planner on/off × feedback on/off × K ∈ {1, 4} (PR 8).        *)
+(* ------------------------------------------------------------------ *)
+
+let with_planner ~planner ~feedback f =
+  let module P = Kwsc_util.Planner in
+  let sp = !P.enabled and sf = !P.feedback_enabled in
+  P.enabled := planner;
+  P.feedback_enabled := feedback;
+  Fun.protect
+    ~finally:(fun () ->
+      P.enabled := sp;
+      P.feedback_enabled := sf)
+    f
+
+let grid =
+  [ (true, true); (true, false); (false, true); (false, false) ]
+
+let grid_shards = [ 1; 4 ]
+
+(* Inverted surface: answers and reported counts identical everywhere;
+   the LFU cache hit/miss sequence identical across feedback on/off (the
+   feedback side table never steers admission); planner off bypasses the
+   cache entirely — the PR 3 contract — so its counters pin at zero. *)
+let test_inverted_planner_grid () =
+  let pool = pool1 () in
+  let rng = Prng.create 47 in
+  (* small vocab + many docs: pairs clear the tau admission threshold,
+     triples consult the observations those pairs record *)
+  let docs = random_docs rng 300 24 in
+  let queries =
+    Array.init 80 (fun _ ->
+        let a = 1 + Prng.int rng 24 and b = 1 + Prng.int rng 24 and c = 1 + Prng.int rng 24 in
+        match Prng.int rng 4 with
+        | 0 -> [| a |]
+        | 1 | 2 -> if a = b then [| a |] else [| a; b |]
+        | _ -> [| a; b; c |])
+  in
+  let run ~planner ~feedback shards =
+    with_planner ~planner ~feedback (fun () ->
+        let t =
+          S.Inverted.build ~pool ~plan:(Plan.Hash, shards) Kwsc_util.Container.Hybrid docs
+        in
+        Array.map
+          (fun ws ->
+            let got, st = S.Inverted.query_stats ~pool t ws in
+            (Array.to_list got, st.Stats.reported, st.Stats.cache_hits, st.Stats.cache_misses))
+          queries)
+  in
+  List.iter
+    (fun shards ->
+      (* per-K reference: feedback on, the session default *)
+      let base = run ~planner:true ~feedback:true shards in
+      List.iter
+        (fun (planner, feedback) ->
+          let what = Printf.sprintf "inv planner=%b feedback=%b K=%d" planner feedback shards in
+          let got = run ~planner ~feedback shards in
+          Array.iteri
+            (fun i (ga, gr, gh, gm) ->
+              let ea, er, eh, em = base.(i) in
+              Alcotest.(check (list int)) (what ^ ": answers") ea ga;
+              Alcotest.(check int) (what ^ ": reported") er gr;
+              if planner then begin
+                Alcotest.(check int) (what ^ ": cache_hits") eh gh;
+                Alcotest.(check int) (what ^ ": cache_misses") em gm
+              end
+              else begin
+                Alcotest.(check int) (what ^ ": planner off bypasses the cache") 0 gh;
+                Alcotest.(check int) (what ^ ": planner off bypasses the cache") 0 gm
+              end)
+            got)
+        grid;
+      (* the cache genuinely ran in the reference configuration *)
+      let th = Array.fold_left (fun acc (_, _, h, _) -> acc + h) 0 base in
+      let tm = Array.fold_left (fun acc (_, _, _, m) -> acc + m) 0 base in
+      Alcotest.(check bool)
+        (Printf.sprintf "K=%d: the sequence exercises the cache" shards)
+        true (th > 0 && tm > 0))
+    grid_shards
+
+(* ORP-KW over the transform: full logical counter equality across the
+   whole grid — the planner and its feedback reroute tree-descent
+   intersections through different kernels, but every Stats field,
+   including small_scanned and the work total, stays bit-identical. *)
+let test_orp_planner_grid () =
+  let pool = pool1 () in
+  let rng = Prng.create 53 in
+  let vocab = 10 in
+  let objs = Helpers.dataset ~seed:59 ~vocab ~n:120 ~d:2 () in
+  let queries =
+    Array.init 10 (fun _ ->
+        (Helpers.random_rect rng ~d:2 ~range:1000.0, Helpers.random_keywords rng ~vocab ~k:2))
+  in
+  let run ~planner ~feedback shards =
+    with_planner ~planner ~feedback (fun () ->
+        let t = S.Orp.build ~pool ~plan:(Plan.Hash, shards) 2 objs in
+        Array.map
+          (fun q ->
+            let got, st = S.Orp.query_stats ~pool t q in
+            (Array.to_list got, st))
+          queries)
+  in
+  (* every logical field; alloc_words is excluded — it measures physical
+     GC words, which the strategy choice legitimately moves *)
+  let check_logical_eq what (a : Stats.query) (b : Stats.query) =
+    let ck field va vb = Alcotest.(check int) (what ^ ": " ^ field) va vb in
+    ck "nodes_visited" a.Stats.nodes_visited b.Stats.nodes_visited;
+    ck "covered_nodes" a.Stats.covered_nodes b.Stats.covered_nodes;
+    ck "crossing_nodes" a.Stats.crossing_nodes b.Stats.crossing_nodes;
+    ck "pivot_checked" a.Stats.pivot_checked b.Stats.pivot_checked;
+    ck "small_scanned" a.Stats.small_scanned b.Stats.small_scanned;
+    ck "pruned_empty" a.Stats.pruned_empty b.Stats.pruned_empty;
+    ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
+    ck "reported" a.Stats.reported b.Stats.reported;
+    ck "cache_hits" a.Stats.cache_hits b.Stats.cache_hits;
+    ck "cache_misses" a.Stats.cache_misses b.Stats.cache_misses;
+    ck "work" (Stats.work a) (Stats.work b)
+  in
+  List.iter
+    (fun shards ->
+      let base = run ~planner:true ~feedback:true shards in
+      List.iter
+        (fun (planner, feedback) ->
+          let what = Printf.sprintf "orp planner=%b feedback=%b K=%d" planner feedback shards in
+          let got = run ~planner ~feedback shards in
+          Array.iteri
+            (fun i (ga, gst) ->
+              let ea, est = base.(i) in
+              Alcotest.(check (list int)) (what ^ ": answers") ea ga;
+              check_logical_eq what est gst)
+            got)
+        grid)
+    grid_shards
+
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
   [
@@ -464,4 +599,7 @@ let suite =
     Alcotest.test_case "degenerate plans (K > n, n = 1)" `Quick test_degenerate;
     Alcotest.test_case "shard caches align with the unsharded cache" `Quick
       test_cache_alignment;
+    Alcotest.test_case "planner/feedback grid: inverted observables" `Quick
+      test_inverted_planner_grid;
+    Alcotest.test_case "planner/feedback grid: ORP counters" `Quick test_orp_planner_grid;
   ]

@@ -227,23 +227,57 @@ let test_zipf_memoized () =
       (Zipf.sample b r2)
   done
 
-(* ---------- Container.popcount32 ---------- *)
+(* ---------- Wordops: the shared 63-bit word kernels ---------- *)
 
-let test_popcount32 () =
+let test_wordops () =
   let naive w =
     let c = ref 0 in
-    for b = 0 to 31 do
+    for b = 0 to 62 do
       if w land (1 lsl b) <> 0 then incr c
     done;
     !c
   in
-  Alcotest.(check int) "zero" 0 (Container.popcount32 0);
-  Alcotest.(check int) "all ones" 32 (Container.popcount32 0xFFFFFFFF);
-  Alcotest.(check int) "single high bit" 1 (Container.popcount32 0x80000000);
+  Alcotest.(check int) "zero" 0 (Wordops.popcount 0);
+  Alcotest.(check int) "max_int" 62 (Wordops.popcount max_int);
+  Alcotest.(check int) "all 63 bits" 63 (Wordops.popcount (-1));
+  Alcotest.(check int) "single top bit" 1 (Wordops.popcount (1 lsl 62));
+  Alcotest.(check int) "ntz of bit 0" 0 (Wordops.ntz 1);
+  Alcotest.(check int) "ntz of the lone top bit" 62 (Wordops.ntz (1 lsl 62));
   let rng = Prng.create 0xbeef in
   for _ = 1 to 500 do
-    let w = Prng.int rng 0x40000000 lor (Prng.int rng 4 lsl 30) in
-    Alcotest.(check int) "matches naive" (naive w) (Container.popcount32 w)
+    let w =
+      Prng.int rng 0x4000_0000
+      lor (Prng.int rng 0x4000_0000 lsl 30)
+      lor (Prng.int rng 8 lsl 60)
+    in
+    Alcotest.(check int) "popcount matches naive" (naive w) (Wordops.popcount w);
+    if w <> 0 then begin
+      let b = ref 0 in
+      while w land (1 lsl !b) = 0 do
+        incr b
+      done;
+      Alcotest.(check int) "ntz matches naive" !b (Wordops.ntz w)
+    end
+  done;
+  (* division by the word width: exact through the magic-multiply range
+     and total (hardware fallback) beyond it *)
+  Alcotest.(check int) "word width" 63 Wordops.bits;
+  List.iter
+    (fun x ->
+      Alcotest.(check int) (Printf.sprintf "div_bits %d" x) (x / 63) (Wordops.div_bits x);
+      Alcotest.(check int) (Printf.sprintf "mod_bits %d" x) (x mod 63) (Wordops.mod_bits x))
+    [ 0; 1; 62; 63; 64; 125; 126; 4095; 4096; 1_999_999_999; 2_000_000_000;
+      2_000_000_001; 3_000_000_000; max_int / 63; max_int ];
+  for _ = 1 to 500 do
+    let x = Prng.int rng 0x3fff_ffff lor (Prng.int rng 2 lsl 30) in
+    Alcotest.(check int) "div_bits random" (x / 63) (Wordops.div_bits x)
+  done;
+  List.iter
+    (fun (u, w) ->
+      Alcotest.(check int) (Printf.sprintf "nwords %d" u) w (Wordops.nwords u))
+    [ (0, 0); (1, 1); (62, 1); (63, 1); (64, 2); (126, 2); (127, 3); (4096, 66) ];
+  for b = 0 to 255 do
+    Alcotest.(check int) "byte popcount table" (naive b) Wordops.byte_popcount.(b)
   done
 
 (* ---------- Ibuf.reserve ---------- *)
@@ -328,10 +362,10 @@ let strategy_name = function
   | Container.Probe -> "Probe"
   | Container.And_words -> "And_words"
 
-let check_strategy msg expected cs =
+let check_strategy ?observed msg expected cs =
   Alcotest.(check string)
     msg (strategy_name expected)
-    (strategy_name (Planner.choose cs))
+    (strategy_name (Planner.choose ?observed cs))
 
 let test_planner_gates () =
   with_planner_enabled (fun () ->
@@ -399,7 +433,8 @@ let test_planner_chain_probe_boundary () =
 let test_planner_dense_probe () =
   with_planner_enabled (fun () ->
       (* Dense probe targets cost one unit each: probe = 4 * 2 = 8 beats
-         chain = 2 * (4 * ceil_log2 33) = 48. The sparse driver disables
+         chain = 2 * (4 * ceil_log2 (66/4 + 1)) = 40 (a dense chain side
+         walks its 66 63-bit words). The sparse driver disables
          And_words despite two dense inputs. *)
       let cs =
         [| forced Container.Sparse ~universe:4096 4;
@@ -411,27 +446,66 @@ let test_planner_dense_probe () =
 let test_planner_and_words_boundary () =
   with_planner_enabled (fun () ->
       let u = 4096 in
-      (* All dense over one universe of 128 words: cost_and = 2*128 =
-         256, chain = 2*256 = 512. Probe = c0 * 2 crosses 256 exactly at
-         c0 = 128; ties go to And_words. *)
+      (* All dense over one universe of ceil(4096/63) = 66 words:
+         cost_and = 2*66 = 132, chain = 2*(66+66) = 264. Probe = c0 * 2
+         crosses 132 exactly at c0 = 66; ties go to And_words. (At the
+         old 32-bit width this crossover sat at c0 = 128 — the word
+         widening moved it, which is exactly what this pin watches.) *)
       let all_dense c0 =
         [| forced Container.Dense ~universe:u c0;
            forced Container.Dense ~universe:u 2048;
            forced Container.Dense ~universe:u 2048 |]
       in
       check_strategy "tie prefers and-words" Container.And_words
-        (all_dense 128);
+        (all_dense 66);
       check_strategy "one id cheaper flips to probe" Container.Probe
-        (all_dense 127);
+        (all_dense 65);
       (* Same shape but one universe differs: the AND gate closes and the
-         former tie falls through to probe. *)
+         former tie falls through to probe (probe 132 beats the chain's
+         132 + step(66, 131) = 329). *)
       let mixed =
-        [| forced Container.Dense ~universe:u 128;
+        [| forced Container.Dense ~universe:u 66;
            forced Container.Dense ~universe:u 2048;
            forced Container.Dense ~universe:8192 4096 |]
       in
       check_strategy "universe mismatch closes the AND gate" Container.Probe
         mixed)
+
+(* Selectivity feedback: [choose ~observed] re-prices the chain's running
+   accumulator from step two on. Each case sits one unit either side of
+   the Chain <-> Probe crossover so any drift in how the observation
+   enters the model fails here. *)
+let test_planner_feedback_boundary () =
+  with_planner_enabled (fun () ->
+      let saved = !Planner.feedback_enabled in
+      Planner.feedback_enabled := true;
+      Fun.protect
+        ~finally:(fun () -> Planner.feedback_enabled := saved)
+        (fun () ->
+          let u = 100_000 in
+          let cs =
+            [| forced Container.Sparse ~universe:u 10;
+               forced Container.Sparse ~universe:u 80;
+               forced Container.Sparse ~universe:u 80 |]
+          in
+          (* Uncorrelated model: chain = 2 * (10+80) = 180, probe =
+             10 * (7+7) = 140 -> Probe. *)
+          check_strategy "no observation keeps probe" Container.Probe cs;
+          Alcotest.(check string)
+            "observed = -1 is a non-observation" "Probe"
+            (strategy_name (Planner.choose ~observed:(-1) cs));
+          (* Observed pair cardinality o re-prices step two as
+             chain_step (o, 80): chain = 90 + step. o = 9 gallops,
+             step = 9 * ceil_log2 9 = 36, chain 126 < 140 -> Chain.
+             o = 10 merges, step = 90, chain 180 -> Probe stays. *)
+          check_strategy "collapsing pair flips to chain" Container.Chain cs
+            ~observed:9;
+          check_strategy "one more survivor keeps probe" Container.Probe cs
+            ~observed:10;
+          (* The gate: feedback off ignores the observation entirely. *)
+          Planner.feedback_enabled := false;
+          check_strategy "feedback off ignores observations" Container.Probe
+            cs ~observed:0))
 
 let test_planner_runs_pricing () =
   with_planner_enabled (fun () ->
@@ -479,7 +553,7 @@ let suite =
     Alcotest.test_case "gallop degenerate spans bail O(1)" `Quick test_gallop_degenerate;
     Alcotest.test_case "gallop nested spans" `Quick test_gallop_nested_spans;
     Alcotest.test_case "zipf tables memoized" `Quick test_zipf_memoized;
-    Alcotest.test_case "container popcount32" `Quick test_popcount32;
+    Alcotest.test_case "wordops 63-bit kernels" `Quick test_wordops;
     Alcotest.test_case "ibuf reserve" `Quick test_ibuf_reserve;
     Alcotest.test_case "bitset pool views are disjoint" `Quick test_bitset_pool_views;
     Alcotest.test_case "bitset shared-byte views alias" `Quick test_bitset_shared_bytes;
@@ -488,5 +562,6 @@ let suite =
     Alcotest.test_case "planner chain/probe crossover" `Quick test_planner_chain_probe_boundary;
     Alcotest.test_case "planner dense probe units" `Quick test_planner_dense_probe;
     Alcotest.test_case "planner and-words crossover" `Quick test_planner_and_words_boundary;
+    Alcotest.test_case "planner feedback crossover" `Quick test_planner_feedback_boundary;
     Alcotest.test_case "planner runs pricing" `Quick test_planner_runs_pricing;
   ]

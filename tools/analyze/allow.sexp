@@ -18,5 +18,48 @@
 
 ; --- A3: unsafe-access gating -----------------------------------------
 (A3 lib/snapshot/codec.ml 102) ; slice-by-8 CRC loop maintains !i + 8 <= n, so !i + j is in bounds for j in 0..7
-(A3 lib/util/container.ml 389) ; Ibuf.unsafe_data spans a scratch buffer whose length this loop reads back per iteration; the span never outlives the call
-(A3 lib/util/container.ml 421) ; Ibuf.unsafe_data spans a scratch buffer sized by Ibuf.reserve nw two lines above; the span never outlives the call
+; inter_span_into: eight-wide probe stride under `while !i + 8 <= hi` with j = !i, so j + 0..7 < hi <= length a
+(A3 lib/util/container.ml 282) ; span load j + 0 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 283) ; span load j + 1 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 284) ; span load j + 2 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 285) ; span load j + 3 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 286) ; span load j + 4 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 287) ; span load j + 5 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 288) ; span load j + 6 sits under the `!i + 8 <= hi` stride guard (j = !i)
+(A3 lib/util/container.ml 289) ; span load j + 7 sits under the `!i + 8 <= hi` stride guard (j = !i)
+; inter_dense_dense: eight-wide word AND under `while !w + 8 <= nw` with i = !w and nw = min of both bank lengths
+(A3 lib/util/container.ml 318) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 319) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 320) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 321) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 322) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 323) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 324) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 325) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+; inter_dense_card: the same eight-wide stride feeding popcounts, same `!w + 8 <= nw` guard
+(A3 lib/util/container.ml 352) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 353) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 354) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 355) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 356) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 357) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 358) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 359) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 497) ; Ibuf.unsafe_data spans a scratch buffer whose length this loop reads back per iteration; the span never outlives the call
+(A3 lib/util/container.ml 533) ; Ibuf.unsafe_data spans a scratch buffer sized by Ibuf.reserve nw two lines above; the span never outlives the call
+; intersect_query And_words: eight-wide AND pass over the reserved scratch bank, `while !w + 8 <= nw` with i = !w; both arrays hold >= nw words (Ibuf.reserve nw / all_dense_same_universe)
+(A3 lib/util/container.ml 540) ; scratch word i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 541) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 542) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 543) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 544) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 545) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 546) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 547) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 548) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 549) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 550) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 551) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 552) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 553) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 554) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)

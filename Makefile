@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-wide bench-smoke examples clean doc lint analyze audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-wide bench-serve bench-smoke examples clean doc lint analyze audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -73,6 +73,12 @@ bench-shard:
 # plus the end-to-end CMP rows on this build (writes BENCH_pr8.json).
 bench-wide:
 	dune exec bench/main.exe -- --only WIDE
+
+# The serving loop: epoch-pinned read latency under a mixed
+# update/query stream, checkpoint restore vs a cold replay rebuild
+# (writes BENCH_pr9.json).
+bench-serve:
+	dune exec bench/main.exe -- --only SERVE
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro

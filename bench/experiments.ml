@@ -687,4 +687,6 @@ let all : (string * string * (unit -> unit)) list =
     ("CMP", "Hybrid containers vs sparse-only postings + planner equivalence", Cmpbench.run);
     ("SHARD", "Per-shard indexes + scatter-gather router vs monolithic", Shardbench.run);
     ("WIDE", "63-bit wide bitmap kernels vs scalar 32-bit reference", Widebench.run);
+    ("SERVE", "kwsc serve: epoch read latency + checkpoint restore vs cold rebuild",
+      Servebench.run);
   ]

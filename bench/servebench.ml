@@ -1,0 +1,146 @@
+(* SERVE: the kwsc serve loop — epoch-pinned read latency under a mixed
+   update/query stream, and durable checkpoint restore vs a cold replay
+   rebuild (DESIGN.md section 14). No paper claim backs this experiment:
+   serving is the repo's dynamization follow-up, so it records raw
+   operational numbers as a table and as machine-readable BENCH_pr9.json.
+   Targets: restored answers and counters identical to the live server's,
+   and a checkpoint restore at least 5x faster than the cold rebuild it
+   replaces (at N = 10^5 in full mode). *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module C = Kwsc_snapshot.Codec
+module Serve = Kwsc_serve.Serve
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let counters (st : Kwsc.Stats.query) =
+  ( st.Kwsc.Stats.nodes_visited,
+    st.Kwsc.Stats.covered_nodes,
+    st.Kwsc.Stats.crossing_nodes,
+    st.Kwsc.Stats.pivot_checked,
+    st.Kwsc.Stats.small_scanned,
+    st.Kwsc.Stats.pruned_empty,
+    st.Kwsc.Stats.pruned_geom,
+    st.Kwsc.Stats.reported )
+
+let restore_exn path =
+  match Serve.restore path with Ok s -> s | Error e -> failwith (C.error_to_string e)
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+let run () =
+  H.header "SERVE: live serving loop (epoch reads, checkpoint restore)"
+    "no claim (serving layer); identical answers, restore >= 5x faster than cold rebuild";
+  let n = H.sized (if !H.quick then 20_000 else 100_000) in
+  let nq = H.sized 400 in
+  let rng = Prng.create 0x5e4e in
+  let objs = H.zipf_objs ~rng ~n ~d:2 ~vocab:60 ~range:1000.0 in
+  let rects = Array.init nq (fun _ -> H.rect_of_trial rng) in
+  let wss =
+    (* two keywords from disjoint ranges: distinct by construction *)
+    Array.init nq (fun _ -> [| 1 + Prng.int rng 20; 21 + Prng.int rng 39 |])
+  in
+
+  (* ---- mixed update/query stream ---------------------------------- *)
+  (* Seed the server with half the objects, then stream the rest in as a
+     writer while timing single epoch-pinned reads between updates: one
+     read after every update, a delete every 4th update, maintenance
+     every 256th. Each read pins the then-current epoch, so the
+     latencies below are exactly what a reader domain would see. *)
+  let server = Serve.create ~k:2 ~d:2 () in
+  let half = n / 2 in
+  for i = 0 to half - 1 do
+    ignore (Serve.insert server objs.(i))
+  done;
+  let stream = n - half in
+  let lat = Array.make stream 0.0 in
+  let reads = ref 0 and read_work = ref 0 in
+  let (), stream_s =
+    Kwsc_util.Timer.time (fun () ->
+        for i = 0 to stream - 1 do
+          let id = Serve.insert server objs.(half + i) in
+          if i land 3 = 3 then Serve.delete server (id - Prng.int rng half);
+          if i land 255 = 255 then ignore (Serve.maintain server);
+          let q = !reads mod nq in
+          let ids, st = Serve.query_stats server rects.(q) wss.(q) in
+          let t0 = Kwsc_util.Timer.now () in
+          ignore (Serve.query server rects.(q) wss.(q));
+          lat.(i) <- (Kwsc_util.Timer.now () -. t0) *. 1e6;
+          ignore ids;
+          read_work := !read_work + st.Kwsc.Stats.reported;
+          incr reads
+        done)
+  in
+  Array.sort Float.compare lat;
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  Printf.printf
+    "  stream: %d updates + %d reads in %.2fs  levels=%d  v=%d  read p50=%.1fus p99=%.1fus\n"
+    stream !reads stream_s
+    (List.length (Serve.bucket_sizes server))
+    (Serve.version server) p50 p99;
+
+  (* ---- checkpoint restore vs cold replay rebuild ------------------- *)
+  ignore (Serve.maintain server);
+  let snap = Filename.temp_file "kwsc_serve" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      let (), save_s = Kwsc_util.Timer.time (fun () -> Serve.checkpoint server snap) in
+      let warm, restore_s = H.time_best ~reps:5 (fun () -> restore_exn snap) in
+      (* the no-checkpoint restart path: replay the whole history (every
+         insert in id order, then the surviving tombstones) *)
+      let dead =
+        (* every id ever assigned is in [0, n): the stream inserted all n *)
+        let out = ref [] in
+        for id = n - 1 downto 0 do
+          if Serve.live server id = None then out := id :: !out
+        done;
+        !out (* built downto, so ascending id order *)
+      in
+      let cold, cold_s =
+        Kwsc_util.Timer.time (fun () ->
+            let s = Serve.create ~k:2 ~d:2 () in
+            Array.iter (fun o -> ignore (Serve.insert s o)) objs;
+            List.iter (fun id -> Serve.delete s id) dead;
+            s)
+      in
+      let mismatches = ref 0 in
+      for q = 0 to nq - 1 do
+        let ids, st = Serve.query_stats server rects.(q) wss.(q) in
+        let wids, wst = Serve.query_stats warm rects.(q) wss.(q) in
+        let cids, _ = Serve.query_stats cold rects.(q) wss.(q) in
+        if ids <> wids || counters st <> counters wst then incr mismatches;
+        if ids <> cids then incr mismatches
+      done;
+      if !mismatches > 0 then
+        failwith (Printf.sprintf "SERVE: %d of %d queries diverged after restore" !mismatches nq);
+      if Serve.version warm <> Serve.version server then
+        failwith "SERVE: restore did not round-trip the watermark";
+      let speedup = cold_s /. restore_s in
+      Printf.printf "  checkpoint: %d bytes  save=%.3fs  restore=%.4fs  cold=%.3fs\n"
+        (file_size snap) save_s restore_s cold_s;
+      Printf.printf "  -> restore speedup %.1fx vs cold rebuild (target >= 5x) %s\n" speedup
+        (if speedup >= 5.0 then "[OK]" else "[BELOW TARGET]");
+      Printf.printf "  -> %d/%d queries identical (answers + counters) after restore\n" nq nq;
+      if !H.smoke then Printf.printf "  (smoke run: numbers are crash-test only)\n";
+      let oc = open_out "BENCH_pr9.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"kwsc serve: epoch reads + checkpoint restore\",\n\
+        \  \"smoke\": %b,\n\
+        \  \"n\": %d,\n\
+        \  \"stream\": {\"updates\": %d, \"reads\": %d, \"wall_s\": %.3f,\n\
+        \             \"read_p50_us\": %.3f, \"read_p99_us\": %.3f, \"read_reported\": %d},\n\
+        \  \"checkpoint\": {\"bytes\": %d, \"save_s\": %.4f, \"restore_s\": %.5f,\n\
+        \                 \"cold_rebuild_s\": %.4f, \"speedup\": %.2f},\n\
+        \  \"targets\": {\"answers_identical\": %b, \"restore_speedup_ge_5\": %b}\n\
+         }\n"
+        !H.smoke n stream !reads stream_s p50 p99 !read_work (file_size snap) save_s restore_s
+        cold_s speedup (!mismatches = 0) (speedup >= 5.0);
+      close_out oc;
+      Printf.printf "  wrote BENCH_pr9.json\n")

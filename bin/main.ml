@@ -9,6 +9,7 @@
      info        index statistics (space accounting)
      save        build an index and write a durable snapshot
      load        load a snapshot (no rebuild) and query it
+     serve       dynamic index request loop with epoch reads and checkpoints
 
    Datasets are the plain-text format of {!Kwsc_workload.Csv_io}: one object
    per line, "x1,x2|kw1;kw2;kw3". *)
@@ -441,6 +442,140 @@ let load_cmd =
       const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg $ feedback_arg
       $ shards_arg)
 
+(* ---- serve ---------------------------------------------------------- *)
+
+module Serve = Kwsc_serve.Serve
+module Epoch = Kwsc_serve.Epoch
+
+(* A line-oriented request loop over the serve core (DESIGN.md section 14):
+   the process's stdin is the single writer, queries run against the
+   current epoch through the domain pool (KWSC_DOMAINS readers). Output is
+   deterministic — the CI smoke gate diffs answers across
+   checkpoint → kill → restore. *)
+
+let serve_impl k d input restore checkpoint_default =
+  let startup_or_die f =
+    try f ()
+    with Invalid_argument msg | Failure msg ->
+      Printf.eprintf "kwsc serve: %s\n" msg;
+      exit 1
+  in
+  let server =
+    match restore with
+    | Some snap -> ok_or_die (Serve.restore snap)
+    | None -> startup_or_die (fun () -> Serve.create ~k ~d ())
+  in
+  (match input with
+  | Some file ->
+      startup_or_die (fun () ->
+          Array.iter (fun o -> ignore (Serve.insert server o)) (load_objects file))
+  | None -> ());
+  let e0 = Serve.current server in
+  Printf.printf "serving k=%d d=%d n=%d v=%d domains=%d\n%!" (Epoch.arity e0) (Epoch.dim e0)
+    (Epoch.live_count e0) (Epoch.version e0)
+    (Kwsc_util.Pool.size (Kwsc_util.Pool.default ()));
+  let floats s = Array.of_list (List.map float_of_string (String.split_on_char ',' s)) in
+  let ints s = Array.of_list (List.map int_of_string (String.split_on_char ',' s)) in
+  let do_checkpoint path =
+    Serve.checkpoint server path;
+    Printf.printf "checkpoint %s v=%d\n" path (Serve.version server)
+  in
+  let checkpoint_on_exit () =
+    match checkpoint_default with Some path -> do_checkpoint path | None -> ()
+  in
+  let run_command line =
+    match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+    | [] -> true
+    | [ "quit" ] -> false
+    | "insert" :: rest ->
+        let obj = Kwsc_workload.Csv_io.parse_line 0 (String.concat " " rest) in
+        let id = Serve.insert server obj in
+        Printf.printf "inserted id=%d v=%d\n" id (Serve.version server);
+        true
+    | [ "delete"; id ] ->
+        Serve.delete server (int_of_string id);
+        Printf.printf "deleted id=%s v=%d\n" id (Serve.version server);
+        true
+    | [ "query"; lo; hi; kws ] ->
+        (* one-element batch: the read runs on the domain pool against the
+           epoch pinned for the whole call *)
+        let e = Serve.current server in
+        let q = Rect.make (floats lo) (floats hi) in
+        let answers, st = Epoch.query_batch e [| (q, ints kws) |] in
+        Printf.printf "ids=%s (n=%d v=%d work=%d)\n"
+          (String.concat "," (List.map string_of_int (Array.to_list answers.(0))))
+          (Array.length answers.(0)) (Epoch.version e) (Kwsc.Stats.work st);
+        true
+    | [ "maintain" ] ->
+        let changed = Serve.maintain server in
+        Printf.printf "maintain changed=%b levels=%d\n" changed
+          (List.length (Serve.bucket_sizes server));
+        true
+    | [ "stats" ] ->
+        Printf.printf "v=%d n=%d levels=[%s]\n" (Serve.version server) (Serve.size server)
+          (String.concat ";" (List.map string_of_int (Serve.bucket_sizes server)));
+        true
+    | [ "checkpoint" ] ->
+        (match checkpoint_default with
+        | Some path -> do_checkpoint path
+        | None -> Printf.printf "error: no --checkpoint path configured\n");
+        true
+    | [ "checkpoint"; path ] ->
+        do_checkpoint path;
+        true
+    | cmd :: _ ->
+        Printf.printf "error: unknown command %s\n" cmd;
+        true
+  in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> checkpoint_on_exit ()
+    | Some line ->
+        let continue_ =
+          try run_command line
+          with
+          | Invalid_argument msg | Failure msg ->
+            Printf.printf "error: %s\n" msg;
+            true
+        in
+        flush stdout;
+        if continue_ then loop () else checkpoint_on_exit ()
+  in
+  loop ();
+  flush stdout
+
+let serve_cmd =
+  let d_arg =
+    Arg.(value & opt int 2 & info [ "d" ] ~docv:"D" ~doc:"Dimensionality for a fresh server.")
+  in
+  let input_opt =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Bulk-load this dataset before serving.")
+  in
+  let restore =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "restore" ] ~docv:"SNAP"
+          ~doc:"Start from a checkpoint written by the checkpoint command (no rebuild).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"SNAP"
+          ~doc:
+            "Default checkpoint path: written by the bare checkpoint command and on clean \
+             exit — the durable restart point for --restore.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a dynamic index: stdin request loop with epoch reads and durable checkpoints"
+       ~man:man_footer)
+    Term.(const serve_impl $ k_arg $ d_arg $ input_opt $ restore $ checkpoint)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -449,4 +584,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; rect_cmd; halfspace_cmd; sphere_cmd; nn_cmd; info_cmd; save_cmd; load_cmd ]))
+          [
+            generate_cmd;
+            rect_cmd;
+            halfspace_cmd;
+            sphere_cmd;
+            nn_cmd;
+            info_cmd;
+            save_cmd;
+            load_cmd;
+            serve_cmd;
+          ]))

@@ -1,5 +1,7 @@
 open Kwsc_geom
 module Doc = Kwsc_invindex.Doc
+module Wd = Kwsc_util.Wordops
+module C = Kwsc_snapshot.Codec
 
 type bucket = { index : Orp_kw.t; ids : int array (* local -> global *) }
 
@@ -8,9 +10,20 @@ type t = {
   d : int;
   leaf_weight : int option;
   mutable objects : (Point.t * Doc.t) option array; (* None = deleted *)
+  mutable dead : int array;
+      (* packed 63-bit tombstone bitmap over assigned ids; bit set exactly
+         when the id was assigned and later deleted.  Sized to the capacity
+         of [objects]; copied (prefix) into each published epoch. *)
   mutable next_id : int;
   mutable live_count : int;
-  mutable dead_pending : int; (* tombstones not yet compacted away *)
+  mutable dead_pending : int;
+      (* tombstones still referenced by a bucket — kept *exact*: deletions
+         increment it, and every compaction (carry merge, smallest-level
+         merge, global rebuild) credits back the tombstones it drops *)
+  mutable version : int;
+      (* monotonic logical watermark: one tick per insert and per effective
+         delete.  Structural maintenance (bucket merging) does not tick —
+         two states with equal watermarks answer queries identically. *)
   mutable buckets : bucket list; (* strictly decreasing capacity *)
 }
 
@@ -22,13 +35,18 @@ let create ?leaf_weight ~k ~d () =
     d;
     leaf_weight;
     objects = Array.make 16 None;
+    dead = Array.make (Wd.nwords 16) 0;
     next_id = 0;
     live_count = 0;
     dead_pending = 0;
+    version = 0;
     buckets = [];
   }
 
 let size t = t.live_count
+let dim t = t.d
+let arity t = t.k
+let version t = t.version
 
 let input_size t =
   let n = ref 0 in
@@ -44,14 +62,21 @@ let buckets t = List.map (fun b -> Array.length b.ids) t.buckets
    array's current capacity. *)
 let live t id = if id < 0 || id >= t.next_id then None else t.objects.(id)
 
+let view t = Array.of_list (List.map (fun b -> (b.index, b.ids)) t.buckets)
+let tombstone_words t = Array.sub t.dead 0 (Wd.nwords t.next_id)
+
 let build_bucket t ids =
   let objs = Array.map (fun id -> Option.get (live t id)) ids in
   { index = Orp_kw.build ?leaf_weight:t.leaf_weight ~k:t.k objs; ids }
 
 (* Rebuild the carry chain: keep merging the incoming group with the
    smallest bucket while the bucket is not more than twice as large —
-   the standard binary-counter invariant (bucket sizes grow geometrically). *)
-let rec absorb t group = function
+   the standard binary-counter invariant (bucket sizes grow geometrically).
+   [group] is always all-live, so every id a merge filters out is a
+   tombstone leaving the buckets: credit it to [dropped] so dead_pending
+   stays exact (it used to over-count here, firing spurious global
+   rebuilds after insert-heavy interleavings). *)
+let rec absorb t dropped group = function
   | [] -> [ build_bucket t group ]
   | b :: rest when Array.length b.ids <= 2 * Array.length group ->
       let merged =
@@ -60,7 +85,8 @@ let rec absorb t group = function
              (fun id -> Option.is_some (live t id))
              (Array.to_list (Array.append b.ids group)))
       in
-      absorb t merged rest
+      dropped := !dropped + (Array.length b.ids + Array.length group - Array.length merged);
+      absorb t dropped merged rest
   | rest -> build_bucket t group :: rest
 
 let rebuild_all t =
@@ -75,16 +101,23 @@ let rebuild_all t =
 let insert t ((p, _) as obj) =
   if Array.length p <> t.d then invalid_arg "Dynamic.insert: dimension mismatch";
   if t.next_id = Array.length t.objects then begin
-    let grown = Array.make (2 * t.next_id) None in
+    let cap = 2 * t.next_id in
+    let grown = Array.make cap None in
     Array.blit t.objects 0 grown 0 t.next_id;
-    t.objects <- grown
+    t.objects <- grown;
+    let gdead = Array.make (Wd.nwords cap) 0 in
+    Array.blit t.dead 0 gdead 0 (Array.length t.dead);
+    t.dead <- gdead
   end;
   let id = t.next_id in
   t.objects.(id) <- Some obj;
   t.next_id <- id + 1;
   t.live_count <- t.live_count + 1;
+  t.version <- t.version + 1;
   (* buckets are kept smallest-first for the carry walk *)
-  t.buckets <- List.rev (absorb t [| id |] (List.rev t.buckets));
+  let dropped = ref 0 in
+  t.buckets <- List.rev (absorb t dropped [| id |] (List.rev t.buckets));
+  t.dead_pending <- t.dead_pending - !dropped;
   id
 
 let delete t id =
@@ -93,9 +126,50 @@ let delete t id =
   | None -> ()
   | Some _ ->
       t.objects.(id) <- None;
+      let w = Wd.div_bits id in
+      t.dead.(w) <- t.dead.(w) lor (1 lsl (id - (Wd.bits * w)));
       t.live_count <- t.live_count - 1;
       t.dead_pending <- t.dead_pending + 1;
-      if t.dead_pending >= t.live_count && t.dead_pending > 8 then rebuild_all t
+      t.version <- t.version + 1;
+      if t.live_count = 0 then begin
+        (* deleting down to size 0 must not leave all-dead buckets behind:
+           with at most 8 tombstones the half-dead trigger below never
+           fires, and queries would walk dead buckets forever *)
+        t.buckets <- [];
+        t.dead_pending <- 0
+      end
+      else if t.dead_pending >= t.live_count && t.dead_pending > 8 then rebuild_all t
+
+(* Maintenance: fold the two smallest carry-chain levels into one frozen
+   layout (dropping their tombstones on the way) and let [absorb] carry
+   the merged group further up the chain — the binary-counter invariant
+   holds by construction, exactly as for an insert carry.  With a single
+   level left, compact it iff it still references tombstones.  Returns
+   false (and rebuilds nothing) when there is no productive work.
+   Answers and the watermark are unchanged either way. *)
+let merge_smallest t =
+  let alive ids =
+    Array.of_list (List.filter (fun id -> Option.is_some (live t id)) (Array.to_list ids))
+  in
+  match List.rev t.buckets with
+  | [] -> false
+  | [ only ] ->
+      let group = alive only.ids in
+      if Array.length group = Array.length only.ids then false
+      else begin
+        t.dead_pending <- t.dead_pending - (Array.length only.ids - Array.length group);
+        t.buckets <- (if Array.length group = 0 then [] else [ build_bucket t group ]);
+        true
+      end
+  | b1 :: b2 :: rest ->
+      let group = alive (Array.append b2.ids b1.ids) in
+      let dropped =
+        ref (Array.length b1.ids + Array.length b2.ids - Array.length group)
+      in
+      let rebuilt = if Array.length group = 0 then rest else absorb t dropped group rest in
+      t.dead_pending <- t.dead_pending - !dropped;
+      t.buckets <- List.rev rebuilt;
+      true
 
 let query t q ws =
   if Rect.dim q <> t.d then invalid_arg "Dynamic.query: dimension mismatch";
@@ -132,6 +206,23 @@ let check_invariants t =
     t.objects;
   if !live_actual <> t.live_count then
     push (vf "objects" "live_count=%d but %d live objects stored" t.live_count !live_actual);
+  (* the tombstone bitmap mirrors the object slots exactly *)
+  if Array.length t.dead <> Wd.nwords (Array.length t.objects) then
+    push
+      (vf "tombstones" "bitmap holds %d words for capacity %d (want %d)" (Array.length t.dead)
+         (Array.length t.objects) (Wd.nwords (Array.length t.objects)));
+  for id = 0 to t.next_id - 1 do
+    let w = Wd.div_bits id in
+    let bit =
+      w < Array.length t.dead && t.dead.(w) land (1 lsl (id - (Wd.bits * w))) <> 0
+    in
+    let dead_slot = Option.is_none t.objects.(id) in
+    if bit <> dead_slot then
+      push
+        (vf "tombstones" "id %d: bitmap says %s but slot is %s" id
+           (if bit then "dead" else "live")
+           (if dead_slot then "dead" else "live"))
+  done;
   if t.dead_pending < 0 || t.dead_pending > t.next_id - t.live_count then
     push
       (vf "objects" "dead_pending=%d outside [0, %d] (ids assigned minus live)" t.dead_pending
@@ -141,9 +232,12 @@ let check_invariants t =
     push
       (vf "objects" "dead_pending=%d reached live_count=%d without a compacting rebuild"
          t.dead_pending t.live_count);
+  if t.live_count = 0 && t.buckets <> [] then
+    push (vf "buckets" "no live objects but %d buckets remain" (List.length t.buckets));
   (* buckets: geometric (binary-counter) capacities, largest first, and a
      partition of the live objects *)
   let seen = Hashtbl.create (max 16 t.live_count) in
+  let dead_in_buckets = ref 0 in
   List.iteri
     (fun i b ->
       let locus = Printf.sprintf "bucket[%d]" i in
@@ -154,9 +248,18 @@ let check_invariants t =
             push (vf locus "object id %d outside [0,%d)" id t.next_id)
           else if Hashtbl.mem seen id then
             push (vf locus "object id %d appears in more than one bucket" id)
-          else Hashtbl.add seen id ())
+          else begin
+            Hashtbl.add seen id ();
+            if Option.is_none t.objects.(id) then incr dead_in_buckets
+          end)
         b.ids)
     t.buckets;
+  (* dead_pending is exact: precisely the tombstones the buckets still
+     reference (carry merges credit back what they compact away) *)
+  if !dead_in_buckets <> t.dead_pending then
+    push
+      (vf "buckets" "dead_pending=%d but buckets reference %d tombstones" t.dead_pending
+         !dead_in_buckets);
   for id = 0 to t.next_id - 1 do
     match t.objects.(id) with
     | Some _ when not (Hashtbl.mem seen id) ->
@@ -175,6 +278,149 @@ let check_invariants t =
   sizes_decay t.buckets;
   List.rev !bad
 
+(* ------------------------------------------------------------------ *)
+(* Durable checkpoints (v2 codec): meta + live objects + tombstone     *)
+(* bitmap + one section per bucket (ids table and embedded Orp_kw).    *)
+(* ------------------------------------------------------------------ *)
+
+let kind = "kwsc.dynamic"
+
+let save path t =
+  let sections = ref [] in
+  let add name payload = sections := (name, payload) :: !sections in
+  add "meta"
+    (C.to_string (fun w ->
+         C.W.i64 w t.k;
+         C.W.i64 w t.d;
+         C.W.i64 w (match t.leaf_weight with None -> -1 | Some lw -> lw);
+         C.W.i64 w t.next_id;
+         C.W.i64 w t.live_count;
+         C.W.i64 w t.dead_pending;
+         C.W.i64 w t.version;
+         C.W.i64 w (List.length t.buckets)));
+  add "objects"
+    (C.to_string (fun w ->
+         C.W.vint w t.live_count;
+         for id = 0 to t.next_id - 1 do
+           match t.objects.(id) with
+           | None -> ()
+           | Some (p, doc) ->
+               C.W.vint w id;
+               C.W.float_array w p;
+               C.W.int_array w (Doc.to_array doc)
+         done));
+  add "tombstones" (C.to_string (fun w -> C.W.int_array w (tombstone_words t)));
+  List.iteri
+    (fun i b ->
+      add
+        (Printf.sprintf "bucket.%d" i)
+        (C.to_string (fun w ->
+             C.W.int_array w b.ids;
+             Orp_kw.encode w b.index)))
+    t.buckets;
+  C.save_file ~path ~kind (List.rev !sections)
+
+let load path =
+  C.run (fun () ->
+      let sections = C.load_kind_exn ~path ~kind in
+      let k, d, leaf_weight, next_id, live_count, dead_pending, version, n_buckets =
+        C.decode_section sections "meta" (fun r ->
+            let k = C.R.i64 r in
+            let d = C.R.i64 r in
+            let lw = C.R.i64 r in
+            let next_id = C.R.i64 r in
+            let live_count = C.R.i64 r in
+            let dead_pending = C.R.i64 r in
+            let version = C.R.i64 r in
+            let n_buckets = C.R.i64 r in
+            (k, d, (if lw < 0 then None else Some lw), next_id, live_count, dead_pending,
+             version, n_buckets))
+      in
+      if k < 2 || d < 1 then C.corrupt "Dynamic: meta k/d out of range";
+      if next_id < 0 || live_count < 0 || live_count > next_id then
+        C.corrupt "Dynamic: meta counters out of range";
+      if dead_pending < 0 || dead_pending > next_id - live_count then
+        C.corrupt "Dynamic: dead_pending outside [0, assigned - live]";
+      if version < 0 || n_buckets < 0 then C.corrupt "Dynamic: negative watermark or bucket count";
+      let cap = max 16 next_id in
+      let objects = Array.make cap None in
+      C.decode_section sections "objects" (fun r ->
+          let n = C.R.vint r in
+          if n <> live_count then C.corrupt "Dynamic: objects section disagrees with live_count";
+          let prev = ref (-1) in
+          for _ = 1 to n do
+            let id = C.R.vint r in
+            if id <= !prev || id >= next_id then
+              C.corrupt "Dynamic: object ids not strictly ascending in [0, next_id)";
+            prev := id;
+            let p = C.R.float_array r in
+            if Array.length p <> d then C.corrupt "Dynamic: object dimension mismatch";
+            let ws = C.R.int_array r in
+            let m = Array.length ws in
+            for j = 0 to m - 1 do
+              if ws.(j) < 0 || (j > 0 && ws.(j) <= ws.(j - 1)) then
+                C.corrupt "Dynamic: document keywords not sorted distinct nonnegative"
+            done;
+            objects.(id) <- Some (p, Doc.of_sorted_array ws)
+          done);
+      let dead = Array.make (Wd.nwords cap) 0 in
+      for id = 0 to next_id - 1 do
+        if Option.is_none objects.(id) then begin
+          let w = Wd.div_bits id in
+          dead.(w) <- dead.(w) lor (1 lsl (id - (Wd.bits * w)))
+        end
+      done;
+      let stored = C.decode_section sections "tombstones" C.R.int_array in
+      if stored <> Array.sub dead 0 (Wd.nwords next_id) then
+        C.corrupt "Dynamic: tombstone bitmap disagrees with the stored objects";
+      let t =
+        {
+          k;
+          d;
+          leaf_weight;
+          objects;
+          dead;
+          next_id;
+          live_count;
+          dead_pending;
+          version;
+          buckets = [];
+        }
+      in
+      let buckets = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        let b =
+          C.decode_section sections
+            (Printf.sprintf "bucket.%d" i)
+            (fun r ->
+              let ids = C.R.int_array r in
+              let index = Orp_kw.decode r in
+              if Orp_kw.size index <> Array.length ids then
+                C.corrupt "Dynamic: bucket index size disagrees with its id table";
+              if Orp_kw.dim index <> d || Orp_kw.k index <> k then
+                C.corrupt "Dynamic: bucket index k/d disagrees with meta";
+              { index; ids })
+        in
+        (* the static payload must hold exactly the live objects it claims:
+           coordinates and documents round-trip bit for bit *)
+        let stored_objs = Orp_kw.objects b.index in
+        Array.iteri
+          (fun local id ->
+            match live t id with
+            | None -> () (* tombstone: its data lives only in the bucket *)
+            | Some (p, doc) ->
+                let sp, sdoc = stored_objs.(local) in
+                if sp <> p || Doc.to_array sdoc <> Doc.to_array doc then
+                  C.corrupt "Dynamic: bucket payload disagrees with the stored objects")
+          b.ids;
+        buckets := b :: !buckets
+      done;
+      t.buckets <- !buckets;
+      (match check_invariants t with
+      | [] -> ()
+      | v :: _ -> C.corrupt ("Dynamic: " ^ I.to_string v));
+      t)
+
 (* Self-audit every update when KWSC_AUDIT=1 (Invariant.enabled). *)
 let insert t obj =
   let id = insert t obj in
@@ -184,3 +430,8 @@ let insert t obj =
 let delete t id =
   delete t id;
   I.auto_check (fun () -> check_invariants t)
+
+let merge_smallest t =
+  let changed = merge_smallest t in
+  if changed then I.auto_check (fun () -> check_invariants t);
+  changed

@@ -11,7 +11,9 @@
     bound by O(log n).
 
     This goes beyond the paper (its natural "dynamization" follow-up) and is
-    exercised by experiment DYN in the bench harness. *)
+    exercised by experiment DYN in the bench harness. The serve layer
+    ({!Kwsc_serve}) publishes immutable epochs of the bucket chain under the
+    {!version} watermark; {!save}/{!load} make those states durable. *)
 
 open Kwsc_geom
 
@@ -26,8 +28,22 @@ val insert : t -> Point.t * Kwsc_invindex.Doc.t -> int
     @raise Invalid_argument on a dimension mismatch. *)
 
 val delete : t -> int -> unit
-(** Tombstone an object by id. Idempotent.
+(** Tombstone an object by id. Idempotent. Deleting the last live object
+    clears the bucket chain outright (queries never walk all-dead buckets);
+    otherwise a global rebuild compacts the chain once at least half of the
+    bucket-referenced ids are tombstones (and more than 8 are, so tiny
+    indexes don't thrash).
     @raise Invalid_argument if the id was never assigned. *)
+
+val version : t -> int
+(** Monotonic logical watermark: the number of inserts plus effective
+    deletes applied so far. Structural maintenance ({!merge_smallest})
+    never ticks it — two states with equal watermarks are query-equivalent.
+    Restored exactly by {!load}. *)
+
+val dim : t -> int
+val arity : t -> int
+(** Dimension [d] and keyword arity [k] fixed at {!create}. *)
 
 val query : t -> Rect.t -> int array -> int array
 (** Sorted ids of live objects inside the rectangle containing all [k]
@@ -46,11 +62,55 @@ val input_size : t -> int
 
 val buckets : t -> int list
 (** Sizes (in objects) of the current static buckets, largest first —
-    exposed for tests and the DYN bench. *)
+    exposed for tests and the DYN bench. Sizes count stored ids, live or
+    tombstoned. *)
+
+val view : t -> (Orp_kw.t * int array) array
+(** The current bucket chain, largest first, as (static index, local→global
+    id table) pairs. Both components are immutable once built — updates
+    replace buckets, never mutate them — so a view taken by the writer can
+    be shared with reader domains. Liveness is NOT part of the view: pair it
+    with {!tombstone_words} taken at the same instant (the serve layer's
+    epoch does exactly this). *)
+
+val tombstone_words : t -> int array
+(** A fresh copy of the packed 63-bit tombstone bitmap over the assigned
+    ids ([Kwsc_util.Wordops] word math): bit [id] is set exactly when [id]
+    was deleted. Length [Wordops.nwords (next assigned id)]. *)
+
+val merge_smallest : t -> bool
+(** One step of background maintenance: fold the two smallest carry-chain
+    levels into one frozen layout, dropping their tombstones, and carry the
+    merged group up the chain exactly as an insert would (the geometric
+    decay holds by construction). With a single level left, compact it iff
+    it still references tombstones. Returns [false] without rebuilding
+    anything when there is no productive work. Answers and {!version} are
+    unchanged either way; each productive step strictly shrinks the chain
+    or its tombstone count, so driving this to a fixpoint terminates. Runs
+    the {!check_invariants} audit under [KWSC_AUDIT=1] like the update
+    operations. *)
 
 val check_invariants : t -> Kwsc_util.Invariant.violation list
 (** Deep structural audit of the logarithmic method: buckets partition the
     stored ids with geometrically decaying capacities, every live object is
-    indexed exactly once, and the live/tombstone bookkeeping is exact.
-    Empty when well-formed. [insert] and [delete] run this automatically
-    when [KWSC_AUDIT=1]. *)
+    indexed exactly once, the tombstone bitmap mirrors the object slots,
+    and the live/tombstone bookkeeping is exact ([dead_pending] equals the
+    tombstones the buckets still reference). Empty when well-formed.
+    [insert] and [delete] run this automatically when [KWSC_AUDIT=1]. *)
+
+val kind : string
+(** Snapshot kind tag, ["kwsc.dynamic"]. *)
+
+val save : string -> t -> unit
+(** [save path t] writes a durable checkpoint in the v2 snapshot format:
+    meta (k, d, counters, {!version} watermark), the live objects, the
+    tombstone bitmap, and one section per bucket embedding the static
+    index via {!Orp_kw.encode}. Raises [Sys_error] on IO failure. *)
+
+val load : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Restore a checkpoint in O(file size) — no static index is rebuilt, so
+    a server restart is far cheaper than replaying the input (the SERVE
+    bench gates the ratio). Answers, counters, and the watermark round-trip
+    exactly. Corrupt input — truncation, flipped bytes, bad magic or kind,
+    sections disagreeing with each other or with the structural invariants
+    — returns [Error], never raises. *)

@@ -1,0 +1,63 @@
+[@@@kwsc.domain_safe]
+
+open Kwsc_geom
+module Wd = Kwsc_util.Wordops
+module Stats = Kwsc.Stats
+
+(* An epoch is a frozen read view of a Dynamic index: the bucket chain
+   (static Orp_kw indexes plus local->global id tables, both immutable
+   once built), a private copy of the tombstone bitmap, and the logical
+   watermark they were taken at.  Nothing here is ever mutated after
+   [of_dynamic] returns, so one epoch can be queried from any number of
+   domains concurrently — the serve writer publishes successive epochs
+   through a single atomic (see Serve). *)
+
+type t = {
+  version : int;
+  d : int;
+  k : int;
+  live : int;
+  buckets : (Kwsc.Orp_kw.t * int array) array; (* largest first *)
+  dead : int array; (* packed 63-bit tombstone bitmap, private copy *)
+}
+
+let of_dynamic dyn =
+  {
+    version = Kwsc.Dynamic.version dyn;
+    d = Kwsc.Dynamic.dim dyn;
+    k = Kwsc.Dynamic.arity dyn;
+    live = Kwsc.Dynamic.size dyn;
+    buckets = Kwsc.Dynamic.view dyn;
+    dead = Kwsc.Dynamic.tombstone_words dyn;
+  }
+
+let version e = e.version
+let dim e = e.d
+let arity e = e.k
+let live_count e = e.live
+let bucket_sizes e = Array.to_list (Array.map (fun (_, ids) -> Array.length ids) e.buckets)
+
+let is_dead e id =
+  let w = Wd.div_bits id in
+  w < Array.length e.dead && e.dead.(w) land (1 lsl (id - (Wd.bits * w))) <> 0
+
+let query_stats e q ws =
+  if Rect.dim q <> e.d then invalid_arg "Epoch.query: dimension mismatch";
+  let stats = Stats.fresh_query () in
+  let hits = ref [] in
+  Array.iter
+    (fun (index, ids) ->
+      let res, s = Kwsc.Orp_kw.query_stats index q ws in
+      Stats.add_into ~into:stats s;
+      Array.iter
+        (fun local ->
+          let id = ids.(local) in
+          if not (is_dead e id) then hits := id :: !hits)
+        res)
+    e.buckets;
+  let out = Array.of_list !hits in
+  Array.sort Int.compare out;
+  (out, stats)
+
+let query e q ws = fst (query_stats e q ws)
+let query_batch ?pool e qs = Kwsc.Batch.run ?pool (fun (q, ws) -> query_stats e q ws) qs

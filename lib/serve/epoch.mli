@@ -1,0 +1,46 @@
+(** A frozen read view of a {!Kwsc.Dynamic} index.
+
+    The serve loop's consistency unit: the bucket chain and a private copy
+    of the tombstone bitmap, taken atomically (by the single writer) at one
+    logical watermark. An epoch is immutable — readers on any number of
+    domains query it concurrently while the writer keeps updating the live
+    index and publishing fresh epochs. A query against an epoch is
+    bit-identical to [Dynamic.query] on a sequential replay stopped at the
+    same watermark. *)
+
+open Kwsc_geom
+
+type t
+
+val of_dynamic : Kwsc.Dynamic.t -> t
+(** Snapshot the current state. Writer-side only: must not race with
+    concurrent [insert]/[delete] on the same index (the Serve writer is the
+    sole caller). O(buckets + assigned ids / 63). *)
+
+val version : t -> int
+(** The logical watermark this epoch was taken at. *)
+
+val dim : t -> int
+val arity : t -> int
+val live_count : t -> int
+
+val bucket_sizes : t -> int list
+(** Stored sizes of the frozen chain, largest first. *)
+
+val query : t -> Rect.t -> int array -> int array
+(** Sorted ids of epoch-live objects inside the rectangle containing all
+    keywords. Tombstones are filtered against the epoch's own bitmap, so a
+    delete applied after this epoch was taken is invisible — readers never
+    observe a half-carried chain. *)
+
+val query_stats : t -> Rect.t -> int array -> int array * Kwsc.Stats.query
+(** [query] plus the merged per-bucket work counters. *)
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  t ->
+  (Rect.t * int array) array ->
+  int array array * Kwsc.Stats.query
+(** Evaluate a query stream against this one epoch, sharded across the
+    domain pool — the {!Kwsc.Batch.run} equivalence contract: answers and
+    merged counters are identical at every pool size. *)

@@ -1,0 +1,67 @@
+[@@@kwsc.domain_safe]
+
+(* The kwsc serve core: one writer, many readers, snapshot consistency.
+
+   The writer owns the Dynamic index and is the only code that mutates it.
+   After every effective update it freezes the state into an Epoch and
+   publishes it through [epoch] — the single sanctioned cross-domain
+   mutable outside the pool internals (lint rule R13 enforces this).
+   Readers grab the current epoch with one [Atomic.get] and run entire
+   queries (or whole batches) against that frozen view: they never observe
+   a half-carried bucket chain, and a concurrent delete cannot retract an
+   answer mid-query.  Background maintenance folds small carry-chain
+   levels into the frozen layouts off the read path — readers keep
+   serving the previous epoch until the merged one is published. *)
+
+type t = { dyn : Kwsc.Dynamic.t; epoch : Epoch.t Atomic.t }
+
+let publish t =
+  let e = Epoch.of_dynamic t.dyn in
+  Atomic.set t.epoch e;
+  e
+
+let of_dynamic dyn = { dyn; epoch = Atomic.make (Epoch.of_dynamic dyn) }
+let create ?leaf_weight ~k ~d () = of_dynamic (Kwsc.Dynamic.create ?leaf_weight ~k ~d ())
+let current t = Atomic.get t.epoch
+let version t = Kwsc.Dynamic.version t.dyn
+let size t = Kwsc.Dynamic.size t.dyn
+let live t id = Kwsc.Dynamic.live t.dyn id
+let bucket_sizes t = Kwsc.Dynamic.buckets t.dyn
+
+let insert t obj =
+  let id = Kwsc.Dynamic.insert t.dyn obj in
+  ignore (publish t);
+  id
+
+let delete t id =
+  let v = Kwsc.Dynamic.version t.dyn in
+  Kwsc.Dynamic.delete t.dyn id;
+  (* an idempotent re-delete changes nothing: don't publish a twin epoch *)
+  if Kwsc.Dynamic.version t.dyn <> v then ignore (publish t)
+
+let query t q ws = Epoch.query (current t) q ws
+let query_stats t q ws = Epoch.query_stats (current t) q ws
+let query_batch ?pool t qs = Epoch.query_batch ?pool (current t) qs
+
+let default_small_cap = 64
+
+let maintain ?(small_cap = default_small_cap) t =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let proceed =
+      (* fold only small levels; compacting a large one is the half-dead
+         rebuild trigger's job, not the maintenance loop's *)
+      match List.rev (Kwsc.Dynamic.buckets t.dyn) with
+      | s1 :: s2 :: _ -> s1 <= small_cap && s2 <= small_cap
+      | [ s1 ] -> s1 <= small_cap
+      | [] -> false
+    in
+    if proceed && Kwsc.Dynamic.merge_smallest t.dyn then changed := true
+    else continue_ := false
+  done;
+  if !changed then ignore (publish t);
+  !changed
+
+let checkpoint t path = Kwsc.Dynamic.save path t.dyn
+let restore path = Result.map of_dynamic (Kwsc.Dynamic.load path)

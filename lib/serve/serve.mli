@@ -1,0 +1,76 @@
+(** The [kwsc serve] core: a single-writer, multi-reader serving loop over
+    {!Kwsc.Dynamic} with snapshot-consistent reads.
+
+    Concurrency contract:
+    - exactly one domain (the writer) may call {!insert}, {!delete},
+      {!maintain}, {!checkpoint}, or {!publish};
+    - any number of domains may call {!current} and query the returned
+      {!Epoch.t} (or use the {!query}/{!query_batch} conveniences, which
+      pin one epoch for the whole call).
+
+    Every effective update publishes a fresh immutable epoch under the
+    monotonic {!version} watermark through a single [Atomic.t] — the only
+    cross-domain mutable in the serve layer (lint rule R13). Readers never
+    observe a half-carried bucket chain: a query sees exactly the answers
+    of a sequential replay stopped at its epoch's watermark. *)
+
+open Kwsc_geom
+
+type t
+
+val create : ?leaf_weight:int -> k:int -> d:int -> unit -> t
+(** An empty server for k-keyword queries over R^d. *)
+
+val of_dynamic : Kwsc.Dynamic.t -> t
+(** Wrap an existing index (takes ownership: the caller must stop mutating
+    it directly) and publish its current state as the first epoch. *)
+
+val insert : t -> Point.t * Kwsc_invindex.Doc.t -> int
+(** Writer only. Apply and publish; returns the permanent id. *)
+
+val delete : t -> int -> unit
+(** Writer only. Tombstone and publish. Idempotent — re-deleting a dead id
+    publishes nothing. *)
+
+val current : t -> Epoch.t
+(** The latest published epoch — one atomic load; safe from any domain. *)
+
+val query : t -> Rect.t -> int array -> int array
+val query_stats : t -> Rect.t -> int array -> int array * Kwsc.Stats.query
+
+val query_batch :
+  ?pool:Kwsc_util.Pool.t ->
+  t ->
+  (Rect.t * int array) array ->
+  int array array * Kwsc.Stats.query
+(** Pin the current epoch and evaluate against it (see {!Epoch}); a batch
+    never straddles two watermarks. *)
+
+val maintain : ?small_cap:int -> t -> bool
+(** Writer only. Background maintenance: repeatedly fold the smallest
+    carry-chain level (stored size at most [small_cap], default 64) into
+    the frozen chain, dropping its tombstones, then publish once. Readers
+    keep serving the previous epoch until the merged one is published —
+    the work stays off the read path. Returns whether anything changed;
+    answers and the watermark never do. *)
+
+val publish : t -> Epoch.t
+(** Writer only. Force-freeze the current state into a fresh epoch. Update
+    operations publish automatically; exposed for tests. *)
+
+val version : t -> int
+(** The writer-side watermark ([Kwsc.Dynamic.version]); equals
+    [Epoch.version (current t)] whenever no update is in flight. *)
+
+val size : t -> int
+val live : t -> int -> (Point.t * Kwsc_invindex.Doc.t) option
+val bucket_sizes : t -> int list
+
+val checkpoint : t -> string -> unit
+(** Writer only. [Kwsc.Dynamic.save] of the current state: a durable,
+    corruption-refusing restart point carrying the watermark. *)
+
+val restore : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Rebuild a server from a checkpoint without rebuilding any static index
+    and publish the restored state as its first epoch. Answers, counters,
+    and the watermark round-trip exactly. *)

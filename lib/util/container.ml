@@ -41,12 +41,74 @@ let push_word_bits out base m =
     m := !m land (!m - 1)
   done
 
-(* membership probe of one id against a dense word bank, pushing it on a
-   hit. Top-level for the same A1 reason as [push_word_bits]; the word
-   load is checked — its index comes from data, not a counted loop. *)
-let probe_dense_push words out x =
-  let w = Wordops.div_bits x in
-  if words.(w) land (1 lsl (x - (Wordops.bits * w))) <> 0 then Ibuf.push out x
+(* span membership probe against a dense word bank, batched per 63-bit
+   word. The cursor (base = 63 * wi, cur = words.(wi)) caches the word
+   under the previous id: ids landing in the same word probe with a
+   subtract + mask and zero divisions. A word crossing re-derives the
+   cursor from the id alone — one branch-free magic multiply that
+   depends only on [x], never on the previous cursor, so back-to-back
+   crossings pipeline instead of serialising through a loop-carried
+   multiply chain. Tail recursion keeps the cursor in registers.
+   Top-level for the same A1 reason as [push_word_bits]. Both
+   unchecked loads lean on entry checks in [inter_span_into]'s Dense
+   arm: the span read on [hi <= length a] plus the [i < hi] test here,
+   the word load on [a.(hi - 1) < universe] (the span is ascending, so
+   every wi < nwords universe = length words) — and the magic multiply
+   is exact because ids stay under [Wordops.div_bits_magic_bound],
+   checked against the universe at the same entry point (A3). *)
+let rec probe_span_dense a ~hi words out i base cur =
+  if i < hi then begin
+    let x = Array.unsafe_get a i in
+    let off = x - base in
+    if off < Wordops.bits then begin
+      if cur land (1 lsl off) <> 0 then Ibuf.push out x;
+      probe_span_dense a ~hi words out (i + 1) base cur
+    end
+    else begin
+      let wi = Wordops.div_bits_magic x in
+      let base = (wi lsl 6) - wi (* 63 * wi, strength-reduced *) in
+      let cur = Array.unsafe_get words wi in
+      if cur land (1 lsl (x - base)) <> 0 then Ibuf.push out x;
+      probe_span_dense a ~hi words out (i + 1) base cur
+    end
+  end
+
+(* wide-gap spans (average gap of a word or more): the cursor above
+   would miss its cached word on nearly every id and pay the test for
+   nothing, so probe four ids per stride with the branch-free magic
+   divide instead — each probe depends only on its own id, so the four
+   multiply chains overlap in the pipeline. Sequential hit tests keep
+   the output ascending. Licensed by the same Dense-arm entry checks
+   as [probe_span_dense]: [!i + 4 <= hi] with [hi <= length a] covers
+   the span reads, ids < universe covers the word loads (A3). *)
+let probe_span_dense_wide a ~lo ~hi words out =
+  let i = ref lo in
+  while !i + 4 <= hi do
+    let j = !i in
+    let x0 = Array.unsafe_get a j in
+    let x1 = Array.unsafe_get a (j + 1) in
+    let x2 = Array.unsafe_get a (j + 2) in
+    let x3 = Array.unsafe_get a (j + 3) in
+    let w0 = Wordops.div_bits_magic x0 in
+    let w1 = Wordops.div_bits_magic x1 in
+    let w2 = Wordops.div_bits_magic x2 in
+    let w3 = Wordops.div_bits_magic x3 in
+    let c0 = Array.unsafe_get words w0 in
+    let c1 = Array.unsafe_get words w1 in
+    let c2 = Array.unsafe_get words w2 in
+    let c3 = Array.unsafe_get words w3 in
+    if c0 land (1 lsl (x0 - ((w0 lsl 6) - w0))) <> 0 then Ibuf.push out x0;
+    if c1 land (1 lsl (x1 - ((w1 lsl 6) - w1))) <> 0 then Ibuf.push out x1;
+    if c2 land (1 lsl (x2 - ((w2 lsl 6) - w2))) <> 0 then Ibuf.push out x2;
+    if c3 land (1 lsl (x3 - ((w3 lsl 6) - w3))) <> 0 then Ibuf.push out x3;
+    i := j + 4
+  done;
+  while !i < hi do
+    let x = a.(!i) in
+    let wi = Wordops.div_bits_magic x in
+    if words.(wi) land (1 lsl (x - ((wi lsl 6) - wi))) <> 0 then Ibuf.push out x;
+    incr i
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Classification                                                      *)
@@ -271,28 +333,34 @@ let inter_span_into a ~lo ~hi b out =
   match b.kind with
   | Sparse -> Sorted.gallop_intersect_into a ~alo:lo ~ahi:hi b.ids ~blo:0 ~bhi:b.card out
   | Dense ->
-      (* membership probes, eight span elements per stride: the span
-         reads are unchecked under the `i + 8 <= hi` guard (A3); the
-         word loads inside [probe_dense_push] stay checked — their
-         indexes come from data *)
-      let w = b.words in
-      let i = ref lo in
-      while !i + 8 <= hi do
-        let j = !i in
-        probe_dense_push w out (Array.unsafe_get a j);
-        probe_dense_push w out (Array.unsafe_get a (j + 1));
-        probe_dense_push w out (Array.unsafe_get a (j + 2));
-        probe_dense_push w out (Array.unsafe_get a (j + 3));
-        probe_dense_push w out (Array.unsafe_get a (j + 4));
-        probe_dense_push w out (Array.unsafe_get a (j + 5));
-        probe_dense_push w out (Array.unsafe_get a (j + 6));
-        probe_dense_push w out (Array.unsafe_get a (j + 7));
-        i := j + 8
-      done;
-      while !i < hi do
-        probe_dense_push w out a.(!i);
-        incr i
-      done
+      (* membership probes batched per 63-bit word (see
+         [probe_span_dense]). The entry checks here license the
+         kernel's unchecked loads and its branch-free magic divide;
+         the initial base of [-bits] forces the first id onto the
+         crossing path, which derives a real cursor. Universes beyond
+         the magic-exact range (never seen in practice) fall back to
+         per-id [Wordops.div_bits] probes with checked loads. *)
+      if hi > Array.length a then invalid_arg "inter_span_into: span bound exceeds array";
+      if lo < hi then begin
+        if a.(hi - 1) >= b.universe then
+          invalid_arg "inter_span_into: span id exceeds the container universe";
+        if b.universe <= Wordops.div_bits_magic_bound then begin
+          (* average gap under one word: neighbouring ids share words,
+             so the cursor kernel amortises its cached word; wider
+             gaps: the four-wide independent-probe kernel *)
+          if a.(hi - 1) - a.(lo) < (hi - lo) * Wordops.bits then
+            probe_span_dense a ~hi b.words out lo (-Wordops.bits) 0
+          else probe_span_dense_wide a ~lo ~hi b.words out
+        end
+        else begin
+          let w = b.words in
+          for i = lo to hi - 1 do
+            let x = a.(i) in
+            let wi = Wordops.div_bits x in
+            if w.(wi) land (1 lsl (x - (Wordops.bits * wi))) <> 0 then Ibuf.push out x
+          done
+        end
+      end
   | Runs ->
       let pairs = b.ids in
       let nr = Array.length pairs lsr 1 in

@@ -30,6 +30,12 @@ let exact_bound = 2_000_000_000
 let div_bits x = if x <= exact_bound then (x * magic) lsr 37 else x / bits
 let mod_bits x = x - (bits * div_bits x)
 
+(* the branch-free magic step alone, for kernels that hoist the
+   [exact_bound] range check out of their per-element loop (one check
+   against the universe bound licenses the whole span) *)
+let div_bits_magic x = (x * magic) lsr 37
+let div_bits_magic_bound = exact_bound
+
 (* SWAR popcount of a 63-bit word. The classic 64-bit constants do not
    fit an OCaml int literal; the adapted masks are exact for 63 payload
    bits: step 1 pairs bits (0,1)..(60,61) — [x lsr 1] never carries a

@@ -18,6 +18,14 @@ val div_bits : int -> int
 val mod_bits : int -> int
 (** [mod_bits x] is [x mod bits] for non-negative [x]. *)
 
+val div_bits_magic : int -> int
+(** The branch-free magic-multiply step of {!div_bits}: exact for
+    [0 <= x <= div_bits_magic_bound], garbage beyond. For kernels that
+    check the range once per span instead of once per element. *)
+
+val div_bits_magic_bound : int
+(** Largest [x] for which {!div_bits_magic} is exact (about 2e9). *)
+
 val popcount : int -> int
 (** SWAR popcount of a 63-bit word (all 63 payload bits counted). *)
 

@@ -12,3 +12,8 @@ val load : string -> (Point.t * Kwsc_invindex.Doc.t) array
 (** Read a dataset back.
     @raise Failure on a malformed line (with the line number).
     @raise Sys_error on I/O failure. *)
+
+val parse_line : int -> string -> Point.t * Kwsc_invindex.Doc.t
+(** Parse one dataset line (["x1,x2|kw1;kw2"]); [lineno] only labels the
+    error. Used by [kwsc serve]'s insert command.
+    @raise Failure on a malformed line. *)

@@ -132,3 +132,38 @@ if $kwsc load --index "$snapdir/orp4_flip.snap" -i "$snapdir/data.csv" \
   echo "bit-flipped sharded snapshot was accepted" >&2
   exit 1
 fi
+
+# Serve gate: insert -> query -> checkpoint -> kill -> restore must
+# print byte-identical answers (ids, live count, watermark and work
+# counters all round-trip), with the reader pool forced sequential and
+# at 4 domains.  Maintenance runs before the recorded query so the
+# live and restored chains are physically identical.
+sed 's/^/insert /' "$snapdir/data.csv" | head -n 300 > "$snapdir/serve_cmds"
+cat >> "$snapdir/serve_cmds" <<'EOF'
+delete 3
+delete 10
+delete 11
+maintain
+query 100,100 600,600 1,2
+checkpoint
+quit
+EOF
+for domains in 1 4; do
+  KWSC_DOMAINS=$domains $kwsc serve -k 2 -d 2 \
+    --checkpoint "$snapdir/serve_$domains.snap" < "$snapdir/serve_cmds" \
+    > "$snapdir/serve_live_$domains.out"
+  grep '^ids=' "$snapdir/serve_live_$domains.out" > "$snapdir/serve_live_$domains.ans"
+  printf 'query 100,100 600,600 1,2\nquit\n' \
+    | KWSC_DOMAINS=$domains $kwsc serve --restore "$snapdir/serve_$domains.snap" \
+    > "$snapdir/serve_restored_$domains.out"
+  grep '^ids=' "$snapdir/serve_restored_$domains.out" > "$snapdir/serve_restored_$domains.ans"
+  diff "$snapdir/serve_live_$domains.ans" "$snapdir/serve_restored_$domains.ans"
+done
+# the two pool sizes must agree with each other too
+diff "$snapdir/serve_live_1.ans" "$snapdir/serve_live_4.ans"
+# a truncated serve checkpoint must be refused, not restored
+head -c 60 "$snapdir/serve_1.snap" > "$snapdir/serve_trunc.snap"
+if printf 'quit\n' | $kwsc serve --restore "$snapdir/serve_trunc.snap" > /dev/null; then
+  echo "truncated serve checkpoint was accepted" >&2
+  exit 1
+fi

@@ -27,9 +27,16 @@ let r5 x = x = 1.0
 (* R6: blanket exception handler *)
 let r6 f = try f () with _ -> 0
 
-(* R8: raw multicore primitives in library code (lib/ scope) *)
+(* R8: raw multicore primitives in library code (lib/ scope).  Under
+   the meta-test's --assume-serve the Atomic uses fire R13 instead —
+   the serving layer's epoch-discipline rule owns Atomic there — so R8
+   is seeded with a non-Atomic primitive. *)
 let r8_spawn f = Domain.spawn f
-let r8_value = Atomic.get
+let r8_value = Mutex.lock
+
+(* R13: Atomic outside lib/serve/serve.ml (serve scope) *)
+let r13_publish c v = Atomic.set c v
+let r13_value = Atomic.get
 
 (* R9: Hashtbl and list construction in a query-kernel module (kernel scope) *)
 let r9_table () = Hashtbl.create 7

@@ -22,6 +22,7 @@ let () =
       ("ablation", Test_ablation.suite);
       ("integration", Test_integration.suite);
       ("dynamic/pad", Test_dynamic.suite);
+      ("serve", Test_serve.suite);
       ("validation", Test_validation.suite);
       ("stress", Test_stress.suite);
       ("parallel-diff", Test_parallel_diff.suite);

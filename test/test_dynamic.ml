@@ -197,6 +197,196 @@ let qcheck_dynamic =
       let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
       model_query !model q ws = Dyn.query t q ws)
 
+(* --- Delete-trigger boundary pins (run under KWSC_AUDIT=1) ----------- *)
+
+(* Every case below runs with the deep auditor armed, so the exactness
+   invariants (dead_pending = tombstones the buckets still reference, the
+   tombstone bitmap mirroring the slots, no buckets at size 0) are checked
+   after every single update — each of these sequences violated at least
+   one of them before the bookkeeping fixes. *)
+let with_audit f () =
+  Unix.putenv "KWSC_AUDIT" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "KWSC_AUDIT" "0") f
+
+let bucket_total t = List.fold_left ( + ) 0 (Dyn.buckets t)
+
+(* Half-dead trigger at an odd live count: the rebuild must fire exactly
+   when tombstones catch up with the live objects, leaving a compacted
+   chain with no dead entries. *)
+let test_boundary_half_dead_odd =
+  with_audit (fun () ->
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let rng = Prng.create 991 in
+      let ids = Array.init 21 (fun _ -> Dyn.insert t (random_obj rng)) in
+      for i = 0 to 10 do
+        Dyn.delete t ids.(i)
+      done;
+      (* 11 dead vs 10 live crossed the threshold: chain is compacted *)
+      Alcotest.(check int) "live" 10 (Dyn.size t);
+      Alcotest.(check int) "no tombstones left in buckets" (Dyn.size t) (bucket_total t))
+
+(* Deleting down to size 0 with at most 8 tombstones used to leave
+   all-dead buckets behind forever (the >8 floor kept the rebuild from
+   firing); the chain must be empty instead. *)
+let test_boundary_delete_to_zero =
+  with_audit (fun () ->
+      List.iter
+        (fun n ->
+          let t = Dyn.create ~k:2 ~d:2 () in
+          let rng = Prng.create (992 + n) in
+          let ids = List.init n (fun _ -> Dyn.insert t (random_obj rng)) in
+          List.iter (Dyn.delete t) ids;
+          Alcotest.(check int) (Printf.sprintf "n=%d: empty" n) 0 (Dyn.size t);
+          Alcotest.(check (list int)) (Printf.sprintf "n=%d: no buckets" n) [] (Dyn.buckets t);
+          Helpers.check_ids
+            (Printf.sprintf "n=%d: no answers" n)
+            [||]
+            (Dyn.query t (Rect.full 2) [| 1; 2 |]))
+        [ 1; 5; 8; 64 ])
+
+(* Delete-all-then-insert: ids stay stable (never reused), the version
+   watermark keeps ticking, and the fresh chain holds exactly the new
+   objects. *)
+let test_boundary_delete_all_then_insert =
+  with_audit (fun () ->
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let rng = Prng.create 993 in
+      let ids = List.init 12 (fun _ -> Dyn.insert t (random_obj rng)) in
+      List.iter (Dyn.delete t) ids;
+      Alcotest.(check int) "24 updates so far" 24 (Dyn.version t);
+      let fresh = ref [] in
+      for _ = 1 to 3 do
+        fresh := Dyn.insert t (random_obj rng) :: !fresh
+      done;
+      Alcotest.(check (list int)) "ids continue, never reused" [ 12; 13; 14 ] (List.rev !fresh);
+      Alcotest.(check int) "only the new objects are stored" 3 (bucket_total t);
+      Alcotest.(check int) "watermark" 27 (Dyn.version t);
+      (* re-deleting a tombstone is a no-op for the watermark *)
+      Dyn.delete t (List.hd ids);
+      Alcotest.(check int) "idempotent delete does not tick" 27 (Dyn.version t))
+
+(* Carry merges drop tombstones: the credit they return to dead_pending
+   is what the auditor's exactness check pins (the old code over-counted
+   here, firing spurious global rebuilds after insert-heavy phases). *)
+let test_boundary_carry_compaction =
+  with_audit (fun () ->
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let rng = Prng.create 994 in
+      let ids = Array.init 40 (fun _ -> Dyn.insert t (random_obj rng)) in
+      for i = 0 to 9 do
+        Dyn.delete t ids.(i)
+      done;
+      (* insert-heavy phase: carries compact most of the 10 tombstones *)
+      for _ = 1 to 40 do
+        ignore (Dyn.insert t (random_obj rng))
+      done;
+      let stored = bucket_total t in
+      Alcotest.(check bool)
+        (Printf.sprintf "tombstones were compacted (stored %d, live %d)" stored (Dyn.size t))
+        true
+        (stored - Dyn.size t <= 10);
+      (* and the audited delete path keeps working from this state *)
+      for i = 10 to 39 do
+        Dyn.delete t ids.(i)
+      done;
+      Alcotest.(check int) "live after churn" 40 (Dyn.size t))
+
+let test_merge_smallest =
+  with_audit (fun () ->
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let rng = Prng.create 995 in
+      let model = ref [] in
+      for _ = 1 to 100 do
+        let obj = random_obj rng in
+        let id = Dyn.insert t obj in
+        model := (id, obj) :: !model
+      done;
+      (* knock a few holes so the fold also drops tombstones *)
+      List.iteri
+        (fun i (id, _) -> if i mod 9 = 0 then Dyn.delete t id)
+        !model;
+      model := List.filteri (fun i _ -> i mod 9 <> 0) !model;
+      let v = Dyn.version t in
+      let before = List.length (Dyn.buckets t) in
+      let steps = ref 0 in
+      while Dyn.merge_smallest t && !steps < 64 do
+        incr steps
+      done;
+      Alcotest.(check bool) "maintenance made progress" true (!steps > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "chain no longer than before (%d -> %d)" before
+           (List.length (Dyn.buckets t)))
+        true
+        (List.length (Dyn.buckets t) <= before);
+      Alcotest.(check int) "watermark untouched" v (Dyn.version t);
+      for _ = 1 to 30 do
+        let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+        let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+        Helpers.check_ids "merged chain = model" (model_query !model q ws) (Dyn.query t q ws)
+      done)
+
+let test_save_load_roundtrip =
+  with_audit (fun () ->
+      let t = Dyn.create ~k:2 ~d:2 () in
+      let rng = Prng.create 996 in
+      let ids = Array.init 80 (fun _ -> Dyn.insert t (random_obj rng)) in
+      Array.iteri (fun i id -> if i mod 7 = 0 then Dyn.delete t id) ids;
+      let path = Filename.temp_file "kwsc_dyn" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Dyn.save path t;
+          match Dyn.load path with
+          | Error e -> Alcotest.failf "load: %s" (Kwsc_snapshot.Codec.error_to_string e)
+          | Ok t' ->
+              Alcotest.(check int) "version" (Dyn.version t) (Dyn.version t');
+              Alcotest.(check int) "size" (Dyn.size t) (Dyn.size t');
+              Alcotest.(check (list int)) "bucket chain" (Dyn.buckets t) (Dyn.buckets t');
+              for _ = 1 to 40 do
+                let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+                let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+                Helpers.check_ids "restored = original" (Dyn.query t q ws) (Dyn.query t' q ws)
+              done;
+              (* the restored index accepts further audited updates *)
+              let id = Dyn.insert t' (random_obj rng) in
+              Alcotest.(check int) "ids continue after restore" 80 id))
+
+let test_load_refuses_corruption () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 997 in
+  let ids = Array.init 30 (fun _ -> Dyn.insert t (random_obj rng)) in
+  Dyn.delete t ids.(3);
+  let path = Filename.temp_file "kwsc_dyn" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dyn.save path t;
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      let expect_error what data =
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data);
+        match Dyn.load path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: corrupt snapshot was accepted" what
+      in
+      expect_error "truncated" (String.sub bytes 0 (String.length bytes / 2));
+      expect_error "empty" "";
+      let n = String.length bytes in
+      List.iter
+        (fun pos ->
+          let b = Bytes.of_string bytes in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+          expect_error (Printf.sprintf "bit flip at %d" pos) (Bytes.to_string b))
+        [ 4; n / 3; n / 2; (2 * n / 3); n - 2 ];
+      (* another module's snapshot is refused by kind, not mis-decoded *)
+      let objs =
+        Array.of_list
+          (List.filter_map (fun id -> Dyn.live t id) (Array.to_list ids))
+      in
+      Kwsc.Orp_kw.save path (Kwsc.Orp_kw.build ~k:2 objs);
+      match Dyn.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "foreign kind was accepted")
+
 let suite =
   [
     Alcotest.test_case "insert then query" `Quick test_insert_then_query;
@@ -209,5 +399,14 @@ let suite =
     Alcotest.test_case "pad: validation" `Quick test_pad_validation;
     Alcotest.test_case "pad: input growth" `Quick test_pad_input_growth;
     Alcotest.test_case "flex: mixed arities" `Quick test_flex_arities;
+    Alcotest.test_case "boundary: half-dead at odd live count" `Quick test_boundary_half_dead_odd;
+    Alcotest.test_case "boundary: delete down to size 0" `Quick test_boundary_delete_to_zero;
+    Alcotest.test_case "boundary: delete all then insert" `Quick
+      test_boundary_delete_all_then_insert;
+    Alcotest.test_case "boundary: carry merges credit tombstones" `Quick
+      test_boundary_carry_compaction;
+    Alcotest.test_case "maintenance: merge smallest level" `Quick test_merge_smallest;
+    Alcotest.test_case "checkpoint round-trip" `Quick test_save_load_roundtrip;
+    Alcotest.test_case "checkpoint refuses corruption" `Quick test_load_refuses_corruption;
     QCheck_alcotest.to_alcotest qcheck_dynamic;
   ]

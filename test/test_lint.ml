@@ -11,6 +11,7 @@ let strict =
     assume_hot = true;
     assume_lib = true;
     assume_kernel = true;
+    assume_serve = true;
     require_mli = true }
 
 let rule_fires vs r = List.exists (fun v -> v.Lint.rule = r) vs
@@ -100,6 +101,47 @@ let test_cli_strict_rejects_stale_allow () =
           Alcotest.(check int) "stale entry fails --strict" 1 (run "--strict");
           Alcotest.(check int) "without --strict it only warns" 0 (run "")))
 
+(* R13 scopes by path: an Atomic under lib/serve/ fires unless the file
+   is serve.ml itself — the sanctioned holder of the published epoch
+   cell — and that carve-out also keeps serve.ml's Atomic out of R8. *)
+let test_serve_epoch_discipline () =
+  let root = Filename.temp_file "kwsc_lint_serve" "" in
+  Sys.remove root;
+  let dir = Filename.concat (Filename.concat root "lib") "serve" in
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdirs dir;
+  let write name text =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    path
+  in
+  let rogue = write "cache.ml" "let cell = Atomic.make 0
+" in
+  let writer = write "serve.ml" "let cell = Atomic.make 0
+" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove rogue;
+      Sys.remove writer)
+    (fun () ->
+      let vs_rogue = Lint.lint_file ~config:Lint.default_config rogue in
+      Alcotest.(check bool) "Atomic outside serve.ml fires R13" true
+        (rule_fires vs_rogue Lint.R13);
+      Alcotest.(check bool) "and is not double-reported as R8" false
+        (rule_fires vs_rogue Lint.R8);
+      let vs_writer = Lint.lint_file ~config:Lint.default_config writer in
+      Alcotest.(check bool) "serve.ml's epoch Atomic is sanctioned (no R13)" false
+        (rule_fires vs_writer Lint.R13);
+      Alcotest.(check bool) "serve.ml's epoch Atomic is exempt from R8" false
+        (rule_fires vs_writer Lint.R8))
+
 let test_cli_nonzero_on_fixture () =
   let cmd =
     Printf.sprintf
@@ -126,6 +168,8 @@ let suite =
     Alcotest.test_case "allowlist line scoping" `Quick test_allowlist_line_scoped;
     Alcotest.test_case "stale allow entries are detected" `Quick
       test_stale_allow_detection;
+    Alcotest.test_case "serve epoch discipline (R13) scopes by path" `Quick
+      test_serve_epoch_discipline;
     Alcotest.test_case "cli: --strict rejects stale entries" `Quick
       test_cli_strict_rejects_stale_allow;
     Alcotest.test_case "cli: nonzero exit on violations" `Quick test_cli_nonzero_on_fixture;

@@ -1,0 +1,292 @@
+(* The serve layer: epochs, watermarks, checkpoints, and the differential
+   against a naive live-object scan.
+
+   The load-bearing property is snapshot consistency: an epoch, once
+   published, answers every query exactly as a sequential replay stopped
+   at its watermark — regardless of what the writer does afterwards and
+   regardless of how many domains read it. *)
+
+open Kwsc_geom
+module Doc = Kwsc_invindex.Doc
+module Prng = Kwsc_util.Prng
+module Pool = Kwsc_util.Pool
+module Serve = Kwsc_serve.Serve
+module Epoch = Kwsc_serve.Epoch
+module Stats = Kwsc.Stats
+
+(* Pool sizes 1 and 4 per the serve differential gate (plus 2 to catch
+   off-by-one sharding); joined at exit. *)
+let pools =
+  lazy
+    (let ps = Array.map (fun n -> Pool.create ~domains:n ()) [| 1; 2; 4 |] in
+     at_exit (fun () -> Array.iter Pool.shutdown ps);
+     ps)
+
+let with_audit f () =
+  Unix.putenv "KWSC_AUDIT" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "KWSC_AUDIT" "0") f
+
+let random_obj rng =
+  let p = [| Prng.float rng 100.0; Prng.float rng 100.0 |] in
+  let doc = Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 12)) in
+  (p, doc)
+
+(* The naive reference: scan every id ever assigned through the server's
+   own liveness map. *)
+let naive_scan server ~next_id q ws =
+  let hits = ref [] in
+  for id = next_id - 1 downto 0 do
+    match Serve.live server id with
+    | Some (p, doc) when Rect.contains_point q p && Array.for_all (Doc.mem doc) ws ->
+        hits := id :: !hits
+    | _ -> ()
+  done;
+  Array.of_list !hits
+
+let check_stats_eq what (a : Stats.query) (b : Stats.query) =
+  let ck field va vb = Alcotest.(check int) (what ^ ": " ^ field) va vb in
+  ck "nodes_visited" a.Stats.nodes_visited b.Stats.nodes_visited;
+  ck "covered_nodes" a.Stats.covered_nodes b.Stats.covered_nodes;
+  ck "crossing_nodes" a.Stats.crossing_nodes b.Stats.crossing_nodes;
+  ck "pivot_checked" a.Stats.pivot_checked b.Stats.pivot_checked;
+  ck "small_scanned" a.Stats.small_scanned b.Stats.small_scanned;
+  ck "pruned_empty" a.Stats.pruned_empty b.Stats.pruned_empty;
+  ck "pruned_geom" a.Stats.pruned_geom b.Stats.pruned_geom;
+  ck "reported" a.Stats.reported b.Stats.reported;
+  ck "alloc_words" a.Stats.alloc_words b.Stats.alloc_words;
+  ck "work" (Stats.work a) (Stats.work b)
+
+(* --- epochs are frozen ------------------------------------------------ *)
+
+let test_epoch_isolation =
+  with_audit (fun () ->
+      let s = Serve.create ~k:2 ~d:2 () in
+      let rng = Prng.create 311 in
+      let ids = Array.init 60 (fun _ -> Serve.insert s (random_obj rng)) in
+      let q = Rect.full 2 and ws = [| 1; 2 |] in
+      let e0 = Serve.current s in
+      let a0 = Epoch.query e0 q ws in
+      let v0 = Epoch.version e0 in
+      (* the writer keeps going: deletes, inserts, maintenance *)
+      for i = 0 to 29 do
+        Serve.delete s ids.(i)
+      done;
+      for _ = 1 to 20 do
+        ignore (Serve.insert s (random_obj rng))
+      done;
+      ignore (Serve.maintain s);
+      (* the pinned epoch is bit-identical to its original answers *)
+      Alcotest.(check (array int)) "frozen answers" a0 (Epoch.query e0 q ws);
+      Alcotest.(check int) "frozen watermark" v0 (Epoch.version e0);
+      (* while the current epoch tracks the writer exactly *)
+      let e1 = Serve.current s in
+      Alcotest.(check int) "watermark advanced" (Serve.version s) (Epoch.version e1);
+      Alcotest.(check (array int))
+        "current = naive scan" (naive_scan s ~next_id:80 q ws) (Epoch.query e1 q ws))
+
+let test_watermark_protocol =
+  with_audit (fun () ->
+      let s = Serve.create ~k:2 ~d:2 () in
+      let rng = Prng.create 312 in
+      Alcotest.(check int) "fresh server at watermark 0" 0 (Serve.version s);
+      let id0 = Serve.insert s (random_obj rng) in
+      let id1 = Serve.insert s (random_obj rng) in
+      Alcotest.(check int) "insert ticks" 2 (Serve.version s);
+      Serve.delete s id0;
+      Alcotest.(check int) "delete ticks" 3 (Serve.version s);
+      Serve.delete s id0;
+      Alcotest.(check int) "re-delete does not tick" 3 (Serve.version s);
+      Alcotest.(check int) "epoch carries the watermark" 3
+        (Epoch.version (Serve.current s));
+      ignore (Serve.maintain s);
+      Alcotest.(check int) "maintenance does not tick" 3 (Serve.version s);
+      ignore id1)
+
+(* --- background maintenance ------------------------------------------ *)
+
+let test_maintain_merges_small_levels =
+  with_audit (fun () ->
+      let s = Serve.create ~k:2 ~d:2 () in
+      let rng = Prng.create 313 in
+      for _ = 1 to 87 do
+        ignore (Serve.insert s (random_obj rng))
+      done;
+      (* make sure the chain has at least two levels to fold *)
+      while List.length (Serve.bucket_sizes s) < 2 do
+        ignore (Serve.insert s (random_obj rng))
+      done;
+      let before = List.length (Serve.bucket_sizes s) in
+      let q = Rect.full 2 and ws = [| 1; 2 |] in
+      let answers = Serve.query s q ws in
+      let changed = Serve.maintain ~small_cap:1000 s in
+      Alcotest.(check bool) "maintenance folded the chain" true changed;
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer levels (%d -> %d)" before (List.length (Serve.bucket_sizes s)))
+        true
+        (List.length (Serve.bucket_sizes s) < before);
+      Alcotest.(check (array int)) "answers unchanged" answers (Serve.query s q ws);
+      Alcotest.(check bool) "maintenance reaches a fixpoint" false
+        (Serve.maintain ~small_cap:1000 s))
+
+(* --- the qcheck differential (satellite): insert/delete/query/
+       checkpoint/restore against the naive scan --------------------- *)
+
+let qcheck_serve_differential =
+  QCheck.Test.make ~name:"serve loop equals naive live-object scan" ~count:15
+    QCheck.(small_int)
+    (fun seed ->
+      Unix.putenv "KWSC_AUDIT" "1";
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "KWSC_AUDIT" "0")
+        (fun () ->
+          let rng = Prng.create (7000 + seed) in
+          let server = ref (Serve.create ~k:2 ~d:2 ()) in
+          let next_id = ref 0 in
+          let path = Filename.temp_file "kwsc_serve" ".snap" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              let ok = ref true in
+              let check_query () =
+                let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+                let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+                let expect = naive_scan !server ~next_id:!next_id q ws in
+                if Serve.query !server q ws <> expect then ok := false
+              in
+              for _ = 1 to 120 do
+                match Prng.int rng 10 with
+                | 0 | 1 when !next_id > 0 ->
+                    (* delete (possibly already dead) *)
+                    Serve.delete !server (Prng.int rng !next_id)
+                | 2 ->
+                    (* checkpoint, restore, continue on the restored server *)
+                    Serve.checkpoint !server path;
+                    let v = Serve.version !server and n = Serve.size !server in
+                    (match Serve.restore path with
+                    | Error _ -> ok := false
+                    | Ok s' ->
+                        if Serve.version s' <> v || Serve.size s' <> n then ok := false;
+                        server := s')
+                | 3 -> ignore (Serve.maintain !server)
+                | 4 -> check_query ()
+                | _ ->
+                    let id = Serve.insert !server (random_obj rng) in
+                    if id <> !next_id then ok := false;
+                    incr next_id
+              done;
+              check_query ();
+              !ok)))
+
+(* Slot-wise answer and counter equality across pool sizes 1/2/4 for a
+   batch pinned to one epoch. *)
+let test_batch_pool_equality =
+  with_audit (fun () ->
+      let s = Serve.create ~k:2 ~d:2 () in
+      let rng = Prng.create 314 in
+      let ids = Array.init 150 (fun _ -> Serve.insert s (random_obj rng)) in
+      Array.iteri (fun i id -> if i mod 5 = 0 then Serve.delete s id) ids;
+      let qs =
+        Array.init 24 (fun _ ->
+            ( Helpers.random_rect rng ~d:2 ~range:100.0,
+              Helpers.random_keywords rng ~vocab:12 ~k:2 ))
+      in
+      let e = Serve.current s in
+      let base_answers, base_stats = Epoch.query_batch ~pool:(Lazy.force pools).(0) e qs in
+      (* the sequential reference is the naive scan, slot by slot *)
+      Array.iteri
+        (fun i (q, ws) ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "slot %d = naive scan" i)
+            (naive_scan s ~next_id:150 q ws)
+            base_answers.(i))
+        qs;
+      Array.iter
+        (fun pool ->
+          let answers, stats = Epoch.query_batch ~pool e qs in
+          Array.iteri
+            (fun i a ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "slot %d at %d domains" i (Pool.size pool))
+                base_answers.(i) a)
+            answers;
+          check_stats_eq (Printf.sprintf "counters at %d domains" (Pool.size pool)) base_stats
+            stats)
+        (Lazy.force pools))
+
+(* --- a real concurrent reader ---------------------------------------- *)
+
+(* One reader domain hammers [current] while the writer churns: watermarks
+   must be monotonic, and each pinned epoch must answer identically when
+   queried twice (a torn or mutated epoch would not). *)
+let test_concurrent_reader () =
+  let s = Serve.create ~k:2 ~d:2 () in
+  let rng = Prng.create 315 in
+  let seed_ids = Array.init 50 (fun _ -> Serve.insert s (random_obj rng)) in
+  let q = Rect.full 2 and ws = [| 1; 2 |] in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        let last = ref (-1) in
+        let checks = ref 0 in
+        while not (Atomic.get stop) do
+          let e = Serve.current s in
+          let v = Epoch.version e in
+          if v < !last then failwith "watermark went backwards";
+          last := v;
+          let a = Epoch.query e q ws in
+          if a <> Epoch.query e q ws then failwith "epoch answers are not frozen";
+          if Array.length a > Epoch.live_count e then failwith "answers exceed epoch live count";
+          incr checks
+        done;
+        !checks)
+  in
+  for round = 1 to 400 do
+    if round mod 3 = 0 && round / 3 <= 50 then Serve.delete s seed_ids.((round / 3) - 1)
+    else ignore (Serve.insert s (random_obj rng));
+    if round mod 97 = 0 then ignore (Serve.maintain s)
+  done;
+  Atomic.set stop true;
+  let checks = Domain.join reader in
+  Alcotest.(check bool) (Printf.sprintf "reader observed %d epochs" checks) true (checks > 0)
+
+(* --- checkpoint → kill → restore ------------------------------------- *)
+
+let test_checkpoint_restore_exact =
+  with_audit (fun () ->
+      let s = Serve.create ~k:2 ~d:2 () in
+      let rng = Prng.create 316 in
+      let ids = Array.init 90 (fun _ -> Serve.insert s (random_obj rng)) in
+      Array.iteri (fun i id -> if i mod 4 = 0 then Serve.delete s id) ids;
+      ignore (Serve.maintain s);
+      let path = Filename.temp_file "kwsc_serve" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Serve.checkpoint s path;
+          match Serve.restore path with
+          | Error e -> Alcotest.failf "restore: %s" (Kwsc_snapshot.Codec.error_to_string e)
+          | Ok s' ->
+              Alcotest.(check int) "watermark" (Serve.version s) (Serve.version s');
+              Alcotest.(check int) "live count" (Serve.size s) (Serve.size s');
+              Alcotest.(check (list int)) "frozen chain" (Serve.bucket_sizes s)
+                (Serve.bucket_sizes s');
+              for _ = 1 to 40 do
+                let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+                let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+                let a, st = Serve.query_stats s q ws in
+                let a', st' = Serve.query_stats s' q ws in
+                Alcotest.(check (array int)) "answers round-trip" a a';
+                check_stats_eq "logical counters round-trip" st st'
+              done))
+
+let suite =
+  [
+    Alcotest.test_case "epoch isolation" `Quick test_epoch_isolation;
+    Alcotest.test_case "watermark protocol" `Quick test_watermark_protocol;
+    Alcotest.test_case "maintenance merges small levels" `Quick
+      test_maintain_merges_small_levels;
+    Alcotest.test_case "batch equality at 1/2/4 domains" `Quick test_batch_pool_equality;
+    Alcotest.test_case "concurrent reader" `Quick test_concurrent_reader;
+    Alcotest.test_case "checkpoint/restore is exact" `Quick test_checkpoint_restore_exact;
+    QCheck_alcotest.to_alcotest qcheck_serve_differential;
+  ]

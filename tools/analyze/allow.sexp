@@ -18,48 +18,50 @@
 
 ; --- A3: unsafe-access gating -----------------------------------------
 (A3 lib/snapshot/codec.ml 102) ; slice-by-8 CRC loop maintains !i + 8 <= n, so !i + j is in bounds for j in 0..7
-; inter_span_into: eight-wide probe stride under `while !i + 8 <= hi` with j = !i, so j + 0..7 < hi <= length a
-(A3 lib/util/container.ml 282) ; span load j + 0 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 283) ; span load j + 1 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 284) ; span load j + 2 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 285) ; span load j + 3 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 286) ; span load j + 4 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 287) ; span load j + 5 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 288) ; span load j + 6 sits under the `!i + 8 <= hi` stride guard (j = !i)
-(A3 lib/util/container.ml 289) ; span load j + 7 sits under the `!i + 8 <= hi` stride guard (j = !i)
 ; inter_dense_dense: eight-wide word AND under `while !w + 8 <= nw` with i = !w and nw = min of both bank lengths
-(A3 lib/util/container.ml 318) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 319) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 320) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 321) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 322) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 323) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 324) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 325) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+; probe_span_dense: the word-cursor span probe; inter_span_into's Dense arm checks hi <= length a, a.(hi-1) < universe and universe <= div_bits_magic_bound before the initial call
+(A3 lib/util/container.ml 70) ; word load wi = div_bits_magic x with x < universe (Dense-arm entry check), so wi < nwords universe = length words
+; probe_span_dense_wide: four-wide independent magic probes under `while !i + 4 <= hi` with j = !i, same Dense-arm entry checks
+(A3 lib/util/container.ml 88) ; span load j + 0 sits under the `!i + 4 <= hi` stride guard (j = !i, hi <= length a checked at the Dense arm)
+(A3 lib/util/container.ml 89) ; span load j + 1 sits under the `!i + 4 <= hi` stride guard (j = !i, hi <= length a checked at the Dense arm)
+(A3 lib/util/container.ml 90) ; span load j + 2 sits under the `!i + 4 <= hi` stride guard (j = !i, hi <= length a checked at the Dense arm)
+(A3 lib/util/container.ml 91) ; span load j + 3 sits under the `!i + 4 <= hi` stride guard (j = !i, hi <= length a checked at the Dense arm)
+(A3 lib/util/container.ml 96) ; word load w0 = div_bits_magic x0 with x0 < universe (Dense-arm entry check), so w0 < nwords universe = length words
+(A3 lib/util/container.ml 97) ; word load w1 = div_bits_magic x1 with x1 < universe (Dense-arm entry check), so w1 < nwords universe = length words
+(A3 lib/util/container.ml 98) ; word load w2 = div_bits_magic x2 with x2 < universe (Dense-arm entry check), so w2 < nwords universe = length words
+(A3 lib/util/container.ml 99) ; word load w3 = div_bits_magic x3 with x3 < universe (Dense-arm entry check), so w3 < nwords universe = length words
+(A3 lib/util/container.ml 386) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 387) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 388) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 389) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 390) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 391) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 392) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 393) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
 ; inter_dense_card: the same eight-wide stride feeding popcounts, same `!w + 8 <= nw` guard
-(A3 lib/util/container.ml 352) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 353) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 354) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 355) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 356) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 357) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 358) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 359) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
-(A3 lib/util/container.ml 497) ; Ibuf.unsafe_data spans a scratch buffer whose length this loop reads back per iteration; the span never outlives the call
-(A3 lib/util/container.ml 533) ; Ibuf.unsafe_data spans a scratch buffer sized by Ibuf.reserve nw two lines above; the span never outlives the call
+(A3 lib/util/container.ml 420) ; word load i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 421) ; word load i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 422) ; word load i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 423) ; word load i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 424) ; word load i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 425) ; word load i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 426) ; word load i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 427) ; word load i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w, nw = min length)
+(A3 lib/util/container.ml 565) ; Ibuf.unsafe_data spans a scratch buffer whose length this loop reads back per iteration; the span never outlives the call
+(A3 lib/util/container.ml 601) ; Ibuf.unsafe_data spans a scratch buffer sized by Ibuf.reserve nw two lines above; the span never outlives the call
 ; intersect_query And_words: eight-wide AND pass over the reserved scratch bank, `while !w + 8 <= nw` with i = !w; both arrays hold >= nw words (Ibuf.reserve nw / all_dense_same_universe)
-(A3 lib/util/container.ml 540) ; scratch word i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 541) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 542) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 543) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 544) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 545) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 546) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 547) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 548) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 549) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 550) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 551) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 552) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 553) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)
-(A3 lib/util/container.ml 554) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 608) ; scratch word i + 0 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 609) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 610) ; scratch word i + 1 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 611) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 612) ; scratch word i + 2 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 613) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 614) ; scratch word i + 3 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 615) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 616) ; scratch word i + 4 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 617) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 618) ; scratch word i + 5 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 619) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 620) ; scratch word i + 6 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 621) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)
+(A3 lib/util/container.ml 622) ; scratch word i + 7 sits under the `!w + 8 <= nw` stride guard (i = !w)

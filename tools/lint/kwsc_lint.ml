@@ -9,7 +9,7 @@ module Lint = Kwsc_lint_lib.Lint
 
 let usage =
   "kwsc_lint [--allow FILE] [--strict] [--assume-hot] [--assume-lib] [--assume-kernel] \
-   [--require-mli] [path ...]"
+   [--assume-serve] [--require-mli] [path ...]"
 
 let print_rules () =
   List.iter
@@ -23,6 +23,7 @@ let () =
   let assume_hot = ref false in
   let assume_lib = ref false in
   let assume_kernel = ref false in
+  let assume_serve = ref false in
   let require_mli = ref false in
   let rev_paths = ref [] in
   let spec =
@@ -36,6 +37,8 @@ let () =
        " treat every input as library code (rule R3)");
       ("--assume-kernel", Arg.Set assume_kernel,
        " treat every input as a query-kernel module (rule R9)");
+      ("--assume-serve", Arg.Set assume_serve,
+       " treat every input as serving-layer code (rule R13)");
       ("--require-mli", Arg.Set require_mli,
        " require a .mli beside every .ml (rule R7)");
       ("--rules", Arg.Unit print_rules, " list the rules and exit") ]
@@ -58,7 +61,8 @@ let () =
   in
   let config =
     { Lint.assume_hot = !assume_hot; assume_lib = !assume_lib;
-      assume_kernel = !assume_kernel; require_mli = !require_mli; allow }
+      assume_kernel = !assume_kernel; assume_serve = !assume_serve;
+      require_mli = !require_mli; allow }
   in
   (match List.filter (fun p -> not (Sys.file_exists p)) paths with
   | [] -> ()

@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -19,6 +19,7 @@ let rule_id = function
   | R10 -> "R10"
   | R11 -> "R11"
   | R12 -> "R12"
+  | R13 -> "R13"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -41,6 +42,9 @@ let rule_doc = function
   | R12 ->
       "shard-id arithmetic outside lib/shard/: Plan.owner_of is the partition function; \
        code that re-derives owners drifts from the router — route through Kwsc_shard"
+  | R13 ->
+      "shared mutable in the serving layer outside the published epoch: the Atomic epoch \
+       cell in lib/serve/serve.ml is the only cross-domain state lib/serve may hold"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -53,13 +57,14 @@ type config = {
   assume_hot : bool;
   assume_lib : bool;
   assume_kernel : bool;
+  assume_serve : bool;
   require_mli : bool;
   allow : allow_entry list;
 }
 
 let default_config =
-  { assume_hot = false; assume_lib = false; assume_kernel = false; require_mli = false;
-    allow = [] }
+  { assume_hot = false; assume_lib = false; assume_kernel = false; assume_serve = false;
+    require_mli = false; allow = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Path classification                                                *)
@@ -101,6 +106,15 @@ let path_is_shard path = has_subpath [ "lib"; "shard" ] (segments path)
    suites may digest in-memory structures, but nothing durable may be
    written with it. *)
 let path_in_test path = List.mem "test" (segments path)
+
+(* R13: the serving layer's one sanctioned cross-domain mutable is the
+   published epoch cell in serve.ml (DESIGN.md section 14); a second
+   Atomic anywhere else under lib/serve is a second shared-state
+   channel and silently breaks the single-writer epoch protocol. *)
+let path_in_serve path = has_subpath [ "lib"; "serve" ] (segments path)
+
+let path_is_serve_writer path =
+  has_subpath [ "lib"; "serve"; "serve.ml" ] (segments path)
 
 (* ------------------------------------------------------------------ *)
 (* Allowlist                                                          *)
@@ -342,6 +356,8 @@ let lint_structure config ~file str =
   let marshal_banned = not (path_in_test file) in
   let words_banned = not (path_is_container file) in
   let owner_banned = not (path_is_shard file) in
+  let serve = config.assume_serve || path_in_serve file in
+  let serve_writer = path_is_serve_writer file in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -395,6 +411,14 @@ let lint_structure config ~file str =
                  "%s in a query-kernel module; kernels address flat arrays (vocabulary \
                   ranks, arena offsets), never hash tables"
                  (String.concat "." u))
+        | "Atomic" :: _ :: _ when serve ->
+            if not serve_writer then
+              add R13 loc
+                (Printf.sprintf
+                   "%s in the serving layer outside serve.ml; the published epoch \
+                    cell in lib/serve/serve.ml is the only sanctioned cross-domain \
+                    mutable (single-writer epoch protocol)"
+                   (String.concat "." u))
         | m :: _ :: _ when lib && List.mem m multicore_heads ->
             add R8 loc
               (Printf.sprintf
@@ -482,6 +506,14 @@ let lint_structure config ~file str =
               add R9 loc
                 (Printf.sprintf "%s passed as a value in a query-kernel module"
                    (String.concat "." u))
+          | "Atomic" :: _ :: _ when serve ->
+              if not serve_writer then
+                add R13 loc
+                  (Printf.sprintf
+                     "%s passed as a value in the serving layer outside serve.ml; \
+                      the published epoch cell in lib/serve/serve.ml is the only \
+                      sanctioned cross-domain mutable"
+                     (String.concat "." u))
           | m :: _ :: _ when lib && List.mem m multicore_heads ->
               add R8 loc
                 (Printf.sprintf "%s passed as a value in library code; route \

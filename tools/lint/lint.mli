@@ -53,6 +53,16 @@
       copy of the owner computation outside the shard layer drifts
       silently when the policy or mixing function changes.  Callers
       route placement through the [Kwsc_shard] API instead.
+    - R13: no [Atomic] inside [lib/serve/] outside [serve.ml].  The
+      serving layer's snapshot-consistency contract (DESIGN.md §14) is
+      that the published epoch cell in [lib/serve/serve.ml] is the
+      *only* mutable shared across domains: readers pin an immutable
+      epoch with one [Atomic.get], the single writer publishes with
+      one [Atomic.set].  A second Atomic anywhere else in the layer is
+      a second shared-state channel the protocol cannot see.  Inside
+      [serve.ml] itself Atomic is sanctioned (and exempt from R8 —
+      R13 owns the serving layer's concurrency discipline); the other
+      multicore primitives stay banned there by R8 as usual.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -60,12 +70,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R12"]. *)
+(** ["R1"] ... ["R13"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)
@@ -88,6 +98,7 @@ type config = {
   assume_hot : bool;  (** treat every input as a hot-path module (R1, R4) *)
   assume_lib : bool;  (** treat every input as [lib/] code (R3) *)
   assume_kernel : bool;  (** treat every input as a query-kernel module (R9) *)
+  assume_serve : bool;  (** treat every input as serving-layer code (R13) *)
   require_mli : bool;  (** require a [.mli] beside every [.ml] (R7) *)
   allow : allow_entry list;
 }

@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-wide bench-serve bench-smoke examples clean doc lint analyze audit ci
+.PHONY: all build test test-slow bench bench-quick bench-parallel bench-flat bench-snap bench-cmp bench-shard bench-wide bench-serve bench-ooc bench-smoke examples clean doc lint analyze audit ci
 
 # `make doc` requires odoc (opam install odoc)
 
@@ -79,6 +79,12 @@ bench-wide:
 # (writes BENCH_pr9.json).
 bench-serve:
 	dune exec bench/main.exe -- --only SERVE
+
+# Out-of-core paged snapshots: time-to-first-query and resident-set
+# growth vs the eager loader, answers cross-checked (writes
+# BENCH_pr10.json).
+bench-ooc:
+	dune exec bench/main.exe -- --only OOC
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro

@@ -689,4 +689,6 @@ let all : (string * string * (unit -> unit)) list =
     ("WIDE", "63-bit wide bitmap kernels vs scalar 32-bit reference", Widebench.run);
     ("SERVE", "kwsc serve: epoch read latency + checkpoint restore vs cold rebuild",
       Servebench.run);
+    ("OOC", "Out-of-core paged snapshots: time-to-first-query + resident set vs eager load",
+      Oocbench.run);
   ]

@@ -15,6 +15,13 @@
    paper-vs-measured). *)
 
 let () =
+  (* OOC's RSS measurement re-execs this binary, one fresh process per
+     phase; dispatch before the harness banner prints anything *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--ooc-phase" :: mode :: snap :: qfile :: ofile :: _ ->
+      Oocbench.child_phase ~mode ~snap ~qfile ~ofile;
+      exit 0
+  | _ -> ());
   let only = ref None and micro = ref true in
   let args = Array.to_list Sys.argv in
   let rec parse = function

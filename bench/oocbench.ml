@@ -1,0 +1,206 @@
+(* OOC: out-of-core paged snapshots (PR 10) vs the eager loader. No
+   paper claim backs this experiment — mmap-backed paging with lazy CRC
+   verification (DESIGN.md §15) is an implementation optimisation — so
+   it records raw numbers on the two axes the pager exists for:
+
+   - time-to-first-query: load a snapshot and answer one query, eager
+     vs paged, best of several runs. The paged open parses only the
+     section directory and the small vocabulary columns; the posting
+     containers a query needs page in on first touch. Target >= 20x at
+     the full N = 10^5.
+   - resident footprint: the VmRSS growth of running a Zipf-skewed
+     query mix against a freshly opened index. The skew means a small
+     hot set of keywords carries most queries, so the paged reader
+     faults in a fraction of the containers. Target <= 50% of the
+     eager delta.
+
+   Answers are cross-checked query for query — every paged answer must
+   be bit-identical to the eager one, and the per-rank container kinds
+   (the planner's physical decisions) must agree exactly. A divergence
+   fails the run; it never just reports a fast number. *)
+
+module H = Harness
+module Prng = Kwsc_util.Prng
+module Inv = Kwsc_invindex.Inverted
+module Pst = Kwsc_invindex.Postings
+
+let ok = function
+  | Ok t -> t
+  | Error e -> failwith ("OOC: " ^ Kwsc_snapshot.Codec.error_to_string e)
+
+(* VmRSS of this process, in bytes, from /proc/self/status; 0 when the
+   proc filesystem is unavailable (the RSS rows are skipped then) *)
+let vm_rss () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+                (fun kb -> kb * 1024)
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let mib b = float_of_int b /. (1024.0 *. 1024.0)
+
+(* an order-sensitive checksum of one answer (both sides emit sorted ids) *)
+let sum_ids ids = Array.fold_left (fun acc x -> (acc * 31) + x + 7) (Array.length ids) ids
+
+(* --- the RSS phases run in re-exec'd child processes ----------------
+
+   A single-process A/B comparison of VmRSS deltas is meaningless: the
+   allocator reuses pages freed by whichever phase ran first, so the
+   second phase appears to cost nothing. Each phase instead re-execs
+   this binary with [--ooc-phase] (dispatched by bench/main.ml before
+   the harness starts): a fresh process loads the snapshot, answers the
+   whole mix, and reports its VmRSS growth plus the per-query answer
+   checksums, which the parent cross-checks between the two phases. *)
+
+(* the phase hand-off files are snapshots too: dogfood the codec *)
+let ipc_kind = "kwsc.bench.ooc"
+module C = Kwsc_snapshot.Codec
+
+let child_phase ~mode ~snap ~qfile ~ofile =
+  let queries =
+    C.decode_section (C.load_kind_exn ~path:qfile ~kind:ipc_kind) "queries" C.R.int_array2
+  in
+  let load =
+    match mode with
+    | "eager" -> Inv.load
+    | "paged" -> Inv.load_paged
+    | m -> failwith ("--ooc-phase: unknown mode " ^ m)
+  in
+  let before = vm_rss () in
+  let t = ok (load snap) in
+  let sums = Array.map (fun ws -> sum_ids (Inv.query t ws)) queries in
+  Gc.compact ();
+  let delta = max 0 (vm_rss () - before) in
+  let resident = Inv.resident_containers t in
+  C.save_file ~path:ofile ~kind:ipc_kind
+    [
+      ("rss", C.to_string (fun w -> C.W.int_array w [| delta; resident |]));
+      ("sums", C.to_string (fun w -> C.W.int_array w sums));
+    ]
+
+let run_phase ~mode ~qfile snap =
+  let ofile = Filename.temp_file "kwsc_ooc_out" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ofile with Sys_error _ -> ())
+    (fun () ->
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process Sys.executable_name
+          [| Sys.executable_name; "--ooc-phase"; mode; snap; qfile; ofile |]
+          Unix.stdin null Unix.stderr
+      in
+      Unix.close null;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith ("OOC: the " ^ mode ^ " phase child failed"));
+      let sections = C.load_kind_exn ~path:ofile ~kind:ipc_kind in
+      let rss = C.decode_section sections "rss" C.R.int_array in
+      let sums = C.decode_section sections "sums" C.R.int_array in
+      (rss.(0), rss.(1), sums))
+
+let run () =
+  H.header "OOC: mmap-backed paged snapshots vs eager load"
+    "no claim (implementation optimisation); identical answers, measured TTFQ + RSS";
+  let n = H.sized 100_000 in
+  let nq = H.sized 2_000 in
+  let rng = Prng.create 0x00c9 in
+  let docs =
+    Kwsc_workload.Gen.docs ~rng ~n ~vocab:4_000 ~theta:0.9 ~len_min:1 ~len_max:6
+  in
+  let path = Filename.temp_file "kwsc_ooc" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Inv.save path (Inv.build docs);
+      let file_b = (Unix.stat path).Unix.st_size in
+      (* Zipf-skewed query mix: keywords are drawn from random documents,
+         so their frequencies follow the corpus skew — a hot head of
+         dense words answers most queries, the sparse tail goes mostly
+         untouched. Generated before any measurement. *)
+      let queries =
+        Array.init nq (fun _ ->
+            let doc = Kwsc_invindex.Doc.to_array docs.(Prng.int rng n) in
+            let k = 1 + Prng.int rng (min 2 (Array.length doc)) in
+            Array.init k (fun _ -> doc.(Prng.int rng (Array.length doc))))
+      in
+      Printf.printf "  N=%d  vocab words=%d  snapshot=%.1f MiB  queries=%d (zipf mix)\n" n
+        (Array.length (Inv.vocabulary (ok (Inv.load_paged path))))
+        (mib file_b) nq;
+
+      (* --- time to first query: load + answer one zipf query ---------- *)
+      let first = queries.(0) in
+      let reps = if !H.smoke then 2 else 3 in
+      let (_ : int array), eager_ttfq =
+        H.time_best ~reps (fun () -> Inv.query (ok (Inv.load path)) first)
+      in
+      let (_ : int array), paged_ttfq =
+        H.time_best ~reps (fun () -> Inv.query (ok (Inv.load_paged path)) first)
+      in
+      let ttfq_speedup = eager_ttfq /. paged_ttfq in
+      Printf.printf "  TTFQ   eager=%8.2fms  paged=%8.2fms  speedup=%6.1fx\n"
+        (eager_ttfq *. 1e3) (paged_ttfq *. 1e3) ttfq_speedup;
+
+      (* --- resident footprint under the mix: one fresh child each ----- *)
+      let qfile = Filename.temp_file "kwsc_ooc_q" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove qfile with Sys_error _ -> ())
+      (fun () ->
+      C.save_file ~path:qfile ~kind:ipc_kind
+        [ ("queries", C.to_string (fun w -> C.W.int_array2 w queries)) ];
+      let eager_rss, _, eager_sums = run_phase ~mode:"eager" ~qfile path in
+      let paged_rss, resident, paged_sums = run_phase ~mode:"paged" ~qfile path in
+      (* the physical planner decisions must agree, not just the answers:
+         compare per-rank kinds on in-process loads (forces everything,
+         which is why it happens outside the measured children) *)
+      let nw = Pst.num_words (Inv.postings (ok (Inv.load_paged path))) in
+      let eager_kinds = Pst.kind_counts (Inv.postings (ok (Inv.load path))) in
+      let paged_kinds = Pst.kind_counts (Inv.postings (ok (Inv.load_paged path))) in
+      let answers_ok = paged_sums = eager_sums in
+      let kinds_ok = paged_kinds = eager_kinds in
+      if not answers_ok then failwith "OOC: paged and eager answers diverged";
+      if not kinds_ok then failwith "OOC: paged and eager container kinds diverged";
+      let rss_ratio =
+        if eager_rss > 0 then float_of_int paged_rss /. float_of_int eager_rss else nan
+      in
+      Printf.printf "  RSS    eager=+%7.1fMiB  paged=+%7.1fMiB  ratio=%5.2f  (containers %d/%d)\n"
+        (mib eager_rss) (mib paged_rss) rss_ratio resident nw;
+      Printf.printf "  answers: %d/%d queries bit-identical; kind counts agree\n"
+        (Array.length queries) (Array.length queries);
+
+      let ttfq_ok = ttfq_speedup >= 20.0 in
+      let rss_ok = eager_rss > 0 && paged_rss * 2 <= eager_rss in
+      Printf.printf "  -> TTFQ speedup %.1fx (target >= 20x) %s\n" ttfq_speedup
+        (if ttfq_ok then "[OK]" else "[BELOW TARGET]");
+      Printf.printf "  -> paged RSS %.2fx of eager (target <= 0.50x) %s\n" rss_ratio
+        (if rss_ok then "[OK]" else "[ABOVE TARGET]");
+      if !H.smoke then Printf.printf "  (smoke run: numbers are crash-test only)\n";
+
+      let oc = open_out "BENCH_pr10.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"out-of-core paged snapshots vs eager load\",\n\
+        \  \"smoke\": %b,\n\
+        \  \"n\": %d,\n\
+        \  \"queries\": %d,\n\
+        \  \"snapshot_bytes\": %d,\n\
+        \  \"ttfq\": {\"eager_ms\": %.3f, \"paged_ms\": %.3f, \"speedup\": %.1f},\n\
+        \  \"rss\": {\"eager_delta_mib\": %.2f, \"paged_delta_mib\": %.2f, \"ratio\": %.3f,\n\
+        \          \"containers_faulted\": %d, \"containers_total\": %d},\n\
+        \  \"answers_identical\": %b,\n\
+        \  \"kind_counts_identical\": %b,\n\
+        \  \"targets\": {\"ttfq_speedup_ge_20\": %b, \"paged_rss_le_half_eager\": %b,\n\
+        \              \"answers_identical\": %b}\n\
+         }\n"
+        !H.smoke n nq file_b (eager_ttfq *. 1e3) (paged_ttfq *. 1e3) ttfq_speedup
+        (mib eager_rss) (mib paged_rss) rss_ratio resident nw answers_ok kinds_ok ttfq_ok
+        rss_ok (answers_ok && kinds_ok);
+      close_out oc;
+      Printf.printf "  wrote BENCH_pr10.json\n"))

@@ -107,6 +107,21 @@ let resolve_shards = function
   | Some k -> if k >= 1 then k else 1
   | None -> SPlan.env_shards ()
 
+(* --ooc: out-of-core snapshot reads — map the file and page sections in
+   lazily, CRCs verified on first touch (DESIGN.md section 15). ORs with
+   the KWSC_OOC environment switch. Answers are identical either way. *)
+let ooc_arg =
+  Arg.(
+    value & flag
+    & info [ "ooc" ]
+        ~doc:
+          "Out-of-core: mmap the snapshot and page sections in lazily, verifying \
+           each section's checksum on first touch (default: the KWSC_OOC \
+           environment variable). Applies to inverted snapshots and serve \
+           --restore; answers are identical either way.")
+
+let resolve_ooc flag = flag || Kwsc_snapshot.Pager.env_ooc ()
+
 let print_results objs ids =
   Printf.printf "%d objects:\n" (Array.length ids);
   Array.iter
@@ -266,20 +281,64 @@ let nn_cmd =
 
 (* ---- info ----------------------------------------------------------- *)
 
-let info_cmd_impl input k =
-  let objs = load_objects input in
-  let t = Kwsc.Orp_kw.build ~k objs in
-  let s = Kwsc.Orp_kw.space_stats t in
-  Printf.printf "objects: %d\ninput size N: %d\nindex (kd transform, k=%d):\n  %s\n"
-    (Array.length objs) (Kwsc.Orp_kw.input_size t) k
-    (Format.asprintf "%a" Kwsc.Stats.pp_space s);
-  Printf.printf "  words per input word: %.2f\n"
-    (float_of_int s.Kwsc.Stats.total_words /. float_of_int (Kwsc.Orp_kw.input_size t))
+module Pager = Kwsc_snapshot.Pager
+
+(* kwsc info <snapshot>: the pager's framing view — header fields plus
+   the per-section directory (offset, length, stored CRC). Framing only:
+   no payload is read, so this works instantly on any size of file and
+   never fails on payload corruption (the CRCs are what the loaders
+   verify, eagerly or on first touch). *)
+let snapshot_info snap =
+  match Pager.open_file snap with
+  | Error e ->
+      Printf.eprintf "kwsc info: %s\n" (Kwsc_snapshot.Codec.error_to_string e);
+      exit 1
+  | Ok pgr ->
+      Printf.printf "snapshot: %s\nkind: %s\nformat version: %d\nfile size: %d bytes\n" snap
+        (Pager.kind pgr) (Pager.version pgr) (Pager.file_size pgr);
+      let sections = Pager.sections pgr in
+      Printf.printf "sections: %d\n" (Array.length sections);
+      Printf.printf "  %-16s %12s %12s  %s\n" "name" "offset" "length" "crc32";
+      Array.iter
+        (fun s ->
+          Printf.printf "  %-16s %12d %12d  %08x\n" s.Pager.name s.Pager.off s.Pager.len
+            s.Pager.crc)
+        sections
+
+let info_cmd_impl snap input k =
+  match (snap, input) with
+  | Some snap, _ -> snapshot_info snap
+  | None, Some input ->
+      let objs = load_objects input in
+      let t = Kwsc.Orp_kw.build ~k objs in
+      let s = Kwsc.Orp_kw.space_stats t in
+      Printf.printf "objects: %d\ninput size N: %d\nindex (kd transform, k=%d):\n  %s\n"
+        (Array.length objs) (Kwsc.Orp_kw.input_size t) k
+        (Format.asprintf "%a" Kwsc.Stats.pp_space s);
+      Printf.printf "  words per input word: %.2f\n"
+        (float_of_int s.Kwsc.Stats.total_words /. float_of_int (Kwsc.Orp_kw.input_size t))
+  | None, None ->
+      Printf.eprintf "kwsc info: pass a snapshot file, or --input to build and account an index\n";
+      exit 2
 
 let info_cmd =
+  let snap_pos =
+    Arg.(
+      value
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"SNAP"
+          ~doc:"Snapshot file: print its header, kind, format version and section table.")
+  in
+  let input_opt =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Dataset file: build ORP-KW and print space accounting.")
+  in
   Cmd.v
-    (Cmd.info "info" ~doc:"Build the ORP-KW index and print space accounting" ~man:man_footer)
-    Term.(const info_cmd_impl $ input_arg $ k_arg)
+    (Cmd.info "info" ~doc:"Inspect a snapshot's section table, or build ORP-KW and print space accounting"
+       ~man:man_footer)
+    Term.(const info_cmd_impl $ snap_pos $ input_opt $ k_arg)
 
 (* ---- save / load ---------------------------------------------------- *)
 
@@ -346,7 +405,7 @@ let require flag = function
       Printf.eprintf "kwsc load: --%s is required for this snapshot kind\n" flag;
       exit 2
 
-let load_impl snap input lo hi kws stats planner feedback shards =
+let load_impl snap input lo hi kws stats planner feedback shards ooc =
   apply_planner planner;
   apply_feedback feedback;
   let kind = ok_or_die (Codec.peek_kind ~path:snap) in
@@ -382,7 +441,10 @@ let load_impl snap input lo hi kws stats planner feedback shards =
   end
   else if kind = Kwsc_invindex.Inverted.kind then begin
     let objs = load_objects (require "input" input) in
-    let t = ok_or_die (Kwsc_invindex.Inverted.load snap) in
+    let loader =
+      if resolve_ooc ooc then Kwsc_invindex.Inverted.load_paged else Kwsc_invindex.Inverted.load
+    in
+    let t = ok_or_die (loader snap) in
     let ids = Kwsc_invindex.Inverted.query t (Array.of_list (require "kw" kws)) in
     print_results objs ids
   end
@@ -440,7 +502,7 @@ let load_cmd =
     (Cmd.info "load" ~doc:"Load a snapshot and query it (no rebuild)" ~man:man_footer)
     Term.(
       const load_impl $ snap $ input_opt $ lo $ hi $ kws $ stats_flag $ planner_arg $ feedback_arg
-      $ shards_arg)
+      $ shards_arg $ ooc_arg)
 
 (* ---- serve ---------------------------------------------------------- *)
 
@@ -453,7 +515,7 @@ module Epoch = Kwsc_serve.Epoch
    deterministic — the CI smoke gate diffs answers across
    checkpoint → kill → restore. *)
 
-let serve_impl k d input restore checkpoint_default =
+let serve_impl k d input restore checkpoint_default ooc =
   let startup_or_die f =
     try f ()
     with Invalid_argument msg | Failure msg ->
@@ -462,7 +524,7 @@ let serve_impl k d input restore checkpoint_default =
   in
   let server =
     match restore with
-    | Some snap -> ok_or_die (Serve.restore snap)
+    | Some snap -> ok_or_die (Serve.restore ~ooc:(resolve_ooc ooc) snap)
     | None -> startup_or_die (fun () -> Serve.create ~k ~d ())
   in
   (match input with
@@ -574,7 +636,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve a dynamic index: stdin request loop with epoch reads and durable checkpoints"
        ~man:man_footer)
-    Term.(const serve_impl $ k_arg $ d_arg $ input_opt $ restore $ checkpoint)
+    Term.(const serve_impl $ k_arg $ d_arg $ input_opt $ restore $ checkpoint $ ooc_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

@@ -2,8 +2,23 @@ open Kwsc_geom
 module Doc = Kwsc_invindex.Doc
 module Wd = Kwsc_util.Wordops
 module C = Kwsc_snapshot.Codec
+module P = Kwsc_snapshot.Pager
+module Once = Kwsc_util.Pool.Once
 
-type bucket = { index : Orp_kw.t; ids : int array (* local -> global *) }
+(* A bucket's frozen index and id table live behind a once-cell: every
+   bucket built in memory is a ready cell, while a paged checkpoint
+   restore ([load ~ooc:true]) defers each bucket's decode — and its
+   section's lazy CRC — to the first query that walks it. The size
+   stays resident (the carry-chain arithmetic needs it without forcing
+   anything). *)
+type bucket = {
+  nids : int; (* length of the id table, always resident *)
+  cell : (Orp_kw.t * int array) Once.t; (* frozen index, local -> global ids *)
+}
+
+let bucket_of index ids = { nids = Array.length ids; cell = Once.ready (index, ids) }
+let b_pair b = Once.force b.cell
+let b_ids b = snd (b_pair b)
 
 type t = {
   k : int;
@@ -53,7 +68,7 @@ let input_size t =
   Array.iter (function Some (_, doc) -> n := !n + Doc.size doc | None -> ()) t.objects;
   !n
 
-let buckets t = List.map (fun b -> Array.length b.ids) t.buckets
+let buckets t = List.map (fun b -> b.nids) t.buckets
 
 (* Total on every int: an id never assigned (negative, or >= next_id —
    including far beyond the backing array's capacity) is simply not live.
@@ -62,12 +77,12 @@ let buckets t = List.map (fun b -> Array.length b.ids) t.buckets
    array's current capacity. *)
 let live t id = if id < 0 || id >= t.next_id then None else t.objects.(id)
 
-let view t = Array.of_list (List.map (fun b -> (b.index, b.ids)) t.buckets)
+let view t = Array.of_list (List.map (fun b -> b.cell) t.buckets)
 let tombstone_words t = Array.sub t.dead 0 (Wd.nwords t.next_id)
 
 let build_bucket t ids =
   let objs = Array.map (fun id -> Option.get (live t id)) ids in
-  { index = Orp_kw.build ?leaf_weight:t.leaf_weight ~k:t.k objs; ids }
+  bucket_of (Orp_kw.build ?leaf_weight:t.leaf_weight ~k:t.k objs) ids
 
 (* Rebuild the carry chain: keep merging the incoming group with the
    smallest bucket while the bucket is not more than twice as large —
@@ -78,14 +93,14 @@ let build_bucket t ids =
    rebuilds after insert-heavy interleavings). *)
 let rec absorb t dropped group = function
   | [] -> [ build_bucket t group ]
-  | b :: rest when Array.length b.ids <= 2 * Array.length group ->
+  | b :: rest when b.nids <= 2 * Array.length group ->
       let merged =
         Array.of_list
           (List.filter
              (fun id -> Option.is_some (live t id))
-             (Array.to_list (Array.append b.ids group)))
+             (Array.to_list (Array.append (b_ids b) group)))
       in
-      dropped := !dropped + (Array.length b.ids + Array.length group - Array.length merged);
+      dropped := !dropped + (b.nids + Array.length group - Array.length merged);
       absorb t dropped merged rest
   | rest -> build_bucket t group :: rest
 
@@ -154,18 +169,16 @@ let merge_smallest t =
   match List.rev t.buckets with
   | [] -> false
   | [ only ] ->
-      let group = alive only.ids in
-      if Array.length group = Array.length only.ids then false
+      let group = alive (b_ids only) in
+      if Array.length group = only.nids then false
       else begin
-        t.dead_pending <- t.dead_pending - (Array.length only.ids - Array.length group);
+        t.dead_pending <- t.dead_pending - (only.nids - Array.length group);
         t.buckets <- (if Array.length group = 0 then [] else [ build_bucket t group ]);
         true
       end
   | b1 :: b2 :: rest ->
-      let group = alive (Array.append b2.ids b1.ids) in
-      let dropped =
-        ref (Array.length b1.ids + Array.length b2.ids - Array.length group)
-      in
+      let group = alive (Array.append (b_ids b2) (b_ids b1)) in
+      let dropped = ref (b1.nids + b2.nids - Array.length group) in
       let rebuilt = if Array.length group = 0 then rest else absorb t dropped group rest in
       t.dead_pending <- t.dead_pending - !dropped;
       t.buckets <- List.rev rebuilt;
@@ -176,11 +189,12 @@ let query t q ws =
   let hits = ref [] in
   List.iter
     (fun b ->
+      let index, ids = b_pair b in
       Array.iter
         (fun local ->
-          let id = b.ids.(local) in
+          let id = ids.(local) in
           if Option.is_some (live t id) then hits := id :: !hits)
-        (Orp_kw.query b.index q ws))
+        (Orp_kw.query index q ws))
     t.buckets;
   let out = Array.of_list !hits in
   Array.sort Int.compare out;
@@ -241,7 +255,10 @@ let check_invariants t =
   List.iteri
     (fun i b ->
       let locus = Printf.sprintf "bucket[%d]" i in
-      if Array.length b.ids = 0 then push (vf locus "empty bucket");
+      if b.nids = 0 then push (vf locus "empty bucket");
+      let ids = b_ids b in
+      if Array.length ids <> b.nids then
+        push (vf locus "resident size %d but id table holds %d" b.nids (Array.length ids));
       Array.iter
         (fun id ->
           if id < 0 || id >= t.next_id then
@@ -252,7 +269,7 @@ let check_invariants t =
             Hashtbl.add seen id ();
             if Option.is_none t.objects.(id) then incr dead_in_buckets
           end)
-        b.ids)
+        ids)
     t.buckets;
   (* dead_pending is exact: precisely the tombstones the buckets still
      reference (carry merges credit back what they compact away) *)
@@ -268,10 +285,10 @@ let check_invariants t =
   done;
   let rec sizes_decay = function
     | b1 :: (b2 :: _ as rest) ->
-        if Array.length b1.ids <= 2 * Array.length b2.ids then
+        if b1.nids <= 2 * b2.nids then
           push
             (vf "buckets" "capacities %d and %d break the binary-counter decay (larger <= 2x smaller)"
-               (Array.length b1.ids) (Array.length b2.ids));
+               b1.nids b2.nids);
         sizes_decay rest
     | _ -> ()
   in
@@ -279,8 +296,11 @@ let check_invariants t =
   List.rev !bad
 
 (* ------------------------------------------------------------------ *)
-(* Durable checkpoints (v2 codec): meta + live objects + tombstone     *)
-(* bitmap + one section per bucket (ids table and embedded Orp_kw).    *)
+(* Durable checkpoints: meta + live objects + tombstone bitmap + one   *)
+(* section per bucket (ids table and embedded Orp_kw).  Format v3      *)
+(* appended the resident bucket-size column to "meta" so a paged       *)
+(* restore can rebuild the carry chain without touching any bucket     *)
+(* section; v1/v2 checkpoints still load eagerly.                      *)
 (* ------------------------------------------------------------------ *)
 
 let kind = "kwsc.dynamic"
@@ -297,7 +317,9 @@ let save path t =
          C.W.i64 w t.live_count;
          C.W.i64 w t.dead_pending;
          C.W.i64 w t.version;
-         C.W.i64 w (List.length t.buckets)));
+         C.W.i64 w (List.length t.buckets);
+         (* v3: resident bucket sizes, chain order (largest first) *)
+         C.W.int_array w (Array.of_list (List.map (fun b -> b.nids) t.buckets))));
   add "objects"
     (C.to_string (fun w ->
          C.W.vint w t.live_count;
@@ -310,116 +332,204 @@ let save path t =
                C.W.int_array w (Doc.to_array doc)
          done));
   add "tombstones" (C.to_string (fun w -> C.W.int_array w (tombstone_words t)));
+  (* checkpointing a paged restore forces every still-deferred bucket *)
   List.iteri
     (fun i b ->
+      let index, ids = b_pair b in
       add
         (Printf.sprintf "bucket.%d" i)
         (C.to_string (fun w ->
-             C.W.int_array w b.ids;
-             Orp_kw.encode w b.index)))
+             C.W.int_array w ids;
+             Orp_kw.encode w index)))
     t.buckets;
   C.save_file ~path ~kind (List.rev !sections)
 
-let load path =
-  C.run (fun () ->
-      let sections = C.load_kind_exn ~path ~kind in
-      let k, d, leaf_weight, next_id, live_count, dead_pending, version, n_buckets =
-        C.decode_section sections "meta" (fun r ->
-            let k = C.R.i64 r in
-            let d = C.R.i64 r in
-            let lw = C.R.i64 r in
-            let next_id = C.R.i64 r in
-            let live_count = C.R.i64 r in
-            let dead_pending = C.R.i64 r in
-            let version = C.R.i64 r in
-            let n_buckets = C.R.i64 r in
-            (k, d, (if lw < 0 then None else Some lw), next_id, live_count, dead_pending,
-             version, n_buckets))
-      in
-      if k < 2 || d < 1 then C.corrupt "Dynamic: meta k/d out of range";
-      if next_id < 0 || live_count < 0 || live_count > next_id then
-        C.corrupt "Dynamic: meta counters out of range";
-      if dead_pending < 0 || dead_pending > next_id - live_count then
-        C.corrupt "Dynamic: dead_pending outside [0, assigned - live]";
-      if version < 0 || n_buckets < 0 then C.corrupt "Dynamic: negative watermark or bucket count";
-      let cap = max 16 next_id in
-      let objects = Array.make cap None in
-      C.decode_section sections "objects" (fun r ->
-          let n = C.R.vint r in
-          if n <> live_count then C.corrupt "Dynamic: objects section disagrees with live_count";
-          let prev = ref (-1) in
-          for _ = 1 to n do
-            let id = C.R.vint r in
-            if id <= !prev || id >= next_id then
-              C.corrupt "Dynamic: object ids not strictly ascending in [0, next_id)";
-            prev := id;
-            let p = C.R.float_array r in
-            if Array.length p <> d then C.corrupt "Dynamic: object dimension mismatch";
-            let ws = C.R.int_array r in
-            let m = Array.length ws in
-            for j = 0 to m - 1 do
-              if ws.(j) < 0 || (j > 0 && ws.(j) <= ws.(j - 1)) then
-                C.corrupt "Dynamic: document keywords not sorted distinct nonnegative"
-            done;
-            objects.(id) <- Some (p, Doc.of_sorted_array ws)
-          done);
-      let dead = Array.make (Wd.nwords cap) 0 in
-      for id = 0 to next_id - 1 do
-        if Option.is_none objects.(id) then begin
-          let w = Wd.div_bits id in
-          dead.(w) <- dead.(w) lor (1 lsl (id - (Wd.bits * w)))
-        end
+(* [fmt] is the checkpoint's codec format version: the bucket-size
+   column exists only from v3 on.  Range checks live here so both the
+   eager and the paged loader refuse garbled counters up front. *)
+let decode_meta ~fmt r =
+  let k = C.R.i64 r in
+  let d = C.R.i64 r in
+  let lw = C.R.i64 r in
+  let next_id = C.R.i64 r in
+  let live_count = C.R.i64 r in
+  let dead_pending = C.R.i64 r in
+  let version = C.R.i64 r in
+  let n_buckets = C.R.i64 r in
+  let sizes = if fmt >= 3 then Some (C.R.int_array r) else None in
+  if k < 2 || d < 1 then C.corrupt "Dynamic: meta k/d out of range";
+  if next_id < 0 || live_count < 0 || live_count > next_id then
+    C.corrupt "Dynamic: meta counters out of range";
+  if dead_pending < 0 || dead_pending > next_id - live_count then
+    C.corrupt "Dynamic: dead_pending outside [0, assigned - live]";
+  if version < 0 || n_buckets < 0 then C.corrupt "Dynamic: negative watermark or bucket count";
+  (match sizes with
+  | None -> ()
+  | Some sz ->
+      (* the size column must stand on its own: the paged loader trusts
+         it to rebuild the carry chain before any bucket is decoded *)
+      if Array.length sz <> n_buckets then
+        C.corrupt "Dynamic: bucket size column disagrees with the bucket count";
+      Array.iter
+        (fun s -> if s <= 0 then C.corrupt "Dynamic: non-positive bucket size in meta")
+        sz;
+      for i = 0 to n_buckets - 2 do
+        if sz.(i) <= 2 * sz.(i + 1) then
+          C.corrupt "Dynamic: bucket sizes in meta break the binary-counter decay"
       done;
-      let stored = C.decode_section sections "tombstones" C.R.int_array in
-      if stored <> Array.sub dead 0 (Wd.nwords next_id) then
-        C.corrupt "Dynamic: tombstone bitmap disagrees with the stored objects";
-      let t =
-        {
-          k;
-          d;
-          leaf_weight;
-          objects;
-          dead;
-          next_id;
-          live_count;
-          dead_pending;
-          version;
-          buckets = [];
-        }
+      if Array.fold_left ( + ) 0 sz <> live_count + dead_pending then
+        C.corrupt "Dynamic: bucket sizes in meta disagree with live_count + dead_pending");
+  ((if lw < 0 then None else Some lw), k, d, next_id, live_count, dead_pending, version,
+   n_buckets, sizes)
+
+let decode_objects ~d ~next_id ~live_count r =
+  let cap = max 16 next_id in
+  let objects = Array.make cap None in
+  let n = C.R.vint r in
+  if n <> live_count then C.corrupt "Dynamic: objects section disagrees with live_count";
+  let prev = ref (-1) in
+  for _ = 1 to n do
+    let id = C.R.vint r in
+    if id <= !prev || id >= next_id then
+      C.corrupt "Dynamic: object ids not strictly ascending in [0, next_id)";
+    prev := id;
+    let p = C.R.float_array r in
+    if Array.length p <> d then C.corrupt "Dynamic: object dimension mismatch";
+    let ws = C.R.int_array r in
+    let m = Array.length ws in
+    for j = 0 to m - 1 do
+      if ws.(j) < 0 || (j > 0 && ws.(j) <= ws.(j - 1)) then
+        C.corrupt "Dynamic: document keywords not sorted distinct nonnegative"
+    done;
+    objects.(id) <- Some (p, Doc.of_sorted_array ws)
+  done;
+  objects
+
+let rebuild_dead ~next_id objects =
+  let dead = Array.make (Wd.nwords (Array.length objects)) 0 in
+  for id = 0 to next_id - 1 do
+    if Option.is_none objects.(id) then begin
+      let w = Wd.div_bits id in
+      dead.(w) <- dead.(w) lor (1 lsl (id - (Wd.bits * w)))
+    end
+  done;
+  dead
+
+(* Decode one bucket section against a restored [t]: the static payload
+   must hold exactly the live objects it claims — coordinates and
+   documents round-trip bit for bit. *)
+let decode_bucket t r =
+  let ids = C.R.int_array r in
+  let index = Orp_kw.decode r in
+  if Orp_kw.size index <> Array.length ids then
+    C.corrupt "Dynamic: bucket index size disagrees with its id table";
+  if Orp_kw.dim index <> t.d || Orp_kw.k index <> t.k then
+    C.corrupt "Dynamic: bucket index k/d disagrees with meta";
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.next_id then C.corrupt "Dynamic: bucket id outside [0, next_id)")
+    ids;
+  let stored_objs = Orp_kw.objects index in
+  Array.iteri
+    (fun local id ->
+      match live t id with
+      | None -> () (* tombstone: its data lives only in the bucket *)
+      | Some (p, doc) ->
+          let sp, sdoc = stored_objs.(local) in
+          if sp <> p || Doc.to_array sdoc <> Doc.to_array doc then
+            C.corrupt "Dynamic: bucket payload disagrees with the stored objects")
+    ids;
+  (index, ids)
+
+let restore_counters ~leaf_weight ~k ~d ~next_id ~live_count ~dead_pending ~version objects =
+  {
+    k;
+    d;
+    leaf_weight;
+    objects;
+    dead = rebuild_dead ~next_id objects;
+    next_id;
+    live_count;
+    dead_pending;
+    version;
+    buckets = [];
+  }
+
+let check_tombstones t sections_read =
+  let stored = sections_read in
+  if stored <> Array.sub t.dead 0 (Wd.nwords t.next_id) then
+    C.corrupt "Dynamic: tombstone bitmap disagrees with the stored objects"
+
+let load_eager path =
+  C.run (fun () ->
+      let fmt, sections = C.load_kind_versioned_exn ~path ~kind in
+      let leaf_weight, k, d, next_id, live_count, dead_pending, version, n_buckets, sizes =
+        C.decode_section sections "meta" (decode_meta ~fmt)
       in
+      let objects = C.decode_section sections "objects" (decode_objects ~d ~next_id ~live_count) in
+      let t = restore_counters ~leaf_weight ~k ~d ~next_id ~live_count ~dead_pending ~version objects in
+      check_tombstones t (C.decode_section sections "tombstones" C.R.int_array);
       let buckets = ref [] in
       for i = n_buckets - 1 downto 0 do
-        let b =
-          C.decode_section sections
-            (Printf.sprintf "bucket.%d" i)
-            (fun r ->
-              let ids = C.R.int_array r in
-              let index = Orp_kw.decode r in
-              if Orp_kw.size index <> Array.length ids then
-                C.corrupt "Dynamic: bucket index size disagrees with its id table";
-              if Orp_kw.dim index <> d || Orp_kw.k index <> k then
-                C.corrupt "Dynamic: bucket index k/d disagrees with meta";
-              { index; ids })
+        let index, ids =
+          C.decode_section sections (Printf.sprintf "bucket.%d" i) (decode_bucket t)
         in
-        (* the static payload must hold exactly the live objects it claims:
-           coordinates and documents round-trip bit for bit *)
-        let stored_objs = Orp_kw.objects b.index in
-        Array.iteri
-          (fun local id ->
-            match live t id with
-            | None -> () (* tombstone: its data lives only in the bucket *)
-            | Some (p, doc) ->
-                let sp, sdoc = stored_objs.(local) in
-                if sp <> p || Doc.to_array sdoc <> Doc.to_array doc then
-                  C.corrupt "Dynamic: bucket payload disagrees with the stored objects")
-          b.ids;
-        buckets := b :: !buckets
+        (match sizes with
+        | Some sz when Array.length ids <> sz.(i) ->
+            C.corrupt "Dynamic: bucket size disagrees with the meta size column"
+        | _ -> ());
+        buckets := bucket_of index ids :: !buckets
       done;
       t.buckets <- !buckets;
       (match check_invariants t with
       | [] -> ()
       | v :: _ -> C.corrupt ("Dynamic: " ^ I.to_string v));
       t)
+
+(* Paged restore: map the checkpoint, decode meta / objects / tombstones
+   eagerly (queries filter every hit through the object table, so it
+   must be trusted up front), and defer each bucket section — its CRC
+   check and its decode — behind a once-cell forced by the first query
+   that walks it.  The carry chain is rebuilt from the v3 size column
+   alone; a corrupt bucket therefore surfaces as [Codec.Corrupt] at its
+   first touch, not at restore time, and the eager whole-structure
+   invariant sweep is skipped (it would force every cell). *)
+let load_paged path =
+  match P.open_kind path ~kind with
+  | Error _ as e -> e
+  | Ok pgr when P.version pgr < 3 ->
+      (* pre-v3 checkpoints carry no size column: restore eagerly *)
+      load_eager path
+  | Ok pgr ->
+      C.run_light (fun () ->
+          let leaf_weight, k, d, next_id, live_count, dead_pending, version, n_buckets, sizes =
+            P.decode pgr "meta" (decode_meta ~fmt:(P.version pgr))
+          in
+          let sizes = Option.get sizes in
+          let objects = P.decode pgr "objects" (decode_objects ~d ~next_id ~live_count) in
+          let t = restore_counters ~leaf_weight ~k ~d ~next_id ~live_count ~dead_pending ~version objects in
+          check_tombstones t (P.decode pgr "tombstones" C.R.int_array);
+          let buckets = ref [] in
+          for i = n_buckets - 1 downto 0 do
+            let name = Printf.sprintf "bucket.%d" i in
+            (* presence is framing, checked now; the payload is not *)
+            ignore (P.section_length pgr name);
+            let expect = sizes.(i) in
+            let cell =
+              Once.make (fun () ->
+                  let index, ids = P.decode pgr name (decode_bucket t) in
+                  if Array.length ids <> expect then
+                    C.corrupt "Dynamic: bucket size disagrees with the meta size column";
+                  (index, ids))
+            in
+            buckets := { nids = expect; cell } :: !buckets
+          done;
+          t.buckets <- !buckets;
+          t)
+
+let load ?ooc path =
+  let ooc = match ooc with Some b -> b | None -> P.env_ooc () in
+  if ooc then load_paged path else load_eager path
 
 (* Self-audit every update when KWSC_AUDIT=1 (Invariant.enabled). *)
 let insert t obj =

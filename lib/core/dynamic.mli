@@ -65,13 +65,17 @@ val buckets : t -> int list
     exposed for tests and the DYN bench. Sizes count stored ids, live or
     tombstoned. *)
 
-val view : t -> (Orp_kw.t * int array) array
-(** The current bucket chain, largest first, as (static index, local→global
-    id table) pairs. Both components are immutable once built — updates
-    replace buckets, never mutate them — so a view taken by the writer can
-    be shared with reader domains. Liveness is NOT part of the view: pair it
-    with {!tombstone_words} taken at the same instant (the serve layer's
-    epoch does exactly this). *)
+val view : t -> (Orp_kw.t * int array) Kwsc_util.Pool.Once.t array
+(** The current bucket chain, largest first, each bucket a once-cell
+    holding its (static index, local→global id table) pair. Buckets built
+    in memory are ready cells; a paged restore ([load ~ooc:true]) leaves
+    each bucket deferred until the first query that walks it, and forcing
+    such a cell may raise [Codec.Corrupt] (lazy CRC). Both components are
+    immutable once materialized — updates replace buckets, never mutate
+    them — so a view taken by the writer can be shared with reader
+    domains. Liveness is NOT part of the view: pair it with
+    {!tombstone_words} taken at the same instant (the serve layer's epoch
+    does exactly this). *)
 
 val tombstone_words : t -> int array
 (** A fresh copy of the packed 63-bit tombstone bitmap over the assigned
@@ -102,15 +106,29 @@ val kind : string
 (** Snapshot kind tag, ["kwsc.dynamic"]. *)
 
 val save : string -> t -> unit
-(** [save path t] writes a durable checkpoint in the v2 snapshot format:
-    meta (k, d, counters, {!version} watermark), the live objects, the
-    tombstone bitmap, and one section per bucket embedding the static
-    index via {!Orp_kw.encode}. Raises [Sys_error] on IO failure. *)
+(** [save path t] writes a durable checkpoint in the v3 snapshot format:
+    meta (k, d, counters, {!version} watermark, the resident bucket-size
+    column), the live objects, the tombstone bitmap, and one section per
+    bucket embedding the static index via {!Orp_kw.encode}. Checkpointing
+    a paged restore forces every still-deferred bucket first. Raises
+    [Sys_error] on IO failure. *)
 
-val load : string -> (t, Kwsc_snapshot.Codec.error) result
+val load : ?ooc:bool -> string -> (t, Kwsc_snapshot.Codec.error) result
 (** Restore a checkpoint in O(file size) — no static index is rebuilt, so
     a server restart is far cheaper than replaying the input (the SERVE
     bench gates the ratio). Answers, counters, and the watermark round-trip
     exactly. Corrupt input — truncation, flipped bytes, bad magic or kind,
     sections disagreeing with each other or with the structural invariants
-    — returns [Error], never raises. *)
+    — returns [Error], never raises. v1/v2 checkpoints still load.
+
+    [~ooc] (default [Pager.env_ooc ()], i.e. the [KWSC_OOC] switch)
+    selects the out-of-core path: the checkpoint is mapped, meta /
+    objects / tombstones are decoded and validated eagerly, but each
+    bucket section — its CRC check included — is deferred behind a
+    once-cell until the first query that walks it. Time-to-first-query
+    then scales with the live-object table, not with the frozen indexes.
+    The trade: a bucket whose bytes are corrupt is refused with
+    [Codec.Corrupt] (e.g. [Checksum_mismatch "bucket.0"]) raised at its
+    first touch rather than surfacing as a load-time [Error], and the
+    eager whole-structure invariant sweep is skipped. Pre-v3 checkpoints
+    carry no bucket-size column and fall back to the eager path. *)

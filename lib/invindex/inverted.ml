@@ -3,11 +3,16 @@
 module U = Kwsc_util
 
 type t = {
-  docs : Doc.t array;
+  (* the raw build input, behind a once-cell: queries never touch the
+     documents, so a paged open defers the (large) docs section until
+     [documents] or an audit actually asks for it *)
+  docs : Doc.t array U.Pool.Once.t;
   postings : Postings.t;
   n : int;
   cache : Isect_cache.t; (* hot-pair intersections; never snapshotted *)
 }
+
+let docs t = U.Pool.Once.force t.docs
 
 let build ?pool ?(policy = U.Container.Hybrid) docs =
   let pool = match pool with Some p -> p | None -> U.Pool.default () in
@@ -50,14 +55,14 @@ let build ?pool ?(policy = U.Container.Hybrid) docs =
   let arena = Array.make offsets.(nw) 0 in
   Array.iteri (fun i a -> Array.blit a 0 arena offsets.(i) (Array.length a)) sorted_arrays;
   let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
-  { docs;
+  { docs = U.Pool.Once.ready docs;
     postings = Postings.unsafe_make ~policy ~universe:(Array.length docs) ~vocab ~offsets arena;
     n;
     cache = Isect_cache.create () }
 
 let input_size t = t.n
 let postings t = t.postings
-let documents t = Array.copy t.docs
+let documents t = Array.copy (docs t)
 let vocabulary t = Array.init (Postings.num_words t.postings) (Postings.word t.postings)
 let posting t w = Postings.copy_posting t.postings w
 let frequency t w = Postings.frequency t.postings w
@@ -135,9 +140,12 @@ let is_empty_query t ws = Array.length (query t ws) = 0
 (* The index is immutable after [build] (the pair cache is bypassed
    here); each batch task owns its output and scratch buffers, so a
    batch is a plain parallel map that reuses the buffer pair across the
-   queries of one shard. *)
+   queries of one shard. Prefaulting first keeps a paged index's slot
+   fills on the submitting domain — the pool's task hand-off publishes
+   them, so workers only take the resident branch. *)
 let query_batch ?pool t wss =
   let pool = match pool with Some p -> p | None -> U.Pool.default () in
+  Postings.prefault t.postings wss;
   U.Pool.parallel_map pool
     (fun ws ->
       let out = U.Ibuf.create () and tmp = U.Ibuf.create () in
@@ -159,7 +167,8 @@ let check_invariants t =
   let bad = ref [] in
   let push x = bad := x :: !bad in
   let vf locus fmt = I.vf ~structure:"Inverted" ~locus fmt in
-  let ndocs = Array.length t.docs in
+  let docs = docs t in
+  let ndocs = Array.length docs in
   let ps = t.postings in
   let nw = Postings.num_words ps in
   if Postings.universe ps <> ndocs then
@@ -198,7 +207,7 @@ let check_invariants t =
         prev := id;
         incr seen;
         if id < 0 || id >= ndocs then push (vf locus "object id %d outside [0,%d)" id ndocs)
-        else if not (Doc.mem t.docs.(id) w) then
+        else if not (Doc.mem docs.(id) w) then
           push (vf locus "object %d is listed but its document lacks keyword %d" id w))
       c;
     if !seen <> card then
@@ -216,8 +225,8 @@ let check_invariants t =
                  "keyword %d is in the document but object %d is missing from its posting"
                  w id))
         doc)
-    t.docs;
-  let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 t.docs in
+    docs;
+  let n = Array.fold_left (fun acc d -> acc + Doc.size d) 0 docs in
   if n <> t.n then push (vf "root" "stored input size %d <> total document weight %d" t.n n);
   if Postings.size ps <> n then
     push
@@ -240,25 +249,21 @@ let build ?pool ?policy docs =
 (* ------------------------------------------------------------------ *)
 
 module C = Kwsc_snapshot.Codec
+module P = Kwsc_snapshot.Pager
 
 let kind = "kwsc.inverted"
 
-(* Version 2 layout: per-rank kind tags and cardinalities, then one
-   column per physical layout — delta-encoded ids for the sparse ranks,
-   (start, length) pairs with gap-encoded starts for the run ranks, and
-   a packed byte blob for the dense bitmaps (raw bytes, not width-tagged
-   ints: bitmap words are uniform random-looking 32-bit values, which
-   the signed width tagger would pad to 8 bytes each). *)
-let encode w t =
-  let ps = t.postings in
+(* Column layout shared by the v2 blob and the v3 sections: per-rank
+   kind tags and cardinalities, then one column per physical layout —
+   delta-encoded ids for the sparse ranks, (start, length) pairs with
+   gap-encoded starts for the run ranks, and a packed byte blob for the
+   dense bitmaps (raw bytes, not width-tagged ints: bitmap words are
+   uniform random-looking 32-bit values, which the signed width tagger
+   would pad to 8 bytes each). The delta/gap accumulators reset at every
+   rank boundary, so each rank's slice decodes independently — the
+   property the paged reader relies on. *)
+let columns ps =
   let nw = Postings.num_words ps in
-  C.W.i64 w t.n;
-  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) t.docs);
-  C.W.int_array w (Array.init nw (Postings.word ps));
-  C.W.bool w (match Postings.policy ps with U.Container.Sparse_only -> true | U.Container.Hybrid -> false);
-  C.W.int_array w (Array.init nw (fun r -> tag_of_kind (U.Container.kind (Postings.container ps r))));
-  C.W.int_array w (Array.init nw (fun r -> U.Container.cardinality (Postings.container ps r)));
-  (* sparse ranks: ids delta-encoded within each rank, concatenated *)
   let sparse = U.Ibuf.create () in
   let run_counts = U.Ibuf.create () in
   let runs = U.Ibuf.create () in
@@ -285,26 +290,41 @@ let encode w t =
         done
     | U.Container.Dense -> Buffer.add_string dense (U.Container.dense_bytes c)
   done;
-  C.W.int_array w (U.Ibuf.to_array sparse);
-  C.W.int_array w (U.Ibuf.to_array run_counts);
-  C.W.int_array w (U.Ibuf.to_array runs);
-  C.W.str w (Buffer.contents dense)
+  ( U.Ibuf.to_array sparse,
+    U.Ibuf.to_array run_counts,
+    U.Ibuf.to_array runs,
+    Buffer.contents dense )
 
-let decode r =
-  let n = C.R.i64 r in
-  let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
-  let universe = Array.length docs in
-  let vocab = C.R.int_array r in
-  let policy = if C.R.bool r then U.Container.Sparse_only else U.Container.Hybrid in
-  let kinds = Array.map kind_of_tag (C.R.int_array r) in
-  let cards = C.R.int_array r in
-  let nw = Array.length vocab in
-  if Array.length kinds <> nw || Array.length cards <> nw then
-    C.corrupt "Inverted: kind/cardinality columns disagree with the vocabulary";
-  let sparse = C.R.int_array r in
-  let run_counts = C.R.int_array r in
-  let runs = C.R.int_array r in
-  let dense = C.R.str r in
+let kind_tags ps =
+  Array.init (Postings.num_words ps) (fun r ->
+      tag_of_kind (U.Container.kind (Postings.container ps r)))
+
+let card_column ps =
+  Array.init (Postings.num_words ps) (fun r ->
+      U.Container.cardinality (Postings.container ps r))
+
+(* The v2 single-blob codec, kept verbatim for embedding inside other
+   snapshots (the per-shard sections of Kwsc_shard carry one of these
+   per shard regardless of the file's format version). *)
+let encode w t =
+  let ps = t.postings in
+  let nw = Postings.num_words ps in
+  C.W.i64 w t.n;
+  C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) (docs t));
+  C.W.int_array w (Array.init nw (Postings.word ps));
+  C.W.bool w (match Postings.policy ps with U.Container.Sparse_only -> true | U.Container.Hybrid -> false);
+  C.W.int_array w (kind_tags ps);
+  C.W.int_array w (card_column ps);
+  let sparse, run_counts, runs, dense = columns ps in
+  C.W.int_array w sparse;
+  C.W.int_array w run_counts;
+  C.W.int_array w runs;
+  C.W.str w dense
+
+(* Rebuild every container from the shared columns (the eager decode
+   path for both the v2 blob and the v3 sections). *)
+let containers_of_columns ~universe ~kinds ~cards ~sparse ~run_counts ~runs ~dense =
+  let nw = Array.length kinds in
   let sp = ref 0 and rc = ref 0 and rp = ref 0 and dp = ref 0 in
   let nb_dense = (universe + 7) / 8 in
   let containers =
@@ -312,7 +332,7 @@ let decode r =
         match kinds.(i) with
         | U.Container.Sparse ->
             let card = cards.(i) in
-            if !sp + card > Array.length sparse then
+            if card < 0 || !sp + card > Array.length sparse then
               C.corrupt "Inverted: sparse id column exhausted";
             let ids = Array.make card 0 in
             let prev = ref (-1) in
@@ -356,10 +376,28 @@ let decode r =
   if !rc <> Array.length run_counts || !rp <> Array.length runs then
     C.corrupt "Inverted: trailing run pairs";
   if !dp <> String.length dense then C.corrupt "Inverted: trailing dense bytes";
+  containers
+
+let decode r =
+  let n = C.R.i64 r in
+  let docs = Array.map Doc.of_sorted_array (C.R.int_array2 r) in
+  let universe = Array.length docs in
+  let vocab = C.R.int_array r in
+  let policy = if C.R.bool r then U.Container.Sparse_only else U.Container.Hybrid in
+  let kinds = Array.map kind_of_tag (C.R.int_array r) in
+  let cards = C.R.int_array r in
+  let nw = Array.length vocab in
+  if Array.length kinds <> nw || Array.length cards <> nw then
+    C.corrupt "Inverted: kind/cardinality columns disagree with the vocabulary";
+  let sparse = C.R.int_array r in
+  let run_counts = C.R.int_array r in
+  let runs = C.R.int_array r in
+  let dense = C.R.str r in
+  let containers = containers_of_columns ~universe ~kinds ~cards ~sparse ~run_counts ~runs ~dense in
   (* unsafe_of_containers revalidates universes and lengths; under
      Codec.run a violation surfaces as a Malformed error *)
   let t =
-    { docs;
+    { docs = U.Pool.Once.ready docs;
       postings = Postings.unsafe_of_containers ~policy ~universe ~vocab containers;
       n;
       cache = Isect_cache.create () }
@@ -377,7 +415,7 @@ let decode_v1 r =
   let offsets = C.R.int_array r in
   let arena = C.R.int_array r in
   let t =
-    { docs;
+    { docs = U.Pool.Once.ready docs;
       postings =
         Postings.unsafe_make ~policy:U.Container.Hybrid ~universe:(Array.length docs) ~vocab
           ~offsets arena;
@@ -387,15 +425,134 @@ let decode_v1 r =
   I.auto_check (fun () -> check_invariants t);
   t
 
-let save path t =
+(* Version 3 layout: the same columns as the v2 blob, but one snapshot
+   section per column so the pager can verify and decode each
+   independently — "docs" is never touched by queries, and each posting
+   container decodes from a fixed slice of its column section.
+
+   The sparse id column — the Zipf tail, usually the largest column — is
+   additionally split into rank-aligned chunks ("sparse.0", "sparse.1",
+   ...) of roughly [default_sparse_chunk] delta-coded ids each, with a
+   "sparsedir" section recording each chunk's starting element offset.
+   The chunk is the pager's unit of lazy verification: a paged first
+   touch of one tail word checksums tens of kilobytes, not the whole
+   tail. A rank's span never straddles a chunk boundary. *)
+let default_sparse_chunk = 16_384
+
+let sparse_chunk_starts ~tags ~cards ~chunk_elems total =
+  let cuts = ref [] in
+  let chunk_start = ref 0 and pos = ref 0 in
+  Array.iteri
+    (fun r tag ->
+      if tag = tag_of_kind U.Container.Sparse then begin
+        if !pos > !chunk_start && !pos - !chunk_start >= chunk_elems then begin
+          cuts := !chunk_start :: !cuts;
+          chunk_start := !pos
+        end;
+        pos := !pos + cards.(r)
+      end)
+    tags;
+  if total > 0 then cuts := !chunk_start :: !cuts;
+  Array.of_list (List.rev !cuts)
+
+let save ?(sparse_chunk_elems = default_sparse_chunk) path t =
+  if sparse_chunk_elems <= 0 then
+    invalid_arg "Inverted.save: sparse_chunk_elems must be positive";
+  let ps = t.postings in
+  let sparse, run_counts, runs, dense = columns ps in
+  let starts =
+    sparse_chunk_starts ~tags:(kind_tags ps) ~cards:(card_column ps)
+      ~chunk_elems:sparse_chunk_elems (Array.length sparse)
+  in
+  let nchunks = Array.length starts in
+  let chunk_sections =
+    List.init nchunks (fun c ->
+        let lo = starts.(c) in
+        let hi = if c + 1 < nchunks then starts.(c + 1) else Array.length sparse in
+        ( Printf.sprintf "sparse.%d" c,
+          C.to_string (fun w -> C.W.int_array w (Array.sub sparse lo (hi - lo))) ))
+  in
   C.save_file ~path ~kind
-    [
-      ("meta", C.to_string (fun w ->
-           C.W.i64 w (Array.length t.docs);
-           C.W.i64 w (Postings.num_words t.postings);
-           C.W.i64 w t.n));
-      ("index", C.to_string (fun w -> encode w t));
-    ]
+    ([
+       ("meta", C.to_string (fun w ->
+            C.W.i64 w (Array.length (docs t));
+            C.W.i64 w (Postings.num_words ps);
+            C.W.i64 w t.n));
+       ("docs", C.to_string (fun w ->
+            C.W.int_array2 w (Array.map (fun (d : Doc.t) -> (d :> int array)) (docs t))));
+       ("vocab", C.to_string (fun w ->
+            C.W.int_array w (Array.init (Postings.num_words ps) (Postings.word ps));
+            C.W.bool w
+              (match Postings.policy ps with
+              | U.Container.Sparse_only -> true
+              | U.Container.Hybrid -> false);
+            C.W.int_array w (kind_tags ps);
+            C.W.int_array w (card_column ps)));
+       ("sparsedir", C.to_string (fun w -> C.W.int_array w starts));
+     ]
+    @ chunk_sections
+    @ [
+        ("runcounts", C.to_string (fun w -> C.W.int_array w run_counts));
+        ("runs", C.to_string (fun w -> C.W.int_array w runs));
+        (* raw payload, not even str-framed: rank slices sit at fixed
+           ordinal * nb_dense offsets for the paged reader *)
+        ("dense", dense);
+      ])
+
+let decode_vocab_section r =
+  let vocab = C.R.int_array r in
+  let policy = if C.R.bool r then U.Container.Sparse_only else U.Container.Hybrid in
+  let kinds = Array.map kind_of_tag (C.R.int_array r) in
+  let cards = C.R.int_array r in
+  let nw = Array.length vocab in
+  if Array.length kinds <> nw || Array.length cards <> nw then
+    C.corrupt "Inverted: kind/cardinality columns disagree with the vocabulary";
+  (vocab, policy, kinds, cards)
+
+let decode_v3 ~n sections =
+  let docs =
+    C.decode_section sections "docs" (fun r ->
+        Array.map Doc.of_sorted_array (C.R.int_array2 r))
+  in
+  let universe = Array.length docs in
+  let vocab, policy, kinds, cards = C.decode_section sections "vocab" decode_vocab_section in
+  let sparse =
+    (* reassemble the chunked sparse column, checking each chunk against
+       the directory (a CRC-valid directory can still disagree with the
+       chunk payloads it travels beside) *)
+    let starts = C.decode_section sections "sparsedir" C.R.int_array in
+    let chunks =
+      Array.init (Array.length starts) (fun c ->
+          C.decode_section sections (Printf.sprintf "sparse.%d" c) C.R.int_array)
+    in
+    let total = Array.fold_left (fun a ch -> a + Array.length ch) 0 chunks in
+    let out = Array.make total 0 in
+    let pos = ref 0 in
+    Array.iteri
+      (fun c ch ->
+        if starts.(c) <> !pos then
+          C.corrupt "Inverted: sparse chunk directory disagrees with the chunk lengths";
+        Array.blit ch 0 out !pos (Array.length ch);
+        pos := !pos + Array.length ch)
+      chunks;
+    out
+  in
+  let run_counts = C.decode_section sections "runcounts" C.R.int_array in
+  let runs = C.decode_section sections "runs" C.R.int_array in
+  let dense =
+    match List.assoc_opt "dense" sections with
+    | Some s -> s
+    | None -> C.corrupt "missing section \"dense\""
+  in
+  let containers = containers_of_columns ~universe ~kinds ~cards ~sparse ~run_counts ~runs ~dense in
+  let t =
+    { docs = U.Pool.Once.ready docs;
+      postings = Postings.unsafe_of_containers ~policy ~universe ~vocab containers;
+      n;
+      cache = Isect_cache.create () }
+  in
+  I.auto_check (fun () -> check_invariants t);
+  t
 
 let load path =
   C.run (fun () ->
@@ -407,7 +564,186 @@ let load path =
             let c = C.R.i64 r in
             (a, b, c))
       in
-      let t = C.decode_section sections "index" (if version <= 1 then decode_v1 else decode) in
-      if Array.length t.docs <> mdocs || Postings.num_words t.postings <> mwords || t.n <> mn
+      let t =
+        if version >= 3 then decode_v3 ~n:mn sections
+        else C.decode_section sections "index" (if version <= 1 then decode_v1 else decode)
+      in
+      if
+        Postings.universe t.postings <> mdocs
+        || Postings.num_words t.postings <> mwords
+        || t.n <> mn
       then C.corrupt "Inverted: meta section disagrees with the decoded index";
       t)
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-core open: decode nothing but the vocabulary up front         *)
+(* ------------------------------------------------------------------ *)
+
+(* The paged open reads only "meta", "vocab", "runcounts" and the
+   sparse chunk directory (a few bytes per rank); every posting
+   container and the whole docs section stay on disk behind lazy
+   fetches. Section CRCs are verified by the
+   pager on first touch, so a corrupt column is refused — as
+   [Codec.Corrupt (Checksum_mismatch name)] raised from the touching
+   query — without ever having been paged in by queries that avoid it. *)
+let paged_of_pager pgr =
+  let mdocs, mwords, mn =
+    P.decode pgr "meta" (fun r ->
+        let a = C.R.i64 r in
+        let b = C.R.i64 r in
+        let c = C.R.i64 r in
+        (a, b, c))
+  in
+  if mdocs < 0 || mwords < 0 || mn < 0 then
+    C.corrupt "Inverted: negative meta field";
+  let vocab, policy, kinds, cards = P.decode pgr "vocab" decode_vocab_section in
+  let nw = Array.length vocab in
+  if nw <> mwords then C.corrupt "Inverted: meta section disagrees with the decoded index";
+  let universe = mdocs in
+  let run_counts = P.decode pgr "runcounts" C.R.int_array in
+  (* fixed per-rank offsets into the shared columns: element offset into
+     the sparse / runs slabs, run-count index, dense ordinal *)
+  let sparse_off = Array.make nw 0 in
+  let runs_off = Array.make nw 0 in
+  let rc_idx = Array.make nw 0 in
+  let dense_ord = Array.make nw 0 in
+  let sp = ref 0 and rc = ref 0 and rp = ref 0 and dp = ref 0 in
+  let total = ref 0 in
+  for r = 0 to nw - 1 do
+    if cards.(r) < 0 then C.corrupt "Inverted: negative cardinality";
+    total := !total + cards.(r);
+    match kinds.(r) with
+    | U.Container.Sparse ->
+        sparse_off.(r) <- !sp;
+        sp := !sp + cards.(r)
+    | U.Container.Runs ->
+        if !rc >= Array.length run_counts then
+          C.corrupt "Inverted: run-count column exhausted";
+        let nr = run_counts.(!rc) in
+        if nr < 0 then C.corrupt "Inverted: negative run count";
+        rc_idx.(r) <- !rc;
+        runs_off.(r) <- !rp;
+        incr rc;
+        rp := !rp + (2 * nr)
+    | U.Container.Dense ->
+        dense_ord.(r) <- !dp;
+        incr dp
+  done;
+  if !rc <> Array.length run_counts then C.corrupt "Inverted: trailing run pairs";
+  if !total <> mn then
+    C.corrupt "Inverted: meta section disagrees with the decoded index";
+  let nb_dense = (universe + 7) / 8 in
+  if !dp * nb_dense <> P.section_length pgr "dense" then
+    C.corrupt "Inverted: trailing dense bytes";
+  (* the sparse chunk directory is tiny and read eagerly; each chunk's
+     slab (and its whole-chunk CRC) waits for the first rank that lands
+     in it. [starts] is validated here so the per-fetch binary search
+     can trust it. *)
+  let starts = P.decode pgr "sparsedir" C.R.int_array in
+  let nchunks = Array.length starts in
+  if nchunks > 0 && starts.(0) <> 0 then
+    C.corrupt "Inverted: sparse chunk directory does not start at 0";
+  for c = 1 to nchunks - 1 do
+    if starts.(c) <= starts.(c - 1) then
+      C.corrupt "Inverted: sparse chunk directory is not strictly ascending"
+  done;
+  let chunk_cells = Array.make nchunks None in
+  let sparse_chunk c =
+    match chunk_cells.(c) with
+    | Some s -> s
+    | None ->
+        let s = P.ints pgr (Printf.sprintf "sparse.%d" c) in
+        chunk_cells.(c) <- Some s;
+        s
+  in
+  (* largest chunk whose start is <= e (the directory is ascending) *)
+  let chunk_of_off e =
+    let lo = ref 0 and hi = ref (nchunks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if starts.(mid) <= e then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  (* memoized run slab: parsing it verifies its whole section once;
+     after that per-rank reads are raw mapped loads *)
+  let runs_slab = ref None in
+  let slab cell name =
+    match !cell with
+    | Some s -> s
+    | None ->
+        let s = P.ints pgr name in
+        cell := Some s;
+        s
+  in
+  let fetch r =
+    try
+      match kinds.(r) with
+      | U.Container.Sparse ->
+          let card = cards.(r) in
+          if card = 0 then
+            U.Container.of_sorted_array_kind U.Container.Sparse ~universe [||]
+          else begin
+            if nchunks = 0 then C.corrupt "Inverted: sparse id column exhausted";
+            let c = chunk_of_off sparse_off.(r) in
+            let s = sparse_chunk c in
+            let off = sparse_off.(r) - starts.(c) in
+            if off + card > P.Ints.length s then
+              C.corrupt "Inverted: sparse id chunk exhausted";
+            let ids = Array.make card 0 in
+            let prev = ref (-1) in
+            for j = 0 to card - 1 do
+              prev := !prev + P.Ints.get s (off + j);
+              ids.(j) <- !prev
+            done;
+            U.Container.of_sorted_array_kind U.Container.Sparse ~universe ids
+          end
+      | U.Container.Runs ->
+          let s = slab runs_slab "runs" in
+          let nr = run_counts.(rc_idx.(r)) in
+          let off = runs_off.(r) in
+          if off + (2 * nr) > P.Ints.length s then
+            C.corrupt "Inverted: run pair column exhausted";
+          let pairs = Array.make (2 * nr) 0 in
+          let prev_end = ref 0 in
+          for j = 0 to nr - 1 do
+            let st = !prev_end + P.Ints.get s (off + (2 * j)) in
+            let len = P.Ints.get s (off + (2 * j) + 1) in
+            pairs.(2 * j) <- st;
+            pairs.((2 * j) + 1) <- len;
+            prev_end := st + len
+          done;
+          U.Container.of_runs ~universe pairs
+      | U.Container.Dense ->
+          let b = P.blob pgr "dense" ~pos:(dense_ord.(r) * nb_dense) ~len:nb_dense in
+          U.Container.of_dense_bytes ~universe ~card:cards.(r) b ~off:0
+    with
+    (* a CRC-valid section can still carry structurally impossible
+       content (the CRC travels beside the data); container validation
+       failures become the same typed refusal the eager decode gives *)
+    | Invalid_argument msg | Failure msg -> raise (C.Corrupt (C.Malformed msg))
+  in
+  {
+    docs =
+      U.Pool.Once.make (fun () ->
+          let docs =
+            P.decode pgr "docs" (fun r -> Array.map Doc.of_sorted_array (C.R.int_array2 r))
+          in
+          if Array.length docs <> mdocs then
+            raise (C.Corrupt (C.Malformed "Inverted: docs section disagrees with meta"));
+          docs);
+    postings = Postings.unsafe_of_paged ~policy ~universe ~vocab ~cards fetch;
+    n = mn;
+    cache = Isect_cache.create ();
+  }
+
+let load_paged path =
+  match P.open_kind path ~kind with
+  | Error _ as e -> e
+  | Ok pgr when P.version pgr < 3 ->
+      (* pre-v3 snapshots keep the whole index in one blob: nothing to
+         page, so fall back to the eager decode *)
+      load path
+  | Ok pgr -> C.run_light (fun () -> paged_of_pager pgr)
+
+let resident_containers t = Postings.resident t.postings

@@ -118,16 +118,53 @@ val decode : Kwsc_snapshot.Codec.R.t -> t
     [Kwsc_snapshot.Codec.Corrupt] and re-runs {!check_invariants} when
     [KWSC_AUDIT=1], exactly like {!load}. *)
 
-val save : string -> t -> unit
-(** Write a durable snapshot (documents plus kind-tagged container
-    sections: delta-encoded sparse ids, gap-encoded run pairs, packed
-    dense bitmap bytes); see {!Kwsc_snapshot.Codec} for the framing.
-    Cache state is never stored. Raises [Sys_error] on IO failure. *)
+val save : ?sparse_chunk_elems:int -> string -> t -> unit
+(** Write a durable snapshot at format v3: one section per column
+    ("meta", "docs", "vocab", "sparsedir", "sparse.0".."sparse.k",
+    "runcounts", "runs", "dense" — delta-encoded sparse ids, gap-encoded
+    run pairs, packed dense bitmap bytes); see {!Kwsc_snapshot.Codec}
+    for the framing. The sparse id column — the Zipf tail, usually the
+    largest — is split into rank-aligned chunks of roughly
+    [sparse_chunk_elems] ids (default 16384, must be positive; tests
+    shrink it to force multi-chunk layouts), with "sparsedir" holding
+    each chunk's starting element offset. The chunk is the pager's unit
+    of lazy CRC verification, so a paged first touch of one tail word
+    checksums one chunk, not the whole tail. The per-rank delta/gap
+    accumulators reset at every rank boundary, so each rank's slice
+    decodes independently — what {!load_paged} relies on; a rank's span
+    never straddles a chunk boundary. Cache state is never stored.
+    Raises [Sys_error] on IO failure. *)
 
 val load : string -> (t, Kwsc_snapshot.Codec.error) result
 (** Rebuild the index from a snapshot in O(file size) — containers are
     reconstructed directly, no re-sorting. Version-1 snapshots (flat
-    arena postings) still load; their spans are reclassified under the
-    hybrid policy. Corrupt input returns a typed [Error], never raises;
-    {!check_invariants} re-runs on the loaded index when
-    [KWSC_AUDIT=1]. *)
+    arena postings) and version-2 single-blob snapshots still load.
+    Corrupt or unreadable input returns a typed [Error] (missing files
+    are [Io] naming the path), never raises; {!check_invariants} re-runs
+    on the loaded index when [KWSC_AUDIT=1]. *)
+
+val load_paged : string -> (t, Kwsc_snapshot.Codec.error) result
+(** Out-of-core open: map the snapshot with {!Kwsc_snapshot.Pager} and
+    decode only the vocabulary columns ("meta", "vocab", "runcounts" — a
+    few bytes per rank) up front. Every posting container pages in on
+    first touch by a query, its column section CRC-verified lazily by
+    the pager; the documents section is deferred until {!documents} (or
+    an audit) forces it. Time-to-first-query and resident set scale with
+    what queries touch, not with the index.
+
+    Error contract at open matches {!load} (typed [Error], [Io] with the
+    path on unreadable files). After open, touching a corrupt section
+    raises [Codec.Corrupt (Checksum_mismatch name)] from the touching
+    call — the same refusal the eager path gives at load time, deferred
+    to first touch. Pre-v3 snapshots hold a single blob with nothing to
+    page and fall back to the eager decode.
+
+    Single queries fault containers in on the calling domain;
+    {!query_batch} prefaults before fanning out, so the pool contract is
+    unchanged. Answers, logical counters and planner decisions are
+    bit-identical to the eager index. *)
+
+val resident_containers : t -> int
+(** How many posting containers are currently decoded — equals the
+    vocabulary size on any eager index, grows with query traffic on a
+    paged one. *)

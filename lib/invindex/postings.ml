@@ -8,6 +8,16 @@
    cardinalities feed the cost-based Kwsc_util.Planner, which picks the
    intersection strategy (chain / probe / word-AND) per query.
 
+   Containers live behind a backing abstraction: a heap-built index has
+   every slot filled at construction (the arena / eager-snapshot case),
+   while a paged index starts with empty slots and a [fetch] closure
+   that decodes rank r's container out of the mmap-backed snapshot on
+   first touch ([container] below is the single dispatch point). The
+   exact cardinality column is always resident, so query planning —
+   rarest-first ordering, buffer sizing, the planner's cost model —
+   never faults a container in; only the containers a query actually
+   intersects are ever decoded.
+
    This module is a tagged query kernel (lint rule R9): no Hashtbl, no
    list construction. Multi-keyword intersection runs rarest-first by
    exact cardinality through Container's kind-dispatched kernels,
@@ -17,11 +27,16 @@ module U = Kwsc_util
 
 type t = {
   vocab : int array; (* sorted distinct keywords, rank order *)
-  containers : U.Container.t array; (* one per vocabulary rank *)
+  slots : U.Container.t option array; (* one per rank; None = not yet paged in *)
+  cards : int array; (* exact cardinality per rank, always resident *)
   universe : int; (* ids live in [0, universe) *)
   total : int; (* sum of all cardinalities (= old arena size) *)
   policy : U.Container.policy;
+  fetch : int -> U.Container.t; (* decode rank r from the mapped snapshot *)
 }
+
+(* heap-built indexes fill every slot up front, so their fetch is dead *)
+let no_fetch _ = invalid_arg "Postings: fetch on a fully resident index"
 
 let unsafe_of_containers ?(policy = U.Container.Hybrid) ~universe ~vocab containers =
   let nw = Array.length vocab in
@@ -34,7 +49,18 @@ let unsafe_of_containers ?(policy = U.Container.Hybrid) ~universe ~vocab contain
         invalid_arg "Postings.unsafe_of_containers: container universe mismatch";
       total := !total + U.Container.cardinality c)
     containers;
-  { vocab; containers; universe; total = !total; policy }
+  {
+    vocab;
+    slots = Array.map (fun c -> Some c) containers;
+    cards = Array.map U.Container.cardinality containers;
+    universe;
+    total = !total;
+    policy;
+    fetch = no_fetch;
+  }
+[@@kwsc.alloc_ok
+  "construction path: adopts pre-built containers once at build/load \
+   time, never during queries"]
 
 let unsafe_make ?(policy = U.Container.Hybrid) ~universe ~vocab ~offsets arena =
   let nw = Array.length vocab in
@@ -48,17 +74,58 @@ let unsafe_make ?(policy = U.Container.Hybrid) ~universe ~vocab ~offsets arena =
         U.Container.of_sorted_array ~policy ~universe
           (Array.sub arena offsets.(r) (offsets.(r + 1) - offsets.(r))))
   in
-  { vocab; containers; universe; total = Array.length arena; policy }
+  unsafe_of_containers ~policy ~universe ~vocab containers
 [@@kwsc.alloc_ok
   "construction path: builds every per-word container exactly once at \
    index build/load time, never during queries"]
+
+let unsafe_of_paged ?(policy = U.Container.Hybrid) ~universe ~vocab ~cards fetch =
+  let nw = Array.length vocab in
+  if Array.length cards <> nw then
+    invalid_arg "Postings.unsafe_of_paged: one cardinality per vocabulary word";
+  let total = ref 0 in
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Postings.unsafe_of_paged: negative cardinality";
+      total := !total + c)
+    cards;
+  { vocab; slots = Array.make nw None; cards; universe; total = !total; policy; fetch }
+[@@kwsc.alloc_ok "construction path: one slot array per paged open, never during queries"]
 
 let num_words t = Array.length t.vocab
 let size t = t.total
 let universe t = t.universe
 let policy t = t.policy
 let word t r = t.vocab.(r)
-let container t r = t.containers.(r)
+
+(* The backing dispatch point: every container read goes through here.
+   Resident slots cost one load and a branch; a paged miss decodes the
+   container from the mapped snapshot (CRC-verified on first touch of
+   its section) and caches it. The slot write is a benign race under
+   concurrent readers — fetch is a deterministic pure function of the
+   immutable mapping, so racing domains cache equal values (batch
+   queries prefault on the submitting domain; see Inverted). *)
+let container t r =
+  match t.slots.(r) with
+  | Some c -> c
+  | None ->
+      let c = t.fetch r in
+      if U.Container.universe c <> t.universe || U.Container.cardinality c <> t.cards.(r)
+      then
+        raise
+          (Kwsc_snapshot.Codec.Corrupt
+             (Kwsc_snapshot.Codec.Malformed
+                "paged container disagrees with the cardinality column"));
+      t.slots.(r) <- Some c;
+      c
+[@@kwsc.alloc_ok
+  "paged-miss path: decodes a snapshot section's container once on \
+   first touch; the per-query hot loops only take the resident branch"]
+
+let resident t =
+  let n = ref 0 in
+  Array.iter (function Some _ -> incr n | None -> ()) t.slots;
+  !n
 
 (* vocabulary rank of keyword w, or -1 when w occurs nowhere *)
 let rank t w =
@@ -71,30 +138,46 @@ let rank t w =
 
 let frequency t w =
   let r = rank t w in
-  if r < 0 then 0 else U.Container.cardinality t.containers.(r)
+  if r < 0 then 0 else t.cards.(r)
 
 let iter_posting t w f =
   let r = rank t w in
-  if r >= 0 then U.Container.iter f t.containers.(r)
+  if r >= 0 then U.Container.iter f (container t r)
 
 let copy_posting t w =
   let r = rank t w in
-  if r < 0 then [||] else U.Container.to_sorted_array t.containers.(r)
+  if r < 0 then [||] else U.Container.to_sorted_array (container t r)
 
 let mem t w id =
   let r = rank t w in
-  r >= 0 && U.Container.mem t.containers.(r) id
+  r >= 0 && U.Container.mem (container t r) id
 
 let kind_counts t =
   let s = ref 0 and d = ref 0 and r = ref 0 in
-  Array.iter
-    (fun c ->
-      match U.Container.kind c with
-      | U.Container.Sparse -> incr s
-      | U.Container.Dense -> incr d
-      | U.Container.Runs -> incr r)
-    t.containers;
+  for i = 0 to Array.length t.vocab - 1 do
+    match U.Container.kind (container t i) with
+    | U.Container.Sparse -> incr s
+    | U.Container.Dense -> incr d
+    | U.Container.Runs -> incr r
+  done;
   (!s, !d, !r)
+
+(* page in every container a batch of keyword sets will touch, on the
+   calling domain: the pool's task hand-off publishes the filled slots
+   (release/acquire through its atomics), so worker domains only ever
+   take the resident branch of [container] *)
+let prefault t wss =
+  Array.iter
+    (fun ws ->
+      Array.iter
+        (fun w ->
+          let r = rank t w in
+          if r >= 0 then ignore (container t r))
+        ws)
+    wss
+[@@kwsc.alloc_ok
+  "batch-submission path, not a query kernel: runs once per query_batch \
+   on the submitting domain to page deferred containers in"]
 
 (* absent-feedback default: a top-level function, not a per-call
    closure, so the no-feedback path stays allocation-free (A1) *)
@@ -113,7 +196,8 @@ let query_into ?(observed_of = default_observed) t ws out tmp =
   U.Ibuf.clear out;
   U.Ibuf.clear tmp;
   (* vocabulary ranks, sorted by ascending cardinality (insertion sort:
-     k is the query keyword count, tiny) *)
+     k is the query keyword count, tiny). The resident cardinality
+     column orders the ranks without faulting any container in. *)
   let ranks = Array.make k (-1) in
   let empty = ref false in
   for i = 0 to k - 1 do
@@ -121,7 +205,7 @@ let query_into ?(observed_of = default_observed) t ws out tmp =
     if r < 0 then empty := true else ranks.(i) <- r
   done;
   if not !empty then begin
-    let len r = U.Container.cardinality t.containers.(r) in
+    let len r = t.cards.(r) in
     for i = 1 to k - 1 do
       let x = ranks.(i) in
       let j = ref (i - 1) in
@@ -140,7 +224,7 @@ let query_into ?(observed_of = default_observed) t ws out tmp =
         incr kd
       end
     done;
-    let cs = Array.init !kd (fun i -> t.containers.(ranks.(i))) in
+    let cs = Array.init !kd (fun i -> container t ranks.(i)) in
     let observed =
       if !kd >= 3 then observed_of t.vocab.(ranks.(0)) t.vocab.(ranks.(1)) else -1
     in

@@ -37,9 +37,36 @@ val unsafe_of_containers :
   vocab:int array ->
   Kwsc_util.Container.t array ->
   t
-(** Adopt pre-built containers (the snapshot decode path): one per
+(** Adopt pre-built containers (the eager snapshot decode path): one per
     vocabulary rank, all over the same universe.
     @raise Invalid_argument on a length or universe mismatch. *)
+
+val unsafe_of_paged :
+  ?policy:Kwsc_util.Container.policy ->
+  universe:int ->
+  vocab:int array ->
+  cards:int array ->
+  (int -> Kwsc_util.Container.t) ->
+  t
+(** [unsafe_of_paged ~universe ~vocab ~cards fetch] is the out-of-core
+    constructor: every container slot starts empty, and [fetch r] decodes
+    rank [r]'s container out of the mmap-backed snapshot on first touch
+    (raising [Codec.Corrupt] if the backing section fails its lazy CRC).
+    [cards] is the exact cardinality column, always resident, so planning
+    and buffer sizing never fault a container in. [fetch] must be a
+    deterministic pure function of the immutable mapping. A fetched
+    container disagreeing with [cards] or [universe] is refused as
+    [Codec.Corrupt (Malformed _)].
+    @raise Invalid_argument on a length mismatch or negative card. *)
+
+val prefault : t -> int array array -> unit
+(** Page in every container the given keyword sets will touch, on the
+    calling domain — [Inverted.query_batch] calls this before fanning
+    out so pool workers only ever take the resident branch. *)
+
+val resident : t -> int
+(** How many container slots are currently decoded (= [num_words] on any
+    heap-built index; grows monotonically on a paged one). *)
 
 val num_words : t -> int
 

@@ -8,9 +8,15 @@
 
    This module is a tagged query kernel (lint rule R9): no Hashtbl, no
    list construction — the hot loops allocate nothing beyond the caller's
-   output and two d-sized cell scratch arrays per query. *)
+   output and two d-sized cell scratch arrays per query.
 
-type 'a t = {
+   The arrays live behind a backing abstraction: a frozen tree holds its
+   heap arena directly, while an out-of-core open holds a thunk that
+   materializes the arrays from an mmap-backed snapshot on first use
+   ([data] below is the single dispatch point; the kernels hit it once
+   per call, never per node). *)
+
+type 'a data = {
   d : int;
   n : int;
   blo : float array; (* dataset bounding box *)
@@ -26,7 +32,25 @@ type 'a t = {
   payload : 'a array;
 }
 
-let unsafe_make ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload =
+type 'a state = Arena of 'a data | Deferred of (unit -> 'a data)
+type 'a t = { mutable st : 'a state }
+
+(* the backing dispatch point: resident trees cost one load and a
+   branch; a deferred tree materializes once and caches. The state write
+   is a benign race — the thunk must be a deterministic pure function,
+   so racing domains cache equal values. *)
+let data t =
+  match t.st with
+  | Arena d -> d
+  | Deferred f ->
+      let d = f () in
+      t.st <- Arena d;
+      d
+[@@kwsc.alloc_ok
+  "deferred-miss path: materializes the frozen arrays once on first \
+   touch; query kernels dispatch here once per call, never per node"]
+
+let check ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload =
   let nn = Array.length axis in
   if
     Array.length split <> nn
@@ -40,20 +64,48 @@ let unsafe_make ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~paylo
   then invalid_arg "Kd_flat.unsafe_make: inconsistent array lengths";
   { d; n; blo; bhi; axis; split; right; start; count; coords; payload }
 
-let size t = t.n
-let dim t = t.d
-let num_nodes t = Array.length t.axis
-let bounds t = Rect.make t.blo t.bhi
-let node_axis t i = t.axis.(i)
-let node_split t i = t.split.(i)
-let node_right t i = t.right.(i)
-let node_start t i = t.start.(i)
-let node_count t i = t.count.(i)
-let coord t s j = t.coords.((s * t.d) + j)
-let payload t s = t.payload.(s)
-let get_point t s = Array.init t.d (fun j -> t.coords.((s * t.d) + j))
+let unsafe_make ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload =
+  { st = Arena (check ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload) }
+
+(* out-of-core constructor: [f] decodes the arrays from the mapped
+   snapshot on first touch (same length validation as unsafe_make) *)
+let defer f =
+  {
+    st =
+      Deferred
+        (fun () ->
+          let d, n, blo, bhi, axis, split, right, start, count, coords, payload = f () in
+          check ~d ~n ~blo ~bhi ~axis ~split ~right ~start ~count ~coords ~payload);
+  }
+[@@kwsc.alloc_ok "construction path: one deferred cell per paged open"]
+
+let backing t = match t.st with Arena _ -> `Arena | Deferred _ -> `Deferred
+let size t = (data t).n
+let dim t = (data t).d
+let num_nodes t = Array.length (data t).axis
+
+let bounds t =
+  let t = data t in
+  Rect.make t.blo t.bhi
+
+let node_axis t i = (data t).axis.(i)
+let node_split t i = (data t).split.(i)
+let node_right t i = (data t).right.(i)
+let node_start t i = (data t).start.(i)
+let node_count t i = (data t).count.(i)
+
+let coord t s j =
+  let t = data t in
+  t.coords.((s * t.d) + j)
+
+let payload t s = (data t).payload.(s)
+
+let get_point t s =
+  let t = data t in
+  Array.init t.d (fun j -> t.coords.((s * t.d) + j))
 
 let range_iter t (q : Rect.t) f =
+  let t = data t in
   if Rect.dim q <> t.d then invalid_arg "Kd_flat.range_iter: dimension mismatch";
   let d = t.d in
   let qlo = q.Rect.lo and qhi = q.Rect.hi in
@@ -110,6 +162,7 @@ let range_iter t (q : Rect.t) f =
   go 0
 
 let range_count t (q : Rect.t) =
+  let t = data t in
   if Rect.dim q <> t.d then invalid_arg "Kd_flat.range_count: dimension mismatch";
   let d = t.d in
   let qlo = q.Rect.lo and qhi = q.Rect.hi in
@@ -157,6 +210,7 @@ let range_count t (q : Rect.t) =
   !acc
 
 let nearest t ~metric (q : Point.t) k =
+  let t = data t in
   if Array.length q <> t.d then invalid_arg "Kd_flat.nearest: dimension mismatch";
   if k <= 0 then invalid_arg "Kd_flat.nearest: k must be positive";
   let d = t.d in

@@ -30,6 +30,32 @@ val unsafe_make :
     consistency; structural soundness is the freezer's contract (audited
     by [Kd.check_flat] under [KWSC_AUDIT=1]). *)
 
+val defer :
+  (unit ->
+  int
+  * int
+  * float array
+  * float array
+  * int array
+  * float array
+  * int array
+  * int array
+  * int array
+  * float array
+  * 'a array) ->
+  'a t
+(** Out-of-core constructor: the thunk materializes
+    [(d, n, blo, bhi, axis, split, right, start, count, coords, payload)]
+    — typically by decoding an mmap-backed snapshot section — on the
+    first query that touches the tree, with {!unsafe_make}'s length
+    validation applied then. The thunk must be a deterministic pure
+    function (racing domains may both run it; the first to finish wins)
+    and may raise, e.g. [Codec.Corrupt] from a lazy CRC check. *)
+
+val backing : 'a t -> [ `Arena | `Deferred ]
+(** Is the tree resident ([`Arena]) or still waiting on its first touch
+    ([`Deferred])? Introspection for tests and tools; forces nothing. *)
+
 val size : 'a t -> int
 val dim : 'a t -> int
 

@@ -10,9 +10,13 @@
    This module is a tagged query kernel (lint rule R9): no Hashtbl, no
    list construction. The geometric classification still goes through
    Polytope (its LP owns the cell polytopes); the per-point hot loop
-   reuses one scratch point and allocates nothing per slot. *)
+   reuses one scratch point and allocates nothing per slot.
 
-type 'a t = {
+   The arrays live behind the same backing abstraction as Kd_flat:
+   heap arena, or a thunk that materializes them from an mmap-backed
+   snapshot on first use ([data] is the single dispatch point). *)
+
+type 'a data = {
   d : int;
   n : int;
   (* per node, preorder; right = -1 marks a leaf *)
@@ -28,7 +32,22 @@ type 'a t = {
   rng : Kwsc_util.Prng.t; (* for the LP calls at query time *)
 }
 
-let unsafe_make ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng =
+type 'a state = Arena of 'a data | Deferred of (unit -> 'a data)
+type 'a t = { mutable st : 'a state }
+
+(* backing dispatch point; see Kd_flat.data for the contract *)
+let data t =
+  match t.st with
+  | Arena d -> d
+  | Deferred f ->
+      let d = f () in
+      t.st <- Arena d;
+      d
+[@@kwsc.alloc_ok
+  "deferred-miss path: materializes the frozen arrays once on first \
+   touch; the query kernel dispatches here once per call, never per node"]
+
+let check ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng =
   let nn = Array.length right in
   if
     Array.length dir <> nn * d
@@ -40,19 +59,45 @@ let unsafe_make ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng =
   then invalid_arg "Ptree_flat.unsafe_make: inconsistent array lengths";
   { d; n; dir; m; right; start; count; coords; payload; box; rng }
 
-let size t = t.n
-let dim t = t.d
-let num_nodes t = Array.length t.right
-let node_right t i = t.right.(i)
-let node_split t i = t.m.(i)
-let node_start t i = t.start.(i)
-let node_count t i = t.count.(i)
-let node_dir t i = Array.init t.d (fun j -> t.dir.((i * t.d) + j))
-let coord t s j = t.coords.((s * t.d) + j)
-let payload t s = t.payload.(s)
-let get_point t s = Array.init t.d (fun j -> t.coords.((s * t.d) + j))
+let unsafe_make ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng =
+  { st = Arena (check ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng) }
+
+(* out-of-core constructor: [f] decodes the arrays on first touch *)
+let defer f =
+  {
+    st =
+      Deferred
+        (fun () ->
+          let d, n, dir, m, right, start, count, coords, payload, box, rng = f () in
+          check ~d ~n ~dir ~m ~right ~start ~count ~coords ~payload ~box ~rng);
+  }
+[@@kwsc.alloc_ok "construction path: one deferred cell per paged open"]
+
+let backing t = match t.st with Arena _ -> `Arena | Deferred _ -> `Deferred
+let size t = (data t).n
+let dim t = (data t).d
+let num_nodes t = Array.length (data t).right
+let node_right t i = (data t).right.(i)
+let node_split t i = (data t).m.(i)
+let node_start t i = (data t).start.(i)
+let node_count t i = (data t).count.(i)
+
+let node_dir t i =
+  let t = data t in
+  Array.init t.d (fun j -> t.dir.((i * t.d) + j))
+
+let coord t s j =
+  let t = data t in
+  t.coords.((s * t.d) + j)
+
+let payload t s = (data t).payload.(s)
+
+let get_point t s =
+  let t = data t in
+  Array.init t.d (fun j -> t.coords.((s * t.d) + j))
 
 let query_polytope_iter t q f =
+  let t = data t in
   if Polytope.dim q <> t.d then invalid_arg "Ptree_flat.query_polytope_iter: dimension mismatch";
   let d = t.d in
   (* one scratch point reused for every membership test *)
@@ -77,7 +122,7 @@ let query_polytope_iter t q f =
     | Polytope.Crossing ->
         if t.right.(i) < 0 then scan_slice t.start.(i) t.count.(i)
         else begin
-          let dir = node_dir t i and m = t.m.(i) in
+          let dir = Array.init d (fun j -> t.dir.((i * d) + j)) and m = t.m.(i) in
           go (i + 1) (Polytope.add cell (Halfspace.make dir m));
           go t.right.(i)
             (Polytope.add cell (Halfspace.make (Array.map (fun c -> -.c) dir) (-.m)))

@@ -32,6 +32,31 @@ val unsafe_make :
     consistency; structural soundness is the freezer's contract (audited
     by [Ptree.check_flat] under [KWSC_AUDIT=1]). *)
 
+val defer :
+  (unit ->
+  int
+  * int
+  * float array
+  * float array
+  * int array
+  * int array
+  * int array
+  * float array
+  * 'a array
+  * float
+  * Kwsc_util.Prng.t) ->
+  'a t
+(** Out-of-core constructor: the thunk materializes
+    [(d, n, dir, m, right, start, count, coords, payload, box, rng)] on
+    the first query that touches the tree, with {!unsafe_make}'s length
+    validation applied then. Same contract as {!Kd_flat.defer}: the
+    thunk must be a deterministic pure function and may raise, e.g.
+    [Codec.Corrupt] from a lazy CRC check. *)
+
+val backing : 'a t -> [ `Arena | `Deferred ]
+(** Is the tree resident ([`Arena]) or still waiting on its first touch
+    ([`Deferred])? Forces nothing. *)
+
 val size : 'a t -> int
 val dim : 'a t -> int
 

@@ -5,19 +5,24 @@ module Wd = Kwsc_util.Wordops
 module Stats = Kwsc.Stats
 
 (* An epoch is a frozen read view of a Dynamic index: the bucket chain
-   (static Orp_kw indexes plus local->global id tables, both immutable
-   once built), a private copy of the tombstone bitmap, and the logical
-   watermark they were taken at.  Nothing here is ever mutated after
-   [of_dynamic] returns, so one epoch can be queried from any number of
-   domains concurrently — the serve writer publishes successive epochs
-   through a single atomic (see Serve). *)
+   (once-cells of static Orp_kw indexes plus local->global id tables,
+   both immutable once materialized), a private copy of the tombstone
+   bitmap, and the logical watermark they were taken at.  Nothing here
+   is ever mutated after [of_dynamic] returns (forcing a deferred cell
+   is a write-once publication, safe from any domain), so one epoch can
+   be queried from any number of domains concurrently — the serve
+   writer publishes successive epochs through a single atomic (see
+   Serve). *)
+
+module Once = Kwsc_util.Pool.Once
 
 type t = {
   version : int;
   d : int;
   k : int;
   live : int;
-  buckets : (Kwsc.Orp_kw.t * int array) array; (* largest first *)
+  buckets : (Kwsc.Orp_kw.t * int array) Once.t array; (* largest first *)
+  sizes : int array; (* resident stored sizes, largest first *)
   dead : int array; (* packed 63-bit tombstone bitmap, private copy *)
 }
 
@@ -28,6 +33,7 @@ let of_dynamic dyn =
     k = Kwsc.Dynamic.arity dyn;
     live = Kwsc.Dynamic.size dyn;
     buckets = Kwsc.Dynamic.view dyn;
+    sizes = Array.of_list (Kwsc.Dynamic.buckets dyn);
     dead = Kwsc.Dynamic.tombstone_words dyn;
   }
 
@@ -35,7 +41,8 @@ let version e = e.version
 let dim e = e.d
 let arity e = e.k
 let live_count e = e.live
-let bucket_sizes e = Array.to_list (Array.map (fun (_, ids) -> Array.length ids) e.buckets)
+let bucket_sizes e = Array.to_list e.sizes
+let prefault e = Array.iter (fun cell -> ignore (Once.force cell)) e.buckets
 
 let is_dead e id =
   let w = Wd.div_bits id in
@@ -46,7 +53,8 @@ let query_stats e q ws =
   let stats = Stats.fresh_query () in
   let hits = ref [] in
   Array.iter
-    (fun (index, ids) ->
+    (fun cell ->
+      let index, ids = Once.force cell in
       let res, s = Kwsc.Orp_kw.query_stats index q ws in
       Stats.add_into ~into:stats s;
       Array.iter
@@ -60,4 +68,10 @@ let query_stats e q ws =
   (out, stats)
 
 let query e q ws = fst (query_stats e q ws)
-let query_batch ?pool e qs = Kwsc.Batch.run ?pool (fun (q, ws) -> query_stats e q ws) qs
+
+let query_batch ?pool e qs =
+  (* materialize any still-deferred buckets on the submitting domain:
+     the batch fans one epoch out to the pool, so decoding each bucket
+     once here beats racing the (idempotent) force across workers *)
+  prefault e;
+  Kwsc.Batch.run ?pool (fun (q, ws) -> query_stats e q ws) qs

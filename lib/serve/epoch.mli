@@ -25,7 +25,13 @@ val arity : t -> int
 val live_count : t -> int
 
 val bucket_sizes : t -> int list
-(** Stored sizes of the frozen chain, largest first. *)
+(** Stored sizes of the frozen chain, largest first. Resident metadata —
+    forces no deferred bucket. *)
+
+val prefault : t -> unit
+(** Materialize every still-deferred bucket now (an epoch taken over a
+    paged restore defers each bucket to its first touch). Idempotent.
+    May raise [Codec.Corrupt] if a deferred bucket's bytes are bad. *)
 
 val query : t -> Rect.t -> int array -> int array
 (** Sorted ids of epoch-live objects inside the rectangle containing all

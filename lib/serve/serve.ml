@@ -64,4 +64,4 @@ let maintain ?(small_cap = default_small_cap) t =
   !changed
 
 let checkpoint t path = Kwsc.Dynamic.save path t.dyn
-let restore path = Result.map of_dynamic (Kwsc.Dynamic.load path)
+let restore ?ooc path = Result.map of_dynamic (Kwsc.Dynamic.load ?ooc path)

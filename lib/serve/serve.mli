@@ -70,7 +70,12 @@ val checkpoint : t -> string -> unit
 (** Writer only. [Kwsc.Dynamic.save] of the current state: a durable,
     corruption-refusing restart point carrying the watermark. *)
 
-val restore : string -> (t, Kwsc_snapshot.Codec.error) result
+val restore : ?ooc:bool -> string -> (t, Kwsc_snapshot.Codec.error) result
 (** Rebuild a server from a checkpoint without rebuilding any static index
     and publish the restored state as its first epoch. Answers, counters,
-    and the watermark round-trip exactly. *)
+    and the watermark round-trip exactly. [~ooc] (default the [KWSC_OOC]
+    environment switch) selects [Kwsc.Dynamic.load ~ooc:true]: buckets
+    page in lazily from the mapped checkpoint on first query, shrinking
+    time-to-first-query; a corrupt bucket then surfaces as
+    [Codec.Corrupt] at its first touch instead of a restore-time
+    [Error] (see {!Kwsc.Dynamic.load}). *)

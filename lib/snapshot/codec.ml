@@ -25,13 +25,23 @@ let corrupt msg = raise (Corrupt (Malformed msg))
    structures from hostile bytes. Deliberately NOT a catch-all: a decode
    bug manifesting as, say, Not_found should crash a test, not masquerade
    as a corrupt file. *)
+let run_light f =
+  match f () with
+  | v -> Ok v
+  | exception Corrupt e -> Error e
+  | exception Invalid_argument msg -> Error (Malformed msg)
+  | exception Failure msg -> Error (Malformed msg)
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error Truncated
+
 let run f =
   (* Bulk-load GC tuning: decoding a large index rebuilds an entire live
      structure in one burst, and the default 256k-word minor heap turns
      that into thousands of minor collections with piecemeal promotion.
      A 4M-word nursery for the duration of the load lets survivors
      promote in large batches; the previous settings are restored on
-     every exit path. *)
+     every exit path. Resizing the nursery is itself a multi-ms
+     operation, which is why paged opens go through [run_light]. *)
   let g = Gc.get () in
   Gc.set
     {
@@ -39,24 +49,18 @@ let run f =
       Gc.minor_heap_size = max g.Gc.minor_heap_size (1 lsl 23);
       Gc.space_overhead = max g.Gc.space_overhead 2000;
     };
-  Fun.protect
-    ~finally:(fun () -> Gc.set g)
-    (fun () ->
-      match f () with
-      | v -> Ok v
-      | exception Corrupt e -> Error e
-      | exception Invalid_argument msg -> Error (Malformed msg)
-      | exception Failure msg -> Error (Malformed msg)
-      | exception Sys_error msg -> Error (Io msg)
-      | exception End_of_file -> Error Truncated)
+  Fun.protect ~finally:(fun () -> Gc.set g) (fun () -> run_light f)
 
 let magic = "KWSCSNAP"
 
 (* Version 2 added hybrid posting containers (kind-tagged sections in
-   kwsc.inverted). Writers emit [format_version]; readers accept the
-   whole [min_supported_version .. format_version] range and each index
+   kwsc.inverted). Version 3 split the inverted index and the dynamic
+   checkpoints into one section per column so an mmap-backed pager can
+   verify and decode each column independently (out-of-core reads).
+   Writers emit [format_version]; readers accept the whole
+   [min_supported_version .. format_version] range and each index
    module dispatches its decoder on the version it actually got. *)
-let format_version = 2
+let format_version = 3
 let min_supported_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +121,12 @@ let crc32 s =
     incr i
   done;
   !c lxor 0xFFFFFFFF
+
+(* The pager checksums mapped [Bigarray] views without copying them into
+   strings first, so it needs the slicing tables themselves; exposing the
+   tables (rather than a Bigarray-typed crc here) keeps this module free
+   of mmap machinery (lint rule R14 confines that to the pager). *)
+let crc32_tables () = Lazy.force crc_tables
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)

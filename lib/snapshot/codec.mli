@@ -55,7 +55,17 @@ val corrupt : string -> 'a
 val run : (unit -> 'a) -> ('a, error) result
 (** Run a loader, catching [Corrupt] — plus the [Invalid_argument] /
     [Failure] / [Sys_error] / [End_of_file] a decoder may surface while
-    rebuilding structures from hostile bytes — into [Error]. *)
+    rebuilding structures from hostile bytes — into [Error]. Applies the
+    bulk-load GC tuning (a large temporary nursery) for the duration:
+    right for an eager decode that rebuilds a whole index, wrong for a
+    paged open — see {!run_light}. *)
+
+val run_light : (unit -> 'a) -> ('a, error) result
+(** Same exception mapping as {!run} without the GC tuning. Paged opens
+    ({!Pager}, [load_paged]) use this: they decode a few small columns,
+    and resizing the nursery would cost more than the decode itself
+    (milliseconds against the microseconds time-to-first-query the
+    out-of-core path exists for). *)
 
 (** Little-endian binary writer over a growable buffer. *)
 module W : sig
@@ -121,11 +131,18 @@ val crc32 : string -> int
 (** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) as a
     non-negative int in [0, 2^32). *)
 
+val crc32_tables : unit -> int array array
+(** The slicing-by-8 CRC tables behind {!crc32}: [tables.(k).(b)] is the
+    CRC of byte [b] followed by [k] zero bytes. Exposed so the pager can
+    checksum mapped views byte-for-byte identically to {!crc32} without
+    this module depending on [Bigarray] (lint rule R14 confines mmap
+    machinery to [lib/snapshot/pager.ml]). *)
+
 val magic : string
 
 val format_version : int
-(** The version new snapshots are written at (2 since hybrid posting
-    containers). *)
+(** The version new snapshots are written at (3 since the out-of-core
+    section split; 2 introduced hybrid posting containers). *)
 
 val min_supported_version : int
 (** Oldest version readers still accept (1: flat-arena postings). *)

@@ -1,0 +1,323 @@
+(* Mmap-backed snapshot pager: parse the fixed-width framing eagerly,
+   checksum section payloads lazily on first touch. This is the one
+   module allowed to use [Unix.map_file] and [Bigarray] (lint rule R14);
+   everything above it consumes sections through the typed accessors. *)
+
+module C = Codec
+
+type map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type section = { name : string; off : int; len : int; crc : int }
+
+type t = {
+  path : string;
+  map : map;
+  size : int;
+  version : int;
+  kind : string;
+  sections : section array;
+  (* one bit per section, set once its payload has passed its CRC; the
+     update is a benign race (verification is idempotent and accessors
+     re-verify rather than trust a clear bit) *)
+  bits : int array;
+}
+
+let env_ooc () =
+  match Sys.getenv_opt "KWSC_OOC" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let path t = t.path
+let version t = t.version
+let kind t = t.kind
+let file_size t = t.size
+let sections t = Array.copy t.sections
+
+(* ------------------------------------------------------------------ *)
+(* Framing parse over the mapping                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny bounds-checked cursor over the map, mirroring [Codec.R] for
+   the handful of fixed-width framing fields. *)
+let need map pos n =
+  if n < 0 || pos + n > Bigarray.Array1.dim map then raise (C.Corrupt C.Truncated)
+
+(* bounds-checked on purpose: framing parse is cold, clarity wins; the
+   [map] annotation still pins the kind and layout so the access is a
+   direct load, not the generic bigarray dispatch ([Ints.get] reads
+   every slab element through this helper) *)
+let get (map : map) j = Char.code (Bigarray.Array1.get map j)
+
+let read_i64 map pos =
+  need map pos 8;
+  let v = ref 0 in
+  for j = 7 downto 0 do
+    v := (!v lsl 8) lor get map (pos + j)
+  done;
+  !v
+
+let read_str map pos n =
+  need map pos n;
+  String.init n (fun j -> Bigarray.Array1.get map (pos + j))
+
+let map_path path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      raise (C.Corrupt (C.Io (path ^ ": " ^ Unix.error_message e)))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      (* an empty file is unmappable and certainly not a snapshot *)
+      if size <= 0 then raise (C.Corrupt C.Truncated);
+      let g =
+        try Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]
+        with Unix.Unix_error (e, _, _) ->
+          raise (C.Corrupt (C.Io (path ^ ": " ^ Unix.error_message e)))
+      in
+      (Bigarray.array1_of_genarray g, size))
+
+let open_exn path =
+  let map, size = map_path path in
+  let pos = ref 0 in
+  let mlen = String.length C.magic in
+  let m =
+    try read_str map !pos mlen with C.Corrupt _ -> raise (C.Corrupt C.Bad_magic)
+  in
+  if not (String.equal m C.magic) then raise (C.Corrupt C.Bad_magic);
+  pos := mlen;
+  let version = read_i64 map !pos in
+  pos := !pos + 8;
+  if version < C.min_supported_version || version > C.format_version then
+    raise (C.Corrupt (C.Bad_version version));
+  let frame_str () =
+    let n = read_i64 map !pos in
+    pos := !pos + 8;
+    if n < 0 || n > size - !pos then raise (C.Corrupt C.Truncated);
+    let s = read_str map !pos n in
+    pos := !pos + n;
+    s
+  in
+  let kind = frame_str () in
+  let nsections = read_i64 map !pos in
+  pos := !pos + 8;
+  if nsections < 0 || nsections > size - !pos then raise (C.Corrupt C.Truncated);
+  let sections =
+    Array.init nsections (fun _ ->
+        let name = frame_str () in
+        let len = read_i64 map !pos in
+        pos := !pos + 8;
+        if len < 0 || len > size - !pos - 4 then raise (C.Corrupt C.Truncated);
+        let crc =
+          need map !pos 4;
+          get map !pos
+          lor (get map (!pos + 1) lsl 8)
+          lor (get map (!pos + 2) lsl 16)
+          lor (get map (!pos + 3) lsl 24)
+        in
+        pos := !pos + 4;
+        let off = !pos in
+        pos := !pos + len;
+        { name; off; len; crc })
+  in
+  if !pos <> size then
+    C.corrupt (Printf.sprintf "%d trailing bytes after the last section" (size - !pos));
+  {
+    path;
+    map;
+    size;
+    version;
+    kind;
+    sections;
+    bits = Array.make ((nsections + 31) / 32) 0;
+  }
+
+let open_file path = C.run_light (fun () -> open_exn path)
+
+let open_kind_exn path ~kind =
+  let t = open_exn path in
+  if not (String.equal t.kind kind) then
+    raise (C.Corrupt (C.Bad_kind { expected = kind; got = t.kind }));
+  t
+
+let open_kind path ~kind = C.run_light (fun () -> open_kind_exn path ~kind)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy CRC verification                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Same slicing-by-8 fold as [Codec.crc32], over the mapped bytes. This
+   is the one hot loop of the pager — a section's first touch checksums
+   its whole payload — so it reads through unsafe_get under the explicit
+   bounds guard below (the directory already validated every section
+   against the file size at open; the guard makes the function
+   self-contained). *)
+(* the [map] annotation matters: it fixes the element kind and layout,
+   so unsafe_get compiles to a one-byte load instead of the generic
+   bigarray dispatch (a C call per byte — ~20x slower end to end) *)
+let crc32_map (map : map) ~off ~len =
+  if off < 0 || len < 0 || off + len > Bigarray.Array1.dim map then
+    invalid_arg "Pager.crc32_map: span outside the mapping";
+  let get (map : map) j = Char.code (Bigarray.Array1.unsafe_get map j) in
+  let tabs = C.crc32_tables () in
+  let t0 = tabs.(0)
+  and t1 = tabs.(1)
+  and t2 = tabs.(2)
+  and t3 = tabs.(3)
+  and t4 = tabs.(4)
+  and t5 = tabs.(5)
+  and t6 = tabs.(6)
+  and t7 = tabs.(7) in
+  let c = ref 0xFFFFFFFF in
+  let i = ref off in
+  let stop = off + len in
+  (* byte loads are in bounds by the guard above; table loads are in
+     bounds because every index is masked to [0, 255] and each table
+     holds 256 entries *)
+  let tab (t : int array) j = Array.unsafe_get t (j land 0xFF) in
+  while !i + 8 <= stop do
+    let b j = get map (!i + j) in
+    let c0 = !c in
+    c :=
+      tab t7 (c0 lxor b 0)
+      lxor tab t6 ((c0 lsr 8) lxor b 1)
+      lxor tab t5 ((c0 lsr 16) lxor b 2)
+      lxor tab t4 ((c0 lsr 24) lxor b 3)
+      lxor tab t3 (b 4)
+      lxor tab t2 (b 5)
+      lxor tab t1 (b 6)
+      lxor tab t0 (b 7);
+    i := !i + 8
+  done;
+  while !i < stop do
+    c := tab t0 (!c lxor get map !i) lxor (!c lsr 8);
+    incr i
+  done;
+  !c lxor 0xFFFFFFFF
+
+let find_idx t name =
+  let rec go i =
+    if i >= Array.length t.sections then
+      C.corrupt (Printf.sprintf "missing section %S" name)
+    else if String.equal t.sections.(i).name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let bit_set t i = t.bits.(i lsr 5) land (1 lsl (i land 31)) <> 0
+let bit_mark t i = t.bits.(i lsr 5) <- t.bits.(i lsr 5) lor (1 lsl (i land 31))
+
+let verify_idx t i =
+  if not (bit_set t i) then begin
+    let s = t.sections.(i) in
+    if crc32_map t.map ~off:s.off ~len:s.len <> s.crc then
+      raise (C.Corrupt (C.Checksum_mismatch s.name));
+    bit_mark t i
+  end
+
+let verified t name = bit_set t (find_idx t name)
+let verify t name = verify_idx t (find_idx t name)
+
+let verify_all t =
+  for i = 0 to Array.length t.sections - 1 do
+    verify_idx t i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Typed section accessors (verify-on-first-touch)                     *)
+(* ------------------------------------------------------------------ *)
+
+let section_length t name = (t.sections.(find_idx t name)).len
+
+let verified_section t name =
+  let i = find_idx t name in
+  verify_idx t i;
+  t.sections.(i)
+
+let section_string t name =
+  let s = verified_section t name in
+  read_str t.map s.off s.len
+
+let decode t name f =
+  let r = C.R.of_string (section_string t name) in
+  let v = f r in
+  if not (C.R.at_end r) then
+    C.corrupt (Printf.sprintf "trailing bytes in section %S" name);
+  v
+
+let blob t name ~pos ~len =
+  let s = verified_section t name in
+  if pos < 0 || len < 0 || pos + len > s.len then
+    C.corrupt (Printf.sprintf "slice [%d, %d) outside section %S" pos (pos + len) name);
+  read_str t.map (s.off + pos) len
+
+(* ------------------------------------------------------------------ *)
+(* Packed int-array slabs                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Ints = struct
+  type slab = { map : map; name : string; base : int; n : int; w : int }
+
+  let length s = s.n
+
+  (* element [j] sits at a fixed offset because the whole array shares
+     one tagged width; sign-extension mirrors [Codec.R.int_array] *)
+  let get s j =
+    if j < 0 || j >= s.n then
+      C.corrupt (Printf.sprintf "index %d outside int slab %S" j s.name);
+    let p = s.base + (j * s.w) in
+    let m = s.map in
+    match s.w with
+    | 1 -> (get m p lxor 0x80) - 0x80
+    | 2 ->
+        let v = get m p lor (get m (p + 1) lsl 8) in
+        (v lxor 0x8000) - 0x8000
+    | 3 ->
+        let v = get m p lor (get m (p + 1) lsl 8) lor (get m (p + 2) lsl 16) in
+        (v lxor 0x800000) - 0x800000
+    | 4 ->
+        let v =
+          get m p
+          lor (get m (p + 1) lsl 8)
+          lor (get m (p + 2) lsl 16)
+          lor (get m (p + 3) lsl 24)
+        in
+        (v lxor 0x80000000) - 0x80000000
+    | _ ->
+        let v = ref 0 in
+        for k = 7 downto 0 do
+          v := (!v lsl 8) lor get m (p + k)
+        done;
+        !v
+end
+
+let ints t name =
+  let s = verified_section t name in
+  (* parse the [vint n; width byte] prefix in place *)
+  let stop = s.off + s.len in
+  let pos = ref s.off in
+  let byte () =
+    if !pos >= stop then raise (C.Corrupt C.Truncated);
+    let b = get t.map !pos in
+    incr pos;
+    b
+  in
+  let u = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = byte () in
+    u := !u lor ((b land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+    else if !shift > 63 then C.corrupt "varint longer than 9 bytes"
+  done;
+  let n = (!u lsr 1) lxor - (!u land 1) in
+  let w = byte () in
+  (match w with
+  | 1 | 2 | 3 | 4 | 8 -> ()
+  | _ -> C.corrupt (Printf.sprintf "invalid int-array width %d" w));
+  if n < 0 || n > (stop - !pos) / w then raise (C.Corrupt C.Truncated);
+  if !pos + (n * w) <> stop then
+    C.corrupt (Printf.sprintf "trailing bytes in section %S" name);
+  { Ints.map = t.map; name; base = !pos; n; w }

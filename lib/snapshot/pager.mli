@@ -1,0 +1,113 @@
+(** Out-of-core snapshot reads: an mmap-backed pager over the codec's
+    file framing.
+
+    {!open_file} maps the whole snapshot with [Unix.map_file] and parses
+    only the fixed-width framing eagerly — magic, version, kind and the
+    section directory (names, payload offsets, lengths, stored CRCs).
+    Section {e payloads} are neither copied nor checksummed at open:
+    each section's CRC is verified lazily, on the first accessor call
+    that touches it, and the result is recorded in a verified-bitmap so
+    the payload is scanned at most once. A failing section raises
+    [Codec.Corrupt (Checksum_mismatch name)] naming the section exactly
+    as the eager loader does.
+
+    The pager is the only module allowed to touch [Unix.map_file] and
+    [Bigarray] (lint rule R14): index modules consume sections through
+    the typed accessors below and stay mmap-agnostic.
+
+    Concurrency: verification is idempotent and the bitmap update is a
+    benign race — two domains touching an unverified section may both
+    scan it, and both reach the same verdict. Accessors never hand out
+    bytes from a section that has not passed its CRC. *)
+
+type t
+
+type section = {
+  name : string;
+  off : int;  (** absolute payload offset in the file *)
+  len : int;  (** payload length in bytes *)
+  crc : int;  (** stored CRC-32 of the payload *)
+}
+
+val env_ooc : unit -> bool
+(** [KWSC_OOC] is set to a value other than [""] or ["0"] — the
+    environment switch that makes CLI loads and [Serve.restore] prefer
+    the paged path. *)
+
+val open_file : string -> (t, Codec.error) result
+(** Map [path] and parse its framing. Missing or unreadable files are
+    [Error (Io _)] naming the path; short or garbled headers are the
+    same typed errors the eager loader produces ([Bad_magic],
+    [Bad_version], [Truncated], [Malformed]). No payload is read. *)
+
+val open_kind : string -> kind:string -> (t, Codec.error) result
+(** As {!open_file}, additionally checking the kind ([Bad_kind]). *)
+
+val open_kind_exn : string -> kind:string -> t
+(** As {!open_kind}. @raise Codec.Corrupt on any defect. *)
+
+val path : t -> string
+val version : t -> int
+val kind : t -> string
+
+val file_size : t -> int
+
+val sections : t -> section array
+(** The section directory, in file order. Framing only — listing it
+    verifies nothing. *)
+
+val verified : t -> string -> bool
+(** Has the named section already passed its CRC? *)
+
+val verify : t -> string -> unit
+(** Force the named section's lazy CRC check now.
+    @raise Codec.Corrupt with [Checksum_mismatch name] on mismatch,
+    [Malformed] if the section does not exist. *)
+
+val verify_all : t -> unit
+(** Verify every section (a sequential scan of the mapping; no decode,
+    no per-payload allocation). After this the pager behaves like an
+    eagerly validated file. *)
+
+val section_length : t -> string -> int
+(** Payload length from the directory; verifies nothing.
+    @raise Codec.Corrupt if the section does not exist. *)
+
+val section_string : t -> string -> string
+(** Copy the named section's payload out of the mapping, verifying it
+    first (lazily, once). Intended for small sections that are decoded
+    eagerly with {!Codec.R}. @raise Codec.Corrupt on CRC mismatch. *)
+
+val decode : t -> string -> (Codec.R.t -> 'a) -> 'a
+(** [decode t name f] runs [f] over the verified payload of [name];
+    trailing bytes after [f] finishes are [Malformed] (same contract as
+    {!Codec.decode_section}). *)
+
+val blob : t -> string -> pos:int -> len:int -> string
+(** [blob t name ~pos ~len] copies [len] raw payload bytes starting at
+    payload-relative [pos], verifying the section first. Serves the
+    dense-bitmap column, whose payload is a bare byte blob sliced at
+    fixed per-rank offsets. @raise Codec.Corrupt on CRC mismatch or
+    out-of-bounds slice. *)
+
+(** Random access into a section whose payload is exactly one
+    width-tagged int array ({!Codec.W.int_array}): element [j] of an
+    array with a single element width [w] lives at a fixed offset, so a
+    paged reader can decode one rank's slice without materializing the
+    column. *)
+module Ints : sig
+  type slab
+
+  val length : slab -> int
+  (** Element count. *)
+
+  val get : slab -> int -> int
+  (** [get s j] is element [j], sign-extended from the tagged width.
+      @raise Codec.Corrupt with [Malformed] when out of bounds. *)
+end
+
+val ints : t -> string -> Ints.slab
+(** Parse the named section as a single int array (verifying the
+    section first) and return a random-access handle over the mapped
+    bytes. @raise Codec.Corrupt if the payload is not exactly one
+    width-tagged int array. *)

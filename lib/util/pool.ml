@@ -290,3 +290,34 @@ let parallel_map pool f arr =
     parallel_for pool ~chunk ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f arr.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+(* ------------------------------------------------------------------ *)
+(* Once-cells                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A domain-safe write-once cell for the out-of-core paged readers: a
+   deferred bucket or container decode lives behind one of these so a
+   snapshot section is only decoded (and CRC-verified) on first touch.
+   The [Atomic] lives here under rule R8 like the rest of the pool's
+   primitives. Racing forcers may both run the thunk — paged decode
+   thunks are deterministic pure functions of an immutable mapping, so
+   both compute the same value and the first CAS wins; the loser's copy
+   is garbage. The CAS gives release/acquire publication: any domain
+   that observes [Done v] also observes every write made producing it. *)
+module Once = struct
+  type 'a state = Done of 'a | Thunk of (unit -> 'a)
+  type 'a t = 'a state Atomic.t
+
+  let ready v = Atomic.make (Done v)
+  let make f = Atomic.make (Thunk f)
+
+  let force c =
+    match Atomic.get c with
+    | Done v -> v
+    | Thunk f as prev ->
+        let v = f () in
+        if Atomic.compare_and_set c prev (Done v) then v
+        else (match Atomic.get c with Done v -> v | Thunk _ -> assert false)
+
+  let is_forced c = match Atomic.get c with Done _ -> true | Thunk _ -> false
+end

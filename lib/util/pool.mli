@@ -77,3 +77,23 @@ val fork_depth : t -> int
 (** ceil(log2 size) + 2 — how many levels of a binary recursion are worth
     forking before the pool is saturated; the tree builders stop forking
     below this depth (and below their size cutoffs). *)
+
+(** Domain-safe write-once cells, used by the out-of-core paged readers
+    to defer a section's CRC check and decode to first touch. Racing
+    forcers may both run the thunk (it must be a deterministic pure
+    function); the first to finish publishes, with release/acquire
+    visibility for every write made producing the value. *)
+module Once : sig
+  type 'a t
+
+  val ready : 'a -> 'a t
+  (** A cell that is already forced — the heap-resident (eager) case. *)
+
+  val make : (unit -> 'a) -> 'a t
+
+  val force : 'a t -> 'a
+  (** Run the thunk on first touch (re-raising whatever it raises, e.g.
+      [Codec.Corrupt] from a lazy CRC check) and cache the value. *)
+
+  val is_forced : 'a t -> bool
+end

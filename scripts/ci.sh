@@ -16,6 +16,11 @@ dune build @all
 KWSC_DOMAINS=1 KWSC_SHARDS=1 dune runtest --force
 KWSC_DOMAINS=4 KWSC_SHARDS=4 dune runtest --force
 KWSC_SLOW=1 KWSC_AUDIT=1 KWSC_DOMAINS=4 dune runtest --force
+# The out-of-core read path: KWSC_OOC=1 flips every snapshot open in
+# the suite to the mmap-backed pager (lazy per-section CRCs), which
+# must stay green forced-sequential and at a 4-domain pool.
+KWSC_OOC=1 KWSC_DOMAINS=1 dune runtest --force
+KWSC_OOC=1 KWSC_DOMAINS=4 dune runtest --force
 dune build @lint
 dune build @analyze
 # Crash-test the whole bench harness at tiny N (numbers are meaningless
@@ -27,6 +32,11 @@ dune exec bench/main.exe -- --smoke --no-micro
 # sweep totals, cache hit/miss) must stay within 10% of the committed
 # reference.  Timings never gate — only exact counters are stable.
 dune exec bench/main.exe -- --smoke --no-micro --only CMP --check-ref scripts/cmp_ref.txt
+
+# Out-of-core smoke: the OOC experiment re-execs itself for the RSS
+# phases and cross-checks paged-vs-eager answers and container kinds;
+# numbers are meaningless at smoke N, the cross-checks still gate.
+dune exec bench/main.exe -- --smoke --no-micro --only OOC
 
 # Snapshot round-trip gate: a freshly built index and its reloaded
 # snapshot must print byte-identical answers (and --stats counters) for
@@ -83,6 +93,11 @@ KWSC_AUDIT=1 $kwsc load --index "$snapdir/inv.snap" -i "$snapdir/data.csv" \
 KWSC_AUDIT=1 $kwsc load --index "$snapdir/inv.snap" -i "$snapdir/data.csv" \
   --kw 1,2 --planner off > "$snapdir/inv_off.out"
 diff "$snapdir/inv_on.out" "$snapdir/inv_off.out"
+# the out-of-core open (--ooc: mmap the snapshot, page containers in on
+# first touch) must print byte-identical answers to the eager load
+KWSC_AUDIT=1 $kwsc load --index "$snapdir/inv.snap" -i "$snapdir/data.csv" \
+  --kw 1,2 --planner on --ooc > "$snapdir/inv_ooc.out"
+diff "$snapdir/inv_on.out" "$snapdir/inv_ooc.out"
 # truncation mid-way through the container columns must be refused
 invsize=$(wc -c < "$snapdir/inv.snap")
 head -c $((invsize / 2)) "$snapdir/inv.snap" > "$snapdir/inv_trunc.snap"

@@ -53,3 +53,7 @@ let r11_value = Container.unsafe_words
 (* R12: shard-id arithmetic outside lib/shard/ *)
 let r12_apply p i = Kwsc_shard.Plan.owner_of p i
 let r12_value = Plan.owner_of
+
+(* R14: mmap primitives outside lib/snapshot/pager.ml *)
+let r14_map fd n = Unix.map_file fd Bigarray.char Bigarray.c_layout false [| n |]
+let r14_value = Bigarray.array1_of_genarray

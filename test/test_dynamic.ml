@@ -362,9 +362,11 @@ let test_load_refuses_corruption () =
     (fun () ->
       Dyn.save path t;
       let bytes = In_channel.with_open_bin path In_channel.input_all in
+      (* pin the eager loader: this sweep asserts the load-time refusal
+         contract, and the paged loader defers bucket CRCs to first touch *)
       let expect_error what data =
         Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data);
-        match Dyn.load path with
+        match Dyn.load ~ooc:false path with
         | Error _ -> ()
         | Ok _ -> Alcotest.failf "%s: corrupt snapshot was accepted" what
       in

@@ -38,7 +38,7 @@ let test_scoping () =
   in
   Alcotest.(check (list string))
     "only universal rules outside lib/hot scope"
-    [ "R10"; "R11"; "R12"; "R2"; "R5"; "R6" ]
+    [ "R10"; "R11"; "R12"; "R14"; "R2"; "R5"; "R6" ]
     ids
 
 let test_allowlist () =

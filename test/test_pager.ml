@@ -1,0 +1,662 @@
+(* Out-of-core pager tests (DESIGN.md section 15): the mmap-backed paged
+   readers must (i) give bit-identical answers to the eager loaders over
+   every query surface, (ii) refuse a corrupted section with the same
+   typed [Checksum_mismatch name] the eager path gives — deferred to the
+   first touch of exactly that section, leaving the others readable —
+   and (iii) turn unreadable files into typed [Io] errors naming the
+   path, never a raw [Sys_error]. *)
+
+open Kwsc_geom
+module C = Kwsc_snapshot.Codec
+module Pager = Kwsc_snapshot.Pager
+module Doc = Kwsc_invindex.Doc
+module Inv = Kwsc_invindex.Inverted
+module Pst = Kwsc_invindex.Postings
+module Cont = Kwsc_util.Container
+module Once = Kwsc_util.Pool.Once
+module Prng = Kwsc_util.Prng
+module Ibuf = Kwsc_util.Ibuf
+module Dyn = Kwsc.Dynamic
+module Kd_flat = Kwsc_kdtree.Kd_flat
+module Ptree_flat = Kwsc_ptree.Ptree_flat
+
+let with_snap f =
+  let path = Filename.temp_file "kwsc_pager" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let ok_exn = function
+  | Ok t -> t
+  | Error e -> Alcotest.failf "paged load failed: %s" (C.error_to_string e)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let write_all path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* run [f], demand it raises [Codec.Corrupt], hand back the payload *)
+let corrupt_exn what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Codec.Corrupt, got a value" what
+  | exception C.Corrupt e -> e
+
+(* the mixed workload of test_snapshot: words 1-4 dense, 11-14 run
+   ranges, 21-120 sparse, so every container kind is present *)
+let mixed_docs ~seed ~n =
+  let rng = Prng.create seed in
+  Array.init n (fun i ->
+      let b = Ibuf.create ~capacity:8 () in
+      for w = 1 to 4 do
+        if Prng.int rng 8 = 0 then Ibuf.push b w
+      done;
+      for j = 0 to 3 do
+        let lo = j * (n / 4) and len = n / 8 in
+        if i >= lo && i < lo + len then Ibuf.push b (11 + j)
+      done;
+      Ibuf.push b (21 + Prng.int rng 100);
+      Doc.of_array (Ibuf.to_array b))
+
+(* flip one payload byte of the named section, via the clean directory *)
+let flip_section src dst name =
+  let bytes = Bytes.of_string (read_all src) in
+  let pgr = ok_exn (Pager.open_file src) in
+  let s =
+    match
+      Array.find_opt (fun s -> s.Pager.name = name) (Pager.sections pgr)
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "snapshot has no section %S" name
+  in
+  Alcotest.(check bool) (name ^ " payload nonempty") true (s.Pager.len > 0);
+  let pos = s.Pager.off + (s.Pager.len / 2) in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x10));
+  write_all dst (Bytes.to_string bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Framing and directory introspection                                 *)
+(* ------------------------------------------------------------------ *)
+
+let inv_sections =
+  [ "meta"; "docs"; "vocab"; "sparsedir"; "sparse.0"; "runcounts"; "runs"; "dense" ]
+
+let test_framing () =
+  let cold = Inv.build (mixed_docs ~seed:1501 ~n:512) in
+  with_snap (fun path ->
+      Inv.save path cold;
+      let pgr = ok_exn (Pager.open_file path) in
+      Alcotest.(check string) "path" path (Pager.path pgr);
+      Alcotest.(check string) "kind" Inv.kind (Pager.kind pgr);
+      Alcotest.(check int) "version" C.format_version (Pager.version pgr);
+      Alcotest.(check int) "file size" (String.length (read_all path))
+        (Pager.file_size pgr);
+      let ss = Pager.sections pgr in
+      Alcotest.(check (list string)) "section directory" inv_sections
+        (Array.to_list (Array.map (fun s -> s.Pager.name) ss));
+      (* the directory tiles the file: offsets ascend, payloads fit *)
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "payload inside the file" true
+            (s.Pager.off >= 0 && s.Pager.off + s.Pager.len <= Pager.file_size pgr))
+        ss;
+      for i = 1 to Array.length ss - 1 do
+        Alcotest.(check bool) "offsets ascend" true
+          (ss.(i).Pager.off >= ss.(i - 1).Pager.off + ss.(i - 1).Pager.len)
+      done;
+      (* nothing is verified at open; verification is per section *)
+      List.iter
+        (fun n -> Alcotest.(check bool) (n ^ " unverified at open") false
+            (Pager.verified pgr n))
+        inv_sections;
+      Pager.verify pgr "vocab";
+      Alcotest.(check bool) "vocab verified" true (Pager.verified pgr "vocab");
+      Alcotest.(check bool) "meta still unverified" false (Pager.verified pgr "meta");
+      Pager.verify_all pgr;
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " verified after verify_all") true
+            (Pager.verified pgr n))
+        inv_sections;
+      (* a missing section is a framing error naming the section *)
+      (match corrupt_exn "missing section"
+               (fun () -> Pager.section_length pgr "no-such-section")
+       with
+      | C.Malformed msg ->
+          Alcotest.(check bool) "names the section" true
+            (contains ~needle:"no-such-section" msg)
+      | e -> Alcotest.failf "missing section: %s" (C.error_to_string e));
+      (* a foreign kind is refused at open, typed *)
+      match Pager.open_kind path ~kind:"kwsc.other" with
+      | Error (C.Bad_kind { expected = "kwsc.other"; got }) ->
+          Alcotest.(check string) "got kind" Inv.kind got
+      | Error e -> Alcotest.failf "bad kind: %s" (C.error_to_string e)
+      | Ok _ -> Alcotest.fail "foreign kind accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Unreadable files are typed Io errors naming the path                *)
+(* ------------------------------------------------------------------ *)
+
+let test_missing_file_is_typed_io () =
+  let path = Filename.temp_file "kwsc_pager_gone" ".snap" in
+  Sys.remove path;
+  let expect_io what = function
+    | Error (C.Io msg) ->
+        Alcotest.(check bool) (what ^ " Io names the path") true
+          (contains ~needle:path msg)
+    | Error e -> Alcotest.failf "%s: expected Io, got %s" what (C.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s: a missing file loaded" what
+  in
+  expect_io "Pager.open_file" (Pager.open_file path);
+  expect_io "Inverted.load" (Inv.load path);
+  expect_io "Inverted.load_paged" (Inv.load_paged path);
+  expect_io "Dynamic.load eager" (Dyn.load ~ooc:false path);
+  expect_io "Dynamic.load paged" (Dyn.load ~ooc:true path);
+  (match Kwsc_serve.Serve.restore ~ooc:true path with
+  | Error (C.Io _) -> ()
+  | Error e -> Alcotest.failf "Serve.restore: %s" (C.error_to_string e)
+  | Ok _ -> Alcotest.fail "Serve.restore: a missing file loaded");
+  (* an empty file maps to Truncated, not a crash from mmap *)
+  with_snap (fun empty ->
+      write_all empty "";
+      match Pager.open_file empty with
+      | Error C.Truncated -> ()
+      | Error e -> Alcotest.failf "empty file: %s" (C.error_to_string e)
+      | Ok _ -> Alcotest.fail "empty file mapped")
+
+(* ------------------------------------------------------------------ *)
+(* Once cells                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_once () =
+  let calls = ref 0 in
+  let c =
+    Once.make (fun () ->
+        incr calls;
+        !calls * 10)
+  in
+  Alcotest.(check bool) "fresh cell unforced" false (Once.is_forced c);
+  Alcotest.(check int) "first force runs the thunk" 10 (Once.force c);
+  Alcotest.(check bool) "forced after force" true (Once.is_forced c);
+  Alcotest.(check int) "second force is cached" 10 (Once.force c);
+  Alcotest.(check int) "thunk ran exactly once" 1 !calls;
+  let r = Once.ready 7 in
+  Alcotest.(check bool) "ready cell is forced" true (Once.is_forced r);
+  Alcotest.(check int) "ready value" 7 (Once.force r);
+  (* a raising thunk leaves the cell unforced: the next force retries —
+     what lets a first-touch Checksum_mismatch repeat deterministically *)
+  let tries = ref 0 in
+  let c =
+    Once.make (fun () ->
+        incr tries;
+        failwith "boom")
+  in
+  (match Once.force c with
+  | _ -> Alcotest.fail "raising thunk returned"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "still unforced after a raise" false (Once.is_forced c);
+  (match Once.force c with
+  | _ -> Alcotest.fail "raising thunk returned"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "each force retries" 2 !tries
+
+(* ------------------------------------------------------------------ *)
+(* Ints slabs: the packed int-array accessor over the mapping          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ints_slab () =
+  (* widths 1, 2, 3, 4 and 8 bytes, including negatives: the slab must
+     sign-extend exactly like Codec.R.int_array *)
+  let cases =
+    [
+      [| 0; 1; -1; 127; -128 |];
+      [| 1000; -1000; 32767; -32768 |];
+      [| 100000; -100000 |];
+      [| 1 lsl 30; -(1 lsl 30) |];
+      [| 1 lsl 55; -(1 lsl 55) |];
+      [||];
+    ]
+  in
+  with_snap (fun path ->
+      let sections =
+        List.mapi
+          (fun i a -> (Printf.sprintf "ints.%d" i, C.to_string (fun w -> C.W.int_array w a)))
+          cases
+      in
+      C.save_file ~path ~kind:"kwsc.test.ints" sections;
+      let pgr = ok_exn (Pager.open_kind path ~kind:"kwsc.test.ints") in
+      List.iteri
+        (fun i a ->
+          let s = Pager.ints pgr (Printf.sprintf "ints.%d" i) in
+          Alcotest.(check int) "slab length" (Array.length a) (Pager.Ints.length s);
+          Array.iteri
+            (fun j v -> Alcotest.(check int) "slab element" v (Pager.Ints.get s j))
+            a;
+          (* out-of-bounds access is a typed refusal, not a crash *)
+          match corrupt_exn "slab bounds" (fun () -> Pager.Ints.get s (Array.length a)) with
+          | C.Malformed _ -> ()
+          | e -> Alcotest.failf "slab bounds: %s" (C.error_to_string e))
+        cases)
+
+(* ------------------------------------------------------------------ *)
+(* Paged vs eager: the inverted index differential                     *)
+(* ------------------------------------------------------------------ *)
+
+(* one shared snapshot for the differential sweeps; the temp file is
+   removed after both loads (the mapping outlives the directory entry) *)
+let inv_pair =
+  lazy
+    (let docs = mixed_docs ~seed:1601 ~n:1024 in
+     let path = Filename.temp_file "kwsc_pager_diff" ".snap" in
+     Fun.protect
+       ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+       (fun () ->
+         Inv.save path (Inv.build docs);
+         let eager = ok_exn (Inv.load path) in
+         let paged = ok_exn (Inv.load_paged path) in
+         (eager, paged)))
+
+let inv_diff_sweep seed =
+  let eager, paged = Lazy.force inv_pair in
+  let rng = Prng.create (0x9a6e + seed) in
+  for _ = 1 to 10 do
+    let k = 1 + Prng.int rng 3 in
+    (* the word space deliberately includes absent keywords *)
+    let ws = Array.init k (fun _ -> Prng.int rng 130) in
+    if Inv.query eager ws <> Inv.query paged ws then
+      QCheck.Test.fail_reportf "query diverges on %s"
+        (String.concat "," (Array.to_list (Array.map string_of_int ws)))
+  done;
+  for _ = 1 to 20 do
+    let w = Prng.int rng 130 in
+    if Inv.frequency eager w <> Inv.frequency paged w then
+      QCheck.Test.fail_reportf "frequency diverges on %d" w;
+    if Inv.posting eager w <> Inv.posting paged w then
+      QCheck.Test.fail_reportf "posting diverges on %d" w;
+    let id = Prng.int rng 1024 in
+    if
+      Pst.mem (Inv.postings eager) w id <> Pst.mem (Inv.postings paged) w id
+    then QCheck.Test.fail_reportf "mem diverges on (%d, %d)" w id
+  done;
+  true
+
+let qcheck_inv_diff =
+  QCheck.Test.make ~count:30
+    ~name:"paged and eager inverted answers are bit-identical"
+    QCheck.small_int inv_diff_sweep
+
+let test_inv_paged_residency () =
+  let docs = mixed_docs ~seed:1701 ~n:512 in
+  with_snap (fun path ->
+      Inv.save path (Inv.build docs);
+      let eager = ok_exn (Inv.load path) in
+      let paged = ok_exn (Inv.load_paged path) in
+      let nw = Pst.num_words (Inv.postings paged) in
+      Alcotest.(check int) "eager is fully resident" nw
+        (Inv.resident_containers eager);
+      Alcotest.(check int) "paged starts empty" 0 (Inv.resident_containers paged);
+      (* the resident cardinality column plans without faulting in *)
+      let w0 = (Inv.vocabulary eager).(0) in
+      Alcotest.(check int) "frequency stays resident"
+        (Inv.frequency eager w0) (Inv.frequency paged w0);
+      Alcotest.(check int) "still empty after frequency" 0
+        (Inv.resident_containers paged);
+      Helpers.check_ids "first query" (Inv.query eager [| w0 |]) (Inv.query paged [| w0 |]);
+      Alcotest.(check int) "one container after one query" 1
+        (Inv.resident_containers paged);
+      (* batch answers agree and prefault exactly the touched words *)
+      let vocab = Inv.vocabulary eager in
+      let wss = Array.map (fun w -> [| w |]) vocab in
+      let be = Inv.query_batch eager wss and bp = Inv.query_batch paged wss in
+      Array.iteri (fun i a -> Helpers.check_ids "batch slot" a bp.(i)) be;
+      Alcotest.(check int) "batch over the vocabulary pages everything in" nw
+        (Inv.resident_containers paged);
+      (* physical layout parity, not just answers *)
+      let pe = Inv.postings eager and pp = Inv.postings paged in
+      Alcotest.(check bool) "kind counts" true
+        (Pst.kind_counts pe = Pst.kind_counts pp);
+      (* the deferred docs section materializes the exact build input *)
+      let de = Inv.documents eager and dp = Inv.documents paged in
+      Alcotest.(check int) "documents length" (Array.length de) (Array.length dp);
+      Array.iteri
+        (fun i d -> Helpers.check_ids "document" (Doc.to_array d) (Doc.to_array dp.(i)))
+        de)
+
+(* ------------------------------------------------------------------ *)
+(* First-touch refusal: bit flips per section                          *)
+(* ------------------------------------------------------------------ *)
+
+(* one vocabulary word per container kind, read off the eager index *)
+let kind_reps eager =
+  let ps = Inv.postings eager in
+  let rep = Hashtbl.create 3 in
+  for r = 0 to Pst.num_words ps - 1 do
+    let k = Cont.kind (Pst.container ps r) in
+    if not (Hashtbl.mem rep k) then Hashtbl.add rep k (Pst.word ps r)
+  done;
+  let get k =
+    match Hashtbl.find_opt rep k with
+    | Some w -> w
+    | None -> Alcotest.fail "workload is missing a container kind"
+  in
+  (get Cont.Sparse, get Cont.Dense, get Cont.Runs)
+
+let test_inv_first_touch_refusal () =
+  let docs = mixed_docs ~seed:1801 ~n:1024 in
+  let cold = Inv.build docs in
+  let ws, wd, wr = kind_reps cold in
+  with_snap (fun path ->
+      Inv.save path cold;
+      with_snap (fun path2 ->
+          (* the vocabulary columns are decoded at open: flipping any of
+             them is refused by load_paged itself, naming the section *)
+          List.iter
+            (fun victim ->
+              flip_section path path2 victim;
+              match Inv.load_paged path2 with
+              | Error (C.Checksum_mismatch name) ->
+                  Alcotest.(check string) "refusal names the section" victim name
+              | Error e ->
+                  Alcotest.failf "%s flip: %s" victim (C.error_to_string e)
+              | Ok _ -> Alcotest.failf "%s flip was accepted at open" victim)
+            [ "meta"; "vocab"; "runcounts" ];
+          (* a posting column flip surfaces on the first query that
+             touches a container of that kind — and only that kind: the
+             other columns keep answering, bit-identically *)
+          List.iter
+            (fun (victim, bad, good) ->
+              flip_section path path2 victim;
+              let warm = ok_exn (Inv.load_paged path2) in
+              List.iter
+                (fun w ->
+                  Helpers.check_ids
+                    (Printf.sprintf "%s flip leaves word %d intact" victim w)
+                    (Inv.query cold [| w |]) (Inv.query warm [| w |]))
+                good;
+              (match corrupt_exn
+                       (Printf.sprintf "%s flip, word %d" victim bad)
+                       (fun () -> Inv.query warm [| bad |])
+               with
+              | C.Checksum_mismatch name ->
+                  Alcotest.(check string) "refusal names the section" victim name
+              | e -> Alcotest.failf "%s flip: %s" victim (C.error_to_string e));
+              (* the refusal is sticky, not one-shot *)
+              match corrupt_exn "repeat touch" (fun () -> Inv.query warm [| bad |]) with
+              | C.Checksum_mismatch _ -> ()
+              | e -> Alcotest.failf "repeat touch: %s" (C.error_to_string e))
+            [
+              (* [ws] is the lowest sparse rank, so its span sits at
+                 element offset 0 — always chunk 0 *)
+              ("sparse.0", ws, [ wd; wr ]);
+              ("dense", wd, [ ws; wr ]);
+              ("runs", wr, [ ws; wd ]);
+            ];
+          (* a docs flip defers to the documents accessor; queries never
+             touch it *)
+          flip_section path path2 "docs";
+          let warm = ok_exn (Inv.load_paged path2) in
+          List.iter
+            (fun w ->
+              Helpers.check_ids "docs flip leaves queries intact"
+                (Inv.query cold [| w |]) (Inv.query warm [| w |]))
+            [ ws; wd; wr ];
+          (match corrupt_exn "documents" (fun () -> Inv.documents warm) with
+          | C.Checksum_mismatch "docs" -> ()
+          | e -> Alcotest.failf "docs flip: %s" (C.error_to_string e));
+          (* multi-chunk tail: shrink the chunk size so the sparse column
+             splits, flip the second chunk, and check that the chunk is
+             the refusal granularity — words in clean chunks keep
+             answering bit-identically, words in the flipped chunk raise
+             a mismatch naming exactly that chunk *)
+          with_snap (fun path3 ->
+              Inv.save ~sparse_chunk_elems:64 path3 cold;
+              let nchunks =
+                Array.fold_left
+                  (fun acc (s : Pager.section) ->
+                    if
+                      String.length s.Pager.name > 7
+                      && String.sub s.Pager.name 0 7 = "sparse."
+                    then acc + 1
+                    else acc)
+                  0
+                  (Pager.sections (ok_exn (Pager.open_file path3)))
+              in
+              Alcotest.(check bool) "chunked save splits the tail" true (nchunks > 1);
+              (* the eager loader reassembles the chunked column *)
+              let eager2 = ok_exn (Inv.load path3) in
+              List.iter
+                (fun w ->
+                  Helpers.check_ids "eager load of a chunked snapshot"
+                    (Inv.query cold [| w |]) (Inv.query eager2 [| w |]))
+                [ ws; wd; wr ];
+              flip_section path3 path2 "sparse.1";
+              let warm = ok_exn (Inv.load_paged path2) in
+              let hit = ref 0 in
+              let ps = Inv.postings cold in
+              for r = 0 to Pst.num_words ps - 1 do
+                if Cont.kind (Pst.container ps r) = Cont.Sparse then begin
+                  let w = Pst.word ps r in
+                  match Inv.query warm [| w |] with
+                  | ids ->
+                      Helpers.check_ids "word in a clean chunk"
+                        (Inv.query cold [| w |]) ids
+                  | exception C.Corrupt (C.Checksum_mismatch name) ->
+                      Alcotest.(check string) "refusal names the chunk" "sparse.1" name;
+                      incr hit
+                end
+              done;
+              Alcotest.(check bool) "some word lands in the flipped chunk" true
+                (!hit > 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic checkpoints: deferred buckets                               *)
+(* ------------------------------------------------------------------ *)
+
+let random_obj rng =
+  let p = [| Prng.float rng 100.0; Prng.float rng 100.0 |] in
+  let doc = Doc.of_list (List.init (1 + Prng.int rng 4) (fun _ -> 1 + Prng.int rng 12)) in
+  (p, doc)
+
+let test_dynamic_paged () =
+  let t = Dyn.create ~k:2 ~d:2 () in
+  let rng = Prng.create 1901 in
+  let ids = Array.init 150 (fun _ -> Dyn.insert t (random_obj rng)) in
+  Array.iteri (fun i id -> if i mod 9 = 0 then Dyn.delete t id) ids;
+  with_snap (fun path ->
+      Dyn.save path t;
+      let eager = ok_exn (Dyn.load ~ooc:false path) in
+      let paged = ok_exn (Dyn.load ~ooc:true path) in
+      (* resident metadata agrees without forcing a single bucket *)
+      Alcotest.(check int) "size" (Dyn.size eager) (Dyn.size paged);
+      Alcotest.(check int) "version" (Dyn.version eager) (Dyn.version paged);
+      Alcotest.(check (list int)) "bucket chain" (Dyn.buckets eager)
+        (Dyn.buckets paged);
+      Array.iter
+        (fun cell ->
+          Alcotest.(check bool) "bucket deferred at open" false (Once.is_forced cell))
+        (Dyn.view paged);
+      for _ = 1 to 30 do
+        let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+        let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+        Helpers.check_ids "paged = eager" (Dyn.query eager q ws) (Dyn.query paged q ws)
+      done;
+      Array.iter
+        (fun cell ->
+          Alcotest.(check bool) "bucket forced by queries" true (Once.is_forced cell))
+        (Dyn.view paged);
+      (* a paged restore accepts further audited updates *)
+      Alcotest.(check int) "ids continue" 150 (Dyn.insert paged (random_obj rng));
+      (* flip a bucket: the paged open succeeds, the first query is the
+         typed refusal the eager path gives at load time *)
+      with_snap (fun path2 ->
+          flip_section path path2 "bucket.0";
+          (match Dyn.load ~ooc:false path2 with
+          | Error (C.Checksum_mismatch "bucket.0") -> ()
+          | Error e -> Alcotest.failf "eager flip: %s" (C.error_to_string e)
+          | Ok _ -> Alcotest.fail "eager load accepted a flipped bucket");
+          let warm = ok_exn (Dyn.load ~ooc:true path2) in
+          Alcotest.(check (list int)) "metadata still readable"
+            (Dyn.buckets eager) (Dyn.buckets warm);
+          let q = Rect.full 2 in
+          match corrupt_exn "paged query" (fun () -> Dyn.query warm q [| 1 |]) with
+          | C.Checksum_mismatch "bucket.0" -> ()
+          | e -> Alcotest.failf "paged flip: %s" (C.error_to_string e)))
+
+let test_serve_restore_paged () =
+  let module Serve = Kwsc_serve.Serve in
+  let module Epoch = Kwsc_serve.Epoch in
+  let t = Serve.create ~k:2 ~d:2 () in
+  let rng = Prng.create 2001 in
+  let ids = Array.init 120 (fun _ -> Serve.insert t (random_obj rng)) in
+  Array.iteri (fun i id -> if i mod 11 = 0 then Serve.delete t id) ids;
+  with_snap (fun path ->
+      Serve.checkpoint t path;
+      let eager = ok_exn (Serve.restore ~ooc:false path) in
+      let paged = ok_exn (Serve.restore ~ooc:true path) in
+      Alcotest.(check (list int)) "bucket sizes without forcing"
+        (Serve.bucket_sizes eager) (Serve.bucket_sizes paged);
+      (* prefault pages every bucket in on this domain, then the epoch
+         surfaces answer identically *)
+      Epoch.prefault (Serve.current paged);
+      for _ = 1 to 25 do
+        let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+        let ws = Helpers.random_keywords rng ~vocab:12 ~k:2 in
+        let ids_e, st_e = Serve.query_stats eager q ws in
+        let ids_p, st_p = Serve.query_stats paged q ws in
+        Helpers.check_ids "restored answers" ids_e ids_p;
+        Alcotest.(check bool) "logical work counters" true
+          (st_e.Kwsc.Stats.reported = st_p.Kwsc.Stats.reported
+          && st_e.Kwsc.Stats.nodes_visited = st_p.Kwsc.Stats.nodes_visited)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Deferred flat trees                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* rebuild the defer tuple of a frozen kd-tree from its accessors *)
+let kd_tuple ft =
+  let d = Kd_flat.dim ft and n = Kd_flat.size ft in
+  let nn = Kd_flat.num_nodes ft in
+  let b = Kd_flat.bounds ft in
+  ( d,
+    n,
+    Array.copy b.Rect.lo,
+    Array.copy b.Rect.hi,
+    Array.init nn (Kd_flat.node_axis ft),
+    Array.init nn (Kd_flat.node_split ft),
+    Array.init nn (Kd_flat.node_right ft),
+    Array.init nn (Kd_flat.node_start ft),
+    Array.init nn (Kd_flat.node_count ft),
+    Array.init (n * d) (fun i -> Kd_flat.coord ft (i / d) (i mod d)),
+    Array.init n (Kd_flat.payload ft) )
+
+let test_kd_defer () =
+  let module Kd = Kwsc_kdtree.Kd in
+  let rng = Prng.create 2101 in
+  let pts =
+    Array.init 200 (fun i -> (Array.init 2 (fun _ -> Prng.float rng 100.0), i))
+  in
+  let arena = Kd.freeze (Kd.build pts) in
+  let forced = ref 0 in
+  let lazy_t =
+    Kd_flat.defer (fun () ->
+        incr forced;
+        kd_tuple arena)
+  in
+  Alcotest.(check bool) "deferred before first touch" true
+    (Kd_flat.backing lazy_t = `Deferred);
+  Alcotest.(check int) "size forces the thunk" 200 (Kd_flat.size lazy_t);
+  Alcotest.(check bool) "arena after first touch" true
+    (Kd_flat.backing lazy_t = `Arena);
+  for _ = 1 to 15 do
+    let q = Helpers.random_rect rng ~d:2 ~range:100.0 in
+    let slots t =
+      let acc = ref [] in
+      Kd_flat.range_iter t q (fun s v -> acc := (s, v) :: !acc);
+      List.rev !acc
+    in
+    Alcotest.(check bool) "range slots identical" true (slots arena = slots lazy_t);
+    let p = Array.init 2 (fun _ -> Prng.float rng 100.0) in
+    Alcotest.(check bool) "nearest identical" true
+      (Kd_flat.nearest arena ~metric:`L2 p 5 = Kd_flat.nearest lazy_t ~metric:`L2 p 5)
+  done;
+  Alcotest.(check int) "thunk ran exactly once" 1 !forced;
+  (* a thunk that fails its lazy CRC propagates and stays deferred *)
+  let bad : int Kd_flat.t =
+    Kd_flat.defer (fun () -> raise (C.Corrupt (C.Checksum_mismatch "kd")))
+  in
+  (match corrupt_exn "kd defer" (fun () -> Kd_flat.size bad) with
+  | C.Checksum_mismatch "kd" -> ()
+  | e -> Alcotest.failf "kd defer: %s" (C.error_to_string e));
+  Alcotest.(check bool) "still deferred after the refusal" true
+    (Kd_flat.backing bad = `Deferred)
+
+let test_ptree_defer () =
+  (* a single-leaf tree built by hand: the membership recheck in
+     query_polytope_iter makes the answers exact regardless of shape *)
+  let coords = [| 1.0; 1.0; 4.0; 2.0; 2.0; 8.0; 9.0; 9.0 |] in
+  let tuple () =
+    ( 2,
+      4,
+      [| 0.0; 0.0 |],
+      [| 0.0 |],
+      [| -1 |],
+      [| 0 |],
+      [| 4 |],
+      Array.copy coords,
+      [| 0; 1; 2; 3 |],
+      100.0,
+      Prng.create 7 )
+  in
+  let d, n, dir, m, right, start, count, cs, payload, box, rng = tuple () in
+  let arena =
+    Ptree_flat.unsafe_make ~d ~n ~dir ~m ~right ~start ~count ~coords:cs ~payload
+      ~box ~rng
+  in
+  let lazy_t = Ptree_flat.defer tuple in
+  Alcotest.(check bool) "deferred before first touch" true
+    (Ptree_flat.backing lazy_t = `Deferred);
+  let poly = Polytope.of_rect (Rect.make [| 0.0; 0.0 |] [| 5.0; 5.0 |]) in
+  let hits t =
+    let acc = ref [] in
+    Ptree_flat.query_polytope_iter t poly (fun s v -> acc := (s, v) :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check bool) "polytope hits identical" true (hits arena = hits lazy_t);
+  Alcotest.(check bool) "arena after first touch" true
+    (Ptree_flat.backing lazy_t = `Arena);
+  Alcotest.(check int) "size" 4 (Ptree_flat.size lazy_t);
+  (* the deferred materialization applies unsafe_make's validation *)
+  let bad : int Ptree_flat.t =
+    Ptree_flat.defer (fun () ->
+        let d, n, dir, m, right, start, count, cs, payload, box, rng = tuple () in
+        ignore payload;
+        (d, n, dir, m, right, start, count, cs, [| 0 |], box, rng))
+  in
+  match Ptree_flat.size bad with
+  | _ -> Alcotest.fail "inconsistent deferred arrays were accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "framing and section directory" `Quick test_framing;
+    Alcotest.test_case "unreadable files are typed Io errors" `Quick
+      test_missing_file_is_typed_io;
+    Alcotest.test_case "Once cells force exactly once" `Quick test_once;
+    Alcotest.test_case "Ints slabs sign-extend like the codec" `Quick test_ints_slab;
+    QCheck_alcotest.to_alcotest qcheck_inv_diff;
+    Alcotest.test_case "paged residency grows with traffic" `Quick
+      test_inv_paged_residency;
+    Alcotest.test_case "bit flips refuse on first touch of that section" `Quick
+      test_inv_first_touch_refusal;
+    Alcotest.test_case "dynamic checkpoints page buckets lazily" `Quick
+      test_dynamic_paged;
+    Alcotest.test_case "serve restores out-of-core" `Quick test_serve_restore_paged;
+    Alcotest.test_case "kd-tree defer is answer-identical" `Quick test_kd_defer;
+    Alcotest.test_case "partition-tree defer is answer-identical" `Quick
+      test_ptree_defer;
+  ]

@@ -4,11 +4,11 @@
 ; Entries matching no finding are reported as stale (and fail --strict).
 
 ; --- A1: allocation-freedom -------------------------------------------
-(A1 lib/kdtree/kd_flat.ml 259) ; k-nearest epilogue materializes the k (dist, slot) result pairs the API returns: k allocations per query, not per visited node
-(A1 lib/ptree/ptree_flat.ml 80) ; crossing-node descent builds the two child halfspaces; per-point work stays in the allocation-free scan_slice loop
-(A1 lib/ptree/ptree_flat.ml 81) ; go allocates only at crossing nodes (line 80): O(n^(1-1/d)) nodes per query, never per point
-(A1 lib/ptree/ptree_flat.ml 82) ; go allocates only at crossing nodes (line 80): O(n^(1-1/d)) nodes per query, never per point
-(A1 lib/ptree/ptree_flat.ml 83) ; negated split direction for the far child is built once per crossing node, not per point
+(A1 lib/kdtree/kd_flat.ml 313) ; k-nearest epilogue materializes the k (dist, slot) result pairs the API returns: k allocations per query, not per visited node
+(A1 lib/ptree/ptree_flat.ml 125) ; crossing-node descent builds the two child halfspaces; per-point work stays in the allocation-free scan_slice loop
+(A1 lib/ptree/ptree_flat.ml 126) ; go allocates only at crossing nodes (line 125): O(n^(1-1/d)) nodes per query, never per point
+(A1 lib/ptree/ptree_flat.ml 127) ; go allocates only at crossing nodes (line 125): O(n^(1-1/d)) nodes per query, never per point
+(A1 lib/ptree/ptree_flat.ml 128) ; negated split direction for the far child is built once per crossing node, not per point
 
 ; --- A2: domain-safety ------------------------------------------------
 (A2 lib/core/batch.ml 19) ; out.(i) has exactly one writer: parallel_for hands each shard [lo,hi) to one worker and shards are disjoint
@@ -17,7 +17,9 @@
 (A2 lib/kdtree/kd.ml 41) ; fork_join children blit the disjoint [lo,mid) and [mid,hi) slices of pts: no element is shared
 
 ; --- A3: unsafe-access gating -----------------------------------------
-(A3 lib/snapshot/codec.ml 102) ; slice-by-8 CRC loop maintains !i + 8 <= n, so !i + j is in bounds for j in 0..7
+(A3 lib/snapshot/codec.ml 106) ; slice-by-8 CRC loop maintains !i + 8 <= n, so !i + j is in bounds for j in 0..7
+(A3 lib/snapshot/pager.ml 163) ; crc32_map's byte reader: every index is in [off, off + len), validated against the mapping size by the guard at function entry
+(A3 lib/snapshot/pager.ml 179) ; crc32_map's table reader: the index is masked to [0, 255] and every slicing-by-8 table holds 256 entries
 ; inter_dense_dense: eight-wide word AND under `while !w + 8 <= nw` with i = !w and nw = min of both bank lengths
 ; probe_span_dense: the word-cursor span probe; inter_span_into's Dense arm checks hi <= length a, a.(hi-1) < universe and universe <= div_bits_magic_bound before the initial call
 (A3 lib/util/container.ml 70) ; word load wi = div_bits_magic x with x < universe (Dense-arm entry check), so wi < nwords universe = length words

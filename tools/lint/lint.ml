@@ -2,9 +2,9 @@
    See lint.mli for the rule catalogue and the rationale for the
    syntactic approximations used by the type-dependent rules. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -20,6 +20,7 @@ let rule_id = function
   | R11 -> "R11"
   | R12 -> "R12"
   | R13 -> "R13"
+  | R14 -> "R14"
 
 let rule_doc = function
   | R1 -> "polymorphic comparison on float-bearing data in a hot-path module"
@@ -45,6 +46,10 @@ let rule_doc = function
   | R13 ->
       "shared mutable in the serving layer outside the published epoch: the Atomic epoch \
        cell in lib/serve/serve.ml is the only cross-domain state lib/serve may hold"
+  | R14 ->
+      "mmap primitive outside the pager: Unix.map_file and Bigarray belong to \
+       lib/snapshot/pager.ml alone — consume mapped sections through Pager's typed \
+       accessors, which own the lazy CRC discipline"
 
 type violation = { file : string; line : int; rule : rule; message : string }
 
@@ -115,6 +120,12 @@ let path_in_serve path = has_subpath [ "lib"; "serve" ] (segments path)
 
 let path_is_serve_writer path =
   has_subpath [ "lib"; "serve"; "serve.ml" ] (segments path)
+
+(* R14: the pager is the one module allowed to map files and address the
+   mapping — everything else reads sections through its typed accessors,
+   so the lazy-CRC discipline (no bytes before the checksum passes) has
+   a single owner. *)
+let path_is_pager path = has_subpath [ "lib"; "snapshot"; "pager.ml" ] (segments path)
 
 (* ------------------------------------------------------------------ *)
 (* Allowlist                                                          *)
@@ -358,6 +369,7 @@ let lint_structure config ~file str =
   let owner_banned = not (path_is_shard file) in
   let serve = config.assume_serve || path_in_serve file in
   let serve_writer = path_is_serve_writer file in
+  let mmap_banned = not (path_is_pager file) in
   (* Function idents already reported (or cleared) as the head of an
      application are marked here so the bare-ident pass skips them. *)
   let consumed = Hashtbl.create 64 in
@@ -404,6 +416,18 @@ let lint_structure config ~file str =
               (Printf.sprintf
                  "%s re-derives shard ownership; the partition function is \
                   private to lib/shard/ — route placement through Kwsc_shard"
+                 (String.concat "." u))
+        | "Bigarray" :: _ when mmap_banned ->
+            add R14 loc
+              (Printf.sprintf
+                 "%s addresses a raw mapping; only lib/snapshot/pager.ml may — \
+                  consume sections through Pager's typed accessors"
+                 (String.concat "." u))
+        | _ when mmap_banned && ends_with ~suffix:[ "Unix"; "map_file" ] u ->
+            add R14 loc
+              (Printf.sprintf
+                 "%s maps a file outside the pager; lib/snapshot/pager.ml owns \
+                  the mapping and its lazy CRC discipline"
                  (String.concat "." u))
         | "Hashtbl" :: _ when kernel ->
             add R9 loc
@@ -502,6 +526,16 @@ let lint_structure config ~file str =
                 (Printf.sprintf
                    "%s passed as a value; shard ownership is private to \
                     lib/shard/" (String.concat "." u))
+          | "Bigarray" :: _ when mmap_banned ->
+              add R14 loc
+                (Printf.sprintf
+                   "%s passed as a value; raw mappings are private to \
+                    lib/snapshot/pager.ml" (String.concat "." u))
+          | _ when mmap_banned && ends_with ~suffix:[ "Unix"; "map_file" ] u ->
+              add R14 loc
+                (Printf.sprintf
+                   "%s passed as a value; file mapping is private to \
+                    lib/snapshot/pager.ml" (String.concat "." u))
           | "Hashtbl" :: _ when kernel ->
               add R9 loc
                 (Printf.sprintf "%s passed as a value in a query-kernel module"

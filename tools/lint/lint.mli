@@ -63,6 +63,14 @@
       [serve.ml] itself Atomic is sanctioned (and exempt from R8 —
       R13 owns the serving layer's concurrency discipline); the other
       multicore primitives stay banned there by R8 as usual.
+    - R14: no [Unix.map_file] and no [Bigarray], anywhere outside
+      [lib/snapshot/pager.ml].  The pager (DESIGN.md §15) is the single
+      owner of the mmap-backed snapshot path: it maps the file, frames
+      the sections, and enforces the lazy-CRC discipline (no payload
+      bytes escape before the section's checksum passes).  A second
+      module addressing the raw mapping could hand out unverified bytes
+      or drift from the verified-bitmap bookkeeping; everything else
+      consumes sections through [Pager]'s typed accessors.
 
     Rules that depend on types (R1, R5) are syntactic approximations:
     they fire on float literals, float-typed annotations, float intrinsic
@@ -70,12 +78,12 @@
     in hot-path code.  False positives are silenced via the checked-in
     allowlist ([tools/lint/allow.sexp]), never by weakening the rule. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11 | R12 | R13 | R14
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R13"]. *)
+(** ["R1"] ... ["R14"]. *)
 
 val rule_doc : rule -> string
 (** One-line description used by [--rules] and violation reports. *)
